@@ -1,0 +1,89 @@
+// Shared helpers for the experiment binaries (DESIGN.md §4).
+//
+// Each bench regenerates one §6 claim as a printed table. Helpers here
+// format tables and run measured client operations against a Cluster.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sync.h"
+#include "crypto/keys.h"
+#include "testkit/cluster.h"
+
+namespace securestore::bench {
+
+/// Fixed-width table printing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int column_width = 14)
+      : headers_(std::move(headers)), width_(column_width) {}
+
+  void print_header() const {
+    for (const auto& header : headers_) std::printf("%*s", width_, header.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%*s", width_, std::string(static_cast<std::size_t>(width_) - 2, '-').c_str());
+    }
+    std::printf("\n");
+  }
+
+  void cell(const std::string& value) const { std::printf("%*s", width_, value.c_str()); }
+  void cell(std::uint64_t value) const { std::printf("%*llu", width_, static_cast<unsigned long long>(value)); }
+  void cell(double value, int precision = 2) const {
+    std::printf("%*.*f", width_, precision, value);
+  }
+  void end_row() const { std::printf("\n"); }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_claim(const std::string& claim) {
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+/// Message/crypto deltas around one measured operation.
+struct OpCost {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t signs = 0;
+  std::uint64_t verifies = 0;
+  std::uint64_t digests = 0;
+  std::uint64_t macs = 0;
+  SimDuration latency = 0;
+  bool ok = false;
+};
+
+/// Runs `op` (which must drive the scheduler to completion, e.g. via
+/// SyncClient) and reports the cost deltas.
+template <typename Op>
+OpCost measure(testkit::Cluster& cluster, Op&& op) {
+  auto& meter = crypto::CryptoMeter::instance();
+  const auto stats_before = cluster.transport().stats();
+  const auto meter_before = meter;
+  const SimTime start = cluster.scheduler().now();
+
+  const bool ok = op();
+
+  OpCost cost;
+  cost.ok = ok;
+  cost.latency = cluster.scheduler().now() - start;
+  const auto& stats_after = cluster.transport().stats();
+  cost.messages = stats_after.messages_sent - stats_before.messages_sent;
+  cost.bytes = stats_after.bytes_sent - stats_before.bytes_sent;
+  cost.signs = meter.signs - meter_before.signs;
+  cost.verifies = meter.verifies - meter_before.verifies;
+  cost.digests = meter.digests - meter_before.digests;
+  cost.macs = meter.macs - meter_before.macs;
+  return cost;
+}
+
+}  // namespace securestore::bench

@@ -1,0 +1,151 @@
+// Experiment E10 — crypto primitive microbenchmarks (google-benchmark).
+//
+// Grounds E3's operation-cost model in measured primitive times: the §6
+// tradeoff between signatures (secure store, masking quorums) and MACs
+// (PBFT-style SMR) is quantified here — MACs are orders of magnitude
+// cheaper per operation, which is exactly why PBFT wins on computation and
+// loses on message count.
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/ida.h"
+#include "crypto/keys.h"
+#include "crypto/sha2.h"
+#include "crypto/shamir.h"
+#include "crypto/x25519.h"
+#include "util/rng.h"
+
+namespace securestore::crypto {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  Rng rng(3);
+  const KeyPair pair = KeyPair::generate(rng);
+  const Bytes message = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_sign(pair.seed, message));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  Rng rng(4);
+  const KeyPair pair = KeyPair::generate(rng);
+  const Bytes message = rng.bytes(256);
+  const Bytes signature = ed25519_sign(pair.seed, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_verify(pair.public_key, message, signature));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_Ed25519KeyGen(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyPair::generate(rng));
+  }
+}
+BENCHMARK(BM_Ed25519KeyGen);
+
+void BM_AeadSeal(benchmark::State& state) {
+  Rng rng(6);
+  const Bytes key = rng.bytes(kChaChaKeySize);
+  const Bytes nonce = rng.bytes(kChaChaNonceSize);
+  const Bytes plaintext = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_seal(key, nonce, {}, plaintext));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_AeadOpen(benchmark::State& state) {
+  Rng rng(7);
+  const Bytes key = rng.bytes(kChaChaKeySize);
+  const Bytes nonce = rng.bytes(kChaChaNonceSize);
+  const Bytes plaintext = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const Bytes sealed = aead_seal(key, nonce, {}, plaintext);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_open(key, nonce, {}, sealed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(256)->Arg(4096);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  Rng rng(12);
+  const DhKeyPair a = DhKeyPair::generate(rng);
+  const DhKeyPair b = DhKeyPair::generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x25519_shared_secret(a.private_scalar, b.public_key));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_ShamirSplit(benchmark::State& state) {
+  Rng rng(8);
+  const Bytes secret = rng.bytes(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_split(secret, 3, 7, rng));
+  }
+}
+BENCHMARK(BM_ShamirSplit);
+
+void BM_ShamirCombine(benchmark::State& state) {
+  Rng rng(9);
+  const Bytes secret = rng.bytes(32);
+  const auto shares = shamir_split(secret, 3, 7, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shamir_combine(std::span(shares).first(3), 3));
+  }
+}
+BENCHMARK(BM_ShamirCombine);
+
+void BM_IdaDisperse(benchmark::State& state) {
+  Rng rng(10);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ida_disperse(data, 3, 7));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IdaDisperse)->Arg(1024)->Arg(16384);
+
+void BM_IdaReconstruct(benchmark::State& state) {
+  Rng rng(11);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto fragments = ida_disperse(data, 3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ida_reconstruct(std::span(fragments).first(3), 3));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IdaReconstruct)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace securestore::crypto
+
+BENCHMARK_MAIN();

@@ -1,0 +1,187 @@
+// Experiment E11 — the protocol stack on wall-clock time.
+//
+// §7: "we plan to build our store using the protocols discussed in this
+// paper" — this bench runs the full implementation (not the simulator) on
+// the real-time threaded transport and measures operation latency
+// percentiles and pipelined throughput, with crypto costs (Ed25519 from
+// scratch) and dispatch overhead actually paid. Latencies here include a
+// LAN-like 200-300 us artificial link delay.
+#include <chrono>
+#include <future>
+
+#include "bench_common.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/thread_transport.h"
+
+namespace securestore::bench {
+namespace {
+
+constexpr GroupId kGroup{1};
+
+core::GroupPolicy mrc_policy() {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kMRC,
+                           core::SharingMode::kSingleWriter, core::ClientTrust::kHonest};
+}
+
+struct LiveDeployment {
+  net::ThreadTransport transport;
+  core::StoreConfig config;
+  crypto::KeyPair client_pair;
+  std::vector<std::unique_ptr<core::SecureStoreServer>> servers;
+  std::unique_ptr<core::SecureStoreClient> client;
+
+  LiveDeployment(std::uint32_t n, std::uint32_t b)
+      : transport(sim::NetworkModel(
+            Rng(1), sim::LinkProfile{microseconds(200), microseconds(100), 0})) {
+    config.n = n;
+    config.b = b;
+    Rng rng(2);
+    client_pair = crypto::KeyPair::generate(rng);
+    config.client_keys[1] = client_pair.public_key;
+    std::vector<crypto::KeyPair> server_pairs;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      config.servers.push_back(NodeId{i});
+      server_pairs.push_back(crypto::KeyPair::generate(rng));
+      config.server_keys[NodeId{i}] = server_pairs.back().public_key;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      core::SecureStoreServer::Options options;
+      options.gossip.period = milliseconds(200);
+      servers.push_back(std::make_unique<core::SecureStoreServer>(
+          transport, NodeId{i}, config, server_pairs[i], options, rng.fork()));
+      servers.back()->set_group_policy(mrc_policy());
+    }
+    core::SecureStoreClient::Options client_options;
+    client_options.policy = mrc_policy();
+    client = std::make_unique<core::SecureStoreClient>(transport, NodeId{1000}, ClientId{1},
+                                                       client_pair, config, client_options,
+                                                       rng.fork());
+  }
+
+  ~LiveDeployment() { transport.stop(); }
+
+  VoidResult write(ItemId item, const Bytes& value) {
+    auto promise = std::make_shared<std::promise<VoidResult>>();
+    auto future = promise->get_future();
+    transport.schedule(0, [this, item, value, promise] {
+      client->write(item, value, [promise](VoidResult r) { promise->set_value(std::move(r)); });
+    });
+    return future.get();
+  }
+
+  Result<core::ReadOutput> read(ItemId item) {
+    auto promise = std::make_shared<std::promise<Result<core::ReadOutput>>>();
+    auto future = promise->get_future();
+    transport.schedule(0, [this, item, promise] {
+      client->read(item, [promise](Result<core::ReadOutput> r) {
+        promise->set_value(std::move(r));
+      });
+    });
+    return future.get();
+  }
+};
+
+void latency_table() {
+  std::printf("--- sequential op latency (wall clock, n=4 b=1, 200-300 us links) ---\n");
+  Table table({"op", "p50_us", "p95_us", "max_us"});
+  table.print_header();
+
+  LiveDeployment deployment(4, 1);
+  const Bytes value(256, 0x42);
+
+  sim::Samples write_samples, read_samples;
+  constexpr int kOps = 100;
+  for (int op = 0; op < kOps; ++op) {
+    const ItemId item{static_cast<std::uint64_t>(op % 8)};
+    {
+      const auto start = std::chrono::steady_clock::now();
+      if (deployment.write(item, value).ok()) {
+        write_samples.add(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      }
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      if (deployment.read(item).ok()) {
+        read_samples.add(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+      }
+    }
+  }
+
+  for (const auto& [name, samples] :
+       {std::pair<const char*, sim::Samples&>{"write", write_samples}, {"read", read_samples}}) {
+    table.cell(std::string(name));
+    table.cell(samples.percentile(50), 0);
+    table.cell(samples.percentile(95), 0);
+    table.cell(samples.max(), 0);
+    table.end_row();
+  }
+  std::printf(
+      "\nLatency = 1 network round trip + 1 Ed25519 sign + (b+1) server\n"
+      "verifies (write) / 1 client verify (read) + dispatch overhead.\n\n");
+}
+
+void throughput_table() {
+  std::printf("--- pipelined throughput (wall clock, n=4 b=1) ---\n");
+  Table table({"in_flight", "ops", "seconds", "ops_per_s"});
+  table.print_header();
+
+  for (const int window : {1, 4, 16}) {
+    LiveDeployment deployment(4, 1);
+    const Bytes value(256, 0x42);
+    constexpr int kOps = 200;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<int> completed{0};
+    std::promise<void> all_done;
+    auto issued = std::make_shared<std::atomic<int>>(0);
+
+    // Issue up to `window` concurrent writes from the dispatch thread.
+    std::function<void()> issue_next = [&]() {
+      const int op = issued->fetch_add(1);
+      if (op >= kOps) return;
+      deployment.client->write(ItemId{static_cast<std::uint64_t>(op % 16)}, value,
+                               [&](VoidResult) {
+                                 if (completed.fetch_add(1) + 1 == kOps) {
+                                   all_done.set_value();
+                                 } else {
+                                   issue_next();
+                                 }
+                               });
+    };
+    deployment.transport.schedule(0, [&] {
+      for (int i = 0; i < window; ++i) issue_next();
+    });
+    all_done.get_future().wait();
+    const double seconds_elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    table.cell(static_cast<std::uint64_t>(window));
+    table.cell(static_cast<std::uint64_t>(kOps));
+    table.cell(seconds_elapsed, 3);
+    table.cell(static_cast<double>(kOps) / seconds_elapsed, 0);
+    table.end_row();
+  }
+  std::printf(
+      "\nPipelining hides network latency; the ceiling is the single-core\n"
+      "crypto budget (~1 sign + 2 verifies ~= 0.8 ms CPU per write).\n");
+}
+
+void run() {
+  print_title("E11: the real implementation on wall-clock time");
+  print_claim("'simulations as well as actual implementations' (§6) — the latter half");
+  latency_table();
+  throughput_table();
+}
+
+}  // namespace
+}  // namespace securestore::bench
+
+int main() {
+  securestore::bench::run();
+  return 0;
+}

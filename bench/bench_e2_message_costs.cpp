@@ -1,0 +1,190 @@
+// Experiment E2 — message costs per operation, secure store vs baselines.
+//
+// §6 claims reproduced here:
+//  * secure-store data write completes with b+1 messages (one per contacted
+//    server) plus b+1 replies; best-case read = meta round at b+1 servers
+//    plus one value fetch;
+//  * hardened multi-writer ops use 2b+1 servers;
+//  * masking-quorum read/write each contact ceil((n+2b+1)/2) servers (write
+//    twice: timestamp round + store round);
+//  * PBFT-style SMR needs O(n^2) messages per operation.
+//
+// All columns are measured datagram counts from the simulator.
+#include "baselines/masking_quorum.h"
+#include "baselines/pbft.h"
+#include "bench_common.h"
+#include "net/sim_transport.h"
+
+namespace securestore::bench {
+namespace {
+
+constexpr GroupId kGroup{1};
+constexpr ItemId kItem{100};
+
+core::GroupPolicy policy(core::SharingMode sharing, core::ClientTrust trust) {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kMRC, sharing, trust};
+}
+
+struct SecureStoreCosts {
+  OpCost write;
+  OpCost read;
+};
+
+SecureStoreCosts secure_store_costs(std::uint32_t n, std::uint32_t b,
+                                    core::SharingMode sharing, core::ClientTrust trust,
+                                    bool inline_reads = true) {
+  testkit::ClusterOptions options;
+  options.n = n;
+  options.b = b;
+  options.start_gossip = false;
+  testkit::Cluster cluster(options);
+  cluster.set_group_policy(policy(sharing, trust));
+
+  core::SecureStoreClient::Options client_options;
+  client_options.policy = policy(sharing, trust);
+  client_options.stability_gc = false;  // isolate the §6 write cost (E7 measures GC)
+  client_options.inline_reads = inline_reads;
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  core::SyncClient sync(*client, cluster.scheduler());
+
+  SecureStoreCosts costs;
+  costs.write = measure(cluster, [&] { return sync.write(kItem, to_bytes("payload")).ok(); });
+  costs.read = measure(cluster, [&] { return sync.read_value(kItem).ok(); });
+  return costs;
+}
+
+std::pair<OpCost, OpCost> masking_quorum_costs(std::uint32_t n, std::uint32_t b,
+                                               std::uint64_t seed = 7) {
+  // Reuse Cluster's plumbing is not possible (different server type), so a
+  // local harness mirrors it.
+  sim::Scheduler scheduler;
+  net::SimTransport transport(scheduler, sim::NetworkModel(Rng(seed), sim::lan_profile()));
+  core::StoreConfig config;
+  config.n = n;
+  config.b = b;
+  Rng rng(seed + 1);
+  const crypto::KeyPair pair = crypto::KeyPair::generate(rng);
+  config.client_keys[1] = pair.public_key;
+  for (std::uint32_t i = 0; i < n; ++i) config.servers.push_back(NodeId{i});
+
+  std::vector<std::unique_ptr<baselines::MqServer>> servers;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    servers.push_back(std::make_unique<baselines::MqServer>(transport, NodeId{i}, config));
+  }
+  baselines::MqClient client(transport, NodeId{1000}, ClientId{1}, pair, config,
+                             baselines::MqClient::Options{}, rng.fork());
+
+  auto run_until = [&](auto& slot) {
+    while (!slot && scheduler.step()) {
+    }
+  };
+
+  OpCost write_cost;
+  {
+    const auto before = transport.stats();
+    const SimTime start = scheduler.now();
+    std::optional<VoidResult> slot;
+    client.write(kItem, to_bytes("payload"), [&](VoidResult r) { slot = std::move(r); });
+    run_until(slot);
+    write_cost.ok = slot.has_value() && slot->ok();
+    write_cost.messages = transport.stats().messages_sent - before.messages_sent;
+    write_cost.latency = scheduler.now() - start;
+  }
+  OpCost read_cost;
+  {
+    const auto before = transport.stats();
+    const SimTime start = scheduler.now();
+    std::optional<Result<Bytes>> slot;
+    client.read(kItem, [&](Result<Bytes> r) { slot = std::move(r); });
+    run_until(slot);
+    read_cost.ok = slot.has_value() && slot->ok();
+    read_cost.messages = transport.stats().messages_sent - before.messages_sent;
+    read_cost.latency = scheduler.now() - start;
+  }
+  return {write_cost, read_cost};
+}
+
+OpCost pbft_costs(std::uint32_t f, std::uint64_t seed = 9) {
+  sim::Scheduler scheduler;
+  net::SimTransport transport(scheduler, sim::NetworkModel(Rng(seed), sim::lan_profile()));
+  baselines::PbftConfig config;
+  config.f = f;
+  for (std::uint32_t i = 0; i < 3 * f + 1; ++i) config.replicas.push_back(NodeId{i});
+  config.session_master = to_bytes("bench session master");
+
+  std::vector<std::unique_ptr<baselines::PbftReplica>> replicas;
+  for (const NodeId id : config.replicas) {
+    replicas.push_back(std::make_unique<baselines::PbftReplica>(transport, id, config));
+  }
+  baselines::PbftClient client(transport, NodeId{1000}, config);
+
+  OpCost cost;
+  const auto before = transport.stats();
+  const SimTime start = scheduler.now();
+  std::optional<Result<Bytes>> slot;
+  client.execute(baselines::PbftOp{baselines::PbftOp::Kind::kPut, kItem, to_bytes("payload")},
+                 [&](Result<Bytes> r) { slot = std::move(r); });
+  while (!slot && scheduler.step()) {
+  }
+  cost.ok = slot.has_value() && slot->ok();
+  cost.latency = scheduler.now() - start;
+  // Let the trailing commit/reply traffic finish so the count is the full
+  // per-operation cost, not just until the client's f+1 replies.
+  scheduler.run_until(scheduler.now() + seconds(1));
+  cost.messages = transport.stats().messages_sent - before.messages_sent;
+  return cost;
+}
+
+void run() {
+  print_title("E2: messages per operation — secure store vs baselines");
+  print_claim(
+      "write = b+1 server set; hardened multi-writer = 2b+1; masking quorum = "
+      "ceil((n+2b+1)/2) per phase; PBFT O(n^2)");
+
+  Table table({"n", "b", "ss_wr", "ss_rd", "ss_rd2ph", "ssB_wr", "ssB_rd", "mq_wr", "mq_rd",
+               "pbft_op"},
+              11);
+  table.print_header();
+
+  for (std::uint32_t b : {1u, 2u, 3u, 4u}) {
+    const std::uint32_t n = 3 * b + 1;
+
+    const SecureStoreCosts honest = secure_store_costs(
+        n, b, core::SharingMode::kSingleWriter, core::ClientTrust::kHonest);
+    const SecureStoreCosts two_phase = secure_store_costs(
+        n, b, core::SharingMode::kSingleWriter, core::ClientTrust::kHonest,
+        /*inline_reads=*/false);
+    const SecureStoreCosts hardened = secure_store_costs(
+        n, b, core::SharingMode::kMultiWriter, core::ClientTrust::kByzantine);
+    const auto [mq_write, mq_read] = masking_quorum_costs(n, b);
+    const OpCost pbft = pbft_costs(b);
+
+    table.cell(static_cast<std::uint64_t>(n));
+    table.cell(static_cast<std::uint64_t>(b));
+    table.cell(honest.write.messages);
+    table.cell(honest.read.messages);
+    table.cell(two_phase.read.messages);
+    table.cell(hardened.write.messages);
+    table.cell(hardened.read.messages);
+    table.cell(mq_write.messages);
+    table.cell(mq_read.messages);
+    table.cell(pbft.messages);
+    table.end_row();
+  }
+
+  std::printf(
+      "\nColumns count request+reply datagrams. ss_wr = 2(b+1): b+1 writes +\n"
+      "b+1 acks. ss_rd = 2(b+1): §6's best case, read cost == write cost.\n"
+      "ss_rd2ph = 2(b+1)+2: the Fig. 2 literal two-phase read (meta round,\n"
+      "then one value fetch — cheaper in BYTES for large values). ssB\n"
+      "(hardened §5.3) scales with 2b+1. Masking-quorum writes pay two\n"
+      "q-sized phases; PBFT grows quadratically in n.\n");
+}
+
+}  // namespace
+}  // namespace securestore::bench
+
+int main() {
+  securestore::bench::run();
+  return 0;
+}

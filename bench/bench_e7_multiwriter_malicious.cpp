@@ -1,0 +1,193 @@
+// Experiment E7 — the hardened multi-writer protocol under malicious
+// clients (§5.3).
+//
+// Three measurements:
+//  1. The spurious-context DoS: an attacker floods poisoned writes; we
+//     measure honest-reader success rate and context pollution WITH the
+//     causal hold defense (it is always on in this implementation; the
+//     "without" column is computed analytically: every poisoned read would
+//     have corrupted the reader's context).
+//  2. Server-side log retention: log entries per server over a write-heavy
+//     run, with and without stability-certificate garbage collection, and
+//     the message overhead GC adds.
+//  3. The §6 quorum growth: honest b+1 vs hardened 2b+1 latency/messages
+//     side by side.
+#include "bench_common.h"
+#include "faults/malicious_client.h"
+
+namespace securestore::bench {
+namespace {
+
+constexpr GroupId kGroup{7};
+constexpr ItemId kPlan{201};
+
+core::GroupPolicy byz_policy() {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kCC,
+                           core::SharingMode::kMultiWriter, core::ClientTrust::kByzantine};
+}
+
+core::GroupPolicy honest_policy() {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kCC,
+                           core::SharingMode::kMultiWriter, core::ClientTrust::kHonest};
+}
+
+void spurious_context_attack() {
+  std::printf("--- spurious-context DoS (n=4, b=1, 20 poisoned writes) ---\n");
+
+  testkit::ClusterOptions options;
+  options.n = 4;
+  options.b = 1;
+  testkit::Cluster cluster(options);
+  cluster.set_group_policy(byz_policy());
+
+  faults::MaliciousClient attacker(cluster.transport(), NodeId{2000}, ClientId{4},
+                                   cluster.client_keys(ClientId{4}), cluster.config(),
+                                   byz_policy());
+
+  // Interleave honest writes and poisoned writes.
+  core::SecureStoreClient::Options honest_options;
+  honest_options.policy = byz_policy();
+  honest_options.round_timeout = milliseconds(300);
+  auto writer = cluster.make_client(ClientId{1}, honest_options);
+  auto reader = cluster.make_client(ClientId{2}, honest_options);
+  core::SyncClient writer_sync(*writer, cluster.scheduler());
+  core::SyncClient reader_sync(*reader, cluster.scheduler());
+
+  int reads_ok = 0, reads_poisoned = 0;
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    (void)writer_sync.write(kPlan, to_bytes("honest v" + std::to_string(round)));
+    attacker.send_spurious_context_write(kPlan, to_bytes("poison"),
+                                         ItemId{900 + static_cast<std::uint64_t>(round)},
+                                         1'000'000'000 + round, /*fanout=*/4);
+    cluster.run_for(milliseconds(200));
+
+    const auto result = reader_sync.read_value(kPlan);
+    if (result.ok() && to_string(*result).rfind("honest", 0) == 0) ++reads_ok;
+    // Pollution check: did any phantom timestamp leak into the context?
+    for (int phantom = 0; phantom <= round; ++phantom) {
+      if (!reader->context().get(ItemId{900 + static_cast<std::uint64_t>(phantom)}).is_zero()) {
+        ++reads_poisoned;
+        break;
+      }
+    }
+  }
+
+  std::size_t held = 0;
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    held += cluster.server(s).held_writes();
+  }
+
+  std::printf("  honest reads returning honest data:  %d / %d\n", reads_ok, kRounds);
+  std::printf("  reads that polluted the context:     %d / %d\n", reads_poisoned, kRounds);
+  std::printf("  poisoned writes parked in hold queues: %zu (never reported)\n", held);
+  std::printf(
+      "  without the causal hold (analytic): every read after the first\n"
+      "  poisoned write would import a phantom timestamp and then fail to\n"
+      "  find data 'that new' — %d / %d reads lost, cascading via honest\n"
+      "  rewrites (the paper's 'easy denial of service attack').\n\n",
+      kRounds, kRounds);
+}
+
+void log_retention() {
+  std::printf("--- log retention: stability-certificate GC (n=4, b=1, 30 writes) ---\n");
+
+  auto run = [&](bool gc) {
+    testkit::ClusterOptions options;
+    options.n = 4;
+    options.b = 1;
+    testkit::Cluster cluster(options);
+    cluster.set_group_policy(byz_policy());
+
+    core::SecureStoreClient::Options client_options;
+    client_options.policy = byz_policy();
+    client_options.stability_gc = gc;
+    auto writer = cluster.make_client(ClientId{1}, client_options);
+    core::SyncClient sync(*writer, cluster.scheduler());
+
+    std::uint64_t messages = 0;
+    for (int i = 0; i < 30; ++i) {
+      const OpCost cost =
+          measure(cluster, [&] { return sync.write(kPlan, to_bytes("v" + std::to_string(i))).ok(); });
+      messages += cost.messages;
+      cluster.run_for(milliseconds(300));
+    }
+    cluster.run_for(seconds(2));
+
+    std::size_t log_entries = 0;
+    for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+      log_entries += cluster.server(s).store().total_log_entries();
+    }
+    return std::make_pair(log_entries, messages);
+  };
+
+  const auto [log_with_gc, msgs_with_gc] = run(true);
+  const auto [log_without_gc, msgs_without_gc] = run(false);
+  std::printf("  with GC:    total log entries across servers = %3zu, write msgs = %llu\n",
+              log_with_gc, static_cast<unsigned long long>(msgs_with_gc));
+  std::printf("  without GC: total log entries across servers = %3zu, write msgs = %llu\n",
+              log_without_gc, static_cast<unsigned long long>(msgs_without_gc));
+  std::printf(
+      "  GC cost: +n one-way stability notices per write; benefit: logs stay\n"
+      "  near-empty instead of capped only by the retention bound (§5.3: 'old\n"
+      "  values could be erased once a new value is available at 2b+1 servers').\n\n");
+}
+
+void quorum_growth() {
+  std::printf("--- honest (b+1) vs hardened (2b+1) multi-writer cost ---\n");
+  Table table({"b", "mode", "wr_msgs", "rd_msgs", "wr_ms", "rd_ms"});
+  table.print_header();
+
+  for (std::uint32_t b : {1u, 2u, 3u}) {
+    for (const bool hardened : {false, true}) {
+      testkit::ClusterOptions options;
+      options.n = 3 * b + 1;
+      options.b = b;
+      options.link = sim::wan_profile();
+      options.start_gossip = false;
+      testkit::Cluster cluster(options);
+      cluster.set_group_policy(hardened ? byz_policy() : honest_policy());
+
+      core::SecureStoreClient::Options client_options;
+      client_options.policy = hardened ? byz_policy() : honest_policy();
+      client_options.stability_gc = false;
+      client_options.round_timeout = seconds(2);
+      auto client = cluster.make_client(ClientId{1}, client_options);
+      core::SyncClient sync(*client, cluster.scheduler());
+
+      const OpCost write_cost =
+          measure(cluster, [&] { return sync.write(kPlan, to_bytes("v")).ok(); });
+      const OpCost read_cost = measure(cluster, [&] { return sync.read_value(kPlan).ok(); });
+
+      table.cell(static_cast<std::uint64_t>(b));
+      table.cell(std::string(hardened ? "2b+1" : "b+1"));
+      table.cell(write_cost.messages);
+      table.cell(read_cost.messages);
+      table.cell(to_milliseconds(write_cost.latency));
+      table.cell(to_milliseconds(read_cost.latency));
+      table.end_row();
+    }
+  }
+  std::printf(
+      "\n§6: 'the figures change from b+1 to 2b+1 for the malicious clients\n"
+      "case' — the hardening roughly doubles message cost but latency stays\n"
+      "one round trip (reads also wait for the slowest of a larger set).\n");
+}
+
+void run() {
+  print_title("E7: multi-writer protocol under malicious clients (§5.3)");
+  print_claim(
+      "causal holds neutralize the spurious-context DoS; logs stay bounded "
+      "via 2b+1 stability certificates; hardening costs b+1 -> 2b+1");
+  spurious_context_attack();
+  log_retention();
+  quorum_growth();
+}
+
+}  // namespace
+}  // namespace securestore::bench
+
+int main() {
+  securestore::bench::run();
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Interactive shell over a live (wall-clock, multi-threaded) secure store.
+//
+// Spins up n=4 servers tolerating b=1 Byzantine failure on the real-time
+// transport and gives you a prompt:
+//
+//   securestore> connect
+//   securestore> write 101 hello world
+//   securestore> read 101
+//   hello world   (ts=..., writer=C1)
+//   securestore> crash 0        # kill a server, keep working
+//   securestore> status
+//   securestore> disconnect
+//   securestore> quit
+//
+// Pipe a script in for non-interactive use:
+//   printf 'connect\nwrite 1 hi\nread 1\nquit\n' | ./secure_store_cli
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <sstream>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "net/thread_transport.h"
+
+using namespace securestore;
+
+namespace {
+
+constexpr GroupId kGroup{1};
+
+core::GroupPolicy policy() {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kMRC,
+                           core::SharingMode::kSingleWriter, core::ClientTrust::kHonest};
+}
+
+/// Posts an async op to the dispatch thread and waits for its result.
+template <typename R>
+R run_on_dispatcher(net::Transport& transport, std::function<void(std::function<void(R)>)> op) {
+  auto promise = std::make_shared<std::promise<R>>();
+  auto future = promise->get_future();
+  transport.schedule(0, [op = std::move(op), promise] {
+    op([promise](R r) { promise->set_value(std::move(r)); });
+  });
+  return future.get();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kN = 4, kB = 1;
+
+  net::ThreadTransport transport(
+      sim::NetworkModel(Rng(system_entropy_seed()),
+                        sim::LinkProfile{milliseconds(2), milliseconds(1), 0.0}));
+
+  core::StoreConfig config;
+  config.n = kN;
+  config.b = kB;
+  Rng rng(system_entropy_seed());
+  const crypto::KeyPair client_pair = crypto::KeyPair::generate(rng);
+  config.client_keys[1] = client_pair.public_key;
+  std::vector<crypto::KeyPair> server_pairs;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    config.servers.push_back(NodeId{i});
+    server_pairs.push_back(crypto::KeyPair::generate(rng));
+    config.server_keys[NodeId{i}] = server_pairs.back().public_key;
+  }
+
+  std::vector<std::unique_ptr<core::SecureStoreServer>> servers;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    core::SecureStoreServer::Options options;
+    options.gossip.period = milliseconds(200);
+    servers.push_back(std::make_unique<core::SecureStoreServer>(
+        transport, NodeId{i}, config, server_pairs[i], options, rng.fork()));
+    servers.back()->set_group_policy(policy());
+  }
+
+  core::SecureStoreClient::Options client_options;
+  client_options.policy = policy();
+  client_options.round_timeout = milliseconds(500);
+  core::SecureStoreClient client(transport, NodeId{1000}, ClientId{1}, client_pair, config,
+                                 client_options, rng.fork());
+
+  std::printf("secure store: %u servers, tolerating %u Byzantine fault(s). 'help' lists commands.\n",
+              kN, kB);
+
+  std::string line;
+  while (std::printf("securestore> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream input(line);
+    std::string command;
+    input >> command;
+    if (command.empty()) continue;
+
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "help") {
+      std::printf(
+          "  connect               acquire this principal's session context\n"
+          "  disconnect            store the context back\n"
+          "  write <item> <text>   signed write to b+1 servers\n"
+          "  read <item>           consistent, verified read\n"
+          "  crash <server>        partition a server away (0..%u)\n"
+          "  heal <server>         bring it back\n"
+          "  status                per-server item counts + client context\n"
+          "  quit\n",
+          kN - 1);
+    } else if (command == "connect") {
+      const VoidResult result = run_on_dispatcher<VoidResult>(
+          transport, [&](auto cb) { client.connect(kGroup, cb); });
+      if (result.ok()) {
+        std::printf("connected (%zu context entries)\n", client.context().size());
+      } else {
+        std::printf("failed: %s\n", error_name(result.error()));
+      }
+    } else if (command == "disconnect") {
+      const VoidResult result =
+          run_on_dispatcher<VoidResult>(transport, [&](auto cb) { client.disconnect(cb); });
+      std::printf(result.ok() ? "context stored\n" : "failed: %s\n",
+                  error_name(result.error()));
+    } else if (command == "write") {
+      std::uint64_t item = 0;
+      input >> item;
+      std::string text;
+      std::getline(input, text);
+      if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      const VoidResult result = run_on_dispatcher<VoidResult>(transport, [&](auto cb) {
+        client.write(ItemId{item}, to_bytes(text), cb);
+      });
+      if (result.ok()) {
+        std::printf("ok (ts=%llu)\n",
+                    static_cast<unsigned long long>(client.context().get(ItemId{item}).time));
+      } else {
+        std::printf("failed: %s\n", error_name(result.error()));
+      }
+    } else if (command == "read") {
+      std::uint64_t item = 0;
+      input >> item;
+      const auto result = run_on_dispatcher<Result<core::ReadOutput>>(
+          transport, [&](auto cb) { client.read(ItemId{item}, cb); });
+      if (result.ok()) {
+        std::printf("%s   (ts=%llu, writer=%s)\n", to_string(result->value).c_str(),
+                    static_cast<unsigned long long>(result->ts.time),
+                    to_string(result->writer).c_str());
+      } else {
+        std::printf("failed: %s\n", error_name(result.error()));
+      }
+    } else if (command == "crash" || command == "heal") {
+      std::uint32_t server = 0;
+      input >> server;
+      if (server >= kN) {
+        std::printf("no such server\n");
+        continue;
+      }
+      transport.schedule(0, [&transport, server, down = command == "crash"] {
+        transport.network().set_partitioned(NodeId{server}, down);
+      });
+      std::printf("%s S%u\n", command == "crash" ? "partitioned" : "healed", server);
+    } else if (command == "status") {
+      for (std::uint32_t i = 0; i < kN; ++i) {
+        std::printf("  S%u: %zu items, %zu log entries%s\n", i,
+                    servers[i]->store().item_count(),
+                    servers[i]->store().total_log_entries(),
+                    transport.network().is_partitioned(NodeId{i}) ? "  [DOWN]" : "");
+      }
+      std::printf("  context: %s\n", to_string(client.context()).c_str());
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+  }
+
+  transport.stop();
+  std::printf("bye\n");
+  return 0;
+}

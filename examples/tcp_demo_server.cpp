@@ -1,0 +1,86 @@
+// Multi-process demo, server side: hosts n=4 secure-store servers on real
+// TCP and writes a deployment file (listen port + the key directory +
+// client 1's key pair) that tcp_demo_client reads to join.
+//
+//   terminal 1:  ./tcp_demo_server /tmp/securestore.deployment
+//   terminal 2:  ./tcp_demo_client /tmp/securestore.deployment
+//
+// The server process runs until stdin closes (or ^C).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/server.h"
+#include "net/tcp_transport.h"
+
+using namespace securestore;
+
+namespace {
+
+constexpr GroupId kGroup{1};
+constexpr std::uint32_t kN = 4, kB = 1;
+
+core::GroupPolicy policy() {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kMRC,
+                           core::SharingMode::kSingleWriter, core::ClientTrust::kHonest};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string deployment_path =
+      argc > 1 ? argv[1] : "/tmp/securestore.deployment";
+
+  net::TcpTransport transport(0, {});
+
+  core::StoreConfig config;
+  config.n = kN;
+  config.b = kB;
+  Rng rng(system_entropy_seed());
+  const crypto::KeyPair client_pair = crypto::KeyPair::generate(rng);
+  config.client_keys[1] = client_pair.public_key;
+  std::vector<crypto::KeyPair> server_pairs;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    config.servers.push_back(NodeId{i});
+    server_pairs.push_back(crypto::KeyPair::generate(rng));
+    config.server_keys[NodeId{i}] = server_pairs.back().public_key;
+  }
+
+  std::vector<std::unique_ptr<core::SecureStoreServer>> servers;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    core::SecureStoreServer::Options options;
+    options.gossip.period = milliseconds(200);
+    servers.push_back(std::make_unique<core::SecureStoreServer>(
+        transport, NodeId{i}, config, server_pairs[i], options, rng.fork()));
+    servers.back()->set_group_policy(policy());
+  }
+
+  // Deployment file: one hex/decimal field per line.
+  {
+    std::ofstream out(deployment_path);
+    if (!out) {
+      std::printf("cannot write %s\n", deployment_path.c_str());
+      return 1;
+    }
+    out << transport.port() << "\n";
+    out << kN << " " << kB << "\n";
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      out << to_hex(config.server_keys[NodeId{i}]) << "\n";
+    }
+    out << to_hex(client_pair.public_key) << "\n";
+    out << to_hex(client_pair.seed) << "\n";
+  }
+
+  std::printf("secure store serving %u replicas on 127.0.0.1:%u\n", kN, transport.port());
+  std::printf("deployment file: %s\n", deployment_path.c_str());
+  std::printf("run: ./tcp_demo_client %s   (press Enter here to shut down)\n",
+              deployment_path.c_str());
+  std::fflush(stdout);
+
+  std::string line;
+  std::getline(std::cin, line);  // block until Enter / EOF
+
+  transport.stop();
+  std::printf("server shut down\n");
+  return 0;
+}

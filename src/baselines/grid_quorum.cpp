@@ -1,0 +1,81 @@
+#include "baselines/grid_quorum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace securestore::baselines {
+
+namespace {
+
+std::uint32_t integer_sqrt(std::uint32_t n) {
+  auto root = static_cast<std::uint32_t>(std::lround(std::sqrt(static_cast<double>(n))));
+  while (root * root > n) --root;
+  while ((root + 1) * (root + 1) <= n) ++root;
+  return root;
+}
+
+std::uint32_t ceil_sqrt(std::uint32_t n) {
+  const std::uint32_t floor_root = integer_sqrt(n);
+  return floor_root * floor_root == n ? floor_root : floor_root + 1;
+}
+
+/// Chooses `count` distinct values in [0, bound).
+std::vector<std::uint32_t> sample_distinct(std::uint32_t count, std::uint32_t bound, Rng& rng) {
+  std::vector<std::uint32_t> all(bound);
+  for (std::uint32_t i = 0; i < bound; ++i) all[i] = i;
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng.next_below(i)]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace
+
+bool MGrid::valid_parameters(std::uint32_t n, std::uint32_t b) {
+  if (n == 0) return false;
+  const std::uint32_t k = integer_sqrt(n);
+  if (k * k != n) return false;
+  return ceil_sqrt(2 * b + 1) <= k;
+}
+
+MGrid::MGrid(std::uint32_t n, std::uint32_t b) : n_(n), b_(b) {
+  if (!valid_parameters(n, b)) {
+    throw std::invalid_argument("MGrid: n must be a square with ceil(sqrt(2b+1)) <= sqrt(n)");
+  }
+  side_ = integer_sqrt(n_);
+  r_ = ceil_sqrt(2 * b_ + 1);
+}
+
+std::size_t MGrid::quorum_size() const {
+  // r rows + r columns overlap in exactly r^2 cells.
+  return static_cast<std::size_t>(2 * r_ * side_) - static_cast<std::size_t>(r_) * r_;
+}
+
+std::vector<NodeId> MGrid::quorum_from(const std::vector<std::uint32_t>& rows,
+                                       const std::vector<std::uint32_t>& cols) const {
+  if (rows.size() != r_ || cols.size() != r_) {
+    throw std::invalid_argument("MGrid::quorum_from: need exactly r rows and r columns");
+  }
+  std::set<std::uint32_t> members;
+  for (const std::uint32_t row : rows) {
+    if (row >= side_) throw std::invalid_argument("MGrid: row out of range");
+    for (std::uint32_t col = 0; col < side_; ++col) members.insert(row * side_ + col);
+  }
+  for (const std::uint32_t col : cols) {
+    if (col >= side_) throw std::invalid_argument("MGrid: column out of range");
+    for (std::uint32_t row = 0; row < side_; ++row) members.insert(row * side_ + col);
+  }
+  std::vector<NodeId> quorum;
+  quorum.reserve(members.size());
+  for (const std::uint32_t member : members) quorum.push_back(NodeId{member});
+  return quorum;
+}
+
+std::vector<NodeId> MGrid::random_quorum(Rng& rng) const {
+  return quorum_from(sample_distinct(r_, side_, rng), sample_distinct(r_, side_, rng));
+}
+
+}  // namespace securestore::baselines

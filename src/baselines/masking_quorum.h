@@ -1,0 +1,93 @@
+// Baseline B1: Byzantine masking-quorum replicated store
+// (Malkhi–Reiter STOC'97 masking quorums; the Phalanx/Fleet design the
+// paper compares against in §3/§6).
+//
+// Strong consistency (safe-variable semantics) at the price of large
+// quorums: every read AND write contacts q = ⌈(n+2b+1)/2⌉ servers, any two
+// quorums intersect in >= 2b+1 servers, and a read accepts only a value
+// returned identically by >= b+1 servers (masking the b possible liars).
+// Writes are two-phase: a timestamp query round then a store round.
+//
+// Signatures: like the secure store, writes are signed and each contacted
+// server verifies — this is what makes the §6 comparison apples-to-apples
+// ("the computational overheads of strong consistency quorums include
+// signature verifications that are proportional to the size of the
+// quorums").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/config.h"
+#include "crypto/keys.h"
+#include "net/quorum.h"
+#include "net/rpc.h"
+#include "util/result.h"
+
+namespace securestore::baselines {
+
+/// What a masking-quorum server stores per item.
+struct MqEntry {
+  std::uint64_t ts = 0;
+  ClientId writer{};
+  Bytes value;
+  Bytes signature;  // writer's signature over (item, ts, writer, value)
+
+  Bytes signed_payload(ItemId item) const;
+};
+
+class MqServer {
+ public:
+  MqServer(net::Transport& transport, NodeId id, core::StoreConfig config);
+
+  NodeId id() const { return node_.id(); }
+  const MqEntry* current(ItemId item) const;
+
+ private:
+  std::optional<std::pair<net::MsgType, Bytes>> handle(NodeId from, net::MsgType type,
+                                                       BytesView body);
+
+  net::RpcNode node_;
+  core::StoreConfig config_;
+  std::map<ItemId, MqEntry> items_;
+};
+
+class MqClient {
+ public:
+  struct Options {
+    SimDuration round_timeout = seconds(1);
+  };
+
+  MqClient(net::Transport& transport, NodeId network_id, ClientId client_id,
+           crypto::KeyPair keys, core::StoreConfig config, Options options, Rng rng);
+
+  using VoidCb = std::function<void(VoidResult)>;
+  using ReadCb = std::function<void(Result<Bytes>)>;
+
+  /// Two-phase write: timestamp query at q servers, then store at q servers.
+  void write(ItemId item, BytesView value, VoidCb done);
+
+  /// Read at q servers; accept the highest-timestamp value that >= b+1
+  /// servers agree on.
+  void read(ItemId item, ReadCb done);
+
+  std::uint32_t quorum() const { return config_.masking_quorum(); }
+
+  /// Test hook: fixes which servers make up the quorum (defaults to a
+  /// seeded shuffle). Note the baseline has no escalation/retry logic —
+  /// that is a secure-store feature.
+  void set_server_preference(std::vector<NodeId> order) { server_order_ = std::move(order); }
+
+ private:
+  std::vector<NodeId> pick_servers(std::size_t count) const;
+
+  net::RpcNode node_;
+  ClientId client_id_;
+  crypto::KeyPair keys_;
+  core::StoreConfig config_;
+  Options options_;
+  std::vector<NodeId> server_order_;
+};
+
+}  // namespace securestore::baselines

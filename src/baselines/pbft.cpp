@@ -1,0 +1,331 @@
+#include "baselines/pbft.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "util/serial.h"
+
+namespace securestore::baselines {
+
+// ---------------------------------------------------------------------------
+// Config / op encoding
+// ---------------------------------------------------------------------------
+
+Bytes PbftConfig::pair_key(NodeId a, NodeId b) const {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  Writer info;
+  info.str("pbft.pairkey.v1");
+  info.u32(lo.value);
+  info.u32(hi.value);
+  return crypto::hkdf_sha256(session_master, /*salt=*/{}, info.data(), 32);
+}
+
+void PbftConfig::validate() const {
+  if (replicas.size() != 3 * static_cast<std::size_t>(f) + 1) {
+    throw std::invalid_argument("PbftConfig: need n == 3f+1 replicas");
+  }
+  if (session_master.empty()) {
+    throw std::invalid_argument("PbftConfig: session_master required");
+  }
+}
+
+Bytes PbftOp::serialize() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(item.value);
+  w.bytes(value);
+  return w.take();
+}
+
+PbftOp PbftOp::deserialize(BytesView data) {
+  Reader r(data);
+  PbftOp op;
+  op.kind = static_cast<Kind>(r.u8());
+  op.item = ItemId{r.u64()};
+  op.value = r.bytes();
+  r.expect_end();
+  return op;
+}
+
+namespace {
+
+// Wire helpers. Every replica-to-replica message is payload || mac where
+// the MAC covers the payload under the (sender, receiver) pair key.
+
+Bytes request_payload(std::uint64_t request_id, NodeId client_node, const PbftOp& op) {
+  Writer w;
+  w.u64(request_id);
+  w.u32(client_node.value);
+  w.bytes(op.serialize());
+  return w.take();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------------
+
+PbftReplica::PbftReplica(net::Transport& transport, NodeId id, PbftConfig config)
+    : node_(transport, id), config_(std::move(config)) {
+  config_.validate();
+  node_.set_oneway_handler([this](NodeId from, net::MsgType type, BytesView body) {
+    handle(from, type, body);
+  });
+}
+
+Bytes PbftReplica::mac_for(NodeId peer, BytesView payload) const {
+  return crypto::meter_mac(config_.pair_key(node_.id(), peer), payload);
+}
+
+bool PbftReplica::check_mac(NodeId peer, BytesView payload, BytesView mac) const {
+  const Bytes expected = crypto::meter_mac(config_.pair_key(node_.id(), peer), payload);
+  return constant_time_equal(expected, mac);
+}
+
+void PbftReplica::multicast(net::MsgType type, const Bytes& payload) {
+  for (const NodeId replica : config_.replicas) {
+    if (replica == node_.id()) continue;
+    Writer w;
+    w.bytes(payload);
+    w.bytes(mac_for(replica, payload));
+    node_.send_oneway(replica, type, w.take());
+  }
+}
+
+void PbftReplica::handle(NodeId from, net::MsgType type, BytesView body) {
+  try {
+    switch (type) {
+      case net::MsgType::kPbftRequest: on_request(from, body); break;
+      case net::MsgType::kPbftPrePrepare: on_pre_prepare(from, body); break;
+      case net::MsgType::kPbftPrepare: on_prepare(from, body); break;
+      case net::MsgType::kPbftCommit: on_commit(from, body); break;
+      default: break;
+    }
+  } catch (const DecodeError&) {
+    // malformed: drop
+  }
+}
+
+void PbftReplica::on_request(NodeId from, BytesView body) {
+  if (!is_primary()) return;  // no view changes: clients talk to replica 0
+
+  Reader r(body);
+  const Bytes payload = r.bytes();
+  const Bytes mac = r.bytes();
+  r.expect_end();
+  if (!check_mac(from, payload, mac)) return;
+
+  const std::uint64_t seq = next_sequence_++;
+  Slot& slot = log_[seq];
+  slot.request = payload;
+  slot.digest = crypto::meter_digest(payload);
+  slot.pre_prepared = true;
+  slot.sent_prepare = true;  // the pre-prepare doubles as the primary's prepare
+
+  Writer pp;
+  pp.u64(seq);
+  pp.bytes(payload);
+  multicast(net::MsgType::kPbftPrePrepare, pp.take());
+  maybe_send_commit(seq);
+}
+
+void PbftReplica::on_pre_prepare(NodeId from, BytesView body) {
+  if (from != config_.primary()) return;
+
+  Reader outer(body);
+  const Bytes payload = outer.bytes();
+  const Bytes mac = outer.bytes();
+  outer.expect_end();
+  if (!check_mac(from, payload, mac)) return;
+
+  Reader r(payload);
+  const std::uint64_t seq = r.u64();
+  const Bytes request = r.bytes();
+  r.expect_end();
+
+  Slot& slot = log_[seq];
+  if (slot.pre_prepared) return;  // duplicate
+  slot.request = request;
+  slot.digest = crypto::meter_digest(request);
+  slot.pre_prepared = true;
+  slot.prepares.push_back(from);  // the primary's pre-prepare counts as its prepare
+
+  if (!slot.sent_prepare) {
+    slot.sent_prepare = true;
+    Writer p;
+    p.u64(seq);
+    p.bytes(slot.digest);
+    multicast(net::MsgType::kPbftPrepare, p.take());
+  }
+  maybe_send_commit(seq);
+}
+
+void PbftReplica::on_prepare(NodeId from, BytesView body) {
+  Reader outer(body);
+  const Bytes payload = outer.bytes();
+  const Bytes mac = outer.bytes();
+  outer.expect_end();
+  if (!check_mac(from, payload, mac)) return;
+
+  Reader r(payload);
+  const std::uint64_t seq = r.u64();
+  const Bytes digest = r.bytes();
+  r.expect_end();
+
+  Slot& slot = log_[seq];
+  if (slot.pre_prepared && digest != slot.digest) return;  // mismatched digest
+  if (std::find(slot.prepares.begin(), slot.prepares.end(), from) == slot.prepares.end()) {
+    slot.prepares.push_back(from);
+  }
+  maybe_send_commit(seq);
+}
+
+void PbftReplica::maybe_send_commit(std::uint64_t seq) {
+  Slot& slot = log_[seq];
+  if (!slot.pre_prepared || slot.sent_commit) return;
+
+  // prepared(): pre-prepare + 2f prepares from distinct replicas (own
+  // implicit prepare counts via sent_prepare).
+  const std::size_t own = slot.sent_prepare ? 1 : 0;
+  if (slot.prepares.size() + own < 2 * config_.f + 1) return;
+
+  slot.sent_commit = true;
+  slot.commits.push_back(node_.id());
+  Writer c;
+  c.u64(seq);
+  c.bytes(slot.digest);
+  multicast(net::MsgType::kPbftCommit, c.take());
+  maybe_execute();
+}
+
+void PbftReplica::on_commit(NodeId from, BytesView body) {
+  Reader outer(body);
+  const Bytes payload = outer.bytes();
+  const Bytes mac = outer.bytes();
+  outer.expect_end();
+  if (!check_mac(from, payload, mac)) return;
+
+  Reader r(payload);
+  const std::uint64_t seq = r.u64();
+  const Bytes digest = r.bytes();
+  r.expect_end();
+
+  Slot& slot = log_[seq];
+  if (slot.pre_prepared && digest != slot.digest) return;
+  if (std::find(slot.commits.begin(), slot.commits.end(), from) == slot.commits.end()) {
+    slot.commits.push_back(from);
+  }
+  maybe_send_commit(seq);
+  maybe_execute();
+}
+
+void PbftReplica::maybe_execute() {
+  // Execute strictly in sequence order once committed (2f+1 commits).
+  while (true) {
+    const auto it = log_.find(next_execute_);
+    if (it == log_.end()) return;
+    Slot& slot = it->second;
+    if (!slot.pre_prepared || slot.executed) return;
+    if (slot.commits.size() < 2 * config_.f + 1) return;
+    execute_slot(next_execute_);
+    slot.executed = true;
+    ++next_execute_;
+  }
+}
+
+void PbftReplica::execute_slot(std::uint64_t seq) {
+  Slot& slot = log_[seq];
+  Reader r(slot.request);
+  const std::uint64_t request_id = r.u64();
+  const NodeId client_node{r.u32()};
+  const PbftOp op = PbftOp::deserialize(r.bytes());
+  r.expect_end();
+
+  Bytes result;
+  switch (op.kind) {
+    case PbftOp::Kind::kPut:
+      state_[op.item] = op.value;
+      result = to_bytes("ok");
+      break;
+    case PbftOp::Kind::kGet: {
+      const auto it = state_.find(op.item);
+      result = it != state_.end() ? it->second : Bytes{};
+      break;
+    }
+  }
+
+  Writer reply;
+  reply.u64(request_id);
+  reply.bytes(result);
+  const Bytes payload = reply.take();
+  Writer w;
+  w.bytes(payload);
+  w.bytes(mac_for(client_node, payload));
+  node_.send_oneway(client_node, net::MsgType::kPbftReply, w.take());
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+PbftClient::PbftClient(net::Transport& transport, NodeId network_id, PbftConfig config)
+    : node_(transport, network_id), config_(std::move(config)) {
+  config_.validate();
+  node_.set_oneway_handler([this](NodeId from, net::MsgType type, BytesView body) {
+    if (type == net::MsgType::kPbftReply) on_reply(from, body);
+  });
+}
+
+void PbftClient::execute(const PbftOp& op, ResultCb done) {
+  const std::uint64_t request_id = next_request_++;
+  pending_[request_id].done = std::move(done);
+
+  const Bytes payload = request_payload(request_id, node_.id(), op);
+  Writer w;
+  w.bytes(payload);
+  w.bytes(crypto::meter_mac(config_.pair_key(node_.id(), config_.primary()), payload));
+  node_.send_oneway(config_.primary(), net::MsgType::kPbftRequest, w.take());
+
+  node_.transport().schedule(config_.client_timeout, [this, request_id] {
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end() || it->second.finished) return;
+    ResultCb cb = std::move(it->second.done);
+    pending_.erase(it);
+    cb(Result<Bytes>(Error::kTimeout, "pbft: no f+1 matching replies"));
+  });
+}
+
+void PbftClient::on_reply(NodeId from, BytesView body) {
+  try {
+    Reader outer(body);
+    const Bytes payload = outer.bytes();
+    const Bytes mac = outer.bytes();
+    outer.expect_end();
+    const Bytes expected = crypto::meter_mac(config_.pair_key(node_.id(), from), payload);
+    if (!constant_time_equal(expected, mac)) return;
+
+    Reader r(payload);
+    const std::uint64_t request_id = r.u64();
+    const Bytes result = r.bytes();
+    r.expect_end();
+
+    const auto it = pending_.find(request_id);
+    if (it == pending_.end() || it->second.finished) return;
+
+    auto& votes = it->second.votes[result];
+    if (std::find(votes.begin(), votes.end(), from) == votes.end()) votes.push_back(from);
+    if (votes.size() >= config_.f + 1) {
+      it->second.finished = true;
+      ResultCb cb = std::move(it->second.done);
+      Bytes value = result;
+      pending_.erase(it);
+      cb(Result<Bytes>(std::move(value)));
+    }
+  } catch (const DecodeError&) {
+  }
+}
+
+}  // namespace securestore::baselines

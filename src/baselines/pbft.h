@@ -1,0 +1,125 @@
+// Baseline B2: PBFT-lite state-machine replication (Castro–Liskov OSDI'99
+// style), the paper's second comparison point (§3/§6).
+//
+// n = 3f+1 replicas execute every request in the same order through the
+// three-phase pre-prepare / prepare / commit protocol; a client accepts a
+// result once f+1 replicas report it. Replica-to-replica traffic is
+// authenticated with pairwise HMAC authenticators rather than signatures —
+// the computational saving §6 credits this approach — at the price of the
+// O(n^2) message complexity §6 holds against it in wide-area settings.
+//
+// Deliberate simplifications (documented for the benches): a fixed primary
+// (view changes are out of scope — no primary failures are injected in the
+// comparison experiments), no checkpointing/garbage collection, and
+// batching disabled. None of these affect the per-operation message or MAC
+// counts that the experiments measure.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/rpc.h"
+#include "util/result.h"
+
+namespace securestore::baselines {
+
+struct PbftConfig {
+  std::uint32_t f = 1;               // tolerated faults; n = 3f+1
+  std::vector<NodeId> replicas;      // replicas[0] is the primary
+  Bytes session_master;              // pairwise MAC keys derive from this
+  SimDuration client_timeout = seconds(5);
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(replicas.size()); }
+  NodeId primary() const { return replicas.front(); }
+
+  /// The symmetric key replica/client pair (a, b) share, derived from the
+  /// session master (models pre-established session keys).
+  Bytes pair_key(NodeId a, NodeId b) const;
+
+  void validate() const;
+};
+
+/// A replicated operation: put stores bytes under an item, get fetches them.
+struct PbftOp {
+  enum class Kind : std::uint8_t { kPut = 0, kGet = 1 };
+  Kind kind = Kind::kGet;
+  ItemId item{};
+  Bytes value;  // put only
+
+  Bytes serialize() const;
+  static PbftOp deserialize(BytesView data);
+};
+
+class PbftReplica {
+ public:
+  PbftReplica(net::Transport& transport, NodeId id, PbftConfig config);
+
+  NodeId id() const { return node_.id(); }
+  bool is_primary() const { return node_.id() == config_.primary(); }
+  std::uint64_t executed_count() const { return next_execute_ - 1; }
+
+  /// Test hook: the replica's state machine contents.
+  const std::map<ItemId, Bytes>& state() const { return state_; }
+
+ private:
+  struct Slot {
+    Bytes request;           // full client request (op + metadata)
+    Bytes digest;            // d(request)
+    std::vector<NodeId> prepares;
+    std::vector<NodeId> commits;
+    bool pre_prepared = false;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool executed = false;
+  };
+
+  void handle(NodeId from, net::MsgType type, BytesView body);
+  void on_request(NodeId from, BytesView body);
+  void on_pre_prepare(NodeId from, BytesView body);
+  void on_prepare(NodeId from, BytesView body);
+  void on_commit(NodeId from, BytesView body);
+  void maybe_send_commit(std::uint64_t seq);
+  void maybe_execute();
+  void execute_slot(std::uint64_t seq);
+
+  Bytes mac_for(NodeId peer, BytesView payload) const;
+  bool check_mac(NodeId peer, BytesView payload, BytesView mac) const;
+  void multicast(net::MsgType type, const Bytes& payload_sans_mac);
+
+  net::RpcNode node_;
+  PbftConfig config_;
+  std::map<std::uint64_t, Slot> log_;
+  std::uint64_t next_sequence_ = 1;  // primary only
+  std::uint64_t next_execute_ = 1;
+  std::map<ItemId, Bytes> state_;
+};
+
+class PbftClient {
+ public:
+  PbftClient(net::Transport& transport, NodeId network_id, PbftConfig config);
+
+  using ResultCb = std::function<void(Result<Bytes>)>;
+
+  /// Executes an operation through the replicated state machine; completes
+  /// once f+1 replicas report the same result.
+  void execute(const PbftOp& op, ResultCb done);
+
+ private:
+  void on_reply(NodeId from, BytesView body);
+
+  net::RpcNode node_;
+  PbftConfig config_;
+  std::uint64_t next_request_ = 1;
+
+  struct Pending {
+    std::map<Bytes, std::vector<NodeId>> votes;  // result -> replicas
+    ResultCb done;
+    bool finished = false;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace securestore::baselines

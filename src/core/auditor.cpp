@@ -1,0 +1,53 @@
+#include "core/auditor.h"
+
+namespace securestore::core {
+
+Auditor::Auditor(net::Transport& transport, NodeId network_id, StoreConfig config,
+                 Options options)
+    : node_(transport, network_id), config_(std::move(config)), options_(options) {
+  config_.validate();
+}
+
+void Auditor::run(ReportCb done) {
+  struct Collected {
+    std::vector<std::pair<NodeId, storage::AuditLog>> logs;
+    std::vector<NodeId> garbled;  // responded, but not with a parseable log
+  };
+  auto state = std::make_shared<Collected>();
+  const std::size_t needed = config_.n - config_.b;
+
+  net::QuorumCall::start(
+      node_, config_.servers, net::MsgType::kAuditRead, /*body=*/{},
+      [state](NodeId from, net::MsgType /*type*/, BytesView body) {
+        try {
+          state->logs.emplace_back(from, storage::AuditLog::deserialize(body));
+        } catch (const DecodeError&) {
+          state->garbled.push_back(from);
+        }
+        return false;  // hear from everyone
+      },
+      [state, needed, options = options_, done](net::QuorumOutcome /*outcome*/,
+                                                std::size_t replies) {
+        if (replies < needed) {
+          done(Result<Auditor::Report>(Error::kInsufficientQuorum,
+                                       "audit needs n-b responding servers"));
+          return;
+        }
+        std::vector<std::pair<NodeId, const storage::AuditLog*>> views;
+        views.reserve(state->logs.size());
+        for (const auto& [server, log] : state->logs) views.emplace_back(server, &log);
+
+        Auditor::Report report;
+        report.logs_collected = state->logs.size();
+        report.findings = storage::cross_audit(views, options.tolerate_tail);
+        for (const NodeId server : state->garbled) {
+          report.findings.push_back(storage::AuditFinding{
+              storage::AuditFinding::Kind::kBrokenChain, server, {},
+              "unparseable audit log"});
+        }
+        done(Result<Auditor::Report>(std::move(report)));
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+}  // namespace securestore::core

@@ -1,0 +1,52 @@
+// The auditing client (§3's Bayou-follow-up defense, operationalized).
+//
+// An auditor — any party with read access, e.g. an administrator cron job —
+// periodically fetches every server's hash-chained audit log (kAuditRead)
+// and checks (1) each chain verifies, i.e. no server rewrote its own
+// history, and (2) no server is suppressing writes its peers recorded long
+// enough ago for dissemination to have delivered. Findings identify the
+// misbehaving server, turning silent denial-of-service into attributable
+// evidence (exactly what the paper's passive-server design cannot do on the
+// fast path).
+#pragma once
+
+#include <functional>
+
+#include "core/config.h"
+#include "net/quorum.h"
+#include "net/rpc.h"
+#include "storage/audit_log.h"
+#include "util/result.h"
+
+namespace securestore::core {
+
+class Auditor {
+ public:
+  struct Options {
+    SimDuration round_timeout = seconds(2);
+    /// Newest entries per log to exempt from the suppression check
+    /// (dissemination lag is not suppression).
+    std::size_t tolerate_tail = 4;
+  };
+
+  Auditor(net::Transport& transport, NodeId network_id, StoreConfig config,
+          Options options);
+
+  struct Report {
+    /// Servers that responded with a parseable log.
+    std::size_t logs_collected = 0;
+    std::vector<storage::AuditFinding> findings;
+  };
+  using ReportCb = std::function<void(Result<Report>)>;
+
+  /// Fetches all logs and cross-audits them. Fails only if fewer than n-b
+  /// servers produced a log at all.
+  void run(ReportCb done);
+
+ private:
+  net::RpcNode node_;
+  StoreConfig config_;
+  Options options_;
+};
+
+}  // namespace securestore::core

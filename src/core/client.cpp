@@ -1,0 +1,797 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <map>
+
+namespace securestore::core {
+
+namespace {
+
+/// Sort helper: newest timestamp first.
+bool newer(const WriteRecord& a, const WriteRecord& b) { return b.ts < a.ts; }
+
+}  // namespace
+
+SecureStoreClient::SecureStoreClient(net::Transport& transport, NodeId network_id,
+                                     ClientId client_id, crypto::KeyPair keys,
+                                     StoreConfig config, Options options, Rng rng)
+    : node_(transport, network_id),
+      client_id_(client_id),
+      keys_(std::move(keys)),
+      config_(std::move(config)),
+      options_(std::move(options)),
+      rng_(std::move(rng)) {
+  config_.validate();
+  if (!options_.codec) options_.codec = std::make_shared<PlainValueCodec>();
+  if (options_.dynamic_quorums.has_value()) {
+    FaultEstimator::Config estimator_config = *options_.dynamic_quorums;
+    estimator_config.b_max = std::min(estimator_config.b_max, config_.b);
+    estimator_.emplace(estimator_config);
+  }
+
+  // Default server preference: a seeded shuffle, so different clients load
+  // different b+1 subsets.
+  server_order_ = config_.servers;
+  for (std::size_t i = server_order_.size(); i > 1; --i) {
+    std::swap(server_order_[i - 1], server_order_[rng_.next_below(i)]);
+  }
+}
+
+void SecureStoreClient::set_server_preference(std::vector<NodeId> order) {
+  server_order_ = std::move(order);
+}
+
+void SecureStoreClient::set_codec(std::shared_ptr<ValueCodec> codec) {
+  options_.codec = codec ? std::move(codec) : std::make_shared<PlainValueCodec>();
+}
+
+std::vector<NodeId> SecureStoreClient::pick_servers(std::size_t count, std::size_t skip) const {
+  // Preference order, with servers the estimator distrusts demoted to the
+  // back — they still serve as escalation fallbacks, never first choices.
+  std::vector<NodeId> ordered;
+  ordered.reserve(server_order_.size());
+  for (const NodeId server : server_order_) {
+    if (estimator_.has_value() && estimator_->is_distrusted(server)) continue;
+    ordered.push_back(server);
+  }
+  if (estimator_.has_value()) {
+    for (const NodeId server : server_order_) {
+      if (estimator_->is_distrusted(server)) ordered.push_back(server);
+    }
+  }
+
+  std::vector<NodeId> out;
+  for (std::size_t i = skip; i < ordered.size() && out.size() < count; ++i) {
+    out.push_back(ordered[i]);
+  }
+  return out;
+}
+
+std::uint32_t SecureStoreClient::effective_b() const {
+  return estimator_.has_value() ? estimator_->estimated_b() : config_.b;
+}
+
+void SecureStoreClient::note_responded(NodeId server) {
+  if (estimator_.has_value()) estimator_->report_good_interaction(server);
+}
+
+void SecureStoreClient::note_silent(const std::vector<NodeId>& targets,
+                                    const std::vector<NodeId>& responders) {
+  if (!estimator_.has_value()) return;
+  for (const NodeId target : targets) {
+    if (std::find(responders.begin(), responders.end(), target) == responders.end()) {
+      estimator_->report_soft_evidence(target);
+    }
+  }
+}
+
+void SecureStoreClient::note_forgery(NodeId server) {
+  if (estimator_.has_value()) estimator_->report_hard_evidence(server);
+}
+
+const Bytes* SecureStoreClient::writer_key(ClientId writer) const {
+  const auto it = config_.client_keys.find(writer.value);
+  return it != config_.client_keys.end() ? &it->second : nullptr;
+}
+
+std::size_t SecureStoreClient::write_set_size() const {
+  const bool hardened = options_.policy.sharing == SharingMode::kMultiWriter &&
+                        options_.policy.trust == ClientTrust::kByzantine;
+  // Dynamic sizing applies only to the honest-client paths, where safety
+  // rests on signatures and a too-small set risks only liveness (fixed by
+  // escalation). The hardened §5.3 quorums and the b+1 agreement threshold
+  // are load-bearing for safety and always use the static bound.
+  if (hardened) return config_.data_quorum_byzantine();
+  return effective_b() + 1;
+}
+
+// ---------------------------------------------------------------------------
+// P1: context acquisition (Fig. 1).
+// ---------------------------------------------------------------------------
+
+void SecureStoreClient::connect(GroupId group, VoidCb done) {
+  connect_attempt(group, /*round=*/0, std::move(done));
+}
+
+void SecureStoreClient::connect_attempt(GroupId group, unsigned round, VoidCb done) {
+  const std::size_t quorum = config_.context_quorum();
+  const std::size_t target_count =
+      std::min<std::size_t>(config_.n, quorum + round * config_.read_escalation_step);
+
+  ContextReadReq req;
+  req.owner = client_id_;
+  req.group = group;
+  const Bytes body = req.serialize();
+
+  // Candidates are collected UNVERIFIED and checked lazily, newest first,
+  // so the best case costs exactly one signature verification (§6: "in the
+  // best case, context acquisition requires just one signature
+  // verification").
+  auto candidates = std::make_shared<std::vector<StoredContext>>();
+  auto replies = std::make_shared<std::size_t>(0);
+
+  net::QuorumCall::start(
+      node_, pick_servers(target_count), net::MsgType::kContextRead, body,
+      [this, candidates, replies, group, quorum](NodeId /*from*/, net::MsgType /*type*/,
+                                                 BytesView resp_body) {
+        ++*replies;
+        try {
+          ContextReadResp resp = ContextReadResp::deserialize(resp_body);
+          if (resp.stored.has_value() && resp.stored->owner == client_id_ &&
+              resp.stored->context.group() == group) {
+            const bool duplicate = std::any_of(
+                candidates->begin(), candidates->end(),
+                [&](const StoredContext& c) { return c.context == resp.stored->context; });
+            if (!duplicate) candidates->push_back(std::move(*resp.stored));
+          }
+        } catch (const DecodeError&) {
+          // Faulty server sent garbage; still counts as a (useless) reply.
+        }
+        return *replies >= quorum;
+      },
+      [this, candidates, replies, group, quorum, round, done](net::QuorumOutcome outcome,
+                                                              std::size_t) {
+        if (*replies >= quorum) {
+          // One client's honest contexts are totally ordered by dominance,
+          // so the pointwise timestamp sum is a valid newest-first sort
+          // key; forged "newer" contexts fail verification and we fall
+          // through to the next candidate.
+          std::sort(candidates->begin(), candidates->end(),
+                    [](const StoredContext& a, const StoredContext& b) {
+                      auto weight = [](const StoredContext& c) {
+                        std::uint64_t sum = 0;
+                        for (const auto& [item, ts] : c.context.entries()) sum += ts.time;
+                        return sum;
+                      };
+                      return weight(a) > weight(b);
+                    });
+          context_ = Context(group);
+          for (const StoredContext& candidate : *candidates) {
+            if (candidate.verify(keys_.public_key)) {
+              context_ = candidate.context;
+              break;
+            }
+          }
+          connected_ = true;
+          done(VoidResult{});
+          return;
+        }
+        if (round + 1 < options_.max_read_rounds) {
+          connect_attempt(group, round + 1, done);
+          return;
+        }
+        done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
+                                                                : Error::kInsufficientQuorum,
+                        "context read quorum not reached"));
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+void SecureStoreClient::disconnect(VoidCb done) {
+  disconnect_attempt(/*round=*/0, std::move(done));
+}
+
+void SecureStoreClient::disconnect_attempt(unsigned round, VoidCb done) {
+  const std::size_t quorum = config_.context_quorum();
+  const std::size_t target_count =
+      std::min<std::size_t>(config_.n, quorum + round * config_.read_escalation_step);
+
+  StoredContext stored;
+  stored.owner = client_id_;
+  stored.context = context_;
+  stored.sign(keys_.seed);
+
+  ContextWriteReq req;
+  req.stored = std::move(stored);
+  const Bytes body = req.serialize();
+
+  auto acks = std::make_shared<std::size_t>(0);
+  net::QuorumCall::start(
+      node_, pick_servers(target_count), net::MsgType::kContextWrite, body,
+      [acks, quorum](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
+        try {
+          if (AckResp::deserialize(resp_body).ok) ++*acks;
+        } catch (const DecodeError&) {
+        }
+        return *acks >= quorum;
+      },
+      [this, acks, quorum, round, done](net::QuorumOutcome outcome, std::size_t) {
+        if (*acks >= quorum) {
+          connected_ = false;
+          done(VoidResult{});
+          return;
+        }
+        if (round + 1 < options_.max_read_rounds) {
+          disconnect_attempt(round + 1, done);
+          return;
+        }
+        done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
+                                                                : Error::kInsufficientQuorum,
+                        "context write quorum not reached"));
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+// ---------------------------------------------------------------------------
+// P2: context reconstruction (§5.1).
+// ---------------------------------------------------------------------------
+
+void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
+  // "These items must be read from all servers. Only the faulty servers may
+  // choose not to respond": require n-b responses.
+  const std::size_t needed = config_.n - config_.b;
+
+  ReconstructReq req;
+  req.group = group;
+  const Bytes body = req.serialize();
+
+  auto rebuilt = std::make_shared<Context>(group);
+  auto replies = std::make_shared<std::size_t>(0);
+
+  net::QuorumCall::start(
+      node_, config_.servers, net::MsgType::kReconstruct, body,
+      [this, rebuilt, replies, group](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
+        ++*replies;
+        try {
+          for (const WriteRecord& meta : ReconstructResp::deserialize(resp_body).metas) {
+            if (meta.group != group) continue;
+            const Bytes* key = writer_key(meta.writer);
+            // "the latest valid timestamp for each data item is used":
+            // validity = the writer's signature over the meta-data verifies.
+            if (key != nullptr && meta.verify_meta(*key)) {
+              rebuilt->advance(meta.item, meta.ts);
+            }
+          }
+        } catch (const DecodeError&) {
+        }
+        return false;  // hear from as many servers as possible
+      },
+      [this, rebuilt, replies, needed, done](net::QuorumOutcome outcome, std::size_t) {
+        if (*replies >= needed) {
+          context_ = *rebuilt;
+          connected_ = true;
+          done(VoidResult{});
+          return;
+        }
+        done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
+                                                                : Error::kInsufficientQuorum,
+                        "reconstruction needs n-b responses"));
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+void SecureStoreClient::list_group(GroupId group, ListCb done) {
+  const std::size_t needed = config_.n - config_.b;
+
+  ReconstructReq req;
+  req.group = group;
+  const Bytes body = req.serialize();
+
+  // item -> newest verified meta.
+  auto newest = std::make_shared<std::map<ItemId, WriteRecord>>();
+  auto replies = std::make_shared<std::size_t>(0);
+
+  net::QuorumCall::start(
+      node_, config_.servers, net::MsgType::kReconstruct, body,
+      [this, newest, replies, group](NodeId /*from*/, net::MsgType /*type*/,
+                                     BytesView resp_body) {
+        ++*replies;
+        try {
+          for (const WriteRecord& meta : ReconstructResp::deserialize(resp_body).metas) {
+            if (meta.group != group) continue;
+            const Bytes* key = writer_key(meta.writer);
+            if (key == nullptr || !meta.verify_meta(*key)) continue;
+            auto [it, inserted] = newest->try_emplace(meta.item, meta);
+            if (!inserted && it->second.ts < meta.ts) it->second = meta;
+          }
+        } catch (const DecodeError&) {
+        }
+        return false;
+      },
+      [newest, replies, needed, done](net::QuorumOutcome outcome, std::size_t) {
+        if (*replies < needed) {
+          done(Result<std::vector<GroupEntry>>(
+              outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
+                                                      : Error::kInsufficientQuorum,
+              "group listing needs n-b responses"));
+          return;
+        }
+        std::vector<GroupEntry> entries;
+        entries.reserve(newest->size());
+        for (const auto& [item, meta] : *newest) {
+          entries.push_back(GroupEntry{item, meta.ts, meta.writer});
+        }
+        done(Result<std::vector<GroupEntry>>(std::move(entries)));
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+// ---------------------------------------------------------------------------
+// Writes (Fig. 2 write, §5.3 hardened write).
+// ---------------------------------------------------------------------------
+
+Timestamp SecureStoreClient::next_timestamp(ItemId item, BytesView value_digest) {
+  Timestamp ts;
+  // "increment t_j in X_i to current clock value" — and never backwards.
+  const std::uint64_t previous = context_.get(item).time;
+  ts.time = std::max(previous + 1, static_cast<std::uint64_t>(node_.transport().now()));
+  if (options_.random_ts_increment) {
+    // §5.2: "the writer can increase it on each write by some random amount.
+    // That will ensure that others cannot guess how many times the data item
+    // has been updated."
+    ts.time += rng_.next_in_range(1, 1u << 20);
+  }
+  if (options_.policy.sharing == SharingMode::kMultiWriter) {
+    ts.writer = client_id_;
+    ts.digest = Bytes(value_digest.begin(), value_digest.end());
+  }
+  return ts;
+}
+
+void SecureStoreClient::write(ItemId item, BytesView value, VoidCb done) {
+  auto record = std::make_shared<WriteRecord>();
+  record->item = item;
+  record->group = options_.policy.group;
+  record->model = options_.policy.model;
+  record->writer = client_id_;
+  record->value = options_.codec->encode(item, value);
+
+  const Bytes digest = crypto::meter_digest(record->value);
+  record->ts = next_timestamp(item, digest);
+
+  if (options_.policy.model == ConsistencyModel::kCC) {
+    // The context written with the value includes the new self entry
+    // (Fig. 2: t_j is incremented before the write message is formed).
+    Context writer_context = context_;
+    writer_context.set(item, record->ts);
+    record->writer_context = std::move(writer_context);
+  } else {
+    record->writer_context = Context(options_.policy.group);
+  }
+
+  record->sign(keys_.seed);
+
+  auto shares = std::make_shared<std::vector<Bytes>>();
+  send_write(record, write_set_size(), /*round=*/0, shares, std::move(done));
+}
+
+void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
+                                   std::size_t target_count, unsigned round,
+                                   std::shared_ptr<std::vector<Bytes>> shares, VoidCb done) {
+  const std::size_t quorum = write_set_size();
+
+  WriteReq req;
+  req.record = *record;
+  req.token = options_.token;
+  const Bytes body = req.serialize();
+
+  auto acks = std::make_shared<std::size_t>(0);
+  net::QuorumCall::start(
+      node_, pick_servers(target_count), net::MsgType::kWrite, body,
+      [acks, shares, quorum](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
+        try {
+          const WriteResp resp = WriteResp::deserialize(resp_body);
+          if (resp.ok) {
+            ++*acks;
+            if (!resp.stability_share.empty()) shares->push_back(resp.stability_share);
+          }
+        } catch (const DecodeError&) {
+        }
+        return *acks >= quorum;
+      },
+      [this, record, target_count, round, shares, acks, quorum,
+       done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        if (*acks >= quorum) {
+          finish_write(*record, done);
+          if (options_.stability_gc && !shares->empty() &&
+              shares->size() >= config_.stability_threshold()) {
+            broadcast_stability(*record, *shares);
+          }
+          return;
+        }
+        // Not enough acks: escalate to a larger server set, Fig. 2's
+        // "contact additional servers".
+        if (round + 1 >= options_.max_read_rounds) {
+          done(VoidResult(Error::kTimeout, "write quorum not reached after escalation"));
+          return;
+        }
+        shares->clear();
+        const std::size_t next_targets =
+            std::min<std::size_t>(config_.n, target_count + config_.read_escalation_step);
+        send_write(record, next_targets, round + 1, shares, done);
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+void SecureStoreClient::finish_write(const WriteRecord& record, VoidCb done) {
+  context_.advance(record.item, record.ts);
+  done(VoidResult{});
+}
+
+void SecureStoreClient::broadcast_stability(const WriteRecord& record,
+                                            std::vector<Bytes> shares) {
+  // The ack order matched pick_servers(), so shares pair with those ids in
+  // order of arrival; re-derive signer ids by verification against the
+  // known server keys. (Cheap relative to the write itself and only on the
+  // §5.3 path.)
+  crypto::MultisigCertificate cert(stability_statement(record.item, record.ts));
+  for (const Bytes& share : shares) {
+    for (const auto& [server, key] : config_.server_keys) {
+      if (crypto::meter_verify(key, cert.statement(), share)) {
+        cert.add_share(server, share);
+        break;
+      }
+    }
+  }
+  if (cert.shares().size() < config_.stability_threshold()) return;
+
+  StabilityMsg msg;
+  msg.item = record.item;
+  msg.ts = record.ts;
+  msg.certificate = std::move(cert);
+  const Bytes body = msg.serialize();
+  for (const NodeId server : config_.servers) {
+    node_.send_oneway(server, net::MsgType::kStability, body);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reads.
+// ---------------------------------------------------------------------------
+
+void SecureStoreClient::read(ItemId item, ReadCb done) {
+  const bool hardened = options_.policy.sharing == SharingMode::kMultiWriter &&
+                        options_.policy.trust == ClientTrust::kByzantine;
+  if (hardened) {
+    read_multi_writer(item, /*round=*/0, std::move(done));
+  } else {
+    read_single_writer(item, /*round=*/0, std::move(done));
+  }
+}
+
+void SecureStoreClient::read_single_writer(ItemId item, unsigned round, ReadCb done) {
+  // Fig. 2 phase 1: "send (uid(x_j), t_j) to b+1 or more servers" — each
+  // escalation round widens the set.
+  const std::size_t target_count = std::min<std::size_t>(
+      config_.n, effective_b() + 1 + round * config_.read_escalation_step);
+
+  MetaReq req;
+  req.item = item;
+  req.requester = client_id_;
+  req.include_value = options_.inline_reads;
+  req.token = options_.token;
+  const Bytes body = req.serialize();
+
+  // Replies are collected UNVERIFIED here; signatures are checked lazily,
+  // best-candidate first, so the common case costs one verification —
+  // Fig. 2 verifies only the value it accepts. Senders ride along for the
+  // fault estimator's evidence feed.
+  struct Advertised {
+    WriteRecord record;
+    NodeId from;
+    bool value_included = false;
+  };
+  auto metas = std::make_shared<std::vector<Advertised>>();
+  auto responders = std::make_shared<std::vector<NodeId>>();
+  auto targets = std::make_shared<std::vector<NodeId>>(pick_servers(target_count));
+  net::QuorumCall::start(
+      node_, *targets, net::MsgType::kMetaRequest, body,
+      [this, metas, responders, item](NodeId from, net::MsgType /*type*/,
+                                      BytesView resp_body) {
+        responders->push_back(from);
+        note_responded(from);
+        try {
+          MetaResp resp = MetaResp::deserialize(resp_body);
+          if (resp.meta.has_value() && resp.meta->item == item &&
+              resp.meta->model == options_.policy.model &&
+              writer_key(resp.meta->writer) != nullptr) {
+            metas->push_back(Advertised{std::move(*resp.meta), from, resp.value_included});
+          }
+        } catch (const DecodeError&) {
+          // Channels are authenticated (§4), so a malformed reply is
+          // conclusive evidence of a faulty server.
+          note_forgery(from);
+        }
+        return false;  // collect every reply in the round: we want max t_r
+      },
+      [this, metas, responders, targets, item, round, done](net::QuorumOutcome /*outcome*/,
+                                                            std::size_t) {
+        note_silent(*targets, *responders);
+        // Multi-writer (honest) equivocation check. Unverified claims are
+        // not enough to condemn a writer — a malicious server could frame
+        // one — so an equivocating pair counts only if BOTH metas carry
+        // valid writer signatures.
+        for (std::size_t i = 0; i < metas->size(); ++i) {
+          for (std::size_t j = i + 1; j < metas->size(); ++j) {
+            const WriteRecord& a = (*metas)[i].record;
+            const WriteRecord& b = (*metas)[j].record;
+            if (!a.ts.equivocates(b.ts)) continue;
+            if (a.verify_meta(*writer_key(a.writer)) &&
+                b.verify_meta(*writer_key(b.writer))) {
+              done(Result<ReadOutput>(Error::kFaultyWriter,
+                                      "equivocating timestamps in meta replies"));
+              return;
+            }
+          }
+        }
+
+        // Fig. 2: t_r = highest timestamp among replies; proceed iff
+        // t_r >= t_j (the client's context entry). Dedup identical claims.
+        const Timestamp floor = context_.get(item);
+        std::vector<Advertised> candidates;
+        for (const Advertised& meta : *metas) {
+          if (meta.record.ts < floor) continue;
+          const bool duplicate =
+              std::any_of(candidates.begin(), candidates.end(), [&](const Advertised& c) {
+                return c.record.ts == meta.record.ts &&
+                       c.record.value_digest == meta.record.value_digest;
+              });
+          if (duplicate) continue;
+          candidates.push_back(meta);
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Advertised& a, const Advertised& b) {
+                    return newer(a.record, b.record);
+                  });
+
+        if (!candidates.empty()) {
+          if (options_.inline_reads) {
+            // Values rode along with the metas: verify best-first and
+            // accept the first that proves out.
+            for (const Advertised& candidate : candidates) {
+              if (candidate.value_included &&
+                  candidate.record.verify(*writer_key(candidate.record.writer))) {
+                if (options_.read_repair) {
+                  // Push the accepted record to responders that advertised
+                  // something older (or nothing).
+                  WriteReq repair;
+                  repair.record = candidate.record;
+                  repair.token = options_.token;
+                  const Bytes repair_body = repair.serialize();
+                  for (const NodeId responder : *responders) {
+                    const bool lagging = std::none_of(
+                        metas->begin(), metas->end(), [&](const Advertised& m) {
+                          return m.from == responder && !(m.record.ts < candidate.record.ts);
+                        });
+                    if (lagging) {
+                      node_.send_request(responder, net::MsgType::kWrite, repair_body,
+                                         [](NodeId, net::MsgType, BytesView) {});
+                    }
+                  }
+                }
+                accept_read(candidate.record, done);
+                return;
+              }
+              // A server advertising an unverifiable record is provably
+              // faulty (correct servers validate before storing).
+              note_forgery(candidate.from);
+            }
+            // Every advertised candidate was a lie: fall through to
+            // escalation below.
+          } else {
+            const std::size_t fetch_targets =
+                std::min<std::size_t>(config_.n, effective_b() + 1 +
+                                                     round * config_.read_escalation_step);
+            auto fetchable = std::make_shared<std::vector<WriteRecord>>();
+            for (Advertised& candidate : candidates) {
+              fetchable->push_back(std::move(candidate.record));
+            }
+            fetch_candidate(item, std::move(fetchable),
+                            std::make_shared<std::vector<NodeId>>(pick_servers(fetch_targets)),
+                            /*candidate_idx=*/0, /*server_idx=*/0, round, done);
+            return;
+          }
+        }
+
+        // Stale (or nothing at all): escalate or give up.
+        if (round + 1 < options_.max_read_rounds) {
+          read_single_writer(item, round + 1, done);
+          return;
+        }
+        done(Result<ReadOutput>(metas->empty() ? Error::kNotFound : Error::kStale,
+                                metas->empty() ? "no server returned the item"
+                                               : "all replies older than context"));
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+void SecureStoreClient::fetch_candidate(ItemId item,
+                                        std::shared_ptr<std::vector<WriteRecord>> candidates,
+                                        std::shared_ptr<std::vector<NodeId>> servers,
+                                        std::size_t candidate_idx, std::size_t server_idx,
+                                        unsigned round, ReadCb done) {
+  if (candidate_idx >= candidates->size()) {
+    // No candidate could be substantiated from this round's servers:
+    // escalate (Fig. 2: "contact additional servers or try later").
+    if (round + 1 < options_.max_read_rounds) {
+      read_single_writer(item, round + 1, done);
+    } else {
+      done(Result<ReadOutput>(Error::kStale, "no advertised value could be fetched"));
+    }
+    return;
+  }
+  if (server_idx >= servers->size()) {
+    fetch_candidate(item, candidates, servers, candidate_idx + 1, 0, round, done);
+    return;
+  }
+
+  const Timestamp target_ts = (*candidates)[candidate_idx].ts;
+
+  ReadReq req;
+  req.item = item;
+  req.ts = target_ts;
+  req.requester = client_id_;
+  req.token = options_.token;
+  const Bytes body = req.serialize();
+
+  auto accepted = std::make_shared<std::optional<WriteRecord>>();
+  net::QuorumCall::start(
+      node_, {(*servers)[server_idx]}, net::MsgType::kRead, body,
+      [this, accepted, item, target_ts](NodeId /*from*/, net::MsgType /*type*/,
+                                        BytesView resp_body) {
+        try {
+          ReadResp resp = ReadResp::deserialize(resp_body);
+          if (resp.record.has_value() && resp.record->item == item &&
+              resp.record->model == options_.policy.model &&
+              !(resp.record->ts < target_ts)) {
+            const Bytes* key = writer_key(resp.record->writer);
+            // Full verification: meta signature AND value matches d(v) —
+            // "accept v if the signature is valid" (Fig. 2).
+            if (key != nullptr && resp.record->verify(*key)) {
+              *accepted = std::move(*resp.record);
+            }
+          }
+        } catch (const DecodeError&) {
+        }
+        return true;  // single-server call: a reply ends it either way
+      },
+      [this, accepted, item, candidates, servers, candidate_idx, server_idx, round,
+       done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        if (accepted->has_value()) {
+          accept_read(**accepted, done);
+          return;
+        }
+        fetch_candidate(item, candidates, servers, candidate_idx, server_idx + 1, round, done);
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+void SecureStoreClient::accept_read(const WriteRecord& record, ReadCb done) {
+  const auto decoded = options_.codec->decode(record.item, record.value);
+  if (!decoded.has_value()) {
+    done(Result<ReadOutput>(Error::kBadSignature, "value failed authenticated decryption"));
+    return;
+  }
+
+  // Context evolution per Fig. 2: MRC advances only this item's entry; CC
+  // additionally absorbs X_writer so causally preceding writes become
+  // floors for future reads.
+  if (options_.policy.model == ConsistencyModel::kCC) {
+    context_.merge(record.writer_context);
+  }
+  context_.advance(record.item, record.ts);
+
+  ReadOutput output;
+  output.value = *decoded;
+  output.ts = record.ts;
+  output.writer = record.writer;
+  done(Result<ReadOutput>(std::move(output)));
+}
+
+// ---------------------------------------------------------------------------
+// §5.3 hardened multi-writer read: 2b+1 logs, accept the newest write that
+// appears in b+1 of them.
+// ---------------------------------------------------------------------------
+
+void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, ReadCb done) {
+  const std::size_t target_count = std::min<std::size_t>(
+      config_.n, config_.data_quorum_byzantine() + round * config_.read_escalation_step);
+
+  LogReadReq req;
+  req.item = item;
+  req.requester = client_id_;
+  req.token = options_.token;
+  const Bytes body = req.serialize();
+
+  struct Tally {
+    WriteRecord record;
+    std::size_t servers = 0;
+  };
+  auto tallies = std::make_shared<std::vector<Tally>>();
+  auto faulty_votes = std::make_shared<std::size_t>(0);
+  auto any_log_entry = std::make_shared<bool>(false);
+
+  net::QuorumCall::start(
+      node_, pick_servers(target_count), net::MsgType::kLogRead, body,
+      [this, tallies, faulty_votes, any_log_entry, item](NodeId /*from*/, net::MsgType /*type*/,
+                                                         BytesView resp_body) {
+        try {
+          LogReadResp resp = LogReadResp::deserialize(resp_body);
+          if (resp.faulty_writer) ++*faulty_votes;
+          // Count each distinct write at most once per server.
+          std::vector<std::pair<Timestamp, Bytes>> seen;
+          for (const WriteRecord& record : resp.records) {
+            if (record.item != item || record.model != options_.policy.model) continue;
+            *any_log_entry = true;
+            const bool duplicate_in_reply =
+                std::any_of(seen.begin(), seen.end(), [&](const auto& s) {
+                  return s.first == record.ts && s.second == record.value_digest;
+                });
+            if (duplicate_in_reply) continue;
+            seen.emplace_back(record.ts, record.value_digest);
+
+            auto it = std::find_if(tallies->begin(), tallies->end(), [&](const Tally& t) {
+              return t.record.ts == record.ts && t.record.value_digest == record.value_digest;
+            });
+            if (it == tallies->end()) {
+              tallies->push_back(Tally{record, 1});
+            } else {
+              ++it->servers;
+            }
+          }
+        } catch (const DecodeError&) {
+        }
+        return false;  // need the full 2b+1 round for the b+1 count
+      },
+      [this, tallies, faulty_votes, any_log_entry, item, round,
+       done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        // b+1 servers vouching for "this writer equivocated" means at least
+        // one correct server saw it.
+        if (*faulty_votes >= config_.agreement_threshold()) {
+          done(Result<ReadOutput>(Error::kFaultyWriter,
+                                  "b+1 servers flagged the writer as equivocating"));
+          return;
+        }
+
+        // "accept a value as valid only if b+1 or more servers reply with
+        // the same value" — choose the newest such value at or above the
+        // context floor.
+        const Timestamp floor = context_.get(item);
+        const WriteRecord* best = nullptr;
+        for (const Tally& tally : *tallies) {
+          if (tally.servers < config_.agreement_threshold()) continue;
+          if (tally.record.ts < floor) continue;
+          if (best == nullptr || best->ts < tally.record.ts) best = &tally.record;
+        }
+        if (best != nullptr) {
+          // Server-side validation substitutes for a client signature check
+          // here (§6: "Clients do not have to do signature verification for
+          // a read now since non-malicious servers do the validation before
+          // reporting") — b+1 matching logs include at least one honest one.
+          accept_read(*best, done);
+          return;
+        }
+
+        if (round + 1 < options_.max_read_rounds) {
+          read_multi_writer(item, round + 1, done);
+          return;
+        }
+        done(Result<ReadOutput>(*any_log_entry ? Error::kNoAgreement : Error::kNotFound,
+                                *any_log_entry
+                                    ? "no value matched in b+1 logs at or above the context"
+                                    : "no server logged the item"));
+      },
+      net::QuorumCall::Options{options_.round_timeout});
+}
+
+}  // namespace securestore::core

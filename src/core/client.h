@@ -1,0 +1,190 @@
+// SecureStoreClient: the active party of every protocol.
+//
+// "We propose an approach in which servers are primarily repositories of
+// data, and clients are responsible for accessing consistent values of
+// data items" (§7). The client owns:
+//   * its context X_i and its evolution on reads/writes (Fig. 2),
+//   * session management: connect/disconnect = context acquisition/store
+//     with ⌈(n+b+1)/2⌉ quorums (Fig. 1, protocol P1),
+//   * context reconstruction from all servers after a crash (P2),
+//   * single-writer reads/writes with b+1 sets (P3/P4),
+//   * multi-writer reads/writes: 3-tuple timestamps (P5) and, under
+//     Byzantine clients, 2b+1 sets with b+1-matching reads, plus the
+//     stability certificates that let servers prune logs (P6),
+//   * confidentiality: value codec + random timestamp increments (P7).
+//
+// All operations are asynchronous (callback-based, driven by the simulated
+// event loop); `SyncClient` in sync.h offers the blocking facade used by
+// tests and examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/confidential.h"
+#include "core/config.h"
+#include "core/fault_estimator.h"
+#include "core/messages.h"
+#include "crypto/keys.h"
+#include "net/quorum.h"
+#include "net/rpc.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace securestore::core {
+
+/// A successful read: the (decoded) value plus the meta the client verified.
+struct ReadOutput {
+  Bytes value;
+  Timestamp ts;
+  ClientId writer{};
+};
+
+/// One entry of a group listing.
+struct GroupEntry {
+  ItemId item{};
+  Timestamp ts;
+  ClientId writer{};
+};
+
+class SecureStoreClient {
+ public:
+  struct Options {
+    GroupPolicy policy;
+    /// Attached to data requests when the deployment requires authorization.
+    std::optional<AuthToken> token;
+    /// Value confidentiality; defaults to plaintext.
+    std::shared_ptr<ValueCodec> codec;
+    /// §5.2 privacy knob: advance timestamps by a random amount so servers
+    /// cannot count updates. Single-writer only.
+    bool random_ts_increment = false;
+    /// Reads ask the meta round to include values, so the best case is one
+    /// round trip and one signature verification — §6: "the message cost
+    /// and response time of read operations could also be the same as
+    /// write operations". Disable for the Fig. 2 literal two-phase read,
+    /// which ships the (possibly large) value only once, from the chosen
+    /// server.
+    bool inline_reads = true;
+    /// Per-round deadline for quorum calls.
+    SimDuration round_timeout = seconds(1);
+    /// Stale reads escalate by config.read_escalation_step servers per
+    /// round, up to this many rounds (Fig. 2: "contact additional
+    /// servers"), then fail with kStale.
+    unsigned max_read_rounds = 3;
+    /// P6: broadcast stability certificates after multi-writer writes so
+    /// servers can garbage collect logs.
+    bool stability_gc = true;
+    /// Read repair: when an (inline) read observes servers lagging behind
+    /// the value it accepted, push the signed record to them. Complements
+    /// server-side gossip with reader-driven dissemination — most useful
+    /// when gossip is slow or off. Off by default (the paper's
+    /// dissemination is purely server-side).
+    bool read_repair = false;
+    /// Dynamic Byzantine quorums (§3, [Alvisi et al. DSN'00]): when set,
+    /// data sets are sized f̂+1 (or 2f̂+1) from the fault estimator instead
+    /// of the static bound b, shrinking to b_min+1 in fault-free weather
+    /// and growing back as evidence of misbehavior accumulates. Context
+    /// quorums keep the static bound (their intersection argument needs it).
+    std::optional<FaultEstimator::Config> dynamic_quorums;
+  };
+
+  SecureStoreClient(net::Transport& transport, NodeId network_id, ClientId client_id,
+                    crypto::KeyPair keys, StoreConfig config, Options options, Rng rng);
+
+  using VoidCb = std::function<void(VoidResult)>;
+  using ReadCb = std::function<void(Result<ReadOutput>)>;
+
+  /// P1 (Fig. 1): acquire the latest signed context for `group` from a
+  /// ⌈(n+b+1)/2⌉ quorum. A fresh (never stored) context yields an empty X_i.
+  void connect(GroupId group, VoidCb done);
+
+  /// P1 (Fig. 1): sign and store the current context at ⌈(n+b+1)/2⌉ servers.
+  void disconnect(VoidCb done);
+
+  /// P2 (§5.1): rebuild the context from the timestamps of all data items
+  /// in the group, read from all servers — the recovery path when the last
+  /// session died before writing its context back.
+  void reconstruct_context(GroupId group, VoidCb done);
+
+  /// Browses a group: the items it contains with their newest verified
+  /// timestamps and writers, gathered from an all-server sweep (the same
+  /// collection pass as reconstruction, without touching the session
+  /// context). Useful for discovering uids before reading.
+  using ListCb = std::function<void(Result<std::vector<GroupEntry>>)>;
+  void list_group(GroupId group, ListCb done);
+
+  /// P3/P5/P6 write (Fig. 2 / §5.3).
+  void write(ItemId item, BytesView value, VoidCb done);
+
+  /// P4/P6 read (Fig. 2 / §5.3).
+  void read(ItemId item, ReadCb done);
+
+  ClientId client_id() const { return client_id_; }
+  const Context& context() const { return context_; }
+  Context& mutable_context() { return context_; }
+  bool connected() const { return connected_; }
+  const StoreConfig& config() const { return config_; }
+  const Options& options() const { return options_; }
+
+  /// Test hook: fixes the order in which servers are picked for data
+  /// operations (defaults to a seeded shuffle).
+  void set_server_preference(std::vector<NodeId> order);
+
+  /// The dynamic-quorum estimator (null unless Options::dynamic_quorums).
+  const FaultEstimator* fault_estimator() const { return estimator_ ? &*estimator_ : nullptr; }
+
+  /// Swaps the value codec — the key-change step of the §5.2 re-encryption
+  /// cycle (see rotate.h for the full read/re-encrypt/write-back workflow).
+  void set_codec(std::shared_ptr<ValueCodec> codec);
+
+ private:
+  // Session helpers: like data ops, context ops start with the exact §6
+  // quorum and escalate to more servers when members fail to respond.
+  void connect_attempt(GroupId group, unsigned round, VoidCb done);
+  void disconnect_attempt(unsigned round, VoidCb done);
+
+  // Write path helpers.
+  Timestamp next_timestamp(ItemId item, BytesView value_digest);
+  void send_write(std::shared_ptr<WriteRecord> record, std::size_t target_count,
+                  unsigned round, std::shared_ptr<std::vector<Bytes>> shares, VoidCb done);
+  void finish_write(const WriteRecord& record, VoidCb done);
+  void broadcast_stability(const WriteRecord& record, std::vector<Bytes> shares);
+
+  // Read paths.
+  void read_single_writer(ItemId item, unsigned round, ReadCb done);
+  /// Fig. 2 phase 2: fetch the value for candidates[candidate_idx] from
+  /// servers[server_idx], falling through servers then candidates then
+  /// escalation rounds.
+  void fetch_candidate(ItemId item, std::shared_ptr<std::vector<WriteRecord>> candidates,
+                       std::shared_ptr<std::vector<NodeId>> servers, std::size_t candidate_idx,
+                       std::size_t server_idx, unsigned round, ReadCb done);
+  void read_multi_writer(ItemId item, unsigned round, ReadCb done);
+
+  void accept_read(const WriteRecord& record, ReadCb done);
+
+  std::vector<NodeId> pick_servers(std::size_t count, std::size_t skip = 0) const;
+  const Bytes* writer_key(ClientId writer) const;
+  std::size_t write_set_size() const;
+  /// The effective fault bound: estimator's f̂ when dynamic quorums are on,
+  /// otherwise the static b.
+  std::uint32_t effective_b() const;
+  // Evidence feeds for the estimator (no-ops when it is off).
+  void note_responded(NodeId server);
+  void note_silent(const std::vector<NodeId>& targets,
+                   const std::vector<NodeId>& responders);
+  void note_forgery(NodeId server);
+
+  net::RpcNode node_;
+  ClientId client_id_;
+  crypto::KeyPair keys_;
+  StoreConfig config_;
+  Options options_;
+  Rng rng_;
+  Context context_;
+  bool connected_ = false;
+  std::vector<NodeId> server_order_;
+  std::optional<FaultEstimator> estimator_;
+};
+
+}  // namespace securestore::core

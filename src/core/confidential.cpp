@@ -1,0 +1,104 @@
+#include "core/confidential.h"
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "util/serial.h"
+
+namespace securestore::core {
+
+EpochCodec::EpochCodec(GroupId group, Rng rng) : group_(group), rng_(std::move(rng)) {}
+
+void EpochCodec::add_epoch(std::uint32_t epoch, Bytes key) {
+  keys_[epoch] = std::move(key);
+  current_ = std::max(current_, epoch);
+}
+
+Bytes EpochCodec::item_key(std::uint32_t epoch, ItemId item) const {
+  Writer info;
+  info.str("securestore.epochkey.v1");
+  info.u64(group_.value);
+  info.u32(epoch);
+  info.u64(item.value);
+  return crypto::hkdf_sha256(keys_.at(epoch), /*salt=*/{}, info.data(),
+                             crypto::kChaChaKeySize);
+}
+
+Bytes EpochCodec::encode(ItemId item, BytesView plaintext) {
+  if (current_ == 0) throw std::logic_error("EpochCodec: no epoch key registered");
+  const Bytes key = item_key(current_, item);
+  const Bytes nonce = rng_.bytes(crypto::kChaChaNonceSize);
+
+  Writer aad;
+  aad.u64(group_.value);
+  aad.u32(current_);
+  aad.u64(item.value);
+
+  Writer out;
+  out.u32(current_);
+  out.raw(nonce);
+  out.raw(crypto::aead_seal(key, nonce, aad.data(), plaintext));
+  return out.take();
+}
+
+std::optional<Bytes> EpochCodec::decode(ItemId item, BytesView stored) {
+  try {
+    Reader r(stored);
+    const std::uint32_t epoch = r.u32();
+    if (!keys_.contains(epoch)) return std::nullopt;  // revoked before this epoch
+    const Bytes nonce = r.raw(crypto::kChaChaNonceSize);
+    const Bytes sealed = r.raw(r.remaining());
+
+    Writer aad;
+    aad.u64(group_.value);
+    aad.u32(epoch);
+    aad.u64(item.value);
+    return crypto::aead_open(item_key(epoch, item), nonce, aad.data(), sealed);
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+AeadValueCodec::AeadValueCodec(Bytes master_key, Rng rng)
+    : master_key_(std::move(master_key)), rng_(std::move(rng)) {}
+
+Bytes AeadValueCodec::item_key(ItemId item) const {
+  Writer info;
+  info.str("securestore.itemkey.v1");
+  info.u64(item.value);
+  return crypto::hkdf_sha256(master_key_, /*salt=*/{}, info.data(), crypto::kChaChaKeySize);
+}
+
+Bytes AeadValueCodec::encode(ItemId item, BytesView plaintext) {
+  const Bytes key = item_key(item);
+  const Bytes nonce = rng_.bytes(crypto::kChaChaNonceSize);
+
+  Writer aad;
+  aad.u64(item.value);
+
+  Bytes out = nonce;
+  const Bytes sealed = crypto::aead_seal(key, nonce, aad.data(), plaintext);
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<Bytes> AeadValueCodec::decode(ItemId item, BytesView stored) {
+  if (stored.size() < crypto::kChaChaNonceSize + crypto::kPolyTagSize) return std::nullopt;
+  const Bytes key = item_key(item);
+  const BytesView nonce = stored.first(crypto::kChaChaNonceSize);
+  const BytesView sealed = stored.subspan(crypto::kChaChaNonceSize);
+
+  Writer aad;
+  aad.u64(item.value);
+  return crypto::aead_open(key, nonce, aad.data(), sealed);
+}
+
+std::optional<Bytes> AeadValueCodec::rekey(ItemId item, BytesView stored,
+                                           const AeadValueCodec& new_master) {
+  const auto plaintext = decode(item, stored);
+  if (!plaintext.has_value()) return std::nullopt;
+  // Encode under the new key; nonce randomness comes from this codec's rng.
+  AeadValueCodec encoder(new_master.master_key_, rng_.fork());
+  return encoder.encode(item, *plaintext);
+}
+
+}  // namespace securestore::core

@@ -1,0 +1,98 @@
+// Client-side confidentiality (§5.2, §5.3).
+//
+// "The owner or writing client can store all its data items in encrypted
+// form... Servers do not know this key and hence, malicious servers cannot
+// disclose any information to unauthorized clients."
+//
+// `AeadValueCodec` encrypts values with ChaCha20-Poly1305 under per-item
+// keys derived (HKDF) from a master key held by the writer and shared with
+// authorized readers out of band (the paper defers key distribution to
+// secure-multicast-style schemes [16]). The item uid is the HKDF info and
+// the AEAD aad, binding ciphertexts to their item. Meta-data stays in
+// plaintext because servers order and disseminate by it (§5.2).
+//
+// Re-keying (owner changes its key): `rekey` decrypts under the old master
+// and re-encrypts under the new, the read-reencrypt-store-back cycle the
+// paper describes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace securestore::core {
+
+/// Transforms values on their way to / from the store. Implementations must
+/// be deterministic in structure (decode(encode(v)) == v) but may randomize
+/// encodings (nonces).
+class ValueCodec {
+ public:
+  virtual ~ValueCodec() = default;
+
+  virtual Bytes encode(ItemId item, BytesView plaintext) = 0;
+  /// nullopt = authentication failure (tampered or wrong key).
+  virtual std::optional<Bytes> decode(ItemId item, BytesView stored) = 0;
+};
+
+/// Pass-through codec for data with no confidentiality requirement.
+class PlainValueCodec final : public ValueCodec {
+ public:
+  Bytes encode(ItemId /*item*/, BytesView plaintext) override {
+    return Bytes(plaintext.begin(), plaintext.end());
+  }
+  std::optional<Bytes> decode(ItemId /*item*/, BytesView stored) override {
+    return Bytes(stored.begin(), stored.end());
+  }
+};
+
+/// Epoch-keyed codec for group-shared data (see group_key.h): every
+/// ciphertext is prefixed with the epoch whose key sealed it, so readers
+/// can decrypt history across re-keys while revoked members (who never
+/// learn post-revocation epoch keys) are locked out going forward.
+class EpochCodec final : public ValueCodec {
+ public:
+  EpochCodec(GroupId group, Rng rng);
+
+  /// Registers an epoch key; the highest registered epoch becomes current.
+  void add_epoch(std::uint32_t epoch, Bytes key);
+  std::uint32_t current_epoch() const { return current_; }
+  bool knows_epoch(std::uint32_t epoch) const { return keys_.contains(epoch); }
+
+  Bytes encode(ItemId item, BytesView plaintext) override;
+  std::optional<Bytes> decode(ItemId item, BytesView stored) override;
+
+ private:
+  Bytes item_key(std::uint32_t epoch, ItemId item) const;
+
+  GroupId group_;
+  Rng rng_;
+  std::uint32_t current_ = 0;
+  std::map<std::uint32_t, Bytes> keys_;
+};
+
+class AeadValueCodec final : public ValueCodec {
+ public:
+  /// `master_key` is the writer/reader shared secret (any length; HKDF
+  /// normalizes it). `rng` supplies nonces.
+  AeadValueCodec(Bytes master_key, Rng rng);
+
+  Bytes encode(ItemId item, BytesView plaintext) override;
+  std::optional<Bytes> decode(ItemId item, BytesView stored) override;
+
+  /// Decrypts `stored` under the old master key and re-encrypts it under
+  /// `new_master` (key-change support, §5.2). Returns nullopt if `stored`
+  /// does not authenticate under the current key.
+  std::optional<Bytes> rekey(ItemId item, BytesView stored, const AeadValueCodec& new_master);
+
+ private:
+  Bytes item_key(ItemId item) const;
+
+  Bytes master_key_;
+  Rng rng_;
+};
+
+}  // namespace securestore::core

@@ -1,0 +1,77 @@
+// Deployment configuration and the paper's quorum arithmetic (§5, §6).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace securestore::core {
+
+/// Static deployment parameters shared by clients and servers.
+struct StoreConfig {
+  std::uint32_t n = 4;  // total servers
+  std::uint32_t b = 1;  // bound on faulty servers (§4)
+
+  std::vector<NodeId> servers;  // the n server node ids
+
+  /// Directory of well-known public keys (§4: "clients and servers are
+  /// assumed to own a secure private key for which the public key is well
+  /// known").
+  std::unordered_map<std::uint32_t, Bytes> client_keys;  // ClientId.value -> key
+  std::unordered_map<NodeId, Bytes> server_keys;
+
+  /// Operation deadline before a quorum call reports kTimeout.
+  SimDuration op_timeout = seconds(5);
+
+  /// How many extra servers a stale read escalates to per retry round
+  /// before giving up (Fig. 2: "contact additional servers or try later").
+  std::uint32_t read_escalation_step = 2;
+
+  /// Multi-writer log retention when no stability certificate has pruned it.
+  std::size_t max_log_entries = 16;
+
+  // --- Quorum arithmetic -------------------------------------------------
+
+  /// Context read/write quorum: ⌈(n+b+1)/2⌉ (§5.1). Two such quorums
+  /// intersect in >= b+1 servers, hence at least one non-faulty witness.
+  std::uint32_t context_quorum() const { return (n + b + 1 + 1) / 2; }
+
+  /// Data write/read set for honest-client deployments: b+1 (§5.2).
+  std::uint32_t data_quorum_honest() const { return b + 1; }
+
+  /// Data write/read set under Byzantine clients: 2b+1 (§5.3).
+  std::uint32_t data_quorum_byzantine() const { return 2 * b + 1; }
+
+  /// Matching replies needed in a §5.3 read: b+1.
+  std::uint32_t agreement_threshold() const { return b + 1; }
+
+  /// Stability certificate threshold for log pruning: 2b+1 (§5.3).
+  std::uint32_t stability_threshold() const { return 2 * b + 1; }
+
+  /// Classic Byzantine masking quorum for the baseline: ⌈(n+2b+1)/2⌉ (§6).
+  std::uint32_t masking_quorum() const { return (n + 2 * b + 1 + 1) / 2; }
+
+  void validate() const {
+    if (servers.size() != n) throw std::invalid_argument("StoreConfig: servers.size() != n");
+    if (n == 0) throw std::invalid_argument("StoreConfig: n == 0");
+    if (context_quorum() > n) {
+      throw std::invalid_argument("StoreConfig: context quorum exceeds n (b too large)");
+    }
+  }
+};
+
+/// Per-item-group policy, fixed at creation (§5.2).
+struct GroupPolicy {
+  GroupId group{};
+  ConsistencyModel model = ConsistencyModel::kMRC;
+  SharingMode sharing = SharingMode::kSingleWriter;
+  ClientTrust trust = ClientTrust::kHonest;
+};
+
+}  // namespace securestore::core

@@ -1,0 +1,74 @@
+#include "core/context.h"
+
+namespace securestore::core {
+
+Timestamp Context::get(ItemId item) const {
+  const auto it = entries_.find(item);
+  return it != entries_.end() ? it->second : Timestamp{};
+}
+
+void Context::set(ItemId item, Timestamp ts) { entries_[item] = std::move(ts); }
+
+void Context::advance(ItemId item, const Timestamp& ts) {
+  auto [it, inserted] = entries_.try_emplace(item, ts);
+  if (!inserted && it->second < ts) it->second = ts;
+}
+
+void Context::merge(const Context& other) {
+  for (const auto& [item, ts] : other.entries_) advance(item, ts);
+}
+
+bool Context::dominates(const Context& other) const {
+  for (const auto& [item, ts] : other.entries_) {
+    if (ts.is_zero()) continue;
+    const auto it = entries_.find(item);
+    if (it == entries_.end() || it->second < ts) return false;
+  }
+  return true;
+}
+
+void Context::encode(Writer& w) const {
+  w.u64(group_.value);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [item, ts] : entries_) {
+    w.u64(item.value);
+    ts.encode(w);
+  }
+}
+
+Context Context::decode(Reader& r) {
+  Context context(GroupId{r.u64()});
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ItemId item{r.u64()};
+    context.entries_[item] = Timestamp::decode(r);
+  }
+  return context;
+}
+
+Bytes Context::serialize() const {
+  Writer w;
+  encode(w);
+  return w.take();
+}
+
+Context Context::deserialize(BytesView data) {
+  Reader r(data);
+  Context context = decode(r);
+  r.expect_end();
+  return context;
+}
+
+std::string to_string(const Context& context) {
+  std::string out = to_string(context.group()) + "{";
+  bool first = true;
+  for (const auto& [item, ts] : context.entries()) {
+    if (!first) out += ", ";
+    first = false;
+    out += to_string(item) + ":" + to_string(ts);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace securestore::core

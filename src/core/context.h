@@ -1,0 +1,67 @@
+// The client context (§4, §5.1).
+//
+// A context X_i = ((uid(x_1), ts_1), ..., (uid(x_m), ts_m)) captures a
+// client's past interactions with a related group of data items. It is the
+// consistency meta-data of the whole design: MRC advances the entry of the
+// item being accessed; CC merges the writer's context into the reader's on
+// every read, and the full context accompanies CC writes so servers and
+// future readers can order them causally.
+//
+// Entries are kept in a sorted map so serialization — and therefore the
+// signed digest — is canonical.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/timestamp.h"
+#include "util/ids.h"
+#include "util/serial.h"
+
+namespace securestore::core {
+
+class Context {
+ public:
+  Context() = default;
+  explicit Context(GroupId group) : group_(group) {}
+
+  GroupId group() const { return group_; }
+  const std::map<ItemId, Timestamp>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// The timestamp recorded for `item` (zero timestamp if absent).
+  Timestamp get(ItemId item) const;
+
+  /// Sets `item`'s entry unconditionally.
+  void set(ItemId item, Timestamp ts);
+
+  /// Raises `item`'s entry to `ts` if `ts` is newer (no-op otherwise).
+  void advance(ItemId item, const Timestamp& ts);
+
+  /// Pointwise merge: every entry becomes the max of the two contexts —
+  /// how a CC reader absorbs X_writer (Fig. 2 read protocol).
+  void merge(const Context& other);
+
+  /// True iff for every entry in `other`, this context has an entry at
+  /// least as new. The "latest" context among quorum replies is one that
+  /// dominates the others (§5.1).
+  bool dominates(const Context& other) const;
+
+  void encode(Writer& w) const;
+  static Context decode(Reader& r);
+  Bytes serialize() const;
+  static Context deserialize(BytesView data);
+
+  bool operator==(const Context& other) const {
+    return group_ == other.group_ && entries_ == other.entries_;
+  }
+
+ private:
+  GroupId group_{};
+  std::map<ItemId, Timestamp> entries_;
+};
+
+std::string to_string(const Context& context);
+
+}  // namespace securestore::core

@@ -1,0 +1,46 @@
+#include "core/fault_estimator.h"
+
+#include <algorithm>
+
+namespace securestore::core {
+
+void FaultEstimator::report_hard_evidence(NodeId server) {
+  hard_faulty_.insert(server);
+  soft_strikes_.erase(server);
+}
+
+void FaultEstimator::report_soft_evidence(NodeId server) {
+  if (hard_faulty_.contains(server)) return;
+  ++soft_strikes_[server];
+}
+
+void FaultEstimator::report_good_interaction(NodeId server) {
+  const auto it = soft_strikes_.find(server);
+  if (it == soft_strikes_.end()) return;
+  if (it->second <= 1) {
+    soft_strikes_.erase(it);
+  } else {
+    --it->second;
+  }
+}
+
+std::size_t FaultEstimator::believed_faulty() const {
+  std::size_t count = hard_faulty_.size();
+  for (const auto& [server, strikes] : soft_strikes_) {
+    if (strikes >= config_.soft_strikes) ++count;
+  }
+  return count;
+}
+
+std::uint32_t FaultEstimator::estimated_b() const {
+  const auto faulty = static_cast<std::uint32_t>(believed_faulty());
+  return std::clamp(faulty, config_.b_min, config_.b_max);
+}
+
+bool FaultEstimator::is_distrusted(NodeId server) const {
+  if (hard_faulty_.contains(server)) return true;
+  const auto it = soft_strikes_.find(server);
+  return it != soft_strikes_.end() && it->second >= config_.soft_strikes;
+}
+
+}  // namespace securestore::core

@@ -1,0 +1,66 @@
+// Dynamic fault estimation (§3's "another approach that attempts to reduce
+// quorum size makes use of techniques to estimate the number of malicious
+// servers [Alvisi-Malkhi-Pierce-Reiter-Wright, DSN 2000]. Thus, the quorum
+// size is dynamically adjusted based on the number of servers that are
+// believed to be faulty at a given time").
+//
+// The estimator accumulates *evidence* of misbehavior per server:
+//  * hard evidence — a reply that is cryptographically impossible for a
+//    correct server (failed signature on data it vouched for, malformed
+//    response) — marks the server faulty outright;
+//  * soft evidence — timeouts and stale replies — raises suspicion and
+//    marks the server faulty after a threshold (a correct-but-slow server
+//    can look like this, so several strikes are required).
+//
+// The client sizes its data sets as  f̂ + 1  where
+//    f̂ = clamp(#servers currently believed faulty, b_min, b)
+// b remains the safety bound from the deployment (evidence can only grow
+// quorums back toward b+1, never shrink safety margins below b_min+1 that
+// the application configured). With b_min = 0 and no observed faults, reads
+// and writes touch a single server — the dynamic-quorum paper's fair-
+// weather payoff — and degrade gracefully to b+1 as faults surface.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/ids.h"
+
+namespace securestore::core {
+
+class FaultEstimator {
+ public:
+  struct Config {
+    std::uint32_t b_min = 0;          // optimistic floor for f̂
+    std::uint32_t b_max = 1;          // the deployment's hard bound b
+    std::uint32_t soft_strikes = 3;   // timeouts/stales before distrust
+  };
+
+  explicit FaultEstimator(Config config) : config_(config) {}
+
+  /// Cryptographically conclusive misbehavior (bad signature, forged data).
+  void report_hard_evidence(NodeId server);
+
+  /// Suspicious but explainable behavior (timeout, stale reply).
+  void report_soft_evidence(NodeId server);
+
+  /// Positive interaction; decays soft suspicion (a recovered or merely
+  /// slow server is rehabilitated, hard evidence never expires).
+  void report_good_interaction(NodeId server);
+
+  /// Currently believed-faulty servers.
+  std::size_t believed_faulty() const;
+
+  /// f̂: the estimate the client sizes its quorums with.
+  std::uint32_t estimated_b() const;
+
+  bool is_distrusted(NodeId server) const;
+
+ private:
+  Config config_;
+  std::unordered_set<NodeId> hard_faulty_;
+  std::unordered_map<NodeId, std::uint32_t> soft_strikes_;
+};
+
+}  // namespace securestore::core

@@ -1,0 +1,140 @@
+#include "core/group_key.h"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+
+namespace securestore::core {
+
+namespace {
+
+/// The pairwise wrap key for (owner, member) at a given epoch.
+Bytes wrap_key(BytesView shared_secret, GroupId group, std::uint32_t epoch,
+               ClientId member) {
+  Writer info;
+  info.str("securestore.wrapkey.v1");
+  info.u64(group.value);
+  info.u32(epoch);
+  info.u32(member.value);
+  return crypto::hkdf_sha256(shared_secret, /*salt=*/{}, info.data(),
+                             crypto::kChaChaKeySize);
+}
+
+Bytes wrap_aad(GroupId group, std::uint32_t epoch, ClientId member) {
+  Writer aad;
+  aad.u64(group.value);
+  aad.u32(epoch);
+  aad.u32(member.value);
+  return aad.take();
+}
+
+}  // namespace
+
+ItemId key_bundle_item(GroupId group) {
+  if (group.value >> 56 != 0) {
+    throw std::invalid_argument("key_bundle_item: group uid must fit in 56 bits");
+  }
+  // Reserved namespace bit 62 (bit 63 belongs to scattered fragments).
+  return ItemId{group.value | (1ull << 62)};
+}
+
+Bytes KeyBundle::serialize() const {
+  Writer w;
+  w.u64(group.value);
+  w.u32(epoch);
+  w.bytes(owner_dh_public);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const WrappedKey& wrapped : members) {
+    w.u32(wrapped.member.value);
+    w.bytes(wrapped.nonce);
+    w.bytes(wrapped.sealed);
+  }
+  return w.take();
+}
+
+KeyBundle KeyBundle::deserialize(BytesView data) {
+  Reader r(data);
+  KeyBundle bundle;
+  bundle.group = GroupId{r.u64()};
+  bundle.epoch = r.u32();
+  bundle.owner_dh_public = r.bytes();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WrappedKey wrapped;
+    wrapped.member = ClientId{r.u32()};
+    wrapped.nonce = r.bytes();
+    wrapped.sealed = r.bytes();
+    bundle.members.push_back(std::move(wrapped));
+  }
+  r.expect_end();
+  return bundle;
+}
+
+GroupKeyOwner::GroupKeyOwner(GroupId group, crypto::DhKeyPair identity, Rng rng)
+    : group_(group), identity_(std::move(identity)), rng_(std::move(rng)) {
+  current_key_ = rng_.bytes(crypto::kChaChaKeySize);
+  key_history_[epoch_] = current_key_;
+}
+
+void GroupKeyOwner::add_member(ClientId member, Bytes dh_public) {
+  members_[member] = std::move(dh_public);
+}
+
+bool GroupKeyOwner::remove_member(ClientId member) {
+  if (members_.erase(member) == 0) return false;
+  rotate();  // future epochs must be unreadable to the departed member
+  return true;
+}
+
+void GroupKeyOwner::rotate() {
+  ++epoch_;
+  current_key_ = rng_.bytes(crypto::kChaChaKeySize);
+  key_history_[epoch_] = current_key_;
+}
+
+KeyBundle GroupKeyOwner::make_bundle() {
+  KeyBundle bundle;
+  bundle.group = group_;
+  bundle.epoch = epoch_;
+  bundle.owner_dh_public = identity_.public_key;
+  for (const auto& [member, dh_public] : members_) {
+    const Bytes shared = crypto::x25519_shared_secret(identity_.private_scalar, dh_public);
+    WrappedKey wrapped;
+    wrapped.member = member;
+    wrapped.nonce = rng_.bytes(crypto::kChaChaNonceSize);
+    wrapped.sealed = crypto::aead_seal(wrap_key(shared, group_, epoch_, member),
+                                       wrapped.nonce, wrap_aad(group_, epoch_, member),
+                                       current_key_);
+    bundle.members.push_back(std::move(wrapped));
+  }
+  return bundle;
+}
+
+std::shared_ptr<EpochCodec> GroupKeyOwner::make_codec() {
+  auto codec = std::make_shared<EpochCodec>(group_, rng_.fork());
+  for (const auto& [epoch, key] : key_history_) codec->add_epoch(epoch, key);
+  return codec;
+}
+
+std::optional<std::pair<std::uint32_t, Bytes>> unwrap_bundle(const KeyBundle& bundle,
+                                                             ClientId self,
+                                                             BytesView own_dh_private) {
+  for (const WrappedKey& wrapped : bundle.members) {
+    if (wrapped.member != self) continue;
+    try {
+      const Bytes shared =
+          crypto::x25519_shared_secret(own_dh_private, bundle.owner_dh_public);
+      const auto key = crypto::aead_open(
+          wrap_key(shared, bundle.group, bundle.epoch, self), wrapped.nonce,
+          wrap_aad(bundle.group, bundle.epoch, self), wrapped.sealed);
+      if (!key.has_value()) return std::nullopt;
+      return std::make_pair(bundle.epoch, *key);
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace securestore::core

@@ -1,0 +1,105 @@
+// Group key distribution (§5.2/§5.3).
+//
+// "The key that is used to encrypt the data values must be distributed to
+// readers... If there is a change in the set of clients that has access to
+// the data, key distribution and management schemes similar to those
+// discussed in secure multicast communication [16] have to be employed."
+//
+// This module is that scheme, kept deliberately simple (flat re-key rather
+// than [16]'s logarithmic key trees — group sizes here are households, not
+// multicast trees):
+//
+//  * the data owner holds an X25519 identity; every authorized reader
+//    registers its X25519 public key;
+//  * data values are encrypted under an *epoch key*; any membership change
+//    starts a new epoch with a fresh key;
+//  * the owner publishes a `KeyBundle` — the epoch key wrapped separately
+//    for each member under HKDF(X25519(owner, member)) — as an ordinary
+//    signed item IN the secure store itself, so key distribution rides on
+//    the same replication, integrity and availability machinery as data;
+//  * `EpochCodec` tags each ciphertext with its epoch, letting readers
+//    decrypt history after re-keys while revoked members are locked out of
+//    every epoch after their removal.
+//
+// The paper's caveat stands: revocation cannot un-disclose the past — "if
+// the old key is compromised, confidentiality [of old values] is lost."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/confidential.h"
+#include "crypto/x25519.h"
+#include "util/ids.h"
+#include "util/serial.h"
+
+namespace securestore::core {
+
+/// The reserved item uid a group's current key bundle is stored under.
+ItemId key_bundle_item(GroupId group);
+
+/// One member's wrapped copy of the epoch key.
+struct WrappedKey {
+  ClientId member{};
+  Bytes nonce;
+  Bytes sealed;  // AEAD(epoch key) under the pairwise wrap key
+};
+
+struct KeyBundle {
+  GroupId group{};
+  std::uint32_t epoch = 0;
+  Bytes owner_dh_public;
+  std::vector<WrappedKey> members;
+
+  Bytes serialize() const;
+  static KeyBundle deserialize(BytesView data);
+};
+
+/// Owner side: membership and epoch management.
+class GroupKeyOwner {
+ public:
+  GroupKeyOwner(GroupId group, crypto::DhKeyPair identity, Rng rng);
+
+  GroupId group() const { return group_; }
+  std::uint32_t epoch() const { return epoch_; }
+  const Bytes& current_key() const { return current_key_; }
+  const Bytes& dh_public() const { return identity_.public_key; }
+  std::size_t member_count() const { return members_.size(); }
+
+  /// Adding grants access to the CURRENT epoch onward (no re-key needed:
+  /// the new member simply appears in the next published bundle).
+  void add_member(ClientId member, Bytes dh_public);
+
+  /// Removal revokes future access: starts a fresh epoch immediately.
+  /// Returns false if the member was not present.
+  bool remove_member(ClientId member);
+
+  /// Forces a new epoch (e.g. suspected key compromise).
+  void rotate();
+
+  /// The bundle to publish for the current epoch.
+  KeyBundle make_bundle();
+
+  /// A codec primed with every epoch key issued so far (for the owner's
+  /// own reads/writes, including pre-re-key history). Non-const: each codec
+  /// forks an independent nonce stream.
+  std::shared_ptr<EpochCodec> make_codec();
+
+ private:
+  GroupId group_;
+  crypto::DhKeyPair identity_;
+  Rng rng_;
+  std::uint32_t epoch_ = 1;
+  Bytes current_key_;
+  std::map<std::uint32_t, Bytes> key_history_;       // epoch -> key
+  std::map<ClientId, Bytes> members_;                // member -> dh public
+};
+
+/// Reader side: unwraps the epoch key for `self` from a bundle.
+/// nullopt if self is not in the bundle or unwrapping fails.
+std::optional<std::pair<std::uint32_t, Bytes>> unwrap_bundle(const KeyBundle& bundle,
+                                                             ClientId self,
+                                                             BytesView own_dh_private);
+
+}  // namespace securestore::core

@@ -1,0 +1,300 @@
+#include "core/messages.h"
+
+namespace securestore::core {
+
+namespace detail {
+
+void encode_optional_token(Writer& w, const std::optional<AuthToken>& token) {
+  w.u8(token.has_value() ? 1 : 0);
+  if (token.has_value()) token->encode(w);
+}
+
+std::optional<AuthToken> decode_optional_token(Reader& r) {
+  if (r.u8() == 0) return std::nullopt;
+  return AuthToken::decode(r);
+}
+
+}  // namespace detail
+
+namespace {
+
+void encode_optional_record(Writer& w, const std::optional<WriteRecord>& record) {
+  w.u8(record.has_value() ? 1 : 0);
+  if (record.has_value()) record->encode(w);
+}
+
+std::optional<WriteRecord> decode_optional_record(Reader& r) {
+  if (r.u8() == 0) return std::nullopt;
+  return WriteRecord::decode(r);
+}
+
+void encode_records(Writer& w, const std::vector<WriteRecord>& records) {
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const WriteRecord& record : records) record.encode(w);
+}
+
+std::vector<WriteRecord> decode_records(Reader& r) {
+  const std::uint32_t count = r.u32();
+  std::vector<WriteRecord> records;
+  // Do NOT reserve(count): the count is attacker-controlled and checked
+  // only implicitly, by decode throwing once the input runs out.
+  for (std::uint32_t i = 0; i < count; ++i) records.push_back(WriteRecord::decode(r));
+  return records;
+}
+
+}  // namespace
+
+Bytes ContextReadReq::serialize() const {
+  Writer w;
+  w.u32(owner.value);
+  w.u64(group.value);
+  return w.take();
+}
+
+ContextReadReq ContextReadReq::deserialize(BytesView data) {
+  Reader r(data);
+  ContextReadReq req;
+  req.owner = ClientId{r.u32()};
+  req.group = GroupId{r.u64()};
+  r.expect_end();
+  return req;
+}
+
+Bytes ContextReadResp::serialize() const {
+  Writer w;
+  w.u8(stored.has_value() ? 1 : 0);
+  if (stored.has_value()) stored->encode(w);
+  return w.take();
+}
+
+ContextReadResp ContextReadResp::deserialize(BytesView data) {
+  Reader r(data);
+  ContextReadResp resp;
+  if (r.u8() != 0) resp.stored = StoredContext::decode(r);
+  r.expect_end();
+  return resp;
+}
+
+Bytes ContextWriteReq::serialize() const {
+  Writer w;
+  stored.encode(w);
+  return w.take();
+}
+
+ContextWriteReq ContextWriteReq::deserialize(BytesView data) {
+  Reader r(data);
+  ContextWriteReq req;
+  req.stored = StoredContext::decode(r);
+  r.expect_end();
+  return req;
+}
+
+Bytes AckResp::serialize() const {
+  Writer w;
+  w.u8(ok ? 1 : 0);
+  return w.take();
+}
+
+AckResp AckResp::deserialize(BytesView data) {
+  Reader r(data);
+  AckResp resp;
+  resp.ok = r.u8() != 0;
+  r.expect_end();
+  return resp;
+}
+
+Bytes MetaReq::serialize() const {
+  Writer w;
+  w.u64(item.value);
+  w.u32(requester.value);
+  w.u8(include_value ? 1 : 0);
+  detail::encode_optional_token(w, token);
+  return w.take();
+}
+
+MetaReq MetaReq::deserialize(BytesView data) {
+  Reader r(data);
+  MetaReq req;
+  req.item = ItemId{r.u64()};
+  req.requester = ClientId{r.u32()};
+  req.include_value = r.u8() != 0;
+  req.token = detail::decode_optional_token(r);
+  r.expect_end();
+  return req;
+}
+
+Bytes MetaResp::serialize() const {
+  Writer w;
+  w.u8(faulty_writer ? 1 : 0);
+  w.u8(value_included ? 1 : 0);
+  encode_optional_record(w, meta);
+  return w.take();
+}
+
+MetaResp MetaResp::deserialize(BytesView data) {
+  Reader r(data);
+  MetaResp resp;
+  resp.faulty_writer = r.u8() != 0;
+  resp.value_included = r.u8() != 0;
+  resp.meta = decode_optional_record(r);
+  r.expect_end();
+  return resp;
+}
+
+Bytes ReadReq::serialize() const {
+  Writer w;
+  w.u64(item.value);
+  ts.encode(w);
+  w.u32(requester.value);
+  detail::encode_optional_token(w, token);
+  return w.take();
+}
+
+ReadReq ReadReq::deserialize(BytesView data) {
+  Reader r(data);
+  ReadReq req;
+  req.item = ItemId{r.u64()};
+  req.ts = Timestamp::decode(r);
+  req.requester = ClientId{r.u32()};
+  req.token = detail::decode_optional_token(r);
+  r.expect_end();
+  return req;
+}
+
+Bytes ReadResp::serialize() const {
+  Writer w;
+  w.u8(faulty_writer ? 1 : 0);
+  encode_optional_record(w, record);
+  return w.take();
+}
+
+ReadResp ReadResp::deserialize(BytesView data) {
+  Reader r(data);
+  ReadResp resp;
+  resp.faulty_writer = r.u8() != 0;
+  resp.record = decode_optional_record(r);
+  r.expect_end();
+  return resp;
+}
+
+Bytes WriteReq::serialize() const {
+  Writer w;
+  record.encode(w);
+  detail::encode_optional_token(w, token);
+  return w.take();
+}
+
+WriteReq WriteReq::deserialize(BytesView data) {
+  Reader r(data);
+  WriteReq req;
+  req.record = WriteRecord::decode(r);
+  req.token = detail::decode_optional_token(r);
+  r.expect_end();
+  return req;
+}
+
+Bytes WriteResp::serialize() const {
+  Writer w;
+  w.u8(ok ? 1 : 0);
+  w.bytes(stability_share);
+  return w.take();
+}
+
+WriteResp WriteResp::deserialize(BytesView data) {
+  Reader r(data);
+  WriteResp resp;
+  resp.ok = r.u8() != 0;
+  resp.stability_share = r.bytes();
+  r.expect_end();
+  return resp;
+}
+
+Bytes LogReadReq::serialize() const {
+  Writer w;
+  w.u64(item.value);
+  w.u32(requester.value);
+  detail::encode_optional_token(w, token);
+  return w.take();
+}
+
+LogReadReq LogReadReq::deserialize(BytesView data) {
+  Reader r(data);
+  LogReadReq req;
+  req.item = ItemId{r.u64()};
+  req.requester = ClientId{r.u32()};
+  req.token = detail::decode_optional_token(r);
+  r.expect_end();
+  return req;
+}
+
+Bytes LogReadResp::serialize() const {
+  Writer w;
+  w.u8(faulty_writer ? 1 : 0);
+  encode_records(w, records);
+  return w.take();
+}
+
+LogReadResp LogReadResp::deserialize(BytesView data) {
+  Reader r(data);
+  LogReadResp resp;
+  resp.faulty_writer = r.u8() != 0;
+  resp.records = decode_records(r);
+  r.expect_end();
+  return resp;
+}
+
+Bytes ReconstructReq::serialize() const {
+  Writer w;
+  w.u64(group.value);
+  return w.take();
+}
+
+ReconstructReq ReconstructReq::deserialize(BytesView data) {
+  Reader r(data);
+  ReconstructReq req;
+  req.group = GroupId{r.u64()};
+  r.expect_end();
+  return req;
+}
+
+Bytes ReconstructResp::serialize() const {
+  Writer w;
+  encode_records(w, metas);
+  return w.take();
+}
+
+ReconstructResp ReconstructResp::deserialize(BytesView data) {
+  Reader r(data);
+  ReconstructResp resp;
+  resp.metas = decode_records(r);
+  r.expect_end();
+  return resp;
+}
+
+Bytes StabilityMsg::serialize() const {
+  Writer w;
+  w.u64(item.value);
+  ts.encode(w);
+  w.bytes(certificate.serialize());
+  return w.take();
+}
+
+StabilityMsg StabilityMsg::deserialize(BytesView data) {
+  Reader r(data);
+  StabilityMsg msg;
+  msg.item = ItemId{r.u64()};
+  msg.ts = Timestamp::decode(r);
+  msg.certificate = crypto::MultisigCertificate::deserialize(r.bytes());
+  r.expect_end();
+  return msg;
+}
+
+Bytes stability_statement(ItemId item, const Timestamp& ts) {
+  Writer w;
+  w.str("securestore.stable.v1");
+  w.u64(item.value);
+  ts.encode(w);
+  return w.take();
+}
+
+}  // namespace securestore::core

@@ -1,0 +1,165 @@
+// Wire messages of the secure store protocols (Fig. 1, Fig. 2, §5.3).
+//
+// Every struct (de)serializes through the canonical Writer/Reader; decode
+// throws DecodeError on malformed input, which request handlers translate
+// into a dropped message.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/auth.h"
+#include "core/record.h"
+#include "crypto/multisig.h"
+#include "util/serial.h"
+
+namespace securestore::core {
+
+namespace detail {
+void encode_optional_token(Writer& w, const std::optional<AuthToken>& token);
+std::optional<AuthToken> decode_optional_token(Reader& r);
+}  // namespace detail
+
+/// "request C_i's context associated with X" (Fig. 1).
+struct ContextReadReq {
+  ClientId owner{};
+  GroupId group{};
+
+  Bytes serialize() const;
+  static ContextReadReq deserialize(BytesView data);
+};
+
+struct ContextReadResp {
+  std::optional<StoredContext> stored;  // nullopt: server has no context
+
+  Bytes serialize() const;
+  static ContextReadResp deserialize(BytesView data);
+};
+
+/// "send {X_i, {X_i}_{K_i^-1}} to ⌈(n+b+1)/2⌉ servers" (Fig. 1).
+struct ContextWriteReq {
+  StoredContext stored;
+
+  Bytes serialize() const;
+  static ContextWriteReq deserialize(BytesView data);
+};
+
+struct AckResp {
+  bool ok = false;
+
+  Bytes serialize() const;
+  static AckResp deserialize(BytesView data);
+};
+
+/// Phase 1 of the Fig. 2 read: "send (uid(x_j), t_j) to b+1 or more
+/// servers; receive replies that include the meta-data of x_j".
+struct MetaReq {
+  ItemId item{};
+  ClientId requester{};
+  /// When set, the server returns the full record (value included) so the
+  /// best case needs no second phase — §6: "in the best case, the message
+  /// cost and response time of read operations could also be the same as
+  /// write operations".
+  bool include_value = false;
+  std::optional<AuthToken> token;
+
+  Bytes serialize() const;
+  static MetaReq deserialize(BytesView data);
+};
+
+struct MetaResp {
+  bool faulty_writer = false;
+  /// True iff `meta` carries the value. An explicit flag rather than
+  /// "value non-empty": the empty value is a perfectly valid value.
+  bool value_included = false;
+  std::optional<WriteRecord> meta;  // value stripped unless value_included
+
+  Bytes serialize() const;
+  static MetaResp deserialize(BytesView data);
+};
+
+/// Phase 2: fetch the value from the chosen server.
+struct ReadReq {
+  ItemId item{};
+  Timestamp ts;  // the timestamp the client selected in phase 1
+  ClientId requester{};
+  std::optional<AuthToken> token;
+
+  Bytes serialize() const;
+  static ReadReq deserialize(BytesView data);
+};
+
+struct ReadResp {
+  bool faulty_writer = false;
+  std::optional<WriteRecord> record;
+
+  Bytes serialize() const;
+  static ReadResp deserialize(BytesView data);
+};
+
+struct WriteReq {
+  WriteRecord record;
+  std::optional<AuthToken> token;
+
+  Bytes serialize() const;
+  static WriteReq deserialize(BytesView data);
+};
+
+/// Write ack. For multi-writer groups the server attaches its stability
+/// share: its signature over the stability statement for this write, which
+/// the client aggregates into a 2b+1 certificate for log pruning (§5.3).
+struct WriteResp {
+  bool ok = false;
+  Bytes stability_share;
+
+  Bytes serialize() const;
+  static WriteResp deserialize(BytesView data);
+};
+
+/// §5.3 read: request the recent-writes log from 2b+1 servers.
+struct LogReadReq {
+  ItemId item{};
+  ClientId requester{};
+  std::optional<AuthToken> token;
+
+  Bytes serialize() const;
+  static LogReadReq deserialize(BytesView data);
+};
+
+struct LogReadResp {
+  bool faulty_writer = false;
+  std::vector<WriteRecord> records;  // newest first, values included
+
+  Bytes serialize() const;
+  static LogReadResp deserialize(BytesView data);
+};
+
+/// Context reconstruction (§5.1): all current meta records of a group.
+struct ReconstructReq {
+  GroupId group{};
+
+  Bytes serialize() const;
+  static ReconstructReq deserialize(BytesView data);
+};
+
+struct ReconstructResp {
+  std::vector<WriteRecord> metas;
+
+  Bytes serialize() const;
+  static ReconstructResp deserialize(BytesView data);
+};
+
+/// One-way stability notice: the certificate that lets servers prune logs.
+struct StabilityMsg {
+  ItemId item{};
+  Timestamp ts;
+  crypto::MultisigCertificate certificate;
+
+  Bytes serialize() const;
+  static StabilityMsg deserialize(BytesView data);
+};
+
+/// The canonical statement a stability share/certificate signs.
+Bytes stability_statement(ItemId item, const Timestamp& ts);
+
+}  // namespace securestore::core

@@ -1,0 +1,32 @@
+#include "core/rotate.h"
+
+namespace securestore::core {
+
+VoidResult rotate_keys(SyncClient& store, std::span<const ItemId> items,
+                       std::shared_ptr<ValueCodec> new_codec) {
+  SecureStoreClient& client = store.client();
+  std::shared_ptr<ValueCodec> old_codec = client.options().codec;
+
+  for (const ItemId item : items) {
+    // Read (and authenticate) under the old key.
+    Result<Bytes> value = store.read_value(item);
+    if (!value.ok()) {
+      if (value.error() == Error::kNotFound) continue;  // nothing to rotate
+      return VoidResult(value.error(), "rotate: read of item failed");
+    }
+
+    // Write back under the new key.
+    client.set_codec(new_codec);
+    const VoidResult written = store.write(item, *value);
+    if (!written.ok()) {
+      client.set_codec(std::move(old_codec));
+      return VoidResult(written.error(), "rotate: write-back failed");
+    }
+    client.set_codec(old_codec);
+  }
+
+  client.set_codec(std::move(new_codec));
+  return VoidResult{};
+}
+
+}  // namespace securestore::core

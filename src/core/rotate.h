@@ -1,0 +1,28 @@
+// Key rotation (§5.2): "When the owner changes its key, it reads the data
+// items, re-encrypts and stores them back."
+//
+// `rotate_keys` runs that cycle over a set of items: each is read and
+// authenticated under the current codec, the client switches to the new
+// codec, and the plaintext is written back (as a fresh, newer-timestamped
+// record, so dissemination replaces the old ciphertext everywhere).
+//
+// On any failure the client's codec is restored and the error returned;
+// items already rotated remain readable under the NEW codec — the caller
+// retries the remainder (rotation is idempotent per item).
+//
+// The paper's caveat applies and is not solvable client-side: "malicious
+// servers might still retain the old data, encrypted with the old key. If
+// the old key is compromised, confidentiality [of old values] is lost."
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/sync.h"
+
+namespace securestore::core {
+
+VoidResult rotate_keys(SyncClient& store, std::span<const ItemId> items,
+                       std::shared_ptr<ValueCodec> new_codec);
+
+}  // namespace securestore::core

@@ -1,0 +1,82 @@
+// Fragmentation-scattering storage mode (§3's complementary technique:
+// "Fray et al. propose a scheme that fragments the information in a data
+// item and stores it at several servers. In this case, if fewer than a
+// threshold number of servers are compromised, the data item's value cannot
+// be reconstructed and hence cannot be disclosed"; Rabin's IDA [14] is the
+// space-efficient dispersal).
+//
+// A scattered write of value v:
+//  1. encrypts v under a fresh random data key (ChaCha20-Poly1305),
+//  2. disperses the ciphertext with IDA(m = b+1, n) — each server stores
+//     ~|v|/(b+1) bytes instead of |v|,
+//  3. splits the data key with Shamir(k = b+1, n),
+//  4. stores fragment_i || share_i as a signed, `kScattered`-flagged record
+//     of the derived item fragment_item(x, i) at server S_i only.
+//
+// Guarantees (n >= 2b+2 required, satisfied by the usual n = 3b+1):
+//  * confidentiality: b compromised servers hold b < k key shares — nothing
+//    about the key, hence nothing about v (and only b IDA fragments of the
+//    ciphertext anyway);
+//  * availability: any b+1 live servers reconstruct; up to n-(b+1) may be
+//    down;
+//  * integrity: every fragment is writer-signed, so corrupt fragments are
+//    dropped before reconstruction, and the AEAD tag over the reassembled
+//    ciphertext catches any residual mismatch (e.g. mixed versions).
+//
+// The price relative to plain replication: scattered records are pinned to
+// their server (no gossip repair), and an in-place overwrite is not atomic
+// across fragments — reads pick the newest version with >= b+1 fragments.
+#pragma once
+
+#include <functional>
+
+#include "core/config.h"
+#include "crypto/keys.h"
+#include "net/quorum.h"
+#include "net/rpc.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace securestore::core {
+
+/// Derives the per-server fragment item uid. Item uids used with the
+/// scattered store must fit in 56 bits.
+ItemId fragment_item(ItemId item, std::uint8_t server_index);
+
+class ScatteredStore {
+ public:
+  struct Options {
+    GroupPolicy policy;  // must be single-writer (fragments are versioned)
+    SimDuration round_timeout = seconds(2);
+  };
+
+  ScatteredStore(net::Transport& transport, NodeId network_id, ClientId client_id,
+                 crypto::KeyPair keys, StoreConfig config, Options options, Rng rng);
+
+  using VoidCb = std::function<void(VoidResult)>;
+  using ReadCb = std::function<void(Result<Bytes>)>;
+
+  /// Scatters `value` across all n servers; completes once n-b servers
+  /// acknowledged their fragment (every live server must hold one — each
+  /// fragment has exactly one home).
+  void write(ItemId item, BytesView value, VoidCb done);
+
+  /// Gathers fragments from all servers and reconstructs the newest version
+  /// with at least b+1 fragments.
+  void read(ItemId item, ReadCb done);
+
+  std::uint32_t threshold() const { return config_.b + 1; }
+
+ private:
+  Bytes data_key_aad(ItemId item) const;
+
+  net::RpcNode node_;
+  ClientId client_id_;
+  crypto::KeyPair keys_;
+  StoreConfig config_;
+  Options options_;
+  Rng rng_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace securestore::core

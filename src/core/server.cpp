@@ -1,0 +1,335 @@
+#include "core/server.h"
+
+#include "storage/snapshot.h"
+
+namespace securestore::core {
+
+SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, StoreConfig config,
+                                     crypto::KeyPair keys, Options options, Rng rng)
+    : node_(transport, id),
+      config_(std::move(config)),
+      keys_(std::move(keys)),
+      options_(std::move(options)),
+      items_(config_.max_log_entries) {
+  config_.validate();
+  if (options_.authority_key.has_value()) {
+    token_verifier_.emplace(*options_.authority_key);
+  }
+
+  gossip_ = std::make_unique<gossip::GossipEngine>(
+      node_, items_, config_.servers, options_.gossip, std::move(rng),
+      [this](const WriteRecord& record, NodeId /*from*/) {
+        // Scattered fragments never travel by gossip (honest peers do not
+        // send them; see RecordFlags::kScattered).
+        if (record.flags & kScattered) return false;
+        if (!validate_record(record)) return false;
+        apply_with_holds(record);
+        return true;
+      });
+
+  node_.set_request_handler([this](NodeId from, net::MsgType type, BytesView body) {
+    return handle_request(from, type, body);
+  });
+  node_.set_oneway_handler([this](NodeId from, net::MsgType type, BytesView body) {
+    handle_oneway(from, type, body);
+  });
+
+  if (options_.start_gossip) gossip_->start();
+
+  if (options_.snapshot_path.has_value()) {
+    // Boot from the last snapshot if one exists.
+    try {
+      restore(storage::load_snapshot_file(*options_.snapshot_path));
+    } catch (const std::runtime_error&) {
+      // No snapshot yet: fresh server.
+    }
+    // Periodic persistence.
+    const auto schedule_save = [this](auto&& self) -> void {
+      node_.transport().schedule(
+          options_.snapshot_period, [this, alive = alive_, self]() {
+            if (!*alive) return;
+            save_snapshot_now();
+            self(self);
+          });
+    };
+    schedule_save(schedule_save);
+  }
+}
+
+SecureStoreServer::~SecureStoreServer() { *alive_ = false; }
+
+Bytes SecureStoreServer::snapshot() const {
+  // Stores plus the audit chain: a reboot must not let a server shed its
+  // own history (the chain is the tamper evidence auditors rely on).
+  Writer w;
+  w.bytes(storage::make_snapshot(items_, contexts_));
+  w.bytes(audit_.serialize());
+  return w.take();
+}
+
+void SecureStoreServer::restore(BytesView snapshot_blob) {
+  Reader r(snapshot_blob);
+  const Bytes stores = r.bytes();
+  const Bytes audit = r.bytes();
+  r.expect_end();
+  storage::restore_snapshot(stores, items_, contexts_);
+  storage::AuditLog restored = storage::AuditLog::deserialize(audit);
+  if (!restored.verify()) throw DecodeError("server snapshot: audit chain broken");
+  audit_ = std::move(restored);
+}
+
+void SecureStoreServer::save_snapshot_now() const {
+  if (!options_.snapshot_path.has_value()) return;
+  storage::save_snapshot_file(*options_.snapshot_path, snapshot());
+}
+
+void SecureStoreServer::set_group_policy(const GroupPolicy& policy) {
+  policies_[policy.group] = policy;
+}
+
+const GroupPolicy& SecureStoreServer::group_policy(GroupId group) const {
+  const auto it = policies_.find(group);
+  return it != policies_.end() ? it->second : default_policy_;
+}
+
+bool SecureStoreServer::accept_request(NodeId /*from*/, net::MsgType /*type*/) { return true; }
+
+std::optional<std::optional<std::pair<net::MsgType, Bytes>>> SecureStoreServer::preempt_request(
+    NodeId /*from*/, net::MsgType /*type*/, BytesView /*body*/) {
+  return std::nullopt;
+}
+
+std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::filter_response(
+    NodeId /*from*/, net::MsgType /*request_type*/, BytesView /*request_body*/,
+    std::optional<std::pair<net::MsgType, Bytes>> honest) {
+  return honest;
+}
+
+const Bytes* SecureStoreServer::client_key(ClientId client) const {
+  const auto it = config_.client_keys.find(client.value);
+  return it != config_.client_keys.end() ? &it->second : nullptr;
+}
+
+bool SecureStoreServer::authorized(const std::optional<AuthToken>& token, ClientId client,
+                                   GroupId group, Rights needed) const {
+  if (!token_verifier_.has_value()) return true;  // authorization disabled
+  return token_verifier_->check(token, client, group, needed, node_.transport().now());
+}
+
+std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
+    NodeId from, net::MsgType type, BytesView body) {
+  if (!accept_request(from, type)) return std::nullopt;
+  if (auto preempted = preempt_request(from, type, body); preempted.has_value()) {
+    return std::move(*preempted);
+  }
+
+  std::optional<std::pair<net::MsgType, Bytes>> honest;
+  try {
+    switch (type) {
+      case net::MsgType::kContextRead:
+        honest = {net::MsgType::kContextRead,
+                  handle_context_read(ContextReadReq::deserialize(body))};
+        break;
+      case net::MsgType::kContextWrite:
+        honest = {net::MsgType::kAck, handle_context_write(ContextWriteReq::deserialize(body))};
+        break;
+      case net::MsgType::kMetaRequest:
+        honest = {net::MsgType::kMetaRequest, handle_meta(MetaReq::deserialize(body))};
+        break;
+      case net::MsgType::kRead:
+        honest = {net::MsgType::kRead, handle_read(ReadReq::deserialize(body))};
+        break;
+      case net::MsgType::kWrite:
+        honest = {net::MsgType::kWrite, handle_write(WriteReq::deserialize(body))};
+        break;
+      case net::MsgType::kLogRead:
+        honest = {net::MsgType::kLogRead, handle_log_read(LogReadReq::deserialize(body))};
+        break;
+      case net::MsgType::kReconstruct:
+        honest = {net::MsgType::kReconstruct,
+                  handle_reconstruct(ReconstructReq::deserialize(body))};
+        break;
+      case net::MsgType::kAuditRead:
+        honest = {net::MsgType::kAuditRead, audit_.serialize()};
+        break;
+      default:
+        return std::nullopt;  // unknown request: ignore
+    }
+  } catch (const DecodeError&) {
+    return std::nullopt;  // malformed request: ignore
+  }
+
+  return filter_response(from, type, body, std::move(honest));
+}
+
+void SecureStoreServer::handle_oneway(NodeId from, net::MsgType type, BytesView body) {
+  if (!accept_request(from, type)) return;  // fault hook covers oneways too
+  switch (type) {
+    case net::MsgType::kGossipDigest:
+    case net::MsgType::kGossipUpdates:
+    case net::MsgType::kGossipRequest:
+      gossip_->handle(from, type, body);
+      return;
+    case net::MsgType::kStability:
+      try {
+        handle_stability(StabilityMsg::deserialize(body));
+      } catch (const DecodeError&) {
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+Bytes SecureStoreServer::handle_context_read(const ContextReadReq& req) {
+  ContextReadResp resp;
+  const StoredContext* stored = contexts_.get(req.owner, req.group);
+  if (stored != nullptr) resp.stored = *stored;
+  return resp.serialize();
+}
+
+Bytes SecureStoreServer::handle_context_write(const ContextWriteReq& req) {
+  AckResp resp;
+  const Bytes* key = client_key(req.stored.owner);
+  // "Non-faulty servers need to verify the signature to ensure that they do
+  // not overwrite their context data with spurious information" (§6).
+  if (key != nullptr && req.stored.verify(*key)) {
+    contexts_.apply(req.stored);
+    resp.ok = true;
+  }
+  return resp.serialize();
+}
+
+Bytes SecureStoreServer::handle_meta(const MetaReq& req) {
+  MetaResp resp;
+  const WriteRecord* current = items_.current(req.item);
+  if (current != nullptr &&
+      authorized(req.token, req.requester, current->group, Rights::kRead)) {
+    resp.meta = req.include_value ? *current : current->meta_only();
+    resp.value_included = req.include_value;
+    resp.faulty_writer = items_.flagged_faulty(req.item);
+  }
+  return resp.serialize();
+}
+
+Bytes SecureStoreServer::handle_read(const ReadReq& req) {
+  ReadResp resp;
+  const WriteRecord* current = items_.current(req.item);
+  if (current != nullptr &&
+      authorized(req.token, req.requester, current->group, Rights::kRead)) {
+    // Return the newest we have; the client accepts it iff it satisfies the
+    // timestamp it selected in the meta phase.
+    resp.record = *current;
+    resp.faulty_writer = items_.flagged_faulty(req.item);
+  }
+  return resp.serialize();
+}
+
+Bytes SecureStoreServer::handle_write(const WriteReq& req) {
+  WriteResp resp;
+  const WriteRecord& record = req.record;
+  if (!authorized(req.token, record.writer, record.group, Rights::kWrite)) {
+    return resp.serialize();
+  }
+  if (!validate_record(record)) return resp.serialize();
+
+  const bool visible = apply_with_holds(record);
+  resp.ok = true;
+
+  // Rumor mongering: spread a fresh client write immediately instead of
+  // waiting for the next anti-entropy tick (§5.2: "new data values could be
+  // sent to one or more servers at a frequency that can be tuned").
+  if (visible && gossip_->config().push_on_write) gossip_->push_record(record);
+
+  // Multi-writer deployments with Byzantine clients get a stability share
+  // in the ack; the writer aggregates 2b+1 of these into the certificate
+  // that lets servers garbage collect their logs (§5.3).
+  const GroupPolicy& policy = group_policy(record.group);
+  if (visible && policy.sharing == SharingMode::kMultiWriter &&
+      policy.trust == ClientTrust::kByzantine) {
+    resp.stability_share =
+        crypto::meter_sign(keys_.seed, stability_statement(record.item, record.ts));
+  }
+  return resp.serialize();
+}
+
+Bytes SecureStoreServer::handle_log_read(const LogReadReq& req) {
+  LogReadResp resp;
+  std::vector<WriteRecord> log = items_.log(req.item);
+  if (!log.empty() && !authorized(req.token, req.requester, log.front().group, Rights::kRead)) {
+    return LogReadResp{}.serialize();
+  }
+  resp.records = std::move(log);
+  resp.faulty_writer = items_.flagged_faulty(req.item);
+  return resp.serialize();
+}
+
+Bytes SecureStoreServer::handle_reconstruct(const ReconstructReq& req) {
+  ReconstructResp resp;
+  resp.metas = items_.group_meta(req.group);
+  return resp.serialize();
+}
+
+void SecureStoreServer::handle_stability(const StabilityMsg& msg) {
+  // Trust the certificate only if 2b+1 distinct servers signed the exact
+  // statement: then at least b+1 correct servers store the new value and
+  // superseded log entries are safe to drop (§5.3).
+  if (msg.certificate.statement() != stability_statement(msg.item, msg.ts)) return;
+  if (!msg.certificate.satisfies(config_.stability_threshold(), config_.server_keys)) return;
+  items_.prune_log(msg.item, msg.ts);
+}
+
+bool SecureStoreServer::validate_record(const WriteRecord& record) const {
+  const Bytes* key = client_key(record.writer);
+  if (key == nullptr) return false;
+
+  const GroupPolicy& policy = group_policy(record.group);
+  if (record.model != policy.model) return false;
+
+  if (policy.sharing == SharingMode::kMultiWriter) {
+    // Multi-writer timestamps must be the §5.3 3-tuple, bound to this writer
+    // and this value.
+    if (record.ts.writer != record.writer) return false;
+    if (record.ts.digest.empty() || record.ts.digest != record.value_digest) return false;
+  } else {
+    // Single-writer: version-only timestamps.
+    if (record.ts.writer != ClientId{} || !record.ts.digest.empty()) return false;
+  }
+
+  return record.verify(*key);
+}
+
+bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
+  const GroupPolicy& policy = group_policy(record.group);
+  const bool needs_hold = policy.sharing == SharingMode::kMultiWriter &&
+                          policy.trust == ClientTrust::kByzantine &&
+                          record.model == ConsistencyModel::kCC;
+
+  const auto have = [this](ItemId item, const Timestamp& ts) {
+    const WriteRecord* current = items_.current(item);
+    return current != nullptr && !(current->ts < ts);
+  };
+
+  if (needs_hold && !storage::HoldQueue::dependencies_met(record, have)) {
+    holds_.hold(record);
+    return false;
+  }
+
+  if (items_.apply(record) != storage::ApplyResult::kDuplicate) {
+    audit_.append(record, node_.transport().now());
+  }
+
+  // A new arrival can transitively unblock held writes.
+  while (true) {
+    std::vector<WriteRecord> released = holds_.release(have);
+    if (released.empty()) break;
+    for (const WriteRecord& unblocked : released) {
+      if (items_.apply(unblocked) != storage::ApplyResult::kDuplicate) {
+        audit_.append(unblocked, node_.transport().now());
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace securestore::core

@@ -1,0 +1,145 @@
+// SecureStoreServer: one of the n replicated servers S_1..S_n.
+//
+// Servers are deliberately *passive data repositories* (§1, §7): they store
+// signed records and contexts, answer quorum requests, and disseminate
+// updates via gossip. Consistency is the client's job. The only decisions a
+// server makes are validations — signature checks, authorization checks,
+// causal-hold release (§5.3) — so that "we limit the power entrusted to
+// servers which is useful when they exhibit malicious behavior" (§3).
+//
+// Fault injection: the protected virtuals `accept_request` and
+// `filter_response` let the faults library wrap every interaction of a
+// compromised server (mute, stale, corrupt, equivocate) without the honest
+// logic knowing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/auth.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "crypto/keys.h"
+#include "gossip/gossip.h"
+#include "net/rpc.h"
+#include "storage/audit_log.h"
+#include "storage/context_store.h"
+#include "storage/hold_queue.h"
+#include "storage/item_store.h"
+
+namespace securestore::core {
+
+class SecureStoreServer {
+ public:
+  struct Options {
+    gossip::GossipEngine::Config gossip;
+    bool start_gossip = true;
+    /// When set, read/write requests must carry a valid token signed by
+    /// this authority key (§4's authorization assumption).
+    std::optional<Bytes> authority_key;
+    /// Durable operation: load state from this snapshot file at startup
+    /// (if it exists) and re-save it every `snapshot_period` of transport
+    /// time. Long-term safe keeping across restarts (§1).
+    std::optional<std::string> snapshot_path;
+    SimDuration snapshot_period = seconds(30);
+  };
+
+  SecureStoreServer(net::Transport& transport, NodeId id, StoreConfig config,
+                    crypto::KeyPair keys, Options options, Rng rng);
+  virtual ~SecureStoreServer();
+
+  SecureStoreServer(const SecureStoreServer&) = delete;
+  SecureStoreServer& operator=(const SecureStoreServer&) = delete;
+
+  NodeId id() const { return node_.id(); }
+  const StoreConfig& config() const { return config_; }
+
+  /// Registers how a group's items behave; unknown groups default to
+  /// single-writer MRC with honest clients.
+  void set_group_policy(const GroupPolicy& policy);
+  const GroupPolicy& group_policy(GroupId group) const;
+
+  // Introspection for tests and benches.
+  storage::ItemStore& store() { return items_; }
+  const storage::ItemStore& store() const { return items_; }
+  std::size_t held_writes() const { return holds_.size(); }
+  gossip::GossipEngine& gossip() { return *gossip_; }
+
+  /// Durable state (records + contexts) as a checksummed snapshot blob.
+  Bytes snapshot() const;
+  /// Replays a snapshot into this (freshly constructed) server. Throws
+  /// DecodeError on a malformed or tampered snapshot.
+  void restore(BytesView snapshot_blob);
+  /// Writes the snapshot to Options::snapshot_path now (no-op without one).
+  void save_snapshot_now() const;
+
+  /// The tamper-evident log of every write this server accepted ([6]-style
+  /// auditing; also served over the wire via kAuditRead).
+  const storage::AuditLog& audit_log() const { return audit_; }
+
+ protected:
+  /// Fault hook: return false to silently ignore a request.
+  virtual bool accept_request(NodeId from, net::MsgType type);
+
+  /// Fault hook: runs before the honest handler. Return a value to replace
+  /// honest processing entirely (the inner optional is the response to
+  /// send, nullopt inner = stay silent). Return nullopt (outer) to proceed
+  /// honestly. Lets a fault e.g. acknowledge a write it never stores.
+  virtual std::optional<std::optional<std::pair<net::MsgType, Bytes>>> preempt_request(
+      NodeId from, net::MsgType type, BytesView body);
+
+  /// Fault hook: the honest response is offered before sending; a faulty
+  /// subclass may mutate or suppress it (request body included so the fault
+  /// can key its behavior on the item being asked about). Default passes
+  /// through.
+  virtual std::optional<std::pair<net::MsgType, Bytes>> filter_response(
+      NodeId from, net::MsgType request_type, BytesView request_body,
+      std::optional<std::pair<net::MsgType, Bytes>> honest);
+
+  const StoreConfig& config_ref() const { return config_; }
+
+ private:
+  std::optional<std::pair<net::MsgType, Bytes>> handle_request(NodeId from, net::MsgType type,
+                                                               BytesView body);
+  void handle_oneway(NodeId from, net::MsgType type, BytesView body);
+
+  Bytes handle_context_read(const ContextReadReq& req);
+  Bytes handle_context_write(const ContextWriteReq& req);
+  Bytes handle_meta(const MetaReq& req);
+  Bytes handle_read(const ReadReq& req);
+  Bytes handle_write(const WriteReq& req);
+  Bytes handle_log_read(const LogReadReq& req);
+  Bytes handle_reconstruct(const ReconstructReq& req);
+  void handle_stability(const StabilityMsg& msg);
+
+  /// Validates a record end to end (writer key known, signature, digest,
+  /// policy conformance). Used for client writes and gossip alike.
+  bool validate_record(const WriteRecord& record) const;
+
+  /// Applies a validated record, honoring §5.3 causal holds, then releases
+  /// any transitively unblocked held writes. Returns true if the record
+  /// became visible (false: parked in the hold queue).
+  bool apply_with_holds(const WriteRecord& record);
+
+  bool authorized(const std::optional<AuthToken>& token, ClientId client, GroupId group,
+                  Rights needed) const;
+
+  const Bytes* client_key(ClientId client) const;
+
+  net::RpcNode node_;
+  StoreConfig config_;
+  crypto::KeyPair keys_;
+  Options options_;
+  storage::ItemStore items_;
+  storage::ContextStore contexts_;
+  storage::HoldQueue holds_;
+  storage::AuditLog audit_;
+  std::unordered_map<GroupId, GroupPolicy> policies_;
+  GroupPolicy default_policy_;
+  std::optional<TokenVerifier> token_verifier_;
+  std::unique_ptr<gossip::GossipEngine> gossip_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);  // guards timers
+};
+
+}  // namespace securestore::core

@@ -1,0 +1,48 @@
+#include "core/sync.h"
+
+namespace securestore::core {
+
+VoidResult SyncClient::connect(GroupId group) {
+  std::optional<VoidResult> slot;
+  client_.connect(group, [&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+VoidResult SyncClient::disconnect() {
+  std::optional<VoidResult> slot;
+  client_.disconnect([&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+VoidResult SyncClient::reconstruct_context(GroupId group) {
+  std::optional<VoidResult> slot;
+  client_.reconstruct_context(group, [&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+VoidResult SyncClient::write(ItemId item, BytesView value) {
+  std::optional<VoidResult> slot;
+  client_.write(item, value, [&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+Result<ReadOutput> SyncClient::read(ItemId item) {
+  std::optional<Result<ReadOutput>> slot;
+  client_.read(item, [&slot](Result<ReadOutput> r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+Result<std::vector<GroupEntry>> SyncClient::list_group(GroupId group) {
+  std::optional<Result<std::vector<GroupEntry>>> slot;
+  client_.list_group(group,
+                     [&slot](Result<std::vector<GroupEntry>> r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+Result<Bytes> SyncClient::read_value(ItemId item) {
+  Result<ReadOutput> result = read(item);
+  if (!result.ok()) return Result<Bytes>(result.error(), result.detail());
+  return Result<Bytes>(std::move(result->value));
+}
+
+}  // namespace securestore::core

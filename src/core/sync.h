@@ -1,0 +1,47 @@
+// Blocking facade over the asynchronous client.
+//
+// Drives the discrete-event scheduler until the operation's callback fires,
+// so tests, examples and benches read like straight-line code while the
+// full event-driven protocol stack (messages, latencies, timeouts, gossip)
+// runs underneath. Deterministic: same seed, same interleaving.
+#pragma once
+
+#include <optional>
+
+#include "core/client.h"
+#include "sim/scheduler.h"
+
+namespace securestore::core {
+
+class SyncClient {
+ public:
+  SyncClient(SecureStoreClient& client, sim::Scheduler& scheduler)
+      : client_(client), scheduler_(scheduler) {}
+
+  VoidResult connect(GroupId group);
+  VoidResult disconnect();
+  VoidResult reconstruct_context(GroupId group);
+  VoidResult write(ItemId item, BytesView value);
+  Result<ReadOutput> read(ItemId item);
+  /// Convenience: the value only (errors pass through).
+  Result<Bytes> read_value(ItemId item);
+  Result<std::vector<GroupEntry>> list_group(GroupId group);
+
+  SecureStoreClient& client() { return client_; }
+
+ private:
+  template <typename R>
+  R wait(std::optional<R>& slot) {
+    while (!slot.has_value() && scheduler_.step()) {
+    }
+    if (slot.has_value()) return std::move(*slot);
+    // The event queue drained without the callback firing — only possible
+    // if the protocol lost its timeout event, which would be a bug.
+    return R(Error::kTimeout, "event queue drained before completion");
+  }
+
+  SecureStoreClient& client_;
+  sim::Scheduler& scheduler_;
+};
+
+}  // namespace securestore::core

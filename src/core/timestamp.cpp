@@ -1,0 +1,29 @@
+#include "core/timestamp.h"
+
+#include "util/bytes.h"
+
+namespace securestore::core {
+
+void Timestamp::encode(Writer& w) const {
+  w.u64(time);
+  w.u32(writer.value);
+  w.bytes(digest);
+}
+
+Timestamp Timestamp::decode(Reader& r) {
+  Timestamp ts;
+  ts.time = r.u64();
+  ts.writer = ClientId{r.u32()};
+  ts.digest = r.bytes();
+  return ts;
+}
+
+std::string to_string(const Timestamp& ts) {
+  std::string out = "ts(" + std::to_string(ts.time);
+  if (ts.writer != ClientId{}) out += "," + to_string(ts.writer);
+  if (!ts.digest.empty()) out += ",d=" + to_hex(ts.digest).substr(0, 8);
+  out += ")";
+  return out;
+}
+
+}  // namespace securestore::core

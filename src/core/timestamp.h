@@ -1,0 +1,56 @@
+// Timestamps (§4.1, §5.3).
+//
+// A timestamp uniquely identifies a write. For non-shared and single-writer
+// data it is simply a version number (`time`) that the writer increases
+// monotonically. For multi-writer data the paper extends it to a 3-tuple
+// (time, uid(C_i), d(v)):
+//  * the writer uid breaks ties between independent writers and is bound to
+//    the signing key, so a malicious client cannot stamp another's uid;
+//  * the value digest prevents a malicious client from reusing one
+//    timestamp for two different values — two timestamps equal in (time,
+//    uid) but different in digest expose the writer as faulty
+//    (equivocation), and readers of the item are warned.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/serial.h"
+
+namespace securestore::core {
+
+struct Timestamp {
+  std::uint64_t time = 0;
+  ClientId writer{};  // ClientId{0} in single-writer deployments
+  Bytes digest;       // d(v); empty in single-writer deployments
+
+  bool is_zero() const { return time == 0; }
+
+  /// The paper's order: by time, then writer uid. Digest intentionally does
+  /// NOT participate in ordering — equal (time, uid) with different digests
+  /// is not an order relation but evidence of a faulty writer; test with
+  /// `equivocates`.
+  std::strong_ordering operator<=>(const Timestamp& other) const {
+    if (const auto c = time <=> other.time; c != 0) return c;
+    return writer <=> other.writer;
+  }
+  bool operator==(const Timestamp& other) const {
+    return time == other.time && writer == other.writer && digest == other.digest;
+  }
+
+  /// True iff the two timestamps expose the writer as faulty: same (time,
+  /// uid) but different value digests (§5.3).
+  bool equivocates(const Timestamp& other) const {
+    return time == other.time && writer == other.writer && digest != other.digest;
+  }
+
+  void encode(Writer& w) const;
+  static Timestamp decode(Reader& r);
+};
+
+std::string to_string(const Timestamp& ts);
+
+}  // namespace securestore::core

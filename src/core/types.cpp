@@ -1,0 +1,29 @@
+#include "core/types.h"
+
+namespace securestore::core {
+
+const char* to_string(ConsistencyModel model) {
+  switch (model) {
+    case ConsistencyModel::kMRC: return "MRC";
+    case ConsistencyModel::kCC: return "CC";
+  }
+  return "?";
+}
+
+const char* to_string(SharingMode mode) {
+  switch (mode) {
+    case SharingMode::kSingleWriter: return "single-writer";
+    case SharingMode::kMultiWriter: return "multi-writer";
+  }
+  return "?";
+}
+
+const char* to_string(ClientTrust trust) {
+  switch (trust) {
+    case ClientTrust::kHonest: return "honest-clients";
+    case ClientTrust::kByzantine: return "byzantine-clients";
+  }
+  return "?";
+}
+
+}  // namespace securestore::core

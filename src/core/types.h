@@ -1,0 +1,34 @@
+// Core enumerations for the secure store.
+#pragma once
+
+#include <cstdint>
+
+namespace securestore::core {
+
+/// The consistency level fixed at item-group creation time (§5.2: "the same
+/// data item cannot be accessed with MRC consistency requirement at one
+/// time and CC consistency at another time").
+enum class ConsistencyModel : std::uint8_t {
+  kMRC = 0,  // monotonic read consistency
+  kCC = 1,   // causal consistency
+};
+
+/// Who writes the data — this selects the protocol variant (§5.2 vs §5.3).
+enum class SharingMode : std::uint8_t {
+  kSingleWriter = 0,  // non-shared, or one writer / many readers
+  kMultiWriter = 1,   // read and written by multiple clients
+};
+
+/// Whether the multi-writer protocol must defend against malicious clients
+/// (§5.3's hardened variant: 2b+1 quorums, b+1 matching replies,
+/// server-side logs and causal holds).
+enum class ClientTrust : std::uint8_t {
+  kHonest = 0,
+  kByzantine = 1,
+};
+
+const char* to_string(ConsistencyModel model);
+const char* to_string(SharingMode mode);
+const char* to_string(ClientTrust trust);
+
+}  // namespace securestore::core

@@ -1,0 +1,223 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace securestore::crypto {
+
+namespace {
+
+std::uint32_t load32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void store32_le(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t rotl32(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store32_le(out + 4 * i, x[i] + state[i]);
+}
+
+void init_state(std::uint32_t state[16], BytesView key, BytesView nonce,
+                std::uint32_t counter) {
+  if (key.size() != kChaChaKeySize) throw std::invalid_argument("chacha20: key must be 32 bytes");
+  if (nonce.size() != kChaChaNonceSize) throw std::invalid_argument("chacha20: nonce must be 12 bytes");
+  state[0] = 0x61707865; state[1] = 0x3320646e;
+  state[2] = 0x79622d32; state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load32_le(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load32_le(nonce.data() + 4 * i);
+}
+
+}  // namespace
+
+Bytes chacha20_xor(BytesView key, BytesView nonce, std::uint32_t counter, BytesView input) {
+  std::uint32_t state[16];
+  init_state(state, key, nonce, counter);
+
+  Bytes out(input.size());
+  std::uint8_t keystream[64];
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    chacha20_block(state, keystream);
+    ++state[12];
+    const std::size_t take = std::min<std::size_t>(64, input.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) out[offset + i] = input[offset + i] ^ keystream[i];
+    offset += take;
+  }
+  return out;
+}
+
+std::array<std::uint8_t, kPolyTagSize> poly1305(BytesView key, BytesView message) {
+  if (key.size() != 32) throw std::invalid_argument("poly1305: key must be 32 bytes");
+
+  // r is clamped per RFC 8439 §2.5.1; arithmetic is mod 2^130 - 5 using
+  // five 26-bit limbs with 64-bit accumulators.
+  std::uint32_t r0 = load32_le(key.data()) & 0x3ffffff;
+  std::uint32_t r1 = (load32_le(key.data() + 3) >> 2) & 0x3ffff03;
+  std::uint32_t r2 = (load32_le(key.data() + 6) >> 4) & 0x3ffc0ff;
+  std::uint32_t r3 = (load32_le(key.data() + 9) >> 6) & 0x3f03fff;
+  std::uint32_t r4 = (load32_le(key.data() + 12) >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t offset = 0;
+  while (offset < message.size()) {
+    std::uint8_t block[17] = {0};
+    const std::size_t take = std::min<std::size_t>(16, message.size() - offset);
+    std::memcpy(block, message.data() + offset, take);
+    block[take] = 1;  // the "append 0x01" step; implicit high bit for full blocks
+    offset += take;
+
+    h0 += load32_le(block) & 0x3ffffff;
+    h1 += (load32_le(block + 3) >> 2) & 0x3ffffff;
+    h2 += (load32_le(block + 6) >> 4) & 0x3ffffff;
+    h3 += (load32_le(block + 9) >> 6) & 0x3ffffff;
+    h4 += (load32_le(block + 12) >> 8) | (static_cast<std::uint32_t>(block[16]) << 24);
+
+    const std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r0 + static_cast<std::uint64_t>(h1) * s4 +
+                             static_cast<std::uint64_t>(h2) * s3 + static_cast<std::uint64_t>(h3) * s2 +
+                             static_cast<std::uint64_t>(h4) * s1;
+    const std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r1 + static_cast<std::uint64_t>(h1) * r0 +
+                             static_cast<std::uint64_t>(h2) * s4 + static_cast<std::uint64_t>(h3) * s3 +
+                             static_cast<std::uint64_t>(h4) * s2;
+    const std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r2 + static_cast<std::uint64_t>(h1) * r1 +
+                             static_cast<std::uint64_t>(h2) * r0 + static_cast<std::uint64_t>(h3) * s4 +
+                             static_cast<std::uint64_t>(h4) * s3;
+    const std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r3 + static_cast<std::uint64_t>(h1) * r2 +
+                             static_cast<std::uint64_t>(h2) * r1 + static_cast<std::uint64_t>(h3) * r0 +
+                             static_cast<std::uint64_t>(h4) * s4;
+    const std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r4 + static_cast<std::uint64_t>(h1) * r3 +
+                             static_cast<std::uint64_t>(h2) * r2 + static_cast<std::uint64_t>(h3) * r1 +
+                             static_cast<std::uint64_t>(h4) * r0;
+
+    std::uint64_t carry;
+    carry = d0 >> 26; h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    const std::uint64_t e1 = d1 + carry;
+    carry = e1 >> 26; h1 = static_cast<std::uint32_t>(e1) & 0x3ffffff;
+    const std::uint64_t e2 = d2 + carry;
+    carry = e2 >> 26; h2 = static_cast<std::uint32_t>(e2) & 0x3ffffff;
+    const std::uint64_t e3 = d3 + carry;
+    carry = e3 >> 26; h3 = static_cast<std::uint32_t>(e3) & 0x3ffffff;
+    const std::uint64_t e4 = d4 + carry;
+    carry = e4 >> 26; h4 = static_cast<std::uint32_t>(e4) & 0x3ffffff;
+    h0 += static_cast<std::uint32_t>(carry) * 5;
+    h1 += h0 >> 26; h0 &= 0x3ffffff;
+  }
+
+  // Full carry propagation, then reduce mod 2^130-5.
+  std::uint32_t carry;
+  carry = h1 >> 26; h1 &= 0x3ffffff; h2 += carry;
+  carry = h2 >> 26; h2 &= 0x3ffffff; h3 += carry;
+  carry = h3 >> 26; h3 &= 0x3ffffff; h4 += carry;
+  carry = h4 >> 26; h4 &= 0x3ffffff; h0 += carry * 5;
+  carry = h0 >> 26; h0 &= 0x3ffffff; h1 += carry;
+
+  // Compute h + -p and select it if h >= p.
+  std::uint32_t g0 = h0 + 5;
+  carry = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + carry;
+  carry = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + carry;
+  carry = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + carry;
+  carry = g3 >> 26; g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + carry - (1u << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Repack the 26-bit limbs into four 32-bit words (masking: the bits above
+  // 32 in each packed word are exactly the bits the next word starts with),
+  // then h = h + s (mod 2^128) where s is the second half of the key.
+  const std::uint32_t w0 = h0 | (h1 << 26);
+  const std::uint32_t w1 = (h1 >> 6) | (h2 << 20);
+  const std::uint32_t w2 = (h2 >> 12) | (h3 << 14);
+  const std::uint32_t w3 = (h3 >> 18) | (h4 << 8);
+  std::uint64_t f0 = static_cast<std::uint64_t>(w0) + load32_le(key.data() + 16);
+  std::uint64_t f1 = static_cast<std::uint64_t>(w1) + load32_le(key.data() + 20) + (f0 >> 32);
+  std::uint64_t f2 = static_cast<std::uint64_t>(w2) + load32_le(key.data() + 24) + (f1 >> 32);
+  std::uint64_t f3 = static_cast<std::uint64_t>(w3) + load32_le(key.data() + 28) + (f2 >> 32);
+
+  std::array<std::uint8_t, kPolyTagSize> tag;
+  store32_le(tag.data(), static_cast<std::uint32_t>(f0));
+  store32_le(tag.data() + 4, static_cast<std::uint32_t>(f1));
+  store32_le(tag.data() + 8, static_cast<std::uint32_t>(f2));
+  store32_le(tag.data() + 12, static_cast<std::uint32_t>(f3));
+  return tag;
+}
+
+namespace {
+
+// Builds the Poly1305 input for AEAD per RFC 8439 §2.8: aad || pad || ct ||
+// pad || len(aad) || len(ct).
+Bytes aead_mac_data(BytesView aad, BytesView ciphertext) {
+  Bytes mac_data(aad.begin(), aad.end());
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  mac_data.insert(mac_data.end(), ciphertext.begin(), ciphertext.end());
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  std::uint8_t lengths[16];
+  store32_le(lengths, static_cast<std::uint32_t>(aad.size()));
+  store32_le(lengths + 4, static_cast<std::uint32_t>(aad.size() >> 32));
+  store32_le(lengths + 8, static_cast<std::uint32_t>(ciphertext.size()));
+  store32_le(lengths + 12, static_cast<std::uint32_t>(ciphertext.size() >> 32));
+  mac_data.insert(mac_data.end(), lengths, lengths + 16);
+  return mac_data;
+}
+
+Bytes poly_key(BytesView key, BytesView nonce) {
+  const Bytes zeros(32, 0);
+  return chacha20_xor(key, nonce, 0, zeros);
+}
+
+}  // namespace
+
+Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad, BytesView plaintext) {
+  Bytes ciphertext = chacha20_xor(key, nonce, 1, plaintext);
+  const Bytes otk = poly_key(key, nonce);
+  const auto tag = poly1305(otk, aead_mac_data(aad, ciphertext));
+  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
+  return ciphertext;
+}
+
+std::optional<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                               BytesView ciphertext_and_tag) {
+  if (ciphertext_and_tag.size() < kPolyTagSize) return std::nullopt;
+  const BytesView ciphertext = ciphertext_and_tag.first(ciphertext_and_tag.size() - kPolyTagSize);
+  const BytesView tag = ciphertext_and_tag.last(kPolyTagSize);
+  const Bytes otk = poly_key(key, nonce);
+  const auto expected = poly1305(otk, aead_mac_data(aad, ciphertext));
+  if (!constant_time_equal(BytesView(expected.data(), expected.size()), tag)) return std::nullopt;
+  return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+}  // namespace securestore::crypto

@@ -1,0 +1,34 @@
+// ChaCha20 stream cipher and ChaCha20-Poly1305 AEAD (RFC 8439).
+//
+// The confidentiality layer of the secure store (§5.2/§5.3 of the paper:
+// "the owner or writing client can store all its data items in encrypted
+// form", with a key the servers never learn) encrypts values with this AEAD
+// before they are written. Validated against the RFC 8439 test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace securestore::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+constexpr std::size_t kPolyTagSize = 16;
+
+/// Raw ChaCha20 keystream XOR starting at the given block counter.
+Bytes chacha20_xor(BytesView key, BytesView nonce, std::uint32_t counter, BytesView input);
+
+/// Poly1305 one-time authenticator (key must be 32 bytes).
+std::array<std::uint8_t, kPolyTagSize> poly1305(BytesView key, BytesView message);
+
+/// AEAD seal: returns ciphertext || 16-byte tag.
+Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad, BytesView plaintext);
+
+/// AEAD open: returns plaintext, or nullopt if the tag does not verify.
+std::optional<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                               BytesView ciphertext_and_tag);
+
+}  // namespace securestore::crypto

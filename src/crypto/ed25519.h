@@ -1,0 +1,43 @@
+// Ed25519 signatures (RFC 8032), implemented from scratch.
+//
+// These are the paper's client signatures {data}_{K_i^{-1}}: every write
+// record, context and dissemination message carries one, which is the
+// mechanism that reduces quorum sizes to b+1 (a malicious server cannot
+// forge, only omit or replay old-but-valid records).
+//
+// Implementation notes
+//  * field arithmetic mod p = 2^255 - 19 with five 51-bit limbs and
+//    unsigned __int128 accumulators; every operation re-normalizes so limb
+//    bounds stay trivially safe (favoring obvious correctness over the last
+//    20% of speed),
+//  * group operations in extended twisted-Edwards coordinates
+//    (Hisil-Wong-Carter-Dawson 2008 formulas, a = -1),
+//  * scalar arithmetic mod the group order L via a fixed-width 512-bit
+//    integer with shift-subtract reduction,
+//  * validated against the RFC 8032 test vectors in tests/ed25519_test.cpp.
+//
+// This implementation does not attempt to be constant-time: the repository
+// reproduces a protocol evaluation, not a hardened TLS stack, and timing
+// side channels are outside the paper's threat model (§4 assumes secure
+// channels and sound cryptography).
+#pragma once
+
+#include "util/bytes.h"
+
+namespace securestore::crypto {
+
+constexpr std::size_t kEd25519SeedSize = 32;
+constexpr std::size_t kEd25519PublicKeySize = 32;
+constexpr std::size_t kEd25519SignatureSize = 64;
+
+/// Derives the 32-byte public key from a 32-byte secret seed.
+Bytes ed25519_public_key(BytesView seed);
+
+/// Signs `message` with the key derived from `seed`; returns 64 bytes (R||S).
+Bytes ed25519_sign(BytesView seed, BytesView message);
+
+/// Verifies `signature` over `message` under `public_key`.
+/// Returns false for malformed points/scalars as well as wrong signatures.
+bool ed25519_verify(BytesView public_key, BytesView message, BytesView signature);
+
+}  // namespace securestore::crypto

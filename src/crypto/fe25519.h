@@ -1,0 +1,49 @@
+// Field arithmetic mod p = 2^255 - 19 (internal).
+//
+// Shared by Ed25519 (signatures) and X25519 (Diffie–Hellman): five 51-bit
+// limbs, unsigned __int128 accumulators, re-normalized after every
+// operation so limb bounds stay trivially safe. Not constant-time (see the
+// note in ed25519.h).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace securestore::crypto::fe25519 {
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+inline constexpr Fe kZero = {{0, 0, 0, 0, 0}};
+inline constexpr Fe kOne = {{1, 0, 0, 0, 0}};
+
+/// Normalizes limbs to < 2^51 (+ fold through the 19-multiple).
+void carry(Fe& h);
+
+/// Little-endian 32-byte load; bit 255 is ignored.
+Fe from_bytes(const std::uint8_t s[32]);
+
+/// Canonical little-endian 32-byte store (fully reduced mod p).
+void to_bytes(std::uint8_t s[32], const Fe& f);
+
+Fe add(const Fe& a, const Fe& b);
+Fe sub(const Fe& a, const Fe& b);
+Fe neg(const Fe& a);
+Fe mul(const Fe& a, const Fe& b);
+Fe sq(const Fe& a);
+/// a^(2^n) by repeated squaring.
+Fe sqn(Fe a, int n);
+/// Multiplies by a small scalar (< 2^13, e.g. X25519's a24 = 121666).
+Fe mul_small(const Fe& a, std::uint64_t small);
+/// a^(p-2) = a^-1.
+Fe invert(const Fe& a);
+/// a^((p-5)/8), for square roots in point decompression.
+Fe pow22523(const Fe& a);
+
+bool is_zero(const Fe& a);
+bool is_negative(const Fe& a);
+bool equal(const Fe& a, const Fe& b);
+
+}  // namespace securestore::crypto::fe25519

@@ -1,0 +1,125 @@
+#include "crypto/gf256.h"
+
+#include <stdexcept>
+
+namespace securestore::crypto::gf256 {
+
+namespace {
+
+struct Tables {
+  // exp table over a generator (0x03); log[exp[i]] == i.
+  std::array<std::uint8_t, 512> exp;
+  std::array<std::uint8_t, 256> log;
+
+  Tables() {
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = x;
+      log[x] = static_cast<std::uint8_t>(i);
+      // multiply x by generator 0x03 = x+1: x*3 = (x<<1) ^ x with reduction.
+      const std::uint8_t hi = static_cast<std::uint8_t>(x & 0x80);
+      std::uint8_t doubled = static_cast<std::uint8_t>(x << 1);
+      if (hi) doubled ^= 0x1b;
+      x = static_cast<std::uint8_t>(doubled ^ x);
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // undefined; guarded by callers
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw std::invalid_argument("gf256::inv(0)");
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw std::invalid_argument("gf256::div by 0");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(t.log[a] + 255 - t.log[b]) % 255];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * e) % 255];
+}
+
+std::uint8_t poly_eval(std::span<const std::uint8_t> coefficients, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = coefficients.size(); i-- > 0;) {
+    acc = static_cast<std::uint8_t>(mul(acc, x) ^ coefficients[i]);
+  }
+  return acc;
+}
+
+std::uint8_t interpolate(std::span<const std::uint8_t> xs,
+                         std::span<const std::uint8_t> ys, std::uint8_t at) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("gf256::interpolate: size mismatch");
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::uint8_t num = 1, den = 1;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (i == j) continue;
+      num = mul(num, add(at, xs[j]));
+      den = mul(den, add(xs[i], xs[j]));
+    }
+    if (den == 0) throw std::invalid_argument("gf256::interpolate: duplicate x");
+    acc = add(acc, mul(ys[i], div(num, den)));
+  }
+  return acc;
+}
+
+std::vector<std::uint8_t> solve_vandermonde(std::span<const std::uint8_t> xs,
+                                            std::span<const std::uint8_t> ys) {
+  const std::size_t k = xs.size();
+  if (ys.size() != k) throw std::invalid_argument("solve_vandermonde: size mismatch");
+
+  // Build augmented matrix [V | y].
+  std::vector<std::vector<std::uint8_t>> m(k, std::vector<std::uint8_t>(k + 1));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) m[i][j] = pow(xs[i], static_cast<unsigned>(j));
+    m[i][k] = ys[i];
+  }
+
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    while (pivot < k && m[pivot][col] == 0) ++pivot;
+    if (pivot == k) throw std::invalid_argument("solve_vandermonde: singular (duplicate x?)");
+    std::swap(m[col], m[pivot]);
+
+    const std::uint8_t inv_pivot = inv(m[col][col]);
+    for (std::size_t j = col; j <= k; ++j) m[col][j] = mul(m[col][j], inv_pivot);
+
+    for (std::size_t row = 0; row < k; ++row) {
+      if (row == col || m[row][col] == 0) continue;
+      const std::uint8_t factor = m[row][col];
+      for (std::size_t j = col; j <= k; ++j) {
+        m[row][j] = add(m[row][j], mul(factor, m[col][j]));
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> solution(k);
+  for (std::size_t i = 0; i < k; ++i) solution[i] = m[i][k];
+  return solution;
+}
+
+}  // namespace securestore::crypto::gf256

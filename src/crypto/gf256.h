@@ -1,0 +1,39 @@
+// Arithmetic in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+//
+// Substrate for Shamir secret sharing and the Rabin information-dispersal
+// code: both operate byte-wise over this field.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace securestore::crypto {
+
+namespace gf256 {
+
+std::uint8_t add(std::uint8_t a, std::uint8_t b);  // XOR
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t inv(std::uint8_t a);                  // a != 0
+std::uint8_t div(std::uint8_t a, std::uint8_t b);  // b != 0
+std::uint8_t pow(std::uint8_t a, unsigned e);
+
+/// Evaluates the polynomial with the given coefficients (constant term
+/// first) at x, via Horner's rule.
+std::uint8_t poly_eval(std::span<const std::uint8_t> coefficients, std::uint8_t x);
+
+/// Lagrange interpolation: given k distinct points (x_i, y_i), returns the
+/// value of the unique degree-(k-1) polynomial through them at `at`.
+std::uint8_t interpolate(std::span<const std::uint8_t> xs,
+                         std::span<const std::uint8_t> ys, std::uint8_t at);
+
+/// Solves the k-by-k linear system V*a = y where V_{ij} = x_i^j (Vandermonde)
+/// by Gaussian elimination; returns the coefficient vector a. Throws
+/// std::invalid_argument if the x_i are not distinct.
+std::vector<std::uint8_t> solve_vandermonde(std::span<const std::uint8_t> xs,
+                                            std::span<const std::uint8_t> ys);
+
+}  // namespace gf256
+
+}  // namespace securestore::crypto

@@ -1,0 +1,59 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+#include "crypto/sha2.h"
+
+namespace securestore::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+  Bytes key_block(kBlock, 0);
+  if (key.size() > kBlock) {
+    Bytes hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  Bytes inner_pad(kBlock), outer_pad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    inner_pad[i] = key_block[i] ^ 0x36;
+    outer_pad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(inner_pad);
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(outer_pad);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  const auto digest = outer.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info, std::size_t length) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (length > 255 * kHashLen) throw std::invalid_argument("hkdf_sha256: length too large");
+
+  const Bytes default_salt(kHashLen, 0);
+  const Bytes prk = hmac_sha256(salt.empty() ? BytesView(default_salt) : salt, ikm);
+
+  Bytes okm;
+  okm.reserve(length);
+  Bytes previous;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block_input = previous;
+    block_input.insert(block_input.end(), info.begin(), info.end());
+    block_input.push_back(counter++);
+    previous = hmac_sha256(prk, block_input);
+    const std::size_t take = std::min(kHashLen, length - okm.size());
+    okm.insert(okm.end(), previous.begin(), previous.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+}  // namespace securestore::crypto

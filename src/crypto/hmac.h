@@ -1,0 +1,18 @@
+// HMAC-SHA256 (RFC 2104) and HKDF-SHA256 (RFC 5869).
+//
+// HMAC authenticators are what the PBFT-lite baseline uses in place of
+// signatures (the MAC-vs-signature tradeoff §6 of the paper discusses).
+// HKDF derives per-item encryption keys in the confidentiality layer.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace securestore::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any length). Returns 32 bytes.
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-SHA256 extract+expand. `length` up to 255*32 bytes.
+Bytes hkdf_sha256(BytesView ikm, BytesView salt, BytesView info, std::size_t length);
+
+}  // namespace securestore::crypto

@@ -1,0 +1,76 @@
+#include "crypto/ida.h"
+
+#include <stdexcept>
+
+#include "crypto/gf256.h"
+
+namespace securestore::crypto {
+
+std::vector<IdaFragment> ida_disperse(BytesView data, unsigned m, unsigned n) {
+  if (m < 1 || m > n || n > 255) {
+    throw std::invalid_argument("ida_disperse: need 1 <= m <= n <= 255");
+  }
+
+  // Pad to a multiple of m; original_size disambiguates the padding.
+  Bytes padded(data.begin(), data.end());
+  while (padded.size() % m != 0) padded.push_back(0);
+  const std::size_t columns = padded.size() / m;
+
+  std::vector<IdaFragment> fragments(n);
+  for (unsigned i = 0; i < n; ++i) {
+    fragments[i].index = static_cast<std::uint8_t>(i + 1);
+    fragments[i].original_size = static_cast<std::uint32_t>(data.size());
+    fragments[i].data.resize(columns);
+  }
+
+  // fragment_i[c] = sum_j x_i^j * padded[c*m + j]
+  for (std::size_t c = 0; c < columns; ++c) {
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint8_t x = fragments[i].index;
+      std::uint8_t acc = 0;
+      // Horner over the m bytes of this column (highest coefficient last).
+      for (unsigned j = m; j-- > 0;) {
+        acc = static_cast<std::uint8_t>(gf256::mul(acc, x) ^ padded[c * m + j]);
+      }
+      fragments[i].data[c] = acc;
+    }
+  }
+  return fragments;
+}
+
+Bytes ida_reconstruct(std::span<const IdaFragment> fragments, unsigned m) {
+  if (fragments.size() < m || m == 0) {
+    throw std::invalid_argument("ida_reconstruct: not enough fragments");
+  }
+
+  std::vector<std::uint8_t> xs(m);
+  for (unsigned i = 0; i < m; ++i) {
+    xs[i] = fragments[i].index;
+    if (xs[i] == 0) throw std::invalid_argument("ida_reconstruct: fragment index 0");
+    for (unsigned j = 0; j < i; ++j) {
+      if (xs[j] == xs[i]) throw std::invalid_argument("ida_reconstruct: duplicate fragment");
+    }
+    if (fragments[i].data.size() != fragments[0].data.size() ||
+        fragments[i].original_size != fragments[0].original_size) {
+      throw std::invalid_argument("ida_reconstruct: inconsistent fragments");
+    }
+  }
+
+  const std::size_t columns = fragments[0].data.size();
+  const std::size_t original_size = fragments[0].original_size;
+  if (original_size > columns * m) {
+    throw std::invalid_argument("ida_reconstruct: original_size exceeds capacity");
+  }
+
+  Bytes out(columns * m);
+  std::vector<std::uint8_t> ys(m);
+  for (std::size_t c = 0; c < columns; ++c) {
+    for (unsigned i = 0; i < m; ++i) ys[i] = fragments[i].data[c];
+    const std::vector<std::uint8_t> column = gf256::solve_vandermonde(xs, ys);
+    for (unsigned j = 0; j < m; ++j) out[c * m + j] = column[j];
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace securestore::crypto

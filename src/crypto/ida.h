@@ -1,0 +1,34 @@
+// Rabin's Information Dispersal Algorithm (JACM 1989) over GF(256).
+//
+// Encodes a value into n fragments such that any m reconstruct it, with
+// each fragment ~|value|/m bytes. Combined with Shamir-shared keys this
+// realizes the fragmentation-scattering storage mode the paper cites as a
+// complementary technique (§3, [14][18]): space-efficient availability for
+// bulk data while confidentiality rides on the key shares.
+//
+// The encoding matrix is the n-by-m Vandermonde matrix V_{ij} = x_i^j with
+// x_i = i+1, so every m-row submatrix is invertible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace securestore::crypto {
+
+struct IdaFragment {
+  std::uint8_t index = 0;  // row of the dispersal matrix, 1..n
+  std::uint32_t original_size = 0;
+  Bytes data;
+};
+
+/// Splits `data` into n fragments, any m of which reconstruct it.
+/// Requires 1 <= m <= n <= 255.
+std::vector<IdaFragment> ida_disperse(BytesView data, unsigned m, unsigned n);
+
+/// Reconstructs from at least m distinct fragments.
+/// Throws std::invalid_argument on malformed/insufficient input.
+Bytes ida_reconstruct(std::span<const IdaFragment> fragments, unsigned m);
+
+}  // namespace securestore::crypto

@@ -1,0 +1,43 @@
+#include "crypto/keys.h"
+
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sha2.h"
+
+namespace securestore::crypto {
+
+KeyPair KeyPair::generate(Rng& rng) {
+  KeyPair pair;
+  pair.seed = rng.bytes(kEd25519SeedSize);
+  pair.public_key = ed25519_public_key(pair.seed);
+  return pair;
+}
+
+CryptoMeter& CryptoMeter::instance() {
+  thread_local CryptoMeter meter;
+  return meter;
+}
+
+void CryptoMeter::reset() { *this = CryptoMeter{}; }
+
+Bytes meter_sign(BytesView seed, BytesView message) {
+  ++CryptoMeter::instance().signs;
+  return ed25519_sign(seed, message);
+}
+
+bool meter_verify(BytesView public_key, BytesView message, BytesView signature) {
+  ++CryptoMeter::instance().verifies;
+  return ed25519_verify(public_key, message, signature);
+}
+
+Bytes meter_digest(BytesView data) {
+  ++CryptoMeter::instance().digests;
+  return sha256(data);
+}
+
+Bytes meter_mac(BytesView key, BytesView data) {
+  ++CryptoMeter::instance().macs;
+  return hmac_sha256(key, data);
+}
+
+}  // namespace securestore::crypto

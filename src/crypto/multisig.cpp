@@ -1,0 +1,55 @@
+#include "crypto/multisig.h"
+
+#include <algorithm>
+
+#include "crypto/keys.h"
+#include "util/serial.h"
+
+namespace securestore::crypto {
+
+void MultisigCertificate::add_share(NodeId signer, Bytes signature) {
+  const bool exists = std::any_of(shares_.begin(), shares_.end(),
+                                  [&](const MultisigShare& s) { return s.signer == signer; });
+  if (!exists) shares_.push_back(MultisigShare{signer, std::move(signature)});
+}
+
+std::size_t MultisigCertificate::count_valid(
+    const std::unordered_map<NodeId, Bytes>& keys) const {
+  std::size_t valid = 0;
+  for (const MultisigShare& share : shares_) {
+    const auto it = keys.find(share.signer);
+    if (it == keys.end()) continue;
+    if (meter_verify(it->second, statement_, share.signature)) ++valid;
+  }
+  return valid;
+}
+
+bool MultisigCertificate::satisfies(std::size_t threshold,
+                                    const std::unordered_map<NodeId, Bytes>& keys) const {
+  return count_valid(keys) >= threshold;
+}
+
+Bytes MultisigCertificate::serialize() const {
+  Writer w;
+  w.bytes(statement_);
+  w.u32(static_cast<std::uint32_t>(shares_.size()));
+  for (const MultisigShare& share : shares_) {
+    w.u32(share.signer.value);
+    w.bytes(share.signature);
+  }
+  return w.take();
+}
+
+MultisigCertificate MultisigCertificate::deserialize(BytesView data) {
+  Reader r(data);
+  MultisigCertificate cert(r.bytes());
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId signer{r.u32()};
+    cert.add_share(signer, r.bytes());
+  }
+  r.expect_end();
+  return cert;
+}
+
+}  // namespace securestore::crypto

@@ -1,0 +1,57 @@
+// k-of-n multisignature certificates.
+//
+// A `MultisigCertificate` over a statement is valid when at least k distinct
+// authorized signers have signed it. The secure store uses these as
+// *stability certificates* (§5.3): a server may erase superseded entries
+// from a multi-writer item's log once it holds a certificate, signed by
+// 2b+1 servers, that the newer value is stored at those servers — so at
+// least b+1 correct servers have it even if b signers lied.
+//
+// This is the "threshold attestation" flavor of threshold signing: the
+// trust threshold is enforced by counting independent signatures rather
+// than by a single aggregate key, which matches the paper's model where
+// each server owns an individual well-known key.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace securestore::crypto {
+
+struct MultisigShare {
+  NodeId signer;
+  Bytes signature;
+};
+
+class MultisigCertificate {
+ public:
+  MultisigCertificate() = default;
+  explicit MultisigCertificate(Bytes statement) : statement_(std::move(statement)) {}
+
+  const Bytes& statement() const { return statement_; }
+  const std::vector<MultisigShare>& shares() const { return shares_; }
+
+  /// Adds a share. Duplicate signers are ignored (first one wins).
+  void add_share(NodeId signer, Bytes signature);
+
+  /// Number of *distinct* signers whose share verifies under `keys`.
+  /// Signers absent from `keys` contribute nothing.
+  std::size_t count_valid(const std::unordered_map<NodeId, Bytes>& keys) const;
+
+  /// True iff at least `threshold` distinct valid shares are present.
+  bool satisfies(std::size_t threshold,
+                 const std::unordered_map<NodeId, Bytes>& keys) const;
+
+  Bytes serialize() const;
+  static MultisigCertificate deserialize(BytesView data);
+
+ private:
+  Bytes statement_;
+  std::vector<MultisigShare> shares_;
+};
+
+}  // namespace securestore::crypto

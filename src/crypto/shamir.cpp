@@ -1,0 +1,88 @@
+#include "crypto/shamir.h"
+
+#include <stdexcept>
+
+#include "crypto/gf256.h"
+
+namespace securestore::crypto {
+
+std::vector<ShamirShare> shamir_split(BytesView secret, unsigned k, unsigned n, Rng& rng) {
+  if (k < 1 || k > n || n > 255) {
+    throw std::invalid_argument("shamir_split: need 1 <= k <= n <= 255");
+  }
+
+  std::vector<ShamirShare> shares(n);
+  for (unsigned i = 0; i < n; ++i) {
+    shares[i].index = static_cast<std::uint8_t>(i + 1);
+    shares[i].data.resize(secret.size());
+  }
+
+  std::vector<std::uint8_t> coefficients(k);
+  for (std::size_t byte = 0; byte < secret.size(); ++byte) {
+    coefficients[0] = secret[byte];
+    for (unsigned j = 1; j < k; ++j) {
+      coefficients[j] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    for (unsigned i = 0; i < n; ++i) {
+      shares[i].data[byte] = gf256::poly_eval(coefficients, shares[i].index);
+    }
+  }
+  return shares;
+}
+
+std::vector<ShamirShare> shamir_refresh(std::span<const ShamirShare> shares, unsigned k,
+                                        Rng& rng) {
+  if (shares.empty() || k == 0 || k > shares.size()) {
+    throw std::invalid_argument("shamir_refresh: bad share set");
+  }
+  const std::size_t length = shares[0].data.size();
+  for (const ShamirShare& share : shares) {
+    if (share.data.size() != length) {
+      throw std::invalid_argument("shamir_refresh: share length mismatch");
+    }
+  }
+
+  // A fresh random degree-(k-1) polynomial with zero constant term,
+  // evaluated at each share's x and added in: the joint polynomial still
+  // passes through (0, secret) but every other point moves.
+  std::vector<ShamirShare> refreshed(shares.begin(), shares.end());
+  std::vector<std::uint8_t> zero_poly(k);
+  for (std::size_t byte = 0; byte < length; ++byte) {
+    zero_poly[0] = 0;
+    for (unsigned j = 1; j < k; ++j) zero_poly[j] = static_cast<std::uint8_t>(rng.next_u64());
+    for (ShamirShare& share : refreshed) {
+      share.data[byte] = gf256::add(share.data[byte],
+                                    gf256::poly_eval(zero_poly, share.index));
+    }
+  }
+  return refreshed;
+}
+
+Bytes shamir_combine(std::span<const ShamirShare> shares, unsigned k) {
+  if (shares.size() < k || k == 0) {
+    throw std::invalid_argument("shamir_combine: not enough shares");
+  }
+
+  std::vector<std::uint8_t> xs(k);
+  for (unsigned i = 0; i < k; ++i) {
+    xs[i] = shares[i].index;
+    if (xs[i] == 0) throw std::invalid_argument("shamir_combine: share index 0");
+    for (unsigned j = 0; j < i; ++j) {
+      if (xs[j] == xs[i]) throw std::invalid_argument("shamir_combine: duplicate share index");
+    }
+    if (shares[i].data.size() != shares[0].data.size()) {
+      throw std::invalid_argument("shamir_combine: share length mismatch");
+    }
+  }
+
+  const std::size_t length = shares[0].data.size();
+  Bytes secret(length);
+  std::vector<std::uint8_t> ys(k);
+  for (std::size_t byte = 0; byte < length; ++byte) {
+    for (unsigned i = 0; i < k; ++i) ys[i] = shares[i].data[byte];
+    secret[byte] = gf256::interpolate(xs, ys, 0);
+  }
+  return secret;
+}
+
+}  // namespace securestore::crypto

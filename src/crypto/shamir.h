@@ -1,0 +1,40 @@
+// Shamir (k, n) secret sharing over GF(256), byte-wise.
+//
+// Used by the fragmentation-scattering storage mode (paper §3, Fray et
+// al. [18]): a data item's encryption key is split so that no coalition of
+// fewer than k servers — i.e. any coalition of at most b = k-1 compromised
+// servers — learns anything about it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace securestore::crypto {
+
+struct ShamirShare {
+  std::uint8_t index = 0;  // the share's x-coordinate, 1..n
+  Bytes data;              // one byte per secret byte
+};
+
+/// Splits `secret` into n shares, any k of which reconstruct it.
+/// Requires 1 <= k <= n <= 255.
+std::vector<ShamirShare> shamir_split(BytesView secret, unsigned k, unsigned n, Rng& rng);
+
+/// Reconstructs the secret from at least k distinct shares (extras ignored
+/// beyond consistency of length). Throws std::invalid_argument on
+/// malformed input (duplicate indices, length mismatch, empty).
+Bytes shamir_combine(std::span<const ShamirShare> shares, unsigned k);
+
+/// Proactive share refresh (Herzberg et al. style): re-randomizes all n
+/// shares WITHOUT changing or reconstructing the secret, by adding fresh
+/// shares of zero. After a refresh, pre-refresh and post-refresh shares do
+/// not combine — an adversary who compromises servers gradually must
+/// collect k shares within one refresh epoch. Requires the full share set
+/// (indices 1..n as produced by shamir_split).
+std::vector<ShamirShare> shamir_refresh(std::span<const ShamirShare> shares, unsigned k,
+                                        Rng& rng);
+
+}  // namespace securestore::crypto

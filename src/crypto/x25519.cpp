@@ -1,0 +1,95 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/fe25519.h"
+
+namespace securestore::crypto {
+
+namespace {
+
+using fe25519::Fe;
+
+void conditional_swap(bool swap, Fe& a, Fe& b) {
+  if (swap) std::swap(a, b);
+}
+
+}  // namespace
+
+Bytes x25519(BytesView scalar, BytesView u_coordinate) {
+  if (scalar.size() != kX25519KeySize || u_coordinate.size() != kX25519KeySize) {
+    throw std::invalid_argument("x25519: inputs must be 32 bytes");
+  }
+
+  // Clamp the scalar (RFC 7748 §5).
+  std::uint8_t k[32];
+  std::memcpy(k, scalar.data(), 32);
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+
+  // Load u with bit 255 masked (from_bytes already ignores it).
+  const Fe x1 = fe25519::from_bytes(u_coordinate.data());
+
+  // Montgomery ladder (RFC 7748 §5): a24 = (486662 - 2) / 4 = 121665.
+  Fe x2 = fe25519::kOne;
+  Fe z2 = fe25519::kZero;
+  Fe x3 = x1;
+  Fe z3 = fe25519::kOne;
+  bool swap = false;
+
+  for (int t = 254; t >= 0; --t) {
+    const bool k_t = (k[t / 8] >> (t % 8)) & 1;
+    swap ^= k_t;
+    conditional_swap(swap, x2, x3);
+    conditional_swap(swap, z2, z3);
+    swap = k_t;
+
+    const Fe a = fe25519::add(x2, z2);
+    const Fe aa = fe25519::sq(a);
+    const Fe b = fe25519::sub(x2, z2);
+    const Fe bb = fe25519::sq(b);
+    const Fe e = fe25519::sub(aa, bb);
+    const Fe c = fe25519::add(x3, z3);
+    const Fe d = fe25519::sub(x3, z3);
+    const Fe da = fe25519::mul(d, a);
+    const Fe cb = fe25519::mul(c, b);
+    x3 = fe25519::sq(fe25519::add(da, cb));
+    z3 = fe25519::mul(x1, fe25519::sq(fe25519::sub(da, cb)));
+    x2 = fe25519::mul(aa, bb);
+    z2 = fe25519::mul(e, fe25519::add(aa, fe25519::mul_small(e, 121665)));
+  }
+  conditional_swap(swap, x2, x3);
+  conditional_swap(swap, z2, z3);
+
+  const Fe result = fe25519::mul(x2, fe25519::invert(z2));
+  Bytes out(kX25519KeySize);
+  fe25519::to_bytes(out.data(), result);
+  return out;
+}
+
+Bytes x25519_public_key(BytesView private_scalar) {
+  Bytes base(kX25519KeySize, 0);
+  base[0] = 9;
+  return x25519(private_scalar, base);
+}
+
+DhKeyPair DhKeyPair::generate(Rng& rng) {
+  DhKeyPair pair;
+  pair.private_scalar = rng.bytes(kX25519KeySize);
+  pair.public_key = x25519_public_key(pair.private_scalar);
+  return pair;
+}
+
+Bytes x25519_shared_secret(BytesView own_private, BytesView peer_public) {
+  Bytes secret = x25519(own_private, peer_public);
+  std::uint8_t acc = 0;
+  for (const std::uint8_t byte : secret) acc |= byte;
+  if (acc == 0) {
+    throw std::invalid_argument("x25519: low-order peer point (all-zero shared secret)");
+  }
+  return secret;
+}
+
+}  // namespace securestore::crypto

@@ -1,0 +1,37 @@
+// X25519 Diffie–Hellman (RFC 7748), implemented from scratch on the shared
+// curve25519 field arithmetic.
+//
+// Used by the group-key distribution module (core/group_key.h): the writer
+// derives a pairwise secret with each authorized reader and wraps the
+// group's data key under it — the "key distribution and management schemes
+// similar to those discussed in secure multicast communication [16]" the
+// paper defers to. Validated against the RFC 7748 test vectors.
+#pragma once
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace securestore::crypto {
+
+constexpr std::size_t kX25519KeySize = 32;
+
+/// The raw X25519 function: scalar * u-coordinate (Montgomery ladder).
+Bytes x25519(BytesView scalar, BytesView u_coordinate);
+
+/// Public key for a 32-byte private scalar: X25519(scalar, 9).
+Bytes x25519_public_key(BytesView private_scalar);
+
+/// A fresh DH key pair.
+struct DhKeyPair {
+  Bytes private_scalar;
+  Bytes public_key;
+
+  static DhKeyPair generate(Rng& rng);
+};
+
+/// The shared secret between `own_private` and `peer_public`.
+/// Throws std::invalid_argument if the result is all-zero (low-order peer
+/// point — always a protocol violation in this system).
+Bytes x25519_shared_secret(BytesView own_private, BytesView peer_public);
+
+}  // namespace securestore::crypto

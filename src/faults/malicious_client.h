@@ -1,0 +1,65 @@
+// Malicious client behaviors (§5.3).
+//
+// A malicious client owns a legitimate key (it is authorized) but misuses
+// the protocol. The two attacks the paper analyzes:
+//
+//  * Spurious context: "a malicious client C1 could include spurious
+//    entries in a context as part of a write. These entries could be
+//    arbitrarily high and any client C2 which reads this write would update
+//    its local context with such high timestamps... Soon the whole set of
+//    clients would see this easy denial of service attack." The causal-hold
+//    defense means servers never report such a write.
+//
+//  * Timestamp reuse (equivocation): "To prevent a malicious client from
+//    using one timestamp for two different values it writes, we also
+//    include the digest of the value written in the timestamp." Servers
+//    detect the pair and flag the writer.
+//
+// The attacker here speaks the raw wire protocol, bypassing the honest
+// client library entirely.
+#pragma once
+
+#include "core/config.h"
+#include "core/messages.h"
+#include "crypto/keys.h"
+#include "net/rpc.h"
+
+namespace securestore::faults {
+
+class MaliciousClient {
+ public:
+  MaliciousClient(net::Transport& transport, NodeId network_id, ClientId client_id,
+                  crypto::KeyPair keys, core::StoreConfig config, core::GroupPolicy policy);
+
+  /// Crafts a correctly-signed CC write whose context claims dependencies
+  /// with arbitrarily high timestamps on `poisoned_item` (the §5.3 DoS).
+  /// Sends it to `fanout` servers. Returns the record for assertions.
+  core::WriteRecord send_spurious_context_write(ItemId item, BytesView value,
+                                                ItemId poisoned_item,
+                                                std::uint64_t spurious_time,
+                                                std::size_t fanout);
+
+  /// Crafts two correctly-signed writes that reuse one (time, uid) for two
+  /// different values — detectable equivocation. Sends both to `fanout`
+  /// servers. Returns the pair.
+  std::pair<core::WriteRecord, core::WriteRecord> send_equivocating_writes(
+      ItemId item, BytesView value_a, BytesView value_b, std::uint64_t time,
+      std::size_t fanout);
+
+  /// A syntactically valid write whose signature is someone else's uid —
+  /// forgery that every honest server must reject.
+  core::WriteRecord send_forged_writer_write(ItemId item, BytesView value,
+                                             ClientId victim, std::size_t fanout);
+
+ private:
+  core::WriteRecord base_record(ItemId item, BytesView value) const;
+  void blast(const core::WriteRecord& record, std::size_t fanout);
+
+  net::RpcNode node_;
+  ClientId client_id_;
+  crypto::KeyPair keys_;
+  core::StoreConfig config_;
+  core::GroupPolicy policy_;
+};
+
+}  // namespace securestore::faults

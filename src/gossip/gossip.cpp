@@ -1,0 +1,194 @@
+#include "gossip/gossip.h"
+
+#include <algorithm>
+
+#include "util/serial.h"
+
+namespace securestore::gossip {
+
+GossipEngine::GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
+                           std::vector<NodeId> peers, Config config, Rng rng, ApplyFn apply)
+    : node_(node),
+      store_(store),
+      peers_(std::move(peers)),
+      config_(config),
+      rng_(std::move(rng)),
+      apply_(std::move(apply)) {
+  // A node never gossips with itself.
+  std::erase(peers_, node_.id());
+}
+
+GossipEngine::~GossipEngine() { *alive_ = false; }
+
+void GossipEngine::start() {
+  if (running_) return;
+  running_ = true;
+  const std::uint64_t generation = ++generation_;
+  node_.transport().schedule(config_.period, [this, alive = alive_, generation] {
+    if (*alive && running_ && generation == generation_) tick();
+  });
+}
+
+void GossipEngine::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+std::vector<NodeId> GossipEngine::pick_peers() {
+  std::vector<NodeId> shuffled = peers_;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng_.next_below(i)]);
+  }
+  if (shuffled.size() > config_.fanout) shuffled.resize(config_.fanout);
+  return shuffled;
+}
+
+void GossipEngine::tick() {
+  ++ticks_;
+  for (const NodeId peer : pick_peers()) send_digest(peer);
+
+  const std::uint64_t generation = generation_;
+  node_.transport().schedule(config_.period, [this, alive = alive_, generation] {
+    if (*alive && running_ && generation == generation_) tick();
+  });
+}
+
+void GossipEngine::send_digest(NodeId peer) {
+  std::vector<DigestEntry> entries;
+  for (const core::WriteRecord* record : store_.all_current()) {
+    // Scattered fragments are pinned to their server (see RecordFlags).
+    if (record->flags & core::kScattered) continue;
+    entries.push_back(DigestEntry{record->item, record->ts});
+  }
+  node_.send_oneway(peer, net::MsgType::kGossipDigest, encode_digest(entries));
+}
+
+void GossipEngine::push_record(const core::WriteRecord& record) {
+  const Bytes updates = encode_updates({record});
+  for (const NodeId peer : pick_peers()) {
+    node_.send_oneway(peer, net::MsgType::kGossipUpdates, updates);
+  }
+}
+
+void GossipEngine::handle(NodeId from, net::MsgType type, BytesView body) {
+  try {
+    switch (type) {
+      case net::MsgType::kGossipDigest: {
+        const std::vector<DigestEntry> remote = decode_digest(body);
+
+        // Push: records where we are ahead of (or unknown to) the digest.
+        std::vector<core::WriteRecord> to_send;
+        std::vector<ItemId> remote_items;
+        remote_items.reserve(remote.size());
+        for (const DigestEntry& entry : remote) remote_items.push_back(entry.item);
+
+        for (const core::WriteRecord* record : store_.all_current()) {
+          if (record->flags & core::kScattered) continue;
+          const auto it = std::find(remote_items.begin(), remote_items.end(), record->item);
+          if (it == remote_items.end()) {
+            to_send.push_back(*record);
+          } else {
+            const auto& remote_ts = remote[static_cast<std::size_t>(it - remote_items.begin())].ts;
+            if (remote_ts < record->ts) to_send.push_back(*record);
+          }
+        }
+        if (!to_send.empty()) {
+          node_.send_oneway(from, net::MsgType::kGossipUpdates, encode_updates(to_send));
+        }
+
+        // Pull: items where the digest is ahead of us.
+        std::vector<ItemId> wanted;
+        for (const DigestEntry& entry : remote) {
+          const core::WriteRecord* mine = store_.current(entry.item);
+          if (mine == nullptr || mine->ts < entry.ts) wanted.push_back(entry.item);
+        }
+        if (!wanted.empty()) {
+          node_.send_oneway(from, net::MsgType::kGossipRequest, encode_request(wanted));
+        }
+        return;
+      }
+      case net::MsgType::kGossipRequest: {
+        std::vector<core::WriteRecord> to_send;
+        for (const ItemId item : decode_request(body)) {
+          const core::WriteRecord* record = store_.current(item);
+          if (record != nullptr && !(record->flags & core::kScattered)) {
+            to_send.push_back(*record);
+          }
+        }
+        if (!to_send.empty()) {
+          node_.send_oneway(from, net::MsgType::kGossipUpdates, encode_updates(to_send));
+        }
+        return;
+      }
+      case net::MsgType::kGossipUpdates: {
+        for (const core::WriteRecord& record : decode_updates(body)) {
+          apply_(record, from);
+        }
+        return;
+      }
+      default:
+        return;  // not a gossip message
+    }
+  } catch (const DecodeError&) {
+    // Malformed gossip from a (possibly malicious) peer: drop.
+  }
+}
+
+Bytes GossipEngine::encode_digest(const std::vector<DigestEntry>& entries) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const DigestEntry& entry : entries) {
+    w.u64(entry.item.value);
+    entry.ts.encode(w);
+  }
+  return w.take();
+}
+
+std::vector<GossipEngine::DigestEntry> GossipEngine::decode_digest(BytesView body) {
+  Reader r(body);
+  const std::uint32_t count = r.u32();
+  std::vector<DigestEntry> entries;
+  // No reserve: count is attacker-controlled (see decode_records).
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DigestEntry entry;
+    entry.item = ItemId{r.u64()};
+    entry.ts = core::Timestamp::decode(r);
+    entries.push_back(std::move(entry));
+  }
+  r.expect_end();
+  return entries;
+}
+
+Bytes GossipEngine::encode_updates(const std::vector<core::WriteRecord>& records) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const core::WriteRecord& record : records) record.encode(w);
+  return w.take();
+}
+
+std::vector<core::WriteRecord> GossipEngine::decode_updates(BytesView body) {
+  Reader r(body);
+  const std::uint32_t count = r.u32();
+  std::vector<core::WriteRecord> records;
+  for (std::uint32_t i = 0; i < count; ++i) records.push_back(core::WriteRecord::decode(r));
+  r.expect_end();
+  return records;
+}
+
+Bytes GossipEngine::encode_request(const std::vector<ItemId>& items) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const ItemId item : items) w.u64(item.value);
+  return w.take();
+}
+
+std::vector<ItemId> GossipEngine::decode_request(BytesView body) {
+  Reader r(body);
+  const std::uint32_t count = r.u32();
+  std::vector<ItemId> items;
+  for (std::uint32_t i = 0; i < count; ++i) items.push_back(ItemId{r.u64()});
+  r.expect_end();
+  return items;
+}
+
+}  // namespace securestore::gossip

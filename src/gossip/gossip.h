@@ -1,0 +1,104 @@
+// Epidemic dissemination between servers (§4, §5.2).
+//
+// "We assume that servers keep themselves informed about updates in which
+// they do not directly participate via a gossip or dissemination protocol
+// [Demers et al.]. A non-faulty server transmits all the updates it has
+// seen to at least one other non-faulty server."
+//
+// This engine implements periodic anti-entropy: every `period`, a server
+// picks `fanout` random peers and sends each a digest of its current
+// (item, timestamp) pairs. The peer pushes back records the digest is
+// missing or behind on, and pulls records the digest is ahead on. All
+// received records pass through the owner's apply callback, which verifies
+// the writer's signature — "a faulty server cannot propagate a non-existent
+// or forged write to other servers since all writes that are propagated
+// have to be accompanied by the signature of the client" (§4).
+//
+// The tick period is the knob experiment E5 sweeps: it trades server
+// bandwidth for read freshness, "a frequency that can be tuned according to
+// the needs of the clients or the resources available to the servers"
+// (§5.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/record.h"
+#include "net/rpc.h"
+#include "storage/item_store.h"
+#include "util/rng.h"
+
+namespace securestore::gossip {
+
+class GossipEngine {
+ public:
+  struct Config {
+    SimDuration period = milliseconds(500);
+    unsigned fanout = 1;
+    /// Also push each locally-applied client write immediately to `fanout`
+    /// peers (rumor mongering), instead of waiting for the next tick.
+    bool push_on_write = false;
+  };
+
+  /// Applies an incoming record to the owner's store: verify writer
+  /// signature, run causal-hold logic, etc. Returns true if the record was
+  /// accepted (valid signature), false if rejected.
+  using ApplyFn = std::function<bool(const core::WriteRecord& record, NodeId from)>;
+
+  GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
+               std::vector<NodeId> peers, Config config, Rng rng, ApplyFn apply);
+  ~GossipEngine();
+
+  GossipEngine(const GossipEngine&) = delete;
+  GossipEngine& operator=(const GossipEngine&) = delete;
+
+  /// Begins periodic ticking. Idempotent.
+  void start();
+  /// Stops future ticks (in-flight messages still deliver).
+  void stop();
+  bool running() const { return running_; }
+
+  /// Handles gossip one-way messages; the owning server routes
+  /// kGossipDigest/kGossipUpdates/kGossipRequest here.
+  void handle(NodeId from, net::MsgType type, BytesView body);
+
+  /// Rumor-mongering hook: owner calls this right after applying a fresh
+  /// client write when push_on_write is on.
+  void push_record(const core::WriteRecord& record);
+
+  const Config& config() const { return config_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  struct DigestEntry {
+    ItemId item{};
+    core::Timestamp ts;
+  };
+
+  void tick();
+  void send_digest(NodeId peer);
+  std::vector<NodeId> pick_peers();
+
+  static Bytes encode_digest(const std::vector<DigestEntry>& entries);
+  static std::vector<DigestEntry> decode_digest(BytesView body);
+  static Bytes encode_updates(const std::vector<core::WriteRecord>& records);
+  static std::vector<core::WriteRecord> decode_updates(BytesView body);
+  static Bytes encode_request(const std::vector<ItemId>& items);
+  static std::vector<ItemId> decode_request(BytesView body);
+
+  net::RpcNode& node_;
+  const storage::ItemStore& store_;
+  std::vector<NodeId> peers_;
+  Config config_;
+  Rng rng_;
+  ApplyFn apply_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates scheduled ticks after stop()
+  // Scheduled tick callbacks outlive arbitrary engine lifetimes (server
+  // restarts); they hold this flag and bail out once the engine is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace securestore::gossip

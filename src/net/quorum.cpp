@@ -1,0 +1,63 @@
+#include "net/quorum.h"
+
+namespace securestore::net {
+
+namespace {
+
+struct CallState {
+  RpcNode* node = nullptr;
+  QuorumCall::ReplyFn on_reply;
+  QuorumCall::DoneFn on_done;
+  std::vector<std::uint64_t> rpc_ids;
+  std::size_t replies = 0;
+  std::size_t targets = 0;
+  bool finished = false;
+
+  void finish(QuorumOutcome outcome) {
+    if (finished) return;
+    finished = true;
+    for (const std::uint64_t id : rpc_ids) node->cancel(id);
+    // Move the callback out so `this` (held via shared_ptr in callbacks)
+    // can release captured resources promptly.
+    QuorumCall::DoneFn done = std::move(on_done);
+    done(outcome, replies);
+  }
+};
+
+}  // namespace
+
+void QuorumCall::start(RpcNode& node, const std::vector<NodeId>& targets, MsgType type,
+                       const Bytes& body, ReplyFn on_reply, DoneFn on_done,
+                       Options options) {
+  auto state = std::make_shared<CallState>();
+  state->node = &node;
+  state->on_reply = std::move(on_reply);
+  state->on_done = std::move(on_done);
+  state->targets = targets.size();
+
+  if (targets.empty()) {
+    state->finish(QuorumOutcome::kExhausted);
+    return;
+  }
+
+  state->rpc_ids.reserve(targets.size());
+  for (const NodeId target : targets) {
+    const std::uint64_t rpc_id = node.send_request(
+        target, type, body,
+        [state](NodeId from, MsgType response_type, BytesView response_body) {
+          if (state->finished) return;
+          ++state->replies;
+          if (state->on_reply(from, response_type, response_body)) {
+            state->finish(QuorumOutcome::kSatisfied);
+          } else if (state->replies == state->targets) {
+            state->finish(QuorumOutcome::kExhausted);
+          }
+        });
+    state->rpc_ids.push_back(rpc_id);
+  }
+
+  node.transport().schedule(options.timeout,
+                            [state]() { state->finish(QuorumOutcome::kTimeout); });
+}
+
+}  // namespace securestore::net

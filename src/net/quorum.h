@@ -1,0 +1,44 @@
+// QuorumCall: the paper's basic interaction pattern.
+//
+// Sends one request to a set of servers and feeds responses to a collector
+// until the collector declares the call satisfied, every target has
+// answered, or the timeout fires. All of Fig. 1 / Fig. 2 / §5.3 and both
+// baselines are built from this primitive, which is also where "wait for at
+// least ⌈(n+b+1)/2⌉ responses"-style logic lives in the callers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/rpc.h"
+
+namespace securestore::net {
+
+enum class QuorumOutcome {
+  kSatisfied,  // the collector returned true
+  kExhausted,  // every target responded but the collector never accepted
+  kTimeout,    // deadline passed first
+};
+
+struct QuorumOptions {
+  SimDuration timeout = seconds(5);
+};
+
+class QuorumCall {
+ public:
+  using Options = QuorumOptions;
+
+  /// `on_reply` is invoked once per response; return true to finish the
+  /// call early (remaining in-flight rpcs are cancelled). `on_done` is
+  /// invoked exactly once. Both callbacks may start new calls.
+  using ReplyFn = std::function<bool(NodeId from, MsgType type, BytesView body)>;
+  using DoneFn = std::function<void(QuorumOutcome outcome, std::size_t reply_count)>;
+
+  static void start(RpcNode& node, const std::vector<NodeId>& targets, MsgType type,
+                    const Bytes& body, ReplyFn on_reply, DoneFn on_done,
+                    Options options = Options{});
+};
+
+}  // namespace securestore::net

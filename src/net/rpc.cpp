@@ -1,0 +1,78 @@
+#include "net/rpc.h"
+
+namespace securestore::net {
+
+RpcNode::RpcNode(Transport& transport, NodeId id) : transport_(transport), id_(id) {
+  transport_.register_node(id_, [this](NodeId from, BytesView payload) { deliver(from, payload); });
+}
+
+RpcNode::~RpcNode() { transport_.unregister_node(id_); }
+
+std::uint64_t RpcNode::send_request(NodeId to, MsgType type, Bytes body, ResponseFn on_response) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  pending_[rpc_id] = std::move(on_response);
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kRequest));
+  w.u64(rpc_id);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.raw(body);
+  transport_.send(id_, to, w.take());
+  return rpc_id;
+}
+
+void RpcNode::cancel(std::uint64_t rpc_id) { pending_.erase(rpc_id); }
+
+void RpcNode::send_oneway(NodeId to, MsgType type, Bytes body) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kOneway));
+  w.u64(0);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.raw(body);
+  transport_.send(id_, to, w.take());
+}
+
+void RpcNode::deliver(NodeId from, BytesView payload) {
+  Kind kind;
+  std::uint64_t rpc_id;
+  MsgType type;
+  Bytes body;
+  try {
+    Reader r(payload);
+    kind = static_cast<Kind>(r.u8());
+    rpc_id = r.u64();
+    type = static_cast<MsgType>(r.u16());
+    body = r.raw(r.remaining());
+  } catch (const DecodeError&) {
+    return;  // malformed datagram: drop, exactly like garbage off the wire
+  }
+
+  switch (kind) {
+    case Kind::kRequest: {
+      if (!request_handler_) return;
+      const auto response = request_handler_(from, type, body);
+      if (!response.has_value()) return;
+      Writer w;
+      w.u8(static_cast<std::uint8_t>(Kind::kResponse));
+      w.u64(rpc_id);
+      w.u16(static_cast<std::uint16_t>(response->first));
+      w.raw(response->second);
+      transport_.send(id_, from, w.take());
+      return;
+    }
+    case Kind::kResponse: {
+      const auto it = pending_.find(rpc_id);
+      if (it == pending_.end()) return;  // late/duplicate/forged: ignore
+      ResponseFn callback = std::move(it->second);
+      pending_.erase(it);
+      callback(from, type, body);
+      return;
+    }
+    case Kind::kOneway: {
+      if (oneway_handler_) oneway_handler_(from, type, body);
+      return;
+    }
+  }
+}
+
+}  // namespace securestore::net

@@ -1,0 +1,102 @@
+// Request/response correlation over the datagram transport.
+//
+// Every protocol interaction in the paper is "client asks k servers, waits
+// for replies". `RpcNode` gives each participant a typed request/response
+// endpoint: requests carry an rpc id echoed by the response; one-way
+// messages (gossip) use `send_oneway`. Responses for unknown/expired rpc
+// ids are dropped, so late or duplicated replies from slow or malicious
+// servers are harmless.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "net/transport.h"
+#include "util/serial.h"
+
+namespace securestore::net {
+
+/// Message type tags. One flat space across protocols keeps the envelope
+/// trivial; handlers dispatch on the value.
+enum class MsgType : std::uint16_t {
+  // Secure store (core protocols)
+  kContextRead = 1,
+  kContextWrite = 2,
+  kMetaRequest = 3,   // timestamp query, first phase of Fig. 2 read
+  kRead = 4,          // value fetch from the chosen server
+  kWrite = 5,
+  kLogRead = 6,       // multi-writer: request the recent-writes log
+  kReconstruct = 7,   // context reconstruction: all timestamps in a group
+  kStability = 8,     // stability certificate for log garbage collection
+  kAuditRead = 9,     // fetch the server's hash-chained audit log
+  // Gossip
+  kGossipDigest = 20,
+  kGossipUpdates = 21,
+  kGossipRequest = 22,
+  // Masking-quorum baseline
+  kMqRead = 30,
+  kMqWrite = 31,
+  kMqTimestamp = 32,
+  // PBFT-lite baseline
+  kPbftRequest = 40,
+  kPbftPrePrepare = 41,
+  kPbftPrepare = 42,
+  kPbftCommit = 43,
+  kPbftReply = 44,
+  // Generic
+  kAck = 100,
+  kError = 101,
+};
+
+class RpcNode {
+ public:
+  /// Response callback: sender, response type, body.
+  using ResponseFn = std::function<void(NodeId from, MsgType type, BytesView body)>;
+  /// Request handler: returns the response (type, body), or nullopt for no
+  /// response (the rpc will time out at the caller — how a server "chooses
+  /// not to respond").
+  using RequestHandler =
+      std::function<std::optional<std::pair<MsgType, Bytes>>(NodeId from, MsgType type, BytesView body)>;
+  /// One-way handler (gossip and other unsolicited messages).
+  using OnewayHandler = std::function<void(NodeId from, MsgType type, BytesView body)>;
+
+  RpcNode(Transport& transport, NodeId id);
+  ~RpcNode();
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  NodeId id() const { return id_; }
+  Transport& transport() { return transport_; }
+  const Transport& transport() const { return transport_; }
+
+  void set_request_handler(RequestHandler handler) { request_handler_ = std::move(handler); }
+  void set_oneway_handler(OnewayHandler handler) { oneway_handler_ = std::move(handler); }
+
+  /// Sends a request; `on_response` fires at most once when the matching
+  /// response arrives. Returns the rpc id (for cancel).
+  std::uint64_t send_request(NodeId to, MsgType type, Bytes body, ResponseFn on_response);
+
+  /// Drops interest in a pending rpc; a late response is ignored.
+  void cancel(std::uint64_t rpc_id);
+
+  /// Fire-and-forget message.
+  void send_oneway(NodeId to, MsgType type, Bytes body);
+
+ private:
+  enum class Kind : std::uint8_t { kRequest = 0, kResponse = 1, kOneway = 2 };
+
+  void deliver(NodeId from, BytesView payload);
+
+  Transport& transport_;
+  NodeId id_;
+  std::uint64_t next_rpc_id_ = 1;
+  std::unordered_map<std::uint64_t, ResponseFn> pending_;
+  RequestHandler request_handler_;
+  OnewayHandler oneway_handler_;
+};
+
+}  // namespace securestore::net

@@ -1,0 +1,36 @@
+#include "net/sim_transport.h"
+
+namespace securestore::net {
+
+void SimTransport::register_node(NodeId node, DeliverFn deliver) {
+  handlers_[node] = std::move(deliver);
+}
+
+void SimTransport::unregister_node(NodeId node) { handlers_.erase(node); }
+
+void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+
+  const auto latency = network_.sample_delivery(from, to);
+  if (!latency.has_value()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  scheduler_.schedule_in(*latency, [this, from, to, payload = std::move(payload)]() {
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second(from, payload);
+  });
+}
+
+void SimTransport::schedule(SimDuration delay, std::function<void()> callback) {
+  scheduler_.schedule_in(delay, std::move(callback));
+}
+
+}  // namespace securestore::net

@@ -1,0 +1,36 @@
+// Transport implementation on top of the discrete-event simulator.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/transport.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace securestore::net {
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network)
+      : scheduler_(scheduler), network_(std::move(network)) {}
+
+  void register_node(NodeId node, DeliverFn deliver) override;
+  void unregister_node(NodeId node) override;
+  void send(NodeId from, NodeId to, Bytes payload) override;
+  SimTime now() const override { return scheduler_.now(); }
+  void schedule(SimDuration delay, std::function<void()> callback) override;
+  const sim::MessageStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+  sim::NetworkModel& network() { return network_; }
+  sim::Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  sim::NetworkModel network_;
+  std::unordered_map<NodeId, DeliverFn> handlers_;
+  sim::MessageStats stats_;
+};
+
+}  // namespace securestore::net

@@ -1,0 +1,321 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace securestore::net {
+
+namespace {
+
+/// Reads exactly n bytes; false on EOF/error.
+bool read_all(int fd, void* buffer, std::size_t n) {
+  auto* out = static_cast<std::uint8_t*>(buffer);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buffer, std::size_t n) {
+  const auto* in = static_cast<const std::uint8_t*>(buffer);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, in + sent, n - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+constexpr std::uint32_t kMaxFrame = 64 * 1024 * 1024;
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory)
+    : directory_(std::move(directory)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTransport: bind() failed");
+  }
+  socklen_t length = sizeof(address);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &length);
+  port_ = ntohs(address.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTransport: listen() failed");
+  }
+
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::stop() {
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  jobs_cv_.notify_all();
+  // Shut the listener down; accept() returns and the acceptor exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  {
+    // Shut outbound connections down; their reader threads close them.
+    std::lock_guard lock(directory_mutex_);
+    for (auto& [endpoint, fd] : outbound_) ::shutdown(fd, SHUT_RDWR);
+    outbound_.clear();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Unblock readers stuck in recv() on inbound connections, then join them
+  // OUTSIDE the lock (an exiting reader takes the lock to deregister).
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(readers_mutex_);
+    accepting_ = false;
+    for (const int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join = std::move(readers_);
+    readers_.clear();
+  }
+  for (std::thread& reader : to_join) {
+    if (reader.joinable()) reader.join();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void TcpTransport::set_endpoint(NodeId node, TcpEndpoint endpoint) {
+  std::lock_guard lock(directory_mutex_);
+  directory_[node] = std::move(endpoint);
+}
+
+void TcpTransport::register_node(NodeId node, DeliverFn deliver) {
+  std::lock_guard lock(handlers_mutex_);
+  handlers_[node] = std::move(deliver);
+}
+
+void TcpTransport::unregister_node(NodeId node) {
+  std::lock_guard lock(handlers_mutex_);
+  handlers_.erase(node);
+}
+
+SimTime TcpTransport::now() const {
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count());
+}
+
+void TcpTransport::enqueue(Clock::time_point at, std::function<void()> run) {
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (stopping_) return;
+    jobs_.push(Job{at, next_sequence_++, std::move(run)});
+  }
+  jobs_cv_.notify_all();
+}
+
+void TcpTransport::schedule(SimDuration delay, std::function<void()> callback) {
+  enqueue(Clock::now() + std::chrono::microseconds(delay), std::move(callback));
+}
+
+void TcpTransport::deliver_local(NodeId from, NodeId to, Bytes payload) {
+  enqueue(Clock::now(), [this, from, to, payload = std::move(payload)] {
+    DeliverFn handler;
+    {
+      std::lock_guard lock(handlers_mutex_);
+      const auto it = handlers_.find(to);
+      if (it == handlers_.end()) {
+        std::lock_guard stats_lock(jobs_mutex_);
+        ++stats_.messages_dropped;
+        return;
+      }
+      handler = it->second;
+    }
+    {
+      std::lock_guard stats_lock(jobs_mutex_);
+      ++stats_.messages_delivered;
+    }
+    handler(from, payload);
+  });
+}
+
+int TcpTransport::outbound_fd(const TcpEndpoint& endpoint) {
+  // Caller holds directory_mutex_.
+  const auto it = outbound_.find(endpoint);
+  if (it != outbound_.end()) return it->second;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &address.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  outbound_[endpoint] = fd;
+
+  // TCP is bidirectional: replies (and anything else the peer routes back
+  // over this connection) arrive here, so it needs a reader too. Readers
+  // own closing the fd; the send path only ever shuts a broken one down.
+  {
+    std::lock_guard lock(readers_mutex_);
+    if (accepting_) {
+      inbound_fds_.push_back(fd);
+      readers_.emplace_back([this, fd] { reader_loop(fd); });
+    }
+  }
+  return fd;
+}
+
+void TcpTransport::send(NodeId from, NodeId to, Bytes payload) {
+  {
+    std::lock_guard lock(jobs_mutex_);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+  }
+
+  // Local fast path.
+  {
+    std::lock_guard lock(handlers_mutex_);
+    if (handlers_.contains(to)) {
+      deliver_local(from, to, std::move(payload));
+      return;
+    }
+  }
+
+  std::uint8_t header[12];
+  const auto frame_length = static_cast<std::uint32_t>(8 + payload.size());
+  std::memcpy(header, &frame_length, 4);
+  std::memcpy(header + 4, &from.value, 4);
+  std::memcpy(header + 8, &to.value, 4);
+
+  std::lock_guard lock(directory_mutex_);
+
+  // Prefer the connection the destination last spoke to us on.
+  if (const auto learned = learned_.find(to); learned != learned_.end()) {
+    if (write_all(learned->second, header, sizeof(header)) &&
+        write_all(learned->second, payload.data(), payload.size())) {
+      return;
+    }
+    learned_.erase(learned);  // connection died; fall back to the directory
+  }
+
+  const auto entry = directory_.find(to);
+  if (entry == directory_.end()) {
+    std::lock_guard stats_lock(jobs_mutex_);
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = outbound_fd(entry->second);
+    if (fd < 0) break;
+    if (write_all(fd, header, sizeof(header)) &&
+        write_all(fd, payload.data(), payload.size())) {
+      return;
+    }
+    // Broken connection: shut it down (its reader closes it) and retry
+    // once with a fresh one.
+    ::shutdown(fd, SHUT_RDWR);
+    outbound_.erase(entry->second);
+  }
+  std::lock_guard stats_lock(jobs_mutex_);
+  ++stats_.messages_dropped;
+}
+
+void TcpTransport::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed: shutting down
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(readers_mutex_);
+    if (!accepting_) {
+      ::close(fd);
+      return;
+    }
+    inbound_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpTransport::reader_loop(int fd) {
+  while (true) {
+    std::uint32_t frame_length = 0;
+    if (!read_all(fd, &frame_length, 4)) break;
+    if (frame_length < 8 || frame_length > kMaxFrame) break;  // protocol error
+    std::uint32_t from = 0, to = 0;
+    if (!read_all(fd, &from, 4) || !read_all(fd, &to, 4)) break;
+    Bytes payload(frame_length - 8);
+    if (!payload.empty() && !read_all(fd, payload.data(), payload.size())) break;
+    {
+      // Remember how to reach the sender: over this very connection.
+      std::lock_guard lock(directory_mutex_);
+      learned_[NodeId{from}] = fd;
+    }
+    deliver_local(NodeId{from}, NodeId{to}, std::move(payload));
+  }
+  {
+    // Purge every route that pointed at this connection before the fd
+    // number can be reused.
+    std::lock_guard lock(directory_mutex_);
+    for (auto it = learned_.begin(); it != learned_.end();) {
+      it = it->second == fd ? learned_.erase(it) : std::next(it);
+    }
+    for (auto it = outbound_.begin(); it != outbound_.end();) {
+      it = it->second == fd ? outbound_.erase(it) : std::next(it);
+    }
+  }
+  {
+    std::lock_guard lock(readers_mutex_);
+    std::erase(inbound_fds_, fd);
+  }
+  ::close(fd);
+}
+
+void TcpTransport::dispatch_loop() {
+  std::unique_lock lock(jobs_mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (jobs_.empty()) {
+      jobs_cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      continue;
+    }
+    const Clock::time_point due = jobs_.top().at;
+    if (Clock::now() < due) {
+      jobs_cv_.wait_until(lock, due, [this, due] {
+        return stopping_ || (!jobs_.empty() && jobs_.top().at < due);
+      });
+      continue;
+    }
+    Job job = std::move(const_cast<Job&>(jobs_.top()));
+    jobs_.pop();
+    lock.unlock();
+    job.run();
+    lock.lock();
+  }
+}
+
+}  // namespace securestore::net

@@ -1,0 +1,127 @@
+// TCP transport: the store over real sockets.
+//
+// Each process runs one TcpTransport: it listens on its own port, hosts any
+// number of local nodes, and routes messages to remote nodes through a
+// static endpoint map (NodeId -> host:port) — the deployment directory a
+// real installation would distribute alongside the key directory.
+//
+// Wire framing per message: u32 length · u32 from · u32 to · payload.
+// Outbound connections are cached per endpoint and re-established on
+// failure; like the other transports, delivery is best-effort datagram
+// semantics (a send during a broken connection is silently lost and the
+// protocol timeouts handle it).
+//
+// Threading model matches ThreadTransport: every delivery and scheduled
+// callback runs on ONE dispatch thread, so protocol objects stay
+// single-threaded. Initiate client operations via schedule(0, ...).
+// Call stop() before destroying nodes registered on the transport.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace securestore::net {
+
+struct TcpEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  bool operator==(const TcpEndpoint&) const = default;
+  bool operator<(const TcpEndpoint& other) const {
+    return std::tie(host, port) < std::tie(other.host, other.port);
+  }
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds and listens on `listen_port` (0 = pick an ephemeral port, see
+  /// `port()`). `directory` maps every node in the deployment to its
+  /// process's endpoint; nodes registered locally are delivered in-process.
+  TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// The actual listening port (after ephemeral resolution).
+  std::uint16_t port() const { return port_; }
+
+  /// Adds/updates directory entries (e.g. once an ephemeral peer port is
+  /// known). Thread-safe.
+  void set_endpoint(NodeId node, TcpEndpoint endpoint);
+
+  void register_node(NodeId node, DeliverFn deliver) override;
+  void unregister_node(NodeId node) override;
+  void send(NodeId from, NodeId to, Bytes payload) override;
+  SimTime now() const override;
+  void schedule(SimDuration delay, std::function<void()> callback) override;
+  const sim::MessageStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+  /// Joins all background threads; idempotent.
+  void stop();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Clock::time_point at;
+    std::uint64_t sequence;
+    std::function<void()> run;
+  };
+  struct Later {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void enqueue(Clock::time_point at, std::function<void()> run);
+  void dispatch_loop();
+  void accept_loop();
+  void reader_loop(int fd);
+  void deliver_local(NodeId from, NodeId to, Bytes payload);
+  /// Returns a connected fd for the endpoint (cached), or -1.
+  int outbound_fd(const TcpEndpoint& endpoint);
+
+  const Clock::time_point start_ = Clock::now();
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::priority_queue<Job, std::vector<Job>, Later> jobs_;
+  std::uint64_t next_sequence_ = 0;
+  bool stopping_ = false;
+
+  mutable std::mutex handlers_mutex_;
+  std::unordered_map<NodeId, DeliverFn> handlers_;
+
+  mutable std::mutex directory_mutex_;
+  std::map<NodeId, TcpEndpoint> directory_;
+  std::map<TcpEndpoint, int> outbound_;
+  // Learned routes: a node that sent us a frame is reachable over that same
+  // inbound connection — how servers answer clients on ephemeral ports
+  // without a directory entry.
+  std::map<NodeId, int> learned_;
+
+  sim::MessageStats stats_;  // guarded by jobs_mutex_
+
+  std::thread dispatcher_;
+  std::thread acceptor_;
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+  std::vector<int> inbound_fds_;  // open inbound sockets, shut down on stop()
+  bool accepting_ = true;         // guarded by readers_mutex_
+};
+
+}  // namespace securestore::net

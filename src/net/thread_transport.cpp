@@ -1,0 +1,106 @@
+#include "net/thread_transport.h"
+
+namespace securestore::net {
+
+ThreadTransport::ThreadTransport(sim::NetworkModel network) : network_(std::move(network)) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+ThreadTransport::~ThreadTransport() { stop(); }
+
+void ThreadTransport::stop() {
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  jobs_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void ThreadTransport::register_node(NodeId node, DeliverFn deliver) {
+  std::lock_guard lock(handlers_mutex_);
+  handlers_[node] = std::move(deliver);
+}
+
+void ThreadTransport::unregister_node(NodeId node) {
+  std::lock_guard lock(handlers_mutex_);
+  handlers_.erase(node);
+}
+
+SimTime ThreadTransport::now() const {
+  return static_cast<SimTime>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count());
+}
+
+void ThreadTransport::enqueue(Clock::time_point at, std::function<void()> run) {
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (stopping_) return;
+    jobs_.push(Job{at, next_sequence_++, std::move(run)});
+  }
+  jobs_cv_.notify_all();
+}
+
+void ThreadTransport::send(NodeId from, NodeId to, Bytes payload) {
+  std::optional<SimDuration> latency;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+    latency = network_.sample_delivery(from, to);
+    if (!latency.has_value()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+  }
+
+  enqueue(Clock::now() + std::chrono::microseconds(*latency),
+          [this, from, to, payload = std::move(payload)] {
+            DeliverFn handler;
+            {
+              std::lock_guard lock(handlers_mutex_);
+              const auto it = handlers_.find(to);
+              if (it == handlers_.end()) {
+                std::lock_guard stats_lock(jobs_mutex_);
+                ++stats_.messages_dropped;
+                return;
+              }
+              handler = it->second;  // copy, so delivery runs unlocked
+            }
+            {
+              std::lock_guard stats_lock(jobs_mutex_);
+              ++stats_.messages_delivered;
+            }
+            handler(from, payload);
+          });
+}
+
+void ThreadTransport::schedule(SimDuration delay, std::function<void()> callback) {
+  enqueue(Clock::now() + std::chrono::microseconds(delay), std::move(callback));
+}
+
+void ThreadTransport::dispatch_loop() {
+  std::unique_lock lock(jobs_mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (jobs_.empty()) {
+      jobs_cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      continue;
+    }
+    const Clock::time_point due = jobs_.top().at;
+    if (Clock::now() < due) {
+      jobs_cv_.wait_until(lock, due, [this, due] {
+        return stopping_ || (!jobs_.empty() && jobs_.top().at < due);
+      });
+      continue;
+    }
+    Job job = std::move(const_cast<Job&>(jobs_.top()));
+    jobs_.pop();
+    lock.unlock();
+    job.run();
+    lock.lock();
+  }
+}
+
+}  // namespace securestore::net

@@ -1,0 +1,88 @@
+// Real-time transport: wall-clock latencies, background dispatch thread.
+//
+// The simulator (SimTransport) gives deterministic virtual time; this
+// transport runs the exact same protocol stack in *real* time — the
+// "actual implementations" half of the paper's evaluation plan (§6). It
+// models the network with the same LinkProfile sampling, but delays are
+// slept through on a dispatch thread instead of skipped by a scheduler.
+//
+// Threading model: ALL deliveries and scheduled callbacks execute on one
+// dispatch thread, serializing every protocol handler — the protocol
+// objects themselves stay single-threaded, exactly as under the simulator.
+// `send`/`schedule`/`register_node` may be called from any thread.
+//
+// Shutdown: call `stop()` (joins the dispatch thread, drops pending jobs)
+// BEFORE destroying servers/clients registered on the transport; pending
+// jobs may otherwise run against destroyed objects.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+
+#include "net/transport.h"
+#include "sim/network.h"
+
+namespace securestore::net {
+
+class ThreadTransport final : public Transport {
+ public:
+  explicit ThreadTransport(sim::NetworkModel network);
+  ~ThreadTransport() override;
+
+  ThreadTransport(const ThreadTransport&) = delete;
+  ThreadTransport& operator=(const ThreadTransport&) = delete;
+
+  void register_node(NodeId node, DeliverFn deliver) override;
+  void unregister_node(NodeId node) override;
+  void send(NodeId from, NodeId to, Bytes payload) override;
+  /// Microseconds of wall-clock time since construction.
+  SimTime now() const override;
+  void schedule(SimDuration delay, std::function<void()> callback) override;
+  const sim::MessageStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+  /// Joins the dispatch thread; idempotent.
+  void stop();
+
+  sim::NetworkModel& network() { return network_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Clock::time_point at;
+    std::uint64_t sequence;
+    std::function<void()> run;
+  };
+  struct Later {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void enqueue(Clock::time_point at, std::function<void()> run);
+  void dispatch_loop();
+
+  const Clock::time_point start_ = Clock::now();
+
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::priority_queue<Job, std::vector<Job>, Later> jobs_;
+  std::uint64_t next_sequence_ = 0;
+  bool stopping_ = false;
+
+  mutable std::mutex handlers_mutex_;
+  std::unordered_map<NodeId, DeliverFn> handlers_;
+
+  sim::NetworkModel network_;  // guarded by jobs_mutex_ (rng state)
+  sim::MessageStats stats_;    // guarded by jobs_mutex_
+
+  std::thread dispatcher_;
+};
+
+}  // namespace securestore::net

@@ -1,0 +1,50 @@
+// Transport abstraction.
+//
+// Protocol code (clients, servers, gossip, baselines) is written against
+// this interface; the concrete `SimTransport` routes datagrams through the
+// discrete-event simulator. Delivery is asynchronous and unreliable —
+// messages to partitioned or losing links silently vanish, exactly like
+// UDP — so every protocol carries its own timeouts.
+#pragma once
+
+#include <functional>
+
+#include "sim/metrics.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace securestore::net {
+
+class Transport {
+ public:
+  /// Invoked on the receiving node with the sender's id and the payload.
+  /// NOTE: the sender id is transport-provided (i.e. authenticated at the
+  /// channel level, per the paper's §4 secure-channel assumption); payload
+  /// authenticity is still the protocol's job via signatures.
+  using DeliverFn = std::function<void(NodeId from, BytesView payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers a node's receive handler. A node must be registered before
+  /// messages can be delivered to it; re-registering replaces the handler.
+  virtual void register_node(NodeId node, DeliverFn deliver) = 0;
+
+  /// Removes a node; pending messages to it are dropped on delivery.
+  virtual void unregister_node(NodeId node) = 0;
+
+  /// Sends a datagram. Never fails synchronously; loss is silent.
+  virtual void send(NodeId from, NodeId to, Bytes payload) = 0;
+
+  /// Current (simulated) time.
+  virtual SimTime now() const = 0;
+
+  /// Schedules a callback after `delay` (protocol timeouts, gossip ticks).
+  virtual void schedule(SimDuration delay, std::function<void()> callback) = 0;
+
+  /// Message-level counters since the last reset.
+  virtual const sim::MessageStats& stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace securestore::net

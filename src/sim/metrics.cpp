@@ -1,0 +1,54 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace securestore::sim {
+
+namespace {
+
+void require_nonempty(const std::vector<double>& v) {
+  if (v.empty()) throw std::logic_error("Samples: no observations");
+}
+
+}  // namespace
+
+double Samples::mean() const {
+  require_nonempty(values_);
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  require_nonempty(values_);
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  require_nonempty(values_);
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double p) const {
+  require_nonempty(values_);
+  if (p < 0 || p > 100) throw std::invalid_argument("Samples::percentile: p out of range");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double fraction = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - fraction) + sorted[hi] * fraction;
+}
+
+double Samples::stddev() const {
+  require_nonempty(values_);
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+}  // namespace securestore::sim

@@ -1,0 +1,44 @@
+// Measurement helpers for the benchmark harness.
+//
+// `Samples` accumulates scalar observations (operation latencies, message
+// counts per op) and reports the summary statistics the experiment tables
+// print: mean, percentiles, min/max.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace securestore::sim {
+
+class Samples {
+ public:
+  void add(double value) { values_.push_back(value); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Percentile in [0, 100], by nearest-rank on the sorted samples.
+  double percentile(double p) const;
+  double median() const { return percentile(50); }
+  double stddev() const;
+
+  void clear() { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Cumulative message-level counters, kept by the transport.
+struct MessageStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+
+  void reset() { *this = MessageStats{}; }
+};
+
+}  // namespace securestore::sim

@@ -1,0 +1,57 @@
+#include "sim/network.h"
+
+namespace securestore::sim {
+
+namespace {
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+}
+
+}  // namespace
+
+LinkProfile lan_profile() {
+  return LinkProfile{microseconds(200), microseconds(100), 0.0};
+}
+
+LinkProfile wan_profile() {
+  return LinkProfile{milliseconds(60), milliseconds(40), 0.0};
+}
+
+LinkProfile zero_profile() {
+  return LinkProfile{0, 0, 0.0};
+}
+
+void NetworkModel::set_link_profile(NodeId from, NodeId to, LinkProfile profile) {
+  link_overrides_[link_key(from, to)] = profile;
+}
+
+void NetworkModel::set_partitioned(NodeId node, bool partitioned) {
+  if (partitioned) {
+    partitioned_.insert(node);
+  } else {
+    partitioned_.erase(node);
+  }
+}
+
+bool NetworkModel::is_partitioned(NodeId node) const {
+  return partitioned_.contains(node);
+}
+
+const LinkProfile& NetworkModel::profile_for(NodeId from, NodeId to) const {
+  const auto it = link_overrides_.find(link_key(from, to));
+  return it != link_overrides_.end() ? it->second : default_profile_;
+}
+
+std::optional<SimDuration> NetworkModel::sample_delivery(NodeId from, NodeId to) {
+  if (partitioned_.contains(from) || partitioned_.contains(to)) return std::nullopt;
+  const LinkProfile& profile = profile_for(from, to);
+  if (profile.loss_probability > 0.0 && rng_.next_bool(profile.loss_probability)) {
+    return std::nullopt;
+  }
+  SimDuration latency = profile.base_latency;
+  if (profile.jitter > 0) latency += rng_.next_below(profile.jitter + 1);
+  return latency;
+}
+
+}  // namespace securestore::sim

@@ -1,0 +1,64 @@
+// Simulated network model.
+//
+// Samples per-message latency and loss. The defaults model the paper's
+// target environment — clients and replicated servers spread across a wide
+// area — but benches reconfigure it per experiment (LAN vs WAN, §6's
+// "environment where communication latencies are high across the server
+// replicas").
+//
+// Latency = base + uniform jitter in [0, jitter], per directed link, with
+// optional per-link overrides. Loss and partitions silently drop messages;
+// protocol timeouts are how callers observe that (as in a real network).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace securestore::sim {
+
+struct LinkProfile {
+  SimDuration base_latency = milliseconds(1);
+  SimDuration jitter = microseconds(200);
+  double loss_probability = 0.0;
+};
+
+/// Commonly used profiles for the benches.
+LinkProfile lan_profile();   // ~0.2 ms
+LinkProfile wan_profile();   // ~60 ms +/- 20 ms, the paper's wide-area setting
+LinkProfile zero_profile();  // instantaneous, for logic-only tests
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(Rng rng, LinkProfile default_profile = LinkProfile{})
+      : rng_(std::move(rng)), default_profile_(default_profile) {}
+
+  void set_default_profile(LinkProfile profile) { default_profile_ = profile; }
+
+  /// Overrides the profile of a directed link.
+  void set_link_profile(NodeId from, NodeId to, LinkProfile profile);
+
+  /// Puts a node into (or out of) the partitioned set: messages to and from
+  /// partitioned nodes are dropped.
+  void set_partitioned(NodeId node, bool partitioned);
+  bool is_partitioned(NodeId node) const;
+
+  /// Returns the delivery latency for one message, or nullopt if the
+  /// message is lost (loss, partition).
+  std::optional<SimDuration> sample_delivery(NodeId from, NodeId to);
+
+ private:
+  const LinkProfile& profile_for(NodeId from, NodeId to) const;
+
+  Rng rng_;
+  LinkProfile default_profile_;
+  std::unordered_map<std::uint64_t, LinkProfile> link_overrides_;
+  std::unordered_set<NodeId> partitioned_;
+};
+
+}  // namespace securestore::sim

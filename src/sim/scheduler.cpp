@@ -1,0 +1,39 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+
+namespace securestore::sim {
+
+void Scheduler::schedule_at(SimTime at, Event event) {
+  if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
+  queue_.push(Entry{at, next_sequence_++, std::move(event)});
+}
+
+void Scheduler::schedule_in(SimDuration delay, Event event) {
+  schedule_at(now_ + delay, std::move(event));
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the event may schedule more events.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.at;
+  ++executed_;
+  entry.event();
+  return true;
+}
+
+void Scheduler::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace securestore::sim

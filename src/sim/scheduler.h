@@ -1,0 +1,67 @@
+// Discrete-event scheduler.
+//
+// The protocol evaluation runs on simulated time: events (message
+// deliveries, protocol timeouts, gossip ticks) are executed in timestamp
+// order while a virtual clock advances. Runs are deterministic given the
+// same seed, which the tests exploit heavily.
+//
+// Ties are broken by insertion order (FIFO among same-time events), so the
+// execution order is stable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace securestore::sim {
+
+class Scheduler {
+ public:
+  using Event = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `event` to run at absolute time `at` (>= now).
+  void schedule_at(SimTime at, Event event);
+
+  /// Schedules `event` to run `delay` after the current time.
+  void schedule_in(SimDuration delay, Event event);
+
+  /// Runs a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until no events remain.
+  void run_until_idle();
+
+  /// Runs events with time <= `deadline`; the clock ends at `deadline` even
+  /// if the queue empties earlier.
+  void run_until(SimTime deadline);
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed (sanity metric for runaway simulations).
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t sequence;
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace securestore::sim

@@ -1,0 +1,152 @@
+#include "storage/audit_log.h"
+
+#include <algorithm>
+#include <map>
+
+#include "crypto/sha2.h"
+#include "util/serial.h"
+
+namespace securestore::storage {
+
+void AuditEntry::encode(Writer& w) const {
+  w.u64(sequence);
+  w.u64(accepted_at);
+  w.u64(item.value);
+  ts.encode(w);
+  w.u32(writer.value);
+  w.bytes(record_digest);
+  w.bytes(chain_hash);
+}
+
+AuditEntry AuditEntry::decode(Reader& r) {
+  AuditEntry entry;
+  entry.sequence = r.u64();
+  entry.accepted_at = r.u64();
+  entry.item = ItemId{r.u64()};
+  entry.ts = core::Timestamp::decode(r);
+  entry.writer = ClientId{r.u32()};
+  entry.record_digest = r.bytes();
+  entry.chain_hash = r.bytes();
+  return entry;
+}
+
+Bytes AuditLog::genesis() { return crypto::sha256(to_bytes("securestore.audit.genesis.v1")); }
+
+AuditLog::AuditLog() : head_(genesis()) {}
+
+Bytes AuditLog::link(BytesView previous, const AuditEntry& entry) {
+  Writer w;
+  w.raw(previous);
+  w.u64(entry.sequence);
+  w.u64(entry.accepted_at);
+  w.u64(entry.item.value);
+  entry.ts.encode(w);
+  w.u32(entry.writer.value);
+  w.bytes(entry.record_digest);
+  return crypto::sha256(w.data());
+}
+
+const Bytes& AuditLog::append(const core::WriteRecord& record, SimTime accepted_at) {
+  AuditEntry entry;
+  entry.sequence = entries_.size();
+  entry.accepted_at = accepted_at;
+  entry.item = record.item;
+  entry.ts = record.ts;
+  entry.writer = record.writer;
+  entry.record_digest = crypto::sha256(record.signed_payload());
+  entry.chain_hash = link(head_, entry);
+  head_ = entry.chain_hash;
+  entries_.push_back(std::move(entry));
+  return head_;
+}
+
+Bytes AuditLog::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const AuditEntry& entry : entries_) entry.encode(w);
+  return w.take();
+}
+
+AuditLog AuditLog::deserialize(BytesView data) {
+  Reader r(data);
+  AuditLog log;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    log.entries_.push_back(AuditEntry::decode(r));
+  }
+  r.expect_end();
+  if (!log.entries_.empty()) log.head_ = log.entries_.back().chain_hash;
+  return log;
+}
+
+bool AuditLog::verify() const {
+  Bytes previous = genesis();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AuditEntry& entry = entries_[i];
+    if (entry.sequence != i) return false;
+    if (link(previous, entry) != entry.chain_hash) return false;
+    previous = entry.chain_hash;
+  }
+  return previous == head_;
+}
+
+bool AuditLog::contains(BytesView record_digest) const {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const AuditEntry& entry) {
+    return entry.record_digest.size() == record_digest.size() &&
+           std::equal(entry.record_digest.begin(), entry.record_digest.end(),
+                      record_digest.begin());
+  });
+}
+
+std::vector<AuditFinding> cross_audit(
+    const std::vector<std::pair<NodeId, const AuditLog*>>& logs,
+    std::size_t tolerate_tail) {
+  std::vector<AuditFinding> findings;
+
+  // 1. Per-server chain integrity.
+  for (const auto& [server, log] : logs) {
+    if (!log->verify()) {
+      findings.push_back(AuditFinding{AuditFinding::Kind::kBrokenChain, server, {},
+                                      "hash chain fails verification"});
+    }
+  }
+
+  // 2. Suppression, per item: establish the newest stable write any
+  // verified log recorded, then require every log to have caught up to it.
+  struct Newest {
+    core::Timestamp ts;
+    Bytes digest;
+  };
+  std::map<std::uint64_t, Newest> baseline;  // item -> newest stable write
+  for (const auto& [server, log] : logs) {
+    if (!log->verify()) continue;
+    const std::size_t count = log->entries().size();
+    const std::size_t stable = count > tolerate_tail ? count - tolerate_tail : 0;
+    for (std::size_t i = 0; i < stable; ++i) {
+      const AuditEntry& entry = log->entries()[i];
+      auto [it, inserted] =
+          baseline.try_emplace(entry.item.value, Newest{entry.ts, entry.record_digest});
+      if (!inserted && it->second.ts < entry.ts) {
+        it->second = Newest{entry.ts, entry.record_digest};
+      }
+    }
+  }
+
+  for (const auto& [server, log] : logs) {
+    if (!log->verify()) continue;  // already reported
+    for (const auto& [item, newest] : baseline) {
+      const bool caught_up = std::any_of(
+          log->entries().begin(), log->entries().end(), [&](const AuditEntry& entry) {
+            return entry.item.value == item && !(entry.ts < newest.ts);
+          });
+      if (!caught_up) {
+        findings.push_back(AuditFinding{AuditFinding::Kind::kMissingWrite, server,
+                                        newest.digest,
+                                        "item's newest write is absent from this log"});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace securestore::storage

@@ -1,0 +1,27 @@
+#include "storage/context_store.h"
+
+namespace securestore::storage {
+
+bool ContextStore::apply(const core::StoredContext& stored) {
+  const Key key = make_key(stored.owner, stored.context.group());
+  const auto it = contexts_.find(key);
+  if (it != contexts_.end() && it->second.context.dominates(stored.context)) {
+    return false;  // replay or stale: keep what we have
+  }
+  contexts_[key] = stored;
+  return true;
+}
+
+const core::StoredContext* ContextStore::get(ClientId owner, GroupId group) const {
+  const auto it = contexts_.find(make_key(owner, group));
+  return it != contexts_.end() ? &it->second : nullptr;
+}
+
+std::vector<const core::StoredContext*> ContextStore::all() const {
+  std::vector<const core::StoredContext*> out;
+  out.reserve(contexts_.size());
+  for (const auto& [key, stored] : contexts_) out.push_back(&stored);
+  return out;
+}
+
+}  // namespace securestore::storage

@@ -1,0 +1,41 @@
+// Server-side storage for client contexts (Fig. 1).
+//
+// One signed context per (owner, group). A newer context replaces the
+// stored one only if it dominates it — a non-faulty server never lets a
+// replayed old context regress what it stores. Signatures are verified by
+// the server before the store is touched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/record.h"
+#include "util/ids.h"
+
+namespace securestore::storage {
+
+class ContextStore {
+ public:
+  /// Stores (or refreshes) a context. Returns false if an already-stored
+  /// context is at least as new (the incoming one is ignored).
+  bool apply(const core::StoredContext& stored);
+
+  /// The stored context of `owner` for `group`, if any.
+  const core::StoredContext* get(ClientId owner, GroupId group) const;
+
+  /// Every stored context, for snapshots.
+  std::vector<const core::StoredContext*> all() const;
+
+  std::size_t size() const { return contexts_.size(); }
+
+ private:
+  using Key = std::pair<std::uint32_t, std::uint64_t>;  // (owner, group)
+  static Key make_key(ClientId owner, GroupId group) {
+    return Key{owner.value, group.value};
+  }
+
+  std::map<Key, core::StoredContext> contexts_;
+};
+
+}  // namespace securestore::storage

@@ -1,0 +1,29 @@
+#include "storage/hold_queue.h"
+
+namespace securestore::storage {
+
+bool HoldQueue::dependencies_met(const core::WriteRecord& record, const HaveFn& have) {
+  for (const auto& [item, ts] : record.writer_context.entries()) {
+    if (item == record.item) continue;  // self-entry names this very write
+    if (ts.is_zero()) continue;
+    if (!have(item, ts)) return false;
+  }
+  return true;
+}
+
+void HoldQueue::hold(core::WriteRecord record) { held_.push_back(std::move(record)); }
+
+std::vector<core::WriteRecord> HoldQueue::release(const HaveFn& have) {
+  std::vector<core::WriteRecord> released;
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (dependencies_met(*it, have)) {
+      released.push_back(std::move(*it));
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+}  // namespace securestore::storage

@@ -1,0 +1,49 @@
+// Causal hold queue (§5.3).
+//
+// Defense against the spurious-context denial-of-service attack: "a
+// non-malicious server should start reporting a write to any requesting
+// client only after the causally preceding writes, as reflected in the
+// accompanying context, arrive at the server". Writes whose dependencies
+// are not yet locally satisfied wait here; each new arrival can release
+// held writes transitively.
+//
+// A write forged with arbitrarily-high context entries therefore never
+// becomes visible, and honest clients that would have read it are not
+// poisoned into chasing timestamps that correspond to no real write.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/record.h"
+#include "util/ids.h"
+
+namespace securestore::storage {
+
+class HoldQueue {
+ public:
+  /// Predicate: does the local store hold a record for `item` at least as
+  /// new as `ts`?
+  using HaveFn = std::function<bool(ItemId item, const core::Timestamp& ts)>;
+
+  /// True iff every dependency in the record's writer context (other than
+  /// the entry for the item itself) is satisfied locally.
+  static bool dependencies_met(const core::WriteRecord& record, const HaveFn& have);
+
+  /// Parks a record until its dependencies are met.
+  void hold(core::WriteRecord record);
+
+  /// Re-evaluates all held records; returns those whose dependencies are
+  /// now met (removed from the queue). Call after every store mutation;
+  /// the caller applies the released records, then calls again until empty
+  /// (transitive release).
+  std::vector<core::WriteRecord> release(const HaveFn& have);
+
+  std::size_t size() const { return held_.size(); }
+  bool empty() const { return held_.empty(); }
+
+ private:
+  std::vector<core::WriteRecord> held_;
+};
+
+}  // namespace securestore::storage

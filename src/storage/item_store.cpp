@@ -1,0 +1,121 @@
+#include "storage/item_store.h"
+
+#include <algorithm>
+
+namespace securestore::storage {
+
+namespace {
+
+bool same_write(const core::WriteRecord& a, const core::WriteRecord& b) {
+  return a.ts == b.ts && a.writer == b.writer;
+}
+
+}  // namespace
+
+ApplyResult ItemStore::apply(const core::WriteRecord& record) {
+  ItemState& state = items_[record.item];
+
+  // Equivocation check against the current value and the log.
+  auto equivocates_with = [&](const core::WriteRecord& existing) {
+    return existing.ts.equivocates(record.ts);
+  };
+  if ((state.current && equivocates_with(*state.current)) ||
+      std::any_of(state.history.begin(), state.history.end(), equivocates_with)) {
+    state.faulty_writer = true;
+    return ApplyResult::kEquivocation;
+  }
+
+  if (!state.current) {
+    state.current = record;
+    return ApplyResult::kStoredNewer;
+  }
+
+  if (same_write(*state.current, record)) return ApplyResult::kDuplicate;
+  if (std::any_of(state.history.begin(), state.history.end(),
+                  [&](const core::WriteRecord& h) { return same_write(h, record); })) {
+    return ApplyResult::kDuplicate;
+  }
+
+  if (state.current->ts < record.ts) {
+    // New current; the old one goes to the head of the history log.
+    state.history.push_front(std::move(*state.current));
+    state.current = record;
+    if (state.history.size() > max_log_entries_) state.history.pop_back();
+    return ApplyResult::kStoredNewer;
+  }
+
+  // Older than current: keep in the log (sorted, newest first) so §5.3
+  // readers can still find a value that b+1 servers agree on while the
+  // newest value is disseminating.
+  const auto position = std::find_if(
+      state.history.begin(), state.history.end(),
+      [&](const core::WriteRecord& h) { return h.ts < record.ts; });
+  state.history.insert(position, record);
+  if (state.history.size() > max_log_entries_) state.history.pop_back();
+  return ApplyResult::kLogged;
+}
+
+const core::WriteRecord* ItemStore::current(ItemId item) const {
+  const auto it = items_.find(item);
+  if (it == items_.end() || !it->second.current) return nullptr;
+  return &*it->second.current;
+}
+
+std::vector<core::WriteRecord> ItemStore::log(ItemId item) const {
+  std::vector<core::WriteRecord> out;
+  const auto it = items_.find(item);
+  if (it == items_.end()) return out;
+  if (it->second.current) out.push_back(*it->second.current);
+  out.insert(out.end(), it->second.history.begin(), it->second.history.end());
+  return out;
+}
+
+bool ItemStore::flagged_faulty(ItemId item) const {
+  const auto it = items_.find(item);
+  return it != items_.end() && it->second.faulty_writer;
+}
+
+std::vector<core::WriteRecord> ItemStore::group_meta(GroupId group) const {
+  std::vector<core::WriteRecord> out;
+  for (const auto& [item, state] : items_) {
+    if (state.current && state.current->group == group) {
+      out.push_back(state.current->meta_only());
+    }
+  }
+  return out;
+}
+
+std::vector<const core::WriteRecord*> ItemStore::all_current() const {
+  std::vector<const core::WriteRecord*> out;
+  out.reserve(items_.size());
+  for (const auto& [item, state] : items_) {
+    if (state.current) out.push_back(&*state.current);
+  }
+  return out;
+}
+
+std::vector<const core::WriteRecord*> ItemStore::all_records() const {
+  std::vector<const core::WriteRecord*> out;
+  for (const auto& [item, state] : items_) {
+    if (state.current) out.push_back(&*state.current);
+    for (const core::WriteRecord& record : state.history) out.push_back(&record);
+  }
+  return out;
+}
+
+std::size_t ItemStore::prune_log(ItemId item, const core::Timestamp& ts) {
+  const auto it = items_.find(item);
+  if (it == items_.end()) return 0;
+  auto& history = it->second.history;
+  const std::size_t before = history.size();
+  std::erase_if(history, [&](const core::WriteRecord& h) { return h.ts < ts; });
+  return before - history.size();
+}
+
+std::size_t ItemStore::total_log_entries() const {
+  std::size_t total = 0;
+  for (const auto& [item, state] : items_) total += state.history.size();
+  return total;
+}
+
+}  // namespace securestore::storage

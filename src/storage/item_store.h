@@ -1,0 +1,80 @@
+// Server-side versioned item storage.
+//
+// A server keeps, per data item, the current (newest) signed write record
+// plus a bounded log of recent superseded writes (§5.3: "non-malicious
+// servers log the writes and report a set of latest writes for a particular
+// data item so that a client can choose a common value from b+1 lists").
+//
+// The store also watches for writer equivocation: two records for the same
+// item with equal (time, uid) but different digests mark the writer faulty,
+// and readers of the item are informed (§5.3: "clients accessing this data
+// item can be informed that the value cannot be assumed to be correct").
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/record.h"
+#include "util/ids.h"
+
+namespace securestore::storage {
+
+enum class ApplyResult {
+  kStoredNewer,    // became the current value
+  kLogged,         // older than current but retained in the log
+  kDuplicate,      // already have this exact write
+  kEquivocation,   // exposes the writer as faulty; item flagged
+};
+
+class ItemStore {
+ public:
+  explicit ItemStore(std::size_t max_log_entries = 16) : max_log_entries_(max_log_entries) {}
+
+  /// Applies a (already signature-verified) record. Ordering is by the
+  /// record timestamp; never downgrades the current value.
+  ApplyResult apply(const core::WriteRecord& record);
+
+  /// The current record for an item, if any.
+  const core::WriteRecord* current(ItemId item) const;
+
+  /// The item's recent-writes log, newest first, current value included —
+  /// what a §5.3 LogRead returns.
+  std::vector<core::WriteRecord> log(ItemId item) const;
+
+  /// True once equivocation has been observed for the item's writer.
+  bool flagged_faulty(ItemId item) const;
+
+  /// Items of a group with their current meta records (for context
+  /// reconstruction, §5.1).
+  std::vector<core::WriteRecord> group_meta(GroupId group) const;
+
+  /// All current records (gossip digests iterate these).
+  std::vector<const core::WriteRecord*> all_current() const;
+
+  /// Every record held — current values and log history — for snapshots.
+  std::vector<const core::WriteRecord*> all_records() const;
+
+  /// Prunes log entries strictly older than `ts` (stability certificate
+  /// handling, §5.3). Returns how many entries were erased.
+  std::size_t prune_log(ItemId item, const core::Timestamp& ts);
+
+  /// Total log entries across items (bench E7 measures retention).
+  std::size_t total_log_entries() const;
+
+  std::size_t item_count() const { return items_.size(); }
+
+ private:
+  struct ItemState {
+    std::optional<core::WriteRecord> current;
+    std::deque<core::WriteRecord> history;  // superseded writes, newest first
+    bool faulty_writer = false;
+  };
+
+  std::unordered_map<ItemId, ItemState> items_;
+  std::size_t max_log_entries_;
+};
+
+}  // namespace securestore::storage

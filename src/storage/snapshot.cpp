@@ -1,0 +1,95 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "crypto/sha2.h"
+#include "util/serial.h"
+
+namespace securestore::storage {
+
+namespace {
+
+constexpr char kMagic[] = "SECURESTORE-SNAPSHOT";
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+Bytes make_snapshot(const ItemStore& items, const ContextStore& contexts) {
+  Writer body;
+  // Canonical order (item, newest first, then writer) so two stores with
+  // equal contents produce byte-identical snapshots.
+  auto records = items.all_records();
+  std::sort(records.begin(), records.end(),
+            [](const core::WriteRecord* a, const core::WriteRecord* b) {
+              if (a->item != b->item) return a->item < b->item;
+              if (a->ts != b->ts) return b->ts < a->ts;
+              return a->value_digest < b->value_digest;
+            });
+  body.u32(static_cast<std::uint32_t>(records.size()));
+  for (const core::WriteRecord* record : records) record->encode(body);
+
+  const auto stored_contexts = contexts.all();
+  body.u32(static_cast<std::uint32_t>(stored_contexts.size()));
+  for (const core::StoredContext* stored : stored_contexts) stored->encode(body);
+
+  Writer out;
+  out.str(kMagic);
+  out.u32(kVersion);
+  out.bytes(crypto::sha256(body.data()));
+  out.bytes(body.data());
+  return out.take();
+}
+
+void restore_snapshot(BytesView snapshot, ItemStore& items, ContextStore& contexts) {
+  Reader r(snapshot);
+  if (r.str() != kMagic) throw DecodeError("snapshot: bad magic");
+  if (r.u32() != kVersion) throw DecodeError("snapshot: unsupported version");
+  const Bytes checksum = r.bytes();
+  const Bytes body = r.bytes();
+  r.expect_end();
+  if (crypto::sha256(body) != checksum) throw DecodeError("snapshot: checksum mismatch");
+
+  Reader br(body);
+  const std::uint32_t record_count = br.u32();
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    items.apply(core::WriteRecord::decode(br));
+  }
+  const std::uint32_t context_count = br.u32();
+  for (std::uint32_t i = 0; i < context_count; ++i) {
+    contexts.apply(core::StoredContext::decode(br));
+  }
+  br.expect_end();
+}
+
+void save_snapshot_file(const std::string& path, BytesView snapshot) {
+  const std::string temp_path = path + ".tmp";
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+  if (file == nullptr) throw std::runtime_error("snapshot: cannot open " + temp_path);
+  const std::size_t written = std::fwrite(snapshot.data(), 1, snapshot.size(), file);
+  std::fclose(file);
+  if (written != snapshot.size()) {
+    std::remove(temp_path.c_str());
+    throw std::runtime_error("snapshot: short write to " + temp_path);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    throw std::runtime_error("snapshot: rename failed for " + path);
+  }
+}
+
+Bytes load_snapshot_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) throw std::runtime_error("snapshot: cannot open " + path);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  Bytes data(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const std::size_t read = std::fread(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (read != data.size()) throw std::runtime_error("snapshot: short read from " + path);
+  return data;
+}
+
+}  // namespace securestore::storage

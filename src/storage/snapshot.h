@@ -1,0 +1,35 @@
+// Durable snapshots of server state.
+//
+// The secure store exists for "safe keeping" of long-term state (§1, §4),
+// so a server must survive its own restarts. A snapshot serializes every
+// record and context a server holds behind a magic/version header and a
+// SHA-256 checksum; restore verifies the checksum, then REPLAYS records
+// through ItemStore::apply and ContextStore::apply so every invariant
+// (ordering, equivocation flags, log bounds) is re-established rather than
+// trusted from disk. A snapshot tampered with on disk fails the checksum —
+// and even if the checksum were fixed up, individual records still carry
+// writer signatures the server re-verifies on use.
+#pragma once
+
+#include <string>
+
+#include "storage/context_store.h"
+#include "storage/item_store.h"
+#include "util/bytes.h"
+
+namespace securestore::storage {
+
+/// Serializes both stores into one snapshot blob.
+Bytes make_snapshot(const ItemStore& items, const ContextStore& contexts);
+
+/// Rebuilds the stores from a snapshot. Throws DecodeError on a malformed
+/// or checksum-failing snapshot. The stores should be empty (records are
+/// replayed additively).
+void restore_snapshot(BytesView snapshot, ItemStore& items, ContextStore& contexts);
+
+/// File helpers (atomic-ish: write to a temp name, then rename).
+void save_snapshot_file(const std::string& path, BytesView snapshot);
+/// Throws std::runtime_error if the file cannot be read.
+Bytes load_snapshot_file(const std::string& path);
+
+}  // namespace securestore::storage

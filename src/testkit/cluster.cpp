@@ -1,0 +1,97 @@
+#include "testkit/cluster.h"
+
+#include <stdexcept>
+
+namespace securestore::testkit {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(options_.seed) {
+  transport_ = std::make_unique<net::SimTransport>(
+      scheduler_, sim::NetworkModel(rng_.fork(), options_.link));
+
+  // Key directories first: servers copy the config at construction.
+  config_.n = options_.n;
+  config_.b = options_.b;
+  for (std::uint32_t i = 0; i < options_.n; ++i) config_.servers.push_back(NodeId{i});
+
+  authority_ = crypto::KeyPair::generate(rng_);
+  for (std::uint32_t c = 1; c <= options_.max_clients; ++c) {
+    client_keypairs_.push_back(crypto::KeyPair::generate(rng_));
+    config_.client_keys[c] = client_keypairs_.back().public_key;
+  }
+
+  for (std::uint32_t i = 0; i < options_.n; ++i) {
+    server_keypairs_.push_back(crypto::KeyPair::generate(rng_));
+    config_.server_keys[NodeId{i}] = server_keypairs_.back().public_key;
+  }
+
+  for (std::uint32_t i = 0; i < options_.n; ++i) {
+    servers_.push_back(build_server(i));
+  }
+}
+
+std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t index) {
+  core::SecureStoreServer::Options server_options;
+  server_options.gossip = options_.gossip;
+  server_options.start_gossip = options_.start_gossip;
+  if (options_.require_auth) server_options.authority_key = authority_.public_key;
+
+  std::set<faults::ServerFault> faults;
+  for (const auto& [fault_index, fault_set] : options_.server_faults) {
+    if (fault_index == index) faults = fault_set;
+  }
+
+  std::unique_ptr<core::SecureStoreServer> server;
+  if (faults.empty()) {
+    server = std::make_unique<core::SecureStoreServer>(*transport_, NodeId{index}, config_,
+                                                       server_keypairs_[index],
+                                                       server_options, rng_.fork());
+  } else {
+    server = std::make_unique<faults::FaultyServer>(*transport_, NodeId{index}, config_,
+                                                    server_keypairs_[index], server_options,
+                                                    rng_.fork(), std::move(faults));
+  }
+  for (const core::GroupPolicy& policy : policies_) server->set_group_policy(policy);
+  return server;
+}
+
+void Cluster::restart_server(std::size_t index, bool restore_state) {
+  Bytes snapshot;
+  if (restore_state) snapshot = servers_[index]->snapshot();
+  servers_[index].reset();  // down: requests to it drop
+  servers_[index] = build_server(static_cast<std::uint32_t>(index));
+  if (restore_state) servers_[index]->restore(snapshot);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::set_group_policy(const core::GroupPolicy& policy) {
+  policies_.push_back(policy);
+  for (auto& server : servers_) server->set_group_policy(policy);
+}
+
+const crypto::KeyPair& Cluster::client_keys(ClientId id) const {
+  if (id.value == 0 || id.value > client_keypairs_.size()) {
+    throw std::out_of_range("Cluster: unregistered client id");
+  }
+  return client_keypairs_[id.value - 1];
+}
+
+std::unique_ptr<core::SecureStoreClient> Cluster::make_client(
+    ClientId id, core::SecureStoreClient::Options options,
+    std::optional<NodeId> network_id) {
+  const NodeId node = network_id.value_or(NodeId{1000 + id.value});
+  return std::make_unique<core::SecureStoreClient>(*transport_, node, id, client_keys(id),
+                                                   config_, std::move(options), rng_.fork());
+}
+
+core::AuthToken Cluster::issue_token(ClientId client, GroupId group,
+                                     core::Rights rights) const {
+  const core::Authorizer authorizer(authority_.seed);
+  return authorizer.issue(client, group, rights);
+}
+
+void Cluster::run_for(SimDuration duration) {
+  scheduler_.run_until(scheduler_.now() + duration);
+}
+
+}  // namespace securestore::testkit

@@ -1,0 +1,100 @@
+// Cluster harness: one call stands up a full simulated deployment.
+//
+// Used by integration tests, examples and every bench: n servers (optionally
+// some faulty), a seeded network model, key directories, group policies and
+// client factories. Everything is deterministic in the seed.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "core/sync.h"
+#include "faults/faulty_server.h"
+#include "net/sim_transport.h"
+#include "sim/scheduler.h"
+
+namespace securestore::testkit {
+
+struct ClusterOptions {
+  std::uint32_t n = 4;
+  std::uint32_t b = 1;
+  std::uint64_t seed = 1;
+  /// How many client identities to pre-register keys for (ClientId 1..k).
+  std::uint32_t max_clients = 8;
+  sim::LinkProfile link = sim::lan_profile();
+  gossip::GossipEngine::Config gossip;
+  bool start_gossip = true;
+  /// Enable the §4 authorization service: servers then require tokens.
+  bool require_auth = false;
+  /// Faults to inject, by server index.
+  std::vector<std::pair<std::uint32_t, std::set<faults::ServerFault>>> server_faults;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  net::SimTransport& transport() { return *transport_; }
+  const core::StoreConfig& config() const { return config_; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Applies a policy to every server.
+  void set_group_policy(const core::GroupPolicy& policy);
+
+  core::SecureStoreServer& server(std::size_t index) { return *servers_[index]; }
+  std::size_t server_count() const { return servers_.size(); }
+
+  /// Simulates a server reboot: tears the server down (mid-simulation —
+  /// in-flight messages to it are dropped, as on a real crash) and brings
+  /// it back up, restored from its snapshot when `restore_state` is true
+  /// (fresh/amnesiac otherwise). Group policies are re-applied.
+  void restart_server(std::size_t index, bool restore_state = true);
+
+  /// The pre-generated key pair of a registered client id (1-based).
+  const crypto::KeyPair& client_keys(ClientId id) const;
+
+  /// Authority key pair (only meaningful when require_auth).
+  const crypto::KeyPair& authority() const { return authority_; }
+
+  /// Creates a client. Policy/token/codec come from `options`; the network
+  /// id defaults to one derived from the client id — pass `network_id`
+  /// explicitly to run several client endpoints under one principal (e.g.
+  /// one per item group, since a client object manages one group's
+  /// context/session at a time).
+  std::unique_ptr<core::SecureStoreClient> make_client(
+      ClientId id, core::SecureStoreClient::Options options,
+      std::optional<NodeId> network_id = std::nullopt);
+
+  /// Issues a read/write token for `client` on `group` (for require_auth
+  /// deployments).
+  core::AuthToken issue_token(ClientId client, GroupId group,
+                              core::Rights rights = core::Rights::kReadWrite) const;
+
+  /// Runs the simulation for `duration` of virtual time (lets gossip ticks
+  /// propagate between synchronous client operations).
+  void run_for(SimDuration duration);
+
+ private:
+  ClusterOptions options_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<net::SimTransport> transport_;
+  core::StoreConfig config_;
+  std::unique_ptr<core::SecureStoreServer> build_server(std::uint32_t index);
+
+  crypto::KeyPair authority_;
+  std::vector<crypto::KeyPair> client_keypairs_;  // index = ClientId.value - 1
+  std::vector<crypto::KeyPair> server_keypairs_;
+  std::vector<std::unique_ptr<core::SecureStoreServer>> servers_;
+  std::vector<core::GroupPolicy> policies_;
+  Rng rng_;
+};
+
+}  // namespace securestore::testkit

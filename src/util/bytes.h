@@ -1,0 +1,41 @@
+// Byte-buffer helpers shared by every module.
+//
+// The whole code base traffics in `Bytes` (a vector of octets): values stored
+// in the secure store, serialized protocol messages, digests, signatures and
+// keys. Helpers here convert to/from hex for logging and tests and provide
+// constant-time comparison for secret material.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace securestore {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a byte buffer from a text string (no terminator included).
+Bytes to_bytes(std::string_view text);
+
+/// Interprets a byte buffer as text. Only sensible for buffers that were
+/// produced from text in the first place.
+std::string to_string(BytesView data);
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Parses lower- or upper-case hex. Throws std::invalid_argument on odd
+/// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Concatenates any number of buffers.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Comparison that does not branch on the data; use for MACs/digests of
+/// secret-bearing material. Returns true iff equal (length must match).
+bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace securestore

@@ -1,0 +1,10 @@
+#include "util/ids.h"
+
+namespace securestore {
+
+std::string to_string(NodeId id) { return "S" + std::to_string(id.value); }
+std::string to_string(ClientId id) { return "C" + std::to_string(id.value); }
+std::string to_string(ItemId id) { return "x" + std::to_string(id.value); }
+std::string to_string(GroupId id) { return "G" + std::to_string(id.value); }
+
+}  // namespace securestore

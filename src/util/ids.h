@@ -1,0 +1,83 @@
+// Strongly-typed identifiers used across the system.
+//
+// The paper's notation: S_i are servers, C_i are clients, uid(x_i) is the
+// unique identifier of data item x_i. We give each its own type so that a
+// server index can never be passed where an item uid is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace securestore {
+
+/// Identifies a node (server or client) on the network/transport layer.
+struct NodeId {
+  std::uint32_t value = 0;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+  auto operator<=>(const NodeId&) const = default;
+};
+
+/// Identifies a client principal (the paper's C_i / uid(C_i)). Client ids
+/// appear inside multi-writer timestamps and are bound to signing keys.
+struct ClientId {
+  std::uint32_t value = 0;
+
+  constexpr ClientId() = default;
+  constexpr explicit ClientId(std::uint32_t v) : value(v) {}
+  auto operator<=>(const ClientId&) const = default;
+};
+
+/// Unique identifier of a data item (the paper's uid(x_i)).
+struct ItemId {
+  std::uint64_t value = 0;
+
+  constexpr ItemId() = default;
+  constexpr explicit ItemId(std::uint64_t v) : value(v) {}
+  auto operator<=>(const ItemId&) const = default;
+};
+
+/// Identifies a related group of data items (paper §4: consistency is only
+/// required within a group). Contexts are maintained per group.
+struct GroupId {
+  std::uint64_t value = 0;
+
+  constexpr GroupId() = default;
+  constexpr explicit GroupId(std::uint64_t v) : value(v) {}
+  auto operator<=>(const GroupId&) const = default;
+};
+
+std::string to_string(NodeId id);
+std::string to_string(ClientId id);
+std::string to_string(ItemId id);
+std::string to_string(GroupId id);
+
+}  // namespace securestore
+
+template <>
+struct std::hash<securestore::NodeId> {
+  std::size_t operator()(const securestore::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<securestore::ClientId> {
+  std::size_t operator()(const securestore::ClientId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<securestore::ItemId> {
+  std::size_t operator()(const securestore::ItemId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<securestore::GroupId> {
+  std::size_t operator()(const securestore::GroupId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,21 @@
+#include "util/result.h"
+
+namespace securestore {
+
+const char* error_name(Error e) {
+  switch (e) {
+    case Error::kNone: return "ok";
+    case Error::kTimeout: return "timeout";
+    case Error::kInsufficientQuorum: return "insufficient-quorum";
+    case Error::kStale: return "stale";
+    case Error::kBadSignature: return "bad-signature";
+    case Error::kNotFound: return "not-found";
+    case Error::kUnauthorized: return "unauthorized";
+    case Error::kFaultyWriter: return "faulty-writer";
+    case Error::kNoAgreement: return "no-agreement";
+    case Error::kInvalidArgument: return "invalid-argument";
+  }
+  return "unknown";
+}
+
+}  // namespace securestore

@@ -1,0 +1,90 @@
+// Expected-failure model for protocol operations.
+//
+// Protocol operations fail for reasons that are normal in a Byzantine,
+// partially-available system: not enough servers responded, every returned
+// value was stale relative to the client's context, a signature did not
+// verify, the operation timed out. Those are *outcomes*, not bugs, so they
+// are carried in a `Result<T>` rather than exceptions. Exceptions remain for
+// programming errors and malformed input (`DecodeError`).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace securestore {
+
+enum class Error {
+  kNone = 0,
+  kTimeout,             // not enough replies arrived before the deadline
+  kInsufficientQuorum,  // fewer than quorum-many servers are even reachable
+  kStale,               // every acceptable reply was older than the context
+  kBadSignature,        // a required signature failed to verify
+  kNotFound,            // no server knows the item / context
+  kUnauthorized,        // authorization token rejected
+  kFaultyWriter,        // multi-writer equivocation detected (same ts, two values)
+  kNoAgreement,         // multi-writer read: no value matched in >= b+1 replies
+  kInvalidArgument,     // caller error detected at the protocol boundary
+};
+
+/// Human-readable name for diagnostics.
+const char* error_name(Error e);
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)), error_(Error::kNone) {}  // NOLINT: implicit by design
+  Result(Error error) : error_(error) { assert(error != Error::kNone); }  // NOLINT
+  Result(Error error, std::string detail)
+      : error_(error), detail_(std::move(detail)) {
+    assert(error != Error::kNone);
+  }
+
+  bool ok() const { return error_ == Error::kNone; }
+  explicit operator bool() const { return ok(); }
+
+  Error error() const { return error_; }
+  const std::string& detail() const { return detail_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value or a fallback, for tests and examples.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+  std::string detail_;
+};
+
+/// Result for operations with no payload.
+class [[nodiscard]] VoidResult {
+ public:
+  VoidResult() : error_(Error::kNone) {}
+  VoidResult(Error error) : error_(error) {}  // NOLINT: implicit by design
+  VoidResult(Error error, std::string detail)
+      : error_(error), detail_(std::move(detail)) {}
+
+  bool ok() const { return error_ == Error::kNone; }
+  explicit operator bool() const { return ok(); }
+  Error error() const { return error_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  Error error_;
+  std::string detail_;
+};
+
+}  // namespace securestore

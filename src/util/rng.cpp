@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace securestore {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& word : state_) word = splitmix64(seed);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_in_range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_in_range: lo > hi");
+  const std::uint64_t width = hi - lo;
+  if (width == std::numeric_limits<std::uint64_t>::max()) return next_u64();
+  return lo + next_below(width + 1);
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::next_exponential: mean <= 0");
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+void Rng::fill(Bytes& out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t word = next_u64();
+    for (int k = 0; k < 8; ++k) out[i + k] = static_cast<std::uint8_t>(word >> (8 * k));
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t word = next_u64();
+    for (int k = 0; i < out.size(); ++i, ++k) {
+      out[i] = static_cast<std::uint8_t>(word >> (8 * k));
+    }
+  }
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+Rng Rng::fork() {
+  return Rng(next_u64());
+}
+
+std::uint64_t system_entropy_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+}  // namespace securestore

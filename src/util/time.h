@@ -1,0 +1,25 @@
+// Simulated time.
+//
+// The discrete-event simulator advances a virtual clock measured in
+// microseconds. All protocol timeouts and latency measurements use these
+// types; nothing in the protocol stack reads the wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace securestore {
+
+/// Absolute simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time in microseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration microseconds(std::uint64_t us) { return us; }
+constexpr SimDuration milliseconds(std::uint64_t ms) { return ms * 1000; }
+constexpr SimDuration seconds(std::uint64_t s) { return s * 1000 * 1000; }
+
+constexpr double to_milliseconds(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace securestore

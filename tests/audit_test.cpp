@@ -1,0 +1,259 @@
+// Tests for the tamper-evident audit subsystem: hash-chain integrity,
+// tamper detection, cross-server suppression detection, and the end-to-end
+// Auditor over a live cluster with a write-suppressing Byzantine server.
+#include <gtest/gtest.h>
+
+#include "core/auditor.h"
+#include "crypto/sha2.h"
+#include "core/sync.h"
+#include "storage/audit_log.h"
+#include "testkit/cluster.h"
+
+namespace securestore {
+namespace {
+
+using core::ConsistencyModel;
+using core::GroupPolicy;
+using core::SecureStoreClient;
+using core::SharingMode;
+using core::SyncClient;
+using storage::AuditFinding;
+using storage::AuditLog;
+using testkit::Cluster;
+using testkit::ClusterOptions;
+
+constexpr GroupId kGroup{1};
+constexpr ItemId kX{10};
+
+GroupPolicy mrc_policy() {
+  return GroupPolicy{kGroup, ConsistencyModel::kMRC, SharingMode::kSingleWriter,
+                     core::ClientTrust::kHonest};
+}
+
+core::WriteRecord make_record(ItemId item, std::uint64_t time, std::string_view value) {
+  core::WriteRecord record;
+  record.item = item;
+  record.group = kGroup;
+  record.model = ConsistencyModel::kMRC;
+  record.writer = ClientId{1};
+  record.value = to_bytes(value);
+  record.value_digest = crypto::meter_digest(record.value);
+  record.ts = core::Timestamp{time, {}, {}};
+  return record;
+}
+
+TEST(AuditLog, ChainGrowsAndVerifies) {
+  AuditLog log;
+  EXPECT_TRUE(log.verify());
+  EXPECT_EQ(log.size(), 0u);
+
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    log.append(make_record(kX, t, "v" + std::to_string(t)), t * 100);
+  }
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_TRUE(log.verify());
+  EXPECT_TRUE(log.contains(crypto::sha256(make_record(kX, 3, "v3").signed_payload())));
+  EXPECT_FALSE(log.contains(crypto::sha256(make_record(kX, 99, "vX").signed_payload())));
+}
+
+TEST(AuditLog, SerializationRoundtrip) {
+  AuditLog log;
+  for (std::uint64_t t = 1; t <= 5; ++t) log.append(make_record(kX, t, "v"), t);
+  const AuditLog parsed = AuditLog::deserialize(log.serialize());
+  EXPECT_EQ(parsed.size(), 5u);
+  EXPECT_TRUE(parsed.verify());
+  EXPECT_EQ(parsed.head(), log.head());
+}
+
+TEST(AuditLog, EveryTamperBreaksTheChain) {
+  AuditLog original;
+  for (std::uint64_t t = 1; t <= 6; ++t) original.append(make_record(kX, t, "v"), t);
+  const Bytes wire = original.serialize();
+
+  // Field mutation: flip a byte anywhere in an entry body.
+  for (std::size_t position = 8; position < wire.size(); position += 13) {
+    Bytes mutated = wire;
+    mutated[position] ^= 0x01;
+    try {
+      const AuditLog parsed = AuditLog::deserialize(mutated);
+      EXPECT_FALSE(parsed.verify()) << "flip at " << position << " went undetected";
+    } catch (const DecodeError&) {
+      // Structural breakage is detection too.
+    }
+  }
+}
+
+TEST(AuditLog, RetroactiveRemovalDetected) {
+  // A server that drops an embarrassing middle entry breaks its own chain.
+  AuditLog log;
+  std::vector<core::WriteRecord> records;
+  for (std::uint64_t t = 1; t <= 5; ++t) records.push_back(make_record(kX, t, "v"));
+  AuditLog censored;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    log.append(records[i], i);
+    if (i != 2) censored.append(records[i], i);  // silently skip record 2
+  }
+  EXPECT_TRUE(log.verify());
+  EXPECT_TRUE(censored.verify());  // a freshly-built chain verifies...
+  // ...but its head differs: the chain commitment pins the full history.
+  EXPECT_NE(censored.head(), log.head());
+  // And truncating an EXISTING serialized log cannot be hidden: the decoded
+  // prefix verifies but no longer contains the suppressed write.
+  EXPECT_FALSE(censored.contains(crypto::sha256(records[2].signed_payload())));
+}
+
+TEST(AuditLog, CrossAuditFlagsSuppression) {
+  // Eight writes to eight DIFFERENT items; the suppressing log drops one
+  // item's write entirely.
+  AuditLog complete_a, complete_b, suppressing;
+  std::vector<core::WriteRecord> records;
+  for (std::uint64_t t = 1; t <= 8; ++t) {
+    records.push_back(make_record(ItemId{100 + t}, t, "v"));
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    complete_a.append(records[i], i);
+    complete_b.append(records[i], i);
+    if (i != 1) suppressing.append(records[i], i);  // drops item 102's write
+  }
+
+  const auto findings = storage::cross_audit(
+      {{NodeId{0}, &complete_a}, {NodeId{1}, &complete_b}, {NodeId{2}, &suppressing}},
+      /*tolerate_tail=*/2);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, AuditFinding::Kind::kMissingWrite);
+  EXPECT_EQ(findings[0].server, NodeId{2});
+
+  // The tail window forgives dissemination lag: a log missing only the
+  // NEWEST writes is not flagged.
+  AuditLog lagging;
+  for (std::size_t i = 0; i + 2 < records.size(); ++i) lagging.append(records[i], i);
+  const auto lag_findings = storage::cross_audit(
+      {{NodeId{0}, &complete_a}, {NodeId{1}, &lagging}}, /*tolerate_tail=*/2);
+  EXPECT_TRUE(lag_findings.empty());
+
+  // Superseded versions of ONE item are legitimately absent from peers:
+  // a log holding only the newest version is clean.
+  AuditLog full_history, newest_only;
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    full_history.append(make_record(kX, t, "v" + std::to_string(t)), t);
+  }
+  newest_only.append(make_record(kX, 5, "v5"), 5);
+  const auto version_findings = storage::cross_audit(
+      {{NodeId{0}, &full_history}, {NodeId{1}, &newest_only}}, /*tolerate_tail=*/0);
+  EXPECT_TRUE(version_findings.empty());
+}
+
+TEST(Auditor, CleanClusterProducesNoFindings) {
+  ClusterOptions options;
+  options.gossip.period = milliseconds(100);
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sync.write(ItemId{10 + static_cast<std::uint64_t>(i)}, to_bytes("w" + std::to_string(i))).ok());
+  }
+  cluster.run_for(seconds(10));  // dissemination evens all logs out
+
+  core::Auditor auditor(cluster.transport(), NodeId{5000}, cluster.config(),
+                        core::Auditor::Options{});
+  std::optional<Result<core::Auditor::Report>> slot;
+  auditor.run([&](Result<core::Auditor::Report> r) { slot = std::move(r); });
+  while (!slot && cluster.scheduler().step()) {
+  }
+  ASSERT_TRUE(slot.has_value());
+  ASSERT_TRUE(slot->ok()) << error_name(slot->error());
+  EXPECT_EQ((*slot)->logs_collected, 4u);
+  EXPECT_TRUE((*slot)->findings.empty());
+}
+
+TEST(Auditor, SuppressingServerIsAttributed) {
+  // Server 0 lies about durability (acks writes it never stores) AND never
+  // hears gossip (we partition its inbound dissemination by keeping gossip
+  // off): its audit log stays empty while peers' logs fill — attributable
+  // suppression.
+  ClusterOptions options;
+  options.start_gossip = false;
+  options.server_faults = {{0, {faults::ServerFault::kDropWrites}}};
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  client->set_server_preference({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}});
+  SyncClient sync(*client, cluster.scheduler());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(sync.write(kX, to_bytes("w" + std::to_string(i))).ok());
+  }
+  // Spread the writes to the honest majority so the audit baseline is wide.
+  for (std::size_t s = 1; s < cluster.server_count(); ++s) {
+    cluster.server(s).gossip().start();
+  }
+  cluster.run_for(seconds(10));
+
+  core::Auditor::Options audit_options;
+  audit_options.tolerate_tail = 1;
+  core::Auditor auditor(cluster.transport(), NodeId{5000}, cluster.config(), audit_options);
+  std::optional<Result<core::Auditor::Report>> slot;
+  auditor.run([&](Result<core::Auditor::Report> r) { slot = std::move(r); });
+  while (!slot && cluster.scheduler().step()) {
+  }
+  ASSERT_TRUE(slot.has_value());
+  ASSERT_TRUE(slot->ok());
+
+  ASSERT_FALSE((*slot)->findings.empty());
+  for (const AuditFinding& finding : (*slot)->findings) {
+    EXPECT_EQ(finding.server, NodeId{0});
+    EXPECT_EQ(finding.kind, AuditFinding::Kind::kMissingWrite);
+  }
+}
+
+TEST(Auditor, AuditChainSurvivesRestart) {
+  ClusterOptions options;
+  options.gossip.period = milliseconds(100);
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        sync.write(ItemId{10 + static_cast<std::uint64_t>(i)}, to_bytes("w")).ok());
+  }
+  cluster.run_for(seconds(5));
+
+  const Bytes head_before = cluster.server(1).audit_log().head();
+  const std::size_t size_before = cluster.server(1).audit_log().size();
+  ASSERT_GT(size_before, 0u);
+
+  cluster.restart_server(1, /*restore_state=*/true);
+  EXPECT_EQ(cluster.server(1).audit_log().head(), head_before);
+  EXPECT_EQ(cluster.server(1).audit_log().size(), size_before);
+  EXPECT_TRUE(cluster.server(1).audit_log().verify());
+
+  // New writes keep extending the restored chain seamlessly.
+  ASSERT_TRUE(sync.write(ItemId{99}, to_bytes("after reboot")).ok());
+  cluster.run_for(seconds(5));
+  EXPECT_GT(cluster.server(1).audit_log().size(), size_before);
+  EXPECT_TRUE(cluster.server(1).audit_log().verify());
+
+  // And a cluster-wide audit stays clean.
+  core::Auditor auditor(cluster.transport(), NodeId{5000}, cluster.config(),
+                        core::Auditor::Options{});
+  std::optional<Result<core::Auditor::Report>> slot;
+  auditor.run([&](Result<core::Auditor::Report> r) { slot = std::move(r); });
+  while (!slot && cluster.scheduler().step()) {
+  }
+  ASSERT_TRUE(slot.has_value());
+  ASSERT_TRUE(slot->ok());
+  EXPECT_TRUE((*slot)->findings.empty());
+}
+
+}  // namespace
+}  // namespace securestore

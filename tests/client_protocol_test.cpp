@@ -1,0 +1,253 @@
+// Protocol-level adversarial tests: a scripted fake server replaces a real
+// one on the transport and feeds the client precisely crafted responses,
+// pinning down the client's decision logic (candidate fallback, forged
+// advertisements, cross-item confusion, §5.3 ordering).
+#include <gtest/gtest.h>
+
+#include "core/sync.h"
+#include "storage/snapshot.h"
+#include "testkit/cluster.h"
+
+namespace securestore {
+namespace {
+
+using core::ConsistencyModel;
+using core::GroupPolicy;
+using core::SecureStoreClient;
+using core::SharingMode;
+using core::SyncClient;
+using testkit::Cluster;
+using testkit::ClusterOptions;
+
+constexpr GroupId kGroup{1};
+constexpr ItemId kX{10};
+
+GroupPolicy mrc_policy() {
+  return GroupPolicy{kGroup, ConsistencyModel::kMRC, SharingMode::kSingleWriter,
+                     core::ClientTrust::kHonest};
+}
+
+SecureStoreClient::Options client_options() {
+  SecureStoreClient::Options options;
+  options.policy = mrc_policy();
+  options.round_timeout = milliseconds(200);
+  return options;
+}
+
+/// Replaces server 0's transport registration with a scripted responder.
+/// The real server object still exists but no longer receives messages.
+/// The returned node must outlive the client operations and die before the
+/// cluster (declare it after the Cluster in the test).
+[[nodiscard]] std::unique_ptr<net::RpcNode> hijack_server0(
+    Cluster& cluster, net::RpcNode::RequestHandler handler) {
+  auto hijacker = std::make_unique<net::RpcNode>(cluster.transport(), NodeId{0});
+  hijacker->set_request_handler(std::move(handler));
+  return hijacker;
+}
+
+TEST(ClientProtocol, ForgedNewestAdvertisementRejected) {
+  // Server 0 advertises a fabricated "newest" record with a garbage
+  // signature. The inline read must reject it and accept the honest value.
+  ClusterOptions options;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  auto writer = cluster.make_client(ClientId{1}, client_options());
+  writer->set_server_preference({NodeId{1}, NodeId{2}, NodeId{0}, NodeId{3}});
+  SyncClient writer_sync(*writer, cluster.scheduler());
+  ASSERT_TRUE(writer_sync.write(kX, to_bytes("honest value")).ok());
+
+  auto hijacker = hijack_server0(cluster, [&](NodeId, net::MsgType type, BytesView) {
+    if (type != net::MsgType::kMetaRequest) return std::optional<std::pair<net::MsgType, Bytes>>{};
+    core::WriteRecord forged;
+    forged.item = kX;
+    forged.group = kGroup;
+    forged.model = ConsistencyModel::kMRC;
+    forged.writer = ClientId{1};
+    forged.ts = core::Timestamp{99999999, {}, {}};
+    forged.value = to_bytes("FORGED");
+    forged.value_digest = crypto::meter_digest(forged.value);
+    forged.signature = Bytes(64, 0xbb);
+    core::MetaResp resp;
+    resp.meta = std::move(forged);
+    return std::make_optional(std::make_pair(net::MsgType::kMetaRequest, resp.serialize()));
+  });
+
+  auto reader = cluster.make_client(ClientId{2}, client_options());
+  reader->set_server_preference({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}});
+  SyncClient reader_sync(*reader, cluster.scheduler());
+  const auto result = reader_sync.read_value(kX);
+  ASSERT_TRUE(result.ok()) << error_name(result.error());
+  EXPECT_EQ(to_string(*result), "honest value");
+  // And the forged timestamp must not have leaked into the context.
+  EXPECT_LT(reader->context().get(kX).time, 99999999u);
+}
+
+TEST(ClientProtocol, TwoPhaseAdvertiserRefusesFetch) {
+  // Two-phase mode: server 0 advertises a high legit-looking meta (it even
+  // replays the honest meta) but stonewalls the value fetch. The client
+  // falls through to a server that serves it.
+  ClusterOptions options;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  auto writer = cluster.make_client(ClientId{1}, client_options());
+  writer->set_server_preference({NodeId{1}, NodeId{2}, NodeId{0}, NodeId{3}});
+  SyncClient writer_sync(*writer, cluster.scheduler());
+  ASSERT_TRUE(writer_sync.write(kX, to_bytes("fetch me elsewhere")).ok());
+  const core::WriteRecord honest_meta = cluster.server(1).store().current(kX)->meta_only();
+
+  auto hijacker = hijack_server0(cluster, [honest_meta](NodeId, net::MsgType type, BytesView)
+                              -> std::optional<std::pair<net::MsgType, Bytes>> {
+    if (type == net::MsgType::kMetaRequest) {
+      core::MetaResp resp;
+      resp.meta = honest_meta;
+      return std::make_pair(net::MsgType::kMetaRequest, resp.serialize());
+    }
+    return std::nullopt;  // silent on kRead
+  });
+
+  auto reader_opts = client_options();
+  reader_opts.inline_reads = false;  // force the Fig. 2 two-phase path
+  auto reader = cluster.make_client(ClientId{2}, reader_opts);
+  reader->set_server_preference({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}});
+  SyncClient reader_sync(*reader, cluster.scheduler());
+  const auto result = reader_sync.read_value(kX);
+  ASSERT_TRUE(result.ok()) << error_name(result.error());
+  EXPECT_EQ(to_string(*result), "fetch me elsewhere");
+}
+
+TEST(ClientProtocol, CrossItemRecordIgnored) {
+  // A confused/malicious server answers a meta request for item X with a
+  // perfectly valid record ... of item Y. The client must not accept it
+  // for X.
+  ClusterOptions options;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  auto writer = cluster.make_client(ClientId{1}, client_options());
+  writer->set_server_preference({NodeId{1}, NodeId{2}, NodeId{0}, NodeId{3}});
+  SyncClient writer_sync(*writer, cluster.scheduler());
+  ASSERT_TRUE(writer_sync.write(ItemId{77}, to_bytes("item 77 value")).ok());
+  const core::WriteRecord other_item = *cluster.server(1).store().current(ItemId{77});
+
+  auto hijacker = hijack_server0(cluster, [other_item](NodeId, net::MsgType type, BytesView) {
+    if (type != net::MsgType::kMetaRequest) return std::optional<std::pair<net::MsgType, Bytes>>{};
+    core::MetaResp resp;
+    resp.meta = other_item;  // valid record, wrong item
+    return std::make_optional(std::make_pair(net::MsgType::kMetaRequest, resp.serialize()));
+  });
+
+  auto reader_opts = client_options();
+  reader_opts.max_read_rounds = 2;
+  auto reader = cluster.make_client(ClientId{2}, reader_opts);
+  reader->set_server_preference({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}});
+  SyncClient reader_sync(*reader, cluster.scheduler());
+  const auto result = reader_sync.read_value(kX);  // kX was never written
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), Error::kNotFound);
+}
+
+TEST(ClientProtocol, ConcurrentSameTimeWritersOrderedByUid) {
+  // Two honest multi-writer clients produce records with the SAME time
+  // component; the §5.3 uid tiebreak makes every reader pick the same one.
+  ClusterOptions options;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  const GroupPolicy policy{kGroup, ConsistencyModel::kMRC, SharingMode::kMultiWriter,
+                           core::ClientTrust::kHonest};
+  cluster.set_group_policy(policy);
+
+  // Hand-craft the tie (the client library would advance past it).
+  auto inject = [&](ClientId writer, std::string_view text) {
+    core::WriteRecord record;
+    record.item = kX;
+    record.group = kGroup;
+    record.model = ConsistencyModel::kMRC;
+    record.writer = writer;
+    record.value = to_bytes(text);
+    record.value_digest = crypto::meter_digest(record.value);
+    record.ts = core::Timestamp{1000, writer, record.value_digest};
+    record.writer_context = core::Context(kGroup);
+    record.sign(cluster.client_keys(writer).seed);
+
+    core::WriteReq req;
+    req.record = record;
+    net::RpcNode injector(cluster.transport(),
+                          NodeId{3000 + writer.value});
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      injector.send_request(NodeId{s}, net::MsgType::kWrite, req.serialize(),
+                            [](NodeId, net::MsgType, BytesView) {});
+    }
+    cluster.run_for(milliseconds(100));
+  };
+  inject(ClientId{1}, "from writer 1");
+  inject(ClientId{2}, "from writer 2");
+
+  SecureStoreClient::Options reader_opts;
+  reader_opts.policy = policy;
+  auto reader = cluster.make_client(ClientId{3}, reader_opts);
+  SyncClient reader_sync(*reader, cluster.scheduler());
+  const auto result = reader_sync.read(kX);
+  ASSERT_TRUE(result.ok());
+  // uid 2 > uid 1 at equal time: writer 2 wins everywhere.
+  EXPECT_EQ(result->writer, ClientId{2});
+  EXPECT_EQ(to_string(result->value), "from writer 2");
+}
+
+TEST(ClientProtocol, ReplayedOldContextWriteRefusedByServers) {
+  // A malicious party replays a client's OLD signed context to the servers;
+  // non-faulty servers must keep the newer one (ContextStore dominance).
+  Cluster cluster(ClusterOptions{});
+  cluster.set_group_policy(mrc_policy());
+
+  auto client = cluster.make_client(ClientId{1}, client_options());
+  SyncClient sync(*client, cluster.scheduler());
+  ASSERT_TRUE(sync.connect(kGroup).ok());
+  ASSERT_TRUE(sync.write(kX, to_bytes("v1")).ok());
+  ASSERT_TRUE(sync.disconnect().ok());
+
+  // Capture the signed session-1 context off a server (via its snapshot,
+  // the supported introspection path).
+  core::StoredContext old_context;
+  {
+    const Bytes server_snapshot = cluster.server(0).snapshot();
+    Reader wrapper(server_snapshot);  // store snapshot + audit chain
+    const Bytes store_snapshot = wrapper.bytes();
+    storage::ItemStore items;
+    storage::ContextStore contexts;
+    storage::restore_snapshot(store_snapshot, items, contexts);
+    const core::StoredContext* stored = contexts.get(ClientId{1}, kGroup);
+    ASSERT_NE(stored, nullptr);
+    old_context = *stored;
+  }
+
+  // Session 2 advances the context.
+  ASSERT_TRUE(sync.connect(kGroup).ok());
+  ASSERT_TRUE(sync.write(kX, to_bytes("v2")).ok());
+  ASSERT_TRUE(sync.disconnect().ok());
+
+  // Replay the old context to every server.
+  core::ContextWriteReq replay;
+  replay.stored = old_context;
+  net::RpcNode attacker(cluster.transport(), NodeId{4000});
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    attacker.send_request(NodeId{s}, net::MsgType::kContextWrite, replay.serialize(),
+                          [](NodeId, net::MsgType, BytesView) {});
+  }
+  cluster.run_for(seconds(1));
+
+  // A fresh session still acquires the NEWER context.
+  auto session3 = cluster.make_client(ClientId{1}, client_options());
+  SyncClient sync3(*session3, cluster.scheduler());
+  ASSERT_TRUE(sync3.connect(kGroup).ok());
+  const auto result = sync3.read_value(kX);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result), "v2");
+}
+
+}  // namespace
+}  // namespace securestore

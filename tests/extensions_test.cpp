@@ -1,0 +1,593 @@
+// Tests for the extension features: dynamic Byzantine quorums (§3,
+// [Alvisi et al. DSN'00]) and the fragmentation-scattering storage mode
+// (§3, [Fray et al.] / [Rabin]).
+#include <gtest/gtest.h>
+
+#include "core/fault_estimator.h"
+#include "core/group_key.h"
+#include "core/rotate.h"
+#include "core/scatter.h"
+#include "core/sync.h"
+#include "testkit/cluster.h"
+
+namespace securestore {
+namespace {
+
+using core::ConsistencyModel;
+using core::FaultEstimator;
+using core::GroupPolicy;
+using core::ScatteredStore;
+using core::SecureStoreClient;
+using core::SharingMode;
+using core::SyncClient;
+using testkit::Cluster;
+using testkit::ClusterOptions;
+
+constexpr GroupId kGroup{1};
+constexpr ItemId kX{40};
+
+GroupPolicy mrc_policy() {
+  return GroupPolicy{kGroup, ConsistencyModel::kMRC, SharingMode::kSingleWriter,
+                     core::ClientTrust::kHonest};
+}
+
+// ---------------------------------------------------------------------------
+// FaultEstimator unit tests
+// ---------------------------------------------------------------------------
+
+TEST(FaultEstimator, HardEvidenceIsImmediateAndPermanent) {
+  FaultEstimator estimator({.b_min = 0, .b_max = 3, .soft_strikes = 3});
+  EXPECT_EQ(estimator.estimated_b(), 0u);
+
+  estimator.report_hard_evidence(NodeId{2});
+  EXPECT_TRUE(estimator.is_distrusted(NodeId{2}));
+  EXPECT_EQ(estimator.estimated_b(), 1u);
+
+  // Good interactions never rehabilitate hard evidence.
+  for (int i = 0; i < 100; ++i) estimator.report_good_interaction(NodeId{2});
+  EXPECT_TRUE(estimator.is_distrusted(NodeId{2}));
+}
+
+TEST(FaultEstimator, SoftEvidenceNeedsStrikesAndDecays) {
+  FaultEstimator estimator({.b_min = 0, .b_max = 3, .soft_strikes = 3});
+  estimator.report_soft_evidence(NodeId{1});
+  estimator.report_soft_evidence(NodeId{1});
+  EXPECT_FALSE(estimator.is_distrusted(NodeId{1}));
+  estimator.report_soft_evidence(NodeId{1});
+  EXPECT_TRUE(estimator.is_distrusted(NodeId{1}));
+  EXPECT_EQ(estimator.estimated_b(), 1u);
+
+  // A recovered server earns trust back.
+  estimator.report_good_interaction(NodeId{1});
+  EXPECT_FALSE(estimator.is_distrusted(NodeId{1}));
+  EXPECT_EQ(estimator.estimated_b(), 0u);
+}
+
+TEST(FaultEstimator, EstimateClampedToBounds) {
+  FaultEstimator estimator({.b_min = 1, .b_max = 2, .soft_strikes = 1});
+  EXPECT_EQ(estimator.estimated_b(), 1u);  // never below the floor
+  estimator.report_hard_evidence(NodeId{0});
+  estimator.report_hard_evidence(NodeId{1});
+  estimator.report_hard_evidence(NodeId{2});
+  EXPECT_EQ(estimator.believed_faulty(), 3u);
+  EXPECT_EQ(estimator.estimated_b(), 2u);  // never above the deployment bound
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic quorums end to end
+// ---------------------------------------------------------------------------
+
+TEST(DynamicQuorums, FairWeatherUsesMinimalSets) {
+  ClusterOptions options;
+  options.n = 7;
+  options.b = 2;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  client_options.dynamic_quorums = FaultEstimator::Config{.b_min = 0, .b_max = 2,
+                                                          .soft_strikes = 2};
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+
+  // With no fault evidence, a write touches a single server (b̂+1 = 1).
+  cluster.transport().reset_stats();
+  ASSERT_TRUE(sync.write(kX, to_bytes("optimistic")).ok());
+  EXPECT_EQ(cluster.transport().stats().messages_sent, 2u);  // 1 write + 1 ack
+
+  const auto result = sync.read_value(kX);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result), "optimistic");
+}
+
+TEST(DynamicQuorums, EvidenceGrowsQuorumsBackToB) {
+  ClusterOptions options;
+  options.n = 7;
+  options.b = 2;
+  options.start_gossip = false;
+  // The two most-preferred servers are crashed: the estimator must learn.
+  options.server_faults = {{0, {faults::ServerFault::kCrash}},
+                           {1, {faults::ServerFault::kCrash}}};
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  client_options.round_timeout = milliseconds(100);
+  client_options.max_read_rounds = 5;
+  client_options.dynamic_quorums = FaultEstimator::Config{.b_min = 0, .b_max = 2,
+                                                          .soft_strikes = 2};
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  client->set_server_preference({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4},
+                                 NodeId{5}, NodeId{6}});
+  SyncClient sync(*client, cluster.scheduler());
+
+  // Operations still succeed (escalation routes around the dead servers)...
+  ASSERT_TRUE(sync.write(kX, to_bytes("learns")).ok());
+  ASSERT_TRUE(sync.read_value(kX).ok());
+  ASSERT_TRUE(sync.write(kX, to_bytes("learns more")).ok());
+  ASSERT_TRUE(sync.read_value(kX).ok());
+
+  // ...and the estimator has accumulated distrust of the silent servers.
+  ASSERT_NE(client->fault_estimator(), nullptr);
+  EXPECT_TRUE(client->fault_estimator()->is_distrusted(NodeId{0}));
+  EXPECT_TRUE(client->fault_estimator()->is_distrusted(NodeId{1}));
+  EXPECT_EQ(client->fault_estimator()->estimated_b(), 2u);
+
+  // Distrusted servers are now avoided: a fresh write goes to live servers
+  // only and needs no escalation rounds.
+  cluster.transport().reset_stats();
+  ASSERT_TRUE(sync.write(kX, to_bytes("routed around")).ok());
+  // b̂+1 = 3 requests + 3 acks, no retries against the dead servers.
+  EXPECT_EQ(cluster.transport().stats().messages_sent, 6u);
+}
+
+TEST(DynamicQuorums, HardenedMultiWriterQuorumsStayStatic) {
+  // Safety: the §5.3 quorums (2b+1 sets, b+1 agreement) are load-bearing
+  // for masking and must NOT shrink with optimistic fault estimates.
+  ClusterOptions options;
+  options.n = 7;
+  options.b = 2;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  const GroupPolicy hardened{kGroup, ConsistencyModel::kCC, SharingMode::kMultiWriter,
+                             core::ClientTrust::kByzantine};
+  cluster.set_group_policy(hardened);
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = hardened;
+  client_options.stability_gc = false;
+  client_options.dynamic_quorums = FaultEstimator::Config{.b_min = 0, .b_max = 2,
+                                                          .soft_strikes = 2};
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+
+  cluster.transport().reset_stats();
+  ASSERT_TRUE(sync.write(kX, to_bytes("hardened")).ok());
+  // 2b+1 = 5 writes + 5 acks, NOT the optimistic 1+1.
+  EXPECT_EQ(cluster.transport().stats().messages_sent, 10u);
+}
+
+TEST(DynamicQuorums, ForgingServerGetsHardEvidence) {
+  ClusterOptions options;
+  options.n = 7;
+  options.b = 2;
+  options.start_gossip = false;
+  options.server_faults = {{0, {faults::ServerFault::kCorruptValues}}};
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  client_options.round_timeout = milliseconds(200);
+  client_options.dynamic_quorums = FaultEstimator::Config{.b_min = 1, .b_max = 2,
+                                                          .soft_strikes = 3};
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  client->set_server_preference({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4},
+                                 NodeId{5}, NodeId{6}});
+  SyncClient sync(*client, cluster.scheduler());
+
+  ASSERT_TRUE(sync.write(kX, to_bytes("bait")).ok());
+  const auto result = sync.read_value(kX);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result), "bait");
+
+  // The corrupting server served an unverifiable record: hard evidence.
+  ASSERT_NE(client->fault_estimator(), nullptr);
+  EXPECT_TRUE(client->fault_estimator()->is_distrusted(NodeId{0}));
+}
+
+// ---------------------------------------------------------------------------
+// ScatteredStore (fragmentation-scattering)
+// ---------------------------------------------------------------------------
+
+struct ScatterHarness {
+  Cluster cluster;
+  std::unique_ptr<ScatteredStore> store;
+
+  explicit ScatterHarness(ClusterOptions options = make_default_options())
+      : cluster(std::move(options)) {
+    cluster.set_group_policy(mrc_policy());
+    ScatteredStore::Options store_options;
+    store_options.policy = mrc_policy();
+    store_options.round_timeout = milliseconds(400);
+    store = std::make_unique<ScatteredStore>(cluster.transport(), NodeId{1500}, ClientId{1},
+                                             cluster.client_keys(ClientId{1}),
+                                             cluster.config(), store_options, Rng(321));
+  }
+
+  static ClusterOptions make_default_options() {
+    ClusterOptions options;
+    options.n = 7;
+    options.b = 2;
+    return options;
+  }
+
+  VoidResult write(ItemId item, const Bytes& value) {
+    std::optional<VoidResult> slot;
+    store->write(item, value, [&](VoidResult r) { slot = std::move(r); });
+    while (!slot && cluster.scheduler().step()) {
+    }
+    return slot.value_or(VoidResult(Error::kTimeout));
+  }
+
+  Result<Bytes> read(ItemId item) {
+    std::optional<Result<Bytes>> slot;
+    store->read(item, [&](Result<Bytes> r) { slot = std::move(r); });
+    while (!slot && cluster.scheduler().step()) {
+    }
+    if (!slot) return Result<Bytes>(Error::kTimeout);
+    return std::move(*slot);
+  }
+};
+
+TEST(ScatteredStore, WriteReadRoundtrip) {
+  ScatterHarness harness;
+  Rng rng(55);
+  const Bytes document = rng.bytes(5000);
+  ASSERT_TRUE(harness.write(kX, document).ok());
+  const auto result = harness.read(kX);
+  ASSERT_TRUE(result.ok()) << error_name(result.error());
+  EXPECT_EQ(*result, document);
+}
+
+TEST(ScatteredStore, FragmentsAreSmallAndOpaque) {
+  ScatterHarness harness;
+  const Bytes document = to_bytes(std::string(3000, 'S') + "SECRET-MARKER");
+  ASSERT_TRUE(harness.write(kX, document).ok());
+
+  // Each server stores ~|v|/(b+1) bytes, none of it plaintext.
+  for (std::size_t s = 0; s < harness.cluster.server_count(); ++s) {
+    const core::WriteRecord* record = harness.cluster.server(s).store().current(
+        core::fragment_item(kX, static_cast<std::uint8_t>(s)));
+    ASSERT_NE(record, nullptr) << "server " << s;
+    EXPECT_TRUE(record->flags & core::kScattered);
+    EXPECT_LT(record->value.size(), document.size() / 2) << "server " << s;
+    EXPECT_EQ(to_string(record->value).find("SECRET-MARKER"), std::string::npos);
+  }
+}
+
+TEST(ScatteredStore, SurvivesUpToNMinusB1Failures) {
+  ScatterHarness harness;
+  const Bytes document = to_bytes("survives partitions");
+  ASSERT_TRUE(harness.write(kX, document).ok());
+
+  // Kill all but b+1 = 3 servers: reconstruction still works.
+  for (std::uint32_t s = 3; s < 7; ++s) {
+    harness.cluster.transport().network().set_partitioned(NodeId{s}, true);
+  }
+  const auto result = harness.read(kX);
+  ASSERT_TRUE(result.ok()) << error_name(result.error());
+  EXPECT_EQ(*result, document);
+
+  // One more failure (only b = 2 fragments reachable): unavailable...
+  harness.cluster.transport().network().set_partitioned(NodeId{2}, true);
+  EXPECT_FALSE(harness.read(kX).ok());
+}
+
+TEST(ScatteredStore, BServersLearnNothingStructural) {
+  // Confidentiality threshold: b = 2 servers together hold 2 < k = 3 key
+  // shares and 2 IDA fragments — decrypting is impossible without the key,
+  // and the key is information-theoretically hidden. Structurally: the
+  // stored bytes at any 2 servers are independent of the plaintext prefix.
+  ScatterHarness harness;
+  ASSERT_TRUE(harness.write(kX, to_bytes("attack at dawn")).ok());
+  ASSERT_TRUE(harness.write(ItemId{41}, to_bytes("attack at dusk")).ok());
+
+  // (Sanity stand-in for the information-theoretic argument: fragments of
+  // the two near-identical plaintexts share no common prefix because each
+  // write uses a fresh key and nonce.)
+  const auto* frag_a = harness.cluster.server(0).store().current(core::fragment_item(kX, 0));
+  const auto* frag_b =
+      harness.cluster.server(0).store().current(core::fragment_item(ItemId{41}, 0));
+  ASSERT_NE(frag_a, nullptr);
+  ASSERT_NE(frag_b, nullptr);
+  EXPECT_NE(frag_a->value, frag_b->value);
+}
+
+TEST(ScatteredStore, VersionsAdvance) {
+  ScatterHarness harness;
+  ASSERT_TRUE(harness.write(kX, to_bytes("v1")).ok());
+  ASSERT_TRUE(harness.write(kX, to_bytes("v2")).ok());
+  const auto result = harness.read(kX);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(to_string(*result), "v2");
+}
+
+TEST(ScatteredStore, CorruptFragmentsAreDroppedBeforeReconstruction) {
+  ClusterOptions options = ScatterHarness::make_default_options();
+  options.server_faults = {{0, {faults::ServerFault::kCorruptValues}},
+                           {1, {faults::ServerFault::kCorruptValues}}};
+  ScatterHarness harness(options);
+
+  const Bytes document = to_bytes("integrity survives b corrupt fragment servers");
+  ASSERT_TRUE(harness.write(kX, document).ok());
+  const auto result = harness.read(kX);
+  ASSERT_TRUE(result.ok()) << error_name(result.error());
+  EXPECT_EQ(*result, document);
+}
+
+TEST(ScatteredStore, FragmentsDoNotGossip) {
+  ScatterHarness harness;
+  ASSERT_TRUE(harness.write(kX, to_bytes("stays scattered")).ok());
+  harness.cluster.run_for(seconds(20));  // plenty of gossip rounds
+
+  // Every server still holds exactly its own fragment, nobody else's.
+  for (std::size_t s = 0; s < harness.cluster.server_count(); ++s) {
+    for (std::size_t other = 0; other < harness.cluster.server_count(); ++other) {
+      const auto* record = harness.cluster.server(s).store().current(
+          core::fragment_item(kX, static_cast<std::uint8_t>(other)));
+      if (s == other) {
+        EXPECT_NE(record, nullptr) << "server " << s << " lost its fragment";
+      } else {
+        EXPECT_EQ(record, nullptr)
+            << "fragment " << other << " leaked to server " << s << " via gossip";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group key distribution (§5.2's deferred "secure multicast" key scheme)
+// ---------------------------------------------------------------------------
+
+TEST(GroupKeys, BundleWrapUnwrap) {
+  Rng rng(400);
+  core::GroupKeyOwner owner(kGroup, crypto::DhKeyPair::generate(rng), rng.fork());
+
+  const crypto::DhKeyPair alice = crypto::DhKeyPair::generate(rng);
+  const crypto::DhKeyPair bob = crypto::DhKeyPair::generate(rng);
+  owner.add_member(ClientId{2}, alice.public_key);
+  owner.add_member(ClientId{3}, bob.public_key);
+
+  const core::KeyBundle bundle =
+      core::KeyBundle::deserialize(owner.make_bundle().serialize());  // wire roundtrip
+
+  const auto alice_key = core::unwrap_bundle(bundle, ClientId{2}, alice.private_scalar);
+  const auto bob_key = core::unwrap_bundle(bundle, ClientId{3}, bob.private_scalar);
+  ASSERT_TRUE(alice_key.has_value());
+  ASSERT_TRUE(bob_key.has_value());
+  EXPECT_EQ(alice_key->second, owner.current_key());
+  EXPECT_EQ(bob_key->second, owner.current_key());
+  EXPECT_EQ(alice_key->first, owner.epoch());
+
+  // A non-member (or a member using the wrong private key) gets nothing.
+  const crypto::DhKeyPair eve = crypto::DhKeyPair::generate(rng);
+  EXPECT_FALSE(core::unwrap_bundle(bundle, ClientId{4}, eve.private_scalar).has_value());
+  EXPECT_FALSE(core::unwrap_bundle(bundle, ClientId{2}, eve.private_scalar).has_value());
+}
+
+TEST(GroupKeys, RemovalRevokesFutureEpochs) {
+  Rng rng(401);
+  core::GroupKeyOwner owner(kGroup, crypto::DhKeyPair::generate(rng), rng.fork());
+  const crypto::DhKeyPair alice = crypto::DhKeyPair::generate(rng);
+  const crypto::DhKeyPair bob = crypto::DhKeyPair::generate(rng);
+  owner.add_member(ClientId{2}, alice.public_key);
+  owner.add_member(ClientId{3}, bob.public_key);
+
+  const core::KeyBundle epoch1 = owner.make_bundle();
+  ASSERT_TRUE(owner.remove_member(ClientId{3}));
+  const core::KeyBundle epoch2 = owner.make_bundle();
+  EXPECT_EQ(epoch2.epoch, epoch1.epoch + 1);
+
+  // Alice follows into the new epoch; Bob is out of the new bundle and his
+  // old key no longer matches the current one.
+  ASSERT_TRUE(core::unwrap_bundle(epoch2, ClientId{2}, alice.private_scalar).has_value());
+  EXPECT_FALSE(core::unwrap_bundle(epoch2, ClientId{3}, bob.private_scalar).has_value());
+  const auto bob_old = core::unwrap_bundle(epoch1, ClientId{3}, bob.private_scalar);
+  ASSERT_TRUE(bob_old.has_value());
+  EXPECT_NE(bob_old->second, owner.current_key());
+
+  EXPECT_FALSE(owner.remove_member(ClientId{99}));  // unknown member
+}
+
+TEST(GroupKeys, EndToEndMembershipLifecycleOverTheStore) {
+  // The full workflow: the owner publishes bundles THROUGH the secure store
+  // and encrypts shared data under epoch keys; a revoked reader keeps
+  // historical access (the paper's acknowledged limit) but is locked out of
+  // everything written after the re-key.
+  Cluster cluster(ClusterOptions{});
+  cluster.set_group_policy(mrc_policy());
+  Rng rng(402);
+
+  core::GroupKeyOwner owner(kGroup, crypto::DhKeyPair::generate(rng), rng.fork());
+  const crypto::DhKeyPair alice_dh = crypto::DhKeyPair::generate(rng);
+  const crypto::DhKeyPair bob_dh = crypto::DhKeyPair::generate(rng);
+  owner.add_member(ClientId{2}, alice_dh.public_key);
+  owner.add_member(ClientId{3}, bob_dh.public_key);
+
+  // Owner session: publish the bundle (plain item — it protects itself)
+  // and write a secret under the epoch codec.
+  SecureStoreClient::Options owner_options;
+  owner_options.policy = mrc_policy();
+  auto owner_client = cluster.make_client(ClientId{1}, owner_options);
+  SyncClient owner_sync(*owner_client, cluster.scheduler());
+  ASSERT_TRUE(owner_sync.connect(kGroup).ok());
+  ASSERT_TRUE(
+      owner_sync.write(core::key_bundle_item(kGroup), owner.make_bundle().serialize()).ok());
+  owner_client->set_codec(owner.make_codec());
+  ASSERT_TRUE(owner_sync.write(kX, to_bytes("epoch-1 secret")).ok());
+  cluster.run_for(seconds(5));
+
+  // A reader joins: fetch bundle (plain), unwrap, read data (epoch codec).
+  auto read_as = [&](ClientId who, const crypto::DhKeyPair& dh, std::uint32_t net_offset) {
+    SecureStoreClient::Options reader_options;
+    reader_options.policy = mrc_policy();
+    auto reader = cluster.make_client(who, reader_options, NodeId{1200 + net_offset});
+    SyncClient reader_sync(*reader, cluster.scheduler());
+    EXPECT_TRUE(reader_sync.connect(kGroup).ok());
+    Result<Bytes> bundle_bytes = reader_sync.read_value(core::key_bundle_item(kGroup));
+    if (!bundle_bytes.ok()) return Result<Bytes>(bundle_bytes.error());
+    const core::KeyBundle bundle = core::KeyBundle::deserialize(*bundle_bytes);
+    const auto key = core::unwrap_bundle(bundle, who, dh.private_scalar);
+    if (!key.has_value()) return Result<Bytes>(Error::kUnauthorized, "not in bundle");
+    auto codec = std::make_shared<core::EpochCodec>(kGroup, Rng(who.value * 1000));
+    codec->add_epoch(key->first, key->second);
+    reader->set_codec(std::move(codec));
+    return reader_sync.read_value(kX);
+  };
+
+  const auto alice_view = read_as(ClientId{2}, alice_dh, 1);
+  ASSERT_TRUE(alice_view.ok()) << error_name(alice_view.error());
+  EXPECT_EQ(securestore::to_string(*alice_view), "epoch-1 secret");
+  const auto bob_view = read_as(ClientId{3}, bob_dh, 2);
+  ASSERT_TRUE(bob_view.ok());
+
+  // Revoke Bob: new epoch, new bundle, new secret. (The bundle item itself
+  // is always written under the plain codec — it is self-protecting.)
+  ASSERT_TRUE(owner.remove_member(ClientId{3}));
+  owner_client->set_codec(nullptr);
+  ASSERT_TRUE(
+      owner_sync.write(core::key_bundle_item(kGroup), owner.make_bundle().serialize()).ok());
+  owner_client->set_codec(owner.make_codec());
+  ASSERT_TRUE(owner_sync.write(kX, to_bytes("epoch-2 secret, bob must not see")).ok());
+  cluster.run_for(seconds(5));
+
+  const auto alice_after = read_as(ClientId{2}, alice_dh, 3);
+  ASSERT_TRUE(alice_after.ok()) << error_name(alice_after.error());
+  EXPECT_EQ(securestore::to_string(*alice_after), "epoch-2 secret, bob must not see");
+
+  const auto bob_after = read_as(ClientId{3}, bob_dh, 4);
+  ASSERT_FALSE(bob_after.ok());
+  EXPECT_EQ(bob_after.error(), Error::kUnauthorized);
+}
+
+TEST(GroupKeys, EpochCodecCrossEpochDecoding) {
+  Rng rng(403);
+  core::EpochCodec codec(kGroup, rng.fork());
+  codec.add_epoch(1, rng.bytes(32));
+  const Bytes old_ct = codec.encode(kX, to_bytes("old"));
+  codec.add_epoch(2, rng.bytes(32));
+  const Bytes new_ct = codec.encode(kX, to_bytes("new"));
+
+  EXPECT_EQ(codec.current_epoch(), 2u);
+  ASSERT_TRUE(codec.decode(kX, old_ct).has_value());  // history still readable
+  ASSERT_TRUE(codec.decode(kX, new_ct).has_value());
+
+  // A codec that only ever learned epoch 1 cannot read epoch 2.
+  core::EpochCodec revoked(kGroup, rng.fork());
+  revoked.add_epoch(1, Bytes(32, 1));
+  EXPECT_FALSE(revoked.decode(kX, new_ct).has_value());
+
+  // Garbage input fails cleanly.
+  EXPECT_FALSE(codec.decode(kX, to_bytes("xx")).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Key rotation (§5.2)
+// ---------------------------------------------------------------------------
+
+TEST(KeyRotation, ReencryptsEveryItemUnderTheNewKey) {
+  Cluster cluster(ClusterOptions{});
+  cluster.set_group_policy(mrc_policy());
+
+  auto old_codec = std::make_shared<core::AeadValueCodec>(to_bytes("old key"), Rng(1));
+  auto new_codec = std::make_shared<core::AeadValueCodec>(to_bytes("new key"), Rng(2));
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  client_options.codec = old_codec;
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+  ASSERT_TRUE(sync.connect(kGroup).ok());
+
+  const ItemId items[] = {ItemId{1}, ItemId{2}, ItemId{3}};
+  for (const ItemId item : items) {
+    ASSERT_TRUE(sync.write(item, to_bytes("secret " + std::to_string(item.value))).ok());
+  }
+  cluster.run_for(seconds(5));
+
+  ASSERT_TRUE(core::rotate_keys(sync, items, new_codec).ok());
+
+  // The rotating client continues to read under the new key...
+  for (const ItemId item : items) {
+    const auto value = sync.read_value(item);
+    ASSERT_TRUE(value.ok()) << item.value;
+    EXPECT_EQ(securestore::to_string(*value), "secret " + std::to_string(item.value));
+  }
+
+  // ...a reader still holding the OLD key cannot authenticate the new
+  // ciphertexts...
+  cluster.run_for(seconds(5));
+  SecureStoreClient::Options stale_options;
+  stale_options.policy = mrc_policy();
+  stale_options.codec = std::make_shared<core::AeadValueCodec>(to_bytes("old key"), Rng(3));
+  auto stale_reader = cluster.make_client(ClientId{2}, stale_options);
+  SyncClient stale_sync(*stale_reader, cluster.scheduler());
+  ASSERT_TRUE(stale_sync.connect(kGroup).ok());
+  EXPECT_FALSE(stale_sync.read_value(items[0]).ok());
+
+  // ...and one holding the new key can.
+  SecureStoreClient::Options fresh_options;
+  fresh_options.policy = mrc_policy();
+  fresh_options.codec = std::make_shared<core::AeadValueCodec>(to_bytes("new key"), Rng(4));
+  auto fresh_reader = cluster.make_client(ClientId{3}, fresh_options);
+  SyncClient fresh_sync(*fresh_reader, cluster.scheduler());
+  ASSERT_TRUE(fresh_sync.connect(kGroup).ok());
+  const auto fresh_value = fresh_sync.read_value(items[0]);
+  ASSERT_TRUE(fresh_value.ok());
+  EXPECT_EQ(securestore::to_string(*fresh_value), "secret 1");
+}
+
+TEST(KeyRotation, MissingItemsAreSkipped) {
+  Cluster cluster(ClusterOptions{});
+  cluster.set_group_policy(mrc_policy());
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = mrc_policy();
+  client_options.codec = std::make_shared<core::AeadValueCodec>(to_bytes("k1"), Rng(5));
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+  ASSERT_TRUE(sync.connect(kGroup).ok());
+  ASSERT_TRUE(sync.write(ItemId{1}, to_bytes("exists")).ok());
+
+  const ItemId items[] = {ItemId{1}, ItemId{999}};  // 999 never written
+  auto new_codec = std::make_shared<core::AeadValueCodec>(to_bytes("k2"), Rng(6));
+  ASSERT_TRUE(core::rotate_keys(sync, items, new_codec).ok());
+
+  const auto value = sync.read_value(ItemId{1});
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(securestore::to_string(*value), "exists");
+}
+
+TEST(ScatteredStore, RejectsInvalidConfigurations) {
+  ClusterOptions options;
+  options.n = 4;
+  options.b = 1;
+  Cluster cluster(options);
+
+  ScatteredStore::Options store_options;
+  store_options.policy = GroupPolicy{kGroup, ConsistencyModel::kMRC,
+                                     SharingMode::kMultiWriter, core::ClientTrust::kHonest};
+  EXPECT_THROW(ScatteredStore(cluster.transport(), NodeId{1500}, ClientId{1},
+                              cluster.client_keys(ClientId{1}), cluster.config(),
+                              store_options, Rng(1)),
+               std::invalid_argument);
+
+  EXPECT_THROW(core::fragment_item(ItemId{1ull << 60}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace securestore

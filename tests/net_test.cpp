@@ -1,0 +1,231 @@
+// Unit tests for the transport/rpc/quorum layer.
+#include <gtest/gtest.h>
+
+#include "net/quorum.h"
+#include "net/rpc.h"
+#include "net/sim_transport.h"
+#include "sim/scheduler.h"
+
+namespace securestore::net {
+namespace {
+
+struct Harness {
+  sim::Scheduler scheduler;
+  SimTransport transport;
+
+  explicit Harness(sim::LinkProfile profile = sim::lan_profile(), std::uint64_t seed = 1)
+      : transport(scheduler, sim::NetworkModel(Rng(seed), profile)) {}
+};
+
+TEST(SimTransport, DeliversWithLatency) {
+  Harness h(sim::LinkProfile{milliseconds(10), 0, 0.0});
+  std::optional<SimTime> delivered_at;
+  h.transport.register_node(NodeId{1}, [&](NodeId from, BytesView payload) {
+    EXPECT_EQ(from, NodeId{0});
+    EXPECT_EQ(Bytes(payload.begin(), payload.end()), to_bytes("hi"));
+    delivered_at = h.scheduler.now();
+  });
+  h.transport.send(NodeId{0}, NodeId{1}, to_bytes("hi"));
+  h.scheduler.run_until_idle();
+  ASSERT_TRUE(delivered_at.has_value());
+  EXPECT_EQ(*delivered_at, milliseconds(10));
+}
+
+TEST(SimTransport, UnregisteredDestinationDrops) {
+  Harness h;
+  h.transport.send(NodeId{0}, NodeId{42}, to_bytes("void"));
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(h.transport.stats().messages_sent, 1u);
+  EXPECT_EQ(h.transport.stats().messages_delivered, 0u);
+  EXPECT_EQ(h.transport.stats().messages_dropped, 1u);
+}
+
+TEST(SimTransport, StatsCountBytes) {
+  Harness h;
+  h.transport.register_node(NodeId{1}, [](NodeId, BytesView) {});
+  h.transport.send(NodeId{0}, NodeId{1}, Bytes(100, 0xaa));
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(h.transport.stats().bytes_sent, 100u);
+  h.transport.reset_stats();
+  EXPECT_EQ(h.transport.stats().messages_sent, 0u);
+}
+
+TEST(Rpc, RequestResponse) {
+  Harness h;
+  RpcNode server(h.transport, NodeId{0});
+  RpcNode client(h.transport, NodeId{1});
+
+  server.set_request_handler([](NodeId, MsgType type, BytesView body) {
+    EXPECT_EQ(type, MsgType::kRead);
+    Bytes echoed(body.begin(), body.end());
+    echoed.push_back('!');
+    return std::make_optional(std::make_pair(MsgType::kAck, echoed));
+  });
+
+  std::optional<Bytes> response;
+  client.send_request(NodeId{0}, MsgType::kRead, to_bytes("ping"),
+                      [&](NodeId from, MsgType type, BytesView body) {
+                        EXPECT_EQ(from, NodeId{0});
+                        EXPECT_EQ(type, MsgType::kAck);
+                        response = Bytes(body.begin(), body.end());
+                      });
+  h.scheduler.run_until_idle();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(to_string(*response), "ping!");
+}
+
+TEST(Rpc, HandlerReturningNulloptMeansSilence) {
+  Harness h;
+  RpcNode server(h.transport, NodeId{0});
+  RpcNode client(h.transport, NodeId{1});
+  server.set_request_handler(
+      [](NodeId, MsgType, BytesView) -> std::optional<std::pair<MsgType, Bytes>> {
+        return std::nullopt;
+      });
+
+  bool responded = false;
+  client.send_request(NodeId{0}, MsgType::kRead, {},
+                      [&](NodeId, MsgType, BytesView) { responded = true; });
+  h.scheduler.run_until_idle();
+  EXPECT_FALSE(responded);
+}
+
+TEST(Rpc, CancelledRpcIgnoresLateResponse) {
+  Harness h;
+  RpcNode server(h.transport, NodeId{0});
+  RpcNode client(h.transport, NodeId{1});
+  server.set_request_handler([](NodeId, MsgType, BytesView) {
+    return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+  });
+
+  bool fired = false;
+  const std::uint64_t rpc_id = client.send_request(
+      NodeId{0}, MsgType::kRead, {}, [&](NodeId, MsgType, BytesView) { fired = true; });
+  client.cancel(rpc_id);
+  h.scheduler.run_until_idle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Rpc, OnewayDelivery) {
+  Harness h;
+  RpcNode a(h.transport, NodeId{0});
+  RpcNode b(h.transport, NodeId{1});
+
+  std::optional<MsgType> received;
+  b.set_oneway_handler([&](NodeId from, MsgType type, BytesView) {
+    EXPECT_EQ(from, NodeId{0});
+    received = type;
+  });
+  a.send_oneway(NodeId{1}, MsgType::kGossipDigest, to_bytes("digest"));
+  h.scheduler.run_until_idle();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, MsgType::kGossipDigest);
+}
+
+TEST(Rpc, MalformedDatagramIgnored) {
+  Harness h;
+  RpcNode receiver(h.transport, NodeId{1});
+  bool crashed = false;
+  receiver.set_request_handler([&](NodeId, MsgType, BytesView) {
+    crashed = true;
+    return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+  });
+  h.transport.send(NodeId{0}, NodeId{1}, Bytes{0x01});  // truncated envelope
+  h.scheduler.run_until_idle();
+  EXPECT_FALSE(crashed);
+}
+
+TEST(Quorum, SatisfiedWhenPredicateAccepts) {
+  Harness h;
+  std::vector<std::unique_ptr<RpcNode>> servers;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    servers.push_back(std::make_unique<RpcNode>(h.transport, NodeId{i}));
+    servers.back()->set_request_handler([i](NodeId, MsgType, BytesView) {
+      Writer w;
+      w.u32(i);
+      return std::make_optional(std::make_pair(MsgType::kAck, w.take()));
+    });
+  }
+  RpcNode client(h.transport, NodeId{100});
+
+  std::size_t replies = 0;
+  std::optional<QuorumOutcome> outcome;
+  QuorumCall::start(
+      client, {NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}}, MsgType::kRead, {},
+      [&](NodeId, MsgType, BytesView) { return ++replies >= 3; },
+      [&](QuorumOutcome result, std::size_t count) {
+        outcome = result;
+        EXPECT_EQ(count, 3u);
+      });
+  h.scheduler.run_until_idle();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, QuorumOutcome::kSatisfied);
+}
+
+TEST(Quorum, ExhaustedWhenAllReplyWithoutAcceptance) {
+  Harness h;
+  RpcNode server(h.transport, NodeId{0});
+  server.set_request_handler([](NodeId, MsgType, BytesView) {
+    return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+  });
+  RpcNode client(h.transport, NodeId{100});
+
+  std::optional<QuorumOutcome> outcome;
+  QuorumCall::start(
+      client, {NodeId{0}}, MsgType::kRead, {},
+      [](NodeId, MsgType, BytesView) { return false; },
+      [&](QuorumOutcome result, std::size_t) { outcome = result; });
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(outcome, QuorumOutcome::kExhausted);
+}
+
+TEST(Quorum, TimeoutWhenServersSilent) {
+  Harness h;
+  RpcNode mute(h.transport, NodeId{0});  // no handler: drops requests
+  RpcNode client(h.transport, NodeId{100});
+
+  std::optional<QuorumOutcome> outcome;
+  std::optional<SimTime> finished_at;
+  QuorumCall::start(
+      client, {NodeId{0}}, MsgType::kRead, {},
+      [](NodeId, MsgType, BytesView) { return true; },
+      [&](QuorumOutcome result, std::size_t) {
+        outcome = result;
+        finished_at = h.scheduler.now();
+      },
+      QuorumCall::Options{milliseconds(500)});
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(outcome, QuorumOutcome::kTimeout);
+  EXPECT_EQ(*finished_at, milliseconds(500));
+}
+
+TEST(Quorum, EmptyTargetsExhaustImmediately) {
+  Harness h;
+  RpcNode client(h.transport, NodeId{100});
+  std::optional<QuorumOutcome> outcome;
+  QuorumCall::start(
+      client, {}, MsgType::kRead, {}, [](NodeId, MsgType, BytesView) { return true; },
+      [&](QuorumOutcome result, std::size_t) { outcome = result; });
+  EXPECT_EQ(outcome, QuorumOutcome::kExhausted);
+}
+
+TEST(Quorum, DoneFiresExactlyOnce) {
+  Harness h;
+  RpcNode server(h.transport, NodeId{0});
+  server.set_request_handler([](NodeId, MsgType, BytesView) {
+    return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+  });
+  RpcNode client(h.transport, NodeId{100});
+
+  int done_count = 0;
+  QuorumCall::start(
+      client, {NodeId{0}}, MsgType::kRead, {},
+      [](NodeId, MsgType, BytesView) { return true; },
+      [&](QuorumOutcome, std::size_t) { ++done_count; },
+      QuorumCall::Options{milliseconds(100)});
+  h.scheduler.run_until_idle();  // runs past the timeout too
+  EXPECT_EQ(done_count, 1);
+}
+
+}  // namespace
+}  // namespace securestore::net

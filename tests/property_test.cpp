@@ -1,0 +1,593 @@
+// Property-based tests: randomized workloads checked against an
+// independent oracle.
+//
+// Rather than scripting specific interleavings, these tests generate random
+// operation sequences (writers, readers, fault assignments, gossip timing,
+// server preferences) from a seed and verify the invariants the paper
+// promises:
+//
+//  I1 (authenticity): every successful read returns a (value, timestamp)
+//     pair some authorized writer actually produced — regardless of faults.
+//  I2 (MRC): per client and item, observed timestamps never regress.
+//  I3 (CC): a read of item j returning write w forbids later reads of any
+//     item i from returning anything older than w's writer-context entry
+//     for i (checked against an oracle context maintained OUTSIDE the
+//     client).
+//  I4 (convergence): once gossip quiesces, every server holds the newest
+//     write of every item.
+//
+// Each suite sweeps many seeds via TEST_P; a failure reproduces exactly
+// from its seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/group_key.h"
+#include "core/scatter.h"
+#include "core/sync.h"
+#include "storage/snapshot.h"
+#include "testkit/cluster.h"
+
+namespace securestore {
+namespace {
+
+using core::ConsistencyModel;
+using core::GroupPolicy;
+using core::ReadOutput;
+using core::SecureStoreClient;
+using core::SharingMode;
+using core::SyncClient;
+using core::Timestamp;
+using testkit::Cluster;
+using testkit::ClusterOptions;
+
+constexpr GroupId kGroup{1};
+
+/// The oracle's record of every write the honest workload performed.
+struct WriteOracle {
+  // (item, ts) -> value written (ts totally ordered per paper rules).
+  std::map<std::pair<std::uint64_t, std::string>, Bytes> writes;
+
+  static std::string ts_key(const Timestamp& ts) {
+    // A lexicographically order-preserving key for (time, writer).
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%020llu-%010u",
+                  static_cast<unsigned long long>(ts.time), ts.writer.value);
+    return buffer;
+  }
+
+  void record(ItemId item, const Timestamp& ts, BytesView value) {
+    writes[{item.value, ts_key(ts)}] = Bytes(value.begin(), value.end());
+  }
+
+  /// I1: the read output must match a recorded write exactly.
+  bool authentic(ItemId item, const ReadOutput& output) const {
+    const auto it = writes.find({item.value, ts_key(output.ts)});
+    return it != writes.end() && it->second == output.value;
+  }
+};
+
+/// Per-client oracle context for I2/I3, maintained independently of the
+/// client's own context.
+struct ClientOracle {
+  std::map<std::uint64_t, Timestamp> floor;  // item -> minimum acceptable ts
+
+  void check_and_absorb(ItemId item, const ReadOutput& output,
+                        const core::Context& writer_context, bool causal) {
+    const auto it = floor.find(item.value);
+    if (it != floor.end()) {
+      EXPECT_FALSE(output.ts < it->second)
+          << "consistency regression on item " << item.value;
+    }
+    auto raise = [&](ItemId raised_item, const Timestamp& ts) {
+      auto [entry, inserted] = floor.try_emplace(raised_item.value, ts);
+      if (!inserted && entry->second < ts) entry->second = ts;
+    };
+    raise(item, output.ts);
+    if (causal) {
+      for (const auto& [dep_item, dep_ts] : writer_context.entries()) {
+        raise(ItemId{dep_item.value}, dep_ts);
+      }
+    }
+  }
+};
+
+struct Scenario {
+  std::uint64_t seed;
+  std::uint32_t n;
+  std::uint32_t b;
+  ConsistencyModel model;
+  bool with_faults;
+};
+
+class RandomWorkload : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RandomWorkload, InvariantsHold) {
+  const Scenario scenario = GetParam();
+  Rng rng(scenario.seed);
+
+  ClusterOptions options;
+  options.n = scenario.n;
+  options.b = scenario.b;
+  options.seed = scenario.seed * 7919;
+  options.gossip.period = milliseconds(50 + rng.next_below(500));
+  options.gossip.fanout = 1 + static_cast<unsigned>(rng.next_below(2));
+  if (scenario.with_faults) {
+    // Up to b faulty servers with random behaviors.
+    const std::size_t faulty = 1 + rng.next_below(scenario.b);
+    const faults::ServerFault kMenu[] = {
+        faults::ServerFault::kCrash,         faults::ServerFault::kMuteData,
+        faults::ServerFault::kStaleContext,  faults::ServerFault::kStaleData,
+        faults::ServerFault::kCorruptValues, faults::ServerFault::kDropWrites,
+    };
+    for (std::size_t i = 0; i < faulty; ++i) {
+      options.server_faults.push_back(
+          {static_cast<std::uint32_t>(i), {kMenu[rng.next_below(std::size(kMenu))]}});
+    }
+  }
+  Cluster cluster(options);
+
+  const GroupPolicy policy{kGroup, scenario.model, SharingMode::kSingleWriter,
+                           core::ClientTrust::kHonest};
+  cluster.set_group_policy(policy);
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = policy;
+  client_options.round_timeout = milliseconds(300);
+  client_options.inline_reads = rng.next_bool(0.5);
+
+  // One writer (single-writer data), three readers.
+  auto writer = cluster.make_client(ClientId{1}, client_options);
+  SyncClient writer_sync(*writer, cluster.scheduler());
+  ASSERT_TRUE(writer_sync.connect(kGroup).ok());
+
+  std::vector<std::unique_ptr<SecureStoreClient>> readers;
+  std::vector<std::unique_ptr<SyncClient>> reader_syncs;
+  std::vector<ClientOracle> reader_oracles(3);
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    readers.push_back(cluster.make_client(ClientId{2 + r}, client_options));
+    reader_syncs.push_back(std::make_unique<SyncClient>(*readers.back(), cluster.scheduler()));
+    ASSERT_TRUE(reader_syncs.back()->connect(kGroup).ok());
+  }
+
+  WriteOracle write_oracle;
+  std::map<std::uint64_t, core::Context> writer_context_of_ts;  // ts.time -> ctx
+
+  auto random_preference = [&](SecureStoreClient& client) {
+    std::vector<NodeId> order;
+    for (std::uint32_t i = 0; i < scenario.n; ++i) order.push_back(NodeId{i});
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    client.set_server_preference(std::move(order));
+  };
+
+  constexpr int kSteps = 40;
+  const ItemId items[] = {ItemId{10}, ItemId{11}, ItemId{12}};
+
+  int successful_reads = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 4) {
+      // Write a random item.
+      const ItemId item = items[rng.next_below(std::size(items))];
+      const Bytes value = to_bytes("s" + std::to_string(step) + "-" +
+                                   std::to_string(rng.next_below(1000)));
+      random_preference(*writer);
+      const VoidResult result = writer_sync.write(item, value);
+      if (result.ok()) {
+        const Timestamp ts = writer->context().get(item);
+        write_oracle.record(item, ts, value);
+        writer_context_of_ts[ts.time] = writer->context();
+      }
+    } else if (action < 9) {
+      // A random reader reads a random item with a random preference.
+      const std::size_t reader = rng.next_below(readers.size());
+      const ItemId item = items[rng.next_below(std::size(items))];
+      random_preference(*readers[reader]);
+      const Result<ReadOutput> result = reader_syncs[reader]->read(item);
+      if (result.ok()) {
+        ++successful_reads;
+        EXPECT_TRUE(write_oracle.authentic(item, *result))
+            << "seed " << scenario.seed << " step " << step
+            << ": read returned a value never written";
+        // Reconstruct the writer context for I3 (the read output does not
+        // expose it; recover via the oracle's snapshot at that write).
+        const auto snapshot = writer_context_of_ts.find(result->ts.time);
+        const core::Context writer_context = snapshot != writer_context_of_ts.end()
+                                                 ? snapshot->second
+                                                 : core::Context(kGroup);
+        reader_oracles[reader].check_and_absorb(
+            item, *result, writer_context, scenario.model == ConsistencyModel::kCC);
+      } else {
+        // Reads may fail (stale/timeout with faults) but must fail clean.
+        EXPECT_NE(result.error(), Error::kNone);
+      }
+    } else {
+      // Let gossip run.
+      cluster.run_for(milliseconds(rng.next_below(2000)));
+    }
+  }
+  EXPECT_GT(successful_reads, 0) << "workload degenerated: no read ever succeeded";
+
+  // I4: convergence of honest servers after quiescence.
+  cluster.run_for(seconds(60));
+  for (const ItemId item : items) {
+    const core::WriteRecord* reference = nullptr;
+    for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+      const bool is_faulty =
+          std::any_of(options.server_faults.begin(), options.server_faults.end(),
+                      [&](const auto& f) { return f.first == s; });
+      if (is_faulty) continue;
+      const core::WriteRecord* current = cluster.server(s).store().current(item);
+      if (reference == nullptr) {
+        reference = current;
+      } else if (current != nullptr) {
+        EXPECT_EQ(current->ts, reference->ts)
+            << "seed " << scenario.seed << ": honest servers diverge on item "
+            << item.value;
+      }
+    }
+  }
+}
+
+std::vector<Scenario> make_scenarios() {
+  std::vector<Scenario> scenarios;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    scenarios.push_back({seed, 4, 1, ConsistencyModel::kMRC, false});
+    scenarios.push_back({seed + 100, 4, 1, ConsistencyModel::kCC, false});
+    scenarios.push_back({seed + 200, 7, 2, ConsistencyModel::kMRC, true});
+    scenarios.push_back({seed + 300, 7, 2, ConsistencyModel::kCC, true});
+  }
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkload, ::testing::ValuesIn(make_scenarios()),
+                         [](const auto& info) {
+                           const Scenario& s = info.param;
+                           return std::string(s.model == ConsistencyModel::kCC ? "CC" : "MRC") +
+                                  (s.with_faults ? "_faulty_" : "_clean_") +
+                                  std::to_string(s.seed);
+                         });
+
+// ---------------------------------------------------------------------------
+// Multi-writer randomized convergence (honest writers, §5.3 timestamps).
+// ---------------------------------------------------------------------------
+
+struct MwScenario {
+  std::uint64_t seed;
+  core::ClientTrust trust;
+};
+
+class MultiWriterWorkload : public ::testing::TestWithParam<MwScenario> {};
+
+TEST_P(MultiWriterWorkload, WritersConvergeAndReadsStayMonotonic) {
+  const auto [seed, trust] = GetParam();
+  Rng rng(seed);
+
+  ClusterOptions options;
+  options.n = 4;
+  options.b = 1;
+  options.seed = seed * 31;
+  options.gossip.period = milliseconds(100);
+  Cluster cluster(options);
+
+  const GroupPolicy policy{kGroup, ConsistencyModel::kCC, SharingMode::kMultiWriter, trust};
+  cluster.set_group_policy(policy);
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = policy;
+  client_options.round_timeout = milliseconds(300);
+
+  std::vector<std::unique_ptr<SecureStoreClient>> clients;
+  std::vector<std::unique_ptr<SyncClient>> syncs;
+  for (std::uint32_t c = 1; c <= 3; ++c) {
+    clients.push_back(cluster.make_client(ClientId{c}, client_options));
+    syncs.push_back(std::make_unique<SyncClient>(*clients.back(), cluster.scheduler()));
+    ASSERT_TRUE(syncs.back()->connect(kGroup).ok());
+  }
+
+  const ItemId item{50};
+  WriteOracle oracle;
+  std::vector<Timestamp> last_seen(clients.size());
+
+  for (int step = 0; step < 30; ++step) {
+    const std::size_t who = rng.next_below(clients.size());
+    if (rng.next_bool(0.5)) {
+      const Bytes value = to_bytes("w" + std::to_string(who) + "-s" + std::to_string(step));
+      if (syncs[who]->write(item, value).ok()) {
+        oracle.record(item, clients[who]->context().get(item), value);
+      }
+    } else {
+      const auto result = syncs[who]->read(item);
+      if (result.ok()) {
+        EXPECT_TRUE(oracle.authentic(item, *result)) << "seed " << seed;
+        EXPECT_FALSE(result->ts < last_seen[who]) << "seed " << seed << ": regression";
+        last_seen[who] = result->ts;
+      }
+    }
+    if (rng.next_bool(0.3)) cluster.run_for(milliseconds(rng.next_below(500)));
+  }
+
+  // After quiescence all clients agree on the newest value.
+  cluster.run_for(seconds(30));
+  std::optional<Timestamp> agreed;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const auto result = syncs[c]->read(item);
+    if (!result.ok()) continue;
+    if (!agreed.has_value()) {
+      agreed = result->ts;
+    } else {
+      EXPECT_EQ(result->ts, *agreed) << "seed " << seed << ": clients diverge";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MultiWriterWorkload,
+    ::testing::Values(MwScenario{1, core::ClientTrust::kHonest},
+                      MwScenario{2, core::ClientTrust::kHonest},
+                      MwScenario{3, core::ClientTrust::kHonest},
+                      MwScenario{11, core::ClientTrust::kByzantine},
+                      MwScenario{12, core::ClientTrust::kByzantine},
+                      MwScenario{13, core::ClientTrust::kByzantine}),
+    [](const auto& info) {
+      return std::string(info.param.trust == core::ClientTrust::kByzantine ? "byz" : "honest") +
+             "_" + std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Snapshot equivalence: after any random workload, snapshot+restore yields
+// a server whose visible state answers queries identically.
+// ---------------------------------------------------------------------------
+
+class SnapshotEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotEquivalence, RestoreMatchesOriginal) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  ClusterOptions options;
+  options.seed = seed;
+  Cluster cluster(options);
+  const GroupPolicy policy{kGroup, ConsistencyModel::kMRC, SharingMode::kSingleWriter,
+                           core::ClientTrust::kHonest};
+  cluster.set_group_policy(policy);
+
+  SecureStoreClient::Options client_options;
+  client_options.policy = policy;
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+  ASSERT_TRUE(sync.connect(kGroup).ok());
+
+  for (int step = 0; step < 25; ++step) {
+    const ItemId item{10 + rng.next_below(4)};
+    (void)sync.write(item, rng.bytes(1 + rng.next_below(200)));
+    if (rng.next_bool(0.3)) cluster.run_for(milliseconds(rng.next_below(1000)));
+  }
+  ASSERT_TRUE(sync.disconnect().ok());
+
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    // The server snapshot wraps the store snapshot and the audit chain.
+    const Bytes server_snapshot = cluster.server(s).snapshot();
+    Reader wrapper(server_snapshot);
+    const Bytes snapshot = wrapper.bytes();
+    const storage::AuditLog audit = storage::AuditLog::deserialize(wrapper.bytes());
+    wrapper.expect_end();
+    EXPECT_TRUE(audit.verify()) << "seed " << seed << " server " << s;
+
+    storage::ItemStore restored_items(cluster.config().max_log_entries);
+    storage::ContextStore restored_contexts;
+    storage::restore_snapshot(snapshot, restored_items, restored_contexts);
+
+    EXPECT_EQ(restored_items.item_count(), cluster.server(s).store().item_count());
+    for (const core::WriteRecord* record : cluster.server(s).store().all_current()) {
+      const core::WriteRecord* restored = restored_items.current(record->item);
+      ASSERT_NE(restored, nullptr) << "seed " << seed << " server " << s;
+      EXPECT_EQ(*restored, *record) << "seed " << seed << " server " << s;
+    }
+    // Snapshot of the restore equals the snapshot (fixpoint).
+    EXPECT_EQ(storage::make_snapshot(restored_items, restored_contexts), snapshot);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotEquivalence, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Scattered-store randomized roundtrips across sizes and survivor sets.
+// ---------------------------------------------------------------------------
+
+class ScatterRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScatterRoundtrip, RandomSizesAndSurvivors) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  ClusterOptions options;
+  options.n = 7;
+  options.b = 2;
+  options.seed = seed;
+  Cluster cluster(options);
+  const GroupPolicy policy{kGroup, ConsistencyModel::kMRC, SharingMode::kSingleWriter,
+                           core::ClientTrust::kHonest};
+  cluster.set_group_policy(policy);
+
+  core::ScatteredStore::Options store_options;
+  store_options.policy = policy;
+  core::ScatteredStore store(cluster.transport(), NodeId{1500}, ClientId{1},
+                             cluster.client_keys(ClientId{1}), cluster.config(),
+                             store_options, rng.fork());
+
+  auto drive_write = [&](ItemId item, const Bytes& value) {
+    std::optional<VoidResult> slot;
+    store.write(item, value, [&](VoidResult r) { slot = std::move(r); });
+    while (!slot && cluster.scheduler().step()) {
+    }
+    return slot.has_value() && slot->ok();
+  };
+  auto drive_read = [&](ItemId item) {
+    std::optional<Result<Bytes>> slot;
+    store.read(item, [&](Result<Bytes> r) { slot = std::move(r); });
+    while (!slot && cluster.scheduler().step()) {
+    }
+    return slot.value_or(Result<Bytes>(Error::kTimeout));
+  };
+
+  for (int round = 0; round < 5; ++round) {
+    const ItemId item{50 + static_cast<std::uint64_t>(round)};
+    const Bytes value = rng.bytes(rng.next_below(5000));
+    ASSERT_TRUE(drive_write(item, value)) << "seed " << seed << " round " << round;
+
+    // Partition a random set of up to n-(b+1) servers.
+    const std::size_t kill = rng.next_below(options.n - (options.b + 1) + 1);
+    std::vector<std::uint32_t> order(options.n);
+    for (std::uint32_t i = 0; i < options.n; ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    for (std::size_t i = 0; i < kill; ++i) {
+      cluster.transport().network().set_partitioned(NodeId{order[i]}, true);
+    }
+
+    const Result<Bytes> result = drive_read(item);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << " round " << round << " kill " << kill;
+    EXPECT_EQ(*result, value);
+
+    for (std::size_t i = 0; i < kill; ++i) {
+      cluster.transport().network().set_partitioned(NodeId{order[i]}, false);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScatterRoundtrip, ::testing::Values(10, 11, 12, 13));
+
+// ---------------------------------------------------------------------------
+// Group-key membership churn: after any random add/remove/rotate sequence,
+// exactly the current members can unwrap the current bundle, and a removed
+// member can never unwrap any epoch after its removal.
+// ---------------------------------------------------------------------------
+
+class GroupKeyChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupKeyChurn, AccessMatchesMembershipHistory) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  core::GroupKeyOwner owner(kGroup, crypto::DhKeyPair::generate(rng), rng.fork());
+
+  constexpr std::uint32_t kPeople = 5;
+  std::vector<crypto::DhKeyPair> identities;
+  for (std::uint32_t person = 0; person < kPeople; ++person) {
+    identities.push_back(crypto::DhKeyPair::generate(rng));
+  }
+  std::set<std::uint32_t> members;
+  // removed_at[p] = first epoch p must NOT be able to unwrap (its last
+  // removal re-key), or 0 if never removed / re-added since.
+  std::map<std::uint32_t, std::uint32_t> locked_out_from;
+
+  for (int step = 0; step < 40; ++step) {
+    const std::uint32_t person = static_cast<std::uint32_t>(rng.next_below(kPeople));
+    const ClientId who{100 + person};
+    switch (rng.next_below(3)) {
+      case 0:  // add (or re-add)
+        owner.add_member(who, identities[person].public_key);
+        members.insert(person);
+        locked_out_from.erase(person);
+        break;
+      case 1:  // remove
+        if (owner.remove_member(who)) {
+          members.erase(person);
+          locked_out_from[person] = owner.epoch();
+        }
+        break;
+      case 2:  // paranoid rotate
+        owner.rotate();
+        break;
+    }
+
+    const core::KeyBundle bundle = owner.make_bundle();
+    EXPECT_EQ(bundle.members.size(), members.size()) << "seed " << seed;
+    for (std::uint32_t p = 0; p < kPeople; ++p) {
+      const auto key = core::unwrap_bundle(bundle, ClientId{100 + p},
+                                           identities[p].private_scalar);
+      if (members.contains(p)) {
+        ASSERT_TRUE(key.has_value()) << "seed " << seed << " step " << step;
+        EXPECT_EQ(key->second, owner.current_key());
+      } else {
+        EXPECT_FALSE(key.has_value()) << "seed " << seed << " step " << step;
+        if (const auto it = locked_out_from.find(p); it != locked_out_from.end()) {
+          EXPECT_GE(it->second, 1u);  // bookkeeping sanity
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupKeyChurn, ::testing::Values(31, 32, 33, 34, 35));
+
+// ---------------------------------------------------------------------------
+// Decoder robustness: random bytes must never crash, only throw DecodeError
+// (or parse, for lucky inputs).
+// ---------------------------------------------------------------------------
+
+TEST(DecoderRobustness, RandomBytesNeverCrashMessageParsers) {
+  Rng rng(99);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Bytes junk = rng.bytes(rng.next_below(120));
+    auto survives = [&](auto parse) {
+      try {
+        parse(junk);
+      } catch (const DecodeError&) {
+      } catch (const std::length_error&) {
+      }
+    };
+    survives([](BytesView d) { (void)core::ContextReadReq::deserialize(d); });
+    survives([](BytesView d) { (void)core::ContextReadResp::deserialize(d); });
+    survives([](BytesView d) { (void)core::ContextWriteReq::deserialize(d); });
+    survives([](BytesView d) { (void)core::MetaReq::deserialize(d); });
+    survives([](BytesView d) { (void)core::MetaResp::deserialize(d); });
+    survives([](BytesView d) { (void)core::ReadReq::deserialize(d); });
+    survives([](BytesView d) { (void)core::ReadResp::deserialize(d); });
+    survives([](BytesView d) { (void)core::WriteReq::deserialize(d); });
+    survives([](BytesView d) { (void)core::WriteResp::deserialize(d); });
+    survives([](BytesView d) { (void)core::LogReadReq::deserialize(d); });
+    survives([](BytesView d) { (void)core::LogReadResp::deserialize(d); });
+    survives([](BytesView d) { (void)core::ReconstructResp::deserialize(d); });
+    survives([](BytesView d) { (void)core::StabilityMsg::deserialize(d); });
+  }
+}
+
+TEST(DecoderRobustness, ServersSurviveRandomDatagrams) {
+  ClusterOptions options;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  cluster.set_group_policy(GroupPolicy{kGroup, ConsistencyModel::kMRC,
+                                       SharingMode::kSingleWriter,
+                                       core::ClientTrust::kHonest});
+
+  Rng rng(123);
+  net::RpcNode chaos(cluster.transport(), NodeId{9000});
+  for (int i = 0; i < 500; ++i) {
+    const NodeId target{static_cast<std::uint32_t>(rng.next_below(options.n))};
+    // Raw junk datagrams straight to the transport...
+    cluster.transport().send(NodeId{9000}, target, rng.bytes(rng.next_below(100)));
+    // ...and junk bodies inside valid rpc envelopes.
+    chaos.send_request(target, static_cast<net::MsgType>(rng.next_below(120)),
+                       rng.bytes(rng.next_below(100)), [](NodeId, net::MsgType, BytesView) {});
+  }
+  cluster.run_for(seconds(2));
+
+  // The store still works.
+  SecureStoreClient::Options client_options;
+  client_options.policy = GroupPolicy{kGroup, ConsistencyModel::kMRC,
+                                      SharingMode::kSingleWriter, core::ClientTrust::kHonest};
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  SyncClient sync(*client, cluster.scheduler());
+  ASSERT_TRUE(sync.connect(kGroup).ok());
+  ASSERT_TRUE(sync.write(ItemId{1}, to_bytes("still alive")).ok());
+  EXPECT_TRUE(sync.read_value(ItemId{1}).ok());
+}
+
+}  // namespace
+}  // namespace securestore

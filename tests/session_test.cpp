@@ -1,0 +1,193 @@
+// Session-guarantee tests (the Bayou lineage the paper builds on: MRC "is
+// similar to the monotonic-reads and read-your-writes session guarantees in
+// Bayou", §4.2) and multi-group sessions (§4: consistency is only required
+// within a related group; §6: a session may touch several groups, each with
+// its own context).
+#include <gtest/gtest.h>
+
+#include "core/sync.h"
+#include "testkit/cluster.h"
+
+namespace securestore {
+namespace {
+
+using core::ConsistencyModel;
+using core::GroupPolicy;
+using core::SecureStoreClient;
+using core::SharingMode;
+using core::SyncClient;
+using testkit::Cluster;
+using testkit::ClusterOptions;
+
+GroupPolicy policy_for(GroupId group, ConsistencyModel model) {
+  return GroupPolicy{group, model, SharingMode::kSingleWriter, core::ClientTrust::kHonest};
+}
+
+SecureStoreClient::Options options_for(const GroupPolicy& policy) {
+  SecureStoreClient::Options options;
+  options.policy = policy;
+  return options;
+}
+
+TEST(SessionGuarantees, ReadYourWrites) {
+  // After writing, the writer's own reads always see that write (or newer),
+  // even when its read preference points at servers the write missed.
+  ClusterOptions cluster_options;
+  cluster_options.n = 7;
+  cluster_options.b = 2;
+  cluster_options.start_gossip = false;
+  Cluster cluster(cluster_options);
+  const GroupPolicy policy = policy_for(GroupId{1}, ConsistencyModel::kMRC);
+  cluster.set_group_policy(policy);
+
+  auto client = cluster.make_client(ClientId{1}, options_for(policy));
+  SyncClient sync(*client, cluster.scheduler());
+  ASSERT_TRUE(sync.connect(GroupId{1}).ok());
+
+  // Write lands on servers {0,1,2}; reads then prefer {4,5,6}.
+  client->set_server_preference({NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4},
+                                 NodeId{5}, NodeId{6}});
+  ASSERT_TRUE(sync.write(ItemId{10}, to_bytes("my own write")).ok());
+  client->set_server_preference({NodeId{4}, NodeId{5}, NodeId{6}, NodeId{3}, NodeId{2},
+                                 NodeId{1}, NodeId{0}});
+
+  const auto result = sync.read_value(ItemId{10});
+  ASSERT_TRUE(result.ok()) << error_name(result.error());
+  EXPECT_EQ(to_string(*result), "my own write");  // escalation found it
+}
+
+TEST(SessionGuarantees, ReadYourWritesAcrossSessions) {
+  Cluster cluster(ClusterOptions{});
+  const GroupPolicy policy = policy_for(GroupId{1}, ConsistencyModel::kMRC);
+  cluster.set_group_policy(policy);
+
+  {
+    auto client = cluster.make_client(ClientId{1}, options_for(policy));
+    SyncClient sync(*client, cluster.scheduler());
+    ASSERT_TRUE(sync.connect(GroupId{1}).ok());
+    ASSERT_TRUE(sync.write(ItemId{10}, to_bytes("session 1 write")).ok());
+    ASSERT_TRUE(sync.disconnect().ok());
+  }
+  // No dissemination wait on purpose: the context carried across sessions
+  // is what guarantees the second session cannot read anything older.
+  {
+    auto client = cluster.make_client(ClientId{1}, options_for(policy));
+    SyncClient sync(*client, cluster.scheduler());
+    ASSERT_TRUE(sync.connect(GroupId{1}).ok());
+    const auto result = sync.read_value(ItemId{10});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(to_string(*result), "session 1 write");
+  }
+}
+
+TEST(SessionGuarantees, WritesAreMonotonicallyOrdered) {
+  // "Since the timestamp of this data item monotonically increases as
+  // values are read and written, successive reads of a client will return
+  // newer values" — including across interleaved reads.
+  Cluster cluster(ClusterOptions{});
+  const GroupPolicy policy = policy_for(GroupId{1}, ConsistencyModel::kMRC);
+  cluster.set_group_policy(policy);
+
+  auto client = cluster.make_client(ClientId{1}, options_for(policy));
+  SyncClient sync(*client, cluster.scheduler());
+  ASSERT_TRUE(sync.connect(GroupId{1}).ok());
+
+  core::Timestamp previous;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(sync.write(ItemId{10}, to_bytes("w" + std::to_string(i))).ok());
+    const auto result = sync.read(ItemId{10});
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->ts.time, previous.time);
+    previous = result->ts;
+  }
+}
+
+TEST(MultiGroup, IndependentContextsPerGroup) {
+  // One principal, two related groups with different consistency models;
+  // each group gets its own session/context endpoint (§4: "consistency is
+  // only required across a group of related data items").
+  Cluster cluster(ClusterOptions{});
+  const GroupPolicy tax = policy_for(GroupId{1}, ConsistencyModel::kMRC);
+  const GroupPolicy medical = policy_for(GroupId{2}, ConsistencyModel::kCC);
+  cluster.set_group_policy(tax);
+  cluster.set_group_policy(medical);
+
+  auto tax_endpoint = cluster.make_client(ClientId{1}, options_for(tax), NodeId{1101});
+  auto medical_endpoint =
+      cluster.make_client(ClientId{1}, options_for(medical), NodeId{1102});
+  SyncClient tax_session(*tax_endpoint, cluster.scheduler());
+  SyncClient medical_session(*medical_endpoint, cluster.scheduler());
+
+  ASSERT_TRUE(tax_session.connect(GroupId{1}).ok());
+  ASSERT_TRUE(medical_session.connect(GroupId{2}).ok());
+
+  ASSERT_TRUE(tax_session.write(ItemId{100}, to_bytes("tax 2026")).ok());
+  ASSERT_TRUE(medical_session.write(ItemId{200}, to_bytes("bp 118/76")).ok());
+
+  // Context isolation: the tax context knows nothing of medical items.
+  EXPECT_FALSE(tax_endpoint->context().get(ItemId{100}).is_zero());
+  EXPECT_TRUE(tax_endpoint->context().get(ItemId{200}).is_zero());
+  EXPECT_FALSE(medical_endpoint->context().get(ItemId{200}).is_zero());
+  EXPECT_TRUE(medical_endpoint->context().get(ItemId{100}).is_zero());
+
+  ASSERT_TRUE(tax_session.disconnect().ok());
+  ASSERT_TRUE(medical_session.disconnect().ok());
+
+  // Both contexts are independently stored and re-acquired.
+  auto tax2 = cluster.make_client(ClientId{1}, options_for(tax), NodeId{1103});
+  auto medical2 = cluster.make_client(ClientId{1}, options_for(medical), NodeId{1104});
+  SyncClient tax_session2(*tax2, cluster.scheduler());
+  SyncClient medical_session2(*medical2, cluster.scheduler());
+  ASSERT_TRUE(tax_session2.connect(GroupId{1}).ok());
+  ASSERT_TRUE(medical_session2.connect(GroupId{2}).ok());
+  EXPECT_FALSE(tax2->context().get(ItemId{100}).is_zero());
+  EXPECT_FALSE(medical2->context().get(ItemId{200}).is_zero());
+  EXPECT_TRUE(tax_session2.read_value(ItemId{100}).ok());
+  EXPECT_TRUE(medical_session2.read_value(ItemId{200}).ok());
+}
+
+TEST(MultiGroup, PolicyMismatchRejectedByServers) {
+  // The same item group cannot be accessed under a different consistency
+  // model than it was created with (§5.2): a record claiming the wrong
+  // model for its group is rejected by every honest server.
+  ClusterOptions cluster_options;
+  cluster_options.start_gossip = false;
+  Cluster cluster(cluster_options);
+  cluster.set_group_policy(policy_for(GroupId{1}, ConsistencyModel::kMRC));
+
+  // A confused (or malicious) client writes CC-flavored records into the
+  // MRC group.
+  auto confused_options = options_for(policy_for(GroupId{1}, ConsistencyModel::kCC));
+  confused_options.round_timeout = milliseconds(100);
+  confused_options.max_read_rounds = 2;
+  auto confused = cluster.make_client(ClientId{1}, confused_options);
+  SyncClient sync(*confused, cluster.scheduler());
+  EXPECT_FALSE(sync.write(ItemId{10}, to_bytes("wrong model")).ok());
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    EXPECT_EQ(cluster.server(s).store().current(ItemId{10}), nullptr);
+  }
+}
+
+TEST(SessionGuarantees, FreshClientStartsUnconstrained) {
+  // A principal with no prior session has an empty context: any value is
+  // acceptable on first contact (MRC constrains only relative to what a
+  // client has SEEN).
+  ClusterOptions cluster_options;
+  cluster_options.start_gossip = false;
+  Cluster cluster(cluster_options);
+  const GroupPolicy policy = policy_for(GroupId{1}, ConsistencyModel::kMRC);
+  cluster.set_group_policy(policy);
+
+  auto writer = cluster.make_client(ClientId{1}, options_for(policy));
+  SyncClient writer_sync(*writer, cluster.scheduler());
+  ASSERT_TRUE(writer_sync.write(ItemId{10}, to_bytes("existing")).ok());
+
+  auto fresh = cluster.make_client(ClientId{2}, options_for(policy));
+  SyncClient fresh_sync(*fresh, cluster.scheduler());
+  ASSERT_TRUE(fresh_sync.connect(GroupId{1}).ok());
+  EXPECT_TRUE(fresh->context().empty());
+  EXPECT_TRUE(fresh_sync.read_value(ItemId{10}).ok());
+}
+
+}  // namespace
+}  // namespace securestore

@@ -1,0 +1,150 @@
+// Unit tests for the discrete-event simulator: scheduler ordering, network
+// model sampling, metrics.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace securestore::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimestampOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.schedule_at(30, [&] { order.push_back(3); });
+  scheduler.schedule_at(10, [&] { order.push_back(1); });
+  scheduler.schedule_at(20, [&] { order.push_back(2); });
+  scheduler.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 30u);
+}
+
+TEST(Scheduler, FifoAmongSameTimeEvents) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  scheduler.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler scheduler;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) scheduler.schedule_in(5, chain);
+  };
+  scheduler.schedule_in(5, chain);
+  scheduler.run_until_idle();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(scheduler.now(), 50u);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler scheduler;
+  int fired = 0;
+  scheduler.schedule_at(10, [&] { ++fired; });
+  scheduler.schedule_at(20, [&] { ++fired; });
+  scheduler.schedule_at(30, [&] { ++fired; });
+  scheduler.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(scheduler.now(), 20u);
+  EXPECT_EQ(scheduler.pending_events(), 1u);
+  scheduler.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(scheduler.now(), 100u);  // clock advances to the deadline
+}
+
+TEST(Scheduler, PastSchedulingRejected) {
+  Scheduler scheduler;
+  scheduler.schedule_at(50, [] {});
+  scheduler.run_until_idle();
+  EXPECT_THROW(scheduler.schedule_at(10, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler scheduler;
+  EXPECT_FALSE(scheduler.step());
+  scheduler.schedule_at(1, [] {});
+  EXPECT_TRUE(scheduler.step());
+  EXPECT_FALSE(scheduler.step());
+  EXPECT_EQ(scheduler.executed_events(), 1u);
+}
+
+TEST(NetworkModel, LatencyWithinProfileBounds) {
+  NetworkModel model(Rng(1), LinkProfile{milliseconds(10), milliseconds(5), 0.0});
+  for (int i = 0; i < 200; ++i) {
+    const auto latency = model.sample_delivery(NodeId{0}, NodeId{1});
+    ASSERT_TRUE(latency.has_value());
+    EXPECT_GE(*latency, milliseconds(10));
+    EXPECT_LE(*latency, milliseconds(15));
+  }
+}
+
+TEST(NetworkModel, LossDropsRoughlyAtRate) {
+  NetworkModel model(Rng(2), LinkProfile{milliseconds(1), 0, 0.3});
+  int dropped = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!model.sample_delivery(NodeId{0}, NodeId{1}).has_value()) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / kTrials, 0.3, 0.03);
+}
+
+TEST(NetworkModel, PartitionBlocksBothDirections) {
+  NetworkModel model(Rng(3), zero_profile());
+  model.set_partitioned(NodeId{1}, true);
+  EXPECT_FALSE(model.sample_delivery(NodeId{0}, NodeId{1}).has_value());
+  EXPECT_FALSE(model.sample_delivery(NodeId{1}, NodeId{0}).has_value());
+  EXPECT_TRUE(model.sample_delivery(NodeId{0}, NodeId{2}).has_value());
+
+  model.set_partitioned(NodeId{1}, false);
+  EXPECT_TRUE(model.sample_delivery(NodeId{0}, NodeId{1}).has_value());
+}
+
+TEST(NetworkModel, PerLinkOverride) {
+  NetworkModel model(Rng(4), LinkProfile{milliseconds(1), 0, 0.0});
+  model.set_link_profile(NodeId{0}, NodeId{1}, LinkProfile{milliseconds(100), 0, 0.0});
+  EXPECT_EQ(*model.sample_delivery(NodeId{0}, NodeId{1}), milliseconds(100));
+  // Override is directed: the reverse link keeps the default.
+  EXPECT_EQ(*model.sample_delivery(NodeId{1}, NodeId{0}), milliseconds(1));
+}
+
+TEST(NetworkModel, StandardProfilesAreOrdered) {
+  EXPECT_LT(lan_profile().base_latency, wan_profile().base_latency);
+  EXPECT_EQ(zero_profile().base_latency, 0u);
+}
+
+TEST(Samples, SummaryStatistics) {
+  Samples samples;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) samples.add(v);
+  EXPECT_EQ(samples.count(), 5u);
+  EXPECT_DOUBLE_EQ(samples.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 5.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 3.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100), 5.0);
+  EXPECT_NEAR(samples.stddev(), 1.4142, 1e-3);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples samples;
+  EXPECT_TRUE(samples.empty());
+  EXPECT_THROW(samples.mean(), std::logic_error);
+  EXPECT_THROW(samples.percentile(50), std::logic_error);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples samples;
+  samples.add(0.0);
+  samples.add(10.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(90), 9.0);
+}
+
+}  // namespace
+}  // namespace securestore::sim

@@ -1,0 +1,284 @@
+// Unit tests for server-side storage: versioned item store with write
+// logs, context store, causal hold queue.
+#include <gtest/gtest.h>
+
+#include "crypto/keys.h"
+#include "storage/context_store.h"
+#include "storage/hold_queue.h"
+#include "storage/item_store.h"
+#include "storage/snapshot.h"
+
+namespace securestore::storage {
+namespace {
+
+using core::ConsistencyModel;
+using core::Context;
+using core::StoredContext;
+using core::Timestamp;
+using core::WriteRecord;
+
+constexpr ItemId kX{1};
+constexpr GroupId kGroup{9};
+
+WriteRecord make_record(ItemId item, std::uint64_t time, std::string_view value,
+                        ClientId writer = ClientId{1}) {
+  WriteRecord record;
+  record.item = item;
+  record.group = kGroup;
+  record.model = ConsistencyModel::kCC;
+  record.writer = writer;
+  record.value = to_bytes(value);
+  record.value_digest = crypto::meter_digest(record.value);
+  record.ts = Timestamp{time, writer, record.value_digest};
+  record.writer_context = Context(kGroup);
+  return record;
+}
+
+TEST(ItemStore, NewerWriteBecomesCurrent) {
+  ItemStore store;
+  EXPECT_EQ(store.apply(make_record(kX, 1, "v1")), ApplyResult::kStoredNewer);
+  EXPECT_EQ(store.apply(make_record(kX, 2, "v2")), ApplyResult::kStoredNewer);
+  ASSERT_NE(store.current(kX), nullptr);
+  EXPECT_EQ(securestore::to_string(store.current(kX)->value), "v2");
+  EXPECT_EQ(store.item_count(), 1u);
+}
+
+TEST(ItemStore, OlderWriteGoesToLog) {
+  ItemStore store;
+  store.apply(make_record(kX, 5, "v5"));
+  EXPECT_EQ(store.apply(make_record(kX, 3, "v3")), ApplyResult::kLogged);
+  EXPECT_EQ(securestore::to_string(store.current(kX)->value), "v5");
+
+  const auto log = store.log(kX);
+  ASSERT_EQ(log.size(), 2u);  // current + history
+  EXPECT_EQ(securestore::to_string(log[0].value), "v5");
+  EXPECT_EQ(securestore::to_string(log[1].value), "v3");
+}
+
+TEST(ItemStore, DuplicateDetected) {
+  ItemStore store;
+  const WriteRecord record = make_record(kX, 1, "v1");
+  EXPECT_EQ(store.apply(record), ApplyResult::kStoredNewer);
+  EXPECT_EQ(store.apply(record), ApplyResult::kDuplicate);
+  store.apply(make_record(kX, 2, "v2"));
+  EXPECT_EQ(store.apply(record), ApplyResult::kDuplicate);  // now in the log
+}
+
+TEST(ItemStore, EquivocationFlagsWriter) {
+  ItemStore store;
+  store.apply(make_record(kX, 7, "tell alice A"));
+  EXPECT_FALSE(store.flagged_faulty(kX));
+  // Same (time, writer), different value -> different digest.
+  EXPECT_EQ(store.apply(make_record(kX, 7, "tell bob B")), ApplyResult::kEquivocation);
+  EXPECT_TRUE(store.flagged_faulty(kX));
+}
+
+TEST(ItemStore, LogIsBounded) {
+  ItemStore store(/*max_log_entries=*/4);
+  for (std::uint64_t t = 1; t <= 20; ++t) {
+    store.apply(make_record(kX, t, "v" + std::to_string(t)));
+  }
+  EXPECT_LE(store.total_log_entries(), 4u);
+  EXPECT_EQ(securestore::to_string(store.current(kX)->value), "v20");
+}
+
+TEST(ItemStore, LogStaysSortedNewestFirst) {
+  ItemStore store;
+  store.apply(make_record(kX, 10, "v10"));
+  store.apply(make_record(kX, 4, "v4"));
+  store.apply(make_record(kX, 7, "v7"));
+  const auto log = store.log(kX);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].ts.time, 10u);
+  EXPECT_EQ(log[1].ts.time, 7u);
+  EXPECT_EQ(log[2].ts.time, 4u);
+}
+
+TEST(ItemStore, PruneLogErasesOlderThanTs) {
+  ItemStore store;
+  for (std::uint64_t t : {1u, 2u, 3u, 4u, 5u}) {
+    store.apply(make_record(kX, t, "v" + std::to_string(t)));
+  }
+  const Timestamp cutoff{4, ClientId{1}, {}};
+  const std::size_t erased = store.prune_log(kX, cutoff);
+  EXPECT_EQ(erased, 3u);  // v1..v3 gone; v4 stays (not strictly older)
+  const auto log = store.log(kX);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].ts.time, 5u);
+  EXPECT_EQ(log[1].ts.time, 4u);
+}
+
+TEST(ItemStore, GroupMetaStripsValues) {
+  ItemStore store;
+  store.apply(make_record(ItemId{1}, 1, "value one"));
+  store.apply(make_record(ItemId{2}, 2, "value two"));
+
+  WriteRecord other_group = make_record(ItemId{3}, 3, "other");
+  other_group.group = GroupId{99};
+  store.apply(other_group);
+
+  const auto metas = store.group_meta(kGroup);
+  EXPECT_EQ(metas.size(), 2u);
+  for (const auto& meta : metas) {
+    EXPECT_TRUE(meta.value.empty());
+    EXPECT_FALSE(meta.value_digest.empty());
+  }
+}
+
+TEST(ContextStore, NewerContextReplaces) {
+  ContextStore store;
+
+  Context old_context(kGroup);
+  old_context.set(kX, Timestamp{1, {}, {}});
+  StoredContext old_stored{ClientId{1}, old_context, to_bytes("sig1")};
+  EXPECT_TRUE(store.apply(old_stored));
+
+  Context new_context(kGroup);
+  new_context.set(kX, Timestamp{5, {}, {}});
+  StoredContext new_stored{ClientId{1}, new_context, to_bytes("sig2")};
+  EXPECT_TRUE(store.apply(new_stored));
+
+  // Replaying the old one is refused.
+  EXPECT_FALSE(store.apply(old_stored));
+  ASSERT_NE(store.get(ClientId{1}, kGroup), nullptr);
+  EXPECT_EQ(store.get(ClientId{1}, kGroup)->context.get(kX).time, 5u);
+}
+
+TEST(ContextStore, KeyedByOwnerAndGroup) {
+  ContextStore store;
+  StoredContext a{ClientId{1}, Context(GroupId{1}), {}};
+  StoredContext b{ClientId{1}, Context(GroupId{2}), {}};
+  StoredContext c{ClientId{2}, Context(GroupId{1}), {}};
+  store.apply(a);
+  store.apply(b);
+  store.apply(c);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_NE(store.get(ClientId{1}, GroupId{1}), nullptr);
+  EXPECT_NE(store.get(ClientId{1}, GroupId{2}), nullptr);
+  EXPECT_NE(store.get(ClientId{2}, GroupId{1}), nullptr);
+  EXPECT_EQ(store.get(ClientId{2}, GroupId{2}), nullptr);
+}
+
+TEST(HoldQueue, DependenciesMet) {
+  WriteRecord record = make_record(kX, 5, "dependent");
+  Context deps(kGroup);
+  deps.set(kX, record.ts);                       // self entry: ignored
+  deps.set(ItemId{2}, Timestamp{3, ClientId{1}, {}});  // real dependency
+  record.writer_context = deps;
+
+  const auto have_nothing = [](ItemId, const Timestamp&) { return false; };
+  EXPECT_FALSE(HoldQueue::dependencies_met(record, have_nothing));
+
+  const auto have_all = [](ItemId, const Timestamp&) { return true; };
+  EXPECT_TRUE(HoldQueue::dependencies_met(record, have_all));
+}
+
+TEST(HoldQueue, TransitiveRelease) {
+  // w2 depends on w1's item, w3 depends on w2's item: releasing w1's
+  // dependency must cascade when the caller loops.
+  HoldQueue queue;
+
+  WriteRecord w2 = make_record(ItemId{2}, 1, "w2");
+  Context d2(kGroup);
+  d2.set(ItemId{1}, Timestamp{1, ClientId{1}, {}});
+  w2.writer_context = d2;
+  queue.hold(w2);
+
+  WriteRecord w3 = make_record(ItemId{3}, 1, "w3");
+  Context d3(kGroup);
+  d3.set(ItemId{2}, Timestamp{1, ClientId{1}, {}});
+  w3.writer_context = d3;
+  queue.hold(w3);
+
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Simulated store state: item 1 present; item 2 appears once w2 applies.
+  bool have_item2 = false;
+  const auto have = [&](ItemId item, const Timestamp&) {
+    if (item == ItemId{1}) return true;
+    if (item == ItemId{2}) return have_item2;
+    return false;
+  };
+
+  auto first = queue.release(have);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].item, ItemId{2});
+  have_item2 = true;  // the caller applied w2
+
+  auto second = queue.release(have);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].item, ItemId{3});
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(Snapshot, RoundtripPreservesEverything) {
+  ItemStore items;
+  ContextStore contexts;
+  items.apply(make_record(ItemId{1}, 3, "current"));
+  items.apply(make_record(ItemId{1}, 1, "old"));  // lands in the log
+  items.apply(make_record(ItemId{2}, 5, "other"));
+  StoredContext stored{ClientId{1}, Context(kGroup), to_bytes("sig")};
+  contexts.apply(stored);
+
+  const Bytes snapshot = make_snapshot(items, contexts);
+
+  ItemStore restored_items;
+  ContextStore restored_contexts;
+  restore_snapshot(snapshot, restored_items, restored_contexts);
+
+  ASSERT_NE(restored_items.current(ItemId{1}), nullptr);
+  EXPECT_EQ(securestore::to_string(restored_items.current(ItemId{1})->value), "current");
+  EXPECT_EQ(restored_items.log(ItemId{1}).size(), 2u);
+  ASSERT_NE(restored_items.current(ItemId{2}), nullptr);
+  ASSERT_NE(restored_contexts.get(ClientId{1}, kGroup), nullptr);
+  EXPECT_EQ(*restored_contexts.get(ClientId{1}, kGroup), stored);
+}
+
+TEST(Snapshot, TamperingDetected) {
+  ItemStore items;
+  ContextStore contexts;
+  items.apply(make_record(ItemId{1}, 1, "v"));
+  Bytes snapshot = make_snapshot(items, contexts);
+
+  ItemStore sink_items;
+  ContextStore sink_contexts;
+
+  Bytes flipped = snapshot;
+  flipped[flipped.size() / 2] ^= 1;
+  EXPECT_THROW(restore_snapshot(flipped, sink_items, sink_contexts), DecodeError);
+
+  Bytes truncated(snapshot.begin(), snapshot.begin() + static_cast<long>(snapshot.size() / 2));
+  EXPECT_THROW(restore_snapshot(truncated, sink_items, sink_contexts), DecodeError);
+
+  EXPECT_THROW(restore_snapshot(to_bytes("not a snapshot at all........."), sink_items,
+                                sink_contexts),
+               DecodeError);
+}
+
+TEST(Snapshot, FileRoundtrip) {
+  ItemStore items;
+  ContextStore contexts;
+  items.apply(make_record(ItemId{7}, 2, "persisted"));
+  const Bytes snapshot = make_snapshot(items, contexts);
+
+  const std::string path = "/tmp/securestore_snapshot_test.bin";
+  save_snapshot_file(path, snapshot);
+  const Bytes loaded = load_snapshot_file(path);
+  EXPECT_EQ(loaded, snapshot);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(load_snapshot_file("/tmp/definitely-missing-snapshot-xyz.bin"),
+               std::runtime_error);
+}
+
+TEST(HoldQueue, ZeroTimestampDependenciesIgnored) {
+  WriteRecord record = make_record(kX, 1, "w");
+  Context deps(kGroup);
+  deps.set(ItemId{2}, Timestamp{});  // zero: no real dependency
+  record.writer_context = deps;
+  EXPECT_TRUE(HoldQueue::dependencies_met(record,
+                                          [](ItemId, const Timestamp&) { return false; }));
+}
+
+}  // namespace
+}  // namespace securestore::storage

@@ -1,0 +1,195 @@
+// Tests for the real-time transport: the whole protocol stack running on
+// wall-clock time with a background dispatch thread, driven from the main
+// thread through promises.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "net/thread_transport.h"
+
+namespace securestore {
+namespace {
+
+using core::ConsistencyModel;
+using core::GroupPolicy;
+using core::SecureStoreClient;
+using core::SecureStoreServer;
+using core::SharingMode;
+
+constexpr GroupId kGroup{1};
+constexpr ItemId kX{10};
+
+GroupPolicy mrc_policy() {
+  return GroupPolicy{kGroup, ConsistencyModel::kMRC, SharingMode::kSingleWriter,
+                     core::ClientTrust::kHonest};
+}
+
+/// Real-time deployment harness: n servers + key directory over a
+/// ThreadTransport with fast LAN-ish latencies.
+struct LiveDeployment {
+  net::ThreadTransport transport;
+  core::StoreConfig config;
+  std::vector<crypto::KeyPair> client_pairs;
+  std::vector<std::unique_ptr<SecureStoreServer>> servers;
+
+  explicit LiveDeployment(std::uint32_t n, std::uint32_t b, std::uint64_t seed = 1)
+      : transport(sim::NetworkModel(Rng(seed),
+                                    sim::LinkProfile{microseconds(200), microseconds(100), 0})) {
+    config.n = n;
+    config.b = b;
+    Rng rng(seed + 1);
+    for (std::uint32_t c = 1; c <= 4; ++c) {
+      client_pairs.push_back(crypto::KeyPair::generate(rng));
+      config.client_keys[c] = client_pairs.back().public_key;
+    }
+    std::vector<crypto::KeyPair> server_pairs;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      config.servers.push_back(NodeId{i});
+      server_pairs.push_back(crypto::KeyPair::generate(rng));
+      config.server_keys[NodeId{i}] = server_pairs.back().public_key;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      SecureStoreServer::Options options;
+      options.gossip.period = milliseconds(20);
+      servers.push_back(std::make_unique<SecureStoreServer>(
+          transport, NodeId{i}, config, server_pairs[i], options, rng.fork()));
+      servers.back()->set_group_policy(mrc_policy());
+    }
+  }
+
+  ~LiveDeployment() {
+    // Stop dispatch BEFORE the servers are destroyed (pending jobs may
+    // reference them).
+    transport.stop();
+  }
+
+  std::unique_ptr<SecureStoreClient> make_client(ClientId id) {
+    SecureStoreClient::Options options;
+    options.policy = mrc_policy();
+    options.round_timeout = milliseconds(500);
+    return std::make_unique<SecureStoreClient>(transport, NodeId{1000 + id.value}, id,
+                                               client_pairs[id.value - 1], config, options,
+                                               Rng(id.value * 97));
+  }
+};
+
+/// Blocking bridge. Protocol objects are single-threaded BY DESIGN (they
+/// run entirely on the dispatch thread), so op *initiation* is posted onto
+/// that thread via schedule(0); the completion callback fulfills a promise
+/// the main thread waits on.
+VoidResult wait_void(net::Transport& transport,
+                     const std::function<void(SecureStoreClient::VoidCb)>& op) {
+  auto promise = std::make_shared<std::promise<VoidResult>>();
+  auto future = promise->get_future();
+  transport.schedule(0, [op, promise] {
+    op([promise](VoidResult r) { promise->set_value(std::move(r)); });
+  });
+  if (future.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+    return VoidResult(Error::kTimeout, "wall-clock safety timeout");
+  }
+  return future.get();
+}
+
+Result<core::ReadOutput> wait_read(net::Transport& transport, SecureStoreClient& client,
+                                   ItemId item) {
+  auto promise = std::make_shared<std::promise<Result<core::ReadOutput>>>();
+  auto future = promise->get_future();
+  transport.schedule(0, [&client, item, promise] {
+    client.read(item,
+                [promise](Result<core::ReadOutput> r) { promise->set_value(std::move(r)); });
+  });
+  if (future.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+    return Result<core::ReadOutput>(Error::kTimeout, "wall-clock safety timeout");
+  }
+  return future.get();
+}
+
+TEST(ThreadTransport, FullSessionOverRealTime) {
+  LiveDeployment deployment(4, 1);
+  auto client = deployment.make_client(ClientId{1});
+
+  ASSERT_TRUE(
+      wait_void(deployment.transport, [&](auto cb) { client->connect(kGroup, cb); }).ok());
+  ASSERT_TRUE(wait_void(deployment.transport, [&](auto cb) {
+                client->write(kX, to_bytes("live value"), cb);
+              }).ok());
+
+  const auto result = wait_read(deployment.transport, *client, kX);
+  ASSERT_TRUE(result.ok()) << error_name(result.error());
+  EXPECT_EQ(to_string(result->value), "live value");
+
+  ASSERT_TRUE(wait_void(deployment.transport, [&](auto cb) { client->disconnect(cb); }).ok());
+}
+
+TEST(ThreadTransport, GossipDisseminatesInRealTime) {
+  LiveDeployment deployment(4, 1);
+  auto client = deployment.make_client(ClientId{1});
+  ASSERT_TRUE(wait_void(deployment.transport, [&](auto cb) {
+                client->write(kX, to_bytes("spread live"), cb);
+              }).ok());
+
+  // Written to b+1 = 2 servers; gossip (20 ms period) reaches the rest.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::size_t have = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    have = 0;
+    for (const auto& server : deployment.servers) {
+      if (server->store().current(kX) != nullptr) ++have;
+    }
+    if (have == deployment.servers.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(have, deployment.servers.size());
+}
+
+TEST(ThreadTransport, ConcurrentClientsDoNotInterfere) {
+  LiveDeployment deployment(4, 1);
+  auto alice = deployment.make_client(ClientId{1});
+  auto bob = deployment.make_client(ClientId{2});
+
+  // Two clients issue interleaved async ops (both posted to the dispatch
+  // thread); both complete correctly.
+  auto alice_write = std::make_shared<std::promise<VoidResult>>();
+  auto bob_write = std::make_shared<std::promise<VoidResult>>();
+  deployment.transport.schedule(0, [&] {
+    alice->write(ItemId{1}, to_bytes("alice data"),
+                 [alice_write](VoidResult r) { alice_write->set_value(std::move(r)); });
+    bob->write(ItemId{2}, to_bytes("bob data"),
+               [bob_write](VoidResult r) { bob_write->set_value(std::move(r)); });
+  });
+
+  ASSERT_TRUE(alice_write->get_future().get().ok());
+  ASSERT_TRUE(bob_write->get_future().get().ok());
+
+  const auto alice_view = wait_read(deployment.transport, *alice, ItemId{1});
+  const auto bob_view = wait_read(deployment.transport, *bob, ItemId{2});
+  ASSERT_TRUE(alice_view.ok());
+  ASSERT_TRUE(bob_view.ok());
+  EXPECT_EQ(to_string(alice_view->value), "alice data");
+  EXPECT_EQ(to_string(bob_view->value), "bob data");
+}
+
+TEST(ThreadTransport, NowAdvancesWithWallClock) {
+  net::ThreadTransport transport(sim::NetworkModel(Rng(1), sim::zero_profile()));
+  const SimTime before = transport.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const SimTime after = transport.now();
+  EXPECT_GE(after - before, milliseconds(15));
+  transport.stop();
+}
+
+TEST(ThreadTransport, StopIsIdempotentAndDropsPendingJobs) {
+  auto transport =
+      std::make_unique<net::ThreadTransport>(sim::NetworkModel(Rng(1), sim::zero_profile()));
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  transport->schedule(seconds(60), [fired] { *fired = true; });
+  transport->stop();
+  transport->stop();
+  transport.reset();
+  EXPECT_FALSE(*fired);
+}
+
+}  // namespace
+}  // namespace securestore
