@@ -33,6 +33,7 @@ core::GroupPolicy mrc_policy() {
 struct LatencyPair {
   double write_ms = 0;
   double read_ms = 0;
+  sim::TransportStats transport;  // whole-cell traffic (secure store only)
 };
 
 LatencyPair secure_store_latency(std::uint32_t n, std::uint32_t b, std::uint64_t seed) {
@@ -60,7 +61,7 @@ LatencyPair secure_store_latency(std::uint32_t n, std::uint32_t b, std::uint64_t
     const OpCost read_cost = measure(cluster, [&] { return sync.read_value(item).ok(); });
     if (read_cost.ok) read_samples.add(to_milliseconds(read_cost.latency));
   }
-  return {write_samples.mean(), read_samples.mean()};
+  return {write_samples.mean(), read_samples.mean(), cluster.transport_stats()};
 }
 
 LatencyPair masking_quorum_latency(std::uint32_t n, std::uint32_t b, std::uint64_t seed,
@@ -101,7 +102,7 @@ LatencyPair masking_quorum_latency(std::uint32_t n, std::uint32_t b, std::uint64
       if (slot && slot->ok()) read_samples.add(to_milliseconds(scheduler.now() - start));
     }
   }
-  return {write_samples.mean(), read_samples.mean()};
+  return {write_samples.mean(), read_samples.mean(), {}};
 }
 
 double pbft_latency(std::uint32_t f, std::uint64_t seed,
@@ -141,14 +142,18 @@ void run() {
       "weak-consistency small quorums beat strong-consistency quorums and "
       "PBFT-style SMR when inter-replica latency is high");
 
-  Table table({"n", "b", "ss_write", "ss_read", "mq_write", "mq_read", "pbft_op"});
+  Table table({"n", "b", "ss_write", "ss_read", "mq_write", "mq_read", "pbft_op", "ss_msgs"});
   table.print_header();
 
+  sim::TransportStats total;
   for (std::uint32_t b : {1u, 2u, 3u, 4u}) {
     const std::uint32_t n = 3 * b + 1;
     const LatencyPair ss = secure_store_latency(n, b, /*seed=*/100 + b);
     const LatencyPair mq = masking_quorum_latency(n, b, /*seed=*/200 + b);
     const double pbft = pbft_latency(b, /*seed=*/300 + b);
+    total.messages_sent += ss.transport.messages_sent;
+    total.messages_dropped += ss.transport.messages_dropped;
+    total.bytes_sent += ss.transport.bytes_sent;
 
     table.cell(static_cast<std::uint64_t>(n));
     table.cell(static_cast<std::uint64_t>(b));
@@ -157,8 +162,14 @@ void run() {
     table.cell(mq.write_ms);
     table.cell(mq.read_ms);
     table.cell(pbft);
+    table.cell(ss.transport.messages_sent);
     table.end_row();
   }
+  std::printf("\nss transport totals: %llu msgs, %llu bytes, %llu dropped "
+              "(drops would indicate simulated loss; this profile has none)\n",
+              static_cast<unsigned long long>(total.messages_sent),
+              static_cast<unsigned long long>(total.bytes_sent),
+              static_cast<unsigned long long>(total.messages_dropped));
 
   std::printf(
       "\nss writes = one round trip to b+1 servers (max of b+1 latency\n"
@@ -243,7 +254,7 @@ void lan_crossover() {
         });
         if (cost.ok) samples.add(to_milliseconds(cost.latency));
       }
-      return LatencyPair{samples.mean(), 0};
+      return LatencyPair{samples.mean(), 0, {}};
     }();
     const LatencyPair mq = masking_quorum_latency(4, 1, options.seed + 10, options.link);
     const double pbft = pbft_latency(1, options.seed + 20, options.link);

@@ -114,5 +114,14 @@ int main(int argc, char** argv) {
   std::printf("session stored; run me again to see read-your-writes across processes\n");
 
   transport.stop();
+  const auto& stats = transport.stats();
+  std::printf("transport: %llu sent (%llu bytes out, %llu in), %llu dropped, "
+              "%llu connect failures, queue high-water %llu\n",
+              static_cast<unsigned long long>(stats.messages_sent),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              static_cast<unsigned long long>(stats.bytes_received),
+              static_cast<unsigned long long>(stats.messages_dropped),
+              static_cast<unsigned long long>(stats.connect_failures),
+              static_cast<unsigned long long>(stats.send_queue_highwater));
   return 0;
 }

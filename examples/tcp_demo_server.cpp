@@ -81,6 +81,14 @@ int main(int argc, char** argv) {
   std::getline(std::cin, line);  // block until Enter / EOF
 
   transport.stop();
-  std::printf("server shut down\n");
+  const auto& stats = transport.stats();
+  std::printf("server shut down — transport: %llu msgs in (%llu bytes), "
+              "%llu sent, %llu dropped, %llu reconnects, queue high-water %llu\n",
+              static_cast<unsigned long long>(stats.messages_delivered),
+              static_cast<unsigned long long>(stats.bytes_received),
+              static_cast<unsigned long long>(stats.messages_sent),
+              static_cast<unsigned long long>(stats.messages_dropped),
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.send_queue_highwater));
   return 0;
 }

@@ -42,6 +42,10 @@ void QuorumCall::start(RpcNode& node, const std::vector<NodeId>& targets, MsgTyp
 
   state->rpc_ids.reserve(targets.size());
   for (const NodeId target : targets) {
+    // A reply delivered synchronously inside send_request can finish the
+    // call mid-loop; finish() only cancels the rpc_ids recorded so far, so
+    // stop sending and never record (or leak) anything past that point.
+    if (state->finished) break;
     const std::uint64_t rpc_id = node.send_request(
         target, type, body,
         [state](NodeId from, MsgType response_type, BytesView response_body) {
@@ -53,11 +57,22 @@ void QuorumCall::start(RpcNode& node, const std::vector<NodeId>& targets, MsgTyp
             state->finish(QuorumOutcome::kExhausted);
           }
         });
-    state->rpc_ids.push_back(rpc_id);
+    if (state->finished) {
+      node.cancel(rpc_id);  // this very request's reply finished the call
+    } else {
+      state->rpc_ids.push_back(rpc_id);
+    }
   }
 
-  node.transport().schedule(options.timeout,
-                            [state]() { state->finish(QuorumOutcome::kTimeout); });
+  if (state->finished) return;
+
+  // The timer holds only a weak reference: once the call is satisfied the
+  // state (and every captured buffer in its callbacks) is released
+  // immediately instead of being pinned for the full timeout. Until then
+  // the pending response callbacks keep the state alive.
+  node.transport().schedule(options.timeout, [weak = std::weak_ptr<CallState>(state)]() {
+    if (const auto state = weak.lock()) state->finish(QuorumOutcome::kTimeout);
+  });
 }
 
 }  // namespace securestore::net

@@ -1,8 +1,15 @@
 #include "net/rpc.h"
 
+#include "util/rng.h"
+
 namespace securestore::net {
 
 RpcNode::RpcNode(Transport& transport, NodeId id) : transport_(transport), id_(id) {
+  // Random 63-bit starting id: response matching also checks the sender,
+  // but unguessable ids deny a Byzantine peer even the chance to race a
+  // forged reply for an rpc it never saw. The top bit stays clear so the
+  // counter cannot wrap within any conceivable session.
+  next_rpc_id_ = (Rng(system_entropy_seed()).next_u64() >> 1) | 1;
   transport_.register_node(id_, [this](NodeId from, BytesView payload) { deliver(from, payload); });
 }
 
@@ -10,7 +17,7 @@ RpcNode::~RpcNode() { transport_.unregister_node(id_); }
 
 std::uint64_t RpcNode::send_request(NodeId to, MsgType type, Bytes body, ResponseFn on_response) {
   const std::uint64_t rpc_id = next_rpc_id_++;
-  pending_[rpc_id] = std::move(on_response);
+  pending_[rpc_id] = PendingRpc{to, std::move(on_response)};
 
   Writer w;
   w.u8(static_cast<std::uint8_t>(Kind::kRequest));
@@ -63,7 +70,11 @@ void RpcNode::deliver(NodeId from, BytesView payload) {
     case Kind::kResponse: {
       const auto it = pending_.find(rpc_id);
       if (it == pending_.end()) return;  // late/duplicate/forged: ignore
-      ResponseFn callback = std::move(it->second);
+      // Reply binding: only the node the request was sent to may answer
+      // it. A spoofed response from anyone else is dropped WITHOUT
+      // consuming the pending rpc, so the real reply still gets through.
+      if (it->second.target != from) return;
+      ResponseFn callback = std::move(it->second.on_response);
       pending_.erase(it);
       callback(from, type, body);
       return;

@@ -6,6 +6,13 @@
 // messages (gossip) use `send_oneway`. Responses for unknown/expired rpc
 // ids are dropped, so late or duplicated replies from slow or malicious
 // servers are harmless.
+//
+// Reply binding: every pending rpc remembers which node it was sent to,
+// and a response is accepted only when its transport-level sender matches
+// that target — a Byzantine server cannot answer for an honest one (the
+// paper's P1–P6 all count replies from *specific* servers). Rpc ids start
+// at a random 63-bit value per node so they are not trivially guessable
+// by a peer that has not seen the request.
 #pragma once
 
 #include <cstdint>
@@ -86,15 +93,25 @@ class RpcNode {
   /// Fire-and-forget message.
   void send_oneway(NodeId to, MsgType type, Bytes body);
 
+  /// Number of requests still awaiting a response (diagnostics/tests: a
+  /// well-behaved caller cancels what it stops waiting for, so this should
+  /// return to zero between operations).
+  std::size_t pending_count() const { return pending_.size(); }
+
  private:
   enum class Kind : std::uint8_t { kRequest = 0, kResponse = 1, kOneway = 2 };
+
+  struct PendingRpc {
+    NodeId target;  // only this node's response is accepted
+    ResponseFn on_response;
+  };
 
   void deliver(NodeId from, BytesView payload);
 
   Transport& transport_;
   NodeId id_;
-  std::uint64_t next_rpc_id_ = 1;
-  std::unordered_map<std::uint64_t, ResponseFn> pending_;
+  std::uint64_t next_rpc_id_;  // randomized at construction
+  std::unordered_map<std::uint64_t, PendingRpc> pending_;
   RequestHandler request_handler_;
   OnewayHandler oneway_handler_;
 };

@@ -25,6 +25,7 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
       return;
     }
     ++stats_.messages_delivered;
+    stats_.bytes_received += payload.size();
     it->second(from, payload);
   });
 }

@@ -20,7 +20,7 @@ class SimTransport final : public Transport {
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override { return scheduler_.now(); }
   void schedule(SimDuration delay, std::function<void()> callback) override;
-  const sim::MessageStats& stats() const override { return stats_; }
+  const sim::TransportStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.reset(); }
 
   sim::NetworkModel& network() { return network_; }
@@ -30,7 +30,7 @@ class SimTransport final : public Transport {
   sim::Scheduler& scheduler_;
   sim::NetworkModel network_;
   std::unordered_map<NodeId, DeliverFn> handlers_;
-  sim::MessageStats stats_;
+  sim::TransportStats stats_;
 };
 
 }  // namespace securestore::net

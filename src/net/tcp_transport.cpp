@@ -36,9 +36,67 @@ bool write_all(int fd, const void* buffer, std::size_t n) {
   return true;
 }
 
+// Frame header (PROTOCOL.md §1a): magic · version · reserved(2) ·
+// be32 length · be32 from · be32 to. `length` counts from+to+payload.
+constexpr std::uint8_t kFrameMagic = 0xC5;
+constexpr std::uint8_t kFrameVersion = 1;
+constexpr std::size_t kHeaderSize = 16;
 constexpr std::uint32_t kMaxFrame = 64 * 1024 * 1024;
 
+// Send-path bounds: per-connection queue cap and reconnect backoff.
+constexpr std::size_t kMaxQueueFrames = 1024;
+constexpr int kMinBackoffMs = 10;
+constexpr int kMaxBackoffMs = 2000;
+
+void store_be32(std::uint8_t* out, std::uint32_t value) {
+  out[0] = static_cast<std::uint8_t>(value >> 24);
+  out[1] = static_cast<std::uint8_t>(value >> 16);
+  out[2] = static_cast<std::uint8_t>(value >> 8);
+  out[3] = static_cast<std::uint8_t>(value);
+}
+
+std::uint32_t load_be32(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) | (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) | static_cast<std::uint32_t>(in[3]);
+}
+
+Bytes encode_frame(NodeId from, NodeId to, const Bytes& payload) {
+  Bytes frame(kHeaderSize + payload.size());
+  frame[0] = kFrameMagic;
+  frame[1] = kFrameVersion;
+  frame[2] = 0;
+  frame[3] = 0;
+  store_be32(frame.data() + 4, static_cast<std::uint32_t>(8 + payload.size()));
+  store_be32(frame.data() + 8, from.value);
+  store_be32(frame.data() + 12, to.value);
+  std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  return frame;
+}
+
+/// Blocking connect to the endpoint; -1 on failure. Loopback connects
+/// resolve immediately (accept or ECONNREFUSED), so the writer thread is
+/// never stuck here long — and it runs off every send path regardless.
+int try_connect(const TcpEndpoint& endpoint) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &address.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
 }  // namespace
+
+TcpTransport::Socket::~Socket() { ::close(fd); }
+
+void TcpTransport::Socket::shut() { ::shutdown(fd, SHUT_RDWR); }
 
 TcpTransport::TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory)
     : directory_(std::move(directory)) {
@@ -79,21 +137,41 @@ void TcpTransport::stop() {
   // Shut the listener down; accept() returns and the acceptor exits.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  {
-    // Shut outbound connections down; their reader threads close them.
-    std::lock_guard lock(directory_mutex_);
-    for (auto& [endpoint, fd] : outbound_) ::shutdown(fd, SHUT_RDWR);
-    outbound_.clear();
-  }
-  if (acceptor_.joinable()) acceptor_.join();
 
-  // Unblock readers stuck in recv() on inbound connections, then join them
-  // OUTSIDE the lock (an exiting reader takes the lock to deregister).
-  std::vector<std::thread> to_join;
+  // Collect every connection, barring new ones, then close them all:
+  // writers wake up and exit, readers are unblocked via socket shutdown.
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard lock(directory_mutex_);
+    closed_for_send_ = true;
+    for (auto& [endpoint, conn] : outbound_) conns.push_back(conn);
+    outbound_.clear();
+    learned_.clear();
+  }
   {
     std::lock_guard lock(readers_mutex_);
     accepting_ = false;
-    for (const int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& conn : inbound_conns_) conns.push_back(conn);
+    inbound_conns_.clear();
+    for (auto& weak : sockets_) {
+      if (const auto sock = weak.lock()) sock->shut();
+    }
+  }
+  for (auto& conn : conns) {
+    {
+      std::lock_guard lock(conn->mutex);
+      conn->closed = true;
+    }
+    conn->cv.notify_all();
+  }
+
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& conn : conns) {
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(readers_mutex_);
     to_join = std::move(readers_);
     readers_.clear();
   }
@@ -123,6 +201,24 @@ SimTime TcpTransport::now() const {
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count());
 }
 
+const sim::TransportStats& TcpTransport::stats() const {
+  // Counters are bumped from writer/reader threads under jobs_mutex_; hand
+  // callers a snapshot taken under the same lock so reads are race-free.
+  std::lock_guard lock(jobs_mutex_);
+  snapshot_ = stats_;
+  return snapshot_;
+}
+
+void TcpTransport::reset_stats() {
+  std::lock_guard lock(jobs_mutex_);
+  stats_.reset();
+}
+
+void TcpTransport::count_dropped(std::uint64_t n) {
+  std::lock_guard lock(jobs_mutex_);
+  stats_.messages_dropped += n;
+}
+
 void TcpTransport::enqueue(Clock::time_point at, std::function<void()> run) {
   {
     std::lock_guard lock(jobs_mutex_);
@@ -143,8 +239,7 @@ void TcpTransport::deliver_local(NodeId from, NodeId to, Bytes payload) {
       std::lock_guard lock(handlers_mutex_);
       const auto it = handlers_.find(to);
       if (it == handlers_.end()) {
-        std::lock_guard stats_lock(jobs_mutex_);
-        ++stats_.messages_dropped;
+        count_dropped(1);
         return;
       }
       handler = it->second;
@@ -157,36 +252,32 @@ void TcpTransport::deliver_local(NodeId from, NodeId to, Bytes payload) {
   });
 }
 
-int TcpTransport::outbound_fd(const TcpEndpoint& endpoint) {
-  // Caller holds directory_mutex_.
-  const auto it = outbound_.find(endpoint);
-  if (it != outbound_.end()) return it->second;
+void TcpTransport::drop_queue(Conn& conn) {
+  if (conn.queue.empty()) return;
+  count_dropped(conn.queue.size());
+  conn.queue.clear();
+}
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(endpoint.port);
-  if (::inet_pton(AF_INET, endpoint.host.c_str(), &address.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  outbound_[endpoint] = fd;
-
-  // TCP is bidirectional: replies (and anything else the peer routes back
-  // over this connection) arrive here, so it needs a reader too. Readers
-  // own closing the fd; the send path only ever shuts a broken one down.
+void TcpTransport::enqueue_frame(const std::shared_ptr<Conn>& conn, Bytes frame) {
+  std::size_t depth = 0;
+  bool dropped = false;
   {
-    std::lock_guard lock(readers_mutex_);
-    if (accepting_) {
-      inbound_fds_.push_back(fd);
-      readers_.emplace_back([this, fd] { reader_loop(fd); });
+    std::lock_guard lock(conn->mutex);
+    if (conn->closed || conn->queue.size() >= kMaxQueueFrames) {
+      dropped = true;
+    } else {
+      conn->queue.push_back(std::move(frame));
+      depth = conn->queue.size();
     }
   }
-  return fd;
+  conn->cv.notify_all();
+  std::lock_guard lock(jobs_mutex_);
+  if (dropped) {
+    ++stats_.messages_dropped;
+    ++stats_.send_queue_drops;
+  } else if (depth > stats_.send_queue_highwater) {
+    stats_.send_queue_highwater = depth;
+  }
 }
 
 void TcpTransport::send(NodeId from, NodeId to, Bytes payload) {
@@ -205,44 +296,121 @@ void TcpTransport::send(NodeId from, NodeId to, Bytes payload) {
     }
   }
 
-  std::uint8_t header[12];
-  const auto frame_length = static_cast<std::uint32_t>(8 + payload.size());
-  std::memcpy(header, &frame_length, 4);
-  std::memcpy(header + 4, &from.value, 4);
-  std::memcpy(header + 8, &to.value, 4);
-
-  std::lock_guard lock(directory_mutex_);
-
-  // Prefer the connection the destination last spoke to us on.
-  if (const auto learned = learned_.find(to); learned != learned_.end()) {
-    if (write_all(learned->second, header, sizeof(header)) &&
-        write_all(learned->second, payload.data(), payload.size())) {
-      return;
-    }
-    learned_.erase(learned);  // connection died; fall back to the directory
-  }
-
-  const auto entry = directory_.find(to);
-  if (entry == directory_.end()) {
-    std::lock_guard stats_lock(jobs_mutex_);
-    ++stats_.messages_dropped;
+  if (payload.size() > kMaxFrame - 8) {
+    count_dropped(1);
     return;
   }
+  Bytes frame = encode_frame(from, to, payload);
 
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    const int fd = outbound_fd(entry->second);
-    if (fd < 0) break;
-    if (write_all(fd, header, sizeof(header)) &&
-        write_all(fd, payload.data(), payload.size())) {
+  // Pick the channel: the connection the destination last spoke to us on,
+  // else the directory endpoint's (created on first use). No socket I/O
+  // happens here — the frame is queued and the connection's writer thread
+  // does the rest.
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard lock(directory_mutex_);
+    if (closed_for_send_) {
+      count_dropped(1);
       return;
     }
-    // Broken connection: shut it down (its reader closes it) and retry
-    // once with a fresh one.
-    ::shutdown(fd, SHUT_RDWR);
-    outbound_.erase(entry->second);
+    if (const auto learned = learned_.find(to); learned != learned_.end()) {
+      if (learned->second->closed) {
+        learned_.erase(learned);  // channel died; fall back to the directory
+      } else {
+        conn = learned->second;
+      }
+    }
+    if (!conn) {
+      const auto entry = directory_.find(to);
+      if (entry == directory_.end()) {
+        count_dropped(1);
+        return;
+      }
+      auto [it, inserted] = outbound_.try_emplace(entry->second, nullptr);
+      if (inserted) {
+        it->second = std::make_shared<Conn>();
+        it->second->endpoint = entry->second;
+        it->second->writer = std::thread([this, c = it->second] { writer_loop(c); });
+      }
+      conn = it->second;
+    }
   }
-  std::lock_guard stats_lock(jobs_mutex_);
-  ++stats_.messages_dropped;
+  enqueue_frame(conn, std::move(frame));
+}
+
+bool TcpTransport::start_reader(const std::shared_ptr<Conn>& conn,
+                                const std::shared_ptr<Socket>& sock) {
+  std::lock_guard lock(readers_mutex_);
+  if (!accepting_) return false;
+  sockets_.push_back(sock);
+  readers_.emplace_back([this, sock, conn] { reader_loop(sock, conn); });
+  return true;
+}
+
+void TcpTransport::writer_loop(std::shared_ptr<Conn> conn) {
+  int backoff_ms = kMinBackoffMs;
+  std::unique_lock lk(conn->mutex);
+  while (true) {
+    conn->cv.wait(lk, [&] { return conn->closed.load() || !conn->queue.empty(); });
+    if (conn->closed) break;
+
+    if (!conn->sock) {
+      // Outbound channels (the only kind that can be up without a socket)
+      // reconnect here, off every send path, with capped exponential
+      // backoff; frames queued against an unreachable peer are dropped —
+      // datagram semantics, the protocol timeouts handle it.
+      const TcpEndpoint endpoint = *conn->endpoint;
+      lk.unlock();
+      const int fd = try_connect(endpoint);
+      if (fd < 0) {
+        {
+          std::lock_guard stats_lock(jobs_mutex_);
+          ++stats_.connect_failures;
+        }
+        lk.lock();
+        drop_queue(*conn);
+        conn->cv.wait_for(lk, std::chrono::milliseconds(backoff_ms),
+                          [&] { return conn->closed.load(); });
+        backoff_ms = std::min(backoff_ms * 2, kMaxBackoffMs);
+        continue;
+      }
+      auto sock = std::make_shared<Socket>(fd);
+      if (!start_reader(conn, sock)) {
+        // Stopping: the socket may not gain a reader, so it may not be
+        // used (this also closes it, fixing the old cached-fd leak).
+        sock->shut();
+        lk.lock();
+        drop_queue(*conn);
+        continue;
+      }
+      lk.lock();
+      if (conn->closed) {
+        sock->shut();  // reader notices and cleans up
+        break;
+      }
+      backoff_ms = kMinBackoffMs;
+      if (conn->ever_connected) {
+        std::lock_guard stats_lock(jobs_mutex_);
+        ++stats_.reconnects;
+      }
+      conn->ever_connected = true;
+      conn->sock = sock;
+    }
+
+    Bytes frame = std::move(conn->queue.front());
+    conn->queue.pop_front();
+    const std::shared_ptr<Socket> sock = conn->sock;
+    lk.unlock();
+    const bool ok = write_all(sock->fd, frame.data(), frame.size());
+    lk.lock();
+    if (!ok) {
+      count_dropped(1);
+      if (conn->sock == sock) {
+        sock->shut();  // reader notices, resets conn->sock and cleans up
+      }
+    }
+  }
+  drop_queue(*conn);
 }
 
 void TcpTransport::accept_loop() {
@@ -251,48 +419,77 @@ void TcpTransport::accept_loop() {
     if (fd < 0) return;  // listener closed: shutting down
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto sock = std::make_shared<Socket>(fd);
+    auto conn = std::make_shared<Conn>();
+    conn->sock = sock;
+    conn->ever_connected = true;
+
     std::lock_guard lock(readers_mutex_);
     if (!accepting_) {
-      ::close(fd);
+      // Nothing references the socket or connection; closing the fd via
+      // ~Socket is the whole cleanup.
       return;
     }
-    inbound_fds_.push_back(fd);
-    readers_.emplace_back([this, fd] { reader_loop(fd); });
+    inbound_conns_.push_back(conn);
+    sockets_.push_back(sock);
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+    readers_.emplace_back([this, sock, conn] { reader_loop(sock, conn); });
   }
 }
 
-void TcpTransport::reader_loop(int fd) {
+void TcpTransport::reader_loop(std::shared_ptr<Socket> sock, std::shared_ptr<Conn> conn) {
+  const int fd = sock->fd;
   while (true) {
-    std::uint32_t frame_length = 0;
-    if (!read_all(fd, &frame_length, 4)) break;
-    if (frame_length < 8 || frame_length > kMaxFrame) break;  // protocol error
-    std::uint32_t from = 0, to = 0;
-    if (!read_all(fd, &from, 4) || !read_all(fd, &to, 4)) break;
+    std::uint8_t header[kHeaderSize];
+    if (!read_all(fd, header, sizeof(header))) break;
+    // Versioned framing: a bad magic/version is a protocol error and tears
+    // the connection down rather than desynchronizing the stream.
+    if (header[0] != kFrameMagic || header[1] != kFrameVersion) break;
+    const std::uint32_t frame_length = load_be32(header + 4);
+    if (frame_length < 8 || frame_length > kMaxFrame) break;
+    const NodeId from{load_be32(header + 8)};
+    const NodeId to{load_be32(header + 12)};
     Bytes payload(frame_length - 8);
     if (!payload.empty() && !read_all(fd, payload.data(), payload.size())) break;
     {
-      // Remember how to reach the sender: over this very connection.
-      std::lock_guard lock(directory_mutex_);
-      learned_[NodeId{from}] = fd;
+      std::lock_guard stats_lock(jobs_mutex_);
+      stats_.bytes_received += payload.size();
     }
-    deliver_local(NodeId{from}, NodeId{to}, std::move(payload));
+    {
+      // Remember how to reach the sender: over this very channel.
+      std::lock_guard lock(directory_mutex_);
+      learned_[from] = conn;
+    }
+    deliver_local(from, to, std::move(payload));
   }
+
+  // The socket is dead. Outbound channels drop it and let the writer
+  // reconnect on the next frame; inbound channels are done for good.
+  bool channel_gone = false;
   {
-    // Purge every route that pointed at this connection before the fd
-    // number can be reused.
+    std::lock_guard lock(conn->mutex);
+    if (conn->sock == sock) conn->sock.reset();
+    if (!conn->endpoint) {
+      conn->closed = true;
+      channel_gone = true;
+    }
+  }
+  conn->cv.notify_all();
+  if (channel_gone) {
     std::lock_guard lock(directory_mutex_);
     for (auto it = learned_.begin(); it != learned_.end();) {
-      it = it->second == fd ? learned_.erase(it) : std::next(it);
-    }
-    for (auto it = outbound_.begin(); it != outbound_.end();) {
-      it = it->second == fd ? outbound_.erase(it) : std::next(it);
+      it = it->second == conn ? learned_.erase(it) : std::next(it);
     }
   }
   {
     std::lock_guard lock(readers_mutex_);
-    std::erase(inbound_fds_, fd);
+    std::erase_if(sockets_, [&](const std::weak_ptr<Socket>& weak) {
+      const auto strong = weak.lock();
+      return !strong || strong == sock;
+    });
   }
-  ::close(fd);
+  // Dropping our reference closes the fd once the writer is done with it.
 }
 
 void TcpTransport::dispatch_loop() {

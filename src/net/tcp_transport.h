@@ -5,11 +5,17 @@
 // static endpoint map (NodeId -> host:port) — the deployment directory a
 // real installation would distribute alongside the key directory.
 //
-// Wire framing per message: u32 length · u32 from · u32 to · payload.
-// Outbound connections are cached per endpoint and re-established on
-// failure; like the other transports, delivery is best-effort datagram
-// semantics (a send during a broken connection is silently lost and the
-// protocol timeouts handle it).
+// Wire framing per message (PROTOCOL.md §1a, all integers big-endian):
+// u8 magic (0xC5) · u8 version (1) · u16 reserved (0) ·
+// u32 length (8 + payload) · u32 from · u32 to · payload.
+//
+// Send path: `send()` never performs socket I/O. It frames the message and
+// enqueues it on the destination connection's bounded send queue; a
+// per-connection writer thread drains the queue and owns connect/reconnect
+// with capped exponential backoff, entirely off the caller's path. A full
+// queue or an unconnectable peer drops frames (counted in stats) — like
+// the other transports, delivery is best-effort datagram semantics and the
+// protocol timeouts handle loss.
 //
 // Threading model matches ThreadTransport: every delivery and scheduled
 // callback runs on ONE dispatch thread, so protocol objects stay
@@ -17,10 +23,14 @@
 // Call stop() before destroying nodes registered on the transport.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
 #include <thread>
@@ -64,8 +74,8 @@ class TcpTransport final : public Transport {
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override;
   void schedule(SimDuration delay, std::function<void()> callback) override;
-  const sim::MessageStats& stats() const override { return stats_; }
-  void reset_stats() override { stats_.reset(); }
+  const sim::TransportStats& stats() const override;
+  void reset_stats() override;
 
   /// Joins all background threads; idempotent.
   void stop();
@@ -85,13 +95,45 @@ class TcpTransport final : public Transport {
     }
   };
 
+  /// A live socket. Held by shared_ptr from its reader and (while writing)
+  /// its connection, so the fd is closed — and its number freed for reuse —
+  /// only after every user is done with it. `shut()` is the cross-thread
+  /// kill switch: safe while any holder is blocked in recv/send.
+  struct Socket {
+    explicit Socket(int fd) : fd(fd) {}
+    ~Socket();
+    void shut();
+    const int fd;
+  };
+
+  /// One logical channel with its own writer thread and bounded send
+  /// queue. Outbound channels (endpoint set) reconnect on failure; inbound
+  /// channels (accepted sockets used for learned reply routes) close for
+  /// good when their socket dies.
+  struct Conn {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Bytes> queue;            // framed messages awaiting write
+    std::atomic<bool> closed{false};    // terminal; set under mutex
+    bool ever_connected = false;        // distinguishes connects from reconnects
+    std::shared_ptr<Socket> sock;       // null while disconnected/reconnecting
+    std::optional<TcpEndpoint> endpoint;  // outbound reconnect target
+    std::thread writer;
+  };
+
   void enqueue(Clock::time_point at, std::function<void()> run);
   void dispatch_loop();
   void accept_loop();
-  void reader_loop(int fd);
+  void reader_loop(std::shared_ptr<Socket> sock, std::shared_ptr<Conn> conn);
+  void writer_loop(std::shared_ptr<Conn> conn);
   void deliver_local(NodeId from, NodeId to, Bytes payload);
-  /// Returns a connected fd for the endpoint (cached), or -1.
-  int outbound_fd(const TcpEndpoint& endpoint);
+  /// Registers the socket and spawns its reader; false when stopping (the
+  /// socket is then shut down and must not be used).
+  bool start_reader(const std::shared_ptr<Conn>& conn, const std::shared_ptr<Socket>& sock);
+  void enqueue_frame(const std::shared_ptr<Conn>& conn, Bytes frame);
+  /// Drops every queued frame, counting them. Caller holds conn.mutex.
+  void drop_queue(Conn& conn);
+  void count_dropped(std::uint64_t n);
 
   const Clock::time_point start_ = Clock::now();
   std::uint16_t port_ = 0;
@@ -108,20 +150,23 @@ class TcpTransport final : public Transport {
 
   mutable std::mutex directory_mutex_;
   std::map<NodeId, TcpEndpoint> directory_;
-  std::map<TcpEndpoint, int> outbound_;
+  std::map<TcpEndpoint, std::shared_ptr<Conn>> outbound_;
   // Learned routes: a node that sent us a frame is reachable over that same
-  // inbound connection — how servers answer clients on ephemeral ports
-  // without a directory entry.
-  std::map<NodeId, int> learned_;
+  // connection — how servers answer clients on ephemeral ports without a
+  // directory entry.
+  std::map<NodeId, std::shared_ptr<Conn>> learned_;
+  bool closed_for_send_ = false;  // stop() in progress: no new connections
 
-  sim::MessageStats stats_;  // guarded by jobs_mutex_
+  sim::TransportStats stats_;              // guarded by jobs_mutex_
+  mutable sim::TransportStats snapshot_;   // stats() return storage
 
   std::thread dispatcher_;
   std::thread acceptor_;
   std::mutex readers_mutex_;
   std::vector<std::thread> readers_;
-  std::vector<int> inbound_fds_;  // open inbound sockets, shut down on stop()
-  bool accepting_ = true;         // guarded by readers_mutex_
+  std::vector<std::shared_ptr<Conn>> inbound_conns_;     // for stop() to close
+  std::vector<std::weak_ptr<Socket>> sockets_;           // for stop() to shut down
+  bool accepting_ = true;  // guarded by readers_mutex_
 };
 
 }  // namespace securestore::net

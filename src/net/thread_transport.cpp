@@ -71,6 +71,7 @@ void ThreadTransport::send(NodeId from, NodeId to, Bytes payload) {
             {
               std::lock_guard stats_lock(jobs_mutex_);
               ++stats_.messages_delivered;
+              stats_.bytes_received += payload.size();
             }
             handler(from, payload);
           });

@@ -42,8 +42,17 @@ class ThreadTransport final : public Transport {
   /// Microseconds of wall-clock time since construction.
   SimTime now() const override;
   void schedule(SimDuration delay, std::function<void()> callback) override;
-  const sim::MessageStats& stats() const override { return stats_; }
-  void reset_stats() override { stats_.reset(); }
+  const sim::TransportStats& stats() const override {
+    // Counters are written under jobs_mutex_ from caller and dispatch
+    // threads; hand out a snapshot taken under the same lock.
+    std::lock_guard lock(jobs_mutex_);
+    snapshot_ = stats_;
+    return snapshot_;
+  }
+  void reset_stats() override {
+    std::lock_guard lock(jobs_mutex_);
+    stats_.reset();
+  }
 
   /// Joins the dispatch thread; idempotent.
   void stop();
@@ -80,7 +89,8 @@ class ThreadTransport final : public Transport {
   std::unordered_map<NodeId, DeliverFn> handlers_;
 
   sim::NetworkModel network_;  // guarded by jobs_mutex_ (rng state)
-  sim::MessageStats stats_;    // guarded by jobs_mutex_
+  sim::TransportStats stats_;  // guarded by jobs_mutex_
+  mutable sim::TransportStats snapshot_;  // stats() return storage
 
   std::thread dispatcher_;
 };

@@ -42,8 +42,12 @@ class Transport {
   /// Schedules a callback after `delay` (protocol timeouts, gossip ticks).
   virtual void schedule(SimDuration delay, std::function<void()> callback) = 0;
 
-  /// Message-level counters since the last reset.
-  virtual const sim::MessageStats& stats() const = 0;
+  /// Transport counters since the last reset: message counts for every
+  /// transport, plus connection-level counters (reconnects, connect
+  /// failures, send-queue drops/high-water) for connection-oriented ones.
+  /// The returned reference stays valid until the next stats() call on the
+  /// same transport; copy it before calling again if you need a snapshot.
+  virtual const sim::TransportStats& stats() const = 0;
   virtual void reset_stats() = 0;
 };
 

@@ -31,14 +31,31 @@ class Samples {
   std::vector<double> values_;
 };
 
-/// Cumulative message-level counters, kept by the transport.
-struct MessageStats {
+/// Cumulative transport-level counters, kept by every transport. The
+/// message counters apply to all transports; the connection counters are
+/// only meaningful for connection-oriented transports (TcpTransport) and
+/// stay zero elsewhere.
+struct TransportStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
 
-  void reset() { *this = MessageStats{}; }
+  /// Outbound connections re-established after a previous connection to the
+  /// same endpoint was lost.
+  std::uint64_t reconnects = 0;
+  /// Failed connect() attempts (initial or during reconnect backoff).
+  std::uint64_t connect_failures = 0;
+  /// Messages dropped because a per-connection send queue was full.
+  std::uint64_t send_queue_drops = 0;
+  /// Highest depth (in frames) any send queue ever reached.
+  std::uint64_t send_queue_highwater = 0;
+
+  void reset() { *this = TransportStats{}; }
 };
+
+/// Historical name; the struct outgrew message counting.
+using MessageStats = TransportStats;
 
 }  // namespace securestore::sim

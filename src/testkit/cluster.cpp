@@ -64,6 +64,8 @@ void Cluster::restart_server(std::size_t index, bool restore_state) {
 
 Cluster::~Cluster() = default;
 
+const sim::TransportStats& Cluster::transport_stats() const { return transport_->stats(); }
+
 void Cluster::set_group_policy(const core::GroupPolicy& policy) {
   policies_.push_back(policy);
   for (auto& server : servers_) server->set_group_policy(policy);

@@ -43,6 +43,9 @@ class Cluster {
 
   sim::Scheduler& scheduler() { return scheduler_; }
   net::SimTransport& transport() { return *transport_; }
+  /// Transport counters for the deployment (convenience for benches and
+  /// tests asserting on message costs/drops).
+  const sim::TransportStats& transport_stats() const;
   const core::StoreConfig& config() const { return config_; }
   const ClusterOptions& options() const { return options_; }
 

@@ -1,6 +1,9 @@
 // Unit tests for the transport/rpc/quorum layer.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "net/quorum.h"
 #include "net/rpc.h"
 #include "net/sim_transport.h"
@@ -16,6 +19,56 @@ struct Harness {
   explicit Harness(sim::LinkProfile profile = sim::lan_profile(), std::uint64_t seed = 1)
       : transport(scheduler, sim::NetworkModel(Rng(seed), profile)) {}
 };
+
+/// Transport that delivers synchronously inside send() — the sharpest
+/// scheduling regime QuorumCall must survive (a reply can arrive before
+/// send_request even returns). Timers are collected and run manually.
+class InlineTransport final : public Transport {
+ public:
+  void register_node(NodeId node, DeliverFn deliver) override {
+    handlers_[node] = std::move(deliver);
+  }
+  void unregister_node(NodeId node) override { handlers_.erase(node); }
+  void send(NodeId from, NodeId to, Bytes payload) override {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second(from, payload);
+  }
+  SimTime now() const override { return 0; }
+  void schedule(SimDuration, std::function<void()> callback) override {
+    timers_.push_back(std::move(callback));
+  }
+  const sim::TransportStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+  void fire_timers() {
+    auto timers = std::move(timers_);
+    timers_.clear();
+    for (auto& timer : timers) timer();
+  }
+
+ private:
+  std::unordered_map<NodeId, DeliverFn> handlers_;
+  std::vector<std::function<void()>> timers_;
+  sim::TransportStats stats_;
+};
+
+/// Crafts a raw kResponse envelope as a Byzantine node would: kind=1, the
+/// echoed rpc id, a type tag and body.
+Bytes forge_response(std::uint64_t rpc_id, MsgType type, const Bytes& body) {
+  Writer w;
+  w.u8(1);  // Kind::kResponse
+  w.u64(rpc_id);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.raw(body);
+  return w.take();
+}
 
 TEST(SimTransport, DeliversWithLatency) {
   Harness h(sim::LinkProfile{milliseconds(10), 0, 0.0});
@@ -133,6 +186,139 @@ TEST(Rpc, MalformedDatagramIgnored) {
   h.transport.send(NodeId{0}, NodeId{1}, Bytes{0x01});  // truncated envelope
   h.scheduler.run_until_idle();
   EXPECT_FALSE(crashed);
+}
+
+TEST(Rpc, SpoofedResponseFromNonTargetDropped) {
+  Harness h;
+  RpcNode mute(h.transport, NodeId{0});  // target: never answers
+  RpcNode byzantine(h.transport, NodeId{2});
+  RpcNode client(h.transport, NodeId{1});
+
+  int fired = 0;
+  NodeId reply_from{};
+  const std::uint64_t rpc_id =
+      client.send_request(NodeId{0}, MsgType::kRead, to_bytes("q"),
+                          [&](NodeId from, MsgType, BytesView) {
+                            ++fired;
+                            reply_from = from;
+                          });
+
+  // A Byzantine server that somehow learned the rpc id answers for the
+  // honest target. The reply must be dropped: it is not from node 0.
+  h.transport.send(NodeId{2}, NodeId{1},
+                   forge_response(rpc_id, MsgType::kAck, to_bytes("forged")));
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(client.pending_count(), 1u);  // spoof did not consume the rpc
+
+  // The genuine reply from the target is still accepted afterwards.
+  h.transport.send(NodeId{0}, NodeId{1},
+                   forge_response(rpc_id, MsgType::kAck, to_bytes("real")));
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(reply_from, NodeId{0});
+  EXPECT_EQ(client.pending_count(), 0u);
+  (void)byzantine;
+}
+
+TEST(Rpc, InitialRpcIdsRandomized) {
+  // Ids start at a random 63-bit value per node: two independent nodes
+  // colliding (or starting at the historical 1) would be a 2^-63 event.
+  Harness h;
+  RpcNode a(h.transport, NodeId{1});
+  RpcNode b(h.transport, NodeId{2});
+  const std::uint64_t id_a =
+      a.send_request(NodeId{0}, MsgType::kRead, {}, [](NodeId, MsgType, BytesView) {});
+  const std::uint64_t id_b =
+      b.send_request(NodeId{0}, MsgType::kRead, {}, [](NodeId, MsgType, BytesView) {});
+  EXPECT_NE(id_a, id_b);
+  EXPECT_NE(id_a, 1u);
+  a.cancel(id_a);
+  b.cancel(id_b);
+}
+
+TEST(Quorum, SynchronousReplyDoesNotLeakPendingRpcs) {
+  // Replies delivered inside send_request() used to finish the call before
+  // later rpc ids were recorded, leaking their callbacks in pending_.
+  InlineTransport transport;
+  std::vector<std::unique_ptr<RpcNode>> servers;
+  std::atomic<int> requests_seen{0};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<RpcNode>(transport, NodeId{i}));
+    servers.back()->set_request_handler([&requests_seen](NodeId, MsgType, BytesView) {
+      ++requests_seen;
+      return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+    });
+  }
+  RpcNode client(transport, NodeId{100});
+
+  std::optional<QuorumOutcome> outcome;
+  QuorumCall::start(
+      client, {NodeId{0}, NodeId{1}, NodeId{2}}, MsgType::kRead, {},
+      [](NodeId, MsgType, BytesView) { return true; },  // first reply satisfies
+      [&](QuorumOutcome result, std::size_t count) {
+        outcome = result;
+        EXPECT_EQ(count, 1u);
+      });
+
+  EXPECT_EQ(outcome, QuorumOutcome::kSatisfied);
+  // The call was satisfied during the first send: the remaining targets
+  // are never contacted and nothing lingers in pending_.
+  EXPECT_EQ(requests_seen.load(), 1);
+  EXPECT_EQ(client.pending_count(), 0u);
+
+  // The (now moot) timeout timer must be a no-op, not a second done().
+  transport.fire_timers();
+  EXPECT_EQ(outcome, QuorumOutcome::kSatisfied);
+}
+
+TEST(Quorum, SynchronousExhaustionDrainsPending) {
+  InlineTransport transport;
+  std::vector<std::unique_ptr<RpcNode>> servers;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    servers.push_back(std::make_unique<RpcNode>(transport, NodeId{i}));
+    servers.back()->set_request_handler([](NodeId, MsgType, BytesView) {
+      return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+    });
+  }
+  RpcNode client(transport, NodeId{100});
+
+  std::optional<QuorumOutcome> outcome;
+  std::size_t replies = 0;
+  QuorumCall::start(
+      client, {NodeId{0}, NodeId{1}, NodeId{2}}, MsgType::kRead, {},
+      [&](NodeId, MsgType, BytesView) {
+        ++replies;
+        return false;  // never satisfied: exhausts after all three
+      },
+      [&](QuorumOutcome result, std::size_t) { outcome = result; });
+
+  EXPECT_EQ(outcome, QuorumOutcome::kExhausted);
+  EXPECT_EQ(replies, 3u);
+  EXPECT_EQ(client.pending_count(), 0u);
+}
+
+TEST(Quorum, SatisfiedCallReleasesStateBeforeTimeout) {
+  // The timeout timer holds only a weak reference: once satisfied, the
+  // call state — and the buffers captured in its callbacks — must be
+  // released immediately, not pinned until the timer fires.
+  InlineTransport transport;
+  RpcNode server(transport, NodeId{0});
+  server.set_request_handler([](NodeId, MsgType, BytesView) {
+    return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+  });
+  RpcNode client(transport, NodeId{100});
+
+  auto sentinel = std::make_shared<int>(7);  // stands in for captured buffers
+  std::weak_ptr<int> weak = sentinel;
+  QuorumCall::start(
+      client, {NodeId{0}}, MsgType::kRead, {},
+      [sentinel](NodeId, MsgType, BytesView) { return true; },
+      [](QuorumOutcome, std::size_t) {});
+  sentinel.reset();
+
+  EXPECT_TRUE(weak.expired());  // released at satisfaction, timer still pending
+  transport.fire_timers();      // and the timer finds nothing to do
 }
 
 TEST(Quorum, SatisfiedWhenPredicateAccepts) {

@@ -131,13 +131,23 @@ TEST(ThreadTransport, GossipDisseminatesInRealTime) {
               }).ok());
 
   // Written to b+1 = 2 servers; gossip (20 ms period) reaches the rest.
+  // Stores are only touched on the dispatch thread, so inspect them there.
+  auto count_replicas = [&] {
+    auto promise = std::make_shared<std::promise<std::size_t>>();
+    auto future = promise->get_future();
+    deployment.transport.schedule(0, [&deployment, promise] {
+      std::size_t have = 0;
+      for (const auto& server : deployment.servers) {
+        if (server->store().current(kX) != nullptr) ++have;
+      }
+      promise->set_value(have);
+    });
+    return future.get();
+  };
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   std::size_t have = 0;
   while (std::chrono::steady_clock::now() < deadline) {
-    have = 0;
-    for (const auto& server : deployment.servers) {
-      if (server->store().current(kX) != nullptr) ++have;
-    }
+    have = count_replicas();
     if (have == deployment.servers.size()) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
