@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/sync.h"
@@ -40,6 +41,53 @@ class Table {
  private:
   std::vector<std::string> headers_;
   int width_;
+};
+
+/// Machine-readable sidecar for a bench: collects rows of key -> value and
+/// writes `BENCH_<name>.json` into the working directory on destruction, so
+/// plots and CI diffs consume the same numbers the printed table shows.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void begin_row() { rows_.emplace_back(); }
+  void field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + value + "\"");
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+  void field(const std::string& key, double value, int precision = 4) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+    rows_.back().emplace_back(key, buffer);
+  }
+
+ private:
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) return;
+    std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(file, "    {");
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        std::fprintf(file, "%s\"%s\": %s", f == 0 ? "" : ", ", rows_[r][f].first.c_str(),
+                     rows_[r][f].second.c_str());
+      }
+      std::fprintf(file, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    std::fclose(file);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
 inline void print_title(const std::string& title) {

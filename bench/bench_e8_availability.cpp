@@ -99,6 +99,7 @@ void run() {
 
   Table table({"fault", "faulty", "connect", "write", "read", "read_correct", "msgs"});
   table.print_header();
+  BenchJson json("e8_availability");
 
   for (const auto& fault_case : kFaults) {
     const std::size_t max_faulty = fault_case.fault == faults::ServerFault::kCrash
@@ -114,6 +115,15 @@ void run() {
       table.cell(rates.correct_reads);
       table.cell(rates.transport.messages_sent);
       table.end_row();
+
+      json.begin_row();
+      json.field("fault", std::string(fault_case.name));
+      json.field("faulty", static_cast<std::uint64_t>(faulty));
+      json.field("connect_rate", rates.connect);
+      json.field("write_rate", rates.write);
+      json.field("read_rate", rates.read);
+      json.field("read_correct_rate", rates.correct_reads);
+      json.field("messages_sent", rates.transport.messages_sent);
     }
     std::printf("\n");
   }

@@ -1,5 +1,8 @@
 #include "core/server.h"
 
+#include <cstdio>
+#include <filesystem>
+
 #include "storage/snapshot.h"
 
 namespace securestore::core {
@@ -15,6 +18,9 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
   if (options_.authority_key.has_value()) {
     token_verifier_.emplace(*options_.authority_key);
   }
+  // Before any recovery: replayed records must see the same policies (hold
+  // rules, models) they were accepted under.
+  for (const GroupPolicy& policy : options_.group_policies) set_group_policy(policy);
 
   gossip_ = std::make_unique<gossip::GossipEngine>(
       node_, items_, config_.servers, options_.gossip, std::move(rng),
@@ -36,13 +42,9 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
 
   if (options_.start_gossip) gossip_->start();
 
+  boot_from_disk();
+
   if (options_.snapshot_path.has_value()) {
-    // Boot from the last snapshot if one exists.
-    try {
-      restore(storage::load_snapshot_file(*options_.snapshot_path));
-    } catch (const std::runtime_error&) {
-      // No snapshot yet: fresh server.
-    }
     // Periodic persistence.
     const auto schedule_save = [this](auto&& self) -> void {
       node_.transport().schedule(
@@ -54,6 +56,110 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
     };
     schedule_save(schedule_save);
   }
+  if (wal_ != nullptr && options_.durability->fsync == storage::FsyncPolicy::kInterval) {
+    // Group commit: one fsync per tick covers every append since the last.
+    const auto schedule_flush = [this](auto&& self) -> void {
+      node_.transport().schedule(
+          options_.durability->flush_interval, [this, alive = alive_, self]() {
+            if (!*alive) return;
+            wal_->sync();
+            self(self);
+          });
+    };
+    schedule_flush(schedule_flush);
+  }
+}
+
+void SecureStoreServer::boot_from_disk() {
+  if (options_.snapshot_path.has_value() &&
+      std::filesystem::exists(*options_.snapshot_path)) {
+    try {
+      restore(storage::load_snapshot_file(*options_.snapshot_path));
+    } catch (const std::exception& error) {
+      // A corrupt/truncated snapshot must not kill the server (it may be
+      // the only replica holding a quorum's worth of data in its WAL).
+      // Quarantine the file for forensics, reset any partially restored
+      // state, and start from scratch + WAL replay.
+      const std::string& path = *options_.snapshot_path;
+      const std::string quarantine = path + ".corrupt";
+      std::remove(quarantine.c_str());
+      std::rename(path.c_str(), quarantine.c_str());
+      std::fprintf(stderr,
+                   "securestore: server %u: quarantined corrupt snapshot %s (%s); "
+                   "starting fresh\n",
+                   node_.id().value, path.c_str(), error.what());
+      items_ = storage::ItemStore(config_.max_log_entries);
+      contexts_ = storage::ContextStore();
+      audit_ = storage::AuditLog();
+      wal_covered_lsn_ = 0;
+    }
+  }
+  if (options_.durability.has_value()) {
+    storage::WalOptions wal_options;
+    wal_options.dir = options_.durability->wal_dir;
+    wal_options.fsync = options_.durability->fsync;
+    wal_options.segment_bytes = options_.durability->wal_segment_bytes;
+    wal_ = std::make_unique<storage::WriteAheadLog>(std::move(wal_options));
+    // A fresh/behind WAL must never reuse LSNs the snapshot already covers.
+    wal_->reserve_through(wal_covered_lsn_);
+    wal_replaying_ = true;
+    wal_->replay(wal_covered_lsn_,
+                 [this](std::uint64_t /*lsn*/, storage::WalEntryType type, BytesView payload) {
+                   replay_wal_entry(type, payload);
+                 });
+    wal_replaying_ = false;
+  }
+}
+
+void SecureStoreServer::replay_wal_entry(storage::WalEntryType type, BytesView payload) {
+  try {
+    Reader r(payload);
+    switch (type) {
+      case storage::WalEntryType::kWrite: {
+        const WriteRecord record = WriteRecord::decode(r);
+        r.expect_end();
+        // Through the full apply path: ordering, equivocation flags, log
+        // bounds and causal holds are re-established, not trusted from
+        // disk. Holds release exactly as they did live because entries
+        // replay in arrival order.
+        apply_with_holds(record);
+        break;
+      }
+      case storage::WalEntryType::kRelease: {
+        const WriteRecord record = WriteRecord::decode(r);
+        r.expect_end();
+        // Usually a duplicate of an already-replayed kWrite whose release
+        // re-derived; applying is idempotent either way.
+        if (items_.apply(record) != storage::ApplyResult::kDuplicate) {
+          audit_.append(record, node_.transport().now());
+        }
+        break;
+      }
+      case storage::WalEntryType::kContext: {
+        const StoredContext stored = StoredContext::decode(r);
+        r.expect_end();
+        contexts_.apply(stored);
+        break;
+      }
+      default:
+        break;  // unknown entry type: forward compatibility, skip
+    }
+  } catch (const DecodeError&) {
+    // CRC-valid but undecodable: skip this entry, keep replaying.
+  }
+}
+
+void SecureStoreServer::wal_append(storage::WalEntryType type, BytesView payload) {
+  if (wal_ == nullptr || wal_replaying_) return;
+  wal_->append(type, payload);
+}
+
+void SecureStoreServer::wal_append_record(storage::WalEntryType type,
+                                          const WriteRecord& record) {
+  if (wal_ == nullptr || wal_replaying_) return;
+  Writer w;
+  record.encode(w);
+  wal_->append(type, w.data());
 }
 
 SecureStoreServer::~SecureStoreServer() { *alive_ = false; }
@@ -64,6 +170,9 @@ Bytes SecureStoreServer::snapshot() const {
   Writer w;
   w.bytes(storage::make_snapshot(items_, contexts_));
   w.bytes(audit_.serialize());
+  // The WAL position this snapshot covers: a booting server replays only
+  // entries after it.
+  w.u64(wal_ != nullptr ? wal_->last_lsn() : wal_covered_lsn_);
   return w.take();
 }
 
@@ -71,16 +180,24 @@ void SecureStoreServer::restore(BytesView snapshot_blob) {
   Reader r(snapshot_blob);
   const Bytes stores = r.bytes();
   const Bytes audit = r.bytes();
+  const std::uint64_t covered = r.u64();
   r.expect_end();
   storage::restore_snapshot(stores, items_, contexts_);
   storage::AuditLog restored = storage::AuditLog::deserialize(audit);
   if (!restored.verify()) throw DecodeError("server snapshot: audit chain broken");
   audit_ = std::move(restored);
+  wal_covered_lsn_ = covered;
 }
 
-void SecureStoreServer::save_snapshot_now() const {
+void SecureStoreServer::save_snapshot_now() {
   if (!options_.snapshot_path.has_value()) return;
   storage::save_snapshot_file(*options_.snapshot_path, snapshot());
+  if (wal_ != nullptr) {
+    // Everything up to here is durable in the snapshot (the file and its
+    // directory are fsynced): dead segments can go.
+    wal_covered_lsn_ = wal_->last_lsn();
+    wal_->truncate_up_to(wal_covered_lsn_);
+  }
 }
 
 void SecureStoreServer::set_group_policy(const GroupPolicy& policy) {
@@ -194,7 +311,11 @@ Bytes SecureStoreServer::handle_context_write(const ContextWriteReq& req) {
   // "Non-faulty servers need to verify the signature to ensure that they do
   // not overwrite their context data with spurious information" (§6).
   if (key != nullptr && req.stored.verify(*key)) {
-    contexts_.apply(req.stored);
+    if (contexts_.apply(req.stored)) {
+      Writer w;
+      req.stored.encode(w);
+      wal_append(storage::WalEntryType::kContext, w.data());
+    }
     resp.ok = true;
   }
   return resp.serialize();
@@ -312,10 +433,16 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
 
   if (needs_hold && !storage::HoldQueue::dependencies_met(record, have)) {
     holds_.hold(record);
+    // Held writes are acked too, so they must survive a crash; replay
+    // re-parks them until their dependencies replay.
+    wal_append_record(storage::WalEntryType::kWrite, record);
     return false;
   }
 
   if (items_.apply(record) != storage::ApplyResult::kDuplicate) {
+    // Logged even on kEquivocation (the record is not stored, but replay
+    // needs both conflicting records to re-derive the faulty-writer flag).
+    wal_append_record(storage::WalEntryType::kWrite, record);
     audit_.append(record, node_.transport().now());
   }
 
@@ -325,6 +452,7 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
     if (released.empty()) break;
     for (const WriteRecord& unblocked : released) {
       if (items_.apply(unblocked) != storage::ApplyResult::kDuplicate) {
+        wal_append_record(storage::WalEntryType::kRelease, unblocked);
         audit_.append(unblocked, node_.transport().now());
       }
     }

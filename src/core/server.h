@@ -27,11 +27,26 @@
 #include "storage/context_store.h"
 #include "storage/hold_queue.h"
 #include "storage/item_store.h"
+#include "storage/wal/wal.h"
 
 namespace securestore::core {
 
 class SecureStoreServer {
  public:
+  /// Write-ahead logging knobs. Every accepted write/context/hold-release
+  /// is appended (and made durable per `fsync`) before the ack, so a crash
+  /// between snapshots loses nothing an honest client was told succeeded.
+  struct DurabilityOptions {
+    /// Directory for WAL segments (created if missing).
+    std::string wal_dir;
+    storage::FsyncPolicy fsync = storage::FsyncPolicy::kAlways;
+    /// Group-commit cadence under FsyncPolicy::kInterval: writes are acked
+    /// immediately but become durable at the next flush tick, bounding the
+    /// loss window by this interval.
+    SimDuration flush_interval = milliseconds(5);
+    std::size_t wal_segment_bytes = 1u << 20;
+  };
+
   struct Options {
     gossip::GossipEngine::Config gossip;
     bool start_gossip = true;
@@ -40,9 +55,17 @@ class SecureStoreServer {
     std::optional<Bytes> authority_key;
     /// Durable operation: load state from this snapshot file at startup
     /// (if it exists) and re-save it every `snapshot_period` of transport
-    /// time. Long-term safe keeping across restarts (§1).
+    /// time. Long-term safe keeping across restarts (§1). A corrupt or
+    /// truncated snapshot is quarantined (renamed to `*.corrupt`), not
+    /// fatal: the server starts fresh and recovers from the WAL.
     std::optional<std::string> snapshot_path;
     SimDuration snapshot_period = seconds(30);
+    /// Write-ahead logging; recovery replays snapshot + WAL tail through
+    /// the normal apply paths.
+    std::optional<DurabilityOptions> durability;
+    /// Policies registered before WAL replay, so recovered multi-writer CC
+    /// records honor the same causal-hold rules they saw live.
+    std::vector<GroupPolicy> group_policies;
   };
 
   SecureStoreServer(net::Transport& transport, NodeId id, StoreConfig config,
@@ -66,13 +89,23 @@ class SecureStoreServer {
   std::size_t held_writes() const { return holds_.size(); }
   gossip::GossipEngine& gossip() { return *gossip_; }
 
-  /// Durable state (records + contexts) as a checksummed snapshot blob.
+  /// Durable state (records + contexts + audit chain + the WAL position it
+  /// covers) as a checksummed snapshot blob.
   Bytes snapshot() const;
   /// Replays a snapshot into this (freshly constructed) server. Throws
   /// DecodeError on a malformed or tampered snapshot.
   void restore(BytesView snapshot_blob);
-  /// Writes the snapshot to Options::snapshot_path now (no-op without one).
-  void save_snapshot_now() const;
+  /// Writes the snapshot to Options::snapshot_path now (no-op without one),
+  /// then drops WAL segments the snapshot fully covers.
+  void save_snapshot_now();
+
+  /// WAL counters — nullptr when durability is off.
+  const storage::WalStats* wal_stats() const {
+    return wal_ != nullptr ? &wal_->stats() : nullptr;
+  }
+  /// The write-ahead log itself (tests/benches); nullptr when durability
+  /// is off.
+  storage::WriteAheadLog* wal() { return wal_.get(); }
 
   /// The tamper-evident log of every write this server accepted ([6]-style
   /// auditing; also served over the wire via kAuditRead).
@@ -127,6 +160,14 @@ class SecureStoreServer {
 
   const Bytes* client_key(ClientId client) const;
 
+  /// Boot-time durability: load (or quarantine) the snapshot file, open
+  /// the WAL and replay its tail through the apply paths.
+  void boot_from_disk();
+  void replay_wal_entry(storage::WalEntryType type, BytesView payload);
+  /// Appends to the WAL unless durability is off or we are replaying.
+  void wal_append(storage::WalEntryType type, BytesView payload);
+  void wal_append_record(storage::WalEntryType type, const WriteRecord& record);
+
   net::RpcNode node_;
   StoreConfig config_;
   crypto::KeyPair keys_;
@@ -139,6 +180,11 @@ class SecureStoreServer {
   GroupPolicy default_policy_;
   std::optional<TokenVerifier> token_verifier_;
   std::unique_ptr<gossip::GossipEngine> gossip_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  /// WAL position covered by the last snapshot restored or saved; replay
+  /// starts after it.
+  std::uint64_t wal_covered_lsn_ = 0;
+  bool wal_replaying_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);  // guards timers
 };
 

@@ -75,6 +75,14 @@ bool ItemStore::flagged_faulty(ItemId item) const {
   return it != items_.end() && it->second.faulty_writer;
 }
 
+std::vector<ItemId> ItemStore::flagged_items() const {
+  std::vector<ItemId> out;
+  for (const auto& [item, state] : items_) {
+    if (state.faulty_writer) out.push_back(item);
+  }
+  return out;
+}
+
 std::vector<core::WriteRecord> ItemStore::group_meta(GroupId group) const {
   std::vector<core::WriteRecord> out;
   for (const auto& [item, state] : items_) {

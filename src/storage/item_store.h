@@ -47,6 +47,14 @@ class ItemStore {
   /// True once equivocation has been observed for the item's writer.
   bool flagged_faulty(ItemId item) const;
 
+  /// Items whose writer was caught equivocating. Snapshots persist these
+  /// explicitly: the exposing record is never stored, so the flag cannot be
+  /// re-derived from replayed records alone.
+  std::vector<ItemId> flagged_items() const;
+
+  /// Restores a persisted equivocation flag (snapshot restore).
+  void flag_faulty(ItemId item) { items_[item].faulty_writer = true; }
+
   /// Items of a group with their current meta records (for context
   /// reconstruction, §5.1).
   std::vector<core::WriteRecord> group_meta(GroupId group) const;

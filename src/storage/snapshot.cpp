@@ -1,10 +1,16 @@
 #include "storage/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/sha2.h"
+#include "storage/wal/wal.h"
 #include "util/serial.h"
 
 namespace securestore::storage {
@@ -12,7 +18,9 @@ namespace securestore::storage {
 namespace {
 
 constexpr char kMagic[] = "SECURESTORE-SNAPSHOT";
-constexpr std::uint32_t kVersion = 1;
+// v2 appends the equivocation-flag list: the record exposing a writer is
+// never stored, so the flag cannot be re-derived from replayed records.
+constexpr std::uint32_t kVersion = 2;
 
 }  // namespace
 
@@ -33,6 +41,11 @@ Bytes make_snapshot(const ItemStore& items, const ContextStore& contexts) {
   const auto stored_contexts = contexts.all();
   body.u32(static_cast<std::uint32_t>(stored_contexts.size()));
   for (const core::StoredContext* stored : stored_contexts) stored->encode(body);
+
+  auto flagged = items.flagged_items();
+  std::sort(flagged.begin(), flagged.end());
+  body.u32(static_cast<std::uint32_t>(flagged.size()));
+  for (const ItemId item : flagged) body.u64(item.value);
 
   Writer out;
   out.str(kMagic);
@@ -60,23 +73,47 @@ void restore_snapshot(BytesView snapshot, ItemStore& items, ContextStore& contex
   for (std::uint32_t i = 0; i < context_count; ++i) {
     contexts.apply(core::StoredContext::decode(br));
   }
+  const std::uint32_t flagged_count = br.u32();
+  for (std::uint32_t i = 0; i < flagged_count; ++i) {
+    items.flag_faulty(ItemId{br.u64()});
+  }
   br.expect_end();
 }
 
 void save_snapshot_file(const std::string& path, BytesView snapshot) {
   const std::string temp_path = path + ".tmp";
-  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
-  if (file == nullptr) throw std::runtime_error("snapshot: cannot open " + temp_path);
-  const std::size_t written = std::fwrite(snapshot.data(), 1, snapshot.size(), file);
-  std::fclose(file);
-  if (written != snapshot.size()) {
+  const int fd = ::open(temp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("snapshot: cannot open " + temp_path);
+
+  bool ok = true;
+  const std::uint8_t* cursor = snapshot.data();
+  std::size_t left = snapshot.size();
+  while (ok && left > 0) {
+    const ssize_t n = ::write(fd, cursor, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    cursor += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // fsync BEFORE the rename: otherwise the rename can become durable while
+  // the data has not, leaving a truncated snapshot after a crash — which
+  // restore would then treat as corruption.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  ::close(fd);
+  if (!ok) {
     std::remove(temp_path.c_str());
-    throw std::runtime_error("snapshot: short write to " + temp_path);
+    throw std::runtime_error("snapshot: write/sync failed for " + temp_path);
   }
   if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
     std::remove(temp_path.c_str());
     throw std::runtime_error("snapshot: rename failed for " + path);
   }
+  // And the directory, so the rename itself survives a crash.
+  const auto slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
 }
 
 Bytes load_snapshot_file(const std::string& path) {

@@ -1,5 +1,6 @@
 #include "testkit/cluster.h"
 
+#include <filesystem>
 #include <stdexcept>
 
 namespace securestore::testkit {
@@ -29,11 +30,33 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(op
   }
 }
 
+std::string Cluster::server_disk_dir(std::size_t index) const {
+  if (!options_.durability_dir.has_value()) {
+    throw std::logic_error("Cluster: durability_dir not configured");
+  }
+  return *options_.durability_dir + "/server-" + std::to_string(index);
+}
+
 std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t index) {
   core::SecureStoreServer::Options server_options;
   server_options.gossip = options_.gossip;
   server_options.start_gossip = options_.start_gossip;
   if (options_.require_auth) server_options.authority_key = authority_.public_key;
+  if (options_.durability_dir.has_value()) {
+    const std::string base = server_disk_dir(index);
+    std::filesystem::create_directories(base);
+    server_options.snapshot_path = base + "/snapshot.bin";
+    server_options.snapshot_period = options_.snapshot_period;
+    core::SecureStoreServer::DurabilityOptions durability;
+    durability.wal_dir = base + "/wal";
+    durability.fsync = options_.fsync;
+    durability.flush_interval = options_.wal_flush_interval;
+    durability.wal_segment_bytes = options_.wal_segment_bytes;
+    server_options.durability = std::move(durability);
+    // Recovery replays the WAL inside the constructor; it must already
+    // know the policies the logged records were accepted under.
+    server_options.group_policies = policies_;
+  }
 
   std::set<faults::ServerFault> faults;
   for (const auto& [fault_index, fault_set] : options_.server_faults) {
@@ -55,6 +78,14 @@ std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t ind
 }
 
 void Cluster::restart_server(std::size_t index, bool restore_state) {
+  if (options_.durability_dir.has_value()) {
+    // Crash semantics: the dying server saves nothing; the replacement
+    // recovers from whatever snapshot + WAL already reached disk.
+    servers_[index].reset();
+    if (!restore_state) std::filesystem::remove_all(server_disk_dir(index));
+    servers_[index] = build_server(static_cast<std::uint32_t>(index));
+    return;
+  }
   Bytes snapshot;
   if (restore_state) snapshot = servers_[index]->snapshot();
   servers_[index].reset();  // down: requests to it drop

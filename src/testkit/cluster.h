@@ -31,6 +31,16 @@ struct ClusterOptions {
   bool require_auth = false;
   /// Faults to inject, by server index.
   std::vector<std::pair<std::uint32_t, std::set<faults::ServerFault>>> server_faults;
+
+  /// Durable servers: each server i persists a snapshot plus a write-ahead
+  /// log under `<durability_dir>/server-<i>/`. restart_server() then models
+  /// a crash: the replacement recovers from disk (snapshot + WAL tail)
+  /// instead of an in-memory snapshot.
+  std::optional<std::string> durability_dir;
+  storage::FsyncPolicy fsync = storage::FsyncPolicy::kAlways;
+  SimDuration wal_flush_interval = milliseconds(5);
+  std::size_t wal_segment_bytes = 1u << 20;
+  SimDuration snapshot_period = seconds(30);
 };
 
 class Cluster {
@@ -58,8 +68,13 @@ class Cluster {
   /// Simulates a server reboot: tears the server down (mid-simulation —
   /// in-flight messages to it are dropped, as on a real crash) and brings
   /// it back up, restored from its snapshot when `restore_state` is true
-  /// (fresh/amnesiac otherwise). Group policies are re-applied.
+  /// (fresh/amnesiac otherwise). Group policies are re-applied. On a
+  /// durable cluster the replacement recovers from its on-disk snapshot +
+  /// WAL (restore_state=false wipes the server's disk first).
   void restart_server(std::size_t index, bool restore_state = true);
+
+  /// The per-server durability directory (only with `durability_dir` set).
+  std::string server_disk_dir(std::size_t index) const;
 
   /// The pre-generated key pair of a registered client id (1-based).
   const crypto::KeyPair& client_keys(ClientId id) const;

@@ -1,0 +1,30 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace securestore {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? kPolynomial ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = build_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace securestore

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Frame checksums for the write-ahead log. This is not a cryptographic
+// digest: WAL frames are guarded against *accidental* damage (torn writes,
+// bit rot) by CRC, while tampering with durable state is caught by the
+// snapshot SHA-256 and by the per-record signatures the server re-verifies
+// when records are used.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace securestore {
+
+/// CRC-32 of `data`. `seed` chains incremental computation the zlib way:
+/// crc32(b, crc32(a)) == crc32(a·b). The empty input with seed 0 is 0.
+std::uint32_t crc32(BytesView data, std::uint32_t seed = 0);
+
+}  // namespace securestore

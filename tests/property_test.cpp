@@ -369,11 +369,13 @@ TEST_P(SnapshotEquivalence, RestoreMatchesOriginal) {
   ASSERT_TRUE(sync.disconnect().ok());
 
   for (std::size_t s = 0; s < cluster.server_count(); ++s) {
-    // The server snapshot wraps the store snapshot and the audit chain.
+    // The server snapshot wraps the store snapshot, the audit chain and
+    // the WAL position it covers (0 here: durability off).
     const Bytes server_snapshot = cluster.server(s).snapshot();
     Reader wrapper(server_snapshot);
     const Bytes snapshot = wrapper.bytes();
     const storage::AuditLog audit = storage::AuditLog::deserialize(wrapper.bytes());
+    EXPECT_EQ(wrapper.u64(), 0u);
     wrapper.expect_end();
     EXPECT_TRUE(audit.verify()) << "seed " << seed << " server " << s;
 

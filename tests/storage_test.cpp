@@ -234,6 +234,28 @@ TEST(Snapshot, RoundtripPreservesEverything) {
   EXPECT_EQ(*restored_contexts.get(ClientId{1}, kGroup), stored);
 }
 
+TEST(Snapshot, EquivocationFlagSurvivesRoundtrip) {
+  // The record exposing the equivocation is never stored, so the flag has
+  // no carrier among the persisted records — the snapshot must record it
+  // explicitly or a rebooted server would forget the writer is faulty.
+  ItemStore items;
+  ContextStore contexts;
+  items.apply(make_record(kX, 7, "tell alice A"));
+  EXPECT_EQ(items.apply(make_record(kX, 7, "tell bob B")), ApplyResult::kEquivocation);
+  items.apply(make_record(ItemId{2}, 1, "innocent"));
+  ASSERT_TRUE(items.flagged_faulty(kX));
+
+  const Bytes snapshot = make_snapshot(items, contexts);
+  ItemStore restored_items;
+  ContextStore restored_contexts;
+  restore_snapshot(snapshot, restored_items, restored_contexts);
+
+  EXPECT_TRUE(restored_items.flagged_faulty(kX));
+  EXPECT_FALSE(restored_items.flagged_faulty(ItemId{2}));
+  // And readers of the flagged item keep being warned after the reboot.
+  ASSERT_NE(restored_items.current(kX), nullptr);
+}
+
 TEST(Snapshot, TamperingDetected) {
   ItemStore items;
   ContextStore contexts;

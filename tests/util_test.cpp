@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "util/bytes.h"
+#include "util/crc32.h"
 #include "util/ids.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -24,6 +25,32 @@ TEST(Bytes, HexRoundtrip) {
 TEST(Bytes, FromHexRejectsMalformed) {
   EXPECT_THROW(from_hex("abc"), std::invalid_argument);
   EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Crc32, KnownAnswers) {
+  // IEEE 802.3 reflected polynomial — the zlib/PNG checksum.
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(Bytes{}), 0x00000000u);
+  EXPECT_EQ(crc32(to_bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, SeedChainingMatchesConcatenation) {
+  const Bytes a = to_bytes("write-ahead ");
+  const Bytes b = to_bytes("log frame");
+  Bytes joined = a;
+  joined.insert(joined.end(), b.begin(), b.end());
+  EXPECT_EQ(crc32(b, crc32(a)), crc32(joined));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes frame = to_bytes("frame body with a payload");
+  const std::uint32_t good = crc32(frame);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] ^= 0x01;
+    EXPECT_NE(crc32(frame), good) << "flip at byte " << i;
+    frame[i] ^= 0x01;
+  }
 }
 
 TEST(Bytes, TextRoundtrip) {
