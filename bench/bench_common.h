@@ -12,6 +12,7 @@
 
 #include "core/sync.h"
 #include "crypto/keys.h"
+#include "obs/export.h"
 #include "testkit/cluster.h"
 
 namespace securestore::bench {
@@ -92,6 +93,28 @@ class BenchJson {
 
 inline void print_title(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Folds the registry's populated histograms into the sidecar (one row per
+/// metric, tagged kind=histogram) and prints the full registry dump. Every
+/// bench calls this once before exiting, so each BENCH_*.json carries the
+/// measured latency distributions alongside its table rows, and the text
+/// dump lands in the bench log for eyeballing.
+inline void emit_metrics(BenchJson& json, obs::Registry& registry) {
+  obs::MetricsSnapshot snapshot = registry.snapshot();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (histogram.count == 0) continue;
+    json.begin_row();
+    json.field("kind", "histogram");
+    json.field("metric", name);
+    json.field("count", histogram.count);
+    json.field("mean_us", histogram.mean());
+    json.field("p50_us", histogram.p50());
+    json.field("p95_us", histogram.p95());
+    json.field("p99_us", histogram.p99());
+    json.field("max_us", histogram.max);
+  }
+  std::printf("\n--- metrics ---\n%s", obs::to_text(snapshot).c_str());
 }
 
 inline void print_claim(const std::string& claim) {

@@ -29,7 +29,7 @@ Result<core::Auditor::Report> run_audit(testkit::Cluster& cluster,
   return std::move(*slot);
 }
 
-void cost_table() {
+void cost_table(BenchJson& json, const std::shared_ptr<obs::Registry>& registry) {
   std::printf("--- audit pass cost vs history size and cluster size ---\n");
   Table table({"n", "writes", "log_entries", "audit_msgs", "audit_KB", "audit_ms"});
   table.print_header();
@@ -41,6 +41,7 @@ void cost_table() {
       options.b = (n - 1) / 3;
       options.gossip.period = milliseconds(100);
       options.link = sim::wan_profile();
+      options.registry = registry;
       testkit::Cluster cluster(options);
       cluster.set_group_policy(mrc_policy());
 
@@ -63,6 +64,17 @@ void cost_table() {
       const SimTime start = cluster.scheduler().now();
       const auto report = run_audit(cluster);
       const bool clean = report.ok() && report->findings.empty();
+
+      json.begin_row();
+      json.field("n", static_cast<std::uint64_t>(n));
+      json.field("writes", static_cast<std::uint64_t>(writes));
+      json.field("log_entries", static_cast<std::uint64_t>(log_entries));
+      json.field("audit_msgs",
+                 cluster.transport().stats().messages_sent - stats_before.messages_sent);
+      json.field("audit_kb", static_cast<double>(cluster.transport().stats().bytes_sent -
+                                                 stats_before.bytes_sent) /
+                                 1024.0);
+      json.field("audit_ms", to_milliseconds(cluster.scheduler().now() - start));
 
       table.cell(static_cast<std::uint64_t>(n));
       table.cell(static_cast<std::uint64_t>(writes));
@@ -126,8 +138,11 @@ void run() {
   print_claim(
       "\"logging and auditing of writes ... to detect and rectify damage done "
       "by malicious servers\" (§3's Bayou follow-up), priced on this system");
-  cost_table();
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e12_audit");
+  cost_table(json, registry);
   detection_demo();
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

@@ -41,9 +41,18 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-PolicyResult run_policy(FsyncPolicy policy, std::size_t appends, std::size_t sync_every) {
+PolicyResult run_policy(FsyncPolicy policy, std::size_t appends, std::size_t sync_every,
+                        obs::Registry& registry) {
   std::string dir = (std::filesystem::temp_directory_path() / "bench_e13_XXXXXX").string();
   if (mkdtemp(dir.data()) == nullptr) std::abort();
+
+  // Per-append latency distribution, keyed by policy so the sidecar's
+  // histograms separate the fsync-per-append floor from the amortized modes.
+  obs::Histogram& append_us =
+      registry.histogram(std::string("bench.wal.append_us.") +
+                         (policy == FsyncPolicy::kAlways     ? "always"
+                          : policy == FsyncPolicy::kInterval ? "interval"
+                                                             : "never"));
 
   const Bytes payload(kPayloadBytes, 0x42);
   PolicyResult result;
@@ -51,7 +60,11 @@ PolicyResult run_policy(FsyncPolicy policy, std::size_t appends, std::size_t syn
     WriteAheadLog wal({dir, policy, /*segment_bytes=*/4u << 20});
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < appends; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
       wal.append(WalEntryType::kWrite, payload);
+      append_us.observe(
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+              .count());
       // Model the server's group-commit timer under the interval policy.
       if (policy == FsyncPolicy::kInterval && (i + 1) % sync_every == 0) wal.sync();
     }
@@ -96,9 +109,11 @@ void run() {
   Table table({"policy", "appends", "fsyncs", "us/append", "appends/s", "replay/s"});
   table.print_header();
   BenchJson json("e13_durability");
+  obs::Registry registry;
 
   for (const auto& cell : kCells) {
-    const PolicyResult result = run_policy(cell.policy, cell.appends, cell.sync_every);
+    const PolicyResult result =
+        run_policy(cell.policy, cell.appends, cell.sync_every, registry);
     const double us_per_append = result.total_seconds * 1e6 / result.appends;
     const double appends_per_s = result.appends / result.total_seconds;
     const double replay_per_s =
@@ -131,6 +146,8 @@ void run() {
       "throughput approaches `never` as k grows, while the crash-loss window\n"
       "stays bounded by the flush interval. Recovery replays every surviving\n"
       "frame through the CRC check; its rate bounds restart time.\n");
+
+  emit_metrics(json, registry);
 }
 
 }  // namespace

@@ -24,12 +24,13 @@ core::GroupPolicy mrc_policy() {
 
 /// Measured messages for one context acquisition + one context store in a
 /// fault-free cluster of (n, b).
-std::pair<std::uint64_t, std::uint64_t> measured_context_messages(std::uint32_t n,
-                                                                  std::uint32_t b) {
+std::pair<std::uint64_t, std::uint64_t> measured_context_messages(
+    std::uint32_t n, std::uint32_t b, std::shared_ptr<obs::Registry> registry) {
   testkit::ClusterOptions options;
   options.n = n;
   options.b = b;
   options.start_gossip = false;  // keep the counters pure
+  options.registry = std::move(registry);
   testkit::Cluster cluster(options);
   cluster.set_group_policy(mrc_policy());
 
@@ -53,6 +54,11 @@ void run() {
                "ctx_msgs_pred", "ctx_rd_meas", "ctx_wr_meas"}, 13);
   table.print_header();
 
+  // One registry across every (n, b) cell: the client.p1.* histograms in
+  // the sidecar aggregate the whole sweep.
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e1_quorum_sizes");
+
   for (std::uint32_t n : {4u, 7u, 10u, 13u, 16u, 25u, 40u, 100u}) {
     for (std::uint32_t b = 1; 3 * b + 1 <= n && b <= 8; ++b) {
       core::StoreConfig config;
@@ -60,7 +66,18 @@ void run() {
       config.b = b;
 
       const std::uint64_t predicted = 2ull * config.context_quorum();
-      const auto [read_messages, write_messages] = measured_context_messages(n, b);
+      const auto [read_messages, write_messages] = measured_context_messages(n, b, registry);
+
+      json.begin_row();
+      json.field("n", static_cast<std::uint64_t>(n));
+      json.field("b", static_cast<std::uint64_t>(b));
+      json.field("ctx_quorum", static_cast<std::uint64_t>(config.context_quorum()));
+      json.field("masking_quorum", static_cast<std::uint64_t>(config.masking_quorum()));
+      json.field("data_honest", static_cast<std::uint64_t>(config.data_quorum_honest()));
+      json.field("data_byzantine", static_cast<std::uint64_t>(config.data_quorum_byzantine()));
+      json.field("ctx_msgs_predicted", predicted);
+      json.field("ctx_read_measured", read_messages);
+      json.field("ctx_write_measured", write_messages);
 
       table.cell(static_cast<std::uint64_t>(n));
       table.cell(static_cast<std::uint64_t>(b));
@@ -87,6 +104,8 @@ void run() {
       "mgrid_q is the O(sqrt(bn)) 'improved quorum design' of §6 (square n\n"
       "only): smaller than majority masking at scale, but the secure store's\n"
       "b+1 / 2b+1 data sets stay below even that, independent of n.\n");
+
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

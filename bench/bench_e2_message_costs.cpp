@@ -32,11 +32,13 @@ struct SecureStoreCosts {
 
 SecureStoreCosts secure_store_costs(std::uint32_t n, std::uint32_t b,
                                     core::SharingMode sharing, core::ClientTrust trust,
+                                    std::shared_ptr<obs::Registry> registry,
                                     bool inline_reads = true) {
   testkit::ClusterOptions options;
   options.n = n;
   options.b = b;
   options.start_gossip = false;
+  options.registry = std::move(registry);
   testkit::Cluster cluster(options);
   cluster.set_group_policy(policy(sharing, trust));
 
@@ -146,18 +148,33 @@ void run() {
               11);
   table.print_header();
 
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e2_message_costs");
+
   for (std::uint32_t b : {1u, 2u, 3u, 4u}) {
     const std::uint32_t n = 3 * b + 1;
 
     const SecureStoreCosts honest = secure_store_costs(
-        n, b, core::SharingMode::kSingleWriter, core::ClientTrust::kHonest);
+        n, b, core::SharingMode::kSingleWriter, core::ClientTrust::kHonest, registry);
     const SecureStoreCosts two_phase = secure_store_costs(
-        n, b, core::SharingMode::kSingleWriter, core::ClientTrust::kHonest,
+        n, b, core::SharingMode::kSingleWriter, core::ClientTrust::kHonest, registry,
         /*inline_reads=*/false);
     const SecureStoreCosts hardened = secure_store_costs(
-        n, b, core::SharingMode::kMultiWriter, core::ClientTrust::kByzantine);
+        n, b, core::SharingMode::kMultiWriter, core::ClientTrust::kByzantine, registry);
     const auto [mq_write, mq_read] = masking_quorum_costs(n, b);
     const OpCost pbft = pbft_costs(b);
+
+    json.begin_row();
+    json.field("n", static_cast<std::uint64_t>(n));
+    json.field("b", static_cast<std::uint64_t>(b));
+    json.field("ss_write_msgs", honest.write.messages);
+    json.field("ss_read_msgs", honest.read.messages);
+    json.field("ss_read_two_phase_msgs", two_phase.read.messages);
+    json.field("ss_byz_write_msgs", hardened.write.messages);
+    json.field("ss_byz_read_msgs", hardened.read.messages);
+    json.field("mq_write_msgs", mq_write.messages);
+    json.field("mq_read_msgs", mq_read.messages);
+    json.field("pbft_op_msgs", pbft.messages);
 
     table.cell(static_cast<std::uint64_t>(n));
     table.cell(static_cast<std::uint64_t>(b));
@@ -179,6 +196,8 @@ void run() {
       "then one value fetch — cheaper in BYTES for large values). ssB\n"
       "(hardened §5.3) scales with 2b+1. Masking-quorum writes pay two\n"
       "q-sized phases; PBFT grows quadratically in n.\n");
+
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

@@ -33,11 +33,13 @@ core::GroupPolicy policy(core::SharingMode sharing, core::ClientTrust trust) {
   return core::GroupPolicy{kGroup, core::ConsistencyModel::kMRC, sharing, trust};
 }
 
-void secure_store_rows(Table& table, std::uint32_t n, std::uint32_t b) {
+void secure_store_rows(Table& table, BenchJson& json, std::uint32_t n, std::uint32_t b,
+                       std::shared_ptr<obs::Registry> registry) {
   testkit::ClusterOptions options;
   options.n = n;
   options.b = b;
   options.start_gossip = false;
+  options.registry = std::move(registry);
   testkit::Cluster cluster(options);
   cluster.set_group_policy(policy(core::SharingMode::kSingleWriter, core::ClientTrust::kHonest));
 
@@ -54,6 +56,13 @@ void secure_store_rows(Table& table, std::uint32_t n, std::uint32_t b) {
     table.cell(cost.verifies);
     table.cell(cost.digests);
     table.end_row();
+    json.begin_row();
+    json.field("op", op);
+    json.field("n", static_cast<std::uint64_t>(n));
+    json.field("b", static_cast<std::uint64_t>(b));
+    json.field("signs", cost.signs);
+    json.field("verifies", cost.verifies);
+    json.field("digests", cost.digests);
   };
 
   row("ctx-read(fresh)", measure(cluster, [&] { return sync.connect(kGroup).ok(); }));
@@ -153,10 +162,14 @@ void run() {
 
   Table table({"op", "n", "b", "signs", "verifies", "digests"});
   table.print_header();
-  secure_store_rows(table, 4, 1);
-  secure_store_rows(table, 10, 3);
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e3_crypto_costs");
+  secure_store_rows(table, json, 4, 1, registry);
+  secure_store_rows(table, json, 10, 3, registry);
 
   primitive_timings();
+
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

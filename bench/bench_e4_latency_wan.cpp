@@ -36,13 +36,15 @@ struct LatencyPair {
   sim::TransportStats transport;  // whole-cell traffic (secure store only)
 };
 
-LatencyPair secure_store_latency(std::uint32_t n, std::uint32_t b, std::uint64_t seed) {
+LatencyPair secure_store_latency(std::uint32_t n, std::uint32_t b, std::uint64_t seed,
+                                 std::shared_ptr<obs::Registry> registry = nullptr) {
   testkit::ClusterOptions options;
   options.n = n;
   options.b = b;
   options.seed = seed;
   options.link = sim::wan_profile();
   options.gossip.period = milliseconds(500);
+  options.registry = std::move(registry);
   testkit::Cluster cluster(options);
   cluster.set_group_policy(mrc_policy());
 
@@ -145,15 +147,28 @@ void run() {
   Table table({"n", "b", "ss_write", "ss_read", "mq_write", "mq_read", "pbft_op", "ss_msgs"});
   table.print_header();
 
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e4_latency_wan");
+
   sim::TransportStats total;
   for (std::uint32_t b : {1u, 2u, 3u, 4u}) {
     const std::uint32_t n = 3 * b + 1;
-    const LatencyPair ss = secure_store_latency(n, b, /*seed=*/100 + b);
+    const LatencyPair ss = secure_store_latency(n, b, /*seed=*/100 + b, registry);
     const LatencyPair mq = masking_quorum_latency(n, b, /*seed=*/200 + b);
     const double pbft = pbft_latency(b, /*seed=*/300 + b);
     total.messages_sent += ss.transport.messages_sent;
     total.messages_dropped += ss.transport.messages_dropped;
     total.bytes_sent += ss.transport.bytes_sent;
+
+    json.begin_row();
+    json.field("n", static_cast<std::uint64_t>(n));
+    json.field("b", static_cast<std::uint64_t>(b));
+    json.field("ss_write_ms", ss.write_ms);
+    json.field("ss_read_ms", ss.read_ms);
+    json.field("mq_write_ms", mq.write_ms);
+    json.field("mq_read_ms", mq.read_ms);
+    json.field("pbft_op_ms", pbft);
+    json.field("ss_msgs", ss.transport.messages_sent);
 
     table.cell(static_cast<std::uint64_t>(n));
     table.cell(static_cast<std::uint64_t>(b));
@@ -177,6 +192,8 @@ void run() {
       "the max over a larger quorum is itself larger. PBFT pays request +\n"
       "pre-prepare + prepare + commit + reply: ~4 WAN hops before the client\n"
       "hears back, the §6 prediction for high-latency environments.\n");
+
+  emit_metrics(json, *registry);
 
   lan_crossover();
 }

@@ -32,12 +32,14 @@ struct CellResult {
   double stale_fraction = 0;  // reads that failed every round
 };
 
-CellResult run_cell(SimDuration gossip_period, SimDuration read_delay, std::uint64_t seed) {
+CellResult run_cell(SimDuration gossip_period, SimDuration read_delay, std::uint64_t seed,
+                    std::shared_ptr<obs::Registry> registry) {
   testkit::ClusterOptions options;
   options.n = 7;
   options.b = 2;
   options.seed = seed;
   options.gossip.period = gossip_period;
+  options.registry = std::move(registry);
   testkit::Cluster cluster(options);
   cluster.set_group_policy(mrc_policy());
 
@@ -101,13 +103,23 @@ void run() {
   Table table({"gossip_ms", "read_after_ms", "rd_msgs", "wr_msgs", "escalated", "failed"});
   table.print_header();
 
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e5_dissemination");
+
   const SimDuration read_delays[] = {milliseconds(50), milliseconds(500), seconds(5)};
   const SimDuration gossip_periods[] = {milliseconds(20), milliseconds(100),
                                         milliseconds(500), seconds(2), seconds(10)};
 
   for (const SimDuration read_delay : read_delays) {
     for (const SimDuration period : gossip_periods) {
-      const CellResult cell = run_cell(period, read_delay, /*seed=*/1000 + period);
+      const CellResult cell = run_cell(period, read_delay, /*seed=*/1000 + period, registry);
+      json.begin_row();
+      json.field("gossip_ms", to_milliseconds(period));
+      json.field("read_after_ms", to_milliseconds(read_delay));
+      json.field("read_msgs", cell.read_messages);
+      json.field("write_msgs", cell.write_messages);
+      json.field("escalated_fraction", cell.escalated_fraction);
+      json.field("stale_fraction", cell.stale_fraction);
       table.cell(to_milliseconds(period));
       table.cell(to_milliseconds(read_delay));
       table.cell(cell.read_messages);
@@ -125,6 +137,8 @@ void run() {
       "infrequent writes, reads cost their floor of 2(b+1)+2 messages — close\n"
       "to the write's 2(b+1) as §6 predicts. Slow gossip + eager reads force\n"
       "escalation rounds (more messages) and eventually failures.\n");
+
+  emit_metrics(json, *registry);
 
   read_repair_ablation();
 }

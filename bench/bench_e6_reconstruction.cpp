@@ -25,6 +25,9 @@ void run() {
   Table table({"n", "b", "items", "acq_msgs", "acq_ms", "rec_msgs", "rec_ms", "rec_bytes"});
   table.print_header();
 
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e6_reconstruction");
+
   for (std::uint32_t n : {4u, 10u, 16u}) {
     const std::uint32_t b = (n - 1) / 3;
     for (std::size_t items : {2u, 8u, 32u}) {
@@ -33,6 +36,7 @@ void run() {
       options.b = b;
       options.link = sim::wan_profile();
       options.gossip.period = milliseconds(200);
+      options.registry = registry;
       testkit::Cluster cluster(options);
       cluster.set_group_policy(mrc_policy());
 
@@ -54,6 +58,16 @@ void run() {
       const OpCost reconstruction =
           measure(cluster, [&] { return sync.reconstruct_context(kGroup).ok(); });
 
+      json.begin_row();
+      json.field("n", static_cast<std::uint64_t>(n));
+      json.field("b", static_cast<std::uint64_t>(b));
+      json.field("items", static_cast<std::uint64_t>(items));
+      json.field("acquire_msgs", acquisition.messages);
+      json.field("acquire_ms", to_milliseconds(acquisition.latency));
+      json.field("reconstruct_msgs", reconstruction.messages);
+      json.field("reconstruct_ms", to_milliseconds(reconstruction.latency));
+      json.field("reconstruct_bytes", reconstruction.bytes);
+
       table.cell(static_cast<std::uint64_t>(n));
       table.cell(static_cast<std::uint64_t>(b));
       table.cell(static_cast<std::uint64_t>(items));
@@ -71,6 +85,8 @@ void run() {
       "finish as soon as the quorum answers. Reconstruction sends to all n\n"
       "servers, waits for n-b, and each reply carries per-item signed meta —\n"
       "bytes grow with the group size. The §5.1 'more expensive' path, priced.\n");
+
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

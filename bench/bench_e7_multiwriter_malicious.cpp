@@ -31,12 +31,13 @@ core::GroupPolicy honest_policy() {
                            core::SharingMode::kMultiWriter, core::ClientTrust::kHonest};
 }
 
-void spurious_context_attack() {
+void spurious_context_attack(BenchJson& json, const std::shared_ptr<obs::Registry>& registry) {
   std::printf("--- spurious-context DoS (n=4, b=1, 20 poisoned writes) ---\n");
 
   testkit::ClusterOptions options;
   options.n = 4;
   options.b = 1;
+  options.registry = registry;
   testkit::Cluster cluster(options);
   cluster.set_group_policy(byz_policy());
 
@@ -78,6 +79,13 @@ void spurious_context_attack() {
     held += cluster.server(s).held_writes();
   }
 
+  json.begin_row();
+  json.field("section", "spurious_context_dos");
+  json.field("rounds", static_cast<std::uint64_t>(kRounds));
+  json.field("reads_ok", static_cast<std::uint64_t>(reads_ok));
+  json.field("reads_poisoned", static_cast<std::uint64_t>(reads_poisoned));
+  json.field("held_writes", static_cast<std::uint64_t>(held));
+
   std::printf("  honest reads returning honest data:  %d / %d\n", reads_ok, kRounds);
   std::printf("  reads that polluted the context:     %d / %d\n", reads_poisoned, kRounds);
   std::printf("  poisoned writes parked in hold queues: %zu (never reported)\n", held);
@@ -89,13 +97,14 @@ void spurious_context_attack() {
       kRounds, kRounds);
 }
 
-void log_retention() {
+void log_retention(BenchJson& json, const std::shared_ptr<obs::Registry>& registry) {
   std::printf("--- log retention: stability-certificate GC (n=4, b=1, 30 writes) ---\n");
 
   auto run = [&](bool gc) {
     testkit::ClusterOptions options;
     options.n = 4;
     options.b = 1;
+    options.registry = registry;
     testkit::Cluster cluster(options);
     cluster.set_group_policy(byz_policy());
 
@@ -123,6 +132,13 @@ void log_retention() {
 
   const auto [log_with_gc, msgs_with_gc] = run(true);
   const auto [log_without_gc, msgs_without_gc] = run(false);
+  for (const bool gc : {true, false}) {
+    json.begin_row();
+    json.field("section", "log_retention");
+    json.field("gc", gc ? "on" : "off");
+    json.field("log_entries", static_cast<std::uint64_t>(gc ? log_with_gc : log_without_gc));
+    json.field("write_msgs", gc ? msgs_with_gc : msgs_without_gc);
+  }
   std::printf("  with GC:    total log entries across servers = %3zu, write msgs = %llu\n",
               log_with_gc, static_cast<unsigned long long>(msgs_with_gc));
   std::printf("  without GC: total log entries across servers = %3zu, write msgs = %llu\n",
@@ -133,7 +149,7 @@ void log_retention() {
       "  values could be erased once a new value is available at 2b+1 servers').\n\n");
 }
 
-void quorum_growth() {
+void quorum_growth(BenchJson& json, const std::shared_ptr<obs::Registry>& registry) {
   std::printf("--- honest (b+1) vs hardened (2b+1) multi-writer cost ---\n");
   Table table({"b", "mode", "wr_msgs", "rd_msgs", "wr_ms", "rd_ms"});
   table.print_header();
@@ -145,6 +161,7 @@ void quorum_growth() {
       options.b = b;
       options.link = sim::wan_profile();
       options.start_gossip = false;
+      options.registry = registry;
       testkit::Cluster cluster(options);
       cluster.set_group_policy(hardened ? byz_policy() : honest_policy());
 
@@ -158,6 +175,15 @@ void quorum_growth() {
       const OpCost write_cost =
           measure(cluster, [&] { return sync.write(kPlan, to_bytes("v")).ok(); });
       const OpCost read_cost = measure(cluster, [&] { return sync.read_value(kPlan).ok(); });
+
+      json.begin_row();
+      json.field("section", "quorum_growth");
+      json.field("b", static_cast<std::uint64_t>(b));
+      json.field("mode", hardened ? "2b+1" : "b+1");
+      json.field("write_msgs", write_cost.messages);
+      json.field("read_msgs", read_cost.messages);
+      json.field("write_ms", to_milliseconds(write_cost.latency));
+      json.field("read_ms", to_milliseconds(read_cost.latency));
 
       table.cell(static_cast<std::uint64_t>(b));
       table.cell(std::string(hardened ? "2b+1" : "b+1"));
@@ -179,9 +205,12 @@ void run() {
   print_claim(
       "causal holds neutralize the spurious-context DoS; logs stay bounded "
       "via 2b+1 stability certificates; hardening costs b+1 -> 2b+1");
-  spurious_context_attack();
-  log_retention();
-  quorum_growth();
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e7_multiwriter_malicious");
+  spurious_context_attack(json, registry);
+  log_retention(json, registry);
+  quorum_growth(json, registry);
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

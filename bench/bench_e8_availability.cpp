@@ -27,7 +27,8 @@ struct Rates {
 };
 
 Rates run_cell(std::uint32_t n, std::uint32_t b, std::size_t faulty_count,
-               faults::ServerFault fault, int trials) {
+               faults::ServerFault fault, int trials,
+               const std::shared_ptr<obs::Registry>& registry) {
   int connect_ok = 0, write_ok = 0, read_ok = 0, read_correct = 0;
   sim::TransportStats transport_total;
 
@@ -37,6 +38,7 @@ Rates run_cell(std::uint32_t n, std::uint32_t b, std::size_t faulty_count,
     options.b = b;
     options.seed = 5000 + static_cast<std::uint64_t>(trial) * 131 + faulty_count;
     options.gossip.period = milliseconds(200);
+    options.registry = registry;
     for (std::size_t i = 0; i < faulty_count; ++i) {
       options.server_faults.push_back({static_cast<std::uint32_t>(i), {fault}});
     }
@@ -100,13 +102,14 @@ void run() {
   Table table({"fault", "faulty", "connect", "write", "read", "read_correct", "msgs"});
   table.print_header();
   BenchJson json("e8_availability");
+  auto registry = std::make_shared<obs::Registry>();
 
   for (const auto& fault_case : kFaults) {
     const std::size_t max_faulty = fault_case.fault == faults::ServerFault::kCrash
                                        ? n - (b + 1) + 1  // one past the data-op limit
                                        : b + 1;
     for (std::size_t faulty = 0; faulty <= max_faulty; ++faulty) {
-      const Rates rates = run_cell(n, b, faulty, fault_case.fault, kTrials);
+      const Rates rates = run_cell(n, b, faulty, fault_case.fault, kTrials, registry);
       table.cell(std::string(fault_case.name));
       table.cell(static_cast<std::uint64_t>(faulty));
       table.cell(rates.connect);
@@ -136,6 +139,8 @@ void run() {
       "signatures and timestamps — they can only force escalation. The msgs\n"
       "column (transport messages_sent, summed over the cell's trials) shows\n"
       "the price: faulty servers force retry/escalation traffic.\n");
+
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

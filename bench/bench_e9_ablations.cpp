@@ -26,7 +26,7 @@ core::GroupPolicy mrc_policy() {
                            core::SharingMode::kSingleWriter, core::ClientTrust::kHonest};
 }
 
-void gossip_ablation() {
+void gossip_ablation(BenchJson& json, const std::shared_ptr<obs::Registry>& registry) {
   std::printf("--- A. gossip fanout / push-on-write (n=10, b=3) ---\n");
   Table table({"fanout", "push", "converge_ms", "msgs_total", "msgs_gossip"});
   table.print_header();
@@ -40,6 +40,7 @@ void gossip_ablation() {
       options.gossip.period = milliseconds(500);
       options.gossip.fanout = fanout;
       options.gossip.push_on_write = push;
+      options.registry = registry;
       testkit::Cluster cluster(options);
       cluster.set_group_policy(mrc_policy());
 
@@ -65,6 +66,14 @@ void gossip_ablation() {
       const double converge_ms = to_milliseconds(cluster.scheduler().now() - start);
       const std::uint64_t total =
           cluster.transport().stats().messages_sent - stats_before.messages_sent;
+
+      json.begin_row();
+      json.field("section", "gossip");
+      json.field("fanout", static_cast<std::uint64_t>(fanout));
+      json.field("push_on_write", push ? "yes" : "no");
+      json.field("converge_ms", converge_ms);
+      json.field("msgs_total", total);
+      json.field("msgs_gossip", total - write_cost.messages);
 
       table.cell(static_cast<std::uint64_t>(fanout));
       table.cell(std::string(push ? "yes" : "no"));
@@ -183,7 +192,7 @@ void fragmentation_ablation() {
       "  as complementary to the secure store.\n");
 }
 
-void dynamic_quorum_ablation() {
+void dynamic_quorum_ablation(BenchJson& json, const std::shared_ptr<obs::Registry>& registry) {
   std::printf("--- D. dynamic Byzantine quorums (§3, Alvisi et al.) ---\n");
   Table table({"b", "mode", "wr_msgs", "rd_msgs"});
   table.print_header();
@@ -194,6 +203,7 @@ void dynamic_quorum_ablation() {
       options.n = 3 * b + 1;
       options.b = b;
       options.start_gossip = false;
+      options.registry = registry;
       testkit::Cluster cluster(options);
       cluster.set_group_policy(mrc_policy());
 
@@ -209,6 +219,13 @@ void dynamic_quorum_ablation() {
       const OpCost write_cost =
           measure(cluster, [&] { return sync.write(kItem, to_bytes("v")).ok(); });
       const OpCost read_cost = measure(cluster, [&] { return sync.read_value(kItem).ok(); });
+
+      json.begin_row();
+      json.field("section", "dynamic_quorums");
+      json.field("b", static_cast<std::uint64_t>(b));
+      json.field("mode", dynamic ? "dynamic" : "static");
+      json.field("write_msgs", write_cost.messages);
+      json.field("read_msgs", read_cost.messages);
 
       table.cell(static_cast<std::uint64_t>(b));
       table.cell(std::string(dynamic ? "dynamic" : "static"));
@@ -317,11 +334,14 @@ void scattered_store_ablation() {
 void run() {
   print_title("E9: ablations — gossip tuning, ts privacy, fragmentation");
   print_claim("design knobs the paper discusses qualitatively, priced");
-  gossip_ablation();
+  auto registry = std::make_shared<obs::Registry>();
+  BenchJson json("e9_ablations");
+  gossip_ablation(json, registry);
   privacy_ablation();
   fragmentation_ablation();
-  dynamic_quorum_ablation();
+  dynamic_quorum_ablation(json, registry);
   scattered_store_ablation();
+  emit_metrics(json, *registry);
 }
 
 }  // namespace

@@ -20,7 +20,9 @@ SecureStoreClient::SecureStoreClient(net::Transport& transport, NodeId network_i
       keys_(std::move(keys)),
       config_(std::move(config)),
       options_(std::move(options)),
-      rng_(std::move(rng)) {
+      rng_(std::move(rng)),
+      fault_silent_(transport.registry().counter("client.fault.silent")),
+      fault_forgery_(transport.registry().counter("client.fault.forgery")) {
   config_.validate();
   if (!options_.codec) options_.codec = std::make_shared<PlainValueCodec>();
   if (options_.dynamic_quorums.has_value()) {
@@ -77,16 +79,36 @@ void SecureStoreClient::note_responded(NodeId server) {
 
 void SecureStoreClient::note_silent(const std::vector<NodeId>& targets,
                                     const std::vector<NodeId>& responders) {
-  if (!estimator_.has_value()) return;
   for (const NodeId target : targets) {
     if (std::find(responders.begin(), responders.end(), target) == responders.end()) {
-      estimator_->report_soft_evidence(target);
+      fault_silent_.inc();
+      if (estimator_.has_value()) estimator_->report_soft_evidence(target);
     }
   }
 }
 
 void SecureStoreClient::note_forgery(NodeId server) {
+  fault_forgery_.inc();
   if (estimator_.has_value()) estimator_->report_hard_evidence(server);
+}
+
+SecureStoreClient::Trace SecureStoreClient::begin_trace(std::string op) {
+  // The transport clock keeps span semantics identical across worlds:
+  // virtual microseconds under the simulator, wall microseconds since
+  // transport start on the thread/TCP transports.
+  return obs::start_trace(
+      node_.transport().registry(), std::move(op),
+      [this] { return static_cast<std::uint64_t>(node_.transport().now()); });
+}
+
+std::string SecureStoreClient::data_op_name(std::string_view verb) const {
+  const char* protocol = "p3";
+  if (options_.policy.sharing == SharingMode::kMultiWriter) {
+    protocol = options_.policy.trust == ClientTrust::kByzantine ? "p6" : "p5";
+  } else if (verb == "read") {
+    protocol = "p4";
+  }
+  return std::string("client.") + protocol + "." + std::string(verb);
 }
 
 const Bytes* SecureStoreClient::writer_key(ClientId writer) const {
@@ -110,10 +132,10 @@ std::size_t SecureStoreClient::write_set_size() const {
 // ---------------------------------------------------------------------------
 
 void SecureStoreClient::connect(GroupId group, VoidCb done) {
-  connect_attempt(group, /*round=*/0, std::move(done));
+  connect_attempt(group, /*round=*/0, begin_trace("client.p1.connect"), std::move(done));
 }
 
-void SecureStoreClient::connect_attempt(GroupId group, unsigned round, VoidCb done) {
+void SecureStoreClient::connect_attempt(GroupId group, unsigned round, Trace trace, VoidCb done) {
   const std::size_t quorum = config_.context_quorum();
   const std::size_t target_count =
       std::min<std::size_t>(config_.n, quorum + round * config_.read_escalation_step);
@@ -130,6 +152,7 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, VoidCb do
   auto candidates = std::make_shared<std::vector<StoredContext>>();
   auto replies = std::make_shared<std::size_t>(0);
 
+  trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kContextRead, body,
       [this, candidates, replies, group, quorum](NodeId /*from*/, net::MsgType /*type*/,
@@ -149,9 +172,10 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, VoidCb do
         }
         return *replies >= quorum;
       },
-      [this, candidates, replies, group, quorum, round, done](net::QuorumOutcome outcome,
-                                                              std::size_t) {
+      [this, candidates, replies, group, quorum, round, trace, done](net::QuorumOutcome outcome,
+                                                                     std::size_t) {
         if (*replies >= quorum) {
+          trace->phase("verify");
           // One client's honest contexts are totally ordered by dominance,
           // so the pointwise timestamp sum is a valid newest-first sort
           // key; forged "newer" contexts fail verification and we fall
@@ -173,13 +197,16 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, VoidCb do
             }
           }
           connected_ = true;
+          trace->finish(true);
           done(VoidResult{});
           return;
         }
         if (round + 1 < options_.max_read_rounds) {
-          connect_attempt(group, round + 1, done);
+          trace->add("retries");
+          connect_attempt(group, round + 1, trace, done);
           return;
         }
+        trace->finish(false);
         done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
                                                                 : Error::kInsufficientQuorum,
                         "context read quorum not reached"));
@@ -188,14 +215,15 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, VoidCb do
 }
 
 void SecureStoreClient::disconnect(VoidCb done) {
-  disconnect_attempt(/*round=*/0, std::move(done));
+  disconnect_attempt(/*round=*/0, begin_trace("client.p1.disconnect"), std::move(done));
 }
 
-void SecureStoreClient::disconnect_attempt(unsigned round, VoidCb done) {
+void SecureStoreClient::disconnect_attempt(unsigned round, Trace trace, VoidCb done) {
   const std::size_t quorum = config_.context_quorum();
   const std::size_t target_count =
       std::min<std::size_t>(config_.n, quorum + round * config_.read_escalation_step);
 
+  trace->phase("sign");
   StoredContext stored;
   stored.owner = client_id_;
   stored.context = context_;
@@ -206,6 +234,7 @@ void SecureStoreClient::disconnect_attempt(unsigned round, VoidCb done) {
   const Bytes body = req.serialize();
 
   auto acks = std::make_shared<std::size_t>(0);
+  trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kContextWrite, body,
       [acks, quorum](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
@@ -215,16 +244,19 @@ void SecureStoreClient::disconnect_attempt(unsigned round, VoidCb done) {
         }
         return *acks >= quorum;
       },
-      [this, acks, quorum, round, done](net::QuorumOutcome outcome, std::size_t) {
+      [this, acks, quorum, round, trace, done](net::QuorumOutcome outcome, std::size_t) {
         if (*acks >= quorum) {
           connected_ = false;
+          trace->finish(true);
           done(VoidResult{});
           return;
         }
         if (round + 1 < options_.max_read_rounds) {
-          disconnect_attempt(round + 1, done);
+          trace->add("retries");
+          disconnect_attempt(round + 1, trace, done);
           return;
         }
+        trace->finish(false);
         done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
                                                                 : Error::kInsufficientQuorum,
                         "context write quorum not reached"));
@@ -248,6 +280,8 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
   auto rebuilt = std::make_shared<Context>(group);
   auto replies = std::make_shared<std::size_t>(0);
 
+  auto trace = begin_trace("client.p2.reconstruct");
+  trace->phase("quorum");
   net::QuorumCall::start(
       node_, config_.servers, net::MsgType::kReconstruct, body,
       [this, rebuilt, replies, group](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
@@ -266,13 +300,15 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
         }
         return false;  // hear from as many servers as possible
       },
-      [this, rebuilt, replies, needed, done](net::QuorumOutcome outcome, std::size_t) {
+      [this, rebuilt, replies, needed, trace, done](net::QuorumOutcome outcome, std::size_t) {
         if (*replies >= needed) {
           context_ = *rebuilt;
           connected_ = true;
+          trace->finish(true);
           done(VoidResult{});
           return;
         }
+        trace->finish(false);
         done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
                                                                 : Error::kInsufficientQuorum,
                         "reconstruction needs n-b responses"));
@@ -291,6 +327,8 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
   auto newest = std::make_shared<std::map<ItemId, WriteRecord>>();
   auto replies = std::make_shared<std::size_t>(0);
 
+  auto trace = begin_trace("client.p2.list");
+  trace->phase("quorum");
   net::QuorumCall::start(
       node_, config_.servers, net::MsgType::kReconstruct, body,
       [this, newest, replies, group](NodeId /*from*/, net::MsgType /*type*/,
@@ -308,8 +346,9 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
         }
         return false;
       },
-      [newest, replies, needed, done](net::QuorumOutcome outcome, std::size_t) {
+      [newest, replies, needed, trace, done](net::QuorumOutcome outcome, std::size_t) {
         if (*replies < needed) {
+          trace->finish(false);
           done(Result<std::vector<GroupEntry>>(
               outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
                                                       : Error::kInsufficientQuorum,
@@ -321,6 +360,7 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
         for (const auto& [item, meta] : *newest) {
           entries.push_back(GroupEntry{item, meta.ts, meta.writer});
         }
+        trace->finish(true);
         done(Result<std::vector<GroupEntry>>(std::move(entries)));
       },
       net::QuorumCall::Options{options_.round_timeout});
@@ -349,6 +389,8 @@ Timestamp SecureStoreClient::next_timestamp(ItemId item, BytesView value_digest)
 }
 
 void SecureStoreClient::write(ItemId item, BytesView value, VoidCb done) {
+  auto trace = begin_trace(data_op_name("write"));
+  trace->phase("sign");
   auto record = std::make_shared<WriteRecord>();
   record->item = item;
   record->group = options_.policy.group;
@@ -372,12 +414,13 @@ void SecureStoreClient::write(ItemId item, BytesView value, VoidCb done) {
   record->sign(keys_.seed);
 
   auto shares = std::make_shared<std::vector<Bytes>>();
-  send_write(record, write_set_size(), /*round=*/0, shares, std::move(done));
+  send_write(record, write_set_size(), /*round=*/0, shares, std::move(trace), std::move(done));
 }
 
 void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
                                    std::size_t target_count, unsigned round,
-                                   std::shared_ptr<std::vector<Bytes>> shares, VoidCb done) {
+                                   std::shared_ptr<std::vector<Bytes>> shares, Trace trace,
+                                   VoidCb done) {
   const std::size_t quorum = write_set_size();
 
   WriteReq req;
@@ -386,6 +429,7 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
   const Bytes body = req.serialize();
 
   auto acks = std::make_shared<std::size_t>(0);
+  trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kWrite, body,
       [acks, shares, quorum](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
@@ -399,9 +443,10 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
         }
         return *acks >= quorum;
       },
-      [this, record, target_count, round, shares, acks, quorum,
+      [this, record, target_count, round, shares, acks, quorum, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
         if (*acks >= quorum) {
+          trace->finish(true);
           finish_write(*record, done);
           if (options_.stability_gc && !shares->empty() &&
               shares->size() >= config_.stability_threshold()) {
@@ -412,13 +457,15 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
         // Not enough acks: escalate to a larger server set, Fig. 2's
         // "contact additional servers".
         if (round + 1 >= options_.max_read_rounds) {
+          trace->finish(false);
           done(VoidResult(Error::kTimeout, "write quorum not reached after escalation"));
           return;
         }
+        trace->add("retries");
         shares->clear();
         const std::size_t next_targets =
             std::min<std::size_t>(config_.n, target_count + config_.read_escalation_step);
-        send_write(record, next_targets, round + 1, shares, done);
+        send_write(record, next_targets, round + 1, shares, trace, done);
       },
       net::QuorumCall::Options{options_.round_timeout});
 }
@@ -462,14 +509,16 @@ void SecureStoreClient::broadcast_stability(const WriteRecord& record,
 void SecureStoreClient::read(ItemId item, ReadCb done) {
   const bool hardened = options_.policy.sharing == SharingMode::kMultiWriter &&
                         options_.policy.trust == ClientTrust::kByzantine;
+  auto trace = begin_trace(data_op_name("read"));
   if (hardened) {
-    read_multi_writer(item, /*round=*/0, std::move(done));
+    read_multi_writer(item, /*round=*/0, std::move(trace), std::move(done));
   } else {
-    read_single_writer(item, /*round=*/0, std::move(done));
+    read_single_writer(item, /*round=*/0, std::move(trace), std::move(done));
   }
 }
 
-void SecureStoreClient::read_single_writer(ItemId item, unsigned round, ReadCb done) {
+void SecureStoreClient::read_single_writer(ItemId item, unsigned round, Trace trace,
+                                           ReadCb done) {
   // Fig. 2 phase 1: "send (uid(x_j), t_j) to b+1 or more servers" — each
   // escalation round widens the set.
   const std::size_t target_count = std::min<std::size_t>(
@@ -494,6 +543,7 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, ReadCb d
   auto metas = std::make_shared<std::vector<Advertised>>();
   auto responders = std::make_shared<std::vector<NodeId>>();
   auto targets = std::make_shared<std::vector<NodeId>>(pick_servers(target_count));
+  trace->phase("quorum");
   net::QuorumCall::start(
       node_, *targets, net::MsgType::kMetaRequest, body,
       [this, metas, responders, item](NodeId from, net::MsgType /*type*/,
@@ -514,8 +564,9 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, ReadCb d
         }
         return false;  // collect every reply in the round: we want max t_r
       },
-      [this, metas, responders, targets, item, round, done](net::QuorumOutcome /*outcome*/,
-                                                            std::size_t) {
+      [this, metas, responders, targets, item, round, trace, done](net::QuorumOutcome /*outcome*/,
+                                                                   std::size_t) {
+        trace->phase("verify");
         note_silent(*targets, *responders);
         // Multi-writer (honest) equivocation check. Unverified claims are
         // not enough to condemn a writer — a malicious server could frame
@@ -528,6 +579,8 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, ReadCb d
             if (!a.ts.equivocates(b.ts)) continue;
             if (a.verify_meta(*writer_key(a.writer)) &&
                 b.verify_meta(*writer_key(b.writer))) {
+              trace->add("equivocations_seen");
+              trace->finish(false);
               done(Result<ReadOutput>(Error::kFaultyWriter,
                                       "equivocating timestamps in meta replies"));
               return;
@@ -579,7 +632,7 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, ReadCb d
                     }
                   }
                 }
-                accept_read(candidate.record, done);
+                accept_read(candidate.record, trace, done);
                 return;
               }
               // A server advertising an unverifiable record is provably
@@ -598,16 +651,18 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, ReadCb d
             }
             fetch_candidate(item, std::move(fetchable),
                             std::make_shared<std::vector<NodeId>>(pick_servers(fetch_targets)),
-                            /*candidate_idx=*/0, /*server_idx=*/0, round, done);
+                            /*candidate_idx=*/0, /*server_idx=*/0, round, trace, done);
             return;
           }
         }
 
         // Stale (or nothing at all): escalate or give up.
         if (round + 1 < options_.max_read_rounds) {
-          read_single_writer(item, round + 1, done);
+          trace->add("retries");
+          read_single_writer(item, round + 1, trace, done);
           return;
         }
+        trace->finish(false);
         done(Result<ReadOutput>(metas->empty() ? Error::kNotFound : Error::kStale,
                                 metas->empty() ? "no server returned the item"
                                                : "all replies older than context"));
@@ -619,19 +674,21 @@ void SecureStoreClient::fetch_candidate(ItemId item,
                                         std::shared_ptr<std::vector<WriteRecord>> candidates,
                                         std::shared_ptr<std::vector<NodeId>> servers,
                                         std::size_t candidate_idx, std::size_t server_idx,
-                                        unsigned round, ReadCb done) {
+                                        unsigned round, Trace trace, ReadCb done) {
   if (candidate_idx >= candidates->size()) {
     // No candidate could be substantiated from this round's servers:
     // escalate (Fig. 2: "contact additional servers or try later").
     if (round + 1 < options_.max_read_rounds) {
-      read_single_writer(item, round + 1, done);
+      trace->add("retries");
+      read_single_writer(item, round + 1, trace, done);
     } else {
+      trace->finish(false);
       done(Result<ReadOutput>(Error::kStale, "no advertised value could be fetched"));
     }
     return;
   }
   if (server_idx >= servers->size()) {
-    fetch_candidate(item, candidates, servers, candidate_idx + 1, 0, round, done);
+    fetch_candidate(item, candidates, servers, candidate_idx + 1, 0, round, trace, done);
     return;
   }
 
@@ -645,6 +702,7 @@ void SecureStoreClient::fetch_candidate(ItemId item,
   const Bytes body = req.serialize();
 
   auto accepted = std::make_shared<std::optional<WriteRecord>>();
+  trace->phase("fetch");
   net::QuorumCall::start(
       node_, {(*servers)[server_idx]}, net::MsgType::kRead, body,
       [this, accepted, item, target_ts](NodeId /*from*/, net::MsgType /*type*/,
@@ -665,20 +723,22 @@ void SecureStoreClient::fetch_candidate(ItemId item,
         }
         return true;  // single-server call: a reply ends it either way
       },
-      [this, accepted, item, candidates, servers, candidate_idx, server_idx, round,
+      [this, accepted, item, candidates, servers, candidate_idx, server_idx, round, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
         if (accepted->has_value()) {
-          accept_read(**accepted, done);
+          accept_read(**accepted, trace, done);
           return;
         }
-        fetch_candidate(item, candidates, servers, candidate_idx, server_idx + 1, round, done);
+        fetch_candidate(item, candidates, servers, candidate_idx, server_idx + 1, round, trace,
+                        done);
       },
       net::QuorumCall::Options{options_.round_timeout});
 }
 
-void SecureStoreClient::accept_read(const WriteRecord& record, ReadCb done) {
+void SecureStoreClient::accept_read(const WriteRecord& record, Trace trace, ReadCb done) {
   const auto decoded = options_.codec->decode(record.item, record.value);
   if (!decoded.has_value()) {
+    trace->finish(false);
     done(Result<ReadOutput>(Error::kBadSignature, "value failed authenticated decryption"));
     return;
   }
@@ -695,6 +755,7 @@ void SecureStoreClient::accept_read(const WriteRecord& record, ReadCb done) {
   output.value = *decoded;
   output.ts = record.ts;
   output.writer = record.writer;
+  trace->finish(true);
   done(Result<ReadOutput>(std::move(output)));
 }
 
@@ -703,7 +764,7 @@ void SecureStoreClient::accept_read(const WriteRecord& record, ReadCb done) {
 // appears in b+1 of them.
 // ---------------------------------------------------------------------------
 
-void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, ReadCb done) {
+void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, Trace trace, ReadCb done) {
   const std::size_t target_count = std::min<std::size_t>(
       config_.n, config_.data_quorum_byzantine() + round * config_.read_escalation_step);
 
@@ -721,6 +782,7 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, ReadCb do
   auto faulty_votes = std::make_shared<std::size_t>(0);
   auto any_log_entry = std::make_shared<bool>(false);
 
+  trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kLogRead, body,
       [this, tallies, faulty_votes, any_log_entry, item](NodeId /*from*/, net::MsgType /*type*/,
@@ -753,11 +815,14 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, ReadCb do
         }
         return false;  // need the full 2b+1 round for the b+1 count
       },
-      [this, tallies, faulty_votes, any_log_entry, item, round,
+      [this, tallies, faulty_votes, any_log_entry, item, round, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        trace->phase("verify");
         // b+1 servers vouching for "this writer equivocated" means at least
         // one correct server saw it.
         if (*faulty_votes >= config_.agreement_threshold()) {
+          trace->add("equivocations_seen");
+          trace->finish(false);
           done(Result<ReadOutput>(Error::kFaultyWriter,
                                   "b+1 servers flagged the writer as equivocating"));
           return;
@@ -778,14 +843,16 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, ReadCb do
           // here (§6: "Clients do not have to do signature verification for
           // a read now since non-malicious servers do the validation before
           // reporting") — b+1 matching logs include at least one honest one.
-          accept_read(*best, done);
+          accept_read(*best, trace, done);
           return;
         }
 
         if (round + 1 < options_.max_read_rounds) {
-          read_multi_writer(item, round + 1, done);
+          trace->add("retries");
+          read_multi_writer(item, round + 1, trace, done);
           return;
         }
+        trace->finish(false);
         done(Result<ReadOutput>(*any_log_entry ? Error::kNoAgreement : Error::kNotFound,
                                 *any_log_entry
                                     ? "no value matched in b+1 logs at or above the context"

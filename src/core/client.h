@@ -29,6 +29,7 @@
 #include "crypto/keys.h"
 #include "net/quorum.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -139,29 +140,40 @@ class SecureStoreClient {
   void set_codec(std::shared_ptr<ValueCodec> codec);
 
  private:
+  using Trace = std::shared_ptr<obs::OpTrace>;
+
+  /// Opens an OpTrace on the transport clock (virtual under sim, wall on
+  /// real transports). `op` is the full metric prefix, e.g. "client.p4.read".
+  Trace begin_trace(std::string op);
+  /// The protocol number the group policy routes `verb` to: p3/p4 for
+  /// single-writer write/read, p5 for honest multi-writer, p6 for the §5.3
+  /// Byzantine-client path. Returns e.g. "client.p6.write".
+  std::string data_op_name(std::string_view verb) const;
+
   // Session helpers: like data ops, context ops start with the exact §6
   // quorum and escalate to more servers when members fail to respond.
-  void connect_attempt(GroupId group, unsigned round, VoidCb done);
-  void disconnect_attempt(unsigned round, VoidCb done);
+  void connect_attempt(GroupId group, unsigned round, Trace trace, VoidCb done);
+  void disconnect_attempt(unsigned round, Trace trace, VoidCb done);
 
   // Write path helpers.
   Timestamp next_timestamp(ItemId item, BytesView value_digest);
   void send_write(std::shared_ptr<WriteRecord> record, std::size_t target_count,
-                  unsigned round, std::shared_ptr<std::vector<Bytes>> shares, VoidCb done);
+                  unsigned round, std::shared_ptr<std::vector<Bytes>> shares, Trace trace,
+                  VoidCb done);
   void finish_write(const WriteRecord& record, VoidCb done);
   void broadcast_stability(const WriteRecord& record, std::vector<Bytes> shares);
 
   // Read paths.
-  void read_single_writer(ItemId item, unsigned round, ReadCb done);
+  void read_single_writer(ItemId item, unsigned round, Trace trace, ReadCb done);
   /// Fig. 2 phase 2: fetch the value for candidates[candidate_idx] from
   /// servers[server_idx], falling through servers then candidates then
   /// escalation rounds.
   void fetch_candidate(ItemId item, std::shared_ptr<std::vector<WriteRecord>> candidates,
                        std::shared_ptr<std::vector<NodeId>> servers, std::size_t candidate_idx,
-                       std::size_t server_idx, unsigned round, ReadCb done);
-  void read_multi_writer(ItemId item, unsigned round, ReadCb done);
+                       std::size_t server_idx, unsigned round, Trace trace, ReadCb done);
+  void read_multi_writer(ItemId item, unsigned round, Trace trace, ReadCb done);
 
-  void accept_read(const WriteRecord& record, ReadCb done);
+  void accept_read(const WriteRecord& record, Trace trace, ReadCb done);
 
   std::vector<NodeId> pick_servers(std::size_t count, std::size_t skip = 0) const;
   const Bytes* writer_key(ClientId writer) const;
@@ -185,6 +197,9 @@ class SecureStoreClient {
   bool connected_ = false;
   std::vector<NodeId> server_order_;
   std::optional<FaultEstimator> estimator_;
+  // Fault-suspicion accounting, counted whether or not the estimator is on.
+  obs::Counter& fault_silent_;
+  obs::Counter& fault_forgery_;
 };
 
 }  // namespace securestore::core

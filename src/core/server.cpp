@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/trace.h"
 #include "storage/snapshot.h"
 
 namespace securestore::core {
@@ -13,8 +14,36 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       config_(std::move(config)),
       keys_(std::move(keys)),
       options_(std::move(options)),
-      items_(config_.max_log_entries) {
+      items_(config_.max_log_entries),
+      req_other_(transport.registry().counter("server.req.other")),
+      equivocations_(transport.registry().counter("server.equivocations")),
+      hold_depth_(transport.registry().gauge("server." + std::to_string(id.value) +
+                                             ".hold_queue.depth")),
+      apply_us_(transport.registry().histogram("server.apply_us")),
+      wal_append_us_(transport.registry().histogram("server.wal.append_us")),
+      wal_sync_us_(transport.registry().histogram("server.wal.sync_us")) {
   config_.validate();
+  // Request-mix counters: one per request type this server answers, plus
+  // the gossip/stability oneways.
+  obs::Registry& registry = transport.registry();
+  const std::pair<net::MsgType, const char*> kReqNames[] = {
+      {net::MsgType::kContextRead, "context_read"},
+      {net::MsgType::kContextWrite, "context_write"},
+      {net::MsgType::kMetaRequest, "meta"},
+      {net::MsgType::kRead, "read"},
+      {net::MsgType::kWrite, "write"},
+      {net::MsgType::kLogRead, "log_read"},
+      {net::MsgType::kReconstruct, "reconstruct"},
+      {net::MsgType::kAuditRead, "audit_read"},
+      {net::MsgType::kGossipDigest, "gossip_digest"},
+      {net::MsgType::kGossipUpdates, "gossip_updates"},
+      {net::MsgType::kGossipRequest, "gossip_request"},
+      {net::MsgType::kStability, "stability"},
+  };
+  for (const auto& [type, name] : kReqNames) {
+    req_counters_[static_cast<std::uint16_t>(type)] =
+        &registry.counter(std::string("server.req.") + name);
+  }
   if (options_.authority_key.has_value()) {
     token_verifier_.emplace(*options_.authority_key);
   }
@@ -62,7 +91,9 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       node_.transport().schedule(
           options_.durability->flush_interval, [this, alive = alive_, self]() {
             if (!*alive) return;
+            const std::uint64_t start = obs::wall_now_us();
             wal_->sync();
+            wal_sync_us_.observe(static_cast<double>(obs::wall_now_us() - start));
             self(self);
           });
     };
@@ -151,7 +182,11 @@ void SecureStoreServer::replay_wal_entry(storage::WalEntryType type, BytesView p
 
 void SecureStoreServer::wal_append(storage::WalEntryType type, BytesView payload) {
   if (wal_ == nullptr || wal_replaying_) return;
+  // WAL latency is always wall time: disk I/O is real even when the rest of
+  // the deployment runs on the simulator's virtual clock.
+  const std::uint64_t start = obs::wall_now_us();
   wal_->append(type, payload);
+  wal_append_us_.observe(static_cast<double>(obs::wall_now_us() - start));
 }
 
 void SecureStoreServer::wal_append_record(storage::WalEntryType type,
@@ -159,7 +194,7 @@ void SecureStoreServer::wal_append_record(storage::WalEntryType type,
   if (wal_ == nullptr || wal_replaying_) return;
   Writer w;
   record.encode(w);
-  wal_->append(type, w.data());
+  wal_append(type, w.data());
 }
 
 SecureStoreServer::~SecureStoreServer() { *alive_ = false; }
@@ -235,6 +270,10 @@ bool SecureStoreServer::authorized(const std::optional<AuthToken>& token, Client
 
 std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
     NodeId from, net::MsgType type, BytesView body) {
+  // Request mix is counted before the fault hooks: the metric reflects what
+  // arrived, not what a muted server deigned to process.
+  const auto counter = req_counters_.find(static_cast<std::uint16_t>(type));
+  (counter != req_counters_.end() ? *counter->second : req_other_).inc();
   if (!accept_request(from, type)) return std::nullopt;
   if (auto preempted = preempt_request(from, type, body); preempted.has_value()) {
     return std::move(*preempted);
@@ -280,6 +319,8 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
 }
 
 void SecureStoreServer::handle_oneway(NodeId from, net::MsgType type, BytesView body) {
+  const auto counter = req_counters_.find(static_cast<std::uint16_t>(type));
+  (counter != req_counters_.end() ? *counter->second : req_other_).inc();
   if (!accept_request(from, type)) return;  // fault hook covers oneways too
   switch (type) {
     case net::MsgType::kGossipDigest:
@@ -421,6 +462,8 @@ bool SecureStoreServer::validate_record(const WriteRecord& record) const {
 }
 
 bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
+  // Apply latency is wall time (in-memory work, identical under sim).
+  const std::uint64_t apply_start = obs::wall_now_us();
   const GroupPolicy& policy = group_policy(record.group);
   const bool needs_hold = policy.sharing == SharingMode::kMultiWriter &&
                           policy.trust == ClientTrust::kByzantine &&
@@ -433,13 +476,17 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
 
   if (needs_hold && !storage::HoldQueue::dependencies_met(record, have)) {
     holds_.hold(record);
+    hold_depth_.set(static_cast<std::int64_t>(holds_.size()));
     // Held writes are acked too, so they must survive a crash; replay
     // re-parks them until their dependencies replay.
     wal_append_record(storage::WalEntryType::kWrite, record);
+    apply_us_.observe(static_cast<double>(obs::wall_now_us() - apply_start));
     return false;
   }
 
-  if (items_.apply(record) != storage::ApplyResult::kDuplicate) {
+  const storage::ApplyResult applied = items_.apply(record);
+  if (applied == storage::ApplyResult::kEquivocation) equivocations_.inc();
+  if (applied != storage::ApplyResult::kDuplicate) {
     // Logged even on kEquivocation (the record is not stored, but replay
     // needs both conflicting records to re-derive the faulty-writer flag).
     wal_append_record(storage::WalEntryType::kWrite, record);
@@ -450,13 +497,17 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
   while (true) {
     std::vector<WriteRecord> released = holds_.release(have);
     if (released.empty()) break;
+    hold_depth_.set(static_cast<std::int64_t>(holds_.size()));
     for (const WriteRecord& unblocked : released) {
-      if (items_.apply(unblocked) != storage::ApplyResult::kDuplicate) {
+      const storage::ApplyResult result = items_.apply(unblocked);
+      if (result == storage::ApplyResult::kEquivocation) equivocations_.inc();
+      if (result != storage::ApplyResult::kDuplicate) {
         wal_append_record(storage::WalEntryType::kRelease, unblocked);
         audit_.append(unblocked, node_.transport().now());
       }
     }
   }
+  apply_us_.observe(static_cast<double>(obs::wall_now_us() - apply_start));
   return true;
 }
 

@@ -23,6 +23,7 @@
 #include "crypto/keys.h"
 #include "gossip/gossip.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "storage/audit_log.h"
 #include "storage/context_store.h"
 #include "storage/hold_queue.h"
@@ -186,6 +187,17 @@ class SecureStoreServer {
   std::uint64_t wal_covered_lsn_ = 0;
   bool wal_replaying_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);  // guards timers
+
+  // Metrics (handles into the transport's registry, resolved once).
+  // Request-mix counters, keyed by MsgType; unknown types fall back to
+  // req_other_. Built in the constructor, read-only afterwards.
+  std::unordered_map<std::uint16_t, obs::Counter*> req_counters_;
+  obs::Counter& req_other_;
+  obs::Counter& equivocations_;
+  obs::Gauge& hold_depth_;  // per-server: depth does not aggregate across ids
+  obs::Histogram& apply_us_;
+  obs::Histogram& wal_append_us_;
+  obs::Histogram& wal_sync_us_;
 };
 
 }  // namespace securestore::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/serial.h"
 
 namespace securestore::gossip {
@@ -13,7 +14,15 @@ GossipEngine::GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
       peers_(std::move(peers)),
       config_(config),
       rng_(std::move(rng)),
-      apply_(std::move(apply)) {
+      apply_(std::move(apply)),
+      rounds_(node.transport().registry().counter("gossip.rounds")),
+      records_sent_(node.transport().registry().counter("gossip.records_sent")),
+      records_received_(node.transport().registry().counter("gossip.records_received")),
+      records_rejected_(node.transport().registry().counter("gossip.records_rejected")),
+      malformed_dropped_(node.transport().registry().counter("gossip.malformed_dropped")),
+      non_gossip_dropped_(node.transport().registry().counter("gossip.non_gossip_dropped")),
+      digest_entries_(node.transport().registry().histogram("gossip.digest_entries")),
+      round_us_(node.transport().registry().histogram("gossip.round_us")) {
   // A node never gossips with itself.
   std::erase(peers_, node_.id());
 }
@@ -45,7 +54,12 @@ std::vector<NodeId> GossipEngine::pick_peers() {
 
 void GossipEngine::tick() {
   ++ticks_;
+  rounds_.inc();
+  // Wall time: building/serializing digests is real CPU work even when the
+  // deployment runs on virtual time.
+  const std::uint64_t start = obs::wall_now_us();
   for (const NodeId peer : pick_peers()) send_digest(peer);
+  round_us_.observe(static_cast<double>(obs::wall_now_us() - start));
 
   const std::uint64_t generation = generation_;
   node_.transport().schedule(config_.period, [this, alive = alive_, generation] {
@@ -60,12 +74,14 @@ void GossipEngine::send_digest(NodeId peer) {
     if (record->flags & core::kScattered) continue;
     entries.push_back(DigestEntry{record->item, record->ts});
   }
+  digest_entries_.observe(static_cast<double>(entries.size()));
   node_.send_oneway(peer, net::MsgType::kGossipDigest, encode_digest(entries));
 }
 
 void GossipEngine::push_record(const core::WriteRecord& record) {
   const Bytes updates = encode_updates({record});
   for (const NodeId peer : pick_peers()) {
+    records_sent_.inc();
     node_.send_oneway(peer, net::MsgType::kGossipUpdates, updates);
   }
 }
@@ -93,6 +109,7 @@ void GossipEngine::handle(NodeId from, net::MsgType type, BytesView body) {
           }
         }
         if (!to_send.empty()) {
+          records_sent_.inc(to_send.size());
           node_.send_oneway(from, net::MsgType::kGossipUpdates, encode_updates(to_send));
         }
 
@@ -116,21 +133,27 @@ void GossipEngine::handle(NodeId from, net::MsgType type, BytesView body) {
           }
         }
         if (!to_send.empty()) {
+          records_sent_.inc(to_send.size());
           node_.send_oneway(from, net::MsgType::kGossipUpdates, encode_updates(to_send));
         }
         return;
       }
       case net::MsgType::kGossipUpdates: {
         for (const core::WriteRecord& record : decode_updates(body)) {
-          apply_(record, from);
+          records_received_.inc();
+          if (!apply_(record, from)) records_rejected_.inc();
         }
         return;
       }
       default:
-        return;  // not a gossip message
+        // Not a gossip message. Silently eating these would hide a peer
+        // spraying the gossip port with protocol traffic, so count it.
+        non_gossip_dropped_.inc();
+        return;
     }
   } catch (const DecodeError&) {
-    // Malformed gossip from a (possibly malicious) peer: drop.
+    // Malformed gossip from a (possibly malicious) peer: drop, visibly.
+    malformed_dropped_.inc();
   }
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/record.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "storage/item_store.h"
 #include "util/rng.h"
 
@@ -93,6 +94,15 @@ class GossipEngine {
   Config config_;
   Rng rng_;
   ApplyFn apply_;
+  // Anti-entropy accounting (handles into the transport's registry).
+  obs::Counter& rounds_;
+  obs::Counter& records_sent_;
+  obs::Counter& records_received_;
+  obs::Counter& records_rejected_;
+  obs::Counter& malformed_dropped_;
+  obs::Counter& non_gossip_dropped_;
+  obs::Histogram& digest_entries_;
+  obs::Histogram& round_us_;  // wall time per anti-entropy round
   bool running_ = false;
   std::uint64_t ticks_ = 0;
   std::uint64_t generation_ = 0;  // invalidates scheduled ticks after stop()

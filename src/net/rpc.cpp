@@ -4,7 +4,12 @@
 
 namespace securestore::net {
 
-RpcNode::RpcNode(Transport& transport, NodeId id) : transport_(transport), id_(id) {
+RpcNode::RpcNode(Transport& transport, NodeId id)
+    : transport_(transport),
+      id_(id),
+      expired_responses_(transport.registry().counter("rpc.response_expired")),
+      misdirected_responses_(transport.registry().counter("rpc.response_misdirected")),
+      malformed_dropped_(transport.registry().counter("rpc.malformed_dropped")) {
   // Random 63-bit starting id: response matching also checks the sender,
   // but unguessable ids deny a Byzantine peer even the chance to race a
   // forged reply for an rpc it never saw. The top bit stays clear so the
@@ -51,7 +56,10 @@ void RpcNode::deliver(NodeId from, BytesView payload) {
     type = static_cast<MsgType>(r.u16());
     body = r.raw(r.remaining());
   } catch (const DecodeError&) {
-    return;  // malformed datagram: drop, exactly like garbage off the wire
+    // Malformed datagram: drop, exactly like garbage off the wire — but
+    // count it, since a burst of garbage is worth seeing in a dump.
+    malformed_dropped_.inc();
+    return;
   }
 
   switch (kind) {
@@ -69,11 +77,20 @@ void RpcNode::deliver(NodeId from, BytesView payload) {
     }
     case Kind::kResponse: {
       const auto it = pending_.find(rpc_id);
-      if (it == pending_.end()) return;  // late/duplicate/forged: ignore
+      if (it == pending_.end()) {
+        // Late/duplicate/forged-for-an-unknown-id: ignore, but record —
+        // expired responses are exactly the slow-server evidence the
+        // bench/ops dumps want to correlate with timeouts.
+        expired_responses_.inc();
+        return;
+      }
       // Reply binding: only the node the request was sent to may answer
       // it. A spoofed response from anyone else is dropped WITHOUT
       // consuming the pending rpc, so the real reply still gets through.
-      if (it->second.target != from) return;
+      if (it->second.target != from) {
+        misdirected_responses_.inc();
+        return;
+      }
       ResponseFn callback = std::move(it->second.on_response);
       pending_.erase(it);
       callback(from, type, body);

@@ -5,7 +5,10 @@
 // endpoint: requests carry an rpc id echoed by the response; one-way
 // messages (gossip) use `send_oneway`. Responses for unknown/expired rpc
 // ids are dropped, so late or duplicated replies from slow or malicious
-// servers are harmless.
+// servers are harmless — but never invisibly: every such drop lands in the
+// transport's metrics registry (`rpc.response_expired`,
+// `rpc.response_misdirected`, `rpc.malformed_dropped`), so a flood of late
+// or spoofed replies shows up in dumps instead of vanishing.
 //
 // Reply binding: every pending rpc remembers which node it was sent to,
 // and a response is accepted only when its transport-level sender matches
@@ -114,6 +117,10 @@ class RpcNode {
   std::unordered_map<std::uint64_t, PendingRpc> pending_;
   RequestHandler request_handler_;
   OnewayHandler oneway_handler_;
+  // Invisible-drop accounting (handles into transport().registry()).
+  obs::Counter& expired_responses_;
+  obs::Counter& misdirected_responses_;
+  obs::Counter& malformed_dropped_;
 };
 
 }  // namespace securestore::net

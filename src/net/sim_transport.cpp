@@ -2,6 +2,18 @@
 
 namespace securestore::net {
 
+SimTransport::SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network,
+                           std::shared_ptr<obs::Registry> registry)
+    : scheduler_(scheduler),
+      network_(std::move(network)),
+      registry_(registry != nullptr ? std::move(registry)
+                                    : std::make_shared<obs::Registry>()) {
+  collector_id_ = registry_->add_collector(
+      [this](obs::Registry& r) { fold_transport_stats(r, stats_); });
+}
+
+SimTransport::~SimTransport() { registry_->remove_collector(collector_id_); }
+
 void SimTransport::register_node(NodeId node, DeliverFn deliver) {
   handlers_[node] = std::move(deliver);
 }

@@ -12,8 +12,12 @@ namespace securestore::net {
 
 class SimTransport final : public Transport {
  public:
-  SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network)
-      : scheduler_(scheduler), network_(std::move(network)) {}
+  /// `registry` scopes this deployment's metrics; null makes the transport
+  /// own a fresh one. Benches pass one shared registry into every cluster
+  /// of a sweep so the cells accumulate into a single dump.
+  SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network,
+               std::shared_ptr<obs::Registry> registry = nullptr);
+  ~SimTransport() override;
 
   void register_node(NodeId node, DeliverFn deliver) override;
   void unregister_node(NodeId node) override;
@@ -22,6 +26,7 @@ class SimTransport final : public Transport {
   void schedule(SimDuration delay, std::function<void()> callback) override;
   const sim::TransportStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.reset(); }
+  obs::Registry& registry() override { return *registry_; }
 
   sim::NetworkModel& network() { return network_; }
   sim::Scheduler& scheduler() { return scheduler_; }
@@ -31,6 +36,8 @@ class SimTransport final : public Transport {
   sim::NetworkModel network_;
   std::unordered_map<NodeId, DeliverFn> handlers_;
   sim::TransportStats stats_;
+  std::shared_ptr<obs::Registry> registry_;
+  std::uint64_t collector_id_ = 0;
 };
 
 }  // namespace securestore::net

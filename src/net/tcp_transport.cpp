@@ -98,8 +98,11 @@ TcpTransport::Socket::~Socket() { ::close(fd); }
 
 void TcpTransport::Socket::shut() { ::shutdown(fd, SHUT_RDWR); }
 
-TcpTransport::TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory)
-    : directory_(std::move(directory)) {
+TcpTransport::TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory,
+                           std::shared_ptr<obs::Registry> registry)
+    : directory_(std::move(directory)),
+      registry_(registry != nullptr ? std::move(registry)
+                                    : std::make_shared<obs::Registry>()) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket() failed");
   const int one = 1;
@@ -121,11 +124,19 @@ TcpTransport::TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoi
     throw std::runtime_error("TcpTransport: listen() failed");
   }
 
+  // Last: a throw above must not leave a collector pointing at a dead
+  // transport inside an injected (longer-lived) registry.
+  collector_id_ = registry_->add_collector(
+      [this](obs::Registry& r) { fold_transport_stats(r, stats()); });
+
   dispatcher_ = std::thread([this] { dispatch_loop(); });
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
-TcpTransport::~TcpTransport() { stop(); }
+TcpTransport::~TcpTransport() {
+  stop();
+  registry_->remove_collector(collector_id_);
+}
 
 void TcpTransport::stop() {
   {

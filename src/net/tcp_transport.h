@@ -56,7 +56,9 @@ class TcpTransport final : public Transport {
   /// Binds and listens on `listen_port` (0 = pick an ephemeral port, see
   /// `port()`). `directory` maps every node in the deployment to its
   /// process's endpoint; nodes registered locally are delivered in-process.
-  TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory);
+  /// `registry` scopes this process's metrics; null = own a fresh one.
+  TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory,
+               std::shared_ptr<obs::Registry> registry = nullptr);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -76,6 +78,7 @@ class TcpTransport final : public Transport {
   void schedule(SimDuration delay, std::function<void()> callback) override;
   const sim::TransportStats& stats() const override;
   void reset_stats() override;
+  obs::Registry& registry() override { return *registry_; }
 
   /// Joins all background threads; idempotent.
   void stop();
@@ -159,6 +162,8 @@ class TcpTransport final : public Transport {
 
   sim::TransportStats stats_;              // guarded by jobs_mutex_
   mutable sim::TransportStats snapshot_;   // stats() return storage
+  std::shared_ptr<obs::Registry> registry_;
+  std::uint64_t collector_id_ = 0;
 
   std::thread dispatcher_;
   std::thread acceptor_;

@@ -2,11 +2,20 @@
 
 namespace securestore::net {
 
-ThreadTransport::ThreadTransport(sim::NetworkModel network) : network_(std::move(network)) {
+ThreadTransport::ThreadTransport(sim::NetworkModel network,
+                                 std::shared_ptr<obs::Registry> registry)
+    : network_(std::move(network)),
+      registry_(registry != nullptr ? std::move(registry)
+                                    : std::make_shared<obs::Registry>()) {
+  collector_id_ = registry_->add_collector(
+      [this](obs::Registry& r) { fold_transport_stats(r, stats()); });
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
-ThreadTransport::~ThreadTransport() { stop(); }
+ThreadTransport::~ThreadTransport() {
+  stop();
+  registry_->remove_collector(collector_id_);
+}
 
 void ThreadTransport::stop() {
   {

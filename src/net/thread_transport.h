@@ -30,7 +30,9 @@ namespace securestore::net {
 
 class ThreadTransport final : public Transport {
  public:
-  explicit ThreadTransport(sim::NetworkModel network);
+  /// `registry` scopes this deployment's metrics; null = own a fresh one.
+  explicit ThreadTransport(sim::NetworkModel network,
+                           std::shared_ptr<obs::Registry> registry = nullptr);
   ~ThreadTransport() override;
 
   ThreadTransport(const ThreadTransport&) = delete;
@@ -53,6 +55,7 @@ class ThreadTransport final : public Transport {
     std::lock_guard lock(jobs_mutex_);
     stats_.reset();
   }
+  obs::Registry& registry() override { return *registry_; }
 
   /// Joins the dispatch thread; idempotent.
   void stop();
@@ -91,6 +94,9 @@ class ThreadTransport final : public Transport {
   sim::NetworkModel network_;  // guarded by jobs_mutex_ (rng state)
   sim::TransportStats stats_;  // guarded by jobs_mutex_
   mutable sim::TransportStats snapshot_;  // stats() return storage
+
+  std::shared_ptr<obs::Registry> registry_;
+  std::uint64_t collector_id_ = 0;
 
   std::thread dispatcher_;
 };

@@ -1,0 +1,32 @@
+#include "net/transport.h"
+
+namespace securestore::net {
+
+obs::Registry& Transport::registry() {
+  // Fallback for Transport implementations that do not carry their own
+  // registry: one per process. Deployment-scoped metrics come from the
+  // concrete transports, which override this.
+  static obs::Registry fallback;
+  return fallback;
+}
+
+/// Folds a transport's TransportStats into its registry as `transport.*`
+/// gauges. Registered as a snapshot-time collector by each concrete
+/// transport; shared here so the metric names stay identical across sim,
+/// thread and TCP transports.
+void fold_transport_stats(obs::Registry& registry, const sim::TransportStats& stats) {
+  const auto set = [&registry](const char* name, std::uint64_t value) {
+    registry.gauge(name).set(static_cast<std::int64_t>(value));
+  };
+  set("transport.messages_sent", stats.messages_sent);
+  set("transport.messages_delivered", stats.messages_delivered);
+  set("transport.messages_dropped", stats.messages_dropped);
+  set("transport.bytes_sent", stats.bytes_sent);
+  set("transport.bytes_received", stats.bytes_received);
+  set("transport.reconnects", stats.reconnects);
+  set("transport.connect_failures", stats.connect_failures);
+  set("transport.send_queue_drops", stats.send_queue_drops);
+  set("transport.send_queue_highwater", stats.send_queue_highwater);
+}
+
+}  // namespace securestore::net

@@ -9,6 +9,7 @@
 
 #include <functional>
 
+#include "obs/metrics.h"
 #include "sim/metrics.h"
 #include "util/bytes.h"
 #include "util/ids.h"
@@ -49,6 +50,20 @@ class Transport {
   /// same transport; copy it before calling again if you need a snapshot.
   virtual const sim::TransportStats& stats() const = 0;
   virtual void reset_stats() = 0;
+
+  /// The metrics registry every component on this transport reports
+  /// through (DESIGN.md §8): clients, servers, gossip and the rpc layer
+  /// all resolve their metric handles here, and the concrete transports
+  /// fold their own TransportStats in as `transport.*` gauges via a
+  /// snapshot-time collector. The default implementation hands out one
+  /// process-wide registry so minimal Transport implementations (test
+  /// doubles) keep working; the real transports each own (or share, when
+  /// injected) a registry scoped to the deployment.
+  virtual obs::Registry& registry();
 };
+
+/// Publishes a TransportStats snapshot into `registry` as `transport.*`
+/// gauges — the collector body every concrete transport registers.
+void fold_transport_stats(obs::Registry& registry, const sim::TransportStats& stats);
 
 }  // namespace securestore::net

@@ -1,0 +1,85 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace securestore::obs {
+
+namespace {
+
+void append_formatted(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_formatted(std::string& out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int n = std::vsnprintf(buffer, sizeof buffer, format, args);
+  va_end(args);
+  if (n > 0) out.append(buffer, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof buffer - 1));
+}
+
+}  // namespace
+
+std::string to_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    append_formatted(out, "counter    %-44s %12" PRIu64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    append_formatted(out, "gauge      %-44s %12" PRId64 "\n", name.c_str(), value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (h.count == 0) continue;
+    append_formatted(out,
+                     "histogram  %-44s count=%" PRIu64
+                     " mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+                     name.c_str(), h.count, h.mean(), h.p50(), h.p95(), h.p99(), h.max);
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot, std::string_view name) {
+  std::string out = "{\n  \"bench\": \"";
+  out.append(name);
+  out += "\",\n  \"rows\": [\n";
+  bool first = true;
+  const auto row_start = [&](const char* kind, const std::string& metric) {
+    if (!first) out += ",\n";
+    first = false;
+    append_formatted(out, "    {\"kind\": \"%s\", \"metric\": \"%s\"", kind, metric.c_str());
+  };
+  for (const auto& [metric, value] : snapshot.counters) {
+    row_start("counter", metric);
+    append_formatted(out, ", \"value\": %" PRIu64 "}", value);
+  }
+  for (const auto& [metric, value] : snapshot.gauges) {
+    row_start("gauge", metric);
+    append_formatted(out, ", \"value\": %" PRId64 "}", value);
+  }
+  for (const auto& [metric, h] : snapshot.histograms) {
+    if (h.count == 0) continue;
+    row_start("histogram", metric);
+    append_formatted(out,
+                     ", \"count\": %" PRIu64
+                     ", \"mean_us\": %.4f, \"p50_us\": %.4f, \"p95_us\": %.4f, "
+                     "\"p99_us\": %.4f, \"max_us\": %.4f}",
+                     h.count, h.mean(), h.p50(), h.p95(), h.p99(), h.max);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool write_json_sidecar(const MetricsSnapshot& snapshot, std::string_view name) {
+  const std::string path = "BENCH_" + std::string(name) + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string body = to_json(snapshot, name);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace securestore::obs

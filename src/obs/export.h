@@ -1,0 +1,31 @@
+// Observability: exporters (DESIGN.md §8).
+//
+// Two render targets for a `MetricsSnapshot`:
+//   * `to_text`  — the human dump benches print on completion and operators
+//     read in a terminal;
+//   * `to_json`  — the machine dump, shaped exactly like the `BENCH_*.json`
+//     sidecars (`{"bench": <name>, "rows": [...]}`): one row per metric,
+//     histograms carrying count/mean/p50/p95/p99/max, so plot and CI-diff
+//     tooling consumes bench tables and metrics dumps uniformly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace securestore::obs {
+
+/// Name-sorted, one metric per line. Histograms with zero observations are
+/// skipped (a registry accumulates names for code paths that never ran).
+std::string to_text(const MetricsSnapshot& snapshot);
+
+/// BENCH-sidecar-shaped JSON; `name` fills the "bench" field. Rows carry a
+/// "kind" of counter/gauge/histogram.
+std::string to_json(const MetricsSnapshot& snapshot, std::string_view name);
+
+/// Writes `to_json` to `BENCH_<name>.json` in the working directory (the
+/// sidecar convention). Returns false if the file could not be written.
+bool write_json_sidecar(const MetricsSnapshot& snapshot, std::string_view name);
+
+}  // namespace securestore::obs

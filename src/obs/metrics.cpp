@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace securestore::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i == bounds.size()) return max;  // overflow bucket: clamp
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double fraction = std::max(0.0, (target - cumulative) / in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+const std::vector<double>& Histogram::default_latency_bounds_us() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> out;
+    for (double decade = 1; decade <= 1e7; decade *= 10) {
+      out.push_back(decade);
+      out.push_back(decade * 2);
+      out.push_back(decade * 5);
+    }
+    out.push_back(1e8);
+    return out;
+  }();
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t previous = count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  if (previous == 0) {
+    // First observation seeds min; racing observers fix it up below.
+    double expected = 0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  detail::atomic_min(min_, value);
+  detail::atomic_max(max_, value);
+}
+
+std::uint64_t Histogram::count() const { return count_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.reserve(buckets_.size());
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    const std::uint64_t n = bucket.load(std::memory_order_relaxed);
+    snap.bucket_counts.push_back(n);
+    total += n;
+  }
+  // Count derives from the buckets so the snapshot is internally
+  // consistent even when racing concurrent observers.
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return histogram(name, Histogram::default_latency_bounds_us());
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.get() : nullptr;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.get() : nullptr;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+std::uint64_t Registry::add_collector(std::function<void(Registry&)> collect) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(collect));
+  return id;
+}
+
+void Registry::remove_collector(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  std::erase_if(collectors_, [id](const auto& entry) { return entry.first == id; });
+}
+
+MetricsSnapshot Registry::snapshot() {
+  // Collectors call back into counter()/gauge(), so run them outside the
+  // lock on a copy of the list.
+  std::vector<std::function<void(Registry&)>> collectors;
+  {
+    std::lock_guard lock(mutex_);
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, collect] : collectors_) collectors.push_back(collect);
+  }
+  for (const auto& collect : collectors) collect(*this);
+
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace securestore::obs

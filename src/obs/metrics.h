@@ -1,0 +1,196 @@
+// Observability: the metrics registry (DESIGN.md §8).
+//
+// The store's perf story (§6 of the paper, and every optimization PR after
+// this one) lives or dies on measured per-protocol costs, so the hot paths
+// need instrumentation that is cheap enough to leave on. This module gives
+// every deployment — simulated or real — one `Registry` of named metrics:
+//
+//   * `Counter`  — monotone event count (ops, retries, drops), relaxed
+//     atomic increments, no locks on the hot path;
+//   * `Gauge`    — instantaneous level (queue depth, bytes buffered);
+//   * `Histogram`— fixed-bucket latency/size distribution with
+//     p50/p95/p99 quantile *estimation* (linear interpolation inside the
+//     bucket that holds the target rank, Prometheus-style).
+//
+// Registry lookups take a mutex; callers resolve their metric handles once
+// (constructor time) and the references stay valid for the registry's
+// lifetime, so steady-state updates are a single relaxed atomic op.
+//
+// Time base: histogram values are plain doubles — latency metrics record
+// microseconds from whatever clock the caller uses. Protocol spans use the
+// transport clock (virtual microseconds under the simulator, wall
+// microseconds on the thread/TCP transports), so the same metric names mean
+// the same thing in both worlds; disk I/O (WAL append/fsync) always uses
+// the wall clock because the simulator does not model disks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace securestore::obs {
+
+namespace detail {
+
+/// Relaxed CAS-loop arithmetic on atomic doubles (fetch_add on
+/// atomic<double> is formally C++20 but not worth depending on).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Ratchets upward: keeps the high-water mark of everything ever set.
+  void record_max(std::int64_t v) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A frozen histogram: what `Histogram::snapshot()` and `MetricsSnapshot`
+/// hand out. Quantiles are computed here so tests can feed known bucket
+/// contents and assert exact answers.
+struct HistogramSnapshot {
+  std::vector<double> bounds;               // upper bucket bounds, ascending
+  std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Quantile estimate for q in [0, 1]: find the bucket holding the q·count
+  /// rank and interpolate linearly between its bounds (the first bucket's
+  /// lower bound is 0). Ranks landing in the overflow bucket clamp to the
+  /// observed max. Exact when every observation in the target bucket is
+  /// uniformly spread — the usual fixed-bucket approximation.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+};
+
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bucket bounds; an implicit overflow
+  /// bucket catches everything above the last. Defaults to latency buckets
+  /// in microseconds spanning 1µs..100s.
+  explicit Histogram(std::vector<double> bounds = default_latency_bounds_us());
+
+  void observe(double value);
+  std::uint64_t count() const;
+  void reset();
+
+  HistogramSnapshot snapshot() const;
+
+  /// 1-2-5 decades from 1µs to 1e8µs (100 s): fine enough for sub-ms sim
+  /// latencies and wide enough for WAN/disk wall-clock tails.
+  static const std::vector<double>& default_latency_bounds_us();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Everything a registry held at one instant. Maps are name-sorted, so
+/// exporters print deterministically.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named metrics, one per deployment (each transport owns or shares one;
+/// see net::Transport::registry()). Thread-safe: creation/lookup under a
+/// mutex, updates lock-free on the returned handles, which stay valid for
+/// the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates. A histogram's bounds are fixed by whoever creates it
+  /// first; later callers get the existing instance regardless of `bounds`.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Lookup without creating (tests and exporters); nullptr when absent.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Pull-style sources (e.g. a transport folding its TransportStats into
+  /// gauges): collectors run at the start of every snapshot(). Returns an
+  /// id for remove_collector — mandatory before the source dies.
+  std::uint64_t add_collector(std::function<void(Registry&)> collect);
+  void remove_collector(std::uint64_t id);
+
+  /// Runs collectors, then freezes every metric. Safe to call concurrently
+  /// with updates (counts are relaxed-atomic reads).
+  MetricsSnapshot snapshot();
+
+  /// Zeroes counters/gauges and drops histogram contents (bounds kept).
+  /// Handles stay valid. Benches use this between cells.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::uint64_t next_collector_id_ = 1;
+  std::vector<std::pair<std::uint64_t, std::function<void(Registry&)>>> collectors_;
+};
+
+}  // namespace securestore::obs

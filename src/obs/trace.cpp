@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace securestore::obs {
+
+std::uint64_t wall_now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count());
+}
+
+OpTrace::OpTrace(Registry& registry, std::string op, ClockFn clock)
+    : registry_(registry), op_(std::move(op)), clock_(std::move(clock)) {
+  started_ = clock_();
+  phase_started_ = started_;
+}
+
+OpTrace::~OpTrace() {
+  if (!finished_) finish(false);
+}
+
+void OpTrace::close_phase(std::uint64_t now) {
+  if (current_phase_.empty()) return;
+  const std::uint64_t elapsed = now - phase_started_;
+  for (auto& [name, total] : phase_totals_us_) {
+    if (name == current_phase_) {
+      total += elapsed;
+      return;
+    }
+  }
+  phase_totals_us_.emplace_back(current_phase_, elapsed);
+}
+
+void OpTrace::phase(std::string_view name) {
+  const std::uint64_t now = clock_();
+  close_phase(now);
+  current_phase_.assign(name);
+  phase_started_ = now;
+}
+
+void OpTrace::add(std::string_view name, std::uint64_t n) {
+  for (auto& [existing, total] : counts_) {
+    if (existing == name) {
+      total += n;
+      return;
+    }
+  }
+  counts_.emplace_back(std::string(name), n);
+}
+
+void OpTrace::finish(bool ok) {
+  if (finished_) return;
+  finished_ = true;
+  const std::uint64_t now = clock_();
+  close_phase(now);
+
+  registry_.histogram(op_ + ".latency_us").observe(static_cast<double>(now - started_));
+  for (const auto& [name, total] : phase_totals_us_) {
+    registry_.histogram(op_ + "." + name + "_us").observe(static_cast<double>(total));
+  }
+  registry_.counter(op_ + ".ops").inc();
+  if (!ok) registry_.counter(op_ + ".failures").inc();
+  for (const auto& [name, total] : counts_) {
+    registry_.counter(op_ + "." + name).inc(total);
+  }
+}
+
+}  // namespace securestore::obs

@@ -1,0 +1,85 @@
+// Observability: per-operation tracing (DESIGN.md §8).
+//
+// An `OpTrace` stamps one protocol run (a P1–P6 client operation, a server
+// apply, a gossip round) with per-phase timings and drops the results into
+// the registry when the operation finishes:
+//
+//   <op>.latency_us   histogram — whole-operation latency
+//   <op>.<phase>_us   histogram — time attributed to each named phase
+//   <op>.ops          counter   — completed operations
+//   <op>.failures     counter   — operations that finished !ok
+//   <op>.<extra>      counter   — anything noted via add() (retries, ...)
+//
+// Phases are sequential marks: `phase("sign")` closes whatever phase was
+// running and opens "sign"; re-entering a name accumulates (escalation
+// rounds re-enter "quorum" repeatedly). The trace is clock-agnostic — the
+// protocol stack passes the transport clock so spans measure virtual time
+// under the simulator and wall time on real transports, identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace securestore::obs {
+
+/// Microseconds from an arbitrary epoch; monotone.
+using ClockFn = std::function<std::uint64_t()>;
+
+/// Wall clock in microseconds since process start (steady). Used for real
+/// I/O the simulator cannot model (WAL appends/fsyncs).
+std::uint64_t wall_now_us();
+
+class OpTrace {
+ public:
+  /// Starts the trace (and its first, unnamed phase — name it with
+  /// phase() immediately if you care where the first span lands).
+  OpTrace(Registry& registry, std::string op, ClockFn clock);
+
+  /// An unfinished trace records a failure: protocol callbacks that get
+  /// dropped on the floor still show up in <op>.failures.
+  ~OpTrace();
+
+  OpTrace(const OpTrace&) = delete;
+  OpTrace& operator=(const OpTrace&) = delete;
+
+  /// Closes the running phase (attributing the elapsed time to it) and
+  /// opens `name`. Re-entering a name accumulates.
+  void phase(std::string_view name);
+
+  /// Buffers a named counter bump, flushed at finish as `<op>.<name>`.
+  void add(std::string_view name, std::uint64_t n = 1);
+
+  /// Records everything into the registry. Idempotent; later calls no-op.
+  void finish(bool ok);
+
+  const std::string& op() const { return op_; }
+
+ private:
+  void close_phase(std::uint64_t now);
+
+  Registry& registry_;
+  std::string op_;
+  ClockFn clock_;
+  std::uint64_t started_;
+  std::uint64_t phase_started_;
+  std::string current_phase_;  // empty: unnamed span, not recorded
+  std::vector<std::pair<std::string, std::uint64_t>> phase_totals_us_;
+  std::vector<std::pair<std::string, std::uint64_t>> counts_;
+  bool finished_ = false;
+};
+
+/// Shared-ownership convenience for async code: the trace rides through the
+/// callback chain and finishes (or records a failure from its destructor)
+/// when the last reference drops.
+inline std::shared_ptr<OpTrace> start_trace(Registry& registry, std::string op, ClockFn clock) {
+  return std::make_shared<OpTrace>(registry, std::move(op), std::move(clock));
+}
+
+}  // namespace securestore::obs

@@ -7,7 +7,7 @@ namespace securestore::testkit {
 
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(options_.seed) {
   transport_ = std::make_unique<net::SimTransport>(
-      scheduler_, sim::NetworkModel(rng_.fork(), options_.link));
+      scheduler_, sim::NetworkModel(rng_.fork(), options_.link), options_.registry);
 
   // Key directories first: servers copy the config at construction.
   config_.n = options_.n;
@@ -93,9 +93,22 @@ void Cluster::restart_server(std::size_t index, bool restore_state) {
   if (restore_state) servers_[index]->restore(snapshot);
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() { *alive_ = false; }
 
 const sim::TransportStats& Cluster::transport_stats() const { return transport_->stats(); }
+
+void Cluster::start_metrics_snapshots(
+    SimDuration period, std::function<void(const obs::MetricsSnapshot&)> on_snapshot) {
+  const auto schedule = [this, period,
+                         on_snapshot = std::move(on_snapshot)](auto&& self) -> void {
+    transport_->schedule(period, [this, alive = alive_, on_snapshot, self]() {
+      if (!*alive) return;
+      on_snapshot(transport_->registry().snapshot());
+      self(self);
+    });
+  };
+  schedule(schedule);
+}
 
 void Cluster::set_group_policy(const core::GroupPolicy& policy) {
   policies_.push_back(policy);

@@ -41,6 +41,12 @@ struct ClusterOptions {
   SimDuration wal_flush_interval = milliseconds(5);
   std::size_t wal_segment_bytes = 1u << 20;
   SimDuration snapshot_period = seconds(30);
+
+  /// Metrics registry shared with the transport (and through it every
+  /// client/server/gossip engine of the deployment). Null = the transport
+  /// owns a fresh one. Benches pass one registry into a sweep's clusters so
+  /// histograms accumulate across cells.
+  std::shared_ptr<obs::Registry> registry;
 };
 
 class Cluster {
@@ -56,6 +62,13 @@ class Cluster {
   /// Transport counters for the deployment (convenience for benches and
   /// tests asserting on message costs/drops).
   const sim::TransportStats& transport_stats() const;
+  /// The deployment's metrics registry (the transport's).
+  obs::Registry& registry() { return transport_->registry(); }
+  /// Periodically snapshots the registry into `on_snapshot` every `period`
+  /// of virtual time, until the cluster dies. For long sims that want a
+  /// metrics timeline rather than one final dump.
+  void start_metrics_snapshots(SimDuration period,
+                               std::function<void(const obs::MetricsSnapshot&)> on_snapshot);
   const core::StoreConfig& config() const { return config_; }
   const ClusterOptions& options() const { return options_; }
 
@@ -113,6 +126,7 @@ class Cluster {
   std::vector<std::unique_ptr<core::SecureStoreServer>> servers_;
   std::vector<core::GroupPolicy> policies_;
   Rng rng_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);  // guards timers
 };
 
 }  // namespace securestore::testkit
