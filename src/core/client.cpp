@@ -101,6 +101,27 @@ SecureStoreClient::Trace SecureStoreClient::begin_trace(std::string op) {
       [this] { return static_cast<std::uint64_t>(node_.transport().now()); });
 }
 
+SimTime SecureStoreClient::op_deadline() const {
+  return node_.transport().now() + config_.op_timeout;
+}
+
+SimDuration SecureStoreClient::round_budget(SimTime deadline) const {
+  const SimTime now = node_.transport().now();
+  if (now >= deadline) return 0;
+  return std::min<SimDuration>(options_.round_timeout, deadline - now);
+}
+
+SimDuration SecureStoreClient::retry_backoff(unsigned round) {
+  if (options_.backoff_base == 0) return 0;
+  double backoff = static_cast<double>(options_.backoff_base);
+  const double cap = static_cast<double>(std::max<SimDuration>(options_.backoff_cap, 1));
+  for (unsigned i = 0; i < round && backoff < cap; ++i) backoff *= options_.backoff_multiplier;
+  const auto capped = static_cast<SimDuration>(std::min(backoff, cap));
+  // Jitter in [capped/2, capped]: enough spread to desynchronize clients,
+  // never less than half so the wait stays a real wait.
+  return capped / 2 + rng_.next_below(capped / 2 + 1);
+}
+
 std::string SecureStoreClient::data_op_name(std::string_view verb) const {
   const char* protocol = "p3";
   if (options_.policy.sharing == SharingMode::kMultiWriter) {
@@ -132,10 +153,18 @@ std::size_t SecureStoreClient::write_set_size() const {
 // ---------------------------------------------------------------------------
 
 void SecureStoreClient::connect(GroupId group, VoidCb done) {
-  connect_attempt(group, /*round=*/0, begin_trace("client.p1.connect"), std::move(done));
+  connect_attempt(group, /*round=*/0, op_deadline(), begin_trace("client.p1.connect"),
+                  std::move(done));
 }
 
-void SecureStoreClient::connect_attempt(GroupId group, unsigned round, Trace trace, VoidCb done) {
+void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime deadline,
+                                        Trace trace, VoidCb done) {
+  const SimDuration budget = round_budget(deadline);
+  if (budget == 0) {
+    trace->finish(false);
+    done(VoidResult(Error::kTimeout, "operation deadline passed"));
+    return;
+  }
   const std::size_t quorum = config_.context_quorum();
   const std::size_t target_count =
       std::min<std::size_t>(config_.n, quorum + round * config_.read_escalation_step);
@@ -172,8 +201,8 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, Trace tra
         }
         return *replies >= quorum;
       },
-      [this, candidates, replies, group, quorum, round, trace, done](net::QuorumOutcome outcome,
-                                                                     std::size_t) {
+      [this, candidates, replies, group, quorum, round, deadline, trace,
+       done](net::QuorumOutcome outcome, std::size_t) {
         if (*replies >= quorum) {
           trace->phase("verify");
           // One client's honest contexts are totally ordered by dominance,
@@ -201,9 +230,13 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, Trace tra
           done(VoidResult{});
           return;
         }
-        if (round + 1 < options_.max_read_rounds) {
+        const SimDuration backoff = retry_backoff(round);
+        if (round + 1 < options_.max_read_rounds &&
+            node_.transport().now() + backoff < deadline) {
           trace->add("retries");
-          connect_attempt(group, round + 1, trace, done);
+          node_.transport().schedule(backoff, [this, group, round, deadline, trace, done]() {
+            connect_attempt(group, round + 1, deadline, trace, done);
+          });
           return;
         }
         trace->finish(false);
@@ -211,14 +244,22 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, Trace tra
                                                                 : Error::kInsufficientQuorum,
                         "context read quorum not reached"));
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{budget});
 }
 
 void SecureStoreClient::disconnect(VoidCb done) {
-  disconnect_attempt(/*round=*/0, begin_trace("client.p1.disconnect"), std::move(done));
+  disconnect_attempt(/*round=*/0, op_deadline(), begin_trace("client.p1.disconnect"),
+                     std::move(done));
 }
 
-void SecureStoreClient::disconnect_attempt(unsigned round, Trace trace, VoidCb done) {
+void SecureStoreClient::disconnect_attempt(unsigned round, SimTime deadline, Trace trace,
+                                           VoidCb done) {
+  const SimDuration budget = round_budget(deadline);
+  if (budget == 0) {
+    trace->finish(false);
+    done(VoidResult(Error::kTimeout, "operation deadline passed"));
+    return;
+  }
   const std::size_t quorum = config_.context_quorum();
   const std::size_t target_count =
       std::min<std::size_t>(config_.n, quorum + round * config_.read_escalation_step);
@@ -244,16 +285,21 @@ void SecureStoreClient::disconnect_attempt(unsigned round, Trace trace, VoidCb d
         }
         return *acks >= quorum;
       },
-      [this, acks, quorum, round, trace, done](net::QuorumOutcome outcome, std::size_t) {
+      [this, acks, quorum, round, deadline, trace, done](net::QuorumOutcome outcome,
+                                                         std::size_t) {
         if (*acks >= quorum) {
           connected_ = false;
           trace->finish(true);
           done(VoidResult{});
           return;
         }
-        if (round + 1 < options_.max_read_rounds) {
+        const SimDuration backoff = retry_backoff(round);
+        if (round + 1 < options_.max_read_rounds &&
+            node_.transport().now() + backoff < deadline) {
           trace->add("retries");
-          disconnect_attempt(round + 1, trace, done);
+          node_.transport().schedule(backoff, [this, round, deadline, trace, done]() {
+            disconnect_attempt(round + 1, deadline, trace, done);
+          });
           return;
         }
         trace->finish(false);
@@ -261,7 +307,7 @@ void SecureStoreClient::disconnect_attempt(unsigned round, Trace trace, VoidCb d
                                                                 : Error::kInsufficientQuorum,
                         "context write quorum not reached"));
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{budget});
 }
 
 // ---------------------------------------------------------------------------
@@ -414,13 +460,20 @@ void SecureStoreClient::write(ItemId item, BytesView value, VoidCb done) {
   record->sign(keys_.seed);
 
   auto shares = std::make_shared<std::vector<Bytes>>();
-  send_write(record, write_set_size(), /*round=*/0, shares, std::move(trace), std::move(done));
+  send_write(record, write_set_size(), /*round=*/0, op_deadline(), shares, std::move(trace),
+             std::move(done));
 }
 
 void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
-                                   std::size_t target_count, unsigned round,
+                                   std::size_t target_count, unsigned round, SimTime deadline,
                                    std::shared_ptr<std::vector<Bytes>> shares, Trace trace,
                                    VoidCb done) {
+  const SimDuration budget = round_budget(deadline);
+  if (budget == 0) {
+    trace->finish(false);
+    done(VoidResult(Error::kTimeout, "operation deadline passed"));
+    return;
+  }
   const std::size_t quorum = write_set_size();
 
   WriteReq req;
@@ -443,7 +496,7 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
         }
         return *acks >= quorum;
       },
-      [this, record, target_count, round, shares, acks, quorum, trace,
+      [this, record, target_count, round, deadline, shares, acks, quorum, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
         if (*acks >= quorum) {
           trace->finish(true);
@@ -456,7 +509,9 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
         }
         // Not enough acks: escalate to a larger server set, Fig. 2's
         // "contact additional servers".
-        if (round + 1 >= options_.max_read_rounds) {
+        const SimDuration backoff = retry_backoff(round);
+        if (round + 1 >= options_.max_read_rounds ||
+            node_.transport().now() + backoff >= deadline) {
           trace->finish(false);
           done(VoidResult(Error::kTimeout, "write quorum not reached after escalation"));
           return;
@@ -465,9 +520,12 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
         shares->clear();
         const std::size_t next_targets =
             std::min<std::size_t>(config_.n, target_count + config_.read_escalation_step);
-        send_write(record, next_targets, round + 1, shares, trace, done);
+        node_.transport().schedule(
+            backoff, [this, record, next_targets, round, deadline, shares, trace, done]() {
+              send_write(record, next_targets, round + 1, deadline, shares, trace, done);
+            });
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{budget});
 }
 
 void SecureStoreClient::finish_write(const WriteRecord& record, VoidCb done) {
@@ -511,14 +569,20 @@ void SecureStoreClient::read(ItemId item, ReadCb done) {
                         options_.policy.trust == ClientTrust::kByzantine;
   auto trace = begin_trace(data_op_name("read"));
   if (hardened) {
-    read_multi_writer(item, /*round=*/0, std::move(trace), std::move(done));
+    read_multi_writer(item, /*round=*/0, op_deadline(), std::move(trace), std::move(done));
   } else {
-    read_single_writer(item, /*round=*/0, std::move(trace), std::move(done));
+    read_single_writer(item, /*round=*/0, op_deadline(), std::move(trace), std::move(done));
   }
 }
 
-void SecureStoreClient::read_single_writer(ItemId item, unsigned round, Trace trace,
-                                           ReadCb done) {
+void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime deadline,
+                                           Trace trace, ReadCb done) {
+  const SimDuration budget = round_budget(deadline);
+  if (budget == 0) {
+    trace->finish(false);
+    done(Result<ReadOutput>(Error::kTimeout, "operation deadline passed"));
+    return;
+  }
   // Fig. 2 phase 1: "send (uid(x_j), t_j) to b+1 or more servers" — each
   // escalation round widens the set.
   const std::size_t target_count = std::min<std::size_t>(
@@ -564,8 +628,8 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, Trace tr
         }
         return false;  // collect every reply in the round: we want max t_r
       },
-      [this, metas, responders, targets, item, round, trace, done](net::QuorumOutcome /*outcome*/,
-                                                                   std::size_t) {
+      [this, metas, responders, targets, item, round, deadline, trace,
+       done](net::QuorumOutcome /*outcome*/, std::size_t) {
         trace->phase("verify");
         note_silent(*targets, *responders);
         // Multi-writer (honest) equivocation check. Unverified claims are
@@ -651,15 +715,20 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, Trace tr
             }
             fetch_candidate(item, std::move(fetchable),
                             std::make_shared<std::vector<NodeId>>(pick_servers(fetch_targets)),
-                            /*candidate_idx=*/0, /*server_idx=*/0, round, trace, done);
+                            /*candidate_idx=*/0, /*server_idx=*/0, round, deadline, trace,
+                            done);
             return;
           }
         }
 
         // Stale (or nothing at all): escalate or give up.
-        if (round + 1 < options_.max_read_rounds) {
+        const SimDuration backoff = retry_backoff(round);
+        if (round + 1 < options_.max_read_rounds &&
+            node_.transport().now() + backoff < deadline) {
           trace->add("retries");
-          read_single_writer(item, round + 1, trace, done);
+          node_.transport().schedule(backoff, [this, item, round, deadline, trace, done]() {
+            read_single_writer(item, round + 1, deadline, trace, done);
+          });
           return;
         }
         trace->finish(false);
@@ -667,20 +736,25 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, Trace tr
                                 metas->empty() ? "no server returned the item"
                                                : "all replies older than context"));
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{budget});
 }
 
 void SecureStoreClient::fetch_candidate(ItemId item,
                                         std::shared_ptr<std::vector<WriteRecord>> candidates,
                                         std::shared_ptr<std::vector<NodeId>> servers,
                                         std::size_t candidate_idx, std::size_t server_idx,
-                                        unsigned round, Trace trace, ReadCb done) {
+                                        unsigned round, SimTime deadline, Trace trace,
+                                        ReadCb done) {
   if (candidate_idx >= candidates->size()) {
     // No candidate could be substantiated from this round's servers:
     // escalate (Fig. 2: "contact additional servers or try later").
-    if (round + 1 < options_.max_read_rounds) {
+    const SimDuration backoff = retry_backoff(round);
+    if (round + 1 < options_.max_read_rounds &&
+        node_.transport().now() + backoff < deadline) {
       trace->add("retries");
-      read_single_writer(item, round + 1, trace, done);
+      node_.transport().schedule(backoff, [this, item, round, deadline, trace, done]() {
+        read_single_writer(item, round + 1, deadline, trace, done);
+      });
     } else {
       trace->finish(false);
       done(Result<ReadOutput>(Error::kStale, "no advertised value could be fetched"));
@@ -688,7 +762,14 @@ void SecureStoreClient::fetch_candidate(ItemId item,
     return;
   }
   if (server_idx >= servers->size()) {
-    fetch_candidate(item, candidates, servers, candidate_idx + 1, 0, round, trace, done);
+    fetch_candidate(item, candidates, servers, candidate_idx + 1, 0, round, deadline, trace,
+                    done);
+    return;
+  }
+  const SimDuration budget = round_budget(deadline);
+  if (budget == 0) {
+    trace->finish(false);
+    done(Result<ReadOutput>(Error::kTimeout, "operation deadline passed"));
     return;
   }
 
@@ -723,16 +804,16 @@ void SecureStoreClient::fetch_candidate(ItemId item,
         }
         return true;  // single-server call: a reply ends it either way
       },
-      [this, accepted, item, candidates, servers, candidate_idx, server_idx, round, trace,
-       done](net::QuorumOutcome /*outcome*/, std::size_t) {
+      [this, accepted, item, candidates, servers, candidate_idx, server_idx, round, deadline,
+       trace, done](net::QuorumOutcome /*outcome*/, std::size_t) {
         if (accepted->has_value()) {
           accept_read(**accepted, trace, done);
           return;
         }
-        fetch_candidate(item, candidates, servers, candidate_idx, server_idx + 1, round, trace,
-                        done);
+        fetch_candidate(item, candidates, servers, candidate_idx, server_idx + 1, round,
+                        deadline, trace, done);
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{budget});
 }
 
 void SecureStoreClient::accept_read(const WriteRecord& record, Trace trace, ReadCb done) {
@@ -764,7 +845,14 @@ void SecureStoreClient::accept_read(const WriteRecord& record, Trace trace, Read
 // appears in b+1 of them.
 // ---------------------------------------------------------------------------
 
-void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, Trace trace, ReadCb done) {
+void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime deadline,
+                                          Trace trace, ReadCb done) {
+  const SimDuration budget = round_budget(deadline);
+  if (budget == 0) {
+    trace->finish(false);
+    done(Result<ReadOutput>(Error::kTimeout, "operation deadline passed"));
+    return;
+  }
   const std::size_t target_count = std::min<std::size_t>(
       config_.n, config_.data_quorum_byzantine() + round * config_.read_escalation_step);
 
@@ -815,7 +903,7 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, Trace tra
         }
         return false;  // need the full 2b+1 round for the b+1 count
       },
-      [this, tallies, faulty_votes, any_log_entry, item, round, trace,
+      [this, tallies, faulty_votes, any_log_entry, item, round, deadline, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
         trace->phase("verify");
         // b+1 servers vouching for "this writer equivocated" means at least
@@ -847,9 +935,13 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, Trace tra
           return;
         }
 
-        if (round + 1 < options_.max_read_rounds) {
+        const SimDuration backoff = retry_backoff(round);
+        if (round + 1 < options_.max_read_rounds &&
+            node_.transport().now() + backoff < deadline) {
           trace->add("retries");
-          read_multi_writer(item, round + 1, trace, done);
+          node_.transport().schedule(backoff, [this, item, round, deadline, trace, done]() {
+            read_multi_writer(item, round + 1, deadline, trace, done);
+          });
           return;
         }
         trace->finish(false);
@@ -858,7 +950,7 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, Trace tra
                                     ? "no value matched in b+1 logs at or above the context"
                                     : "no server logged the item"));
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{budget});
 }
 
 }  // namespace securestore::core

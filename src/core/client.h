@@ -67,12 +67,22 @@ class SecureStoreClient {
     /// which ships the (possibly large) value only once, from the chosen
     /// server.
     bool inline_reads = true;
-    /// Per-round deadline for quorum calls.
+    /// Per-round deadline for quorum calls, further capped by whatever
+    /// remains of the whole operation's deadline (StoreConfig::op_timeout).
     SimDuration round_timeout = seconds(1);
     /// Stale reads escalate by config.read_escalation_step servers per
     /// round, up to this many rounds (Fig. 2: "contact additional
     /// servers"), then fail with kStale.
     unsigned max_read_rounds = 3;
+    /// Failed quorum rounds wait before retrying: capped exponential
+    /// backoff (base · multiplier^round, at most cap) with seeded jitter in
+    /// [backoff/2, backoff], so a degraded deployment sheds load instead of
+    /// hammering sick servers in a tight loop — and concurrent clients
+    /// desynchronize. Deterministic per client seed. backoff_base = 0
+    /// disables the wait (the pre-backoff behavior).
+    SimDuration backoff_base = milliseconds(10);
+    SimDuration backoff_cap = milliseconds(640);
+    double backoff_multiplier = 2.0;
     /// P6: broadcast stability certificates after multi-writer writes so
     /// servers can garbage collect logs.
     bool stability_gc = true;
@@ -150,28 +160,46 @@ class SecureStoreClient {
   /// Byzantine-client path. Returns e.g. "client.p6.write".
   std::string data_op_name(std::string_view verb) const;
 
+  // Retry discipline: every operation carries one absolute deadline
+  // (now + config.op_timeout at the start of the op). Each quorum round's
+  // timeout is the smaller of round_timeout and what remains of the
+  // deadline; failed rounds wait retry_backoff() before going again.
+
+  /// The absolute deadline for an operation starting now.
+  SimTime op_deadline() const;
+  /// This round's quorum-call timeout: min(round_timeout, deadline - now);
+  /// 0 when the deadline has already passed (the round must not start).
+  SimDuration round_budget(SimTime deadline) const;
+  /// Capped exponential backoff with seeded jitter before retrying after
+  /// `round` failed (0-based). Consumes one rng draw.
+  SimDuration retry_backoff(unsigned round);
+
   // Session helpers: like data ops, context ops start with the exact §6
   // quorum and escalate to more servers when members fail to respond.
-  void connect_attempt(GroupId group, unsigned round, Trace trace, VoidCb done);
-  void disconnect_attempt(unsigned round, Trace trace, VoidCb done);
+  void connect_attempt(GroupId group, unsigned round, SimTime deadline, Trace trace,
+                       VoidCb done);
+  void disconnect_attempt(unsigned round, SimTime deadline, Trace trace, VoidCb done);
 
   // Write path helpers.
   Timestamp next_timestamp(ItemId item, BytesView value_digest);
   void send_write(std::shared_ptr<WriteRecord> record, std::size_t target_count,
-                  unsigned round, std::shared_ptr<std::vector<Bytes>> shares, Trace trace,
-                  VoidCb done);
+                  unsigned round, SimTime deadline, std::shared_ptr<std::vector<Bytes>> shares,
+                  Trace trace, VoidCb done);
   void finish_write(const WriteRecord& record, VoidCb done);
   void broadcast_stability(const WriteRecord& record, std::vector<Bytes> shares);
 
   // Read paths.
-  void read_single_writer(ItemId item, unsigned round, Trace trace, ReadCb done);
+  void read_single_writer(ItemId item, unsigned round, SimTime deadline, Trace trace,
+                          ReadCb done);
   /// Fig. 2 phase 2: fetch the value for candidates[candidate_idx] from
   /// servers[server_idx], falling through servers then candidates then
   /// escalation rounds.
   void fetch_candidate(ItemId item, std::shared_ptr<std::vector<WriteRecord>> candidates,
                        std::shared_ptr<std::vector<NodeId>> servers, std::size_t candidate_idx,
-                       std::size_t server_idx, unsigned round, Trace trace, ReadCb done);
-  void read_multi_writer(ItemId item, unsigned round, Trace trace, ReadCb done);
+                       std::size_t server_idx, unsigned round, SimTime deadline, Trace trace,
+                       ReadCb done);
+  void read_multi_writer(ItemId item, unsigned round, SimTime deadline, Trace trace,
+                         ReadCb done);
 
   void accept_read(const WriteRecord& record, Trace trace, ReadCb done);
 

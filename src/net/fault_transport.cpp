@@ -1,0 +1,212 @@
+#include "net/fault_transport.h"
+
+#include <algorithm>
+
+namespace securestore::net {
+
+namespace {
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kPartitionDrop:
+      return "partition_drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kTruncate:
+      return "truncate";
+  }
+  return "unknown";
+}
+
+FaultInjectingTransport::FaultInjectingTransport(Transport& inner, std::uint64_t seed)
+    : inner_(inner),
+      rng_(seed),
+      drops_(inner.registry().counter("chaos.drop")),
+      partition_drops_(inner.registry().counter("chaos.partition_drop")),
+      delays_(inner.registry().counter("chaos.delay")),
+      duplicates_(inner.registry().counter("chaos.duplicate")),
+      reorders_(inner.registry().counter("chaos.reorder")),
+      corruptions_(inner.registry().counter("chaos.corrupt")),
+      truncations_(inner.registry().counter("chaos.truncate")) {}
+
+void FaultInjectingTransport::register_node(NodeId node, DeliverFn deliver) {
+  inner_.register_node(node, std::move(deliver));
+}
+
+void FaultInjectingTransport::unregister_node(NodeId node) { inner_.unregister_node(node); }
+
+void FaultInjectingTransport::schedule(SimDuration delay, std::function<void()> callback) {
+  inner_.schedule(delay, std::move(callback));
+}
+
+void FaultInjectingTransport::set_default_rule(const FaultRule& rule) {
+  std::lock_guard lock(mutex_);
+  default_rule_ = rule;
+}
+
+void FaultInjectingTransport::set_link_rule(NodeId from, NodeId to, const FaultRule& rule) {
+  std::lock_guard lock(mutex_);
+  link_rules_[link_key(from, to)] = rule;
+}
+
+void FaultInjectingTransport::clear_link_rule(NodeId from, NodeId to) {
+  std::lock_guard lock(mutex_);
+  link_rules_.erase(link_key(from, to));
+}
+
+void FaultInjectingTransport::clear_link_rules() {
+  std::lock_guard lock(mutex_);
+  link_rules_.clear();
+}
+
+void FaultInjectingTransport::partition_link(NodeId from, NodeId to) {
+  std::lock_guard lock(mutex_);
+  partitioned_links_.insert(link_key(from, to));
+}
+
+void FaultInjectingTransport::heal_link(NodeId from, NodeId to) {
+  std::lock_guard lock(mutex_);
+  partitioned_links_.erase(link_key(from, to));
+}
+
+void FaultInjectingTransport::partition_groups(const std::vector<NodeId>& a,
+                                               const std::vector<NodeId>& b) {
+  std::lock_guard lock(mutex_);
+  for (const NodeId left : a) {
+    for (const NodeId right : b) {
+      partitioned_links_.insert(link_key(left, right));
+      partitioned_links_.insert(link_key(right, left));
+    }
+  }
+}
+
+void FaultInjectingTransport::heal_all_partitions() {
+  std::lock_guard lock(mutex_);
+  partitioned_links_.clear();
+}
+
+bool FaultInjectingTransport::link_partitioned(NodeId from, NodeId to) const {
+  std::lock_guard lock(mutex_);
+  return partitioned_links_.contains(link_key(from, to));
+}
+
+std::uint64_t FaultInjectingTransport::injected_count() const {
+  std::lock_guard lock(mutex_);
+  return injected_;
+}
+
+std::vector<FaultEvent> FaultInjectingTransport::injected() const {
+  std::lock_guard lock(mutex_);
+  return timeline_;
+}
+
+const FaultRule& FaultInjectingTransport::rule_for_locked(NodeId from, NodeId to) const {
+  const auto it = link_rules_.find(link_key(from, to));
+  return it != link_rules_.end() ? it->second : default_rule_;
+}
+
+void FaultInjectingTransport::note_locked(FaultKind kind, NodeId from, NodeId to) {
+  if (timeline_.size() < kTimelineCap) {
+    timeline_.push_back(FaultEvent{injected_, kind, from, to});
+  }
+  ++injected_;
+  switch (kind) {
+    case FaultKind::kDrop:
+      drops_.inc();
+      break;
+    case FaultKind::kPartitionDrop:
+      partition_drops_.inc();
+      break;
+    case FaultKind::kDelay:
+      delays_.inc();
+      break;
+    case FaultKind::kDuplicate:
+      duplicates_.inc();
+      break;
+    case FaultKind::kReorder:
+      reorders_.inc();
+      break;
+    case FaultKind::kCorrupt:
+      corruptions_.inc();
+      break;
+    case FaultKind::kTruncate:
+      truncations_.inc();
+      break;
+  }
+}
+
+void FaultInjectingTransport::send(NodeId from, NodeId to, Bytes payload) {
+  SimDuration extra = 0;
+  bool duplicate = false;
+  SimDuration duplicate_gap = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (partitioned_links_.contains(link_key(from, to))) {
+      note_locked(FaultKind::kPartitionDrop, from, to);
+      return;
+    }
+    const FaultRule& rule = rule_for_locked(from, to);
+    if (rule.drop > 0 && rng_.next_bool(rule.drop)) {
+      note_locked(FaultKind::kDrop, from, to);
+      return;
+    }
+    if (rule.truncate > 0 && payload.size() > 1 && rng_.next_bool(rule.truncate)) {
+      payload.resize(1 + rng_.next_below(payload.size() - 1));
+      note_locked(FaultKind::kTruncate, from, to);
+    }
+    if (rule.corrupt > 0 && !payload.empty() && rng_.next_bool(rule.corrupt)) {
+      const std::size_t flips = 1 + rng_.next_below(3);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t at = rng_.next_below(payload.size());
+        payload[at] = static_cast<std::uint8_t>(payload[at] ^ (1 + rng_.next_below(255)));
+      }
+      note_locked(FaultKind::kCorrupt, from, to);
+    }
+    if (rule.delay_base > 0 || rule.delay_jitter > 0) {
+      extra = rule.delay_base;
+      if (rule.delay_jitter > 0) extra += rng_.next_below(rule.delay_jitter + 1);
+      if (extra > 0) note_locked(FaultKind::kDelay, from, to);
+    }
+    if (rule.reorder > 0 && rng_.next_bool(rule.reorder)) {
+      // Holding this message back lets messages sent after it overtake —
+      // reordering without the transport having to touch its peers' queues.
+      extra += rule.reorder_hold;
+      note_locked(FaultKind::kReorder, from, to);
+    }
+    if (rule.duplicate > 0 && rng_.next_bool(rule.duplicate)) {
+      duplicate = true;
+      duplicate_gap = rule.duplicate_gap;
+      note_locked(FaultKind::kDuplicate, from, to);
+    }
+  }
+
+  if (duplicate) {
+    Bytes copy = payload;
+    inner_.schedule(extra + duplicate_gap, [this, from, to, copy = std::move(copy)]() mutable {
+      inner_.send(from, to, std::move(copy));
+    });
+  }
+  if (extra > 0) {
+    inner_.schedule(extra, [this, from, to, payload = std::move(payload)]() mutable {
+      inner_.send(from, to, std::move(payload));
+    });
+    return;
+  }
+  inner_.send(from, to, std::move(payload));
+}
+
+}  // namespace securestore::net

@@ -1,0 +1,146 @@
+// FaultInjectingTransport: deterministic message-level chaos (DESIGN.md §9).
+//
+// A decorator over *any* `Transport` (sim, thread, TCP) that applies
+// per-link fault rules on the send path — drop, extra fixed/jittered delay,
+// duplication, reordering (hold one message so later ones overtake),
+// payload truncation/corruption, and directed partition windows. Every
+// decision is drawn from one seeded `Rng`, so a run's entire fault timeline
+// is a pure function of (seed, send sequence): re-running the same
+// deterministic workload with the same seed injects the identical faults,
+// which is how chaos failures reproduce (`injected()` exposes the timeline
+// for the replay assertion).
+//
+// Each injected fault also lands in the wrapped transport's metrics
+// registry as a `chaos.*` counter, so a dump shows exactly how much abuse a
+// run absorbed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace securestore::net {
+
+/// Per-link fault probabilities and latency shaping. All probabilities are
+/// independent Bernoulli draws per message; a message can be both delayed
+/// and duplicated, but a dropped message is simply gone.
+struct FaultRule {
+  double drop = 0.0;       // message vanishes
+  double duplicate = 0.0;  // a second copy is delivered shortly after
+  double corrupt = 0.0;    // 1..3 payload bytes are flipped
+  double truncate = 0.0;   // payload is cut to a random shorter prefix
+  double reorder = 0.0;    // message is held `reorder_hold` so later ones overtake
+  SimDuration delay_base = 0;    // extra latency added to every message
+  SimDuration delay_jitter = 0;  // + uniform [0, delay_jitter]
+  SimDuration reorder_hold = milliseconds(5);
+  SimDuration duplicate_gap = microseconds(500);  // second copy lags this much
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || truncate > 0 || reorder > 0 ||
+           delay_base > 0 || delay_jitter > 0;
+  }
+};
+
+enum class FaultKind : std::uint8_t {
+  kDrop,
+  kPartitionDrop,
+  kDelay,
+  kDuplicate,
+  kReorder,
+  kCorrupt,
+  kTruncate,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One injected fault, in injection order. The sequence of these is the
+/// run's fault timeline; identical across runs with the same seed and the
+/// same deterministic workload.
+struct FaultEvent {
+  std::uint64_t sequence = 0;  // dense injection counter, starts at 0
+  FaultKind kind{};
+  NodeId from{};
+  NodeId to{};
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  /// Wraps `inner`; all fault decisions derive from `seed`. The wrapper
+  /// registers/schedules/reports through `inner`, so protocol code written
+  /// against `Transport` runs unmodified under chaos.
+  FaultInjectingTransport(Transport& inner, std::uint64_t seed);
+
+  // Transport interface: everything but send() is a pure delegate.
+  void register_node(NodeId node, DeliverFn deliver) override;
+  void unregister_node(NodeId node) override;
+  void send(NodeId from, NodeId to, Bytes payload) override;
+  SimTime now() const override { return inner_.now(); }
+  void schedule(SimDuration delay, std::function<void()> callback) override;
+  const sim::TransportStats& stats() const override { return inner_.stats(); }
+  void reset_stats() override { inner_.reset_stats(); }
+  obs::Registry& registry() override { return inner_.registry(); }
+
+  // --- Fault rules --------------------------------------------------------
+
+  /// Applied to every link without a per-link override.
+  void set_default_rule(const FaultRule& rule);
+  /// Overrides the rule of one directed link.
+  void set_link_rule(NodeId from, NodeId to, const FaultRule& rule);
+  void clear_link_rule(NodeId from, NodeId to);
+  void clear_link_rules();
+
+  /// Directed partition window: messages `from` -> `to` are dropped (and
+  /// counted as `chaos.partition_drop`) until healed. Asymmetric splits
+  /// come from partitioning only one direction.
+  void partition_link(NodeId from, NodeId to);
+  void heal_link(NodeId from, NodeId to);
+  /// Severs every directed link between the two sets, both directions.
+  void partition_groups(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+  void heal_all_partitions();
+  bool link_partitioned(NodeId from, NodeId to) const;
+
+  // --- Timeline -----------------------------------------------------------
+
+  /// Total faults injected so far (also the next event's sequence).
+  std::uint64_t injected_count() const;
+  /// The recorded timeline, capped at `kTimelineCap` events (the count keeps
+  /// going; only the recording stops). Copy — safe across threads.
+  std::vector<FaultEvent> injected() const;
+
+  static constexpr std::size_t kTimelineCap = 1u << 16;
+
+  Transport& inner() { return inner_; }
+
+ private:
+  const FaultRule& rule_for_locked(NodeId from, NodeId to) const;
+  void note_locked(FaultKind kind, NodeId from, NodeId to);
+
+  Transport& inner_;
+  // One lock covers rng + rules + timeline: sends may come from any thread
+  // on the real transports; under the simulator it is uncontended.
+  mutable std::mutex mutex_;
+  Rng rng_;
+  FaultRule default_rule_;
+  std::unordered_map<std::uint64_t, FaultRule> link_rules_;
+  std::unordered_set<std::uint64_t> partitioned_links_;
+  std::uint64_t injected_ = 0;
+  std::vector<FaultEvent> timeline_;
+
+  // chaos.* counters in the wrapped registry, resolved once.
+  obs::Counter& drops_;
+  obs::Counter& partition_drops_;
+  obs::Counter& delays_;
+  obs::Counter& duplicates_;
+  obs::Counter& reorders_;
+  obs::Counter& corruptions_;
+  obs::Counter& truncations_;
+};
+
+}  // namespace securestore::net

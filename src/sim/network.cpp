@@ -38,6 +38,39 @@ bool NetworkModel::is_partitioned(NodeId node) const {
   return partitioned_.contains(node);
 }
 
+void NetworkModel::partition_link(NodeId from, NodeId to) {
+  partitioned_links_.insert(link_key(from, to));
+}
+
+void NetworkModel::heal_link(NodeId from, NodeId to) {
+  partitioned_links_.erase(link_key(from, to));
+}
+
+bool NetworkModel::link_partitioned(NodeId from, NodeId to) const {
+  return partitioned_links_.contains(link_key(from, to));
+}
+
+void NetworkModel::partition_groups(const std::vector<NodeId>& a,
+                                    const std::vector<NodeId>& b) {
+  for (const NodeId left : a) {
+    for (const NodeId right : b) {
+      partition_link(left, right);
+      partition_link(right, left);
+    }
+  }
+}
+
+void NetworkModel::heal_groups(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  for (const NodeId left : a) {
+    for (const NodeId right : b) {
+      heal_link(left, right);
+      heal_link(right, left);
+    }
+  }
+}
+
+void NetworkModel::heal_all_links() { partitioned_links_.clear(); }
+
 const LinkProfile& NetworkModel::profile_for(NodeId from, NodeId to) const {
   const auto it = link_overrides_.find(link_key(from, to));
   return it != link_overrides_.end() ? it->second : default_profile_;
@@ -45,6 +78,7 @@ const LinkProfile& NetworkModel::profile_for(NodeId from, NodeId to) const {
 
 std::optional<SimDuration> NetworkModel::sample_delivery(NodeId from, NodeId to) {
   if (partitioned_.contains(from) || partitioned_.contains(to)) return std::nullopt;
+  if (partitioned_links_.contains(link_key(from, to))) return std::nullopt;
   const LinkProfile& profile = profile_for(from, to);
   if (profile.loss_probability > 0.0 && rng_.next_bool(profile.loss_probability)) {
     return std::nullopt;

@@ -48,6 +48,21 @@ class NetworkModel {
   void set_partitioned(NodeId node, bool partitioned);
   bool is_partitioned(NodeId node) const;
 
+  /// Directed pairwise partition: drops messages flowing `from` -> `to`
+  /// only. Asymmetric splits (A hears B, B never hears A) compose from
+  /// single directions; call both directions for a symmetric cut.
+  void partition_link(NodeId from, NodeId to);
+  void heal_link(NodeId from, NodeId to);
+  bool link_partitioned(NodeId from, NodeId to) const;
+
+  /// Group partition: severs every directed link between the two sets (both
+  /// directions). `heal_groups` undoes exactly those links.
+  void partition_groups(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+  void heal_groups(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+
+  /// Drops every pairwise link partition (node-global partitions stay).
+  void heal_all_links();
+
   /// Returns the delivery latency for one message, or nullopt if the
   /// message is lost (loss, partition).
   std::optional<SimDuration> sample_delivery(NodeId from, NodeId to);
@@ -59,6 +74,7 @@ class NetworkModel {
   LinkProfile default_profile_;
   std::unordered_map<std::uint64_t, LinkProfile> link_overrides_;
   std::unordered_set<NodeId> partitioned_;
+  std::unordered_set<std::uint64_t> partitioned_links_;  // directed from->to keys
 };
 
 }  // namespace securestore::sim

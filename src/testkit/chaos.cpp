@@ -1,0 +1,442 @@
+#include "testkit/chaos.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/sync.h"
+
+namespace securestore::testkit {
+
+const char* chaos_event_name(ChaosEvent::Kind kind) {
+  switch (kind) {
+    case ChaosEvent::Kind::kCrash: return "crash";
+    case ChaosEvent::Kind::kRestart: return "restart";
+    case ChaosEvent::Kind::kIsolate: return "isolate";
+    case ChaosEvent::Kind::kHealIsolation: return "heal_isolation";
+    case ChaosEvent::Kind::kByzantine: return "byzantine";
+    case ChaosEvent::Kind::kRecover: return "recover";
+    case ChaosEvent::Kind::kDegradeLinks: return "degrade_links";
+    case ChaosEvent::Kind::kRestoreLinks: return "restore_links";
+  }
+  return "unknown";
+}
+
+ChaosSchedule ChaosSchedule::random(Rng& rng, std::uint32_t n, std::uint32_t b,
+                                    SimTime horizon) {
+  ChaosSchedule schedule;
+  if (n == 0 || horizon < milliseconds(1500)) return schedule;
+
+  // A window makes one server faulty for [start, end]; `grace` extends its
+  // budget accounting past the heal so a just-repaired server (possibly
+  // still catching up via gossip) is not immediately treated as healthy.
+  struct Window {
+    std::uint32_t server;
+    SimTime start;
+    SimTime end;
+    bool counts;  // consumes fault budget (crash/isolate/Byzantine)
+  };
+  std::vector<Window> accepted;
+  const SimDuration grace = seconds(1);
+  const SimTime latest = horizon - milliseconds(100);
+  const auto target = static_cast<std::uint32_t>(4 + rng.next_below(4));
+  static constexpr faults::ServerFault kMenu[] = {
+      faults::ServerFault::kMuteData,      faults::ServerFault::kStaleContext,
+      faults::ServerFault::kStaleData,     faults::ServerFault::kCorruptValues,
+      faults::ServerFault::kDropWrites,
+  };
+
+  std::uint32_t placed = 0;
+  for (unsigned attempt = 0; attempt < 48 && placed < target; ++attempt) {
+    const auto server = static_cast<std::uint32_t>(rng.next_below(n));
+    const SimTime start = milliseconds(200) + rng.next_below(horizon * 3 / 4);
+    SimTime end = start + milliseconds(400) + rng.next_below(horizon / 5);
+    if (end > latest) end = latest;
+    if (end <= start + milliseconds(100)) continue;
+    const auto type = static_cast<unsigned>(rng.next_below(4));
+    const bool counts = type != 3;
+
+    bool conflict = false;
+    std::uint32_t budget_overlap = 0;
+    for (const Window& w : accepted) {
+      const bool overlaps = start < w.end + grace && w.start < end + grace;
+      if (!overlaps) continue;
+      if (w.server == server) {
+        conflict = true;  // one storm per server at a time, any kind
+        break;
+      }
+      if (counts && w.counts) ++budget_overlap;
+    }
+    if (conflict || (counts && budget_overlap >= b)) continue;
+
+    accepted.push_back(Window{server, start, end, counts});
+    ++placed;
+
+    ChaosEvent open;
+    ChaosEvent close;
+    open.at = start;
+    close.at = end;
+    open.server = close.server = server;
+    switch (type) {
+      case 0:
+        open.kind = ChaosEvent::Kind::kCrash;
+        close.kind = ChaosEvent::Kind::kRestart;
+        // Mostly stateful reboots; one in four comes back as a disk-wiped
+        // (or amnesiac) replacement.
+        close.restore_state = rng.next_below(4) != 0;
+        break;
+      case 1:
+        open.kind = ChaosEvent::Kind::kIsolate;
+        close.kind = ChaosEvent::Kind::kHealIsolation;
+        break;
+      case 2:
+        open.kind = ChaosEvent::Kind::kByzantine;
+        close.kind = ChaosEvent::Kind::kRecover;
+        open.faults.insert(kMenu[rng.next_below(std::size(kMenu))]);
+        if (rng.next_bool(0.3)) open.faults.insert(kMenu[rng.next_below(std::size(kMenu))]);
+        break;
+      default: {
+        open.kind = ChaosEvent::Kind::kDegradeLinks;
+        close.kind = ChaosEvent::Kind::kRestoreLinks;
+        net::FaultRule rule;
+        rule.drop = 0.05 + 0.25 * rng.next_double();
+        rule.delay_base = milliseconds(1 + rng.next_below(8));
+        rule.delay_jitter = milliseconds(rng.next_below(5));
+        rule.duplicate = 0.05;
+        rule.reorder = 0.05;
+        open.rule = rule;
+        break;
+      }
+    }
+    schedule.events.push_back(std::move(open));
+    schedule.events.push_back(std::move(close));
+  }
+
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// ChaosRunner
+// ---------------------------------------------------------------------------
+
+/// One workload client's asynchronous op loop. Ops chain through callbacks
+/// with `op_gap` think time; the loop stops issuing once the storm horizon
+/// passes. All clients here are CORRECT — the adversary is the schedule.
+struct ChaosRunner::Workload {
+  std::unique_ptr<core::SecureStoreClient> client;
+  ClientId id{};
+  GroupId group{};
+  std::size_t oracle = 0;  // index into oracles_
+  bool writer = false;
+  bool reader = true;
+  std::vector<ItemId> items;
+  Rng rng{1};
+  std::uint64_t seq = 0;
+};
+
+ChaosRunner::ChaosRunner(Cluster& cluster, ChaosSchedule schedule, ChaosRunnerOptions options,
+                         std::uint64_t workload_seed)
+    : cluster_(cluster), schedule_(std::move(schedule)), options_(options),
+      rng_(workload_seed) {
+  if (cluster_.chaos() == nullptr) {
+    throw std::logic_error("ChaosRunner: cluster must be built with chaos_seed set");
+  }
+  if (cluster_.options().max_clients < 7) {
+    throw std::logic_error("ChaosRunner: cluster needs max_clients >= 7");
+  }
+
+  // One group per protocol family, one oracle per group.
+  using core::ClientTrust;
+  using core::ConsistencyModel;
+  using core::SharingMode;
+  group_policies_ = {
+      // P3/P4: single writer, MRC.
+      core::GroupPolicy{GroupId{1}, ConsistencyModel::kMRC, SharingMode::kSingleWriter,
+                        ClientTrust::kHonest},
+      // P5: honest multi-writer, causal consistency.
+      core::GroupPolicy{GroupId{2}, ConsistencyModel::kCC, SharingMode::kMultiWriter,
+                        ClientTrust::kHonest},
+      // P6: Byzantine-client hardened multi-writer.
+      core::GroupPolicy{GroupId{3}, ConsistencyModel::kMRC, SharingMode::kMultiWriter,
+                        ClientTrust::kByzantine},
+  };
+  for (const core::GroupPolicy& policy : group_policies_) {
+    oracles_.push_back(std::make_unique<ConsistencyOracle>(
+        policy.model == ConsistencyModel::kCC));
+  }
+
+  // Client layout: (group, client id, role).
+  struct Spec {
+    std::size_t group_idx;
+    std::uint32_t client;
+    bool writer;
+    bool reader;
+  };
+  const Spec specs[] = {
+      {0, 1, true, true},   // single-writer group: the one writer
+      {0, 2, false, true},  // ...and a pure reader
+      {1, 3, true, true},  {1, 4, true, true},  // honest multi-writer pair
+      {2, 5, true, true},  {2, 6, true, true},  // Byzantine-mode pair
+  };
+  for (const Spec& spec : specs) {
+    auto w = std::make_shared<Workload>();
+    const core::GroupPolicy& policy = group_policies_[spec.group_idx];
+    core::SecureStoreClient::Options client_options;
+    client_options.policy = policy;
+    client_options.round_timeout = options_.round_timeout;
+    w->id = ClientId{spec.client};
+    w->group = policy.group;
+    w->oracle = spec.group_idx;
+    w->writer = spec.writer;
+    w->reader = spec.reader;
+    w->rng = rng_.fork();
+    for (std::uint32_t k = 0; k < options_.items_per_group; ++k) {
+      w->items.push_back(ItemId{policy.group.value * 100 + k});
+    }
+    w->client = cluster_.make_client(w->id, std::move(client_options));
+    workloads_.push_back(std::move(w));
+  }
+}
+
+ChaosRunner::~ChaosRunner() { *alive_ = false; }
+
+std::vector<NodeId> ChaosRunner::all_node_ids() const {
+  std::vector<NodeId> ids;
+  for (std::uint32_t i = 0; i < cluster_.options().n; ++i) ids.push_back(NodeId{i});
+  for (std::uint32_t c = 1; c <= cluster_.options().max_clients; ++c) {
+    ids.push_back(NodeId{1000 + c});
+  }
+  return ids;
+}
+
+void ChaosRunner::isolate_server(std::uint32_t server, bool heal) {
+  std::vector<NodeId> others;
+  for (const NodeId id : all_node_ids()) {
+    if (id.value != server) others.push_back(id);
+  }
+  sim::NetworkModel& network = cluster_.transport().network();
+  if (heal) {
+    network.heal_groups({NodeId{server}}, others);
+  } else {
+    network.partition_groups({NodeId{server}}, others);
+  }
+}
+
+void ChaosRunner::degrade_server(std::uint32_t server, const net::FaultRule& rule,
+                                 bool restore) {
+  net::FaultInjectingTransport& chaos = *cluster_.chaos();
+  for (const NodeId id : all_node_ids()) {
+    if (id.value == server) continue;
+    if (restore) {
+      chaos.clear_link_rule(NodeId{server}, id);
+      chaos.clear_link_rule(id, NodeId{server});
+    } else {
+      chaos.set_link_rule(NodeId{server}, id, rule);
+      chaos.set_link_rule(id, NodeId{server}, rule);
+    }
+  }
+}
+
+void ChaosRunner::apply_event(const ChaosEvent& event) {
+  ++report_.events_applied;
+  const std::uint32_t s = event.server;
+  switch (event.kind) {
+    case ChaosEvent::Kind::kCrash:
+      cluster_.stop_server(s);
+      faulty_now_.insert(s);
+      break;
+    case ChaosEvent::Kind::kRestart:
+      if (!cluster_.server_running(s)) cluster_.start_server(s, event.restore_state);
+      faulty_now_.erase(s);
+      break;
+    case ChaosEvent::Kind::kIsolate:
+      isolate_server(s, /*heal=*/false);
+      faulty_now_.insert(s);
+      break;
+    case ChaosEvent::Kind::kHealIsolation:
+      isolate_server(s, /*heal=*/true);
+      faulty_now_.erase(s);
+      break;
+    case ChaosEvent::Kind::kByzantine:
+      cluster_.set_server_faults(s, event.faults);
+      if (cluster_.server_running(s)) cluster_.restart_server(s, /*restore_state=*/true);
+      faulty_now_.insert(s);
+      byzantine_now_.insert(s);
+      break;
+    case ChaosEvent::Kind::kRecover:
+      cluster_.set_server_faults(s, {});
+      if (cluster_.server_running(s)) cluster_.restart_server(s, /*restore_state=*/true);
+      faulty_now_.erase(s);
+      byzantine_now_.erase(s);
+      break;
+    case ChaosEvent::Kind::kDegradeLinks:
+      degrade_server(s, event.rule, /*restore=*/false);
+      break;
+    case ChaosEvent::Kind::kRestoreLinks:
+      degrade_server(s, event.rule, /*restore=*/true);
+      break;
+  }
+  report_.max_simultaneous_faulty = std::max(
+      report_.max_simultaneous_faulty, static_cast<std::uint32_t>(faulty_now_.size()));
+}
+
+void ChaosRunner::heal_everything() {
+  cluster_.transport().network().heal_all_links();
+  cluster_.chaos()->heal_all_partitions();
+  cluster_.chaos()->clear_link_rules();
+  for (const std::uint32_t s : byzantine_now_) cluster_.set_server_faults(s, {});
+  for (std::uint32_t s = 0; s < cluster_.options().n; ++s) {
+    if (!cluster_.server_running(s)) {
+      cluster_.start_server(s, /*restore_state=*/true);
+    } else if (byzantine_now_.contains(s)) {
+      cluster_.restart_server(s, /*restore_state=*/true);
+    }
+  }
+  byzantine_now_.clear();
+  faulty_now_.clear();
+}
+
+void ChaosRunner::start_workload(const std::shared_ptr<Workload>& w) {
+  // P1 session acquisition, retried until it lands or the storm ends. Ops
+  // only start on a live session so context save/restore is exercised too.
+  w->client->connect(w->group, [this, alive = alive_, w](VoidResult result) {
+    if (!*alive) return;
+    if (result.ok()) {
+      schedule_next_op(w);
+      return;
+    }
+    ++report_.ops_failed;
+    if (cluster_.transport().now() + options_.connect_retry_gap < stop_time_) {
+      cluster_.endpoint_transport().schedule(options_.connect_retry_gap,
+                                             [this, alive, w]() {
+                                               if (!*alive) return;
+                                               start_workload(w);
+                                             });
+    }
+  });
+}
+
+void ChaosRunner::schedule_next_op(const std::shared_ptr<Workload>& w) {
+  if (cluster_.transport().now() + options_.op_gap >= stop_time_) return;
+  cluster_.endpoint_transport().schedule(options_.op_gap, [this, alive = alive_, w]() {
+    if (!*alive) return;
+    run_op(w);
+  });
+}
+
+void ChaosRunner::run_op(const std::shared_ptr<Workload>& w) {
+  if (cluster_.transport().now() >= stop_time_) return;
+  ConsistencyOracle& oracle = *oracles_[w->oracle];
+  const ItemId item = w->items[w->rng.next_below(w->items.size())];
+  const bool do_write = w->writer && (!w->reader || w->rng.next_bool(0.5));
+
+  if (do_write) {
+    ++report_.writes_attempted;
+    const std::string text = "g" + std::to_string(w->group.value) + "-c" +
+                             std::to_string(w->id.value) + "-s" + std::to_string(w->seq++);
+    const Bytes value(text.begin(), text.end());
+    // Registered BEFORE the outcome is known: a timed-out write may still
+    // land at servers and be legitimately read later.
+    oracle.note_write_attempt(w->id, item, value);
+    w->client->write(item, value, [this, alive = alive_, w, item](VoidResult result) {
+      if (!*alive) return;
+      if (result.ok()) {
+        ++report_.writes_acked;
+        // The client's context entry for the item IS this write's timestamp
+        // (writes always outrun the context floor), and the whole context is
+        // the write's causal history.
+        oracles_[w->oracle]->note_write_ok(w->id, item, w->client->context().get(item),
+                                           w->client->context(),
+                                           cluster_.transport().now());
+      } else {
+        ++report_.ops_failed;
+      }
+      schedule_next_op(w);
+    });
+    return;
+  }
+
+  w->client->read(item, [this, alive = alive_, w, item](Result<core::ReadOutput> result) {
+    if (!*alive) return;
+    if (result.ok()) {
+      ++report_.reads_ok;
+      oracles_[w->oracle]->note_read_ok(w->id, item, result.value(),
+                                        cluster_.transport().now());
+    } else {
+      ++report_.ops_failed;
+    }
+    schedule_next_op(w);
+  });
+}
+
+void ChaosRunner::final_verification() {
+  for (std::size_t g = 0; g < group_policies_.size(); ++g) {
+    const core::GroupPolicy& policy = group_policies_[g];
+    core::SecureStoreClient::Options client_options;
+    client_options.policy = policy;
+    // Generous per-round budget: the storm is over, this is a correctness
+    // sweep, not an availability measurement.
+    client_options.round_timeout = seconds(1);
+    auto client = cluster_.make_client(ClientId{7}, std::move(client_options),
+                                       NodeId{3000 + static_cast<std::uint32_t>(g)});
+    core::SyncClient sync(*client, cluster_.scheduler());
+    // P2: a fresh client rebuilds the group's context from all servers —
+    // the recovery path a post-disaster reader would take.
+    (void)sync.reconstruct_context(policy.group);
+    for (std::uint32_t k = 0; k < options_.items_per_group; ++k) {
+      const ItemId item{policy.group.value * 100 + k};
+      auto result = sync.read(item);
+      oracles_[g]->note_final_read(
+          item,
+          result.ok() ? std::optional<core::ReadOutput>(result.value()) : std::nullopt,
+          cluster_.transport().now());
+    }
+  }
+}
+
+ChaosReport ChaosRunner::run() {
+  if (ran_) throw std::logic_error("ChaosRunner::run() may only be called once");
+  ran_ = true;
+
+  for (const core::GroupPolicy& policy : group_policies_) {
+    cluster_.set_group_policy(policy);
+  }
+
+  start_ = cluster_.transport().now();
+  stop_time_ = start_ + options_.horizon;
+
+  // Stagger the workload starts a little so connects do not all collide.
+  SimDuration stagger = milliseconds(1);
+  for (const auto& w : workloads_) {
+    cluster_.endpoint_transport().schedule(stagger, [this, alive = alive_, w]() {
+      if (!*alive) return;
+      start_workload(w);
+    });
+    stagger += milliseconds(3);
+  }
+
+  for (const ChaosEvent& event : schedule_.events) {
+    cluster_.endpoint_transport().schedule(event.at, [this, alive = alive_, event]() {
+      if (!*alive) return;
+      apply_event(event);
+    });
+  }
+
+  cluster_.run_for(options_.horizon);
+  heal_everything();
+  cluster_.run_for(options_.quiesce);
+  final_verification();
+
+  report_.fault_timeline = cluster_.chaos()->injected();
+  for (const auto& oracle : oracles_) {
+    report_.oracle_checks += oracle->checks();
+    for (const auto& violation : oracle->violations()) {
+      report_.violations.push_back(violation);
+    }
+    report_.violation_report += oracle->report();
+  }
+  return report_;
+}
+
+}  // namespace securestore::testkit

@@ -1,0 +1,149 @@
+// Deterministic chaos harness (DESIGN.md §9).
+//
+// `ChaosSchedule` is a timeline of cluster-level fault events — crash and
+// restart a server (with or without its state), isolate it behind a
+// directed partition, flip it to a Byzantine `ServerFault` behavior, or
+// degrade its links with loss/latency/duplication — generated from a seed
+// so the same seed always yields the same storm. `ChaosRunner` executes a
+// schedule against a `Cluster` while concurrent client workloads run on
+// every protocol family (P3/P4 single-writer, P5 honest multi-writer, P6
+// Byzantine multi-writer), reporting each operation to a per-group
+// `ConsistencyOracle`. The generator never exceeds the deployment's fault
+// bound `b` in simultaneously-faulty servers, so every oracle violation is
+// a real protocol bug, not an over-budget storm.
+//
+// After the chaos horizon the runner heals everything, restarts the dead,
+// reverts the Byzantine, lets gossip quiesce, and drives a final
+// fresh-client verification sweep (the oracle's durability check: no
+// acknowledged write may be lost).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "faults/faulty_server.h"
+#include "net/fault_transport.h"
+#include "testkit/cluster.h"
+#include "testkit/oracle.h"
+#include "util/rng.h"
+
+namespace securestore::testkit {
+
+struct ChaosEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,           // stop_server(server)
+    kRestart,         // start_server(server, restore_state)
+    kIsolate,         // directed partition: server <-> everyone, both ways
+    kHealIsolation,   // heal that partition
+    kByzantine,       // flip the server to `faults` (restarted with state)
+    kRecover,         // flip back to honest (restarted with state)
+    kDegradeLinks,    // apply `rule` to every link touching the server
+    kRestoreLinks,    // clear those link rules
+  };
+
+  SimTime at = 0;  // relative to the runner's start
+  Kind kind{};
+  std::uint32_t server = 0;
+  bool restore_state = true;                 // kRestart
+  std::set<faults::ServerFault> faults;      // kByzantine
+  net::FaultRule rule;                       // kDegradeLinks
+};
+
+const char* chaos_event_name(ChaosEvent::Kind kind);
+
+struct ChaosSchedule {
+  std::vector<ChaosEvent> events;  // sorted by `at`
+
+  /// Generates a random schedule over [0, horizon): several disjoint fault
+  /// windows per server, with crash/isolate/Byzantine windows (the ones
+  /// that make a server faulty) never overlapping more than `b` deep —
+  /// including a post-heal grace so a freshly-repaired server is not
+  /// immediately counted healthy. Link degradation rides on top without
+  /// consuming fault budget (it slows the system but breaks no assumption).
+  static ChaosSchedule random(Rng& rng, std::uint32_t n, std::uint32_t b, SimTime horizon);
+};
+
+struct ChaosRunnerOptions {
+  /// Length of the storm; workloads stop issuing new ops at this time.
+  SimDuration horizon = seconds(20);
+  /// Settle time between healing everything and the verification sweep.
+  SimDuration quiesce = seconds(5);
+  /// Think time between one client's consecutive operations.
+  SimDuration op_gap = milliseconds(25);
+  /// Wait before retrying a failed connect.
+  SimDuration connect_retry_gap = milliseconds(200);
+  /// Items written/read per group (ItemId = group*100 + k).
+  std::uint32_t items_per_group = 3;
+  /// Per-round quorum timeout handed to workload clients.
+  SimDuration round_timeout = milliseconds(150);
+};
+
+struct ChaosReport {
+  std::uint64_t writes_attempted = 0;
+  std::uint64_t writes_acked = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t ops_failed = 0;  // timed-out / stale / unreachable ops
+  std::uint64_t oracle_checks = 0;
+  std::uint64_t events_applied = 0;
+  std::uint32_t max_simultaneous_faulty = 0;
+  /// The fault-injection timeline of the run's chaos transport; equal
+  /// across runs with the same seeds (the replay assertion).
+  std::vector<net::FaultEvent> fault_timeline;
+  std::vector<ConsistencyOracle::Violation> violations;
+  /// All violations pretty-printed, one per line (empty when clean).
+  std::string violation_report;
+};
+
+class ChaosRunner {
+ public:
+  /// `cluster` must have been built with `chaos_seed` set (the runner uses
+  /// the chaos transport for link degradation and the fault timeline).
+  /// `workload_seed` drives workload choices (items, op mix) independently
+  /// of the schedule and the cluster.
+  ChaosRunner(Cluster& cluster, ChaosSchedule schedule, ChaosRunnerOptions options,
+              std::uint64_t workload_seed);
+  ~ChaosRunner();
+
+  ChaosRunner(const ChaosRunner&) = delete;
+  ChaosRunner& operator=(const ChaosRunner&) = delete;
+
+  /// Runs storm + workloads, heals, quiesces, verifies. Blocking (drives
+  /// the cluster's scheduler); call once.
+  ChaosReport run();
+
+ private:
+  struct Workload;  // one client's op loop
+
+  void apply_event(const ChaosEvent& event);
+  void heal_everything();
+  void final_verification();
+  std::vector<NodeId> all_node_ids() const;
+  void isolate_server(std::uint32_t server, bool heal);
+  void degrade_server(std::uint32_t server, const net::FaultRule& rule, bool restore);
+
+  void start_workload(const std::shared_ptr<Workload>& w);
+  void schedule_next_op(const std::shared_ptr<Workload>& w);
+  void run_op(const std::shared_ptr<Workload>& w);
+
+  Cluster& cluster_;
+  ChaosSchedule schedule_;
+  ChaosRunnerOptions options_;
+  Rng rng_;
+  SimTime start_ = 0;
+  SimTime stop_time_ = 0;
+  bool ran_ = false;
+
+  std::vector<core::GroupPolicy> group_policies_;
+  std::vector<std::unique_ptr<ConsistencyOracle>> oracles_;  // one per group
+  std::vector<std::shared_ptr<Workload>> workloads_;
+
+  std::set<std::uint32_t> faulty_now_;
+  std::set<std::uint32_t> byzantine_now_;
+  ChaosReport report_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace securestore::testkit

@@ -8,10 +8,14 @@ namespace securestore::testkit {
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(options_.seed) {
   transport_ = std::make_unique<net::SimTransport>(
       scheduler_, sim::NetworkModel(rng_.fork(), options_.link), options_.registry);
+  if (options_.chaos_seed.has_value()) {
+    chaos_ = std::make_unique<net::FaultInjectingTransport>(*transport_, *options_.chaos_seed);
+  }
 
   // Key directories first: servers copy the config at construction.
   config_.n = options_.n;
   config_.b = options_.b;
+  config_.op_timeout = options_.op_timeout;
   for (std::uint32_t i = 0; i < options_.n; ++i) config_.servers.push_back(NodeId{i});
 
   authority_ = crypto::KeyPair::generate(rng_);
@@ -25,6 +29,7 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(op
     config_.server_keys[NodeId{i}] = server_keypairs_.back().public_key;
   }
 
+  stopped_snapshots_.resize(options_.n);
   for (std::uint32_t i = 0; i < options_.n; ++i) {
     servers_.push_back(build_server(i));
   }
@@ -65,32 +70,55 @@ std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t ind
 
   std::unique_ptr<core::SecureStoreServer> server;
   if (faults.empty()) {
-    server = std::make_unique<core::SecureStoreServer>(*transport_, NodeId{index}, config_,
-                                                       server_keypairs_[index],
+    server = std::make_unique<core::SecureStoreServer>(endpoint_transport(), NodeId{index},
+                                                       config_, server_keypairs_[index],
                                                        server_options, rng_.fork());
   } else {
-    server = std::make_unique<faults::FaultyServer>(*transport_, NodeId{index}, config_,
-                                                    server_keypairs_[index], server_options,
-                                                    rng_.fork(), std::move(faults));
+    server = std::make_unique<faults::FaultyServer>(endpoint_transport(), NodeId{index},
+                                                    config_, server_keypairs_[index],
+                                                    server_options, rng_.fork(),
+                                                    std::move(faults));
   }
   for (const core::GroupPolicy& policy : policies_) server->set_group_policy(policy);
   return server;
 }
 
-void Cluster::restart_server(std::size_t index, bool restore_state) {
+void Cluster::stop_server(std::size_t index) {
+  if (servers_[index] == nullptr) return;
+  // Crash semantics: the dying server saves nothing durable beyond what
+  // already reached disk. Non-durable clusters keep a crash-time snapshot
+  // so start_server(restore_state=true) can model a stateful reboot.
+  if (!options_.durability_dir.has_value()) {
+    stopped_snapshots_[index] = servers_[index]->snapshot();
+  }
+  servers_[index].reset();  // down: requests to it drop
+}
+
+void Cluster::start_server(std::size_t index, bool restore_state) {
+  if (servers_[index] != nullptr) return;
   if (options_.durability_dir.has_value()) {
-    // Crash semantics: the dying server saves nothing; the replacement
-    // recovers from whatever snapshot + WAL already reached disk.
-    servers_[index].reset();
+    // A disk-wiped replacement must not recover stale state: remove the
+    // snapshot + WAL directory before the newcomer boots.
     if (!restore_state) std::filesystem::remove_all(server_disk_dir(index));
     servers_[index] = build_server(static_cast<std::uint32_t>(index));
     return;
   }
-  Bytes snapshot;
-  if (restore_state) snapshot = servers_[index]->snapshot();
-  servers_[index].reset();  // down: requests to it drop
   servers_[index] = build_server(static_cast<std::uint32_t>(index));
-  if (restore_state) servers_[index]->restore(snapshot);
+  if (restore_state) servers_[index]->restore(stopped_snapshots_[index]);
+  stopped_snapshots_[index].clear();
+}
+
+void Cluster::restart_server(std::size_t index, bool restore_state) {
+  stop_server(index);
+  start_server(index, restore_state);
+}
+
+void Cluster::set_server_faults(std::size_t index, std::set<faults::ServerFault> faults) {
+  std::erase_if(options_.server_faults,
+                [index](const auto& entry) { return entry.first == index; });
+  if (!faults.empty()) {
+    options_.server_faults.emplace_back(static_cast<std::uint32_t>(index), std::move(faults));
+  }
 }
 
 Cluster::~Cluster() { *alive_ = false; }
@@ -126,8 +154,9 @@ std::unique_ptr<core::SecureStoreClient> Cluster::make_client(
     ClientId id, core::SecureStoreClient::Options options,
     std::optional<NodeId> network_id) {
   const NodeId node = network_id.value_or(NodeId{1000 + id.value});
-  return std::make_unique<core::SecureStoreClient>(*transport_, node, id, client_keys(id),
-                                                   config_, std::move(options), rng_.fork());
+  return std::make_unique<core::SecureStoreClient>(endpoint_transport(), node, id,
+                                                   client_keys(id), config_, std::move(options),
+                                                   rng_.fork());
 }
 
 core::AuthToken Cluster::issue_token(ClientId client, GroupId group,

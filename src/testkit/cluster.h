@@ -13,6 +13,7 @@
 #include "core/server.h"
 #include "core/sync.h"
 #include "faults/faulty_server.h"
+#include "net/fault_transport.h"
 #include "net/sim_transport.h"
 #include "sim/scheduler.h"
 
@@ -31,6 +32,15 @@ struct ClusterOptions {
   bool require_auth = false;
   /// Faults to inject, by server index.
   std::vector<std::pair<std::uint32_t, std::set<faults::ServerFault>>> server_faults;
+
+  /// When set, every server and client endpoint is registered on a
+  /// `net::FaultInjectingTransport` wrapping the sim transport, seeded with
+  /// this value. Fault rules start empty — configure them via `chaos()`.
+  std::optional<std::uint64_t> chaos_seed;
+
+  /// Whole-operation deadline handed to clients (StoreConfig::op_timeout).
+  /// Chaos tests shorten this so doomed operations fail fast.
+  SimDuration op_timeout = seconds(5);
 
   /// Durable servers: each server i persists a snapshot plus a write-ahead
   /// log under `<durability_dir>/server-<i>/`. restart_server() then models
@@ -59,6 +69,13 @@ class Cluster {
 
   sim::Scheduler& scheduler() { return scheduler_; }
   net::SimTransport& transport() { return *transport_; }
+  /// The chaos decorator (null unless `chaos_seed` was set).
+  net::FaultInjectingTransport* chaos() { return chaos_.get(); }
+  /// The transport endpoints actually talk through: the chaos wrapper when
+  /// one exists, the raw sim transport otherwise.
+  net::Transport& endpoint_transport() {
+    return chaos_ ? static_cast<net::Transport&>(*chaos_) : *transport_;
+  }
   /// Transport counters for the deployment (convenience for benches and
   /// tests asserting on message costs/drops).
   const sim::TransportStats& transport_stats() const;
@@ -78,13 +95,29 @@ class Cluster {
   core::SecureStoreServer& server(std::size_t index) { return *servers_[index]; }
   std::size_t server_count() const { return servers_.size(); }
 
-  /// Simulates a server reboot: tears the server down (mid-simulation —
-  /// in-flight messages to it are dropped, as on a real crash) and brings
-  /// it back up, restored from its snapshot when `restore_state` is true
-  /// (fresh/amnesiac otherwise). Group policies are re-applied. On a
-  /// durable cluster the replacement recovers from its on-disk snapshot +
-  /// WAL (restore_state=false wipes the server's disk first).
+  /// False while the server is down between stop_server/start_server.
+  bool server_running(std::size_t index) const { return servers_[index] != nullptr; }
+
+  /// Crashes a server mid-simulation: in-flight messages to it drop, as on
+  /// a real crash. In-memory (non-durable) clusters capture a snapshot at
+  /// crash time so a later start_server(restore_state=true) can model a
+  /// reboot that kept its state.
+  void stop_server(std::size_t index);
+
+  /// Brings a stopped server back. `restore_state=true` reboots with state
+  /// (in-memory snapshot, or on-disk snapshot + WAL for durable clusters);
+  /// `restore_state=false` models a disk-wiped replacement: the durability
+  /// directory is removed first, so the newcomer cannot recover stale
+  /// state. Group policies and the configured fault set are re-applied.
+  void start_server(std::size_t index, bool restore_state = true);
+
+  /// stop_server + start_server in one call: simulates a server reboot.
   void restart_server(std::size_t index, bool restore_state = true);
+
+  /// Replaces the fault set a server is built with. Takes effect at the
+  /// next start_server/restart_server of that index — ChaosRunner flips a
+  /// live server Byzantine via set_server_faults + restart(restore=true).
+  void set_server_faults(std::size_t index, std::set<faults::ServerFault> faults);
 
   /// The per-server durability directory (only with `durability_dir` set).
   std::string server_disk_dir(std::size_t index) const;
@@ -117,6 +150,7 @@ class Cluster {
   ClusterOptions options_;
   sim::Scheduler scheduler_;
   std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<net::FaultInjectingTransport> chaos_;
   core::StoreConfig config_;
   std::unique_ptr<core::SecureStoreServer> build_server(std::uint32_t index);
 
@@ -124,6 +158,8 @@ class Cluster {
   std::vector<crypto::KeyPair> client_keypairs_;  // index = ClientId.value - 1
   std::vector<crypto::KeyPair> server_keypairs_;
   std::vector<std::unique_ptr<core::SecureStoreServer>> servers_;
+  /// Crash-time snapshots for non-durable stop/start (index-aligned).
+  std::vector<Bytes> stopped_snapshots_;
   std::vector<core::GroupPolicy> policies_;
   Rng rng_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);  // guards timers

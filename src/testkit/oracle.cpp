@@ -1,0 +1,137 @@
+#include "testkit/oracle.h"
+
+#include <cstdio>
+
+namespace securestore::testkit {
+namespace {
+
+/// A lexicographically order-preserving key for (time, writer) — digest
+/// deliberately excluded, matching Timestamp's ordering.
+std::string ts_map_key(const core::Timestamp& ts) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%020llu-%010u",
+                static_cast<unsigned long long>(ts.time), ts.writer.value);
+  return buffer;
+}
+
+}  // namespace
+
+void ConsistencyOracle::violate(std::string check, std::string detail, SimTime at) {
+  violations_.push_back(Violation{std::move(check), std::move(detail), at});
+}
+
+void ConsistencyOracle::raise_floor(ClientId client, ItemId item, const core::Timestamp& ts) {
+  auto [entry, inserted] = floors_.try_emplace({client.value, item.value}, ts);
+  if (!inserted && entry->second < ts) entry->second = ts;
+}
+
+void ConsistencyOracle::note_write_attempt(ClientId writer, ItemId item, BytesView value) {
+  authentic_[{item.value, Bytes(value.begin(), value.end())}] = writer;
+}
+
+void ConsistencyOracle::note_write_ok(ClientId writer, ItemId item, const core::Timestamp& ts,
+                                      const core::Context& writer_context, SimTime at) {
+  (void)at;
+  // Read-your-writes half of MRC: the writer may never observe anything
+  // older than its own acked write.
+  raise_floor(writer, item, ts);
+  auto [entry, inserted] = acked_.try_emplace(item.value, ts);
+  if (!inserted && entry->second < ts) entry->second = ts;
+  if (causal_) write_deps_[{item.value, ts_map_key(ts)}] = writer_context;
+}
+
+void ConsistencyOracle::note_read_ok(ClientId reader, ItemId item,
+                                     const core::ReadOutput& output, SimTime at) {
+  ++reads_checked_;
+
+  // Authenticity: the value must have been produced by a correct workload
+  // client, and attributed to that client.
+  ++checks_;
+  const auto writer_it = authentic_.find({item.value, output.value});
+  if (writer_it == authentic_.end()) {
+    violate("authenticity",
+            "read of item " + std::to_string(item.value) + " at ts " + to_string(output.ts) +
+                " returned a value no workload client ever wrote",
+            at);
+  } else if (writer_it->second != output.writer && output.writer.value != 0) {
+    // Single-writer deployments report ClientId{0} in the timestamp; only
+    // flag a mismatch when the protocol actually attributes a writer.
+    violate("authenticity",
+            "read of item " + std::to_string(item.value) + " attributed to client " +
+                std::to_string(output.writer.value) + " but written by client " +
+                std::to_string(writer_it->second.value),
+            at);
+  }
+
+  // MRC: never older than this reader's floor for the item.
+  ++checks_;
+  const auto floor_it = floors_.find({reader.value, item.value});
+  if (floor_it != floors_.end() && output.ts < floor_it->second) {
+    violate("mrc",
+            "client " + std::to_string(reader.value) + " read item " +
+                std::to_string(item.value) + " at ts " + to_string(output.ts) +
+                " below its floor " + to_string(floor_it->second),
+            at);
+  }
+  raise_floor(reader, item, output.ts);
+
+  // CC: absorbing w also floors everything w causally depends on. The
+  // dependency snapshot exists only for acked writes; an unacked write that
+  // landed anyway contributes no extra floors (conservative).
+  if (causal_) {
+    const auto deps_it = write_deps_.find({item.value, ts_map_key(output.ts)});
+    if (deps_it != write_deps_.end()) {
+      ++checks_;
+      for (const auto& [dep_item, dep_ts] : deps_it->second.entries()) {
+        raise_floor(reader, dep_item, dep_ts);
+      }
+    }
+  }
+}
+
+void ConsistencyOracle::note_final_read(ItemId item,
+                                        const std::optional<core::ReadOutput>& output,
+                                        SimTime at) {
+  const auto acked_it = acked_.find(item.value);
+  if (acked_it == acked_.end()) return;  // nothing acked, nothing owed
+  ++checks_;
+  if (!output.has_value()) {
+    violate("durability",
+            "final read of item " + std::to_string(item.value) +
+                " failed despite an acked write at ts " + to_string(acked_it->second),
+            at);
+    return;
+  }
+  if (output->ts < acked_it->second) {
+    violate("durability",
+            "final read of item " + std::to_string(item.value) + " returned ts " +
+                to_string(output->ts) + " older than the newest acked write " +
+                to_string(acked_it->second),
+            at);
+  }
+  // The final read is a read like any other: authenticity must hold too.
+  ++checks_;
+  if (authentic_.find({item.value, output->value}) == authentic_.end()) {
+    violate("durability",
+            "final read of item " + std::to_string(item.value) +
+                " returned a value no workload client ever wrote",
+            at);
+  }
+}
+
+std::vector<ItemId> ConsistencyOracle::acked_items() const {
+  std::vector<ItemId> items;
+  items.reserve(acked_.size());
+  for (const auto& [item, ts] : acked_) items.push_back(ItemId{item});
+  return items;
+}
+
+std::string ConsistencyOracle::report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += "[" + v.check + " @" + std::to_string(v.at) + "us] " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace securestore::testkit

@@ -1,0 +1,101 @@
+// ConsistencyOracle: the chaos harness's independent referee (DESIGN.md §9).
+//
+// Workloads report every operation they perform — write attempts, write
+// acks, successful reads, and the post-chaos final reads — and the oracle
+// checks the paper's client-centric guarantees online, independently of the
+// client's own context bookkeeping:
+//
+//  * authenticity — a read only ever returns a value some correct workload
+//    client actually wrote for that item, attributed to the right writer
+//    (keyed by value content, so a write that timed out at the client but
+//    still landed at servers stays legitimate);
+//  * MRC — per (reader, item), observed timestamps never regress; a
+//    client's own acked writes also become floors (read-your-writes);
+//  * CC — accepting write w additionally floors every entry of w's writer
+//    context, so later reads of other items cannot travel back in time
+//    across the causality edge (Fig. 2's merge, re-derived outside the
+//    client);
+//  * durability — after faults heal and the system quiesces, a fresh
+//    client's read of each item must return a timestamp at least as new as
+//    the newest *acknowledged* write: no acked write is ever lost.
+//
+// Violations accumulate with timestamps and human-readable detail; tests
+// assert `violations().empty()` and print `report()` on failure. `checks()`
+// counts every individual assertion evaluated, so a soak can prove it was
+// not vacuously green.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/context.h"
+#include "core/timestamp.h"
+
+namespace securestore::testkit {
+
+class ConsistencyOracle {
+ public:
+  struct Violation {
+    std::string check;   // "authenticity" | "mrc" | "cc" | "durability"
+    std::string detail;  // human-readable evidence
+    SimTime at = 0;      // virtual time the violating observation was made
+  };
+
+  /// `causal` switches on the CC check (writer-context floors); MRC and
+  /// authenticity are always on.
+  explicit ConsistencyOracle(bool causal) : causal_(causal) {}
+
+  /// Call when a write is ISSUED, before its outcome is known: the value
+  /// joins the authentic set immediately, because a write whose ack timed
+  /// out at the client may still land at servers and be read later.
+  void note_write_attempt(ClientId writer, ItemId item, BytesView value);
+
+  /// Call when a write is ACKNOWLEDGED. `ts` is the timestamp the write
+  /// landed under and `writer_context` the writer's context right after the
+  /// ack (its causal history including this write). Feeds the durability
+  /// floor, the writer's own MRC floor, and the CC dependency map.
+  void note_write_ok(ClientId writer, ItemId item, const core::Timestamp& ts,
+                     const core::Context& writer_context, SimTime at);
+
+  /// Call on every successful read. Runs the authenticity, MRC and (when
+  /// causal) CC checks and advances the reader's floors.
+  void note_read_ok(ClientId reader, ItemId item, const core::ReadOutput& output, SimTime at);
+
+  /// Call with the post-chaos read of `item` by a fresh client (nullopt if
+  /// that read failed). Checks the newest acked write was not lost.
+  void note_final_read(ItemId item, const std::optional<core::ReadOutput>& output, SimTime at);
+
+  /// Items that have at least one acknowledged write (the set note_final_read
+  /// must cover).
+  std::vector<ItemId> acked_items() const;
+
+  std::uint64_t checks() const { return checks_; }
+  std::uint64_t reads_checked() const { return reads_checked_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// All violations, one per line — empty string when clean.
+  std::string report() const;
+
+ private:
+  void raise_floor(ClientId client, ItemId item, const core::Timestamp& ts);
+  void violate(std::string check, std::string detail, SimTime at);
+
+  bool causal_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t reads_checked_ = 0;
+  std::vector<Violation> violations_;
+
+  // Authentic set: (item, value bytes) -> writer who produced it.
+  std::map<std::pair<std::uint64_t, Bytes>, ClientId> authentic_;
+  // Per-(client, item) MRC floors.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, core::Timestamp> floors_;
+  // Per-item newest acknowledged timestamp (durability floor).
+  std::map<std::uint64_t, core::Timestamp> acked_;
+  // CC: (item, ts) -> the writer's context when that write was acked.
+  std::map<std::pair<std::uint64_t, std::string>, core::Context> write_deps_;
+};
+
+}  // namespace securestore::testkit

@@ -1,0 +1,38 @@
+#include "testkit/seed.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace securestore::testkit {
+
+std::uint64_t resolve_seed(std::uint64_t default_seed) {
+  const char* env = std::getenv("SECURESTORE_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) return default_seed;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::uint64_t announce_seed(std::string_view context, std::uint64_t default_seed) {
+  const std::uint64_t seed = resolve_seed(default_seed);
+  std::printf("[seed] %.*s seed=%llu\n", static_cast<int>(context.size()), context.data(),
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  return seed;
+}
+
+SeedBanner::SeedBanner(std::string_view context, std::uint64_t default_seed,
+                       std::function<bool()> failed)
+    : context_(context), seed_(announce_seed(context, default_seed)),
+      failed_(std::move(failed)) {}
+
+SeedBanner::~SeedBanner() {
+  if (forced_failure_ || (failed_ && failed_())) {
+    std::printf("[seed] %s FAILED — reproduce with SECURESTORE_SEED=%llu\n", context_.c_str(),
+                static_cast<unsigned long long>(seed_));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace securestore::testkit

@@ -1,0 +1,49 @@
+// Seed discipline for randomized tests and benches (DESIGN.md §9).
+//
+// Every stochastic harness funnels its seed through this helper so that (a)
+// the seed is printed when the run starts, (b) it is printed again — loudly
+// — when the run fails, and (c) `SECURESTORE_SEED=<n>` in the environment
+// overrides it for a replay. One helper, one format, so any chaos or
+// property failure is reproducible by copy-pasting the seed from the log.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace securestore::testkit {
+
+/// The seed to use: `SECURESTORE_SEED` from the environment when set (and
+/// parseable as an unsigned decimal), otherwise `default_seed`.
+std::uint64_t resolve_seed(std::uint64_t default_seed);
+
+/// Prints "[seed] <context> seed=<n>" to stdout and returns the resolved
+/// seed (env override applied). Call at the start of every randomized run.
+std::uint64_t announce_seed(std::string_view context, std::uint64_t default_seed);
+
+/// RAII banner: announces the seed on construction and, if `failed` returns
+/// true at destruction (e.g. `[]{ return ::testing::Test::HasFailure(); }`),
+/// prints a FAILED line carrying the seed so the reproducer is the last
+/// thing in the log. Keeping the probe a callback keeps gtest out of this
+/// library.
+class SeedBanner {
+ public:
+  SeedBanner(std::string_view context, std::uint64_t default_seed,
+             std::function<bool()> failed = nullptr);
+  ~SeedBanner();
+
+  SeedBanner(const SeedBanner&) = delete;
+  SeedBanner& operator=(const SeedBanner&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+  void set_failed() { forced_failure_ = true; }
+
+ private:
+  std::string context_;
+  std::uint64_t seed_;
+  std::function<bool()> failed_;
+  bool forced_failure_ = false;
+};
+
+}  // namespace securestore::testkit

@@ -147,6 +147,105 @@ INSTANTIATE_TEST_SUITE_P(
     Behaviors, HardenedFaultSweep,
     ::testing::Values(FaultCase{ServerFault::kCrash, "crash"},
                       FaultCase{ServerFault::kMuteData, "mute"},
+                      FaultCase{ServerFault::kStaleContext, "stale-context"},
+                      FaultCase{ServerFault::kStaleData, "stale-data"},
+                      FaultCase{ServerFault::kCorruptValues, "corrupt"},
+                      FaultCase{ServerFault::kDropWrites, "drop-writes"}),
+    [](const auto& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class SessionFaultSweep : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(SessionFaultSweep, ConnectDisconnectCyclesSurviveEveryBehavior) {
+  // P1 (Fig. 1) against every server behavior: repeated session cycles —
+  // acquire context, advance it with a write, store it back — must neither
+  // fail nor ever hand back a regressed context.
+  ClusterOptions options;
+  options.server_faults = {{0, {GetParam().fault}}};
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  std::uint64_t newest_time = 0;
+  for (int session = 1; session <= 3; ++session) {
+    auto client = cluster.make_client(ClientId{1}, client_options());
+    prefer_faulty_first(*client, options.n, {0});
+    SyncClient sync(*client, cluster.scheduler());
+    ASSERT_TRUE(sync.connect(kGroup).ok()) << GetParam().name << " session " << session;
+    EXPECT_GE(client->context().get(kX1).time, newest_time)
+        << GetParam().name << ": context regressed in session " << session;
+    ASSERT_TRUE(sync.write(kX1, to_bytes("session " + std::to_string(session))).ok())
+        << GetParam().name;
+    newest_time = client->context().get(kX1).time;
+    ASSERT_TRUE(sync.disconnect().ok()) << GetParam().name << " session " << session;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Behaviors, SessionFaultSweep,
+    ::testing::Values(FaultCase{ServerFault::kCrash, "crash"},
+                      FaultCase{ServerFault::kMuteData, "mute"},
+                      FaultCase{ServerFault::kStaleContext, "stale-context"},
+                      FaultCase{ServerFault::kStaleData, "stale-data"},
+                      FaultCase{ServerFault::kCorruptValues, "corrupt"},
+                      FaultCase{ServerFault::kDropWrites, "drop-writes"}),
+    [](const auto& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class MultiWriterHonestFaultSweep : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(MultiWriterHonestFaultSweep, P5InterleavedWritersSurviveEveryBehavior) {
+  // P5 (3-tuple timestamps, honest writers) against every server behavior:
+  // two clients alternate writes to the same item and each must read the
+  // other's newest value through the faulty server.
+  GroupPolicy policy{kGroup, ConsistencyModel::kCC, SharingMode::kMultiWriter,
+                     core::ClientTrust::kHonest};
+  ClusterOptions options;
+  options.server_faults = {{0, {GetParam().fault}}};
+  Cluster cluster(options);
+  cluster.set_group_policy(policy);
+
+  SecureStoreClient::Options client_opts;
+  client_opts.policy = policy;
+  client_opts.round_timeout = milliseconds(200);
+
+  auto alice = cluster.make_client(ClientId{1}, client_opts);
+  auto bob = cluster.make_client(ClientId{2}, client_opts);
+  prefer_faulty_first(*alice, options.n, {0});
+  prefer_faulty_first(*bob, options.n, {0});
+  SyncClient alice_sync(*alice, cluster.scheduler());
+  SyncClient bob_sync(*bob, cluster.scheduler());
+
+  ASSERT_TRUE(alice_sync.connect(kGroup).ok()) << GetParam().name;
+  ASSERT_TRUE(bob_sync.connect(kGroup).ok()) << GetParam().name;
+
+  ASSERT_TRUE(alice_sync.write(kX1, to_bytes("alice v1")).ok()) << GetParam().name;
+  cluster.run_for(seconds(2));
+  auto first = bob_sync.read(kX1);
+  ASSERT_TRUE(first.ok()) << GetParam().name << ": " << error_name(first.error());
+  EXPECT_EQ(to_string(first->value), "alice v1");
+
+  ASSERT_TRUE(bob_sync.write(kX1, to_bytes("bob v2")).ok()) << GetParam().name;
+  cluster.run_for(seconds(2));
+  auto second = alice_sync.read(kX1);
+  ASSERT_TRUE(second.ok()) << GetParam().name << ": " << error_name(second.error());
+  EXPECT_EQ(to_string(second->value), "bob v2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Behaviors, MultiWriterHonestFaultSweep,
+    ::testing::Values(FaultCase{ServerFault::kCrash, "crash"},
+                      FaultCase{ServerFault::kMuteData, "mute"},
+                      FaultCase{ServerFault::kStaleContext, "stale-context"},
                       FaultCase{ServerFault::kStaleData, "stale-data"},
                       FaultCase{ServerFault::kCorruptValues, "corrupt"},
                       FaultCase{ServerFault::kDropWrites, "drop-writes"}),

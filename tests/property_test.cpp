@@ -17,7 +17,8 @@
 //     write of every item.
 //
 // Each suite sweeps many seeds via TEST_P; a failure reproduces exactly
-// from its seed.
+// from its seed. Seeds flow through `testkit::SeedBanner` so they print on
+// start and on failure, and `SECURESTORE_SEED=<n>` pins a replay.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -28,6 +29,7 @@
 #include "core/sync.h"
 #include "storage/snapshot.h"
 #include "testkit/cluster.h"
+#include "testkit/seed.h"
 
 namespace securestore {
 namespace {
@@ -104,7 +106,10 @@ struct Scenario {
 class RandomWorkload : public ::testing::TestWithParam<Scenario> {};
 
 TEST_P(RandomWorkload, InvariantsHold) {
-  const Scenario scenario = GetParam();
+  Scenario scenario = GetParam();
+  const testkit::SeedBanner banner("property.random_workload", scenario.seed,
+                                   [] { return ::testing::Test::HasFailure(); });
+  scenario.seed = banner.seed();
   Rng rng(scenario.seed);
 
   ClusterOptions options;
@@ -263,7 +268,10 @@ struct MwScenario {
 class MultiWriterWorkload : public ::testing::TestWithParam<MwScenario> {};
 
 TEST_P(MultiWriterWorkload, WritersConvergeAndReadsStayMonotonic) {
-  const auto [seed, trust] = GetParam();
+  const core::ClientTrust trust = GetParam().trust;
+  const testkit::SeedBanner banner("property.multi_writer", GetParam().seed,
+                                   [] { return ::testing::Test::HasFailure(); });
+  const std::uint64_t seed = banner.seed();
   Rng rng(seed);
 
   ClusterOptions options;
@@ -345,7 +353,9 @@ INSTANTIATE_TEST_SUITE_P(
 class SnapshotEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SnapshotEquivalence, RestoreMatchesOriginal) {
-  const std::uint64_t seed = GetParam();
+  const testkit::SeedBanner banner("property.snapshot_equivalence", GetParam(),
+                                   [] { return ::testing::Test::HasFailure(); });
+  const std::uint64_t seed = banner.seed();
   Rng rng(seed);
 
   ClusterOptions options;
@@ -403,7 +413,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotEquivalence, ::testing::Values(1, 2, 3, 
 class ScatterRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ScatterRoundtrip, RandomSizesAndSurvivors) {
-  const std::uint64_t seed = GetParam();
+  const testkit::SeedBanner banner("property.scatter_roundtrip", GetParam(),
+                                   [] { return ::testing::Test::HasFailure(); });
+  const std::uint64_t seed = banner.seed();
   Rng rng(seed);
 
   ClusterOptions options;
