@@ -47,10 +47,17 @@ class Table {
 /// Machine-readable sidecar for a bench: collects rows of key -> value and
 /// writes `BENCH_<name>.json` into the working directory on destruction, so
 /// plots and CI diffs consume the same numbers the printed table shows.
+/// A sidecar that silently fails to land would let CI diff against stale
+/// numbers, so a write failure aborts the bench with a non-zero exit.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
-  ~BenchJson() { write(); }
+  ~BenchJson() {
+    if (!write()) {
+      std::fprintf(stderr, "error: could not write BENCH_%s.json\n", name_.c_str());
+      std::exit(EXIT_FAILURE);
+    }
+  }
 
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
@@ -69,22 +76,25 @@ class BenchJson {
   }
 
  private:
-  void write() const {
+  bool write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* file = std::fopen(path.c_str(), "w");
-    if (file == nullptr) return;
-    std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    if (file == nullptr) return false;
+    bool ok = true;
+    ok &= std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str()) >= 0;
     for (std::size_t r = 0; r < rows_.size(); ++r) {
-      std::fprintf(file, "    {");
+      ok &= std::fprintf(file, "    {") >= 0;
       for (std::size_t f = 0; f < rows_[r].size(); ++f) {
-        std::fprintf(file, "%s\"%s\": %s", f == 0 ? "" : ", ", rows_[r][f].first.c_str(),
-                     rows_[r][f].second.c_str());
+        ok &= std::fprintf(file, "%s\"%s\": %s", f == 0 ? "" : ", ", rows_[r][f].first.c_str(),
+                           rows_[r][f].second.c_str()) >= 0;
       }
-      std::fprintf(file, "}%s\n", r + 1 < rows_.size() ? "," : "");
+      ok &= std::fprintf(file, "}%s\n", r + 1 < rows_.size() ? "," : "") >= 0;
     }
-    std::fprintf(file, "  ]\n}\n");
-    std::fclose(file);
-    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    ok &= std::fprintf(file, "  ]\n}\n") >= 0;
+    // fclose flushes; a full disk often only surfaces here.
+    ok &= std::fclose(file) == 0;
+    if (ok) std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return ok;
   }
 
   std::string name_;

@@ -96,9 +96,14 @@ SecureStoreClient::Trace SecureStoreClient::begin_trace(std::string op) {
   // The transport clock keeps span semantics identical across worlds:
   // virtual microseconds under the simulator, wall microseconds since
   // transport start on the thread/TCP transports.
-  return obs::start_trace(
+  auto trace = obs::start_trace(
       node_.transport().registry(), std::move(op),
       [this] { return static_cast<std::uint64_t>(node_.transport().now()); });
+  // Enter the operation into the distributed trace (subject to the event
+  // log's enable/sampling knobs); its context then rides out with every
+  // rpc the operation issues.
+  trace->attach_root(node_.transport().events(), node_.id().value);
+  return trace;
 }
 
 SimTime SecureStoreClient::op_deadline() const {
@@ -244,7 +249,7 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime d
                                                                 : Error::kInsufficientQuorum,
                         "context read quorum not reached"));
       },
-      net::QuorumCall::Options{budget});
+      net::QuorumCall::Options{budget, trace->ctx()});
 }
 
 void SecureStoreClient::disconnect(VoidCb done) {
@@ -307,7 +312,7 @@ void SecureStoreClient::disconnect_attempt(unsigned round, SimTime deadline, Tra
                                                                 : Error::kInsufficientQuorum,
                         "context write quorum not reached"));
       },
-      net::QuorumCall::Options{budget});
+      net::QuorumCall::Options{budget, trace->ctx()});
 }
 
 // ---------------------------------------------------------------------------
@@ -359,7 +364,7 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
                                                                 : Error::kInsufficientQuorum,
                         "reconstruction needs n-b responses"));
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{options_.round_timeout, trace->ctx()});
 }
 
 void SecureStoreClient::list_group(GroupId group, ListCb done) {
@@ -409,7 +414,7 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
         trace->finish(true);
         done(Result<std::vector<GroupEntry>>(std::move(entries)));
       },
-      net::QuorumCall::Options{options_.round_timeout});
+      net::QuorumCall::Options{options_.round_timeout, trace->ctx()});
 }
 
 // ---------------------------------------------------------------------------
@@ -503,7 +508,7 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
           finish_write(*record, done);
           if (options_.stability_gc && !shares->empty() &&
               shares->size() >= config_.stability_threshold()) {
-            broadcast_stability(*record, *shares);
+            broadcast_stability(*record, *shares, trace->ctx());
           }
           return;
         }
@@ -525,7 +530,7 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
               send_write(record, next_targets, round + 1, deadline, shares, trace, done);
             });
       },
-      net::QuorumCall::Options{budget});
+      net::QuorumCall::Options{budget, trace->ctx()});
 }
 
 void SecureStoreClient::finish_write(const WriteRecord& record, VoidCb done) {
@@ -534,7 +539,8 @@ void SecureStoreClient::finish_write(const WriteRecord& record, VoidCb done) {
 }
 
 void SecureStoreClient::broadcast_stability(const WriteRecord& record,
-                                            std::vector<Bytes> shares) {
+                                            std::vector<Bytes> shares,
+                                            const obs::TraceContext& trace) {
   // The ack order matched pick_servers(), so shares pair with those ids in
   // order of arrival; re-derive signer ids by verification against the
   // known server keys. (Cheap relative to the write itself and only on the
@@ -556,7 +562,7 @@ void SecureStoreClient::broadcast_stability(const WriteRecord& record,
   msg.certificate = std::move(cert);
   const Bytes body = msg.serialize();
   for (const NodeId server : config_.servers) {
-    node_.send_oneway(server, net::MsgType::kStability, body);
+    node_.send_oneway(server, net::MsgType::kStability, body, trace);
   }
 }
 
@@ -692,7 +698,8 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
                         });
                     if (lagging) {
                       node_.send_request(responder, net::MsgType::kWrite, repair_body,
-                                         [](NodeId, net::MsgType, BytesView) {});
+                                         [](NodeId, net::MsgType, BytesView) {},
+                                         trace->ctx());
                     }
                   }
                 }
@@ -736,7 +743,7 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
                                 metas->empty() ? "no server returned the item"
                                                : "all replies older than context"));
       },
-      net::QuorumCall::Options{budget});
+      net::QuorumCall::Options{budget, trace->ctx()});
 }
 
 void SecureStoreClient::fetch_candidate(ItemId item,
@@ -813,7 +820,7 @@ void SecureStoreClient::fetch_candidate(ItemId item,
         fetch_candidate(item, candidates, servers, candidate_idx, server_idx + 1, round,
                         deadline, trace, done);
       },
-      net::QuorumCall::Options{budget});
+      net::QuorumCall::Options{budget, trace->ctx()});
 }
 
 void SecureStoreClient::accept_read(const WriteRecord& record, Trace trace, ReadCb done) {
@@ -950,7 +957,7 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
                                     ? "no value matched in b+1 logs at or above the context"
                                     : "no server logged the item"));
       },
-      net::QuorumCall::Options{budget});
+      net::QuorumCall::Options{budget, trace->ctx()});
 }
 
 }  // namespace securestore::core

@@ -186,7 +186,8 @@ class SecureStoreClient {
                   unsigned round, SimTime deadline, std::shared_ptr<std::vector<Bytes>> shares,
                   Trace trace, VoidCb done);
   void finish_write(const WriteRecord& record, VoidCb done);
-  void broadcast_stability(const WriteRecord& record, std::vector<Bytes> shares);
+  void broadcast_stability(const WriteRecord& record, std::vector<Bytes> shares,
+                           const obs::TraceContext& trace);
 
   // Read paths.
   void read_single_writer(ItemId item, unsigned round, SimTime deadline, Trace trace,

@@ -14,6 +14,7 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       config_(std::move(config)),
       keys_(std::move(keys)),
       options_(std::move(options)),
+      events_(transport.events()),
       items_(config_.max_log_entries),
       req_other_(transport.registry().counter("server.req.other")),
       equivocations_(transport.registry().counter("server.equivocations")),
@@ -186,7 +187,12 @@ void SecureStoreServer::wal_append(storage::WalEntryType type, BytesView payload
   // the deployment runs on the simulator's virtual clock.
   const std::uint64_t start = obs::wall_now_us();
   wal_->append(type, payload);
-  wal_append_us_.observe(static_cast<double>(obs::wall_now_us() - start));
+  const std::uint64_t elapsed = obs::wall_now_us() - start;
+  wal_append_us_.observe(static_cast<double>(elapsed));
+  if (events_.want(active_trace_)) {
+    events_.span(node_.id().value, active_trace_, "server.wal.append", "server",
+                 static_cast<std::uint64_t>(node_.transport().now()), elapsed);
+  }
 }
 
 void SecureStoreServer::wal_append_record(storage::WalEntryType type,
@@ -274,6 +280,7 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
   // arrived, not what a muted server deigned to process.
   const auto counter = req_counters_.find(static_cast<std::uint16_t>(type));
   (counter != req_counters_.end() ? *counter->second : req_other_).inc();
+  active_trace_ = node_.incoming_trace();
   if (!accept_request(from, type)) return std::nullopt;
   if (auto preempted = preempt_request(from, type, body); preempted.has_value()) {
     return std::move(*preempted);
@@ -321,6 +328,7 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
 void SecureStoreServer::handle_oneway(NodeId from, net::MsgType type, BytesView body) {
   const auto counter = req_counters_.find(static_cast<std::uint16_t>(type));
   (counter != req_counters_.end() ? *counter->second : req_other_).inc();
+  active_trace_ = node_.incoming_trace();
   if (!accept_request(from, type)) return;  // fault hook covers oneways too
   switch (type) {
     case net::MsgType::kGossipDigest:
@@ -390,13 +398,27 @@ Bytes SecureStoreServer::handle_read(const ReadReq& req) {
 Bytes SecureStoreServer::handle_write(const WriteReq& req) {
   WriteResp resp;
   const WriteRecord& record = req.record;
-  if (!authorized(req.token, record.writer, record.group, Rights::kWrite)) {
-    return resp.serialize();
+  // server.verify span: authorization + full record validation. Span
+  // timestamps sit on the transport clock (so they line up with the client
+  // spans); durations for in-memory work are measured in wall µs, which is
+  // also the only honest duration under the simulator (DESIGN.md §8).
+  const bool traced = events_.want(active_trace_);
+  const auto verify_ts = static_cast<std::uint64_t>(node_.transport().now());
+  const std::uint64_t verify_wall = traced ? obs::wall_now_us() : 0;
+  const bool valid = authorized(req.token, record.writer, record.group, Rights::kWrite) &&
+                     validate_record(record);
+  if (traced) {
+    events_.span(node_.id().value, active_trace_, "server.verify", "server", verify_ts,
+                 obs::wall_now_us() - verify_wall);
   }
-  if (!validate_record(record)) return resp.serialize();
+  if (!valid) return resp.serialize();
 
   const bool visible = apply_with_holds(record);
   resp.ok = true;
+
+  // Remember which client operation made this record visible, so gossip
+  // hand-offs carry its context (before push_record, which looks it up).
+  if (visible && traced) gossip_->note_origin(record, active_trace_);
 
   // Rumor mongering: spread a fresh client write immediately instead of
   // waiting for the next anti-entropy tick (§5.2: "new data values could be
@@ -464,6 +486,7 @@ bool SecureStoreServer::validate_record(const WriteRecord& record) const {
 bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
   // Apply latency is wall time (in-memory work, identical under sim).
   const std::uint64_t apply_start = obs::wall_now_us();
+  const auto apply_ts = static_cast<std::uint64_t>(node_.transport().now());
   const GroupPolicy& policy = group_policy(record.group);
   const bool needs_hold = policy.sharing == SharingMode::kMultiWriter &&
                           policy.trust == ClientTrust::kByzantine &&
@@ -480,7 +503,12 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
     // Held writes are acked too, so they must survive a crash; replay
     // re-parks them until their dependencies replay.
     wal_append_record(storage::WalEntryType::kWrite, record);
-    apply_us_.observe(static_cast<double>(obs::wall_now_us() - apply_start));
+    const std::uint64_t held_elapsed = obs::wall_now_us() - apply_start;
+    apply_us_.observe(static_cast<double>(held_elapsed));
+    if (events_.want(active_trace_)) {
+      events_.span(node_.id().value, active_trace_, "server.apply.held", "server", apply_ts,
+                   held_elapsed);
+    }
     return false;
   }
 
@@ -507,7 +535,11 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
       }
     }
   }
-  apply_us_.observe(static_cast<double>(obs::wall_now_us() - apply_start));
+  const std::uint64_t elapsed = obs::wall_now_us() - apply_start;
+  apply_us_.observe(static_cast<double>(elapsed));
+  if (events_.want(active_trace_)) {
+    events_.span(node_.id().value, active_trace_, "server.apply", "server", apply_ts, elapsed);
+  }
   return true;
 }
 

@@ -173,6 +173,12 @@ class SecureStoreServer {
   StoreConfig config_;
   crypto::KeyPair keys_;
   Options options_;
+  /// Distributed-trace hooks (DESIGN.md §8): the deployment's event log and
+  /// the sanitized context of the request currently being handled. Dispatch
+  /// is single-threaded, so a plain member carries the context from the rpc
+  /// layer to spans emitted deep inside the apply/WAL paths.
+  obs::EventLog& events_;
+  obs::TraceContext active_trace_{};
   storage::ItemStore items_;
   storage::ContextStore contexts_;
   storage::HoldQueue holds_;

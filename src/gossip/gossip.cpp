@@ -22,9 +22,24 @@ GossipEngine::GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
       malformed_dropped_(node.transport().registry().counter("gossip.malformed_dropped")),
       non_gossip_dropped_(node.transport().registry().counter("gossip.non_gossip_dropped")),
       digest_entries_(node.transport().registry().histogram("gossip.digest_entries")),
-      round_us_(node.transport().registry().histogram("gossip.round_us")) {
+      round_us_(node.transport().registry().histogram("gossip.round_us")),
+      write_to_visible_us_(
+          node.transport().registry().histogram("gossip.write_to_visible_us")),
+      events_(node.transport().events()) {
   // A node never gossips with itself.
   std::erase(peers_, node_.id());
+}
+
+void GossipEngine::note_origin(const core::WriteRecord& record, const obs::TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  auto [it, inserted] = origins_.try_emplace(record.item, Origin{record.ts, ctx});
+  if (!inserted && it->second.ts < record.ts) it->second = Origin{record.ts, ctx};
+}
+
+obs::TraceContext GossipEngine::origin_of(const core::WriteRecord& record) const {
+  const auto it = origins_.find(record.item);
+  if (it == origins_.end() || !(it->second.ts == record.ts)) return {};
+  return it->second.ctx;
 }
 
 GossipEngine::~GossipEngine() { *alive_ = false; }
@@ -80,9 +95,13 @@ void GossipEngine::send_digest(NodeId peer) {
 
 void GossipEngine::push_record(const core::WriteRecord& record) {
   const Bytes updates = encode_updates({record});
+  // A single-record push carries its origin context in the envelope too, so
+  // the receiving server's verify/apply spans parent to the client write
+  // that caused the push.
+  const obs::TraceContext trace = origin_of(record);
   for (const NodeId peer : pick_peers()) {
     records_sent_.inc();
-    node_.send_oneway(peer, net::MsgType::kGossipUpdates, updates);
+    node_.send_oneway(peer, net::MsgType::kGossipUpdates, updates, trace);
   }
 }
 
@@ -139,9 +158,22 @@ void GossipEngine::handle(NodeId from, net::MsgType type, BytesView body) {
         return;
       }
       case net::MsgType::kGossipUpdates: {
-        for (const core::WriteRecord& record : decode_updates(body)) {
+        for (const auto& [record, ctx] : decode_updates(body)) {
           records_received_.inc();
-          if (!apply_(record, from)) records_rejected_.inc();
+          if (!apply_(record, from)) {
+            records_rejected_.inc();
+            continue;
+          }
+          // Carry the origin context onward for this record's future
+          // hand-offs, and account the hand-off on the trace timeline.
+          note_origin(record, ctx);
+          if (events_.want(ctx)) {
+            const auto now = static_cast<std::uint64_t>(node_.transport().now());
+            events_.span(node_.id().value, ctx, "gossip.apply", "gossip", now, 0);
+            if (now >= ctx.origin_us) {
+              write_to_visible_us_.observe(static_cast<double>(now - ctx.origin_us));
+            }
+          }
         }
         return;
       }
@@ -182,18 +214,43 @@ std::vector<GossipEngine::DigestEntry> GossipEngine::decode_digest(BytesView bod
   return entries;
 }
 
-Bytes GossipEngine::encode_updates(const std::vector<core::WriteRecord>& records) {
+Bytes GossipEngine::encode_updates(const std::vector<core::WriteRecord>& records) const {
+  // PROTOCOL.md §4: u32 count, then per record: the record itself followed
+  // by `u8 has_ctx` and, when 1, the origin trace context.
   Writer w;
   w.u32(static_cast<std::uint32_t>(records.size()));
-  for (const core::WriteRecord& record : records) record.encode(w);
+  for (const core::WriteRecord& record : records) {
+    record.encode(w);
+    const obs::TraceContext ctx = origin_of(record);
+    if (ctx.valid()) {
+      w.u8(1);
+      ctx.encode(w);
+    } else {
+      w.u8(0);
+    }
+  }
   return w.take();
 }
 
-std::vector<core::WriteRecord> GossipEngine::decode_updates(BytesView body) {
+std::vector<std::pair<core::WriteRecord, obs::TraceContext>> GossipEngine::decode_updates(
+    BytesView body) {
   Reader r(body);
   const std::uint32_t count = r.u32();
-  std::vector<core::WriteRecord> records;
-  for (std::uint32_t i = 0; i < count; ++i) records.push_back(core::WriteRecord::decode(r));
+  std::vector<std::pair<core::WriteRecord, obs::TraceContext>> records;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    core::WriteRecord record = core::WriteRecord::decode(r);
+    obs::TraceContext ctx;
+    const std::uint8_t has_ctx = r.u8();
+    if (has_ctx > 1) throw DecodeError("gossip updates: bad ctx marker");
+    if (has_ctx == 1) {
+      ctx = obs::TraceContext::decode(r);
+      // Same sanitation as the rpc envelope: the context is advisory and
+      // the peer may be Byzantine — only the sampled bit survives, and a
+      // zero trace id means "no context".
+      ctx.flags &= obs::TraceContext::kSampledFlag;
+    }
+    records.emplace_back(std::move(record), ctx);
+  }
   r.expect_end();
   return records;
 }

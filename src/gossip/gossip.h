@@ -22,10 +22,13 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/record.h"
 #include "net/rpc.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "storage/item_store.h"
 #include "util/rng.h"
@@ -68,6 +71,12 @@ class GossipEngine {
   /// client write when push_on_write is on.
   void push_record(const core::WriteRecord& record);
 
+  /// Remembers the trace context under which `record` became visible here,
+  /// so gossip hand-offs of that record carry the originating operation's
+  /// context onward (and receivers can measure write-to-visible lag).
+  /// No-op for invalid contexts; newest timestamp per item wins.
+  void note_origin(const core::WriteRecord& record, const obs::TraceContext& ctx);
+
   const Config& config() const { return config_; }
   std::uint64_t ticks() const { return ticks_; }
 
@@ -83,10 +92,16 @@ class GossipEngine {
 
   static Bytes encode_digest(const std::vector<DigestEntry>& entries);
   static std::vector<DigestEntry> decode_digest(BytesView body);
-  static Bytes encode_updates(const std::vector<core::WriteRecord>& records);
-  static std::vector<core::WriteRecord> decode_updates(BytesView body);
+  /// Member (not static): each record is suffixed with its origin trace
+  /// context from `origins_`, when one is known.
+  Bytes encode_updates(const std::vector<core::WriteRecord>& records) const;
+  static std::vector<std::pair<core::WriteRecord, obs::TraceContext>> decode_updates(
+      BytesView body);
   static Bytes encode_request(const std::vector<ItemId>& items);
   static std::vector<ItemId> decode_request(BytesView body);
+
+  /// The context to attach to `record` on the wire; invalid when unknown.
+  obs::TraceContext origin_of(const core::WriteRecord& record) const;
 
   net::RpcNode& node_;
   const storage::ItemStore& store_;
@@ -103,6 +118,18 @@ class GossipEngine {
   obs::Counter& non_gossip_dropped_;
   obs::Histogram& digest_entries_;
   obs::Histogram& round_us_;  // wall time per anti-entropy round
+  /// Transport-clock lag from a write's root-span origin to the moment it
+  /// became visible HERE via gossip. Only meaningful where the nodes share
+  /// a transport clock (sim/thread; TCP processes have distinct epochs).
+  obs::Histogram& write_to_visible_us_;
+  obs::EventLog& events_;
+  /// Per item: the trace context of the newest write seen, carried onward
+  /// with gossip hand-offs. Bounded by the number of distinct items.
+  struct Origin {
+    core::Timestamp ts;
+    obs::TraceContext ctx;
+  };
+  std::unordered_map<ItemId, Origin> origins_;
   bool running_ = false;
   std::uint64_t ticks_ = 0;
   std::uint64_t generation_ = 0;  // invalidates scheduled ticks after stop()

@@ -124,6 +124,15 @@ void FaultInjectingTransport::note_locked(FaultKind kind, NodeId from, NodeId to
     timeline_.push_back(FaultEvent{injected_, kind, from, to});
   }
   ++injected_;
+  // Overlay the fault on the trace timeline as an instant event stamped at
+  // injection time, so an exported trace shows exactly which faults landed
+  // under which spans. No-op while tracing is off.
+  {
+    std::string name = "fault.";
+    name += fault_kind_name(kind);
+    inner_.events().instant(from.value, to.value, obs::TraceContext{}, name, "chaos",
+                            static_cast<std::uint64_t>(inner_.now()));
+  }
   switch (kind) {
     case FaultKind::kDrop:
       drops_.inc();

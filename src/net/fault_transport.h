@@ -86,6 +86,7 @@ class FaultInjectingTransport final : public Transport {
   const sim::TransportStats& stats() const override { return inner_.stats(); }
   void reset_stats() override { inner_.reset_stats(); }
   obs::Registry& registry() override { return inner_.registry(); }
+  obs::EventLog& events() override { return inner_.events(); }
 
   // --- Fault rules --------------------------------------------------------
 

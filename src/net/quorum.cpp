@@ -56,7 +56,8 @@ void QuorumCall::start(RpcNode& node, const std::vector<NodeId>& targets, MsgTyp
           } else if (state->replies == state->targets) {
             state->finish(QuorumOutcome::kExhausted);
           }
-        });
+        },
+        options.trace);
     if (state->finished) {
       node.cancel(rpc_id);  // this very request's reply finished the call
     } else {

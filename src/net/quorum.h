@@ -24,6 +24,9 @@ enum class QuorumOutcome {
 
 struct QuorumOptions {
   SimDuration timeout = seconds(5);
+  /// Carried in every request's envelope when valid, so server-side spans
+  /// parent to the operation that issued this call.
+  obs::TraceContext trace{};
 };
 
 class QuorumCall {

@@ -4,12 +4,23 @@
 
 namespace securestore::net {
 
+namespace {
+
+// Envelope kind byte (PROTOCOL.md §1b): low 7 bits are the Kind, the high
+// bit marks an optional trace-context field — `u8 length · context bytes` —
+// inserted between the kind byte and the rpc id. Old-format envelopes have
+// the bit clear and parse exactly as before.
+constexpr std::uint8_t kTraceFlag = 0x80;
+
+}  // namespace
+
 RpcNode::RpcNode(Transport& transport, NodeId id)
     : transport_(transport),
       id_(id),
       expired_responses_(transport.registry().counter("rpc.response_expired")),
       misdirected_responses_(transport.registry().counter("rpc.response_misdirected")),
-      malformed_dropped_(transport.registry().counter("rpc.malformed_dropped")) {
+      malformed_dropped_(transport.registry().counter("rpc.malformed_dropped")),
+      trace_ctx_malformed_(transport.registry().counter("rpc.trace_ctx_malformed")) {
   // Random 63-bit starting id: response matching also checks the sender,
   // but unguessable ids deny a Byzantine peer even the chance to race a
   // forged reply for an rpc it never saw. The top bit stays clear so the
@@ -20,12 +31,19 @@ RpcNode::RpcNode(Transport& transport, NodeId id)
 
 RpcNode::~RpcNode() { transport_.unregister_node(id_); }
 
-std::uint64_t RpcNode::send_request(NodeId to, MsgType type, Bytes body, ResponseFn on_response) {
+std::uint64_t RpcNode::send_request(NodeId to, MsgType type, Bytes body, ResponseFn on_response,
+                                    const obs::TraceContext& trace) {
   const std::uint64_t rpc_id = next_rpc_id_++;
   pending_[rpc_id] = PendingRpc{to, std::move(on_response)};
 
   Writer w;
-  w.u8(static_cast<std::uint8_t>(Kind::kRequest));
+  if (trace.valid()) {
+    w.u8(static_cast<std::uint8_t>(Kind::kRequest) | kTraceFlag);
+    w.u8(static_cast<std::uint8_t>(obs::TraceContext::kWireSize));
+    trace.encode(w);
+  } else {
+    w.u8(static_cast<std::uint8_t>(Kind::kRequest));
+  }
   w.u64(rpc_id);
   w.u16(static_cast<std::uint16_t>(type));
   w.raw(body);
@@ -35,9 +53,15 @@ std::uint64_t RpcNode::send_request(NodeId to, MsgType type, Bytes body, Respons
 
 void RpcNode::cancel(std::uint64_t rpc_id) { pending_.erase(rpc_id); }
 
-void RpcNode::send_oneway(NodeId to, MsgType type, Bytes body) {
+void RpcNode::send_oneway(NodeId to, MsgType type, Bytes body, const obs::TraceContext& trace) {
   Writer w;
-  w.u8(static_cast<std::uint8_t>(Kind::kOneway));
+  if (trace.valid()) {
+    w.u8(static_cast<std::uint8_t>(Kind::kOneway) | kTraceFlag);
+    w.u8(static_cast<std::uint8_t>(obs::TraceContext::kWireSize));
+    trace.encode(w);
+  } else {
+    w.u8(static_cast<std::uint8_t>(Kind::kOneway));
+  }
   w.u64(0);
   w.u16(static_cast<std::uint16_t>(type));
   w.raw(body);
@@ -49,9 +73,38 @@ void RpcNode::deliver(NodeId from, BytesView payload) {
   std::uint64_t rpc_id;
   MsgType type;
   Bytes body;
+  obs::TraceContext trace{};
   try {
     Reader r(payload);
-    kind = static_cast<Kind>(r.u8());
+    const std::uint8_t kind_byte = r.u8();
+    kind = static_cast<Kind>(kind_byte & ~kTraceFlag);
+    if ((kind_byte & kTraceFlag) != 0) {
+      // Optional trace-context field. The context is advisory metadata from
+      // an untrusted peer: a bad length or an invalid context is counted
+      // and STRIPPED (the message itself still processes normally when the
+      // body boundary is recoverable), and unknown flag bits are cleared —
+      // the one thing a Byzantine peer may influence is the parentage of
+      // spans explicitly attributed to its own messages.
+      const std::size_t length = r.u8();
+      if (length < obs::TraceContext::kWireSize || length > obs::TraceContext::kMaxWireSize) {
+        trace_ctx_malformed_.inc();
+        if (length > r.remaining()) throw DecodeError("trace ctx length");
+        (void)r.raw(length);  // strip; body boundary still known
+      } else {
+        if (length > r.remaining()) {
+          trace_ctx_malformed_.inc();
+          throw DecodeError("trace ctx length");
+        }
+        obs::TraceContext decoded = obs::TraceContext::decode(r);
+        (void)r.raw(length - obs::TraceContext::kWireSize);  // future extensions
+        decoded.flags &= obs::TraceContext::kSampledFlag;
+        if (decoded.valid()) {
+          trace = decoded;
+        } else {
+          trace_ctx_malformed_.inc();
+        }
+      }
+    }
     rpc_id = r.u64();
     type = static_cast<MsgType>(r.u16());
     body = r.raw(r.remaining());
@@ -65,7 +118,9 @@ void RpcNode::deliver(NodeId from, BytesView payload) {
   switch (kind) {
     case Kind::kRequest: {
       if (!request_handler_) return;
+      incoming_trace_ = trace;
       const auto response = request_handler_(from, type, body);
+      incoming_trace_ = obs::TraceContext{};
       if (!response.has_value()) return;
       Writer w;
       w.u8(static_cast<std::uint8_t>(Kind::kResponse));
@@ -97,7 +152,10 @@ void RpcNode::deliver(NodeId from, BytesView payload) {
       return;
     }
     case Kind::kOneway: {
-      if (oneway_handler_) oneway_handler_(from, type, body);
+      if (!oneway_handler_) return;
+      incoming_trace_ = trace;
+      oneway_handler_(from, type, body);
+      incoming_trace_ = obs::TraceContext{};
       return;
     }
   }

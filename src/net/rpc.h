@@ -87,14 +87,27 @@ class RpcNode {
   void set_oneway_handler(OnewayHandler handler) { oneway_handler_ = std::move(handler); }
 
   /// Sends a request; `on_response` fires at most once when the matching
-  /// response arrives. Returns the rpc id (for cancel).
-  std::uint64_t send_request(NodeId to, MsgType type, Bytes body, ResponseFn on_response);
+  /// response arrives. Returns the rpc id (for cancel). A valid `trace`
+  /// context rides along in the envelope (PROTOCOL.md §1b) so the
+  /// receiver's spans link back to the originating operation; responses
+  /// never carry one.
+  std::uint64_t send_request(NodeId to, MsgType type, Bytes body, ResponseFn on_response,
+                             const obs::TraceContext& trace = {});
 
   /// Drops interest in a pending rpc; a late response is ignored.
   void cancel(std::uint64_t rpc_id);
 
   /// Fire-and-forget message.
-  void send_oneway(NodeId to, MsgType type, Bytes body);
+  void send_oneway(NodeId to, MsgType type, Bytes body, const obs::TraceContext& trace = {});
+
+  /// The (sanitized) trace context of the message whose request/oneway
+  /// handler is currently executing; invalid outside handler invocation.
+  /// Handlers parent their server-side spans to this. Never trusted
+  /// blindly: malformed or oversized contexts are counted
+  /// (`rpc.trace_ctx_malformed`) and stripped before the handler runs, and
+  /// unknown flag bits are cleared, so a Byzantine peer cannot inflate
+  /// another node's event log beyond well-formed parentage claims.
+  const obs::TraceContext& incoming_trace() const { return incoming_trace_; }
 
   /// Number of requests still awaiting a response (diagnostics/tests: a
   /// well-behaved caller cancels what it stops waiting for, so this should
@@ -117,10 +130,12 @@ class RpcNode {
   std::unordered_map<std::uint64_t, PendingRpc> pending_;
   RequestHandler request_handler_;
   OnewayHandler oneway_handler_;
+  obs::TraceContext incoming_trace_{};
   // Invisible-drop accounting (handles into transport().registry()).
   obs::Counter& expired_responses_;
   obs::Counter& misdirected_responses_;
   obs::Counter& malformed_dropped_;
+  obs::Counter& trace_ctx_malformed_;
 };
 
 }  // namespace securestore::net

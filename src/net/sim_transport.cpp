@@ -3,11 +3,13 @@
 namespace securestore::net {
 
 SimTransport::SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network,
-                           std::shared_ptr<obs::Registry> registry)
+                           std::shared_ptr<obs::Registry> registry,
+                           std::shared_ptr<obs::EventLog> events)
     : scheduler_(scheduler),
       network_(std::move(network)),
       registry_(registry != nullptr ? std::move(registry)
-                                    : std::make_shared<obs::Registry>()) {
+                                    : std::make_shared<obs::Registry>()),
+      events_(events != nullptr ? std::move(events) : std::make_shared<obs::EventLog>()) {
   collector_id_ = registry_->add_collector(
       [this](obs::Registry& r) { fold_transport_stats(r, stats_); });
 }

@@ -14,9 +14,11 @@ class SimTransport final : public Transport {
  public:
   /// `registry` scopes this deployment's metrics; null makes the transport
   /// own a fresh one. Benches pass one shared registry into every cluster
-  /// of a sweep so the cells accumulate into a single dump.
+  /// of a sweep so the cells accumulate into a single dump. `events` scopes
+  /// the event log the same way (null = own a fresh, disabled one).
   SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network,
-               std::shared_ptr<obs::Registry> registry = nullptr);
+               std::shared_ptr<obs::Registry> registry = nullptr,
+               std::shared_ptr<obs::EventLog> events = nullptr);
   ~SimTransport() override;
 
   void register_node(NodeId node, DeliverFn deliver) override;
@@ -27,6 +29,7 @@ class SimTransport final : public Transport {
   const sim::TransportStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.reset(); }
   obs::Registry& registry() override { return *registry_; }
+  obs::EventLog& events() override { return *events_; }
 
   sim::NetworkModel& network() { return network_; }
   sim::Scheduler& scheduler() { return scheduler_; }
@@ -37,6 +40,7 @@ class SimTransport final : public Transport {
   std::unordered_map<NodeId, DeliverFn> handlers_;
   sim::TransportStats stats_;
   std::shared_ptr<obs::Registry> registry_;
+  std::shared_ptr<obs::EventLog> events_;
   std::uint64_t collector_id_ = 0;
 };
 

@@ -39,7 +39,11 @@ bool write_all(int fd, const void* buffer, std::size_t n) {
 // Frame header (PROTOCOL.md §1a): magic · version · reserved(2) ·
 // be32 length · be32 from · be32 to. `length` counts from+to+payload.
 constexpr std::uint8_t kFrameMagic = 0xC5;
-constexpr std::uint8_t kFrameVersion = 1;
+// Version 2 (PROTOCOL.md §1a): payload envelopes may carry an optional
+// trace-context field. The frame header itself is unchanged, so readers
+// accept both versions; we emit the current one.
+constexpr std::uint8_t kFrameVersion = 2;
+constexpr std::uint8_t kMinFrameVersion = 1;
 constexpr std::size_t kHeaderSize = 16;
 constexpr std::uint32_t kMaxFrame = 64 * 1024 * 1024;
 
@@ -99,10 +103,12 @@ TcpTransport::Socket::~Socket() { ::close(fd); }
 void TcpTransport::Socket::shut() { ::shutdown(fd, SHUT_RDWR); }
 
 TcpTransport::TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory,
-                           std::shared_ptr<obs::Registry> registry)
+                           std::shared_ptr<obs::Registry> registry,
+                           std::shared_ptr<obs::EventLog> events)
     : directory_(std::move(directory)),
       registry_(registry != nullptr ? std::move(registry)
-                                    : std::make_shared<obs::Registry>()) {
+                                    : std::make_shared<obs::Registry>()),
+      events_(events != nullptr ? std::move(events) : std::make_shared<obs::EventLog>()) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket() failed");
   const int one = 1;
@@ -456,7 +462,10 @@ void TcpTransport::reader_loop(std::shared_ptr<Socket> sock, std::shared_ptr<Con
     if (!read_all(fd, header, sizeof(header))) break;
     // Versioned framing: a bad magic/version is a protocol error and tears
     // the connection down rather than desynchronizing the stream.
-    if (header[0] != kFrameMagic || header[1] != kFrameVersion) break;
+    if (header[0] != kFrameMagic || header[1] < kMinFrameVersion ||
+        header[1] > kFrameVersion) {
+      break;
+    }
     const std::uint32_t frame_length = load_be32(header + 4);
     if (frame_length < 8 || frame_length > kMaxFrame) break;
     const NodeId from{load_be32(header + 8)};

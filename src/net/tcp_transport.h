@@ -6,8 +6,10 @@
 // real installation would distribute alongside the key directory.
 //
 // Wire framing per message (PROTOCOL.md §1a, all integers big-endian):
-// u8 magic (0xC5) · u8 version (1) · u16 reserved (0) ·
+// u8 magic (0xC5) · u8 version (2) · u16 reserved (0) ·
 // u32 length (8 + payload) · u32 from · u32 to · payload.
+// Readers accept versions 1 and 2 (2 marks that payload envelopes may
+// carry an optional trace-context field; the frame header is unchanged).
 //
 // Send path: `send()` never performs socket I/O. It frames the message and
 // enqueues it on the destination connection's bounded send queue; a
@@ -57,8 +59,10 @@ class TcpTransport final : public Transport {
   /// `port()`). `directory` maps every node in the deployment to its
   /// process's endpoint; nodes registered locally are delivered in-process.
   /// `registry` scopes this process's metrics; null = own a fresh one.
+  /// `events` scopes the event log the same way.
   TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoint> directory,
-               std::shared_ptr<obs::Registry> registry = nullptr);
+               std::shared_ptr<obs::Registry> registry = nullptr,
+               std::shared_ptr<obs::EventLog> events = nullptr);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -79,6 +83,7 @@ class TcpTransport final : public Transport {
   const sim::TransportStats& stats() const override;
   void reset_stats() override;
   obs::Registry& registry() override { return *registry_; }
+  obs::EventLog& events() override { return *events_; }
 
   /// Joins all background threads; idempotent.
   void stop();
@@ -163,6 +168,7 @@ class TcpTransport final : public Transport {
   sim::TransportStats stats_;              // guarded by jobs_mutex_
   mutable sim::TransportStats snapshot_;   // stats() return storage
   std::shared_ptr<obs::Registry> registry_;
+  std::shared_ptr<obs::EventLog> events_;
   std::uint64_t collector_id_ = 0;
 
   std::thread dispatcher_;

@@ -31,8 +31,10 @@ namespace securestore::net {
 class ThreadTransport final : public Transport {
  public:
   /// `registry` scopes this deployment's metrics; null = own a fresh one.
+  /// `events` scopes the event log the same way.
   explicit ThreadTransport(sim::NetworkModel network,
-                           std::shared_ptr<obs::Registry> registry = nullptr);
+                           std::shared_ptr<obs::Registry> registry = nullptr,
+                           std::shared_ptr<obs::EventLog> events = nullptr);
   ~ThreadTransport() override;
 
   ThreadTransport(const ThreadTransport&) = delete;
@@ -56,6 +58,7 @@ class ThreadTransport final : public Transport {
     stats_.reset();
   }
   obs::Registry& registry() override { return *registry_; }
+  obs::EventLog& events() override { return *events_; }
 
   /// Joins the dispatch thread; idempotent.
   void stop();
@@ -96,6 +99,7 @@ class ThreadTransport final : public Transport {
   mutable sim::TransportStats snapshot_;  // stats() return storage
 
   std::shared_ptr<obs::Registry> registry_;
+  std::shared_ptr<obs::EventLog> events_;
   std::uint64_t collector_id_ = 0;
 
   std::thread dispatcher_;

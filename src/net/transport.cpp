@@ -10,6 +10,13 @@ obs::Registry& Transport::registry() {
   return fallback;
 }
 
+obs::EventLog& Transport::events() {
+  // Same fallback story as registry(): one process-wide log (disabled by
+  // default) for Transport implementations that do not carry their own.
+  static obs::EventLog fallback;
+  return fallback;
+}
+
 /// Folds a transport's TransportStats into its registry as `transport.*`
 /// gauges. Registered as a snapshot-time collector by each concrete
 /// transport; shared here so the metric names stay identical across sim,

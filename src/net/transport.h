@@ -9,6 +9,7 @@
 
 #include <functional>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "sim/metrics.h"
 #include "util/bytes.h"
@@ -60,6 +61,14 @@ class Transport {
   /// doubles) keep working; the real transports each own (or share, when
   /// injected) a registry scoped to the deployment.
   virtual obs::Registry& registry();
+
+  /// The structured event log spans and instant events are recorded into
+  /// (DESIGN.md §8): same scoping story as `registry()` — the concrete
+  /// transports each own (or share, when injected) one per deployment, and
+  /// the default implementation hands out a process-wide fallback so
+  /// minimal Transport implementations keep working. Disabled by default;
+  /// tracing harnesses flip it on.
+  virtual obs::EventLog& events();
 };
 
 /// Publishes a TransportStats snapshot into `registry` as `transport.*`

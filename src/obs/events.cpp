@@ -1,0 +1,122 @@
+#include "obs/events.h"
+
+#include "util/rng.h"
+
+namespace securestore::obs {
+
+void TraceContext::encode(Writer& w) const {
+  w.u64(trace_id);
+  w.u64(span_id);
+  w.u8(flags);
+  w.u64(origin_us);
+}
+
+TraceContext TraceContext::decode(Reader& r) {
+  TraceContext ctx;
+  ctx.trace_id = r.u64();
+  ctx.span_id = r.u64();
+  ctx.flags = r.u8();
+  ctx.origin_us = r.u64();
+  return ctx;
+}
+
+std::uint64_t next_trace_id() {
+  // Entropy-seeded base so ids from distinct processes (TCP deployments)
+  // land in disjoint ranges; the low bits count up so ids within one
+  // process are dense and cheap.
+  static std::atomic<std::uint64_t> counter{Rng(system_entropy_seed()).next_u64() | 1};
+  std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  if (id == 0) id = counter.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void EventLog::set_sample_every(std::uint32_t n) {
+  sample_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+TraceContext EventLog::begin_root(std::uint64_t origin_us) {
+  if (!enabled()) return {};
+  const std::uint32_t n = sample_every();
+  if (n > 1 && root_counter_.fetch_add(1, std::memory_order_relaxed) % n != 0) return {};
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id();
+  ctx.span_id = next_trace_id();
+  ctx.flags = TraceContext::kSampledFlag;
+  ctx.origin_us = origin_us;
+  return ctx;
+}
+
+void EventLog::span(std::uint32_t node, const TraceContext& parent, std::string_view name,
+                    std::string_view category, std::uint64_t ts_us, std::uint64_t dur_us) {
+  if (!want(parent)) return;
+  Event event;
+  event.kind = EventKind::kSpan;
+  event.node = node;
+  event.trace_id = parent.trace_id;
+  event.span_id = next_trace_id();
+  event.parent_span_id = parent.span_id;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.name.assign(name);
+  event.category.assign(category);
+  record(std::move(event));
+}
+
+void EventLog::instant(std::uint32_t node, std::uint32_t peer, const TraceContext& parent,
+                       std::string_view name, std::string_view category, std::uint64_t ts_us) {
+  if (!enabled()) return;
+  Event event;
+  event.kind = EventKind::kInstant;
+  event.node = node;
+  event.peer = peer;
+  event.trace_id = parent.trace_id;
+  event.parent_span_id = parent.span_id;
+  event.ts_us = ts_us;
+  event.name.assign(name);
+  event.category.assign(category);
+  record(std::move(event));
+}
+
+void EventLog::record(Event event) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  // Full: overwrite the oldest (the slot the cursor points at).
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard lock(mutex_);
+  if (!wrapped_ || ring_.size() < capacity_) return ring_;
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+void EventLog::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_.store(0, std::memory_order_relaxed);
+  root_counter_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace securestore::obs

@@ -1,0 +1,156 @@
+// Observability: structured event log + trace context (DESIGN.md §8).
+//
+// The metrics registry answers "how much does each phase cost in
+// aggregate"; this module answers "where did THIS operation's time go,
+// across nodes". Two pieces:
+//
+//   * `TraceContext` — the compact context a client operation propagates
+//     with every rpc it issues (trace id, parent span id, sampled bit,
+//     origin timestamp). Servers parent their verify/apply/WAL spans to
+//     it, and gossip records carry it onward, so one client write stitches
+//     to the server work it caused on every node it reached.
+//   * `EventLog` — a bounded ring of completed spans and instant events,
+//     one per deployment (shared through `net::Transport::events()` the
+//     same way the metrics registry is shared). Timestamps come from the
+//     transport clock: virtual µs under the simulator, wall µs on the
+//     thread/TCP transports — identical semantics to the registry.
+//
+// Hot-path cost: when tracing is off (the default), every record/span call
+// is one relaxed atomic load. Sampling (1-in-N root spans) keeps the cost
+// bounded when it is on; counters/histograms stay always-on regardless.
+// Spans are recorded only at completion (one event with ts + dur), so a
+// dropped or duplicated message can never leave a span half-open or close
+// it twice — there is nothing to close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/serial.h"
+
+namespace securestore::obs {
+
+/// The trace field carried in the rpc envelope (PROTOCOL.md §1). A default
+/// constructed context is "no trace" (trace_id 0 is never allocated).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;    // the sender-side span downstream spans parent to
+  std::uint8_t flags = 0;       // bit 0: sampled
+  std::uint64_t origin_us = 0;  // transport-clock µs when the root span began
+
+  static constexpr std::uint8_t kSampledFlag = 0x01;
+  /// Serialized size of the v1 context (the only version so far).
+  static constexpr std::size_t kWireSize = 25;
+  /// Largest trace field a receiver accepts; anything longer is counted as
+  /// malformed and stripped (bounds what a Byzantine peer can make us buffer).
+  static constexpr std::size_t kMaxWireSize = 64;
+
+  bool valid() const { return trace_id != 0; }
+  bool sampled() const { return (flags & kSampledFlag) != 0; }
+
+  void encode(Writer& w) const;
+  /// Decodes the 25-byte v1 prefix; the caller handles (skips) any
+  /// forward-compatibility suffix. Throws DecodeError when short.
+  static TraceContext decode(Reader& r);
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+enum class EventKind : std::uint8_t {
+  kSpan,     // complete span: ts + dur (Chrome "X")
+  kInstant,  // point event, e.g. an injected fault (Chrome "i")
+};
+
+/// One recorded event. `node` is the NodeId that emitted it; `peer` is
+/// meaningful only for link-scoped instants (the other end of the link).
+struct Event {
+  EventKind kind = EventKind::kSpan;
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;  // spans only
+  std::string name;
+  std::string category;
+};
+
+/// Process-unique span/trace id; never returns 0. High bits are seeded from
+/// entropy so ids from distinct processes (TCP deployments) do not collide.
+std::uint64_t next_trace_id();
+
+/// Bounded, lock-light event ring. Disabled by default: every recording
+/// call then costs one relaxed atomic load and nothing else. When enabled,
+/// pushes take a mutex (events are rare relative to metric updates — one
+/// per span completion, not per message) and overwrite the oldest event
+/// once the ring is full, counting what was lost.
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Master switch. Off: recording calls are one relaxed load.
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Root-span sampling: capture 1 in `n` client operations (n=1: all).
+  void set_sample_every(std::uint32_t n);
+  std::uint32_t sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
+
+  /// Root-span admission: allocates a fresh (trace, span) id pair with the
+  /// sampled bit set, or returns an invalid context when the log is
+  /// disabled or this operation loses the 1-in-N draw. `origin_us` is the
+  /// transport-clock time the operation began.
+  TraceContext begin_root(std::uint64_t origin_us);
+
+  /// True when recording under `parent` would actually store an event —
+  /// the guard callers use to skip clock reads and string building.
+  bool want(const TraceContext& parent) const {
+    return enabled() && parent.sampled();
+  }
+
+  /// Records a complete child span under `parent`; no-op unless want().
+  void span(std::uint32_t node, const TraceContext& parent, std::string_view name,
+            std::string_view category, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  /// Records an instant event. Parent is optional (fault instants have
+  /// none); no-op when the log is disabled.
+  void instant(std::uint32_t node, std::uint32_t peer, const TraceContext& parent,
+               std::string_view name, std::string_view category, std::uint64_t ts_us);
+
+  /// Full-control record (OpTrace emits its root span with its own ids).
+  /// No-op when the log is disabled.
+  void record(Event event);
+
+  /// Oldest-first copy of the ring. Safe across threads.
+  std::vector<Event> snapshot() const;
+
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> sample_every_{1};
+  std::atomic<std::uint64_t> root_counter_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;    // ring_[.. next_) newest at next_-1 once wrapped
+  std::size_t next_ = 0;       // insertion cursor
+  bool wrapped_ = false;
+};
+
+}  // namespace securestore::obs

@@ -72,14 +72,95 @@ std::string to_json(const MetricsSnapshot& snapshot, std::string_view name) {
   return out;
 }
 
-bool write_json_sidecar(const MetricsSnapshot& snapshot, std::string_view name) {
-  const std::string path = "BENCH_" + std::string(name) + ".json";
+namespace {
+
+bool write_file(const std::string& path, const std::string& body) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  const std::string body = to_json(snapshot, name);
   const bool ok = std::fwrite(body.data(), 1, body.size(), file) == body.size();
-  std::fclose(file);
-  return ok;
+  return std::fclose(file) == 0 && ok;
+}
+
+/// Minimal JSON string escaping (names/categories are internal constants,
+/// but a trace file must stay loadable no matter what lands in them).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_formatted(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool write_json_sidecar(const MetricsSnapshot& snapshot, std::string_view name) {
+  return write_file("BENCH_" + std::string(name) + ".json", to_json(snapshot, name));
+}
+
+std::string to_chrome_trace(const std::vector<Event>& events) {
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // One process_name metadata record per node, so Perfetto labels tracks.
+  std::vector<std::uint32_t> nodes;
+  for (const Event& event : events) {
+    if (std::find(nodes.begin(), nodes.end(), event.node) == nodes.end()) {
+      nodes.push_back(event.node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  for (const std::uint32_t node : nodes) {
+    separator();
+    append_formatted(out,
+                     "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %u, \"tid\": %u, "
+                     "\"args\": {\"name\": \"node %u\"}}",
+                     node, node, node);
+  }
+
+  for (const Event& event : events) {
+    separator();
+    if (event.kind == EventKind::kSpan) {
+      append_formatted(out,
+                       "{\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", \"pid\": %u, "
+                       "\"tid\": %u, \"ts\": %" PRIu64 ", \"dur\": %" PRIu64
+                       ", \"args\": {\"trace_id\": \"%016" PRIx64 "\", \"span_id\": \"%016" PRIx64
+                       "\", \"parent_span_id\": \"%016" PRIx64 "\"}}",
+                       json_escape(event.name).c_str(), json_escape(event.category).c_str(),
+                       event.node, event.node, event.ts_us, event.dur_us, event.trace_id,
+                       event.span_id, event.parent_span_id);
+    } else {
+      append_formatted(out,
+                       "{\"ph\": \"i\", \"s\": \"g\", \"name\": \"%s\", \"cat\": \"%s\", "
+                       "\"pid\": %u, \"tid\": %u, \"ts\": %" PRIu64
+                       ", \"args\": {\"peer\": %u, \"trace_id\": \"%016" PRIx64 "\"}}",
+                       json_escape(event.name).c_str(), json_escape(event.category).c_str(),
+                       event.node, event.node, event.ts_us, event.peer, event.trace_id);
+    }
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool write_trace_sidecar(const std::vector<Event>& events, std::string_view name) {
+  return write_file("TRACE_" + std::string(name) + ".json", to_chrome_trace(events));
 }
 
 }  // namespace securestore::obs

@@ -11,7 +11,9 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace securestore::obs {
@@ -27,5 +29,17 @@ std::string to_json(const MetricsSnapshot& snapshot, std::string_view name);
 /// Writes `to_json` to `BENCH_<name>.json` in the working directory (the
 /// sidecar convention). Returns false if the file could not be written.
 bool write_json_sidecar(const MetricsSnapshot& snapshot, std::string_view name);
+
+/// Renders an event-log snapshot as Chrome-trace-event JSON (the
+/// `{"traceEvents": [...]}` object format) loadable by Perfetto and
+/// chrome://tracing. Spans become "X" complete events and instants "i"
+/// events; pid/tid carry the emitting node, and args carry trace/span ids
+/// (as hex strings) so one client operation stitches across nodes by
+/// trace id. A process_name metadata record labels each node's track.
+std::string to_chrome_trace(const std::vector<Event>& events);
+
+/// Writes `to_chrome_trace` to `TRACE_<name>.json` next to the BENCH_*
+/// sidecars. Returns false if the file could not be written.
+bool write_trace_sidecar(const std::vector<Event>& events, std::string_view name);
 
 }  // namespace securestore::obs

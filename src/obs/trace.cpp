@@ -21,9 +21,20 @@ OpTrace::~OpTrace() {
   if (!finished_) finish(false);
 }
 
+void OpTrace::attach_root(EventLog& events, std::uint32_t node) {
+  events_ = &events;
+  node_ = node;
+  ctx_ = events.begin_root(started_);
+}
+
 void OpTrace::close_phase(std::uint64_t now) {
   if (current_phase_.empty()) return;
   const std::uint64_t elapsed = now - phase_started_;
+  // Each phase segment becomes a child span at its actual position on the
+  // timeline (totals below are the aggregate-histogram view of the same).
+  if (events_ != nullptr && events_->want(ctx_)) {
+    events_->span(node_, ctx_, op_ + "." + current_phase_, "phase", phase_started_, elapsed);
+  }
   for (auto& [name, total] : phase_totals_us_) {
     if (name == current_phase_) {
       total += elapsed;
@@ -64,6 +75,22 @@ void OpTrace::finish(bool ok) {
   if (!ok) registry_.counter(op_ + ".failures").inc();
   for (const auto& [name, total] : counts_) {
     registry_.counter(op_ + "." + name).inc(total);
+  }
+
+  // Root span last, under its own pre-allocated span id (children already
+  // parented to it via ctx_ as they closed).
+  if (events_ != nullptr && events_->want(ctx_)) {
+    Event event;
+    event.kind = EventKind::kSpan;
+    event.node = node_;
+    event.trace_id = ctx_.trace_id;
+    event.span_id = ctx_.span_id;
+    event.parent_span_id = 0;
+    event.ts_us = started_;
+    event.dur_us = now - started_;
+    event.name = op_;
+    event.category = ok ? "op" : "op.failed";
+    events_->record(std::move(event));
   }
 }
 

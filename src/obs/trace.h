@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace securestore::obs {
@@ -49,6 +50,17 @@ class OpTrace {
   OpTrace(const OpTrace&) = delete;
   OpTrace& operator=(const OpTrace&) = delete;
 
+  /// Hooks this operation into the distributed trace: draws a root-span
+  /// admission from `events` (subject to its sampling knob) and, when it
+  /// wins, emits the root span at finish and each phase segment as a child
+  /// span. `node` labels the emitting track in exported timelines. ctx()
+  /// is then what rides out in rpc envelopes.
+  void attach_root(EventLog& events, std::uint32_t node);
+
+  /// The trace context downstream rpcs should carry; invalid when tracing
+  /// is off, unsampled, or attach_root was never called.
+  const TraceContext& ctx() const { return ctx_; }
+
   /// Closes the running phase (attributing the elapsed time to it) and
   /// opens `name`. Re-entering a name accumulates.
   void phase(std::string_view name);
@@ -67,6 +79,9 @@ class OpTrace {
   Registry& registry_;
   std::string op_;
   ClockFn clock_;
+  EventLog* events_ = nullptr;
+  std::uint32_t node_ = 0;
+  TraceContext ctx_{};
   std::uint64_t started_;
   std::uint64_t phase_started_;
   std::string current_phase_;  // empty: unnamed span, not recorded

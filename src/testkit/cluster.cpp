@@ -3,11 +3,18 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/export.h"
+
 namespace securestore::testkit {
 
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(options_.seed) {
   transport_ = std::make_unique<net::SimTransport>(
-      scheduler_, sim::NetworkModel(rng_.fork(), options_.link), options_.registry);
+      scheduler_, sim::NetworkModel(rng_.fork(), options_.link), options_.registry,
+      options_.events);
+  if (options_.tracing) {
+    transport_->events().set_sample_every(options_.trace_sample_every);
+    transport_->events().set_enabled(true);
+  }
   if (options_.chaos_seed.has_value()) {
     chaos_ = std::make_unique<net::FaultInjectingTransport>(*transport_, *options_.chaos_seed);
   }
@@ -33,6 +40,10 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(op
   for (std::uint32_t i = 0; i < options_.n; ++i) {
     servers_.push_back(build_server(i));
   }
+}
+
+bool Cluster::write_trace_sidecar(std::string_view name) const {
+  return obs::write_trace_sidecar(transport_->events().snapshot(), name);
 }
 
 std::string Cluster::server_disk_dir(std::size_t index) const {

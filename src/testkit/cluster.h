@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "core/client.h"
@@ -57,6 +58,16 @@ struct ClusterOptions {
   /// owns a fresh one. Benches pass one registry into a sweep's clusters so
   /// histograms accumulate across cells.
   std::shared_ptr<obs::Registry> registry;
+
+  /// Distributed tracing (DESIGN.md §8): when true, the deployment's event
+  /// log is enabled with 1-in-`trace_sample_every` root-span sampling
+  /// before any endpoint registers. Off by default — the hot path then pays
+  /// one relaxed atomic load per operation.
+  bool tracing = false;
+  std::uint32_t trace_sample_every = 1;
+  /// Event log shared with the transport, like `registry`. Null = the
+  /// transport owns a fresh one.
+  std::shared_ptr<obs::EventLog> events;
 };
 
 class Cluster {
@@ -81,6 +92,13 @@ class Cluster {
   const sim::TransportStats& transport_stats() const;
   /// The deployment's metrics registry (the transport's).
   obs::Registry& registry() { return transport_->registry(); }
+  /// The deployment's trace event log (the transport's). Disabled unless
+  /// ClusterOptions::tracing was set (or a caller enables it directly).
+  obs::EventLog& events() { return transport_->events(); }
+  /// Snapshots the event log and writes `TRACE_<name>.json` in the working
+  /// directory (Perfetto/chrome://tracing-loadable). Returns false if the
+  /// sidecar could not be written.
+  bool write_trace_sidecar(std::string_view name) const;
   /// Periodically snapshots the registry into `on_snapshot` every `period`
   /// of virtual time, until the cluster dies. For long sims that want a
   /// metrics timeline rather than one final dump.

@@ -6,9 +6,15 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
+
+#include "net/fault_transport.h"
 
 #include "core/sync.h"
 #include "net/rpc.h"
@@ -444,6 +450,127 @@ TEST(ObsDrops, MisdirectedRpcResponseIsCounted) {
 
   EXPECT_FALSE(fired);
   EXPECT_EQ(transport.registry().counter("rpc.response_misdirected").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog conformance (DESIGN.md §8): every metric/event name a mixed
+// P3/P5/P6 cluster run emits must appear in the documented catalog, so
+// instrumentation cannot drift away from the docs unnoticed.
+// ---------------------------------------------------------------------------
+
+GroupPolicy p6_policy() {
+  return GroupPolicy{GroupId{3}, ConsistencyModel::kMRC, SharingMode::kMultiWriter,
+                     core::ClientTrust::kByzantine};
+}
+
+// Every `backticked` token between the catalog markers in DESIGN.md §8.
+std::set<std::string> load_catalog() {
+  std::ifstream in(std::string(SECURESTORE_SOURCE_DIR) + "/DESIGN.md");
+  EXPECT_TRUE(in.is_open()) << "DESIGN.md not found under SECURESTORE_SOURCE_DIR";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::size_t begin = text.find("<!-- metric-event-catalog:begin -->");
+  const std::size_t end = text.find("<!-- metric-event-catalog:end -->");
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+
+  std::set<std::string> catalog;
+  std::size_t pos = begin;
+  while (pos < end) {
+    const std::size_t open = text.find('`', pos);
+    if (open == std::string::npos || open >= end) break;
+    const std::size_t close = text.find('`', open + 1);
+    if (close == std::string::npos || close >= end) break;
+    catalog.insert(text.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return catalog;
+}
+
+// Folds concrete names onto their catalog form: per-server gauges become
+// `server.<id>.*`, per-protocol client names become `client.<op>*`.
+std::string normalize_name(const std::string& name) {
+  if (name.rfind("server.", 0) == 0) {
+    std::size_t digits_end = 7;
+    while (digits_end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[digits_end]))) {
+      ++digits_end;
+    }
+    if (digits_end > 7 && digits_end < name.size() && name[digits_end] == '.') {
+      return "server.<id>" + name.substr(digits_end);
+    }
+  }
+  if (name.rfind("client.p", 0) == 0) {
+    std::size_t digits_end = 8;
+    while (digits_end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[digits_end]))) {
+      ++digits_end;
+    }
+    if (digits_end > 8 && digits_end < name.size() && name[digits_end] == '.') {
+      std::size_t verb_end = digits_end + 1;
+      while (verb_end < name.size() &&
+             (std::islower(static_cast<unsigned char>(name[verb_end])) ||
+              name[verb_end] == '_')) {
+        ++verb_end;
+      }
+      return "client.<op>" + name.substr(verb_end);
+    }
+  }
+  return name;
+}
+
+TEST(ObsCatalog, MixedWorkloadEmitsOnlyCatalogedNames) {
+  const std::set<std::string> catalog = load_catalog();
+  ASSERT_FALSE(catalog.empty());
+
+  TempDir dir;
+  ClusterOptions options;
+  options.gossip.period = milliseconds(100);
+  options.durability_dir = dir.path;
+  options.tracing = true;
+  options.chaos_seed = 11;  // fault instants + chaos counters, but no loss
+  Cluster cluster(options);
+  net::FaultRule rule;
+  rule.duplicate = 0.3;
+  cluster.chaos()->set_default_rule(rule);
+  cluster.set_group_policy(p3_policy());
+  cluster.set_group_policy(p5_policy());
+  cluster.set_group_policy(p6_policy());
+
+  const auto run_workload = [&](ClientId id, const GroupPolicy& policy) {
+    SecureStoreClient::Options client_options;
+    client_options.policy = policy;
+    auto client = cluster.make_client(id, client_options);
+    SyncClient sync(*client, cluster.scheduler());
+    ASSERT_TRUE(sync.connect(policy.group).ok());
+    const std::uint64_t base = policy.group.value * 100;
+    for (std::uint64_t k = 0; k < 2; ++k) {
+      ASSERT_TRUE(sync.write(ItemId{base + k}, to_bytes("v" + std::to_string(k))).ok());
+      ASSERT_TRUE(sync.read_value(ItemId{base + k}).ok());
+    }
+  };
+  run_workload(ClientId{1}, p3_policy());
+  run_workload(ClientId{2}, p5_policy());
+  run_workload(ClientId{3}, p6_policy());
+  cluster.run_for(seconds(2));  // gossip + WAL timers
+
+  const auto check = [&](const std::string& name, const char* what) {
+    EXPECT_TRUE(catalog.count(normalize_name(name)) == 1)
+        << what << " `" << name << "` (normalized `" << normalize_name(name)
+        << "`) is missing from the DESIGN.md §8 catalog";
+  };
+  const obs::MetricsSnapshot snap = cluster.registry().snapshot();
+  for (const auto& [name, value] : snap.counters) check(name, "counter");
+  for (const auto& [name, value] : snap.gauges) check(name, "gauge");
+  for (const auto& [name, histogram] : snap.histograms) check(name, "histogram");
+  const std::vector<obs::Event> events = cluster.events().snapshot();
+  ASSERT_FALSE(events.empty());
+  for (const obs::Event& event : events) {
+    check(event.name, "event name");
+    check(event.category, "event category");
+  }
 }
 
 }  // namespace

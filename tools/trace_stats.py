@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Summarize and validate TRACE_*.json sidecars (DESIGN.md section 8).
+
+Loads one or more Chrome-trace-event files (the format Perfetto and
+chrome://tracing consume), validates that they are well-formed, and prints
+per-node span counts plus the top-10 longest spans. Standard library only.
+
+Usage:
+    trace_stats.py TRACE_foo.json [TRACE_bar.json ...]
+    trace_stats.py --expect expected.txt TRACE_foo.json   # golden-file mode
+
+Exit codes: 0 ok, 1 malformed input, 2 golden mismatch.
+"""
+
+import json
+import os
+import sys
+
+TOP_N = 10
+
+
+class MalformedTrace(Exception):
+    pass
+
+
+def _require(cond, path, message):
+    if not cond:
+        raise MalformedTrace("%s: %s" % (os.path.basename(path), message))
+
+
+def validate(path, doc):
+    """Checks the Chrome trace event JSON shape we emit (and Perfetto loads)."""
+    _require(isinstance(doc, dict), path, "top level must be an object")
+    _require("traceEvents" in doc, path, "missing traceEvents")
+    events = doc["traceEvents"]
+    _require(isinstance(events, list), path, "traceEvents must be a list")
+    for i, event in enumerate(events):
+        where = "event %d" % i
+        _require(isinstance(event, dict), path, where + " must be an object")
+        phase = event.get("ph")
+        _require(isinstance(phase, str), path, where + " missing ph")
+        _require(phase in ("X", "i", "M"), path,
+                 "%s has unknown phase %r" % (where, phase))
+        _require(isinstance(event.get("name"), str), path, where + " missing name")
+        _require(isinstance(event.get("pid"), int), path, where + " missing pid")
+        if phase == "X":
+            _require(isinstance(event.get("ts"), (int, float)), path,
+                     where + " span missing ts")
+            _require(isinstance(event.get("dur"), (int, float)), path,
+                     where + " span missing dur")
+        elif phase == "i":
+            _require(isinstance(event.get("ts"), (int, float)), path,
+                     where + " instant missing ts")
+            _require(event.get("s") in ("g", "p", "t"), path,
+                     where + " instant missing scope")
+    return events
+
+
+def summarize(path, events, out):
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    out.append("%s: %d events (%d spans, %d instants, %d metadata)"
+               % (os.path.basename(path), len(events), len(spans), len(instants),
+                  len(metadata)))
+
+    out.append("per-node span counts:")
+    counts = {}
+    for span in spans:
+        counts[span["pid"]] = counts.get(span["pid"], 0) + 1
+    for node in sorted(counts):
+        out.append("  node %d: %d" % (node, counts[node]))
+
+    out.append("top %d longest spans:" % TOP_N)
+    longest = sorted(spans, key=lambda e: (-e["dur"], e["name"], e["ts"]))[:TOP_N]
+    for span in longest:
+        out.append("  %d us  %s  node %d  ts %d"
+                   % (span["dur"], span["name"], span["pid"], span["ts"]))
+
+
+def main(argv):
+    args = argv[1:]
+    expect = None
+    if args and args[0] == "--expect":
+        if len(args) < 3:
+            print("usage: trace_stats.py [--expect FILE] TRACE.json ...", file=sys.stderr)
+            return 1
+        expect = args[1]
+        args = args[2:]
+    if not args:
+        print("usage: trace_stats.py [--expect FILE] TRACE.json ...", file=sys.stderr)
+        return 1
+
+    out = []
+    for path in args:
+        try:
+            with open(path, "r") as f:
+                doc = json.load(f)
+            events = validate(path, doc)
+        except (OSError, ValueError, MalformedTrace) as err:
+            print("error: %s" % err, file=sys.stderr)
+            return 1
+        summarize(path, events, out)
+    text = "\n".join(out) + "\n"
+
+    if expect is not None:
+        with open(expect, "r") as f:
+            wanted = f.read()
+        if text != wanted:
+            sys.stderr.write("golden mismatch; got:\n%s\nwanted:\n%s" % (text, wanted))
+            return 2
+        print("golden match: %s" % os.path.basename(expect))
+        return 0
+
+    sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
