@@ -22,7 +22,8 @@ SecureStoreClient::SecureStoreClient(net::Transport& transport, NodeId network_i
       options_(std::move(options)),
       rng_(std::move(rng)),
       fault_silent_(transport.registry().counter("client.fault.silent")),
-      fault_forgery_(transport.registry().counter("client.fault.forgery")) {
+      fault_forgery_(transport.registry().counter("client.fault.forgery")),
+      deadline_exceeded_(transport.registry().counter("client.deadline_exceeded")) {
   config_.validate();
   if (!options_.codec) options_.codec = std::make_shared<PlainValueCodec>();
   if (options_.dynamic_quorums.has_value()) {
@@ -112,7 +113,15 @@ SimTime SecureStoreClient::op_deadline() const {
 
 SimDuration SecureStoreClient::round_budget(SimTime deadline) const {
   const SimTime now = node_.transport().now();
-  if (now >= deadline) return 0;
+  // Clamp before subtracting: SimTime is unsigned, and a backoff sleep (or
+  // a slow wall-clock dispatch on the threaded transports) can overshoot
+  // the absolute deadline, so `deadline - now` would wrap to a huge round
+  // timeout. Zero tells every attempt loop to fail the op with a deadline
+  // error instead of issuing that round.
+  if (now >= deadline) {
+    deadline_exceeded_.inc();
+    return 0;
+  }
   return std::min<SimDuration>(options_.round_timeout, deadline - now);
 }
 

@@ -229,6 +229,10 @@ class SecureStoreClient {
   // Fault-suspicion accounting, counted whether or not the estimator is on.
   obs::Counter& fault_silent_;
   obs::Counter& fault_forgery_;
+  /// Operations abandoned because the whole-op deadline passed (typically a
+  /// backoff sleep overshooting it); the round budget clamps to zero and
+  /// the op fails with kTimeout instead of issuing a wrapped-around round.
+  obs::Counter& deadline_exceeded_;
 };
 
 }  // namespace securestore::core

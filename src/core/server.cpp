@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "crypto/ed25519_batch.h"
 #include "obs/trace.h"
 #include "storage/snapshot.h"
 
@@ -22,7 +23,9 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
                                              ".hold_queue.depth")),
       apply_us_(transport.registry().histogram("server.apply_us")),
       wal_append_us_(transport.registry().histogram("server.wal.append_us")),
-      wal_sync_us_(transport.registry().histogram("server.wal.sync_us")) {
+      wal_sync_us_(transport.registry().histogram("server.wal.sync_us")),
+      batch_size_(transport.registry().histogram("server.batch_size",
+                                                 {1, 2, 4, 8, 16, 32, 64})) {
   config_.validate();
   // Request-mix counters: one per request type this server answers, plus
   // the gossip/stability oneways.
@@ -63,8 +66,19 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
         return true;
       });
 
+  // Multi-record gossip messages settle every writer signature in one
+  // Ed25519 batch instead of record-by-record.
+  gossip_->set_apply_batch(
+      [this](const std::vector<std::pair<WriteRecord, obs::TraceContext>>& records,
+             NodeId from) { return apply_gossip_batch(records, from); });
+
   node_.set_request_handler([this](NodeId from, net::MsgType type, BytesView body) {
-    return handle_request(from, type, body);
+    return handle_request(from, type, body, node_.incoming_trace());
+  });
+  // The batched hot path: on transports with native delivery batching, every
+  // request pending at one dispatch wakeup arrives here in a single call.
+  node_.set_batch_request_handler([this](std::vector<net::IncomingRequest>& batch) {
+    return handle_request_batch(batch);
   });
   node_.set_oneway_handler([this](NodeId from, net::MsgType type, BytesView body) {
     handle_oneway(from, type, body);
@@ -275,12 +289,12 @@ bool SecureStoreServer::authorized(const std::optional<AuthToken>& token, Client
 }
 
 std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
-    NodeId from, net::MsgType type, BytesView body) {
+    NodeId from, net::MsgType type, BytesView body, const obs::TraceContext& trace) {
   // Request mix is counted before the fault hooks: the metric reflects what
   // arrived, not what a muted server deigned to process.
   const auto counter = req_counters_.find(static_cast<std::uint16_t>(type));
   (counter != req_counters_.end() ? *counter->second : req_other_).inc();
-  active_trace_ = node_.incoming_trace();
+  active_trace_ = trace;
   if (!accept_request(from, type)) return std::nullopt;
   if (auto preempted = preempt_request(from, type, body); preempted.has_value()) {
     return std::move(*preempted);
@@ -323,6 +337,86 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
   }
 
   return filter_response(from, type, body, std::move(honest));
+}
+
+std::vector<std::optional<std::pair<net::MsgType, Bytes>>> SecureStoreServer::handle_request_batch(
+    std::vector<net::IncomingRequest>& batch) {
+  batch_size_.observe(static_cast<double>(batch.size()));
+
+  // One span covers the wakeup's worth of requests, parented to the first
+  // sampled context in the batch. Emitted only for real batches so a
+  // single-request flow keeps its exact span sequence.
+  if (batch.size() > 1) {
+    for (const net::IncomingRequest& item : batch) {
+      if (events_.want(item.trace)) {
+        events_.span(node_.id().value, item.trace, "server.batch", "server",
+                     static_cast<std::uint64_t>(node_.transport().now()), 0);
+        break;
+      }
+    }
+  }
+
+  // Pre-verify the batch's client writes as ONE Ed25519 batch: decode each
+  // kWrite body, settle authorization / structure / value digest per
+  // record (all the checks the scalar path short-circuits on before
+  // touching the signature), then check the surviving signatures with a
+  // single interleaved multi-scalar multiplication. handle_write consumes
+  // the verdict through prevalidated_write_.
+  std::vector<std::optional<bool>> prevalidated(batch.size());
+  std::vector<std::size_t> sig_index;    // batch index per signature candidate
+  std::vector<WriteRecord> sig_records;  // owns the signed-payload sources
+  std::vector<Bytes> sig_payloads;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].type != net::MsgType::kWrite) continue;
+    WriteReq req;
+    try {
+      req = WriteReq::deserialize(batch[i].body);
+    } catch (const DecodeError&) {
+      continue;  // handle_request will drop it the same way
+    }
+    const WriteRecord& record = req.record;
+    const Bytes* key = client_key(record.writer);
+    if (key == nullptr ||
+        !authorized(req.token, record.writer, record.group, Rights::kWrite) ||
+        !validate_record_structure(record) ||
+        crypto::meter_digest(record.value) != record.value_digest) {
+      prevalidated[i] = false;
+      continue;
+    }
+    sig_index.push_back(i);
+    sig_records.push_back(std::move(req.record));
+    sig_payloads.push_back(sig_records.back().signed_payload());
+  }
+  if (sig_index.size() == 1) {
+    // A batch of one amortizes nothing; the scalar path meters identically.
+    const WriteRecord& record = sig_records.front();
+    prevalidated[sig_index.front()] =
+        crypto::meter_verify(*client_key(record.writer), sig_payloads.front(), record.signature);
+  } else if (sig_index.size() > 1) {
+    std::vector<crypto::BatchVerifyItem> items;
+    items.reserve(sig_index.size());
+    for (std::size_t j = 0; j < sig_index.size(); ++j) {
+      items.push_back(crypto::BatchVerifyItem{*client_key(sig_records[j].writer),
+                                              sig_payloads[j], sig_records[j].signature});
+    }
+    const crypto::BatchVerifyResult verdict = crypto::ed25519_batch_verify(items);
+    for (std::size_t j = 0; j < sig_index.size(); ++j) {
+      prevalidated[sig_index[j]] = verdict.valid[j];
+    }
+  }
+
+  // Dispatch each request through the full scalar path — fault hooks,
+  // request-mix counters and response filtering behave identically whether
+  // or not the transport batched the delivery.
+  std::vector<std::optional<std::pair<net::MsgType, Bytes>>> responses;
+  responses.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    prevalidated_write_ = prevalidated[i];
+    responses.push_back(
+        handle_request(batch[i].from, batch[i].type, batch[i].body, batch[i].trace));
+    prevalidated_write_.reset();
+  }
+  return responses;
 }
 
 void SecureStoreServer::handle_oneway(NodeId from, net::MsgType type, BytesView body) {
@@ -405,8 +499,13 @@ Bytes SecureStoreServer::handle_write(const WriteReq& req) {
   const bool traced = events_.want(active_trace_);
   const auto verify_ts = static_cast<std::uint64_t>(node_.transport().now());
   const std::uint64_t verify_wall = traced ? obs::wall_now_us() : 0;
-  const bool valid = authorized(req.token, record.writer, record.group, Rights::kWrite) &&
-                     validate_record(record);
+  // On the batched path the verdict (authorization included) was settled by
+  // handle_request_batch's single Ed25519 batch verification.
+  const bool valid =
+      prevalidated_write_.has_value()
+          ? *prevalidated_write_
+          : (authorized(req.token, record.writer, record.group, Rights::kWrite) &&
+             validate_record(record));
   if (traced) {
     events_.span(node_.id().value, active_trace_, "server.verify", "server", verify_ts,
                  obs::wall_now_us() - verify_wall);
@@ -466,7 +565,11 @@ void SecureStoreServer::handle_stability(const StabilityMsg& msg) {
 bool SecureStoreServer::validate_record(const WriteRecord& record) const {
   const Bytes* key = client_key(record.writer);
   if (key == nullptr) return false;
+  if (!validate_record_structure(record)) return false;
+  return record.verify(*key);
+}
 
+bool SecureStoreServer::validate_record_structure(const WriteRecord& record) const {
   const GroupPolicy& policy = group_policy(record.group);
   if (record.model != policy.model) return false;
 
@@ -479,8 +582,49 @@ bool SecureStoreServer::validate_record(const WriteRecord& record) const {
     // Single-writer: version-only timestamps.
     if (record.ts.writer != ClientId{} || !record.ts.digest.empty()) return false;
   }
+  return true;
+}
 
-  return record.verify(*key);
+std::vector<bool> SecureStoreServer::apply_gossip_batch(
+    const std::vector<std::pair<WriteRecord, obs::TraceContext>>& records, NodeId /*from*/) {
+  std::vector<bool> accepted(records.size(), false);
+  // Same gate sequence as the per-record ApplyFn — scattered exclusion,
+  // writer key, structure, value digest — with the signatures of every
+  // survivor settled in one batch verification.
+  std::vector<std::size_t> sig_index;
+  std::vector<Bytes> sig_payloads;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const WriteRecord& record = records[i].first;
+    if (record.flags & kScattered) continue;
+    const Bytes* key = client_key(record.writer);
+    if (key == nullptr || !validate_record_structure(record)) continue;
+    if (crypto::meter_digest(record.value) != record.value_digest) continue;
+    sig_index.push_back(i);
+    sig_payloads.push_back(record.signed_payload());
+  }
+  if (sig_index.size() == 1) {
+    const WriteRecord& record = records[sig_index.front()].first;
+    if (crypto::meter_verify(*client_key(record.writer), sig_payloads.front(),
+                             record.signature)) {
+      accepted[sig_index.front()] = true;
+    }
+  } else if (sig_index.size() > 1) {
+    std::vector<crypto::BatchVerifyItem> items;
+    items.reserve(sig_index.size());
+    for (std::size_t j = 0; j < sig_index.size(); ++j) {
+      const WriteRecord& record = records[sig_index[j]].first;
+      items.push_back(
+          crypto::BatchVerifyItem{*client_key(record.writer), sig_payloads[j], record.signature});
+    }
+    const crypto::BatchVerifyResult verdict = crypto::ed25519_batch_verify(items);
+    for (std::size_t j = 0; j < sig_index.size(); ++j) {
+      if (verdict.valid[j]) accepted[sig_index[j]] = true;
+    }
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (accepted[i]) apply_with_holds(records[i].first);
+  }
+  return accepted;
 }
 
 bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {

@@ -135,7 +135,15 @@ class SecureStoreServer {
 
  private:
   std::optional<std::pair<net::MsgType, Bytes>> handle_request(NodeId from, net::MsgType type,
-                                                               BytesView body);
+                                                               BytesView body,
+                                                               const obs::TraceContext& trace);
+  /// The batched hot path (DESIGN.md §10): everything the transport had
+  /// pending at one dispatch wakeup. Client-write signatures across the
+  /// batch are checked as ONE Ed25519 batch verification; each request then
+  /// flows through handle_request so fault hooks and per-type counters
+  /// behave identically to the scalar path.
+  std::vector<std::optional<std::pair<net::MsgType, Bytes>>> handle_request_batch(
+      std::vector<net::IncomingRequest>& batch);
   void handle_oneway(NodeId from, net::MsgType type, BytesView body);
 
   Bytes handle_context_read(const ContextReadReq& req);
@@ -150,6 +158,17 @@ class SecureStoreServer {
   /// Validates a record end to end (writer key known, signature, digest,
   /// policy conformance). Used for client writes and gossip alike.
   bool validate_record(const WriteRecord& record) const;
+
+  /// The crypto-free half of validate_record: policy conformance and
+  /// timestamp shape. The batch paths run this per record, then settle all
+  /// signatures at once.
+  bool validate_record_structure(const WriteRecord& record) const;
+
+  /// Batch gossip apply: per-record structure/digest checks, one Ed25519
+  /// batch verification across every candidate, then apply_with_holds for
+  /// the survivors. Returns accepted flags, index-aligned.
+  std::vector<bool> apply_gossip_batch(
+      const std::vector<std::pair<WriteRecord, obs::TraceContext>>& records, NodeId from);
 
   /// Applies a validated record, honoring §5.3 causal holds, then releases
   /// any transitively unblocked held writes. Returns true if the record
@@ -179,6 +198,11 @@ class SecureStoreServer {
   /// layer to spans emitted deep inside the apply/WAL paths.
   obs::EventLog& events_;
   obs::TraceContext active_trace_{};
+  /// Batch pre-verification verdict for the kWrite currently dispatching
+  /// through handle_request: set (to the record's full validity) by
+  /// handle_request_batch, consulted by handle_write instead of a scalar
+  /// validate_record. Unset on the per-message path.
+  std::optional<bool> prevalidated_write_;
   storage::ItemStore items_;
   storage::ContextStore contexts_;
   storage::HoldQueue holds_;
@@ -204,6 +228,8 @@ class SecureStoreServer {
   obs::Histogram& apply_us_;
   obs::Histogram& wal_append_us_;
   obs::Histogram& wal_sync_us_;
+  /// Requests per dispatch wakeup — how much batching the hot path gets.
+  obs::Histogram& batch_size_;
 };
 
 }  // namespace securestore::core

@@ -158,9 +158,24 @@ void GossipEngine::handle(NodeId from, net::MsgType type, BytesView body) {
         return;
       }
       case net::MsgType::kGossipUpdates: {
-        for (const auto& [record, ctx] : decode_updates(body)) {
+        const auto updates = decode_updates(body);
+        // Multi-record messages go through the batch apply path when one is
+        // installed, so the owner verifies all writer signatures as one
+        // Ed25519 batch. The accounting below is identical either way.
+        std::vector<bool> accepted;
+        if (apply_batch_ && updates.size() > 1) {
+          accepted = apply_batch_(updates, from);
+          // A short result vector rejects the tail — never accept a record
+          // the owner did not explicitly vouch for.
+          accepted.resize(updates.size(), false);
+        } else {
+          accepted.reserve(updates.size());
+          for (const auto& [record, ctx] : updates) accepted.push_back(apply_(record, from));
+        }
+        for (std::size_t i = 0; i < updates.size(); ++i) {
+          const auto& [record, ctx] = updates[i];
           records_received_.inc();
-          if (!apply_(record, from)) {
+          if (!accepted[i]) {
             records_rejected_.inc();
             continue;
           }

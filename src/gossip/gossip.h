@@ -50,6 +50,13 @@ class GossipEngine {
   /// accepted (valid signature), false if rejected.
   using ApplyFn = std::function<bool(const core::WriteRecord& record, NodeId from)>;
 
+  /// Batch variant: applies every record of one kGossipUpdates message in a
+  /// single call so the owner can verify the writer signatures as one
+  /// Ed25519 batch. Returns one accepted/rejected flag per record,
+  /// index-aligned with the input.
+  using ApplyBatchFn = std::function<std::vector<bool>(
+      const std::vector<std::pair<core::WriteRecord, obs::TraceContext>>& records, NodeId from)>;
+
   GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
                std::vector<NodeId> peers, Config config, Rng rng, ApplyFn apply);
   ~GossipEngine();
@@ -62,6 +69,12 @@ class GossipEngine {
   /// Stops future ticks (in-flight messages still deliver).
   void stop();
   bool running() const { return running_; }
+
+  /// Optional: installs the batch apply path. Multi-record kGossipUpdates
+  /// messages then go through `apply_batch` instead of per-record
+  /// `apply_`; single-record messages keep using `apply_` (a batch of one
+  /// amortizes nothing).
+  void set_apply_batch(ApplyBatchFn apply_batch) { apply_batch_ = std::move(apply_batch); }
 
   /// Handles gossip one-way messages; the owning server routes
   /// kGossipDigest/kGossipUpdates/kGossipRequest here.
@@ -109,6 +122,7 @@ class GossipEngine {
   Config config_;
   Rng rng_;
   ApplyFn apply_;
+  ApplyBatchFn apply_batch_;
   // Anti-entropy accounting (handles into the transport's registry).
   obs::Counter& rounds_;
   obs::Counter& records_sent_;

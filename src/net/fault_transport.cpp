@@ -47,6 +47,12 @@ void FaultInjectingTransport::register_node(NodeId node, DeliverFn deliver) {
   inner_.register_node(node, std::move(deliver));
 }
 
+void FaultInjectingTransport::register_node_batched(NodeId node, BatchDeliverFn deliver) {
+  // Pure delegate: faults act on the send path, so the inner transport's
+  // native batching (and its determinism) is preserved under chaos.
+  inner_.register_node_batched(node, std::move(deliver));
+}
+
 void FaultInjectingTransport::unregister_node(NodeId node) { inner_.unregister_node(node); }
 
 void FaultInjectingTransport::schedule(SimDuration delay, std::function<void()> callback) {

@@ -79,6 +79,7 @@ class FaultInjectingTransport final : public Transport {
 
   // Transport interface: everything but send() is a pure delegate.
   void register_node(NodeId node, DeliverFn deliver) override;
+  void register_node_batched(NodeId node, BatchDeliverFn deliver) override;
   void unregister_node(NodeId node) override;
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override { return inner_.now(); }

@@ -1,5 +1,7 @@
 #include "net/quorum.h"
 
+#include <set>
+
 namespace securestore::net {
 
 namespace {
@@ -9,7 +11,11 @@ struct CallState {
   QuorumCall::ReplyFn on_reply;
   QuorumCall::DoneFn on_done;
   std::vector<std::uint64_t> rpc_ids;
-  std::size_t replies = 0;
+  /// Distinct servers heard from. The quorum tally counts responders, not
+  /// responses: a replayed/duplicated reply from a server that already
+  /// answered (or one node appearing twice in `targets`) must not advance
+  /// the count, or b faulty servers could fake a quorum of b+1.
+  std::set<NodeId> responders;
   std::size_t targets = 0;
   bool finished = false;
 
@@ -20,7 +26,7 @@ struct CallState {
     // Move the callback out so `this` (held via shared_ptr in callbacks)
     // can release captured resources promptly.
     QuorumCall::DoneFn done = std::move(on_done);
-    done(outcome, replies);
+    done(outcome, responders.size());
   }
 };
 
@@ -33,7 +39,9 @@ void QuorumCall::start(RpcNode& node, const std::vector<NodeId>& targets, MsgTyp
   state->node = &node;
   state->on_reply = std::move(on_reply);
   state->on_done = std::move(on_done);
-  state->targets = targets.size();
+  // Exhaustion means "every distinct target answered" — duplicates in the
+  // target list get their own rpc but can never add a second tally.
+  state->targets = std::set<NodeId>(targets.begin(), targets.end()).size();
 
   if (targets.empty()) {
     state->finish(QuorumOutcome::kExhausted);
@@ -50,10 +58,10 @@ void QuorumCall::start(RpcNode& node, const std::vector<NodeId>& targets, MsgTyp
         target, type, body,
         [state](NodeId from, MsgType response_type, BytesView response_body) {
           if (state->finished) return;
-          ++state->replies;
+          if (!state->responders.insert(from).second) return;  // already counted
           if (state->on_reply(from, response_type, response_body)) {
             state->finish(QuorumOutcome::kSatisfied);
-          } else if (state->replies == state->targets) {
+          } else if (state->responders.size() == state->targets) {
             state->finish(QuorumOutcome::kExhausted);
           }
         },

@@ -1,0 +1,148 @@
+// Bounded lock-free delivery ring — the hot-path handoff between transport
+// producer threads (socket readers, senders) and the single dispatch thread
+// that runs protocol code.
+//
+// Replaces the old per-message mutex-and-condvar handoff: producers publish
+// a `Delivery` with two atomic ops (a slot claim and a sequence release),
+// and the dispatcher drains up to K entries per wakeup, so one wakeup —
+// and one downstream signature-verification batch — amortizes over every
+// request that arrived while the dispatcher was busy.
+//
+// The design is the classic bounded MPMC ring with per-slot sequence
+// numbers (Vyukov), used here as MPSC: any thread may push, only the
+// dispatch thread drains. A full ring rejects the push (`kFull`) — the
+// caller counts the drop, preserving the transports' datagram semantics —
+// and `close()` turns every later push into an accounted `kClosed` so a
+// send racing shutdown can never vanish without incrementing a counter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace securestore::net {
+
+/// One queued message: transport-authenticated sender plus payload.
+struct Delivery {
+  NodeId from{};
+  Bytes payload;
+};
+
+class DeliveryRing {
+ public:
+  enum class PushResult : std::uint8_t {
+    kOk,      // published; the consumer will see it
+    kFull,    // ring at capacity; caller must count the drop
+    kClosed,  // close() ran; caller must count the drop
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit DeliveryRing(std::size_t capacity = kDefaultCapacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  DeliveryRing(const DeliveryRing&) = delete;
+  DeliveryRing& operator=(const DeliveryRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer publish. Never blocks; `kOk` guarantees a subsequent
+  /// drain (by the single consumer) returns the item.
+  PushResult try_push(Delivery item) {
+    // The pusher count lets close() wait out in-flight publishes, so after
+    // close() returns, every successful push is visible to a final drain —
+    // the exact-accounting guarantee shutdown relies on.
+    pushers_.fetch_add(1, std::memory_order_acquire);
+    if (closed_.load(std::memory_order_acquire)) {
+      pushers_.fetch_sub(1, std::memory_order_release);
+      return PushResult::kClosed;
+    }
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          slot.item = std::move(item);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          pushers_.fetch_sub(1, std::memory_order_release);
+          return PushResult::kOk;
+        }
+      } else if (dif < 0) {
+        pushers_.fetch_sub(1, std::memory_order_release);
+        return PushResult::kFull;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer drain of up to `max` entries into `out` (appended).
+  /// Returns how many were taken. Only the dispatch thread may call this.
+  std::size_t drain(std::vector<Delivery>& out, std::size_t max) {
+    std::size_t taken = 0;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    while (taken < max) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) < 0) break;
+      out.push_back(std::move(slot.item));
+      slot.item = Delivery{};  // free the payload now, not at wraparound
+      slot.sequence.store(pos + capacity(), std::memory_order_release);
+      ++pos;
+      ++taken;
+    }
+    tail_.store(pos, std::memory_order_relaxed);
+    return taken;
+  }
+
+  /// Consumer-side emptiness check (also safe, but approximate, for
+  /// producers — a concurrent push may not be visible yet).
+  bool empty() const {
+    const std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t seq = slots_[pos & mask_].sequence.load(std::memory_order_acquire);
+    return static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) < 0;
+  }
+
+  /// Rejects all future pushes and waits for in-flight ones to finish:
+  /// after close() returns, a final drain() observes every push that ever
+  /// returned kOk. Idempotent.
+  void close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    while (pushers_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> sequence{0};
+    Delivery item;
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producers: next claim
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer: next take
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint32_t> pushers_{0};
+};
+
+}  // namespace securestore::net

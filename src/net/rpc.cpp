@@ -26,7 +26,12 @@ RpcNode::RpcNode(Transport& transport, NodeId id)
   // forged reply for an rpc it never saw. The top bit stays clear so the
   // counter cannot wrap within any conceivable session.
   next_rpc_id_ = (Rng(system_entropy_seed()).next_u64() >> 1) | 1;
-  transport_.register_node(id_, [this](NodeId from, BytesView payload) { deliver(from, payload); });
+  // Batched registration: transports with native batching hand every
+  // message pending at one dispatch wakeup to deliver_batch in a single
+  // call; the rest adapt through batches of one. Either way the node sees
+  // messages in arrival order on the dispatch thread.
+  transport_.register_node_batched(
+      id_, [this](std::vector<Delivery>& batch) { deliver_batch(batch); });
 }
 
 RpcNode::~RpcNode() { transport_.unregister_node(id_); }
@@ -68,16 +73,12 @@ void RpcNode::send_oneway(NodeId to, MsgType type, Bytes body, const obs::TraceC
   transport_.send(id_, to, w.take());
 }
 
-void RpcNode::deliver(NodeId from, BytesView payload) {
-  Kind kind;
-  std::uint64_t rpc_id;
-  MsgType type;
-  Bytes body;
-  obs::TraceContext trace{};
+std::optional<RpcNode::Parsed> RpcNode::parse_envelope(BytesView payload) {
+  Parsed out;
   try {
     Reader r(payload);
     const std::uint8_t kind_byte = r.u8();
-    kind = static_cast<Kind>(kind_byte & ~kTraceFlag);
+    out.kind = static_cast<Kind>(kind_byte & ~kTraceFlag);
     if ((kind_byte & kTraceFlag) != 0) {
       // Optional trace-context field. The context is advisory metadata from
       // an untrusted peer: a bad length or an invalid context is counted
@@ -99,65 +100,129 @@ void RpcNode::deliver(NodeId from, BytesView payload) {
         (void)r.raw(length - obs::TraceContext::kWireSize);  // future extensions
         decoded.flags &= obs::TraceContext::kSampledFlag;
         if (decoded.valid()) {
-          trace = decoded;
+          out.trace = decoded;
         } else {
           trace_ctx_malformed_.inc();
         }
       }
     }
-    rpc_id = r.u64();
-    type = static_cast<MsgType>(r.u16());
-    body = r.raw(r.remaining());
+    out.rpc_id = r.u64();
+    out.type = static_cast<MsgType>(r.u16());
+    out.body = r.raw(r.remaining());
   } catch (const DecodeError&) {
     // Malformed datagram: drop, exactly like garbage off the wire — but
     // count it, since a burst of garbage is worth seeing in a dump.
     malformed_dropped_.inc();
+    return std::nullopt;
+  }
+  return out;
+}
+
+void RpcNode::handle_response(NodeId from, const Parsed& msg) {
+  const auto it = pending_.find(msg.rpc_id);
+  if (it == pending_.end()) {
+    // Late/duplicate/forged-for-an-unknown-id: ignore, but record —
+    // expired responses are exactly the slow-server evidence the
+    // bench/ops dumps want to correlate with timeouts.
+    expired_responses_.inc();
     return;
   }
+  // Reply binding: only the node the request was sent to may answer
+  // it. A spoofed response from anyone else is dropped WITHOUT
+  // consuming the pending rpc, so the real reply still gets through.
+  if (it->second.target != from) {
+    misdirected_responses_.inc();
+    return;
+  }
+  ResponseFn callback = std::move(it->second.on_response);
+  pending_.erase(it);
+  callback(from, msg.type, msg.body);
+}
 
-  switch (kind) {
+void RpcNode::deliver(NodeId from, BytesView payload) {
+  auto parsed = parse_envelope(payload);
+  if (!parsed.has_value()) return;
+  Parsed& msg = *parsed;
+
+  switch (msg.kind) {
     case Kind::kRequest: {
       if (!request_handler_) return;
-      incoming_trace_ = trace;
-      const auto response = request_handler_(from, type, body);
+      incoming_trace_ = msg.trace;
+      const auto response = request_handler_(from, msg.type, msg.body);
       incoming_trace_ = obs::TraceContext{};
       if (!response.has_value()) return;
       Writer w;
       w.u8(static_cast<std::uint8_t>(Kind::kResponse));
-      w.u64(rpc_id);
+      w.u64(msg.rpc_id);
       w.u16(static_cast<std::uint16_t>(response->first));
       w.raw(response->second);
       transport_.send(id_, from, w.take());
       return;
     }
-    case Kind::kResponse: {
-      const auto it = pending_.find(rpc_id);
-      if (it == pending_.end()) {
-        // Late/duplicate/forged-for-an-unknown-id: ignore, but record —
-        // expired responses are exactly the slow-server evidence the
-        // bench/ops dumps want to correlate with timeouts.
-        expired_responses_.inc();
-        return;
-      }
-      // Reply binding: only the node the request was sent to may answer
-      // it. A spoofed response from anyone else is dropped WITHOUT
-      // consuming the pending rpc, so the real reply still gets through.
-      if (it->second.target != from) {
-        misdirected_responses_.inc();
-        return;
-      }
-      ResponseFn callback = std::move(it->second.on_response);
-      pending_.erase(it);
-      callback(from, type, body);
+    case Kind::kResponse:
+      handle_response(from, msg);
       return;
-    }
     case Kind::kOneway: {
       if (!oneway_handler_) return;
-      incoming_trace_ = trace;
-      oneway_handler_(from, type, body);
+      incoming_trace_ = msg.trace;
+      oneway_handler_(from, msg.type, msg.body);
       incoming_trace_ = obs::TraceContext{};
       return;
     }
+  }
+}
+
+void RpcNode::deliver_batch(std::vector<Delivery>& batch) {
+  if (!batch_request_handler_) {
+    // No batch handler installed: process each message exactly as the
+    // per-message path always has.
+    for (Delivery& d : batch) deliver(d.from, d.payload);
+    return;
+  }
+
+  // Requests are lifted out of the batch and handed to the batch handler
+  // in one call (so the server can batch-verify their signatures);
+  // responses and one-ways are processed inline, in arrival order, before
+  // the request group. Reordering a response ahead of a request from the
+  // same wakeup is harmless: they address independent state (pending rpc
+  // table vs server handlers).
+  std::vector<IncomingRequest> requests;
+  std::vector<std::uint64_t> rpc_ids;
+  for (Delivery& d : batch) {
+    auto parsed = parse_envelope(d.payload);
+    if (!parsed.has_value()) continue;
+    Parsed& msg = *parsed;
+    switch (msg.kind) {
+      case Kind::kRequest:
+        requests.push_back(
+            IncomingRequest{d.from, msg.type, std::move(msg.body), msg.trace});
+        rpc_ids.push_back(msg.rpc_id);
+        break;
+      case Kind::kResponse:
+        handle_response(d.from, msg);
+        break;
+      case Kind::kOneway:
+        if (oneway_handler_) {
+          incoming_trace_ = msg.trace;
+          oneway_handler_(d.from, msg.type, msg.body);
+          incoming_trace_ = obs::TraceContext{};
+        }
+        break;
+    }
+  }
+  if (requests.empty()) return;
+
+  auto responses = batch_request_handler_(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    // A short result vector means "no response" for the tail — same
+    // semantics as a nullopt entry.
+    if (i >= responses.size() || !responses[i].has_value()) continue;
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Kind::kResponse));
+    w.u64(rpc_ids[i]);
+    w.u16(static_cast<std::uint16_t>(responses[i]->first));
+    w.raw(responses[i]->second);
+    transport_.send(id_, requests[i].from, w.take());
   }
 }
 

@@ -23,6 +23,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "net/transport.h"
 #include "util/serial.h"
@@ -61,6 +62,16 @@ enum class MsgType : std::uint16_t {
   kError = 101,
 };
 
+/// One request lifted out of a delivery batch for batched handling: the
+/// transport-authenticated sender, the decoded envelope fields, and the
+/// sanitized trace context it carried.
+struct IncomingRequest {
+  NodeId from{};
+  MsgType type{};
+  Bytes body;
+  obs::TraceContext trace{};
+};
+
 class RpcNode {
  public:
   /// Response callback: sender, response type, body.
@@ -70,6 +81,13 @@ class RpcNode {
   /// not to respond").
   using RequestHandler =
       std::function<std::optional<std::pair<MsgType, Bytes>>(NodeId from, MsgType type, BytesView body)>;
+  /// Batched request handler: every request the transport had pending at
+  /// one dispatch wakeup, in arrival order. Returns one entry per request
+  /// (index-aligned; nullopt = stay silent). Servers install this to
+  /// amortize per-request costs — one Ed25519 batch verification per
+  /// wakeup instead of one scalar verification per request.
+  using BatchRequestHandler = std::function<std::vector<std::optional<std::pair<MsgType, Bytes>>>(
+      std::vector<IncomingRequest>& batch)>;
   /// One-way handler (gossip and other unsolicited messages).
   using OnewayHandler = std::function<void(NodeId from, MsgType type, BytesView body)>;
 
@@ -84,6 +102,13 @@ class RpcNode {
   const Transport& transport() const { return transport_; }
 
   void set_request_handler(RequestHandler handler) { request_handler_ = std::move(handler); }
+  /// When set, requests arriving in one transport delivery batch are handed
+  /// to this handler in a single call instead of one `RequestHandler` call
+  /// each. Responses and one-ways in the same batch are still processed
+  /// individually, in arrival order relative to the requests around them.
+  void set_batch_request_handler(BatchRequestHandler handler) {
+    batch_request_handler_ = std::move(handler);
+  }
   void set_oneway_handler(OnewayHandler handler) { oneway_handler_ = std::move(handler); }
 
   /// Sends a request; `on_response` fires at most once when the matching
@@ -122,13 +147,30 @@ class RpcNode {
     ResponseFn on_response;
   };
 
+  /// A decoded envelope. `kind == kRequest` payloads also carry `rpc_id`;
+  /// responses carry the id they answer; one-ways ignore it.
+  struct Parsed {
+    Kind kind{};
+    std::uint64_t rpc_id = 0;
+    MsgType type{};
+    Bytes body;
+    obs::TraceContext trace{};
+  };
+
+  /// Envelope decode + trace sanitation shared by the single and batched
+  /// delivery paths. nullopt = malformed (already counted).
+  std::optional<Parsed> parse_envelope(BytesView payload);
+
   void deliver(NodeId from, BytesView payload);
+  void deliver_batch(std::vector<Delivery>& batch);
+  void handle_response(NodeId from, const Parsed& msg);
 
   Transport& transport_;
   NodeId id_;
   std::uint64_t next_rpc_id_;  // randomized at construction
   std::unordered_map<std::uint64_t, PendingRpc> pending_;
   RequestHandler request_handler_;
+  BatchRequestHandler batch_request_handler_;
   OnewayHandler oneway_handler_;
   obs::TraceContext incoming_trace_{};
   // Invisible-drop accounting (handles into transport().registry()).

@@ -17,10 +17,25 @@ SimTransport::SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network,
 SimTransport::~SimTransport() { registry_->remove_collector(collector_id_); }
 
 void SimTransport::register_node(NodeId node, DeliverFn deliver) {
-  handlers_[node] = std::move(deliver);
+  // Per-message handlers ride the batch path as a loop over the batch, so
+  // both registration styles share one delivery pipeline.
+  register_node_batched(node, [fn = std::move(deliver)](std::vector<Delivery>& batch) {
+    for (Delivery& d : batch) fn(d.from, d.payload);
+  });
 }
 
-void SimTransport::unregister_node(NodeId node) { handlers_.erase(node); }
+void SimTransport::register_node_batched(NodeId node, BatchDeliverFn deliver) {
+  // Re-registering keeps any pending deliveries: they land on the new
+  // handler, matching the old delivery-time handler lookup.
+  endpoints_[node].deliver = std::move(deliver);
+}
+
+void SimTransport::unregister_node(NodeId node) {
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  stats_.messages_dropped += it->second.pending.size();
+  endpoints_.erase(it);
+}
 
 void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
   ++stats_.messages_sent;
@@ -32,16 +47,54 @@ void SimTransport::send(NodeId from, NodeId to, Bytes payload) {
     return;
   }
 
-  scheduler_.schedule_in(*latency, [this, from, to, payload = std::move(payload)]() {
-    const auto it = handlers_.find(to);
-    if (it == handlers_.end()) {
-      ++stats_.messages_dropped;
-      return;
-    }
-    ++stats_.messages_delivered;
-    stats_.bytes_received += payload.size();
-    it->second(from, payload);
+  scheduler_.schedule_in(*latency, [this, from, to, payload = std::move(payload)]() mutable {
+    arrive(from, to, std::move(payload));
   });
+}
+
+void SimTransport::arrive(NodeId from, NodeId to, Bytes payload) {
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  Endpoint& endpoint = it->second;
+  endpoint.pending.push_back(Delivery{from, std::move(payload)});
+  if (!endpoint.flush_scheduled) {
+    // Zero-delay flush: it runs at this same instant but after every
+    // arrival event already queued for it, so all same-timestamp messages
+    // to this node coalesce into the one batch.
+    endpoint.flush_scheduled = true;
+    scheduler_.schedule_in(0, [this, to] { flush(to); });
+  }
+}
+
+void SimTransport::flush(NodeId to) {
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) return;  // unregistered; arrivals were counted dropped
+  Endpoint& endpoint = it->second;
+  endpoint.flush_scheduled = false;
+  if (endpoint.pending.empty()) return;
+
+  std::vector<Delivery> batch;
+  if (endpoint.pending.size() <= kMaxDeliveryBatch) {
+    batch.swap(endpoint.pending);
+  } else {
+    const auto split = endpoint.pending.begin() + static_cast<std::ptrdiff_t>(kMaxDeliveryBatch);
+    batch.assign(std::make_move_iterator(endpoint.pending.begin()),
+                 std::make_move_iterator(split));
+    endpoint.pending.erase(endpoint.pending.begin(), split);
+    endpoint.flush_scheduled = true;
+    scheduler_.schedule_in(0, [this, to] { flush(to); });
+  }
+
+  stats_.messages_delivered += batch.size();
+  for (const Delivery& d : batch) stats_.bytes_received += d.payload.size();
+
+  // Copy the handler: it may re-register or unregister nodes (invalidating
+  // `endpoint`) while running.
+  const BatchDeliverFn deliver = endpoint.deliver;
+  deliver(batch);
 }
 
 void SimTransport::schedule(SimDuration delay, std::function<void()> callback) {

@@ -1,8 +1,17 @@
 // Transport implementation on top of the discrete-event simulator.
+//
+// Batched delivery under determinism: messages arriving for the same node
+// at the same simulated instant are coalesced into one batch handler call
+// (up to kMaxDeliveryBatch per flush event). Arrival events only append to
+// the node's pending list; a single flush event — scheduled when the list
+// goes non-empty, and therefore strictly after every same-timestamp
+// arrival in scheduler order — drains it. The coalescing is a pure
+// function of the event sequence, so seeded runs stay reproducible.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "net/transport.h"
 #include "sim/network.h"
@@ -22,6 +31,7 @@ class SimTransport final : public Transport {
   ~SimTransport() override;
 
   void register_node(NodeId node, DeliverFn deliver) override;
+  void register_node_batched(NodeId node, BatchDeliverFn deliver) override;
   void unregister_node(NodeId node) override;
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override { return scheduler_.now(); }
@@ -35,9 +45,18 @@ class SimTransport final : public Transport {
   sim::Scheduler& scheduler() { return scheduler_; }
 
  private:
+  struct Endpoint {
+    BatchDeliverFn deliver;
+    std::vector<Delivery> pending;  // same-instant arrivals awaiting flush
+    bool flush_scheduled = false;
+  };
+
+  void arrive(NodeId from, NodeId to, Bytes payload);
+  void flush(NodeId to);
+
   sim::Scheduler& scheduler_;
   sim::NetworkModel network_;
-  std::unordered_map<NodeId, DeliverFn> handlers_;
+  std::unordered_map<NodeId, Endpoint> endpoints_;
   sim::TransportStats stats_;
   std::shared_ptr<obs::Registry> registry_;
   std::shared_ptr<obs::EventLog> events_;

@@ -196,6 +196,26 @@ void TcpTransport::stop() {
     if (reader.joinable()) reader.join();
   }
   if (dispatcher_.joinable()) dispatcher_.join();
+
+  // Every delivery that made it into a ring but never reached its handler
+  // is accounted here; sends racing this shutdown observe the closed ring
+  // and count their own drop. Either way, nothing vanishes silently.
+  std::vector<std::shared_ptr<Endpoint>> endpoints;
+  {
+    std::lock_guard lock(handlers_mutex_);
+    for (auto& [node, endpoint] : endpoints_) endpoints.push_back(endpoint);
+  }
+  std::uint64_t undelivered = 0;
+  std::vector<Delivery> rest;
+  for (const auto& endpoint : endpoints) {
+    endpoint->ring.close();
+    rest.clear();
+    while (endpoint->ring.drain(rest, kMaxDeliveryBatch) != 0) {
+      undelivered += rest.size();
+      rest.clear();
+    }
+  }
+  if (undelivered != 0) count_dropped(undelivered);
 }
 
 void TcpTransport::set_endpoint(NodeId node, TcpEndpoint endpoint) {
@@ -204,13 +224,34 @@ void TcpTransport::set_endpoint(NodeId node, TcpEndpoint endpoint) {
 }
 
 void TcpTransport::register_node(NodeId node, DeliverFn deliver) {
+  register_node_batched(node, [fn = std::move(deliver)](std::vector<Delivery>& batch) {
+    for (Delivery& d : batch) fn(d.from, d.payload);
+  });
+}
+
+void TcpTransport::register_node_batched(NodeId node, BatchDeliverFn deliver) {
   std::lock_guard lock(handlers_mutex_);
-  handlers_[node] = std::move(deliver);
+  auto& endpoint = endpoints_[node];
+  if (endpoint == nullptr) endpoint = std::make_shared<Endpoint>();
+  endpoint->deliver = std::move(deliver);
+  endpoint->registered = true;
 }
 
 void TcpTransport::unregister_node(NodeId node) {
+  // Tombstone, not erase: in-flight ring entries still get drained — and
+  // counted dropped — by the pending drain job or by stop().
   std::lock_guard lock(handlers_mutex_);
-  handlers_.erase(node);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  it->second->registered = false;
+  it->second->deliver = nullptr;
+}
+
+std::shared_ptr<TcpTransport::Endpoint> TcpTransport::find_endpoint(NodeId node) {
+  std::lock_guard lock(handlers_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end() || !it->second->registered) return nullptr;
+  return it->second;
 }
 
 SimTime TcpTransport::now() const {
@@ -236,37 +277,75 @@ void TcpTransport::count_dropped(std::uint64_t n) {
   stats_.messages_dropped += n;
 }
 
-void TcpTransport::enqueue(Clock::time_point at, std::function<void()> run) {
+bool TcpTransport::enqueue(Clock::time_point at, std::function<void()> run) {
   {
     std::lock_guard lock(jobs_mutex_);
-    if (stopping_) return;
+    if (stopping_) return false;
     jobs_.push(Job{at, next_sequence_++, std::move(run)});
   }
   jobs_cv_.notify_all();
+  return true;
 }
 
 void TcpTransport::schedule(SimDuration delay, std::function<void()> callback) {
-  enqueue(Clock::now() + std::chrono::microseconds(delay), std::move(callback));
+  (void)enqueue(Clock::now() + std::chrono::microseconds(delay), std::move(callback));
 }
 
 void TcpTransport::deliver_local(NodeId from, NodeId to, Bytes payload) {
-  enqueue(Clock::now(), [this, from, to, payload = std::move(payload)] {
-    DeliverFn handler;
+  const std::shared_ptr<Endpoint> endpoint = find_endpoint(to);
+  if (endpoint == nullptr) {
+    count_dropped(1);
+    return;
+  }
+  const DeliveryRing::PushResult pushed =
+      endpoint->ring.try_push(Delivery{from, std::move(payload)});
+  if (pushed != DeliveryRing::PushResult::kOk) {
+    // Ring full (consumer behind) or closed (stop() ran): the message is
+    // gone, but never silently — this is the counter the old
+    // enqueue-during-stop path forgot to bump.
+    std::lock_guard lock(jobs_mutex_);
+    ++stats_.messages_dropped;
+    if (pushed == DeliveryRing::PushResult::kFull) ++stats_.ring_full_drops;
+    return;
+  }
+  // One dispatcher wake per burst: only the push that found the ring idle
+  // schedules a drain. During stop the job is refused and the ring remnant
+  // is accounted by stop() itself.
+  if (!endpoint->drain_pending.exchange(true, std::memory_order_acq_rel)) {
+    (void)enqueue(Clock::now(), [this, endpoint] { drain_endpoint(endpoint); });
+  }
+}
+
+void TcpTransport::drain_endpoint(const std::shared_ptr<Endpoint>& endpoint) {
+  // Disarm BEFORE draining: a push landing after this re-arms and
+  // schedules the next drain, so nothing published is ever stranded.
+  endpoint->drain_pending.store(false, std::memory_order_release);
+
+  std::vector<Delivery> batch;
+  endpoint->ring.drain(batch, kMaxDeliveryBatch);
+  if (!batch.empty()) {
+    BatchDeliverFn handler;
     {
       std::lock_guard lock(handlers_mutex_);
-      const auto it = handlers_.find(to);
-      if (it == handlers_.end()) {
-        count_dropped(1);
-        return;
-      }
-      handler = it->second;
+      if (endpoint->registered) handler = endpoint->deliver;
     }
     {
-      std::lock_guard stats_lock(jobs_mutex_);
-      ++stats_.messages_delivered;
+      std::lock_guard lock(jobs_mutex_);
+      if (handler) {
+        stats_.messages_delivered += batch.size();
+      } else {
+        stats_.messages_dropped += batch.size();  // unregistered meanwhile
+      }
     }
-    handler(from, payload);
-  });
+    if (handler) handler(batch);
+  }
+
+  // A capped drain can leave entries behind with no producer left to wake
+  // us; keep draining until the ring is visibly empty.
+  if (!endpoint->ring.empty() &&
+      !endpoint->drain_pending.exchange(true, std::memory_order_acq_rel)) {
+    (void)enqueue(Clock::now(), [this, endpoint] { drain_endpoint(endpoint); });
+  }
 }
 
 void TcpTransport::drop_queue(Conn& conn) {
@@ -305,12 +384,9 @@ void TcpTransport::send(NodeId from, NodeId to, Bytes payload) {
   }
 
   // Local fast path.
-  {
-    std::lock_guard lock(handlers_mutex_);
-    if (handlers_.contains(to)) {
-      deliver_local(from, to, std::move(payload));
-      return;
-    }
+  if (find_endpoint(to) != nullptr) {
+    deliver_local(from, to, std::move(payload));
+    return;
   }
 
   if (payload.size() > kMaxFrame - 8) {

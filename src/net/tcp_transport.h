@@ -19,10 +19,20 @@
 // the other transports, delivery is best-effort datagram semantics and the
 // protocol timeouts handle loss.
 //
+// Receive path: reader threads (and the local-send fast path) push each
+// message into the destination node's bounded lock-free DeliveryRing and
+// wake the dispatcher at most once per burst; the dispatcher drains up to
+// kMaxDeliveryBatch entries per wakeup and hands them to the node's batch
+// handler in one call — the handoff that lets a server batch-verify
+// signatures. This replaces the old one-dispatch-job-per-frame handoff
+// through the jobs mutex.
+//
 // Threading model matches ThreadTransport: every delivery and scheduled
 // callback runs on ONE dispatch thread, so protocol objects stay
 // single-threaded. Initiate client operations via schedule(0, ...).
 // Call stop() before destroying nodes registered on the transport.
+// Messages undelivered at stop() — ring remnants, or sends racing the
+// shutdown — are counted dropped, never silently discarded.
 #pragma once
 
 #include <atomic>
@@ -39,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/ring.h"
 #include "net/transport.h"
 
 namespace securestore::net {
@@ -76,6 +87,7 @@ class TcpTransport final : public Transport {
   void set_endpoint(NodeId node, TcpEndpoint endpoint);
 
   void register_node(NodeId node, DeliverFn deliver) override;
+  void register_node_batched(NodeId node, BatchDeliverFn deliver) override;
   void unregister_node(NodeId node) override;
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override;
@@ -129,12 +141,27 @@ class TcpTransport final : public Transport {
     std::thread writer;
   };
 
-  void enqueue(Clock::time_point at, std::function<void()> run);
+  /// One registered node's delivery state. Kept (as a tombstone with
+  /// registered=false) after unregister_node so in-flight ring entries are
+  /// still accounted.
+  struct Endpoint {
+    DeliveryRing ring;
+    BatchDeliverFn deliver;           // guarded by handlers_mutex_
+    bool registered = true;           // guarded by handlers_mutex_
+    std::atomic<bool> drain_pending{false};
+  };
+
+  /// False when the transport is stopping (the job will never run).
+  bool enqueue(Clock::time_point at, std::function<void()> run);
   void dispatch_loop();
   void accept_loop();
   void reader_loop(std::shared_ptr<Socket> sock, std::shared_ptr<Conn> conn);
   void writer_loop(std::shared_ptr<Conn> conn);
+  /// Ring push + single dispatcher wake per burst; counts the drop itself
+  /// on every failure path (no endpoint, ring full, ring closed).
   void deliver_local(NodeId from, NodeId to, Bytes payload);
+  void drain_endpoint(const std::shared_ptr<Endpoint>& endpoint);
+  std::shared_ptr<Endpoint> find_endpoint(NodeId node);
   /// Registers the socket and spawns its reader; false when stopping (the
   /// socket is then shut down and must not be used).
   bool start_reader(const std::shared_ptr<Conn>& conn, const std::shared_ptr<Socket>& sock);
@@ -154,7 +181,7 @@ class TcpTransport final : public Transport {
   bool stopping_ = false;
 
   mutable std::mutex handlers_mutex_;
-  std::unordered_map<NodeId, DeliverFn> handlers_;
+  std::unordered_map<NodeId, std::shared_ptr<Endpoint>> endpoints_;
 
   mutable std::mutex directory_mutex_;
   std::map<NodeId, TcpEndpoint> directory_;

@@ -1,5 +1,7 @@
 #include "net/thread_transport.h"
 
+#include <algorithm>
+
 namespace securestore::net {
 
 ThreadTransport::ThreadTransport(sim::NetworkModel network,
@@ -27,16 +29,66 @@ void ThreadTransport::stop() {
   }
   jobs_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+
+  // Nothing drains the queues anymore: account every undelivered message
+  // so `sent == delivered + dropped` survives a send racing stop().
+  std::uint64_t undelivered = 0;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    while (!jobs_.empty()) {
+      if (jobs_.top().delivery) ++undelivered;
+      jobs_.pop();
+    }
+  }
+  std::vector<std::shared_ptr<Endpoint>> endpoints;
+  {
+    std::lock_guard lock(handlers_mutex_);
+    for (auto& [node, endpoint] : endpoints_) endpoints.push_back(endpoint);
+  }
+  std::vector<Delivery> rest;
+  for (const auto& endpoint : endpoints) {
+    // close() waits out in-flight pushes; racing senders from here on get
+    // kClosed back and count their own drop.
+    endpoint->ring.close();
+    rest.clear();
+    while (endpoint->ring.drain(rest, kMaxDeliveryBatch) != 0) {
+      undelivered += rest.size();
+      rest.clear();
+    }
+  }
+  if (undelivered != 0) {
+    std::lock_guard lock(jobs_mutex_);
+    stats_.messages_dropped += undelivered;
+  }
+}
+
+void ThreadTransport::set_max_batch(std::size_t n) {
+  max_batch_.store(std::clamp<std::size_t>(n, 1, kMaxDeliveryBatch),
+                   std::memory_order_relaxed);
 }
 
 void ThreadTransport::register_node(NodeId node, DeliverFn deliver) {
+  register_node_batched(node, [fn = std::move(deliver)](std::vector<Delivery>& batch) {
+    for (Delivery& d : batch) fn(d.from, d.payload);
+  });
+}
+
+void ThreadTransport::register_node_batched(NodeId node, BatchDeliverFn deliver) {
   std::lock_guard lock(handlers_mutex_);
-  handlers_[node] = std::move(deliver);
+  auto& endpoint = endpoints_[node];
+  if (endpoint == nullptr) endpoint = std::make_shared<Endpoint>();
+  endpoint->deliver = std::move(deliver);
+  endpoint->registered = true;
 }
 
 void ThreadTransport::unregister_node(NodeId node) {
+  // Tombstone, not erase: in-flight ring entries still get drained — and
+  // counted dropped — by the pending drain job or by stop().
   std::lock_guard lock(handlers_mutex_);
-  handlers_.erase(node);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  it->second->registered = false;
+  it->second->deliver = nullptr;
 }
 
 SimTime ThreadTransport::now() const {
@@ -44,13 +96,14 @@ SimTime ThreadTransport::now() const {
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count());
 }
 
-void ThreadTransport::enqueue(Clock::time_point at, std::function<void()> run) {
+bool ThreadTransport::enqueue(Clock::time_point at, std::function<void()> run, bool delivery) {
   {
     std::lock_guard lock(jobs_mutex_);
-    if (stopping_) return;
-    jobs_.push(Job{at, next_sequence_++, std::move(run)});
+    if (stopping_) return false;
+    jobs_.push(Job{at, next_sequence_++, std::move(run), delivery});
   }
   jobs_cv_.notify_all();
+  return true;
 }
 
 void ThreadTransport::send(NodeId from, NodeId to, Bytes payload) {
@@ -66,30 +119,87 @@ void ThreadTransport::send(NodeId from, NodeId to, Bytes payload) {
     }
   }
 
-  enqueue(Clock::now() + std::chrono::microseconds(*latency),
-          [this, from, to, payload = std::move(payload)] {
-            DeliverFn handler;
-            {
-              std::lock_guard lock(handlers_mutex_);
-              const auto it = handlers_.find(to);
-              if (it == handlers_.end()) {
-                std::lock_guard stats_lock(jobs_mutex_);
-                ++stats_.messages_dropped;
-                return;
-              }
-              handler = it->second;  // copy, so delivery runs unlocked
-            }
-            {
-              std::lock_guard stats_lock(jobs_mutex_);
-              ++stats_.messages_delivered;
-              stats_.bytes_received += payload.size();
-            }
-            handler(from, payload);
-          });
+  if (*latency == 0) {
+    // Zero modeled latency: straight into the destination ring from the
+    // caller's thread, no timer hop and no jobs-mutex handoff.
+    deliver_to_ring(from, to, std::move(payload));
+    return;
+  }
+  if (!enqueue(Clock::now() + std::chrono::microseconds(*latency),
+               [this, from, to, payload = std::move(payload)]() mutable {
+                 deliver_to_ring(from, to, std::move(payload));
+               },
+               /*delivery=*/true)) {
+    std::lock_guard lock(jobs_mutex_);
+    ++stats_.messages_dropped;  // stopping: this message will never run
+  }
+}
+
+void ThreadTransport::deliver_to_ring(NodeId from, NodeId to, Bytes payload) {
+  std::shared_ptr<Endpoint> endpoint;
+  {
+    std::lock_guard lock(handlers_mutex_);
+    const auto it = endpoints_.find(to);
+    if (it != endpoints_.end() && it->second->registered) endpoint = it->second;
+  }
+  if (endpoint == nullptr) {
+    std::lock_guard lock(jobs_mutex_);
+    ++stats_.messages_dropped;
+    return;
+  }
+  const DeliveryRing::PushResult pushed =
+      endpoint->ring.try_push(Delivery{from, std::move(payload)});
+  if (pushed != DeliveryRing::PushResult::kOk) {
+    std::lock_guard lock(jobs_mutex_);
+    ++stats_.messages_dropped;
+    if (pushed == DeliveryRing::PushResult::kFull) ++stats_.ring_full_drops;
+    return;
+  }
+  // One wakeup per burst: only the push that found the ring idle schedules
+  // a drain. If the transport is stopping the job is refused and the entry
+  // stays in the ring for stop() to account.
+  if (!endpoint->drain_pending.exchange(true, std::memory_order_acq_rel)) {
+    (void)enqueue(Clock::now(), [this, endpoint] { drain_endpoint(endpoint); });
+  }
+}
+
+void ThreadTransport::drain_endpoint(const std::shared_ptr<Endpoint>& endpoint) {
+  // Disarm BEFORE draining: a push that lands after this re-arms and
+  // schedules the next drain, so nothing published is ever stranded.
+  endpoint->drain_pending.store(false, std::memory_order_release);
+
+  std::vector<Delivery> batch;
+  endpoint->ring.drain(batch, max_batch_.load(std::memory_order_relaxed));
+  if (!batch.empty()) {
+    BatchDeliverFn handler;
+    {
+      std::lock_guard lock(handlers_mutex_);
+      if (endpoint->registered) handler = endpoint->deliver;
+    }
+    std::size_t bytes = 0;
+    for (const Delivery& d : batch) bytes += d.payload.size();
+    {
+      std::lock_guard lock(jobs_mutex_);
+      if (handler) {
+        stats_.messages_delivered += batch.size();
+        stats_.bytes_received += bytes;
+      } else {
+        stats_.messages_dropped += batch.size();  // unregistered meanwhile
+      }
+    }
+    if (handler) handler(batch);
+  }
+
+  // A capped drain can leave entries behind with no producer left to wake
+  // us; keep draining until the ring is visibly empty.
+  if (!endpoint->ring.empty() &&
+      !endpoint->drain_pending.exchange(true, std::memory_order_acq_rel)) {
+    (void)enqueue(Clock::now(), [this, endpoint] { drain_endpoint(endpoint); });
+  }
 }
 
 void ThreadTransport::schedule(SimDuration delay, std::function<void()> callback) {
-  enqueue(Clock::now() + std::chrono::microseconds(delay), std::move(callback));
+  (void)enqueue(Clock::now() + std::chrono::microseconds(delay), std::move(callback));
 }
 
 void ThreadTransport::dispatch_loop() {

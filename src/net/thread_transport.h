@@ -11,18 +11,34 @@
 // objects themselves stay single-threaded, exactly as under the simulator.
 // `send`/`schedule`/`register_node` may be called from any thread.
 //
+// Delivery hot path: each registered node owns a bounded lock-free
+// DeliveryRing. A due message is pushed into the destination's ring (two
+// atomic ops) and the dispatcher is woken at most once per burst — the
+// first push into an idle ring schedules a drain job; subsequent pushes
+// ride for free. The drain hands the batch (up to `max_batch`, default
+// kMaxDeliveryBatch) to the node's handler in one call, which is what lets
+// a server verify a whole batch of signatures per wakeup. This replaces
+// the old per-message mutex-and-condvar handoff: the jobs mutex is now
+// taken once per batch, not once per message.
+//
 // Shutdown: call `stop()` (joins the dispatch thread, drops pending jobs)
 // BEFORE destroying servers/clients registered on the transport; pending
-// jobs may otherwise run against destroyed objects.
+// jobs may otherwise run against destroyed objects. Messages undelivered
+// at stop — queued jobs and ring remnants alike — are counted dropped, so
+// messages_sent == messages_delivered + messages_dropped holds across a
+// shutdown race.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
 
+#include "net/ring.h"
 #include "net/transport.h"
 #include "sim/network.h"
 
@@ -41,6 +57,7 @@ class ThreadTransport final : public Transport {
   ThreadTransport& operator=(const ThreadTransport&) = delete;
 
   void register_node(NodeId node, DeliverFn deliver) override;
+  void register_node_batched(NodeId node, BatchDeliverFn deliver) override;
   void unregister_node(NodeId node) override;
   void send(NodeId from, NodeId to, Bytes payload) override;
   /// Microseconds of wall-clock time since construction.
@@ -60,8 +77,14 @@ class ThreadTransport final : public Transport {
   obs::Registry& registry() override { return *registry_; }
   obs::EventLog& events() override { return *events_; }
 
-  /// Joins the dispatch thread; idempotent.
+  /// Joins the dispatch thread; idempotent. Undelivered messages (queued
+  /// jobs, ring remnants) are counted as dropped.
   void stop();
+
+  /// Caps how many pending messages one drain hands a batch handler.
+  /// Clamped to [1, kMaxDeliveryBatch]; 1 disables batching (benches A/B
+  /// the verify pipeline with this).
+  void set_max_batch(std::size_t n);
 
   sim::NetworkModel& network() { return network_; }
 
@@ -72,6 +95,7 @@ class ThreadTransport final : public Transport {
     Clock::time_point at;
     std::uint64_t sequence;
     std::function<void()> run;
+    bool delivery = false;  // carries a message: dropping it must be counted
   };
   struct Later {
     bool operator()(const Job& a, const Job& b) const {
@@ -80,8 +104,21 @@ class ThreadTransport final : public Transport {
     }
   };
 
-  void enqueue(Clock::time_point at, std::function<void()> run);
+  /// One registered node's delivery state. Kept (as a tombstone with
+  /// registered=false) after unregister_node so in-flight ring entries are
+  /// still accounted.
+  struct Endpoint {
+    DeliveryRing ring;
+    BatchDeliverFn deliver;           // guarded by handlers_mutex_
+    bool registered = true;           // guarded by handlers_mutex_
+    std::atomic<bool> drain_pending{false};
+  };
+
+  /// False when the transport is stopping (the job will never run).
+  bool enqueue(Clock::time_point at, std::function<void()> run, bool delivery = false);
   void dispatch_loop();
+  void deliver_to_ring(NodeId from, NodeId to, Bytes payload);
+  void drain_endpoint(const std::shared_ptr<Endpoint>& endpoint);
 
   const Clock::time_point start_ = Clock::now();
 
@@ -92,11 +129,12 @@ class ThreadTransport final : public Transport {
   bool stopping_ = false;
 
   mutable std::mutex handlers_mutex_;
-  std::unordered_map<NodeId, DeliverFn> handlers_;
+  std::unordered_map<NodeId, std::shared_ptr<Endpoint>> endpoints_;
 
   sim::NetworkModel network_;  // guarded by jobs_mutex_ (rng state)
   sim::TransportStats stats_;  // guarded by jobs_mutex_
   mutable sim::TransportStats snapshot_;  // stats() return storage
+  std::atomic<std::size_t> max_batch_{kMaxDeliveryBatch};
 
   std::shared_ptr<obs::Registry> registry_;
   std::shared_ptr<obs::EventLog> events_;

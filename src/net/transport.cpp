@@ -1,6 +1,20 @@
 #include "net/transport.h"
 
+#include <memory>
+
 namespace securestore::net {
+
+void Transport::register_node_batched(NodeId node, BatchDeliverFn deliver) {
+  // Adapter for transports without native batching: each message arrives
+  // as a batch of one. Semantics (ordering, drop accounting) are exactly
+  // the per-message path's.
+  auto shared = std::make_shared<BatchDeliverFn>(std::move(deliver));
+  register_node(node, [shared](NodeId from, BytesView payload) {
+    std::vector<Delivery> one;
+    one.push_back(Delivery{from, Bytes(payload.begin(), payload.end())});
+    (*shared)(one);
+  });
+}
 
 obs::Registry& Transport::registry() {
   // Fallback for Transport implementations that do not carry their own
@@ -34,6 +48,7 @@ void fold_transport_stats(obs::Registry& registry, const sim::TransportStats& st
   set("transport.connect_failures", stats.connect_failures);
   set("transport.send_queue_drops", stats.send_queue_drops);
   set("transport.send_queue_highwater", stats.send_queue_highwater);
+  set("transport.ring_full_drops", stats.ring_full_drops);
 }
 
 }  // namespace securestore::net

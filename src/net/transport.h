@@ -8,7 +8,9 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
+#include "net/ring.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "sim/metrics.h"
@@ -26,11 +28,29 @@ class Transport {
   /// authenticity is still the protocol's job via signatures.
   using DeliverFn = std::function<void(NodeId from, BytesView payload)>;
 
+  /// Batched receive handler: every message the transport had pending for
+  /// the node at wakeup time, in arrival order, up to kMaxDeliveryBatch per
+  /// call. Receivers that can amortize per-message work across a batch
+  /// (signature verification above all) register this instead of DeliverFn.
+  using BatchDeliverFn = std::function<void(std::vector<Delivery>& batch)>;
+
+  /// Ceiling on how many pending messages a transport hands a batch
+  /// handler per wakeup — bounds both handler latency and the size of the
+  /// downstream signature-verification batch.
+  static constexpr std::size_t kMaxDeliveryBatch = 32;
+
   virtual ~Transport() = default;
 
   /// Registers a node's receive handler. A node must be registered before
   /// messages can be delivered to it; re-registering replaces the handler.
   virtual void register_node(NodeId node, DeliverFn deliver) = 0;
+
+  /// Batched registration. Transports with native batching (sim, thread,
+  /// TCP) coalesce every message pending at a dispatch wakeup into one
+  /// handler call; the default implementation adapts per-message delivery
+  /// by wrapping each message in a batch of one, so minimal Transport
+  /// implementations (test doubles) work unchanged.
+  virtual void register_node_batched(NodeId node, BatchDeliverFn deliver);
 
   /// Removes a node; pending messages to it are dropped on delivery.
   virtual void unregister_node(NodeId node) = 0;

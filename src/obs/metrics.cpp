@@ -17,7 +17,11 @@ double HistogramSnapshot::quantile(double q) const {
       const double lower = i == 0 ? 0.0 : bounds[i - 1];
       const double upper = bounds[i];
       const double fraction = std::max(0.0, (target - cumulative) / in_bucket);
-      return lower + (upper - lower) * fraction;
+      // Interpolation pretends the bucket's observations spread uniformly
+      // to its upper bound, so a narrow distribution high in a wide bucket
+      // would report a quantile above anything ever recorded. Never
+      // extrapolate past the observed max.
+      return std::min(lower + (upper - lower) * fraction, max);
     }
     cumulative += in_bucket;
   }

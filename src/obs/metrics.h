@@ -106,8 +106,10 @@ struct HistogramSnapshot {
   /// Quantile estimate for q in [0, 1]: find the bucket holding the q·count
   /// rank and interpolate linearly between its bounds (the first bucket's
   /// lower bound is 0). Ranks landing in the overflow bucket clamp to the
-  /// observed max. Exact when every observation in the target bucket is
-  /// uniformly spread — the usual fixed-bucket approximation.
+  /// observed max, and interpolated estimates never exceed it either — a
+  /// p99 above every recorded value is a lie, not an approximation. Exact
+  /// when every observation in the target bucket is uniformly spread — the
+  /// usual fixed-bucket approximation.
   double quantile(double q) const;
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }

@@ -51,6 +51,9 @@ struct TransportStats {
   std::uint64_t send_queue_drops = 0;
   /// Highest depth (in frames) any send queue ever reached.
   std::uint64_t send_queue_highwater = 0;
+  /// Messages dropped because a receiving node's delivery ring was full
+  /// (thread/TCP transports; the consumer is not keeping up).
+  std::uint64_t ring_full_drops = 0;
 
   void reset() { *this = TransportStats{}; }
 };

@@ -249,5 +249,51 @@ TEST(ClientProtocol, ReplayedOldContextWriteRefusedByServers) {
   EXPECT_EQ(to_string(*result), "v2");
 }
 
+TEST(ClientProtocol, ExpiredDeadlineFailsWithDeadlineError) {
+  // op_timeout = 0 makes every operation's absolute deadline "now": the
+  // round budget must clamp to zero and fail the op with a deadline error
+  // instead of wrapping `deadline - now` into a huge round timeout.
+  ClusterOptions options;
+  options.start_gossip = false;
+  options.op_timeout = 0;
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  auto client = cluster.make_client(ClientId{1}, client_options());
+  SyncClient sync(*client, cluster.scheduler());
+  const auto result = sync.write(kX, to_bytes("never lands"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), Error::kTimeout);
+  EXPECT_EQ(result.detail(), "operation deadline passed");
+
+  const auto* exceeded = cluster.registry().find_counter("client.deadline_exceeded");
+  ASSERT_NE(exceeded, nullptr);
+  EXPECT_GE(exceeded->value(), 1u);
+}
+
+TEST(ClientProtocol, BackoffOvershootingDeadlineFailsInsteadOfHanging) {
+  // All servers down: every round times out and the client backs off until
+  // the retry would overshoot the whole-op deadline. The op must then fail
+  // with a deadline-flavored error in bounded virtual time — the underflow
+  // failure mode was a wrapped budget issuing an absurdly long round.
+  ClusterOptions options;
+  options.start_gossip = false;
+  options.op_timeout = milliseconds(500);
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+  for (std::size_t i = 0; i < cluster.server_count(); ++i) cluster.stop_server(i);
+
+  auto client_options_short = client_options();
+  client_options_short.round_timeout = milliseconds(100);
+  auto client = cluster.make_client(ClientId{1}, client_options_short);
+  SyncClient sync(*client, cluster.scheduler());
+  const auto result = sync.write(kX, to_bytes("never lands"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), Error::kTimeout);
+  // Bounded failure: well before the sim could have run a wrapped
+  // (multi-hour) round to completion.
+  EXPECT_LE(cluster.scheduler().now(), seconds(2));
+}
+
 }  // namespace
 }  // namespace securestore

@@ -5,6 +5,7 @@
 
 #include "crypto/chacha20.h"
 #include "crypto/ed25519.h"
+#include "crypto/ed25519_batch.h"
 #include "crypto/fe25519.h"
 #include "crypto/gf256.h"
 #include "crypto/hmac.h"
@@ -300,6 +301,136 @@ TEST(Ed25519, MalformedInputsRejected) {
   Bytes high_s = signature;
   for (std::size_t i = 32; i < 64; ++i) high_s[i] = 0xff;
   EXPECT_FALSE(ed25519_verify(pair.public_key, message, high_s));
+}
+
+// ---------------------------------------------------------------------------
+// Ed25519 batch verification
+// ---------------------------------------------------------------------------
+
+struct SignedBatch {
+  std::vector<KeyPair> pairs;
+  std::vector<Bytes> messages;
+  std::vector<Bytes> signatures;
+
+  std::vector<BatchVerifyItem> items() const {
+    std::vector<BatchVerifyItem> out;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      out.push_back({pairs[i].public_key, messages[i], signatures[i]});
+    }
+    return out;
+  }
+};
+
+SignedBatch make_signed_batch(Rng& rng, std::size_t count) {
+  SignedBatch batch;
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.pairs.push_back(KeyPair::generate(rng));
+    batch.messages.push_back(rng.bytes(1 + rng.next_below(120)));
+    batch.signatures.push_back(ed25519_sign(batch.pairs.back().seed, batch.messages.back()));
+  }
+  return batch;
+}
+
+TEST(Ed25519Batch, AllValidBatchAccepts) {
+  Rng rng(500);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{16}}) {
+    const SignedBatch batch = make_signed_batch(rng, count);
+    const BatchVerifyResult result = ed25519_batch_verify(batch.items());
+    EXPECT_TRUE(result.all_valid);
+    EXPECT_FALSE(result.used_fallback);
+    for (const bool ok : result.valid) EXPECT_TRUE(ok);
+  }
+}
+
+TEST(Ed25519Batch, EmptyBatchTriviallyValid) {
+  const BatchVerifyResult result = ed25519_batch_verify({});
+  EXPECT_TRUE(result.all_valid);
+  EXPECT_TRUE(result.valid.empty());
+}
+
+TEST(Ed25519Batch, SingleBadSignatureIsolated) {
+  Rng rng(501);
+  SignedBatch batch = make_signed_batch(rng, 8);
+  batch.signatures[3][10] ^= 0x40;  // corrupt R of one signature
+  const BatchVerifyResult result = ed25519_batch_verify(batch.items());
+  EXPECT_FALSE(result.all_valid);
+  EXPECT_TRUE(result.used_fallback);
+  for (std::size_t i = 0; i < result.valid.size(); ++i) {
+    EXPECT_EQ(result.valid[i], i != 3) << "item " << i;
+  }
+}
+
+TEST(Ed25519Batch, WrongMessageIsolated) {
+  Rng rng(502);
+  SignedBatch batch = make_signed_batch(rng, 6);
+  batch.messages[0][0] ^= 1;
+  batch.messages[5][0] ^= 1;
+  const BatchVerifyResult result = ed25519_batch_verify(batch.items());
+  EXPECT_FALSE(result.all_valid);
+  for (std::size_t i = 0; i < result.valid.size(); ++i) {
+    EXPECT_EQ(result.valid[i], i != 0 && i != 5) << "item " << i;
+  }
+}
+
+TEST(Ed25519Batch, MalformedItemsRejectedWithoutPoisoningBatch) {
+  Rng rng(503);
+  SignedBatch batch = make_signed_batch(rng, 4);
+  // Structurally bad items: truncated signature, non-point public key,
+  // non-canonical S. None of them may affect the healthy items' verdicts.
+  batch.signatures[0] = Bytes(63, 0);
+  batch.pairs[1].public_key = Bytes(32, 0xff);
+  for (std::size_t i = 32; i < 64; ++i) batch.signatures[2][i] = 0xff;
+  const BatchVerifyResult result = ed25519_batch_verify(batch.items());
+  EXPECT_FALSE(result.all_valid);
+  EXPECT_FALSE(result.valid[0]);
+  EXPECT_FALSE(result.valid[1]);
+  EXPECT_FALSE(result.valid[2]);
+  EXPECT_TRUE(result.valid[3]);
+  // Structural rejects never enter the combined equation, so a clean
+  // remainder needs no per-message fallback pass.
+  EXPECT_FALSE(result.used_fallback);
+}
+
+TEST(Ed25519Batch, AgreesWithSingleVerifyOnRandomTampering) {
+  Rng rng(504);
+  for (int trial = 0; trial < 6; ++trial) {
+    SignedBatch batch = make_signed_batch(rng, 5);
+    // Tamper a random subset in random ways.
+    std::vector<bool> expected(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (rng.next_below(2) == 0) {
+        const std::size_t which = rng.next_below(3);
+        if (which == 0) batch.messages[i].push_back(0x01);
+        if (which == 1) batch.signatures[i][rng.next_below(64)] ^= 0x80;
+        if (which == 2) batch.pairs[i].public_key[5] ^= 0x02;
+      }
+      expected[i] =
+          ed25519_verify(batch.pairs[i].public_key, batch.messages[i], batch.signatures[i]);
+    }
+    const BatchVerifyResult result = ed25519_batch_verify(batch.items());
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(result.valid[i], expected[i]) << "trial " << trial << " item " << i;
+    }
+  }
+}
+
+TEST(Ed25519Batch, DeterministicAcrossCalls) {
+  Rng rng(505);
+  SignedBatch batch = make_signed_batch(rng, 7);
+  batch.signatures[2][40] ^= 0x10;
+  const BatchVerifyResult first = ed25519_batch_verify(batch.items());
+  const BatchVerifyResult second = ed25519_batch_verify(batch.items());
+  EXPECT_EQ(first.valid, second.valid);
+  EXPECT_EQ(first.used_fallback, second.used_fallback);
+}
+
+TEST(Ed25519Batch, MetersOneVerifyPerItem) {
+  Rng rng(506);
+  const SignedBatch batch = make_signed_batch(rng, 9);
+  auto& meter = CryptoMeter::instance();
+  const std::uint64_t before = meter.verifies;
+  ed25519_batch_verify(batch.items());
+  EXPECT_EQ(meter.verifies - before, 9u);
 }
 
 // ---------------------------------------------------------------------------

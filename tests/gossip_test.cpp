@@ -4,6 +4,7 @@
 
 #include "core/sync.h"
 #include "testkit/cluster.h"
+#include "util/serial.h"
 
 namespace securestore {
 namespace {
@@ -169,6 +170,62 @@ TEST(Gossip, DigestExchangeIsBidirectional) {
 
   EXPECT_NE(cluster.server(0).store().current(ItemId{2}), nullptr);
   EXPECT_NE(cluster.server(1).store().current(ItemId{1}), nullptr);
+}
+
+TEST(Gossip, BadSignatureInBatchRejectsOnlyThatRecord) {
+  // Byzantine peer slips one forged record into a multi-record update. The
+  // batch verify path must fall back per-record: honest records apply, the
+  // forged one is rejected and counted — one bad signature cannot poison
+  // the batch (or sneak through under its cover).
+  ClusterOptions options;
+  options.n = 2;
+  options.b = 0;
+  options.start_gossip = false;
+  Cluster cluster(options);
+  cluster.set_group_policy(mrc_policy());
+
+  auto client = cluster.make_client(ClientId{1}, client_options());
+  SyncClient sync(*client, cluster.scheduler());
+  client->set_server_preference({NodeId{0}, NodeId{1}});
+  ASSERT_TRUE(sync.write(ItemId{1}, to_bytes("good one")).ok());
+  ASSERT_TRUE(sync.write(ItemId{2}, to_bytes("to be forged")).ok());
+  ASSERT_TRUE(sync.write(ItemId{3}, to_bytes("good two")).ok());
+  // b = 0: the writes land only on the preferred server 0.
+  ASSERT_EQ(cluster.server(1).store().current(ItemId{1}), nullptr);
+
+  std::vector<core::WriteRecord> records;
+  for (const ItemId item : {ItemId{1}, ItemId{2}, ItemId{3}}) {
+    const core::WriteRecord* record = cluster.server(0).store().current(item);
+    ASSERT_NE(record, nullptr);
+    records.push_back(*record);
+  }
+  records[1].signature[0] ^= 0x01;
+
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const core::WriteRecord& record : records) {
+    record.encode(w);
+    w.u8(0);  // no origin trace context
+  }
+  const Bytes body = w.take();
+
+  auto& received = cluster.registry().counter("gossip.records_received");
+  auto& rejected = cluster.registry().counter("gossip.records_rejected");
+  const std::uint64_t received_before = received.value();
+  const std::uint64_t rejected_before = rejected.value();
+
+  cluster.server(1).gossip().handle(NodeId{0}, net::MsgType::kGossipUpdates, body);
+
+  const core::WriteRecord* good_one = cluster.server(1).store().current(ItemId{1});
+  const core::WriteRecord* forged = cluster.server(1).store().current(ItemId{2});
+  const core::WriteRecord* good_two = cluster.server(1).store().current(ItemId{3});
+  ASSERT_NE(good_one, nullptr);
+  EXPECT_EQ(to_string(good_one->value), "good one");
+  EXPECT_EQ(forged, nullptr);
+  ASSERT_NE(good_two, nullptr);
+  EXPECT_EQ(to_string(good_two->value), "good two");
+  EXPECT_EQ(received.value() - received_before, 3u);
+  EXPECT_EQ(rejected.value() - rejected_before, 1u);
 }
 
 }  // namespace

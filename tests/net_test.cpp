@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 
+#include "net/fault_transport.h"
 #include "net/quorum.h"
 #include "net/rpc.h"
 #include "net/sim_transport.h"
@@ -103,6 +104,58 @@ TEST(SimTransport, StatsCountBytes) {
   EXPECT_EQ(h.transport.stats().messages_sent, 0u);
 }
 
+TEST(SimTransport, SameTickDeliveriesCoalesceIntoOneBatch) {
+  // Fixed latency, no jitter: five sends at t=0 all arrive at the same sim
+  // instant, and the zero-delay flush event hands them to the batch handler
+  // as ONE batch — the coalescing the server's batched verify pipeline
+  // feeds on.
+  Harness h(sim::LinkProfile{milliseconds(10), 0, 0.0});
+  std::vector<std::size_t> batch_sizes;
+  h.transport.register_node_batched(NodeId{1}, [&](std::vector<Delivery>& batch) {
+    batch_sizes.push_back(batch.size());
+    for (const Delivery& d : batch) EXPECT_EQ(d.from, NodeId{0});
+  });
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    h.transport.send(NodeId{0}, NodeId{1}, Bytes{i});
+  }
+  h.scheduler.run_until_idle();
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes.front(), 5u);
+  EXPECT_EQ(h.transport.stats().messages_delivered, 5u);
+}
+
+TEST(SimTransport, OversizedBurstSplitsAtMaxBatch) {
+  Harness h(sim::LinkProfile{milliseconds(10), 0, 0.0});
+  std::vector<std::size_t> batch_sizes;
+  h.transport.register_node_batched(NodeId{1}, [&](std::vector<Delivery>& batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  const std::size_t count = Transport::kMaxDeliveryBatch + 8;
+  for (std::size_t i = 0; i < count; ++i) {
+    h.transport.send(NodeId{0}, NodeId{1}, to_bytes("m"));
+  }
+  h.scheduler.run_until_idle();
+  ASSERT_EQ(batch_sizes.size(), 2u);
+  EXPECT_EQ(batch_sizes[0], Transport::kMaxDeliveryBatch);
+  EXPECT_EQ(batch_sizes[1], 8u);
+}
+
+TEST(SimTransport, BatchCoalescingIsDeterministicAcrossRuns) {
+  // Coalescing is a pure function of the seeded event sequence: two runs
+  // with the same seed and jittered latencies produce identical batch
+  // shapes. The deterministic chaos replay depends on this.
+  const auto run = [] {
+    Harness h(sim::LinkProfile{milliseconds(1), microseconds(500), 0.0}, /*seed=*/42);
+    std::vector<std::size_t> sizes;
+    h.transport.register_node_batched(
+        NodeId{1}, [&](std::vector<Delivery>& batch) { sizes.push_back(batch.size()); });
+    for (int i = 0; i < 20; ++i) h.transport.send(NodeId{0}, NodeId{1}, to_bytes("m"));
+    h.scheduler.run_until_idle();
+    return sizes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(Rpc, RequestResponse) {
   Harness h;
   RpcNode server(h.transport, NodeId{0});
@@ -173,6 +226,65 @@ TEST(Rpc, OnewayDelivery) {
   h.scheduler.run_until_idle();
   ASSERT_TRUE(received.has_value());
   EXPECT_EQ(*received, MsgType::kGossipDigest);
+}
+
+TEST(Rpc, BatchRequestHandlerReceivesCoalescedRequests) {
+  // Three requests landing in one transport batch reach the batch handler
+  // in ONE call, and every caller still gets its own correctly-correlated
+  // response.
+  Harness h(sim::LinkProfile{milliseconds(5), 0, 0.0});
+  RpcNode server(h.transport, NodeId{0});
+  RpcNode client(h.transport, NodeId{1});
+
+  std::vector<std::size_t> batch_sizes;
+  server.set_batch_request_handler([&](std::vector<IncomingRequest>& batch) {
+    batch_sizes.push_back(batch.size());
+    std::vector<std::optional<std::pair<MsgType, Bytes>>> out;
+    for (const IncomingRequest& req : batch) {
+      EXPECT_EQ(req.type, MsgType::kRead);
+      Bytes echoed = req.body;
+      echoed.push_back('!');
+      out.emplace_back(std::make_pair(MsgType::kAck, std::move(echoed)));
+    }
+    return out;
+  });
+
+  int replies = 0;
+  for (int i = 0; i < 3; ++i) {
+    client.send_request(NodeId{0}, MsgType::kRead, to_bytes("q"),
+                        [&](NodeId from, MsgType type, BytesView body) {
+                          EXPECT_EQ(from, NodeId{0});
+                          EXPECT_EQ(type, MsgType::kAck);
+                          EXPECT_EQ(to_string(Bytes(body.begin(), body.end())), "q!");
+                          ++replies;
+                        });
+  }
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(replies, 3);
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes.front(), 3u);
+}
+
+TEST(Rpc, ShortBatchResultLeavesTailSilent) {
+  // A batch handler returning fewer entries than requests means "no
+  // response" for the tail — same semantics as a nullopt entry, never an
+  // out-of-bounds read or a garbage reply.
+  Harness h(sim::LinkProfile{milliseconds(5), 0, 0.0});
+  RpcNode server(h.transport, NodeId{0});
+  RpcNode client(h.transport, NodeId{1});
+  server.set_batch_request_handler([](std::vector<IncomingRequest>& batch) {
+    std::vector<std::optional<std::pair<MsgType, Bytes>>> out;
+    if (!batch.empty()) out.emplace_back(std::make_pair(MsgType::kAck, Bytes{}));
+    return out;  // only the first request gets an answer
+  });
+
+  int replies = 0;
+  for (int i = 0; i < 3; ++i) {
+    client.send_request(NodeId{0}, MsgType::kRead, to_bytes("q"),
+                        [&](NodeId, MsgType, BytesView) { ++replies; });
+  }
+  h.scheduler.run_until_idle();
+  EXPECT_EQ(replies, 1);
 }
 
 TEST(Rpc, MalformedDatagramIgnored) {
@@ -393,6 +505,70 @@ TEST(Quorum, EmptyTargetsExhaustImmediately) {
       client, {}, MsgType::kRead, {}, [](NodeId, MsgType, BytesView) { return true; },
       [&](QuorumOutcome result, std::size_t) { outcome = result; });
   EXPECT_EQ(outcome, QuorumOutcome::kExhausted);
+}
+
+TEST(Quorum, DuplicateTargetEntriesCountDistinctResponders) {
+  // A target list naming one server twice sends it two rpcs, but the quorum
+  // tally counts responders: the second reply from the same node must not
+  // advance the count, and exhaustion means "every DISTINCT target spoke".
+  Harness h;
+  std::vector<std::unique_ptr<RpcNode>> servers;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    servers.push_back(std::make_unique<RpcNode>(h.transport, NodeId{i}));
+    servers.back()->set_request_handler([](NodeId, MsgType, BytesView) {
+      return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+    });
+  }
+  RpcNode client(h.transport, NodeId{100});
+
+  std::size_t on_reply_calls = 0;
+  std::optional<QuorumOutcome> outcome;
+  std::size_t final_count = 0;
+  QuorumCall::start(
+      client, {NodeId{0}, NodeId{0}, NodeId{1}}, MsgType::kRead, {},
+      [&](NodeId, MsgType, BytesView) {
+        ++on_reply_calls;
+        return false;
+      },
+      [&](QuorumOutcome result, std::size_t count) {
+        outcome = result;
+        final_count = count;
+      });
+  h.scheduler.run_until_idle();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, QuorumOutcome::kExhausted);
+  EXPECT_EQ(on_reply_calls, 2u);
+  EXPECT_EQ(final_count, 2u);
+}
+
+TEST(Quorum, DuplicatedFramesCannotFakeAQuorum) {
+  // Chaos rule: every frame is duplicated (requests and responses). A
+  // collector that would be satisfied by hearing the same server twice must
+  // never be — replayed frames are deduplicated before the tally.
+  Harness h;
+  FaultInjectingTransport chaotic(h.transport, /*seed=*/7);
+  FaultRule duplicate_everything;
+  duplicate_everything.duplicate = 1.0;
+  chaotic.set_default_rule(duplicate_everything);
+
+  RpcNode server(chaotic, NodeId{0});
+  server.set_request_handler([](NodeId, MsgType, BytesView) {
+    return std::make_optional(std::make_pair(MsgType::kAck, Bytes{}));
+  });
+  RpcNode client(chaotic, NodeId{100});
+
+  std::size_t replies = 0;
+  std::optional<QuorumOutcome> outcome;
+  QuorumCall::start(
+      client, {NodeId{0}}, MsgType::kRead, {},
+      [&](NodeId, MsgType, BytesView) { return ++replies >= 2; },
+      [&](QuorumOutcome result, std::size_t) { outcome = result; },
+      QuorumCall::Options{milliseconds(500)});
+  h.scheduler.run_until_idle();
+  EXPECT_GT(chaotic.injected_count(), 0u);  // the duplicate rule really fired
+  EXPECT_EQ(replies, 1u);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_NE(*outcome, QuorumOutcome::kSatisfied);
 }
 
 TEST(Quorum, DoneFiresExactlyOnce) {

@@ -70,10 +70,27 @@ TEST(Histogram, KnownAnswerQuantiles) {
   // Rank q*count = 5 lands at the end of the first bucket [0, 10]:
   // interpolation gives exactly its upper bound.
   EXPECT_DOUBLE_EQ(snap.p50(), 10.0);
-  // Rank 9 is the 4th of 5 observations in [10, 20]: 10 + 10 * 4/5.
-  EXPECT_DOUBLE_EQ(snap.quantile(0.9), 18.0);
+  // Rank 9 is the 4th of 5 observations in [10, 20]: interpolation says
+  // 10 + 10 * 4/5 = 18, but nothing above 15 was ever recorded — the
+  // estimate clamps to the observed max.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.9), 15.0);
   EXPECT_DOUBLE_EQ(snap.quantile(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 15.0);
+}
+
+TEST(Histogram, TopBucketQuantileNeverExceedsObservedMax) {
+  // Every observation is 3.0, landing in the (2, 5] bucket. Naive
+  // interpolation would report p99 ~= 4.97 — past anything recorded.
+  obs::Histogram histogram({1.0, 2.0, 5.0});
+  for (int i = 0; i < 100; ++i) histogram.observe(3.0);
+
+  const obs::HistogramSnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.max, 3.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(snap.p99(), 3.0);
+  // Quantiles below the max still interpolate normally.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.1), 2.3);
 }
 
 TEST(Histogram, OverflowBucketClampsToObservedMax) {
