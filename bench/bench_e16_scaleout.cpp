@@ -1,0 +1,203 @@
+// Experiment E16 — sharded scale-out (DESIGN.md §11).
+//
+// One claim: because a shard is a full (n, b) SecureStore replica group and
+// the ring only decides WHICH group a key talks to, aggregate throughput
+// scales with the number of groups while per-op latency stays flat — the
+// quorum protocols never widen.
+//
+// Method: every server is given a fixed per-message service cost on the
+// simulated transport (SimTransport::set_service_time), making server CPU
+// capacity — not network latency or host parallelism — the bottleneck, in
+// virtual time. A closed-loop workload (6 clients x 4 writes in flight,
+// 48 group keys spread over the ring) runs against 1/2/4/8 groups at the
+// same per-group (n=4, b=1); the table reports aggregate acked-write
+// throughput and p95 write latency in virtual time. The acceptance bar is
+// >= 2.5x aggregate write throughput at 4 shards vs 1.
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "shard/sharded_client.h"
+#include "testkit/sharded_cluster.h"
+
+namespace securestore::bench {
+namespace {
+
+constexpr std::uint32_t kClients = 6;
+constexpr std::uint32_t kKeysPerClient = 8;
+constexpr int kWindow = 4;  // in-flight writes per client
+constexpr SimDuration kServiceTime = microseconds(150);
+constexpr SimDuration kWarmup = seconds(2);
+constexpr SimDuration kMeasure = seconds(10);
+
+struct CellResult {
+  std::uint32_t shards = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t failed = 0;
+  double ops_per_s = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+};
+
+/// Group key k of client c. 48 keys scatter over the ring, so every shard
+/// serves a slice of every client's traffic.
+GroupId client_group(std::uint32_t c, std::uint32_t k) { return GroupId{c * 100 + k}; }
+
+CellResult run_cell(std::uint32_t shards) {
+  testkit::ShardedClusterOptions options;
+  options.groups = shards;
+  options.n = 4;
+  options.b = 1;
+  options.seed = 42;
+  options.max_clients = 8;
+  testkit::ShardedCluster cluster(options);
+
+  // The capacity model: each server processes one message per 150us of
+  // virtual time. 4 servers saturate near 27k msgs/s; more groups = more
+  // servers = more aggregate capacity for the same key space.
+  for (std::size_t g = 0; g < cluster.group_count(); ++g) {
+    for (std::size_t s = 0; s < cluster.group(g).server_count(); ++s) {
+      cluster.transport().set_service_time(cluster.group(g).server_node(s), kServiceTime);
+    }
+  }
+
+  // Disjoint single-writer keys: client c exclusively writes its own 8
+  // group keys, so there is no write contention — the bench measures
+  // capacity, not conflict resolution.
+  for (std::uint32_t c = 1; c <= kClients; ++c) {
+    for (std::uint32_t k = 0; k < kKeysPerClient; ++k) {
+      cluster.set_group_policy(core::GroupPolicy{client_group(c, k),
+                                                 core::ConsistencyModel::kMRC,
+                                                 core::SharingMode::kSingleWriter,
+                                                 core::ClientTrust::kHonest});
+    }
+  }
+
+  std::vector<std::unique_ptr<shard::ShardedClient>> clients;
+  for (std::uint32_t c = 1; c <= kClients; ++c) {
+    core::SecureStoreClient::Options client_options;
+    client_options.round_timeout = seconds(1);
+    clients.push_back(cluster.make_client(ClientId{c}, std::move(client_options)));
+  }
+  for (std::uint32_t c = 1; c <= kClients; ++c) {
+    shard::SyncShardedClient sync(*clients[c - 1], cluster.scheduler());
+    for (std::uint32_t k = 0; k < kKeysPerClient; ++k) {
+      if (!sync.connect(client_group(c, k)).ok()) {
+        std::fprintf(stderr, "error: connect failed during setup (shards=%u)\n", shards);
+        std::exit(EXIT_FAILURE);
+      }
+    }
+  }
+
+  // Closed-loop issue state; `measuring` gates what counts, `issuing`
+  // drains the loops at the end of the window.
+  const Bytes value(256, 0x42);
+  bool measuring = false;
+  bool issuing = true;
+  std::uint64_t acked = 0;
+  std::uint64_t failed = 0;
+  std::vector<SimDuration> latencies;
+  std::vector<std::uint64_t> seq(kClients, 0);
+
+  std::function<void(std::uint32_t)> issue_next = [&](std::uint32_t c) {
+    if (!issuing) return;
+    const std::uint64_t op = seq[c]++;
+    const std::uint32_t k = static_cast<std::uint32_t>(op % kKeysPerClient);
+    const GroupId group = client_group(c + 1, k);
+    const ItemId item{group.value * 100 + op % 4};
+    const SimTime start = cluster.scheduler().now();
+    clients[c]->write(group, item, value, [&, c, start](VoidResult result) {
+      if (measuring) {
+        if (result.ok()) {
+          ++acked;
+          latencies.push_back(cluster.scheduler().now() - start);
+        } else {
+          ++failed;
+        }
+      }
+      issue_next(c);
+    });
+  };
+  cluster.endpoint_transport().schedule(0, [&] {
+    for (std::uint32_t c = 0; c < kClients; ++c) {
+      for (int w = 0; w < kWindow; ++w) issue_next(c);
+    }
+  });
+
+  cluster.run_for(kWarmup);
+  measuring = true;
+  cluster.run_for(kMeasure);
+  measuring = false;
+  issuing = false;
+  cluster.run_for(seconds(2));  // drain in-flight ops
+
+  CellResult cell;
+  cell.shards = shards;
+  cell.acked = acked;
+  cell.failed = failed;
+  cell.ops_per_s = static_cast<double>(acked) / to_seconds(kMeasure);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
+      return to_milliseconds(latencies[idx]);
+    };
+    cell.p50_ms = at(0.50);
+    cell.p95_ms = at(0.95);
+  }
+  return cell;
+}
+
+void run() {
+  print_title("E16: sharded scale-out — throughput vs shard count");
+  print_claim(
+      "a consistent-hashing ring over independent (n, b) replica groups "
+      "scales aggregate throughput with shard count; quorums never widen, "
+      "so per-op latency stays flat");
+  BenchJson json("e16_scaleout");
+
+  std::printf("--- closed-loop writes (6 clients x 4 in flight, 48 keys, n=4 b=1/shard) ---\n");
+  Table table({"shards", "acked", "ops_per_s", "p50_ms", "p95_ms", "speedup"});
+  table.print_header();
+
+  double baseline = 0;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const CellResult cell = run_cell(shards);
+    if (cell.failed != 0) {
+      std::fprintf(stderr, "error: %llu writes failed at shards=%u (fault-free bench)\n",
+                   static_cast<unsigned long long>(cell.failed), shards);
+      std::exit(EXIT_FAILURE);
+    }
+    if (shards == 1) baseline = cell.ops_per_s;
+    const double speedup = cell.ops_per_s / baseline;
+
+    json.begin_row();
+    json.field("section", "scaleout");
+    json.field("shards", static_cast<std::uint64_t>(shards));
+    json.field("acked_writes", cell.acked);
+    json.field("write_ops_per_s", cell.ops_per_s);
+    json.field("p50_ms", cell.p50_ms);
+    json.field("p95_ms", cell.p95_ms);
+    json.field("speedup_vs_1_shard", speedup);
+    table.cell(static_cast<std::uint64_t>(shards));
+    table.cell(cell.acked);
+    table.cell(cell.ops_per_s, 0);
+    table.cell(cell.p50_ms, 3);
+    table.cell(cell.p95_ms, 3);
+    table.cell(speedup, 2);
+    table.end_row();
+  }
+  std::printf(
+      "\nEvery shard is a full (n=4, b=1) group with a 150us/message service\n"
+      "cost per server; the ring only routes. Throughput scales with groups\n"
+      "because capacity does; latency stays flat because quorums do.\n");
+}
+
+}  // namespace
+}  // namespace securestore::bench
+
+int main() {
+  securestore::bench::run();
+  return 0;
+}

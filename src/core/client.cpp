@@ -93,7 +93,20 @@ void SecureStoreClient::note_forgery(NodeId server) {
   if (estimator_.has_value()) estimator_->report_hard_evidence(server);
 }
 
+bool SecureStoreClient::note_wrong_shard(net::MsgType type, BytesView resp_body) {
+  if (type != net::MsgType::kWrongShard) return false;
+  // Keep the first rejection's ring; a second rejecting server in the same
+  // round adds nothing (the router verifies and version-checks anyway).
+  if (wrong_shard_ring_.empty()) {
+    wrong_shard_ring_.assign(resp_body.begin(), resp_body.end());
+  }
+  return true;
+}
+
 SecureStoreClient::Trace SecureStoreClient::begin_trace(std::string op) {
+  // Every public operation opens exactly one trace, so this doubles as the
+  // start-of-op hook: drop any ring a previous rejection stashed.
+  wrong_shard_ring_.clear();
   // The transport clock keeps span semantics identical across worlds:
   // virtual microseconds under the simulator, wall microseconds since
   // transport start on the thread/TCP transports.
@@ -198,8 +211,9 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime d
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kContextRead, body,
-      [this, candidates, replies, group, quorum](NodeId /*from*/, net::MsgType /*type*/,
+      [this, candidates, replies, group, quorum](NodeId /*from*/, net::MsgType type,
                                                  BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         ++*replies;
         try {
           ContextReadResp resp = ContextReadResp::deserialize(resp_body);
@@ -217,6 +231,11 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime d
       },
       [this, candidates, replies, group, quorum, round, deadline, trace,
        done](net::QuorumOutcome outcome, std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(VoidResult(Error::kWrongShard, "server does not own this group's shard"));
+          return;
+        }
         if (*replies >= quorum) {
           trace->phase("verify");
           // One client's honest contexts are totally ordered by dominance,
@@ -292,7 +311,8 @@ void SecureStoreClient::disconnect_attempt(unsigned round, SimTime deadline, Tra
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kContextWrite, body,
-      [acks, quorum](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
+      [this, acks, quorum](NodeId /*from*/, net::MsgType type, BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         try {
           if (AckResp::deserialize(resp_body).ok) ++*acks;
         } catch (const DecodeError&) {
@@ -301,6 +321,11 @@ void SecureStoreClient::disconnect_attempt(unsigned round, SimTime deadline, Tra
       },
       [this, acks, quorum, round, deadline, trace, done](net::QuorumOutcome outcome,
                                                          std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(VoidResult(Error::kWrongShard, "server does not own this group's shard"));
+          return;
+        }
         if (*acks >= quorum) {
           connected_ = false;
           trace->finish(true);
@@ -344,7 +369,8 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, config_.servers, net::MsgType::kReconstruct, body,
-      [this, rebuilt, replies, group](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
+      [this, rebuilt, replies, group](NodeId /*from*/, net::MsgType type, BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         ++*replies;
         try {
           for (const WriteRecord& meta : ReconstructResp::deserialize(resp_body).metas) {
@@ -361,6 +387,11 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
         return false;  // hear from as many servers as possible
       },
       [this, rebuilt, replies, needed, trace, done](net::QuorumOutcome outcome, std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(VoidResult(Error::kWrongShard, "server does not own this group's shard"));
+          return;
+        }
         if (*replies >= needed) {
           context_ = *rebuilt;
           connected_ = true;
@@ -391,8 +422,9 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, config_.servers, net::MsgType::kReconstruct, body,
-      [this, newest, replies, group](NodeId /*from*/, net::MsgType /*type*/,
+      [this, newest, replies, group](NodeId /*from*/, net::MsgType type,
                                      BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         ++*replies;
         try {
           for (const WriteRecord& meta : ReconstructResp::deserialize(resp_body).metas) {
@@ -406,7 +438,13 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
         }
         return false;
       },
-      [newest, replies, needed, trace, done](net::QuorumOutcome outcome, std::size_t) {
+      [this, newest, replies, needed, trace, done](net::QuorumOutcome outcome, std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(Result<std::vector<GroupEntry>>(Error::kWrongShard,
+                                               "server does not own this group's shard"));
+          return;
+        }
         if (*replies < needed) {
           trace->finish(false);
           done(Result<std::vector<GroupEntry>>(
@@ -499,7 +537,8 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kWrite, body,
-      [acks, shares, quorum](NodeId /*from*/, net::MsgType /*type*/, BytesView resp_body) {
+      [this, acks, shares, quorum](NodeId /*from*/, net::MsgType type, BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         try {
           const WriteResp resp = WriteResp::deserialize(resp_body);
           if (resp.ok) {
@@ -512,6 +551,11 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
       },
       [this, record, target_count, round, deadline, shares, acks, quorum, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(VoidResult(Error::kWrongShard, "server does not own this group's shard"));
+          return;
+        }
         if (*acks >= quorum) {
           trace->finish(true);
           finish_write(*record, done);
@@ -605,6 +649,7 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
 
   MetaReq req;
   req.item = item;
+  req.group = options_.policy.group;
   req.requester = client_id_;
   req.include_value = options_.inline_reads;
   req.token = options_.token;
@@ -625,8 +670,9 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, *targets, net::MsgType::kMetaRequest, body,
-      [this, metas, responders, item](NodeId from, net::MsgType /*type*/,
+      [this, metas, responders, item](NodeId from, net::MsgType type,
                                       BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         responders->push_back(from);
         note_responded(from);
         try {
@@ -645,6 +691,12 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
       },
       [this, metas, responders, targets, item, round, deadline, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(Result<ReadOutput>(Error::kWrongShard,
+                                  "server does not own this group's shard"));
+          return;
+        }
         trace->phase("verify");
         note_silent(*targets, *responders);
         // Multi-writer (honest) equivocation check. Unverified claims are
@@ -793,6 +845,7 @@ void SecureStoreClient::fetch_candidate(ItemId item,
 
   ReadReq req;
   req.item = item;
+  req.group = options_.policy.group;
   req.ts = target_ts;
   req.requester = client_id_;
   req.token = options_.token;
@@ -802,8 +855,9 @@ void SecureStoreClient::fetch_candidate(ItemId item,
   trace->phase("fetch");
   net::QuorumCall::start(
       node_, {(*servers)[server_idx]}, net::MsgType::kRead, body,
-      [this, accepted, item, target_ts](NodeId /*from*/, net::MsgType /*type*/,
+      [this, accepted, item, target_ts](NodeId /*from*/, net::MsgType type,
                                         BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         try {
           ReadResp resp = ReadResp::deserialize(resp_body);
           if (resp.record.has_value() && resp.record->item == item &&
@@ -822,6 +876,12 @@ void SecureStoreClient::fetch_candidate(ItemId item,
       },
       [this, accepted, item, candidates, servers, candidate_idx, server_idx, round, deadline,
        trace, done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(Result<ReadOutput>(Error::kWrongShard,
+                                  "server does not own this group's shard"));
+          return;
+        }
         if (accepted->has_value()) {
           accept_read(**accepted, trace, done);
           return;
@@ -874,6 +934,7 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
 
   LogReadReq req;
   req.item = item;
+  req.group = options_.policy.group;
   req.requester = client_id_;
   req.token = options_.token;
   const Bytes body = req.serialize();
@@ -889,8 +950,9 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, pick_servers(target_count), net::MsgType::kLogRead, body,
-      [this, tallies, faulty_votes, any_log_entry, item](NodeId /*from*/, net::MsgType /*type*/,
+      [this, tallies, faulty_votes, any_log_entry, item](NodeId /*from*/, net::MsgType type,
                                                          BytesView resp_body) {
+        if (note_wrong_shard(type, resp_body)) return true;
         try {
           LogReadResp resp = LogReadResp::deserialize(resp_body);
           if (resp.faulty_writer) ++*faulty_votes;
@@ -921,6 +983,12 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
       },
       [this, tallies, faulty_votes, any_log_entry, item, round, deadline, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
+        if (wrong_shard_pending()) {
+          trace->finish(false);
+          done(Result<ReadOutput>(Error::kWrongShard,
+                                  "server does not own this group's shard"));
+          return;
+        }
         trace->phase("verify");
         // b+1 servers vouching for "this writer equivocated" means at least
         // one correct server saw it.

@@ -149,6 +149,13 @@ class SecureStoreClient {
   /// cycle (see rotate.h for the full read/re-encrypt/write-back workflow).
   void set_codec(std::shared_ptr<ValueCodec> codec);
 
+  /// Sharded deployments (DESIGN.md §11): when an operation failed with
+  /// kWrongShard, this returns the signed ring state the rejecting server
+  /// attached (serialized shard::SignedRingState) and clears it. The core
+  /// client does not interpret the bytes — verification and re-routing
+  /// belong to shard::ShardedClient, which owns the ring authority key.
+  Bytes take_wrong_shard_ring() { return std::move(wrong_shard_ring_); }
+
  private:
   using Trace = std::shared_ptr<obs::OpTrace>;
 
@@ -204,6 +211,12 @@ class SecureStoreClient {
 
   void accept_read(const WriteRecord& record, Trace trace, ReadCb done);
 
+  /// kWrongShard interception, checked first in every quorum reply handler:
+  /// a misroute rejection ends the operation (returning true finishes the
+  /// quorum call), stashing the attached ring for take_wrong_shard_ring().
+  bool note_wrong_shard(net::MsgType type, BytesView resp_body);
+  bool wrong_shard_pending() const { return !wrong_shard_ring_.empty(); }
+
   std::vector<NodeId> pick_servers(std::size_t count, std::size_t skip = 0) const;
   const Bytes* writer_key(ClientId writer) const;
   std::size_t write_set_size() const;
@@ -233,6 +246,9 @@ class SecureStoreClient {
   /// backoff sleep overshooting it); the round budget clamps to zero and
   /// the op fails with kTimeout instead of issuing a wrapped-around round.
   obs::Counter& deadline_exceeded_;
+  /// The ring bytes of the last kWrongShard rejection; cleared when a new
+  /// operation begins and by take_wrong_shard_ring().
+  Bytes wrong_shard_ring_;
 };
 
 }  // namespace securestore::core

@@ -36,6 +36,12 @@ struct StoreConfig {
   /// Multi-writer log retention when no stability certificate has pruned it.
   std::size_t max_log_entries = 16;
 
+  /// Sharded deployments: the ring authority's Ed25519 public key. Servers
+  /// and routers accept a ring state only under this key's signature, so a
+  /// Byzantine server cannot advertise a forged membership (DESIGN.md §11).
+  /// Empty = unsharded deployment; ring messages are ignored.
+  Bytes ring_authority_key;
+
   // --- Quorum arithmetic -------------------------------------------------
 
   /// Context read/write quorum: ⌈(n+b+1)/2⌉ (§5.1). Two such quorums

@@ -106,6 +106,7 @@ AckResp AckResp::deserialize(BytesView data) {
 Bytes MetaReq::serialize() const {
   Writer w;
   w.u64(item.value);
+  w.u64(group.value);
   w.u32(requester.value);
   w.u8(include_value ? 1 : 0);
   detail::encode_optional_token(w, token);
@@ -116,6 +117,7 @@ MetaReq MetaReq::deserialize(BytesView data) {
   Reader r(data);
   MetaReq req;
   req.item = ItemId{r.u64()};
+  req.group = GroupId{r.u64()};
   req.requester = ClientId{r.u32()};
   req.include_value = r.u8() != 0;
   req.token = detail::decode_optional_token(r);
@@ -144,6 +146,7 @@ MetaResp MetaResp::deserialize(BytesView data) {
 Bytes ReadReq::serialize() const {
   Writer w;
   w.u64(item.value);
+  w.u64(group.value);
   ts.encode(w);
   w.u32(requester.value);
   detail::encode_optional_token(w, token);
@@ -154,6 +157,7 @@ ReadReq ReadReq::deserialize(BytesView data) {
   Reader r(data);
   ReadReq req;
   req.item = ItemId{r.u64()};
+  req.group = GroupId{r.u64()};
   req.ts = Timestamp::decode(r);
   req.requester = ClientId{r.u32()};
   req.token = detail::decode_optional_token(r);
@@ -212,6 +216,7 @@ WriteResp WriteResp::deserialize(BytesView data) {
 Bytes LogReadReq::serialize() const {
   Writer w;
   w.u64(item.value);
+  w.u64(group.value);
   w.u32(requester.value);
   detail::encode_optional_token(w, token);
   return w.take();
@@ -221,6 +226,7 @@ LogReadReq LogReadReq::deserialize(BytesView data) {
   Reader r(data);
   LogReadReq req;
   req.item = ItemId{r.u64()};
+  req.group = GroupId{r.u64()};
   req.requester = ClientId{r.u32()};
   req.token = detail::decode_optional_token(r);
   r.expect_end();

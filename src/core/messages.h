@@ -55,6 +55,10 @@ struct AckResp {
 /// servers; receive replies that include the meta-data of x_j".
 struct MetaReq {
   ItemId item{};
+  /// The item's group. Carried so a sharded server can ownership-check the
+  /// request against its hash ring even when it has never seen the item
+  /// (a misrouted request must fail kWrongShard, not look like kNotFound).
+  GroupId group{};
   ClientId requester{};
   /// When set, the server returns the full record (value included) so the
   /// best case needs no second phase — §6: "in the best case, the message
@@ -81,7 +85,8 @@ struct MetaResp {
 /// Phase 2: fetch the value from the chosen server.
 struct ReadReq {
   ItemId item{};
-  Timestamp ts;  // the timestamp the client selected in phase 1
+  GroupId group{};  // for shard ownership checks, as in MetaReq
+  Timestamp ts;     // the timestamp the client selected in phase 1
   ClientId requester{};
   std::optional<AuthToken> token;
 
@@ -119,6 +124,7 @@ struct WriteResp {
 /// §5.3 read: request the recent-writes log from 2b+1 servers.
 struct LogReadReq {
   ItemId item{};
+  GroupId group{};  // for shard ownership checks, as in MetaReq
   ClientId requester{};
   std::optional<AuthToken> token;
 

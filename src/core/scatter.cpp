@@ -194,6 +194,7 @@ void ScatteredStore::read(ItemId item, ReadCb done) {
   for (std::uint32_t i = 0; i < config_.n; ++i) {
     ReadReq req;
     req.item = fragment_item(item, static_cast<std::uint8_t>(i));
+    req.group = options_.policy.group;
     req.requester = client_id_;
 
     net::QuorumCall::start(

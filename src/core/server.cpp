@@ -17,15 +17,23 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       options_(std::move(options)),
       events_(transport.events()),
       items_(config_.max_log_entries),
-      req_other_(transport.registry().counter("server.req.other")),
-      equivocations_(transport.registry().counter("server.equivocations")),
+      req_other_(transport.registry().counter("server.req.other" + options_.metric_suffix)),
+      equivocations_(
+          transport.registry().counter("server.equivocations" + options_.metric_suffix)),
       hold_depth_(transport.registry().gauge("server." + std::to_string(id.value) +
-                                             ".hold_queue.depth")),
-      apply_us_(transport.registry().histogram("server.apply_us")),
-      wal_append_us_(transport.registry().histogram("server.wal.append_us")),
-      wal_sync_us_(transport.registry().histogram("server.wal.sync_us")),
-      batch_size_(transport.registry().histogram("server.batch_size",
-                                                 {1, 2, 4, 8, 16, 32, 64})) {
+                                             ".hold_queue.depth" + options_.metric_suffix)),
+      apply_us_(transport.registry().histogram("server.apply_us" + options_.metric_suffix)),
+      wal_append_us_(
+          transport.registry().histogram("server.wal.append_us" + options_.metric_suffix)),
+      wal_sync_us_(
+          transport.registry().histogram("server.wal.sync_us" + options_.metric_suffix)),
+      batch_size_(transport.registry().histogram("server.batch_size" + options_.metric_suffix,
+                                                 {1, 2, 4, 8, 16, 32, 64})),
+      wrong_shard_(transport.registry().counter("shard.wrong_shard" + options_.metric_suffix)),
+      ring_installed_(
+          transport.registry().counter("shard.ring_installed" + options_.metric_suffix)),
+      ring_rejected_(
+          transport.registry().counter("shard.ring_rejected" + options_.metric_suffix)) {
   config_.validate();
   // Request-mix counters: one per request type this server answers, plus
   // the gossip/stability oneways.
@@ -42,11 +50,12 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       {net::MsgType::kGossipDigest, "gossip_digest"},
       {net::MsgType::kGossipUpdates, "gossip_updates"},
       {net::MsgType::kGossipRequest, "gossip_request"},
+      {net::MsgType::kGossipRing, "gossip_ring"},
       {net::MsgType::kStability, "stability"},
   };
   for (const auto& [type, name] : kReqNames) {
     req_counters_[static_cast<std::uint16_t>(type)] =
-        &registry.counter(std::string("server.req.") + name);
+        &registry.counter(std::string("server.req.") + name + options_.metric_suffix);
   }
   if (options_.authority_key.has_value()) {
     token_verifier_.emplace(*options_.authority_key);
@@ -55,12 +64,22 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
   // rules, models) they were accepted under.
   for (const GroupPolicy& policy : options_.group_policies) set_group_policy(policy);
 
+  // The boot ring is operator-provided but held to the same bar as gossiped
+  // ones: a misconfigured shard must fail loudly, not silently serve
+  // everything.
+  if (options_.ring.has_value() && !install_ring(*options_.ring)) {
+    throw std::invalid_argument("server: boot ring rejected (signature or shape)");
+  }
+
   gossip_ = std::make_unique<gossip::GossipEngine>(
       node_, items_, config_.servers, options_.gossip, std::move(rng),
       [this](const WriteRecord& record, NodeId /*from*/) {
         // Scattered fragments never travel by gossip (honest peers do not
         // send them; see RecordFlags::kScattered).
         if (record.flags & kScattered) return false;
+        // Sharded: records for groups another shard owns never enter this
+        // store, whoever gossips them (rebalance uses import_record).
+        if (!owns_group(record.group)) return false;
         if (!validate_record(record)) return false;
         apply_with_holds(record);
         return true;
@@ -71,6 +90,12 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
   gossip_->set_apply_batch(
       [this](const std::vector<std::pair<WriteRecord, obs::TraceContext>>& records,
              NodeId from) { return apply_gossip_batch(records, from); });
+
+  // Ring dissemination rides gossip: offer our installed ring each tick and
+  // consider any ring a peer offers (install_ring enforces signature +
+  // version, so a Byzantine peer can neither forge nor roll back).
+  gossip_->set_ring_hooks([this] { return ring_bytes_; },
+                          [this](NodeId from, BytesView body) { install_ring_bytes(from, body); });
 
   node_.set_request_handler([this](NodeId from, net::MsgType type, BytesView body) {
     return handle_request(from, type, body, node_.incoming_trace());
@@ -288,6 +313,85 @@ bool SecureStoreServer::authorized(const std::optional<AuthToken>& token, Client
   return token_verifier_->check(token, client, group, needed, node_.transport().now());
 }
 
+bool SecureStoreServer::owns_group(GroupId group) const {
+  return !hash_ring_.has_value() || hash_ring_->shard_for(group) == options_.shard_id;
+}
+
+bool SecureStoreServer::install_ring(const shard::SignedRingState& candidate) {
+  // Steady-state gossip re-offers the same version constantly; that is not
+  // a rejection worth counting.
+  if (ring_.has_value() && candidate.ring.version <= ring_->ring.version) return false;
+  if (!candidate.verify(config_.ring_authority_key)) {
+    // Also the unsharded path: an empty authority key verifies nothing, so
+    // deployments without sharding ignore ring traffic wholesale.
+    ring_rejected_.inc();
+    return false;
+  }
+  try {
+    hash_ring_.emplace(candidate.ring);
+  } catch (const std::invalid_argument&) {
+    ring_rejected_.inc();  // signed but structurally unusable
+    return false;
+  }
+  ring_ = candidate;
+  ring_bytes_ = ring_->serialize();
+  ring_installed_.inc();
+  return true;
+}
+
+void SecureStoreServer::install_ring_bytes(NodeId /*from*/, BytesView body) {
+  try {
+    install_ring(shard::SignedRingState::deserialize(body));
+  } catch (const DecodeError&) {
+    ring_rejected_.inc();
+  }
+}
+
+std::optional<GroupId> SecureStoreServer::request_group(net::MsgType type, BytesView body) {
+  // A second decode of the body on the sharded path only; the dispatch
+  // switch re-decodes because fault hooks sit between here and there.
+  try {
+    switch (type) {
+      case net::MsgType::kContextRead:
+        return ContextReadReq::deserialize(body).group;
+      case net::MsgType::kContextWrite:
+        return ContextWriteReq::deserialize(body).stored.context.group();
+      case net::MsgType::kMetaRequest:
+        return MetaReq::deserialize(body).group;
+      case net::MsgType::kRead:
+        return ReadReq::deserialize(body).group;
+      case net::MsgType::kWrite:
+        return WriteReq::deserialize(body).record.group;
+      case net::MsgType::kLogRead:
+        return LogReadReq::deserialize(body).group;
+      case net::MsgType::kReconstruct:
+        return ReconstructReq::deserialize(body).group;
+      default:
+        return std::nullopt;  // not group-scoped (audit reads, gossip, ...)
+    }
+  } catch (const DecodeError&) {
+    return std::nullopt;  // malformed: the dispatch path drops it anyway
+  }
+}
+
+bool SecureStoreServer::import_record(const WriteRecord& record) {
+  if (record.flags & kScattered) return false;
+  if (!validate_record(record)) return false;
+  apply_with_holds(record);
+  return true;
+}
+
+bool SecureStoreServer::import_context(const StoredContext& stored) {
+  const Bytes* key = client_key(stored.owner);
+  if (key == nullptr || !stored.verify(*key)) return false;
+  if (contexts_.apply(stored)) {
+    Writer w;
+    stored.encode(w);
+    wal_append(storage::WalEntryType::kContext, w.data());
+  }
+  return true;
+}
+
 std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
     NodeId from, net::MsgType type, BytesView body, const obs::TraceContext& trace) {
   // Request mix is counted before the fault hooks: the metric reflects what
@@ -298,6 +402,18 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
   if (!accept_request(from, type)) return std::nullopt;
   if (auto preempted = preempt_request(from, type, body); preempted.has_value()) {
     return std::move(*preempted);
+  }
+
+  // Sharded: group-scoped requests for a shard this server does not own are
+  // rejected with the signed ring attached, so a stale client can refresh
+  // its router and re-route (DESIGN.md §11). Checked before the honest
+  // handlers — a misroute must fail loudly, not masquerade as kNotFound.
+  if (hash_ring_.has_value()) {
+    if (const std::optional<GroupId> group = request_group(type, body);
+        group.has_value() && !owns_group(*group)) {
+      wrong_shard_.inc();
+      return {{net::MsgType::kWrongShard, ring_bytes_}};
+    }
   }
 
   std::optional<std::pair<net::MsgType, Bytes>> honest;
@@ -428,6 +544,7 @@ void SecureStoreServer::handle_oneway(NodeId from, net::MsgType type, BytesView 
     case net::MsgType::kGossipDigest:
     case net::MsgType::kGossipUpdates:
     case net::MsgType::kGossipRequest:
+    case net::MsgType::kGossipRing:
       gossip_->handle(from, type, body);
       return;
     case net::MsgType::kStability:
@@ -596,6 +713,7 @@ std::vector<bool> SecureStoreServer::apply_gossip_batch(
   for (std::size_t i = 0; i < records.size(); ++i) {
     const WriteRecord& record = records[i].first;
     if (record.flags & kScattered) continue;
+    if (!owns_group(record.group)) continue;  // sharded: not ours to store
     const Bytes* key = client_key(record.writer);
     if (key == nullptr || !validate_record_structure(record)) continue;
     if (crypto::meter_digest(record.value) != record.value_digest) continue;

@@ -24,6 +24,7 @@
 #include "gossip/gossip.h"
 #include "net/rpc.h"
 #include "obs/metrics.h"
+#include "shard/hash_ring.h"
 #include "storage/audit_log.h"
 #include "storage/context_store.h"
 #include "storage/hold_queue.h"
@@ -67,6 +68,18 @@ class SecureStoreServer {
     /// Policies registered before WAL replay, so recovered multi-writer CC
     /// records honor the same causal-hold rules they saw live.
     std::vector<GroupPolicy> group_policies;
+    /// Sharded deployments (DESIGN.md §11): this server's shard id plus the
+    /// boot ring. With a ring installed the server enforces ownership —
+    /// group-scoped requests the ring maps to another shard are rejected
+    /// with kWrongShard (the response body is the signed ring, so a stale
+    /// client can refresh) — and gossip disseminates/installs newer rings
+    /// signed by StoreConfig::ring_authority_key. Unset ring = unsharded;
+    /// every group is served.
+    std::uint32_t shard_id = 0;
+    std::optional<shard::SignedRingState> ring;
+    /// Appended verbatim to every metric name (e.g. "{shard=2}") so several
+    /// replica groups sharing one registry stay distinguishable.
+    std::string metric_suffix;
   };
 
   SecureStoreServer(net::Transport& transport, NodeId id, StoreConfig config,
@@ -111,6 +124,29 @@ class SecureStoreServer {
   /// The tamper-evident log of every write this server accepted ([6]-style
   /// auditing; also served over the wire via kAuditRead).
   const storage::AuditLog& audit_log() const { return audit_; }
+
+  /// Stored client contexts (rebalance export, tests).
+  const storage::ContextStore& contexts() const { return contexts_; }
+
+  // Sharding (DESIGN.md §11).
+  /// The installed ring's version; 0 when unsharded.
+  std::uint64_t ring_version() const { return ring_.has_value() ? ring_->ring.version : 0; }
+  /// Installs a candidate ring: accepted only when strictly newer than the
+  /// installed one (or none is installed), authority-signed, and
+  /// structurally usable. The rebalance switch-over calls this directly;
+  /// gossip arrivals funnel here too.
+  bool install_ring(const shard::SignedRingState& candidate);
+  /// Whether this server's shard owns `group` under the installed ring.
+  /// Always true when unsharded.
+  bool owns_group(GroupId group) const;
+
+  // Rebalance handoff imports (DESIGN.md §11): full validation — records
+  // pass the same signature/structure/digest checks as client writes,
+  // contexts must carry a valid owner signature — but NO ownership gate, so
+  // a destination shard can be seeded with groups the still-installed old
+  // ring maps elsewhere. Returns false when validation rejects the input.
+  bool import_record(const WriteRecord& record);
+  bool import_context(const StoredContext& stored);
 
  protected:
   /// Fault hook: return false to silently ignore a request.
@@ -178,6 +214,14 @@ class SecureStoreServer {
   bool authorized(const std::optional<AuthToken>& token, ClientId client, GroupId group,
                   Rights needed) const;
 
+  /// Gossip ring arrivals: decode + install_ring (malformed counts as
+  /// rejected).
+  void install_ring_bytes(NodeId from, BytesView body);
+  /// The group a request is keyed by, for the ownership check; nullopt for
+  /// requests that are not group-scoped (audit reads) or malformed bodies
+  /// (the dispatch path drops those identically either way).
+  static std::optional<GroupId> request_group(net::MsgType type, BytesView body);
+
   const Bytes* client_key(ClientId client) const;
 
   /// Boot-time durability: load (or quarantine) the snapshot file, open
@@ -210,6 +254,12 @@ class SecureStoreServer {
   std::unordered_map<GroupId, GroupPolicy> policies_;
   GroupPolicy default_policy_;
   std::optional<TokenVerifier> token_verifier_;
+  /// Installed ring state: the signed original (re-served to stale clients
+  /// and gossip peers, pre-serialized in ring_bytes_) plus the lookup
+  /// structure. All three change together in install_ring.
+  std::optional<shard::SignedRingState> ring_;
+  Bytes ring_bytes_;
+  std::optional<shard::HashRing> hash_ring_;
   std::unique_ptr<gossip::GossipEngine> gossip_;
   std::unique_ptr<storage::WriteAheadLog> wal_;
   /// WAL position covered by the last snapshot restored or saved; replay
@@ -230,6 +280,10 @@ class SecureStoreServer {
   obs::Histogram& wal_sync_us_;
   /// Requests per dispatch wakeup — how much batching the hot path gets.
   obs::Histogram& batch_size_;
+  // Sharding counters (DESIGN.md §8 catalog, shard.* family).
+  obs::Counter& wrong_shard_;     // misrouted requests rejected
+  obs::Counter& ring_installed_;  // ring updates accepted
+  obs::Counter& ring_rejected_;   // ring updates refused (signature/shape)
 };
 
 }  // namespace securestore::core

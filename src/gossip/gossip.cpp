@@ -15,16 +15,22 @@ GossipEngine::GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
       config_(config),
       rng_(std::move(rng)),
       apply_(std::move(apply)),
-      rounds_(node.transport().registry().counter("gossip.rounds")),
-      records_sent_(node.transport().registry().counter("gossip.records_sent")),
-      records_received_(node.transport().registry().counter("gossip.records_received")),
-      records_rejected_(node.transport().registry().counter("gossip.records_rejected")),
-      malformed_dropped_(node.transport().registry().counter("gossip.malformed_dropped")),
-      non_gossip_dropped_(node.transport().registry().counter("gossip.non_gossip_dropped")),
-      digest_entries_(node.transport().registry().histogram("gossip.digest_entries")),
-      round_us_(node.transport().registry().histogram("gossip.round_us")),
-      write_to_visible_us_(
-          node.transport().registry().histogram("gossip.write_to_visible_us")),
+      rounds_(node.transport().registry().counter("gossip.rounds" + config.metric_suffix)),
+      records_sent_(
+          node.transport().registry().counter("gossip.records_sent" + config.metric_suffix)),
+      records_received_(
+          node.transport().registry().counter("gossip.records_received" + config.metric_suffix)),
+      records_rejected_(
+          node.transport().registry().counter("gossip.records_rejected" + config.metric_suffix)),
+      malformed_dropped_(
+          node.transport().registry().counter("gossip.malformed_dropped" + config.metric_suffix)),
+      non_gossip_dropped_(node.transport().registry().counter("gossip.non_gossip_dropped" +
+                                                              config.metric_suffix)),
+      digest_entries_(
+          node.transport().registry().histogram("gossip.digest_entries" + config.metric_suffix)),
+      round_us_(node.transport().registry().histogram("gossip.round_us" + config.metric_suffix)),
+      write_to_visible_us_(node.transport().registry().histogram("gossip.write_to_visible_us" +
+                                                                 config.metric_suffix)),
       events_(node.transport().events()) {
   // A node never gossips with itself.
   std::erase(peers_, node_.id());
@@ -73,7 +79,19 @@ void GossipEngine::tick() {
   // Wall time: building/serializing digests is real CPU work even when the
   // deployment runs on virtual time.
   const std::uint64_t start = obs::wall_now_us();
-  for (const NodeId peer : pick_peers()) send_digest(peer);
+  const std::vector<NodeId> peers = pick_peers();
+  for (const NodeId peer : peers) send_digest(peer);
+  // Ring dissemination rides the anti-entropy cadence (DESIGN.md §11): the
+  // signed ring is small and idempotent to install, so each tick re-offers
+  // it to the same peers the digest went to.
+  if (ring_supplier_) {
+    const Bytes ring = ring_supplier_();
+    if (!ring.empty()) {
+      for (const NodeId peer : peers) {
+        node_.send_oneway(peer, net::MsgType::kGossipRing, ring);
+      }
+    }
+  }
   round_us_.observe(static_cast<double>(obs::wall_now_us() - start));
 
   const std::uint64_t generation = generation_;
@@ -190,6 +208,12 @@ void GossipEngine::handle(NodeId from, net::MsgType type, BytesView body) {
             }
           }
         }
+        return;
+      }
+      case net::MsgType::kGossipRing: {
+        // Opaque to the engine; the owner's handler verifies the authority
+        // signature before installing anything.
+        if (on_ring_) on_ring_(from, body);
         return;
       }
       default:

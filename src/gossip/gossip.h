@@ -43,6 +43,9 @@ class GossipEngine {
     /// Also push each locally-applied client write immediately to `fanout`
     /// peers (rumor mongering), instead of waiting for the next tick.
     bool push_on_write = false;
+    /// Appended verbatim to every metric name (e.g. "{shard=2}") so several
+    /// replica groups sharing one registry stay distinguishable.
+    std::string metric_suffix;
   };
 
   /// Applies an incoming record to the owner's store: verify writer
@@ -76,8 +79,20 @@ class GossipEngine {
   /// amortizes nothing).
   void set_apply_batch(ApplyBatchFn apply_batch) { apply_batch_ = std::move(apply_batch); }
 
+  /// Sharded deployments (DESIGN.md §11): when set, every tick also offers
+  /// the supplier's serialized signed ring state to the tick's peers as a
+  /// kGossipRing one-way (empty bytes = nothing to offer), and incoming
+  /// kGossipRing messages are handed to `on_ring`. The engine treats the
+  /// bytes as opaque; verification belongs to the owner's install path.
+  using RingSupplier = std::function<Bytes()>;
+  using RingHandler = std::function<void(NodeId from, BytesView body)>;
+  void set_ring_hooks(RingSupplier supplier, RingHandler on_ring) {
+    ring_supplier_ = std::move(supplier);
+    on_ring_ = std::move(on_ring);
+  }
+
   /// Handles gossip one-way messages; the owning server routes
-  /// kGossipDigest/kGossipUpdates/kGossipRequest here.
+  /// kGossipDigest/kGossipUpdates/kGossipRequest/kGossipRing here.
   void handle(NodeId from, net::MsgType type, BytesView body);
 
   /// Rumor-mongering hook: owner calls this right after applying a fresh
@@ -123,6 +138,8 @@ class GossipEngine {
   Rng rng_;
   ApplyFn apply_;
   ApplyBatchFn apply_batch_;
+  RingSupplier ring_supplier_;
+  RingHandler on_ring_;
   // Anti-entropy accounting (handles into the transport's registry).
   obs::Counter& rounds_;
   obs::Counter& records_sent_;

@@ -47,6 +47,7 @@ enum class MsgType : std::uint16_t {
   kGossipDigest = 20,
   kGossipUpdates = 21,
   kGossipRequest = 22,
+  kGossipRing = 23,   // signed ring state (shard membership, PROTOCOL.md §10)
   // Masking-quorum baseline
   kMqRead = 30,
   kMqWrite = 31,
@@ -60,6 +61,7 @@ enum class MsgType : std::uint16_t {
   // Generic
   kAck = 100,
   kError = 101,
+  kWrongShard = 102,  // misrouted request; body is the server's signed ring
 };
 
 /// One request lifted out of a delivery batch for batched handling: the

@@ -1,5 +1,7 @@
 #include "net/sim_transport.h"
 
+#include <algorithm>
+
 namespace securestore::net {
 
 SimTransport::SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network,
@@ -59,6 +61,30 @@ void SimTransport::arrive(NodeId from, NodeId to, Bytes payload) {
     return;
   }
   Endpoint& endpoint = it->second;
+  if (endpoint.service_time > 0) {
+    // M/D/1-style service queue: the message occupies the node after every
+    // earlier arrival finishes, and is only handed to the endpoint once its
+    // own service completes. Capacity, not latency: a loaded node's queue
+    // grows and its effective throughput caps at 1/service_time.
+    const SimTime now = scheduler_.now();
+    const SimTime start = std::max(now, endpoint.busy_until);
+    const SimTime done = start + endpoint.service_time;
+    endpoint.busy_until = done;
+    scheduler_.schedule_in(done - now, [this, from, to, payload = std::move(payload)]() mutable {
+      enqueue(from, to, std::move(payload));
+    });
+    return;
+  }
+  enqueue(from, to, std::move(payload));
+}
+
+void SimTransport::enqueue(NodeId from, NodeId to, Bytes payload) {
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  Endpoint& endpoint = it->second;
   endpoint.pending.push_back(Delivery{from, std::move(payload)});
   if (!endpoint.flush_scheduled) {
     // Zero-delay flush: it runs at this same instant but after every
@@ -99,6 +125,12 @@ void SimTransport::flush(NodeId to) {
 
 void SimTransport::schedule(SimDuration delay, std::function<void()> callback) {
   scheduler_.schedule_in(delay, std::move(callback));
+}
+
+void SimTransport::set_service_time(NodeId node, SimDuration per_message) {
+  Endpoint& endpoint = endpoints_[node];
+  endpoint.service_time = per_message;
+  if (per_message == 0) endpoint.busy_until = 0;
 }
 
 }  // namespace securestore::net

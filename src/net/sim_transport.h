@@ -44,14 +44,25 @@ class SimTransport final : public Transport {
   sim::NetworkModel& network() { return network_; }
   sim::Scheduler& scheduler() { return scheduler_; }
 
+  /// Models a per-message service (CPU) cost at `node`: each arriving
+  /// message occupies the node for `per_message` before it is delivered,
+  /// queueing FIFO behind earlier arrivals still in service. Zero (the
+  /// default) disables the model. Benches use this to make server capacity
+  /// — not network latency — the bottleneck, so scale-out effects are
+  /// measurable in virtual time on any host.
+  void set_service_time(NodeId node, SimDuration per_message);
+
  private:
   struct Endpoint {
     BatchDeliverFn deliver;
     std::vector<Delivery> pending;  // same-instant arrivals awaiting flush
     bool flush_scheduled = false;
+    SimDuration service_time = 0;  // per-message CPU cost (0 = infinite capacity)
+    SimTime busy_until = 0;        // when the in-service queue drains
   };
 
   void arrive(NodeId from, NodeId to, Bytes payload);
+  void enqueue(NodeId from, NodeId to, Bytes payload);
   void flush(NodeId to);
 
   sim::Scheduler& scheduler_;

@@ -1,0 +1,47 @@
+#include "shard/router.h"
+
+#include <stdexcept>
+
+namespace securestore::shard {
+
+ShardRouter::ShardRouter(SignedRingState ring, core::StoreConfig template_config)
+    : template_config_(std::move(template_config)), signed_(std::move(ring)) {
+  if (!signed_.verify(template_config_.ring_authority_key)) {
+    throw std::invalid_argument("ShardRouter: initial ring signature invalid");
+  }
+  ring_.emplace(signed_.ring);
+}
+
+core::StoreConfig ShardRouter::config_for(std::uint32_t shard_id) const {
+  for (const ShardMembers& shard : signed_.ring.shards) {
+    if (shard.shard_id != shard_id) continue;
+    if (shard.servers.size() != shard.server_keys.size()) {
+      throw std::out_of_range("ShardRouter: ring entry keys misaligned");
+    }
+    core::StoreConfig config = template_config_;
+    config.n = static_cast<std::uint32_t>(shard.servers.size());
+    config.servers = shard.servers;
+    config.server_keys.clear();
+    for (std::size_t i = 0; i < shard.servers.size(); ++i) {
+      config.server_keys[shard.servers[i]] = shard.server_keys[i];
+    }
+    config.validate();
+    return config;
+  }
+  throw std::out_of_range("ShardRouter: unknown shard id");
+}
+
+bool ShardRouter::update(const SignedRingState& candidate) {
+  if (candidate.ring.version <= signed_.ring.version) return false;
+  if (!candidate.verify(template_config_.ring_authority_key)) return false;
+  try {
+    HashRing rebuilt(candidate.ring);
+    ring_.emplace(std::move(rebuilt));
+  } catch (const std::invalid_argument&) {
+    return false;  // structurally unusable (no shards / zero vnodes)
+  }
+  signed_ = candidate;
+  return true;
+}
+
+}  // namespace securestore::shard

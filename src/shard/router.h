@@ -1,0 +1,48 @@
+// Client-side shard routing table (DESIGN.md §11).
+//
+// A router owns the client's verified view of the ring plus a template
+// StoreConfig (quorum parameters, client key directory, timeouts — shard
+// independent). Per-shard StoreConfigs are derived on demand from the ring
+// entry: server node ids and public keys come from the signed membership,
+// everything else from the template. Ring updates (from kWrongShard
+// responses or gossip) are accepted only when signed by the ring authority
+// and strictly newer than the installed version.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.h"
+#include "shard/hash_ring.h"
+
+namespace securestore::shard {
+
+class ShardRouter {
+ public:
+  /// `template_config.ring_authority_key` must be set; servers/server_keys
+  /// in the template are ignored (the ring is the membership authority).
+  /// Throws std::invalid_argument when the initial ring does not verify.
+  ShardRouter(SignedRingState ring, core::StoreConfig template_config);
+
+  std::uint32_t shard_for(GroupId group) const { return ring_->shard_for(group); }
+  std::uint64_t version() const { return signed_.ring.version; }
+  std::size_t shard_count() const { return signed_.ring.shards.size(); }
+  const SignedRingState& signed_ring() const { return signed_; }
+
+  /// The replica-group config for a shard, derived from the ring entry.
+  /// Throws std::out_of_range for a shard id the ring does not name.
+  core::StoreConfig config_for(std::uint32_t shard_id) const;
+
+  /// Installs a candidate ring (e.g. the one a kWrongShard response
+  /// carried). Returns false — leaving the installed ring untouched — when
+  /// the signature fails under the ring authority key or the version is
+  /// not strictly newer.
+  bool update(const SignedRingState& candidate);
+
+ private:
+  core::StoreConfig template_config_;
+  SignedRingState signed_;
+  std::optional<HashRing> ring_;  // rebuilt on every accepted update
+};
+
+}  // namespace securestore::shard

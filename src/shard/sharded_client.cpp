@@ -1,0 +1,179 @@
+#include "shard/sharded_client.h"
+
+namespace securestore::shard {
+
+ShardedClient::ShardedClient(net::Transport& transport, ClientId id, crypto::KeyPair keys,
+                             SignedRingState ring, core::StoreConfig template_config,
+                             Options options, Rng rng)
+    : transport_(transport),
+      client_id_(id),
+      keys_(std::move(keys)),
+      options_(std::move(options)),
+      router_(std::move(ring), std::move(template_config)),
+      rng_(std::move(rng)),
+      ring_refresh_(transport.registry().counter("shard.ring_refresh")),
+      reroutes_(transport.registry().counter("shard.reroute")) {}
+
+core::SecureStoreClient* ShardedClient::group_client(GroupId group) {
+  const auto it = sessions_.find(group);
+  return it != sessions_.end() ? it->second.client.get() : nullptr;
+}
+
+ShardedClient::Session& ShardedClient::session_for(GroupId group) {
+  auto it = sessions_.find(group);
+  if (it == sessions_.end()) {
+    Session session;
+    session.shard_id = router_.shard_for(group);
+    session.network_id = NodeId{options_.network_base.value + next_endpoint_++};
+    session.client = make_group_client(group, session.shard_id, session.network_id);
+    it = sessions_.emplace(group, std::move(session)).first;
+  }
+  return it->second;
+}
+
+std::unique_ptr<core::SecureStoreClient> ShardedClient::make_group_client(
+    GroupId group, std::uint32_t shard, NodeId network_id) {
+  core::SecureStoreClient::Options client_options = options_.client;
+  const auto policy = options_.group_policies.find(group);
+  if (policy != options_.group_policies.end()) client_options.policy = policy->second;
+  client_options.policy.group = group;
+  return std::make_unique<core::SecureStoreClient>(transport_, network_id, client_id_, keys_,
+                                                   router_.config_for(shard),
+                                                   std::move(client_options), rng_.fork());
+}
+
+bool ShardedClient::absorb_ring(Bytes ring_bytes) {
+  if (ring_bytes.empty()) return false;
+  try {
+    if (router_.update(SignedRingState::deserialize(ring_bytes))) {
+      ring_refresh_.inc();
+      return true;
+    }
+  } catch (const DecodeError&) {
+    // Malformed attachment from a (possibly Byzantine) server: ignore; the
+    // bounded retry loop surfaces the error if no honest ring arrives.
+  }
+  return false;
+}
+
+void ShardedClient::rebuild_session(GroupId group, VoidCb done) {
+  Session& session = sessions_.at(group);
+  const std::uint32_t target = router_.shard_for(group);
+  const bool was_connected = session.client->connected();
+  core::Context saved = session.client->context();
+  // Destroy before rebuilding: the replacement reuses the endpoint id.
+  session.client.reset();
+  session.client = make_group_client(group, target, session.network_id);
+  session.shard_id = target;
+  if (!was_connected) {
+    done(VoidResult());
+    return;
+  }
+  // Re-open the P1 session on the new owner, then merge the in-memory
+  // context over the fetched one: rebalance copies the last STORED context,
+  // but this session may hold newer entries (acked writes since the last
+  // disconnect). Pointwise max preserves causality (Fig. 2).
+  core::SecureStoreClient* client = session.client.get();
+  client->connect(group, [client, saved = std::move(saved), done](VoidResult result) {
+    if (result.ok()) client->mutable_context().merge(saved);
+    done(std::move(result));
+  });
+}
+
+void ShardedClient::connect(GroupId group, VoidCb done) {
+  issue<VoidResult>(
+      group,
+      [group](core::SecureStoreClient& client, VoidCb cb) { client.connect(group, std::move(cb)); },
+      std::move(done), 0);
+}
+
+void ShardedClient::disconnect(GroupId group, VoidCb done) {
+  issue<VoidResult>(
+      group, [](core::SecureStoreClient& client, VoidCb cb) { client.disconnect(std::move(cb)); },
+      std::move(done), 0);
+}
+
+void ShardedClient::reconstruct_context(GroupId group, VoidCb done) {
+  issue<VoidResult>(
+      group,
+      [group](core::SecureStoreClient& client, VoidCb cb) {
+        client.reconstruct_context(group, std::move(cb));
+      },
+      std::move(done), 0);
+}
+
+void ShardedClient::write(GroupId group, ItemId item, BytesView value, VoidCb done) {
+  // The value is copied into the closure: a reroute retries after the
+  // caller's buffer may be gone.
+  issue<VoidResult>(
+      group,
+      [item, value = Bytes(value.begin(), value.end())](core::SecureStoreClient& client,
+                                                        VoidCb cb) {
+        client.write(item, value, std::move(cb));
+      },
+      std::move(done), 0);
+}
+
+void ShardedClient::read(GroupId group, ItemId item, ReadCb done) {
+  issue<Result<core::ReadOutput>>(
+      group,
+      [item](core::SecureStoreClient& client, std::function<void(Result<core::ReadOutput>)> cb) {
+        client.read(item, std::move(cb));
+      },
+      std::move(done), 0);
+}
+
+void ShardedClient::list_group(GroupId group, ListCb done) {
+  issue<Result<std::vector<core::GroupEntry>>>(
+      group,
+      [group](core::SecureStoreClient& client,
+              std::function<void(Result<std::vector<core::GroupEntry>>)> cb) {
+        client.list_group(group, std::move(cb));
+      },
+      std::move(done), 0);
+}
+
+VoidResult SyncShardedClient::connect(GroupId group) {
+  std::optional<VoidResult> slot;
+  client_.connect(group, [&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+VoidResult SyncShardedClient::disconnect(GroupId group) {
+  std::optional<VoidResult> slot;
+  client_.disconnect(group, [&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+VoidResult SyncShardedClient::reconstruct_context(GroupId group) {
+  std::optional<VoidResult> slot;
+  client_.reconstruct_context(group, [&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+VoidResult SyncShardedClient::write(GroupId group, ItemId item, BytesView value) {
+  std::optional<VoidResult> slot;
+  client_.write(group, item, value, [&slot](VoidResult r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+Result<core::ReadOutput> SyncShardedClient::read(GroupId group, ItemId item) {
+  std::optional<Result<core::ReadOutput>> slot;
+  client_.read(group, item, [&slot](Result<core::ReadOutput> r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+Result<Bytes> SyncShardedClient::read_value(GroupId group, ItemId item) {
+  Result<core::ReadOutput> result = read(group, item);
+  if (!result.ok()) return Result<Bytes>(result.error(), result.detail());
+  return Result<Bytes>(std::move(result.value().value));
+}
+
+Result<std::vector<core::GroupEntry>> SyncShardedClient::list_group(GroupId group) {
+  std::optional<Result<std::vector<core::GroupEntry>>> slot;
+  client_.list_group(group,
+                     [&slot](Result<std::vector<core::GroupEntry>> r) { slot = std::move(r); });
+  return wait(slot);
+}
+
+}  // namespace securestore::shard

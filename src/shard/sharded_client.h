@@ -1,0 +1,168 @@
+// Key-routed client facade over many replica groups (DESIGN.md §11).
+//
+// A ShardedClient holds one core SecureStoreClient per group it has
+// touched, each built against the owning shard's StoreConfig derived from
+// the verified ring (ShardRouter). All P1–P6 operations take the group
+// explicitly and route to that per-group session; within a shard the
+// paper's protocols run unchanged — sharding never alters quorum
+// arithmetic, only which (n, b) group a key talks to.
+//
+// Stale-ring healing: when a server rejects an operation with kWrongShard
+// it attaches its signed ring. The client absorbs it through the router
+// (authority signature + strictly-newer version), rebuilds the group's
+// session against the new owner — re-opening the P1 session and merging
+// the in-memory context pointwise so causality survives the move — and
+// retries, up to Options::max_reroutes times.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/client.h"
+#include "obs/metrics.h"
+#include "shard/router.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace securestore::shard {
+
+class ShardedClient {
+ public:
+  struct Options {
+    /// Template for every per-group core client; `policy.group` is
+    /// overwritten with the routed group.
+    core::SecureStoreClient::Options client;
+    /// Per-group policy overrides: a ShardedClient spans groups with
+    /// DIFFERENT sharing/consistency modes, which one template policy
+    /// cannot express. Groups absent here fall back to the template's
+    /// policy (with the group id substituted).
+    std::unordered_map<GroupId, core::GroupPolicy> group_policies;
+    /// First transport endpoint id; each group's session claims the next
+    /// free id upward (stable across session rebuilds).
+    NodeId network_base{};
+    /// kWrongShard retries per operation before the error surfaces.
+    unsigned max_reroutes = 3;
+  };
+
+  /// `template_config` must carry the ring authority key plus everything
+  /// shard-independent (quorum parameters, client key directory, timeouts);
+  /// per-shard servers/keys come from the ring.
+  ShardedClient(net::Transport& transport, ClientId id, crypto::KeyPair keys,
+                SignedRingState ring, core::StoreConfig template_config, Options options,
+                Rng rng);
+
+  using VoidCb = core::SecureStoreClient::VoidCb;
+  using ReadCb = core::SecureStoreClient::ReadCb;
+  using ListCb = core::SecureStoreClient::ListCb;
+
+  // P1–P6, routed by group (see core/client.h for the protocol contracts).
+  void connect(GroupId group, VoidCb done);
+  void disconnect(GroupId group, VoidCb done);
+  void reconstruct_context(GroupId group, VoidCb done);
+  void write(GroupId group, ItemId item, BytesView value, VoidCb done);
+  void read(GroupId group, ItemId item, ReadCb done);
+  void list_group(GroupId group, ListCb done);
+
+  const ShardRouter& router() const { return router_; }
+  std::uint32_t shard_for(GroupId group) const { return router_.shard_for(group); }
+  ClientId client_id() const { return client_id_; }
+  /// The group's core client — created on first use, replaced on reroute.
+  /// Null before the first operation touching the group.
+  core::SecureStoreClient* group_client(GroupId group);
+
+ private:
+  struct Session {
+    std::uint32_t shard_id = 0;
+    NodeId network_id{};
+    std::unique_ptr<core::SecureStoreClient> client;
+  };
+
+  /// One protocol operation against a group's core client; the callback
+  /// receives the operation's own result type.
+  template <typename R>
+  using OpFn = std::function<void(core::SecureStoreClient&, std::function<void(R)>)>;
+
+  Session& session_for(GroupId group);
+  std::unique_ptr<core::SecureStoreClient> make_group_client(GroupId group, std::uint32_t shard,
+                                                             NodeId network_id);
+  /// Installs the ring a kWrongShard rejection carried; true when the
+  /// router accepted it (authority-signed and strictly newer).
+  bool absorb_ring(Bytes ring_bytes);
+  /// Moves a group's session to the router's current owner: new core
+  /// client, and when the old session was connected, a P1 connect on the
+  /// new shard followed by a pointwise context merge (the in-memory
+  /// context may be newer than anything the new shard has stored).
+  void rebuild_session(GroupId group, VoidCb done);
+
+  /// Runs `op`, intercepting kWrongShard: absorb ring → rebuild session →
+  /// retry, bounded by max_reroutes.
+  template <typename R>
+  void issue(GroupId group, OpFn<R> op, std::function<void(R)> done, unsigned attempt) {
+    Session& session = session_for(group);
+    op(*session.client, [this, group, op, done, attempt](R result) {
+      if (result.ok() || result.error() != Error::kWrongShard ||
+          attempt >= options_.max_reroutes) {
+        done(std::move(result));
+        return;
+      }
+      reroutes_.inc();
+      absorb_ring(sessions_.at(group).client->take_wrong_shard_ring());
+      rebuild_session(group, [this, group, op, done, attempt](VoidResult rebuilt) {
+        if (!rebuilt.ok()) {
+          done(R(rebuilt.error(), rebuilt.detail()));
+          return;
+        }
+        issue<R>(group, op, done, attempt + 1);
+      });
+    });
+  }
+
+  net::Transport& transport_;
+  ClientId client_id_;
+  crypto::KeyPair keys_;
+  Options options_;
+  ShardRouter router_;
+  Rng rng_;
+  std::unordered_map<GroupId, Session> sessions_;
+  std::uint32_t next_endpoint_ = 0;
+  /// shard.* client counters (DESIGN.md §8): rings absorbed from
+  /// kWrongShard rejections, and reroute retries taken.
+  obs::Counter& ring_refresh_;
+  obs::Counter& reroutes_;
+};
+
+/// Blocking facade, mirroring core::SyncClient: drives the scheduler until
+/// each operation's callback fires. Deterministic in the seed.
+class SyncShardedClient {
+ public:
+  SyncShardedClient(ShardedClient& client, sim::Scheduler& scheduler)
+      : client_(client), scheduler_(scheduler) {}
+
+  VoidResult connect(GroupId group);
+  VoidResult disconnect(GroupId group);
+  VoidResult reconstruct_context(GroupId group);
+  VoidResult write(GroupId group, ItemId item, BytesView value);
+  Result<core::ReadOutput> read(GroupId group, ItemId item);
+  /// Convenience: the value only (errors pass through).
+  Result<Bytes> read_value(GroupId group, ItemId item);
+  Result<std::vector<core::GroupEntry>> list_group(GroupId group);
+
+  ShardedClient& client() { return client_; }
+
+ private:
+  template <typename R>
+  R wait(std::optional<R>& slot) {
+    while (!slot.has_value() && scheduler_.step()) {
+    }
+    if (slot.has_value()) return std::move(*slot);
+    return R(Error::kTimeout, "event queue drained before completion");
+  }
+
+  ShardedClient& client_;
+  sim::Scheduler& scheduler_;
+};
+
+}  // namespace securestore::shard

@@ -8,32 +8,61 @@
 namespace securestore::testkit {
 
 Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(options_.seed) {
-  transport_ = std::make_unique<net::SimTransport>(
-      scheduler_, sim::NetworkModel(rng_.fork(), options_.link), options_.registry,
-      options_.events);
-  if (options_.tracing) {
-    transport_->events().set_sample_every(options_.trace_sample_every);
-    transport_->events().set_enabled(true);
-  }
-  if (options_.chaos_seed.has_value()) {
-    chaos_ = std::make_unique<net::FaultInjectingTransport>(*transport_, *options_.chaos_seed);
+  if (options_.shared.has_value()) {
+    // One shard of a larger deployment: the ShardedCluster owns the
+    // transport stack; this cluster only registers its servers on it.
+    scheduler_ = options_.shared->scheduler;
+    transport_ = options_.shared->transport;
+    chaos_ = options_.shared->chaos;
+    metric_suffix_ = "{shard=" + std::to_string(options_.shared->shard_id) + "}";
+  } else {
+    owned_scheduler_ = std::make_unique<sim::Scheduler>();
+    scheduler_ = owned_scheduler_.get();
+    owned_transport_ = std::make_unique<net::SimTransport>(
+        *scheduler_, sim::NetworkModel(rng_.fork(), options_.link), options_.registry,
+        options_.events);
+    transport_ = owned_transport_.get();
+    if (options_.tracing) {
+      transport_->events().set_sample_every(options_.trace_sample_every);
+      transport_->events().set_enabled(true);
+    }
+    if (options_.chaos_seed.has_value()) {
+      owned_chaos_ =
+          std::make_unique<net::FaultInjectingTransport>(*transport_, *options_.chaos_seed);
+      chaos_ = owned_chaos_.get();
+    }
   }
 
   // Key directories first: servers copy the config at construction.
   config_.n = options_.n;
   config_.b = options_.b;
   config_.op_timeout = options_.op_timeout;
-  for (std::uint32_t i = 0; i < options_.n; ++i) config_.servers.push_back(NodeId{i});
+  for (std::uint32_t i = 0; i < options_.n; ++i) config_.servers.push_back(server_node(i));
+  if (options_.shared.has_value()) {
+    config_.ring_authority_key = options_.shared->ring_authority_key;
+  }
 
   authority_ = crypto::KeyPair::generate(rng_);
-  for (std::uint32_t c = 1; c <= options_.max_clients; ++c) {
-    client_keypairs_.push_back(crypto::KeyPair::generate(rng_));
-    config_.client_keys[c] = client_keypairs_.back().public_key;
+  if (options_.shared.has_value() && options_.shared->client_keypairs != nullptr) {
+    // Shared principals: the same client key must verify at every shard.
+    const std::vector<crypto::KeyPair>& shared_keys = *options_.shared->client_keypairs;
+    if (shared_keys.size() < options_.max_clients) {
+      throw std::invalid_argument("Cluster: shared client_keypairs smaller than max_clients");
+    }
+    for (std::uint32_t c = 1; c <= options_.max_clients; ++c) {
+      client_keypairs_.push_back(shared_keys[c - 1]);
+      config_.client_keys[c] = client_keypairs_.back().public_key;
+    }
+  } else {
+    for (std::uint32_t c = 1; c <= options_.max_clients; ++c) {
+      client_keypairs_.push_back(crypto::KeyPair::generate(rng_));
+      config_.client_keys[c] = client_keypairs_.back().public_key;
+    }
   }
 
   for (std::uint32_t i = 0; i < options_.n; ++i) {
     server_keypairs_.push_back(crypto::KeyPair::generate(rng_));
-    config_.server_keys[NodeId{i}] = server_keypairs_.back().public_key;
+    config_.server_keys[server_node(i)] = server_keypairs_.back().public_key;
   }
 
   stopped_snapshots_.resize(options_.n);
@@ -56,7 +85,11 @@ std::string Cluster::server_disk_dir(std::size_t index) const {
 std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t index) {
   core::SecureStoreServer::Options server_options;
   server_options.gossip = options_.gossip;
+  server_options.gossip.metric_suffix = metric_suffix_;
+  server_options.metric_suffix = metric_suffix_;
   server_options.start_gossip = options_.start_gossip;
+  if (options_.shared.has_value()) server_options.shard_id = options_.shared->shard_id;
+  server_options.ring = boot_ring_;
   if (options_.require_auth) server_options.authority_key = authority_.public_key;
   if (options_.durability_dir.has_value()) {
     const std::string base = server_disk_dir(index);
@@ -81,11 +114,11 @@ std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t ind
 
   std::unique_ptr<core::SecureStoreServer> server;
   if (faults.empty()) {
-    server = std::make_unique<core::SecureStoreServer>(endpoint_transport(), NodeId{index},
+    server = std::make_unique<core::SecureStoreServer>(endpoint_transport(), server_node(index),
                                                        config_, server_keypairs_[index],
                                                        server_options, rng_.fork());
   } else {
-    server = std::make_unique<faults::FaultyServer>(endpoint_transport(), NodeId{index},
+    server = std::make_unique<faults::FaultyServer>(endpoint_transport(), server_node(index),
                                                     config_, server_keypairs_[index],
                                                     server_options, rng_.fork(),
                                                     std::move(faults));
@@ -151,7 +184,16 @@ void Cluster::start_metrics_snapshots(
 
 void Cluster::set_group_policy(const core::GroupPolicy& policy) {
   policies_.push_back(policy);
-  for (auto& server : servers_) server->set_group_policy(policy);
+  for (auto& server : servers_) {
+    if (server != nullptr) server->set_group_policy(policy);
+  }
+}
+
+void Cluster::set_ring(const shard::SignedRingState& ring) {
+  boot_ring_ = ring;
+  for (auto& server : servers_) {
+    if (server != nullptr) server->install_ring(ring);
+  }
 }
 
 const crypto::KeyPair& Cluster::client_keys(ClientId id) const {
@@ -177,7 +219,7 @@ core::AuthToken Cluster::issue_token(ClientId client, GroupId group,
 }
 
 void Cluster::run_for(SimDuration duration) {
-  scheduler_.run_until(scheduler_.now() + duration);
+  scheduler_->run_until(scheduler_->now() + duration);
 }
 
 }  // namespace securestore::testkit

@@ -16,6 +16,7 @@
 #include "faults/faulty_server.h"
 #include "net/fault_transport.h"
 #include "net/sim_transport.h"
+#include "shard/hash_ring.h"
 #include "sim/scheduler.h"
 
 namespace securestore::testkit {
@@ -68,6 +69,29 @@ struct ClusterOptions {
   /// Event log shared with the transport, like `registry`. Null = the
   /// transport owns a fresh one.
   std::shared_ptr<obs::EventLog> events;
+
+  /// Sharded deployments (DESIGN.md §11): build this cluster as ONE shard
+  /// of a larger deployment, on an externally owned transport stack (a
+  /// ShardedCluster outlives all its groups). When set, `registry`,
+  /// `events`, `link`, `chaos_seed` and `tracing` above are ignored — the
+  /// shared transport already carries them — and every server metric gets
+  /// a `{shard=<id>}` suffix so per-group series stay distinguishable in
+  /// the one shared registry.
+  struct SharedInfra {
+    sim::Scheduler* scheduler = nullptr;
+    net::SimTransport* transport = nullptr;
+    net::FaultInjectingTransport* chaos = nullptr;  // null: no chaos wrapper
+    std::uint32_t shard_id = 0;
+    /// Server network ids base .. base+n-1 (groups must not collide).
+    std::uint32_t server_node_base = 0;
+    /// Ring authority public key (StoreConfig::ring_authority_key).
+    Bytes ring_authority_key;
+    /// Client principals shared across every shard, so one ShardedClient
+    /// key verifies at all groups: ClientId c uses (*client_keypairs)[c-1].
+    /// Null: the cluster generates its own (unshared) directory.
+    const std::vector<crypto::KeyPair>* client_keypairs = nullptr;
+  };
+  std::optional<SharedInfra> shared;
 };
 
 class Cluster {
@@ -78,14 +102,14 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Scheduler& scheduler() { return scheduler_; }
+  sim::Scheduler& scheduler() { return *scheduler_; }
   net::SimTransport& transport() { return *transport_; }
-  /// The chaos decorator (null unless `chaos_seed` was set).
-  net::FaultInjectingTransport* chaos() { return chaos_.get(); }
+  /// The chaos decorator (null unless `chaos_seed` or a shared one was set).
+  net::FaultInjectingTransport* chaos() { return chaos_; }
   /// The transport endpoints actually talk through: the chaos wrapper when
   /// one exists, the raw sim transport otherwise.
   net::Transport& endpoint_transport() {
-    return chaos_ ? static_cast<net::Transport&>(*chaos_) : *transport_;
+    return chaos_ != nullptr ? static_cast<net::Transport&>(*chaos_) : *transport_;
   }
   /// Transport counters for the deployment (convenience for benches and
   /// tests asserting on message costs/drops).
@@ -109,6 +133,20 @@ class Cluster {
 
   /// Applies a policy to every server.
   void set_group_policy(const core::GroupPolicy& policy);
+
+  /// Sharded deployments: installs `ring` on every running server and
+  /// remembers it as the boot ring for servers built/restarted later.
+  void set_ring(const shard::SignedRingState& ring);
+  /// This cluster's shard id (0 when not part of a sharded deployment).
+  std::uint32_t shard_id() const {
+    return options_.shared.has_value() ? options_.shared->shard_id : 0;
+  }
+  /// The network id of server `index`.
+  NodeId server_node(std::size_t index) const {
+    const std::uint32_t base =
+        options_.shared.has_value() ? options_.shared->server_node_base : 0;
+    return NodeId{base + static_cast<std::uint32_t>(index)};
+  }
 
   core::SecureStoreServer& server(std::size_t index) { return *servers_[index]; }
   std::size_t server_count() const { return servers_.size(); }
@@ -166,10 +204,21 @@ class Cluster {
 
  private:
   ClusterOptions options_;
-  sim::Scheduler scheduler_;
-  std::unique_ptr<net::SimTransport> transport_;
-  std::unique_ptr<net::FaultInjectingTransport> chaos_;
+  // Infrastructure is owned when standalone, borrowed when SharedInfra is
+  // set; the raw pointers below are what the rest of the class uses either
+  // way. Owned members are declared before servers_ so servers unregister
+  // from a still-live transport on destruction.
+  std::unique_ptr<sim::Scheduler> owned_scheduler_;
+  std::unique_ptr<net::SimTransport> owned_transport_;
+  std::unique_ptr<net::FaultInjectingTransport> owned_chaos_;
+  sim::Scheduler* scheduler_ = nullptr;
+  net::SimTransport* transport_ = nullptr;
+  net::FaultInjectingTransport* chaos_ = nullptr;
   core::StoreConfig config_;
+  /// `{shard=<id>}` when part of a sharded deployment, else empty.
+  std::string metric_suffix_;
+  /// Installed on every server at build time (sharded deployments).
+  std::optional<shard::SignedRingState> boot_ring_;
   std::unique_ptr<core::SecureStoreServer> build_server(std::uint32_t index);
 
   crypto::KeyPair authority_;

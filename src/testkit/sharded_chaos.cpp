@@ -1,0 +1,428 @@
+#include "testkit/sharded_chaos.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "shard/hash_ring.h"
+
+namespace securestore::testkit {
+
+/// One ShardedClient's asynchronous op loop. Unlike the single-cluster
+/// runner, a workload here spans SEVERAL group keys — the point is that its
+/// one client object routes each to the owning shard (and re-routes when
+/// the ring moves under it). All clients are CORRECT; the adversary is the
+/// schedule plus the rebalance.
+struct ShardedChaosRunner::Workload {
+  struct Role {
+    GroupId group{};
+    std::size_t oracle = 0;  // index into oracles_
+    bool writer = false;
+  };
+
+  std::unique_ptr<shard::ShardedClient> client;
+  ClientId id{};
+  std::vector<Role> roles;
+  bool reader = true;
+  std::vector<std::vector<ItemId>> items;  // index-aligned with roles
+  Rng rng{1};
+  std::uint64_t seq = 0;
+};
+
+ShardedChaosRunner::ShardedChaosRunner(ShardedCluster& cluster,
+                                       std::vector<ChaosSchedule> schedules,
+                                       ShardedChaosOptions options,
+                                       std::uint64_t workload_seed)
+    : cluster_(cluster), schedules_(std::move(schedules)), options_(options),
+      rng_(workload_seed) {
+  if (cluster_.chaos() == nullptr) {
+    throw std::logic_error("ShardedChaosRunner: cluster must be built with chaos_seed set");
+  }
+  if (schedules_.size() != cluster_.group_count()) {
+    throw std::logic_error("ShardedChaosRunner: one schedule per initial group required");
+  }
+  if (cluster_.options().max_clients < 7) {
+    throw std::logic_error("ShardedChaosRunner: cluster needs max_clients >= 7");
+  }
+
+  // Two group keys per protocol family. Six keys over a handful of shards
+  // gives every shard a mixed workload. With a rebalance scheduled the keys
+  // are CHOSEN so the handoff provably moves some of them: placement is a
+  // pure function of (placement_seed, shard ids, vnodes), so the post-add
+  // owners are computable before the storm starts, and a hash-lucky seed
+  // where no workload key re-rings would leave the no-lost-acked-write
+  // handoff claim untested.
+  std::vector<std::uint32_t> group_ids = {1, 2, 3, 4, 5, 6};
+  if (options_.rebalance) {
+    shard::RingState future = cluster_.ring().ring;
+    shard::ShardMembers newcomer;
+    newcomer.shard_id = static_cast<std::uint32_t>(cluster_.group_count());
+    future.shards.push_back(std::move(newcomer));
+    const shard::HashRing future_ring(future);
+    std::vector<std::uint32_t> movers;
+    std::vector<std::uint32_t> stayers;
+    for (std::uint32_t id = 1; movers.size() < 2 || stayers.size() < 4; ++id) {
+      if (future_ring.shard_for(GroupId{id}) == newcomer.shard_id) {
+        if (movers.size() < 2) movers.push_back(id);
+      } else if (stayers.size() < 4) {
+        stayers.push_back(id);
+      }
+    }
+    // Movers land on a single-writer slot and a causal multi-writer slot,
+    // so the handoff is exercised for both timestamp disciplines.
+    group_ids = {movers[0], stayers[0], stayers[1], stayers[2], movers[1], stayers[3]};
+  }
+
+  using core::ClientTrust;
+  using core::ConsistencyModel;
+  using core::SharingMode;
+  for (std::size_t i = 0; i < group_ids.size(); i += 3) {
+    group_policies_.push_back(core::GroupPolicy{GroupId{group_ids[i]},
+                                                ConsistencyModel::kMRC,
+                                                SharingMode::kSingleWriter,
+                                                ClientTrust::kHonest});
+    group_policies_.push_back(core::GroupPolicy{GroupId{group_ids[i + 1]},
+                                                ConsistencyModel::kCC,
+                                                SharingMode::kMultiWriter,
+                                                ClientTrust::kHonest});
+    group_policies_.push_back(core::GroupPolicy{GroupId{group_ids[i + 2]},
+                                                ConsistencyModel::kMRC,
+                                                SharingMode::kMultiWriter,
+                                                ClientTrust::kByzantine});
+  }
+  for (const core::GroupPolicy& policy : group_policies_) {
+    oracles_.push_back(std::make_unique<ConsistencyOracle>(
+        policy.model == ConsistencyModel::kCC));
+    // Registered BEFORE the clients are built: make_client snapshots the
+    // cluster's policy list into each ShardedClient's per-group directory.
+    cluster_.set_group_policy(policy);
+  }
+
+  // Client layout: each client covers one policy-family's TWO group keys
+  // through a single ShardedClient, so one principal holds sessions on
+  // several shards at once. Policy indices: 0/3 single-writer, 1/4 causal
+  // multi-writer, 2/5 Byzantine-mode multi-writer.
+  struct Spec {
+    std::uint32_t client;
+    std::vector<std::pair<std::size_t, bool>> roles;  // (policy index, writer)
+    bool reader;
+  };
+  const Spec specs[] = {
+      {1, {{0, true}, {3, true}}, true},    // the single writer of both SW keys
+      {2, {{0, false}, {3, false}}, true},  // ...and their pure reader
+      {3, {{1, true}, {4, true}}, true},    // honest multi-writer pair
+      {4, {{1, true}, {4, true}}, true},
+      {5, {{2, true}, {5, true}}, true},    // Byzantine-mode pair
+      {6, {{2, true}, {5, true}}, true},
+  };
+  for (const Spec& spec : specs) {
+    auto w = std::make_shared<Workload>();
+    w->id = ClientId{spec.client};
+    w->reader = spec.reader;
+    w->rng = rng_.fork();
+    for (const auto& [policy_idx, writer] : spec.roles) {
+      const core::GroupPolicy& policy = group_policies_[policy_idx];
+      w->roles.push_back(Workload::Role{policy.group, policy_idx, writer});
+      std::vector<ItemId> items;
+      for (std::uint32_t k = 0; k < options_.items_per_group; ++k) {
+        items.push_back(ItemId{policy.group.value * 100 + k});
+      }
+      w->items.push_back(std::move(items));
+    }
+    core::SecureStoreClient::Options client_options;
+    client_options.round_timeout = options_.round_timeout;
+    w->client = cluster_.make_client(w->id, std::move(client_options));
+    workloads_.push_back(std::move(w));
+  }
+}
+
+ShardedChaosRunner::~ShardedChaosRunner() { *alive_ = false; }
+
+std::vector<NodeId> ShardedChaosRunner::all_node_ids() const {
+  std::vector<NodeId> ids;
+  for (std::size_t g = 0; g < cluster_.group_count(); ++g) {
+    Cluster& group = cluster_.group(g);
+    for (std::size_t s = 0; s < group.server_count(); ++s) {
+      ids.push_back(group.server_node(s));
+    }
+  }
+  // ShardedClient endpoints: one per (client, visited shard), allocated
+  // upward from 10000 + id*100. Enumerate the whole window per client.
+  for (std::uint32_t c = 1; c <= cluster_.options().max_clients; ++c) {
+    for (std::uint32_t k = 0; k < 16; ++k) ids.push_back(NodeId{10000 + c * 100 + k});
+  }
+  return ids;
+}
+
+void ShardedChaosRunner::isolate_server(std::size_t group_idx, std::uint32_t server,
+                                        bool heal) {
+  const NodeId target = cluster_.group(group_idx).server_node(server);
+  std::vector<NodeId> others;
+  for (const NodeId id : all_node_ids()) {
+    if (id.value != target.value) others.push_back(id);
+  }
+  sim::NetworkModel& network = cluster_.transport().network();
+  if (heal) {
+    network.heal_groups({target}, others);
+  } else {
+    network.partition_groups({target}, others);
+  }
+}
+
+void ShardedChaosRunner::degrade_server(std::size_t group_idx, std::uint32_t server,
+                                        const net::FaultRule& rule, bool restore) {
+  const NodeId target = cluster_.group(group_idx).server_node(server);
+  net::FaultInjectingTransport& chaos = *cluster_.chaos();
+  for (const NodeId id : all_node_ids()) {
+    if (id.value == target.value) continue;
+    if (restore) {
+      chaos.clear_link_rule(target, id);
+      chaos.clear_link_rule(id, target);
+    } else {
+      chaos.set_link_rule(target, id, rule);
+      chaos.set_link_rule(id, target, rule);
+    }
+  }
+}
+
+void ShardedChaosRunner::apply_event(std::size_t group_idx, const ChaosEvent& event) {
+  ++report_.events_applied;
+  Cluster& group = cluster_.group(group_idx);
+  const std::uint32_t s = event.server;
+  const auto key = std::make_pair(group_idx, s);
+  switch (event.kind) {
+    case ChaosEvent::Kind::kCrash:
+      group.stop_server(s);
+      faulty_now_.insert(key);
+      break;
+    case ChaosEvent::Kind::kRestart:
+      if (!group.server_running(s)) group.start_server(s, event.restore_state);
+      faulty_now_.erase(key);
+      break;
+    case ChaosEvent::Kind::kIsolate:
+      isolate_server(group_idx, s, /*heal=*/false);
+      faulty_now_.insert(key);
+      break;
+    case ChaosEvent::Kind::kHealIsolation:
+      isolate_server(group_idx, s, /*heal=*/true);
+      faulty_now_.erase(key);
+      break;
+    case ChaosEvent::Kind::kByzantine:
+      group.set_server_faults(s, event.faults);
+      if (group.server_running(s)) group.restart_server(s, /*restore_state=*/true);
+      faulty_now_.insert(key);
+      byzantine_now_.insert(key);
+      break;
+    case ChaosEvent::Kind::kRecover:
+      group.set_server_faults(s, {});
+      if (group.server_running(s)) group.restart_server(s, /*restore_state=*/true);
+      faulty_now_.erase(key);
+      byzantine_now_.erase(key);
+      break;
+    case ChaosEvent::Kind::kDegradeLinks:
+      degrade_server(group_idx, s, event.rule, /*restore=*/false);
+      break;
+    case ChaosEvent::Kind::kRestoreLinks:
+      degrade_server(group_idx, s, event.rule, /*restore=*/true);
+      break;
+  }
+}
+
+void ShardedChaosRunner::heal_everything() {
+  cluster_.transport().network().heal_all_links();
+  cluster_.chaos()->heal_all_partitions();
+  cluster_.chaos()->clear_link_rules();
+  for (const auto& [g, s] : byzantine_now_) cluster_.group(g).set_server_faults(s, {});
+  for (std::size_t g = 0; g < cluster_.group_count(); ++g) {
+    Cluster& group = cluster_.group(g);
+    for (std::uint32_t s = 0; s < group.server_count(); ++s) {
+      if (!group.server_running(s)) {
+        group.start_server(s, /*restore_state=*/true);
+      } else if (byzantine_now_.contains({g, s})) {
+        group.restart_server(s, /*restore_state=*/true);
+      }
+    }
+  }
+  byzantine_now_.clear();
+  faulty_now_.clear();
+}
+
+void ShardedChaosRunner::start_workload(const std::shared_ptr<Workload>& w,
+                                        std::size_t role_idx) {
+  if (role_idx == w->roles.size()) {
+    schedule_next_op(w);
+    return;
+  }
+  // P1 session per group key, acquired in turn and retried until it lands
+  // or the storm ends — the client may be connecting to several shards.
+  w->client->connect(w->roles[role_idx].group,
+                     [this, alive = alive_, w, role_idx](VoidResult result) {
+    if (!*alive) return;
+    if (result.ok()) {
+      start_workload(w, role_idx + 1);
+      return;
+    }
+    ++report_.ops_failed;
+    if (cluster_.transport().now() + options_.connect_retry_gap < stop_time_) {
+      cluster_.endpoint_transport().schedule(options_.connect_retry_gap,
+                                             [this, alive, w, role_idx]() {
+                                               if (!*alive) return;
+                                               start_workload(w, role_idx);
+                                             });
+    }
+  });
+}
+
+void ShardedChaosRunner::schedule_next_op(const std::shared_ptr<Workload>& w) {
+  if (cluster_.transport().now() + options_.op_gap >= stop_time_) return;
+  cluster_.endpoint_transport().schedule(options_.op_gap, [this, alive = alive_, w]() {
+    if (!*alive) return;
+    run_op(w);
+  });
+}
+
+void ShardedChaosRunner::run_op(const std::shared_ptr<Workload>& w) {
+  if (cluster_.transport().now() >= stop_time_) return;
+  const std::size_t role_idx = w->rng.next_below(w->roles.size());
+  const Workload::Role& role = w->roles[role_idx];
+  ConsistencyOracle& oracle = *oracles_[role.oracle];
+  const std::vector<ItemId>& items = w->items[role_idx];
+  const ItemId item = items[w->rng.next_below(items.size())];
+  const bool do_write = role.writer && (!w->reader || w->rng.next_bool(0.5));
+
+  if (do_write) {
+    ++report_.writes_attempted;
+    const std::string text = "g" + std::to_string(role.group.value) + "-c" +
+                             std::to_string(w->id.value) + "-s" + std::to_string(w->seq++);
+    const Bytes value(text.begin(), text.end());
+    // Registered BEFORE the outcome is known: a timed-out write may still
+    // land at servers and be legitimately read later.
+    oracle.note_write_attempt(w->id, item, value);
+    w->client->write(role.group, item, value,
+                     [this, alive = alive_, w, role, item](VoidResult result) {
+      if (!*alive) return;
+      if (result.ok()) {
+        ++report_.writes_acked;
+        const core::SecureStoreClient* gc = w->client->group_client(role.group);
+        oracles_[role.oracle]->note_write_ok(w->id, item, gc->context().get(item),
+                                             gc->context(), cluster_.transport().now());
+      } else {
+        ++report_.ops_failed;
+      }
+      schedule_next_op(w);
+    });
+    return;
+  }
+
+  w->client->read(role.group, item,
+                  [this, alive = alive_, w, role, item](Result<core::ReadOutput> result) {
+    if (!*alive) return;
+    if (result.ok()) {
+      ++report_.reads_ok;
+      oracles_[role.oracle]->note_read_ok(w->id, item, result.value(),
+                                          cluster_.transport().now());
+    } else {
+      ++report_.ops_failed;
+    }
+    schedule_next_op(w);
+  });
+}
+
+void ShardedChaosRunner::final_verification() {
+  // One fresh ShardedClient sweeps EVERY group key: booted on the settled
+  // ring, it reconstructs each group's context (P2) and reads every item,
+  // whichever shard the rebalance left the key on.
+  core::SecureStoreClient::Options client_options;
+  // Generous per-round budget: the storm is over, this is a correctness
+  // sweep, not an availability measurement.
+  client_options.round_timeout = seconds(1);
+  auto client = cluster_.make_client(ClientId{7}, std::move(client_options));
+  shard::SyncShardedClient sync(*client, cluster_.scheduler());
+  for (std::size_t g = 0; g < group_policies_.size(); ++g) {
+    const GroupId group = group_policies_[g].group;
+    (void)sync.reconstruct_context(group);
+    for (std::uint32_t k = 0; k < options_.items_per_group; ++k) {
+      const ItemId item{group.value * 100 + k};
+      auto result = sync.read(group, item);
+      oracles_[g]->note_final_read(
+          item,
+          result.ok() ? std::optional<core::ReadOutput>(result.value()) : std::nullopt,
+          cluster_.transport().now());
+    }
+  }
+}
+
+ShardedChaosReport ShardedChaosRunner::run() {
+  if (ran_) throw std::logic_error("ShardedChaosRunner::run() may only be called once");
+  ran_ = true;
+
+  const SimTime start = cluster_.transport().now();
+  stop_time_ = start + options_.horizon;
+
+  // Stagger the workload starts a little so connects do not all collide.
+  SimDuration stagger = milliseconds(1);
+  for (const auto& w : workloads_) {
+    cluster_.endpoint_transport().schedule(stagger, [this, alive = alive_, w]() {
+      if (!*alive) return;
+      start_workload(w, 0);
+    });
+    stagger += milliseconds(3);
+  }
+
+  for (std::size_t g = 0; g < schedules_.size(); ++g) {
+    for (const ChaosEvent& event : schedules_[g].events) {
+      cluster_.endpoint_transport().schedule(event.at, [this, alive = alive_, g, event]() {
+        if (!*alive) return;
+        apply_event(g, event);
+      });
+    }
+  }
+
+  if (options_.rebalance) {
+    // The §11 protocol, stepwise, with the storm raging between phases —
+    // crashes, partitions and Byzantine flips interleave with the copy and
+    // the switch. Writes acked in the gaps are what the reconciliation
+    // passes (one here, one post-heal) must not lose.
+    cluster_.run_for(options_.horizon / 4);
+    cluster_.begin_add_group();
+    const shard::SignedRingState target = cluster_.next_ring();
+    cluster_.run_for(options_.horizon * 15 / 100);
+    report_.records_copied += cluster_.copy_moved_data(target);
+    cluster_.run_for(options_.horizon * 15 / 100);
+    cluster_.install_ring(target);
+    cluster_.run_for(options_.horizon * 15 / 100);
+    report_.records_copied += cluster_.copy_moved_data(target);
+    cluster_.run_for(options_.horizon * 30 / 100);
+  } else {
+    cluster_.run_for(options_.horizon);
+  }
+
+  heal_everything();
+  if (options_.rebalance) {
+    // Post-heal reconciliation: a destination that was crashed or isolated
+    // during both in-storm passes imports its moved ranges now, from
+    // holders that are all reachable again.
+    report_.records_copied += cluster_.copy_moved_data(cluster_.ring());
+  }
+  cluster_.run_for(options_.quiesce);
+  final_verification();
+
+  report_.final_ring_version = cluster_.ring().ring.version;
+  report_.groups_after = static_cast<std::uint32_t>(cluster_.group_count());
+  for (std::size_t g = 0; g < group_policies_.size(); ++g) {
+    const GroupId group = group_policies_[g].group;
+    ShardedChaosReport::GroupReport entry;
+    entry.group = group;
+    entry.shard = cluster_.shard_for(group);
+    entry.checks = oracles_[g]->checks();
+    entry.violations = oracles_[g]->violations();
+    report_.oracle_checks += entry.checks;
+    for (const auto& violation : entry.violations) {
+      report_.violations.push_back(violation);
+    }
+    report_.violation_report += oracles_[g]->report();
+    report_.groups.push_back(std::move(entry));
+  }
+  return report_;
+}
+
+}  // namespace securestore::testkit

@@ -1,0 +1,129 @@
+// Chaos harness for sharded deployments (DESIGN.md §9, §11).
+//
+// Runs one ChaosSchedule per replica group — each generated under that
+// group's own fault bound `b`, so no group ever exceeds its quorum
+// assumptions — while ShardedClient workloads issue key-routed operations
+// across many groups and report to a per-group ConsistencyOracle. Mid-storm
+// the runner executes the §11 rebalance protocol STEPWISE, with virtual
+// time (and therefore faults, crashes and partitions) elapsing between the
+// phases: stand up a new group under the old ring, bulk-copy moved ranges,
+// install ring v+1, reconciliation copy. Clients learn of the move only
+// through kWrongShard rejections, exercising the stale-ring healing path
+// under fire.
+//
+// After the horizon the runner heals every group, runs one more
+// reconciliation copy (a crashed-at-copy-time destination may have missed
+// imports), quiesces, and drives a fresh-client verification sweep per
+// group — the durability check that no acknowledged write was lost in the
+// storm or the move.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "testkit/chaos.h"
+#include "testkit/sharded_cluster.h"
+
+namespace securestore::testkit {
+
+struct ShardedChaosOptions {
+  /// Length of the storm; workloads stop issuing new ops at this time.
+  SimDuration horizon = seconds(20);
+  /// Settle time between healing everything and the verification sweep.
+  SimDuration quiesce = seconds(5);
+  /// Think time between one client's consecutive operations.
+  SimDuration op_gap = milliseconds(25);
+  /// Wait before retrying a failed connect.
+  SimDuration connect_retry_gap = milliseconds(200);
+  /// Items written/read per group (ItemId = group*100 + k).
+  std::uint32_t items_per_group = 3;
+  /// Per-round quorum timeout handed to workload clients.
+  SimDuration round_timeout = milliseconds(150);
+  /// Run the mid-storm rebalance (add one group, hand off moved ranges).
+  /// Phases land at 25% / 40% / 55% / 70% of the horizon, with the storm
+  /// raging in between.
+  bool rebalance = true;
+};
+
+struct ShardedChaosReport {
+  std::uint64_t writes_attempted = 0;
+  std::uint64_t writes_acked = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t ops_failed = 0;  // timed-out / stale / unreachable ops
+  std::uint64_t oracle_checks = 0;
+  std::uint64_t events_applied = 0;
+  /// Records imported by the rebalance copy passes (0 without rebalance).
+  std::uint64_t records_copied = 0;
+  /// Ring version and group count once the run settles.
+  std::uint64_t final_ring_version = 0;
+  std::uint32_t groups_after = 0;
+
+  /// Per-group-key verdict, with the shard the key settled on.
+  struct GroupReport {
+    GroupId group{};
+    std::uint32_t shard = 0;
+    std::uint64_t checks = 0;
+    std::vector<ConsistencyOracle::Violation> violations;
+  };
+  std::vector<GroupReport> groups;
+
+  std::vector<ConsistencyOracle::Violation> violations;  // all groups pooled
+  /// All violations pretty-printed, one per line (empty when clean).
+  std::string violation_report;
+};
+
+class ShardedChaosRunner {
+ public:
+  /// `cluster` must have been built with `chaos_seed` set. `schedules` has
+  /// one entry per INITIAL group (a group added by the rebalance gets no
+  /// scheduled faults of its own, though partitions and link rules around
+  /// other servers still shape its traffic). `workload_seed` drives
+  /// workload choices independently of the schedules and the cluster.
+  ShardedChaosRunner(ShardedCluster& cluster, std::vector<ChaosSchedule> schedules,
+                     ShardedChaosOptions options, std::uint64_t workload_seed);
+  ~ShardedChaosRunner();
+
+  ShardedChaosRunner(const ShardedChaosRunner&) = delete;
+  ShardedChaosRunner& operator=(const ShardedChaosRunner&) = delete;
+
+  /// Storm + workloads + mid-storm rebalance, heal, reconcile, quiesce,
+  /// verify. Blocking (drives the cluster's scheduler); call once.
+  ShardedChaosReport run();
+
+ private:
+  struct Workload;  // one ShardedClient's op loop over several groups
+
+  void apply_event(std::size_t group_idx, const ChaosEvent& event);
+  void heal_everything();
+  void final_verification();
+  std::vector<NodeId> all_node_ids() const;
+  void isolate_server(std::size_t group_idx, std::uint32_t server, bool heal);
+  void degrade_server(std::size_t group_idx, std::uint32_t server,
+                      const net::FaultRule& rule, bool restore);
+
+  void start_workload(const std::shared_ptr<Workload>& w, std::size_t role_idx);
+  void schedule_next_op(const std::shared_ptr<Workload>& w);
+  void run_op(const std::shared_ptr<Workload>& w);
+
+  ShardedCluster& cluster_;
+  std::vector<ChaosSchedule> schedules_;
+  ShardedChaosOptions options_;
+  Rng rng_;
+  SimTime stop_time_ = 0;
+  bool ran_ = false;
+
+  std::vector<core::GroupPolicy> group_policies_;
+  std::vector<std::unique_ptr<ConsistencyOracle>> oracles_;  // one per group key
+  std::vector<std::shared_ptr<Workload>> workloads_;
+
+  std::set<std::pair<std::size_t, std::uint32_t>> faulty_now_;     // (group, server)
+  std::set<std::pair<std::size_t, std::uint32_t>> byzantine_now_;
+  ShardedChaosReport report_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace securestore::testkit

@@ -1,0 +1,132 @@
+// Sharded deployment harness: many replica groups behind one router
+// (DESIGN.md §11).
+//
+// One scheduler, one simulated network, one metrics registry and one event
+// log carry `groups` independent (n, b) SecureStore clusters — each a
+// plain testkit::Cluster in shared-infrastructure mode, so durability
+// directories, fault injection and server restarts all work per group
+// exactly as they do standalone. The ShardedCluster owns the ring
+// authority: it signs the ring mapping group keys to shards, installs it
+// on every server, and hands ShardedClients a verified starting ring.
+//
+// Rebalance (add_group) follows the §11 protocol: stand up the new group
+// with the OLD ring (it owns nothing, so it rejects everything), bulk-copy
+// the moved key ranges, install ring v+1 everywhere, then run a SECOND
+// reconciliation copy — old owners never delete moved data, so any write
+// acked during the bulk copy is caught by the second pass. Safe to run
+// under crashes and partitions; the chaos soak drives exactly that.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_client.h"
+#include "testkit/cluster.h"
+
+namespace securestore::testkit {
+
+struct ShardedClusterOptions {
+  /// Initial number of replica groups (shards).
+  std::uint32_t groups = 2;
+  // Per-group deployment shape (every group gets the same (n, b)).
+  std::uint32_t n = 4;
+  std::uint32_t b = 1;
+  std::uint64_t seed = 1;
+  std::uint32_t vnodes_per_shard = 64;
+  /// Client identities pre-registered at every group (ClientId 1..k),
+  /// sharing one keypair per id across shards.
+  std::uint32_t max_clients = 8;
+  sim::LinkProfile link = sim::lan_profile();
+  gossip::GossipEngine::Config gossip;
+  bool start_gossip = true;
+  SimDuration op_timeout = seconds(5);
+  /// Chaos decorator for the shared transport (see ClusterOptions).
+  std::optional<std::uint64_t> chaos_seed;
+  /// Durable groups: group g persists under `<durability_dir>/group-<g>/`.
+  std::optional<std::string> durability_dir;
+  storage::FsyncPolicy fsync = storage::FsyncPolicy::kAlways;
+  std::shared_ptr<obs::Registry> registry;
+  std::shared_ptr<obs::EventLog> events;
+  bool tracing = false;
+  std::uint32_t trace_sample_every = 1;
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterOptions options);
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  net::SimTransport& transport() { return *transport_; }
+  net::FaultInjectingTransport* chaos() { return chaos_.get(); }
+  net::Transport& endpoint_transport() {
+    return chaos_ != nullptr ? static_cast<net::Transport&>(*chaos_) : *transport_;
+  }
+  obs::Registry& registry() { return transport_->registry(); }
+  obs::EventLog& events() { return transport_->events(); }
+
+  Cluster& group(std::size_t g) { return *groups_[g]; }
+  std::size_t group_count() const { return groups_.size(); }
+  /// The shard a group key routes to under the CURRENT ring.
+  std::uint32_t shard_for(GroupId group) const;
+
+  const shard::SignedRingState& ring() const { return ring_; }
+  const crypto::KeyPair& ring_authority() const { return ring_authority_; }
+  /// A shard-independent StoreConfig (quorums, client keys, authority key)
+  /// for building ShardedClients; per-shard servers come from the ring.
+  const core::StoreConfig& template_config() const { return groups_[0]->config(); }
+
+  /// Applies a policy to every server of every group.
+  void set_group_policy(const core::GroupPolicy& policy);
+
+  /// A ShardedClient for a pre-registered identity. Endpoint ids start at
+  /// 10000 + id*100, far from the per-group server ranges.
+  std::unique_ptr<shard::ShardedClient> make_client(
+      ClientId id, core::SecureStoreClient::Options options, unsigned max_reroutes = 3);
+  const crypto::KeyPair& client_keys(ClientId id) const;
+
+  // Rebalance. add_group() runs the full protocol; the stepwise pieces are
+  // exposed so the chaos harness can interleave faults between phases.
+  /// Stands up one more group, booted with the CURRENT ring and its new
+  /// shard id (it owns nothing until the switch). Returns the shard id.
+  std::uint32_t begin_add_group();
+  /// The candidate next ring: version+1 over all current groups.
+  shard::SignedRingState next_ring() const;
+  /// Copies every record/context whose group `target` maps off its current
+  /// holder onto the target owner's servers (validated imports; idempotent;
+  /// skips crashed sources and destinations). Returns records copied.
+  std::uint64_t copy_moved_data(const shard::SignedRingState& target);
+  /// Installs `ring` on every server of every group and adopts it as the
+  /// deployment ring for future clients and restarts.
+  void install_ring(const shard::SignedRingState& ring);
+  /// begin_add_group + copy + install + reconciliation copy, in order.
+  std::uint32_t add_group();
+
+  /// Runs the simulation for `duration` of virtual time.
+  void run_for(SimDuration duration);
+
+  const ShardedClusterOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<Cluster> build_group(std::uint32_t shard_id);
+
+  ShardedClusterOptions options_;
+  Rng rng_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::unique_ptr<net::FaultInjectingTransport> chaos_;
+  crypto::KeyPair ring_authority_;
+  std::vector<crypto::KeyPair> client_keypairs_;  // index = ClientId.value - 1
+  std::vector<std::unique_ptr<Cluster>> groups_;
+  std::vector<core::GroupPolicy> policies_;
+  shard::SignedRingState ring_;
+  std::optional<shard::HashRing> hash_ring_;  // lookup view of ring_
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace securestore::testkit

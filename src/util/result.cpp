@@ -14,6 +14,7 @@ const char* error_name(Error e) {
     case Error::kFaultyWriter: return "faulty-writer";
     case Error::kNoAgreement: return "no-agreement";
     case Error::kInvalidArgument: return "invalid-argument";
+    case Error::kWrongShard: return "wrong-shard";
   }
   return "unknown";
 }

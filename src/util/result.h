@@ -26,6 +26,7 @@ enum class Error {
   kFaultyWriter,        // multi-writer equivocation detected (same ts, two values)
   kNoAgreement,         // multi-writer read: no value matched in >= b+1 replies
   kInvalidArgument,     // caller error detected at the protocol boundary
+  kWrongShard,          // server does not own the key's shard (stale ring)
 };
 
 /// Human-readable name for diagnostics.

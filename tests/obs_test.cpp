@@ -23,6 +23,7 @@
 #include "obs/trace.h"
 #include "sim/scheduler.h"
 #include "testkit/cluster.h"
+#include "testkit/sharded_cluster.h"
 #include "util/serial.h"
 
 namespace securestore {
@@ -507,8 +508,14 @@ std::set<std::string> load_catalog() {
 }
 
 // Folds concrete names onto their catalog form: per-server gauges become
-// `server.<id>.*`, per-protocol client names become `client.<op>*`.
-std::string normalize_name(const std::string& name) {
+// `server.<id>.*`, per-protocol client names become `client.<op>*`, and the
+// `{shard=<id>}` suffix sharded deployments append (DESIGN.md §11) is
+// stripped — the catalog documents the base series.
+std::string normalize_name(std::string name) {
+  const std::size_t brace = name.find("{shard=");
+  if (brace != std::string::npos && !name.empty() && name.back() == '}') {
+    name = name.substr(0, brace);
+  }
   if (name.rfind("server.", 0) == 0) {
     std::size_t digits_end = 7;
     while (digits_end < name.size() &&
@@ -588,6 +595,66 @@ TEST(ObsCatalog, MixedWorkloadEmitsOnlyCatalogedNames) {
     check(event.name, "event name");
     check(event.category, "event category");
   }
+}
+
+// The sharded counterpart: a two-group deployment grown to three mid-run,
+// so the `shard.*` series (ring installs, wrong-shard refusals, client
+// refresh/reroute) and the `{shard=<id>}`-suffixed server/gossip series are
+// actually emitted, then held to the same catalog.
+TEST(ObsCatalog, ShardedWorkloadEmitsOnlyCatalogedNames) {
+  const std::set<std::string> catalog = load_catalog();
+  ASSERT_FALSE(catalog.empty());
+
+  testkit::ShardedClusterOptions options;
+  options.groups = 2;
+  options.seed = 11;
+  options.gossip.period = milliseconds(100);
+  options.tracing = true;
+  testkit::ShardedCluster cluster(options);
+  for (std::uint32_t g = 1; g <= 16; ++g) {
+    cluster.set_group_policy(GroupPolicy{GroupId{g}, ConsistencyModel::kMRC,
+                                         SharingMode::kSingleWriter,
+                                         core::ClientTrust::kHonest});
+  }
+
+  SecureStoreClient::Options client_options;
+  client_options.round_timeout = seconds(1);
+  auto client = cluster.make_client(ClientId{1}, client_options);
+  shard::SyncShardedClient sync(*client, cluster.scheduler());
+  for (std::uint32_t g = 1; g <= 16; ++g) {
+    ASSERT_TRUE(sync.connect(GroupId{g}).ok());
+    ASSERT_TRUE(sync.write(GroupId{g}, ItemId{g * 100}, to_bytes("v1")).ok());
+  }
+  // Growing the deployment bounces the now-stale client with kWrongShard on
+  // every moved group: servers count the refusals, the client counts the
+  // ring refresh and the reroutes.
+  cluster.add_group();
+  for (std::uint32_t g = 1; g <= 16; ++g) {
+    ASSERT_TRUE(sync.write(GroupId{g}, ItemId{g * 100 + 1}, to_bytes("v2")).ok());
+  }
+  cluster.run_for(seconds(2));  // ring + record gossip
+
+  const auto check = [&](const std::string& name, const char* what) {
+    EXPECT_TRUE(catalog.count(normalize_name(name)) == 1)
+        << what << " `" << name << "` (normalized `" << normalize_name(name)
+        << "`) is missing from the DESIGN.md §8 catalog";
+  };
+  const obs::MetricsSnapshot snap = cluster.registry().snapshot();
+  for (const auto& [name, value] : snap.counters) check(name, "counter");
+  for (const auto& [name, value] : snap.gauges) check(name, "gauge");
+  for (const auto& [name, histogram] : snap.histograms) check(name, "histogram");
+  for (const obs::Event& event : cluster.events().snapshot()) {
+    check(event.name, "event name");
+    check(event.category, "event category");
+  }
+  // The names this test exists for must really have been exercised.
+  EXPECT_GE(snap.counters.count("shard.ring_refresh"), 1u);
+  EXPECT_GE(snap.counters.count("shard.reroute"), 1u);
+  bool saw_wrong_shard = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("shard.wrong_shard", 0) == 0 && value > 0) saw_wrong_shard = true;
+  }
+  EXPECT_TRUE(saw_wrong_shard);
 }
 
 }  // namespace

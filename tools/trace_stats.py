@@ -7,7 +7,12 @@ per-node span counts plus the top-10 longest spans. Standard library only.
 
 Usage:
     trace_stats.py TRACE_foo.json [TRACE_bar.json ...]
+    trace_stats.py --by-shard TRACE_foo.json              # sharded deployments
     trace_stats.py --expect expected.txt TRACE_foo.json   # golden-file mode
+
+--by-shard additionally groups span counts per shard using the sharded
+node-id layout (DESIGN.md section 11): servers of shard g occupy node ids
+g*100 .. g*100+n-1, client endpoints live at 10000 and above.
 
 Exit codes: 0 ok, 1 malformed input, 2 golden mismatch.
 """
@@ -56,7 +61,25 @@ def validate(path, doc):
     return events
 
 
-def summarize(path, events, out):
+def shard_of(pid):
+    """Maps a node id onto its shard under the DESIGN.md section 11 layout."""
+    if pid >= 10000:
+        return "clients"
+    return "shard %d" % (pid // 100)
+
+
+def summarize_shards(spans, out):
+    counts = {}
+    for span in spans:
+        key = shard_of(span["pid"])
+        counts[key] = counts.get(key, 0) + 1
+    out.append("per-shard span counts:")
+    # Shards numerically, the client bucket last.
+    for key in sorted(counts, key=lambda k: (k == "clients", k)):
+        out.append("  %s: %d" % (key, counts[key]))
+
+
+def summarize(path, events, out, by_shard=False):
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
     metadata = [e for e in events if e["ph"] == "M"]
@@ -71,6 +94,9 @@ def summarize(path, events, out):
     for node in sorted(counts):
         out.append("  node %d: %d" % (node, counts[node]))
 
+    if by_shard:
+        summarize_shards(spans, out)
+
     out.append("top %d longest spans:" % TOP_N)
     longest = sorted(spans, key=lambda e: (-e["dur"], e["name"], e["ts"]))[:TOP_N]
     for span in longest:
@@ -81,14 +107,23 @@ def summarize(path, events, out):
 def main(argv):
     args = argv[1:]
     expect = None
-    if args and args[0] == "--expect":
-        if len(args) < 3:
-            print("usage: trace_stats.py [--expect FILE] TRACE.json ...", file=sys.stderr)
+    by_shard = False
+    usage = "usage: trace_stats.py [--by-shard] [--expect FILE] TRACE.json ..."
+    while args and args[0].startswith("--"):
+        if args[0] == "--by-shard":
+            by_shard = True
+            args = args[1:]
+        elif args[0] == "--expect":
+            if len(args) < 2:
+                print(usage, file=sys.stderr)
+                return 1
+            expect = args[1]
+            args = args[2:]
+        else:
+            print(usage, file=sys.stderr)
             return 1
-        expect = args[1]
-        args = args[2:]
     if not args:
-        print("usage: trace_stats.py [--expect FILE] TRACE.json ...", file=sys.stderr)
+        print(usage, file=sys.stderr)
         return 1
 
     out = []
@@ -100,7 +135,7 @@ def main(argv):
         except (OSError, ValueError, MalformedTrace) as err:
             print("error: %s" % err, file=sys.stderr)
             return 1
-        summarize(path, events, out)
+        summarize(path, events, out, by_shard)
     text = "\n".join(out) + "\n"
 
     if expect is not None:
