@@ -13,6 +13,25 @@
 
 namespace securestore::core {
 
+/// Which StorageEngine a server runs its versioned item store on
+/// (DESIGN.md §12).
+enum class StorageEngineKind : std::uint8_t {
+  kMemory,  // everything resident (the seed's ItemStore)
+  kLsm,     // memtable + SSTables; requires DurabilityOptions (WAL + disk)
+};
+
+/// Storage-engine selection and tuning. The defaults match the in-memory
+/// engine's behavior; the LSM knobs only matter under kLsm.
+struct EngineConfig {
+  StorageEngineKind kind = StorageEngineKind::kMemory;
+  /// Memtable flush threshold (approximate resident bytes).
+  std::size_t memtable_budget_bytes = 4u << 20;
+  /// L0 file count that triggers background compaction.
+  std::uint32_t l0_compact_threshold = 4;
+  /// Compaction output split size.
+  std::size_t sst_target_bytes = 8u << 20;
+};
+
 /// Static deployment parameters shared by clients and servers.
 struct StoreConfig {
   std::uint32_t n = 4;  // total servers
@@ -41,6 +60,10 @@ struct StoreConfig {
   /// Byzantine server cannot advertise a forged membership (DESIGN.md §11).
   /// Empty = unsharded deployment; ring messages are ignored.
   Bytes ring_authority_key;
+
+  /// Storage engine every server runs (DESIGN.md §12). Clients never see
+  /// this — the wire protocol is engine-agnostic.
+  EngineConfig engine;
 
   // --- Quorum arithmetic -------------------------------------------------
 

@@ -3,8 +3,13 @@
 #include <cstdio>
 #include <filesystem>
 
+#include <algorithm>
+#include <limits>
+
 #include "crypto/ed25519_batch.h"
 #include "obs/trace.h"
+#include "storage/item_store.h"
+#include "storage/lsm/lsm_store.h"
 #include "storage/snapshot.h"
 
 namespace securestore::core {
@@ -16,7 +21,7 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       keys_(std::move(keys)),
       options_(std::move(options)),
       events_(transport.events()),
-      items_(config_.max_log_entries),
+      items_(make_engine()),
       req_other_(transport.registry().counter("server.req.other" + options_.metric_suffix)),
       equivocations_(
           transport.registry().counter("server.equivocations" + options_.metric_suffix)),
@@ -72,7 +77,7 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
   }
 
   gossip_ = std::make_unique<gossip::GossipEngine>(
-      node_, items_, config_.servers, options_.gossip, std::move(rng),
+      node_, *items_, config_.servers, options_.gossip, std::move(rng),
       [this](const WriteRecord& record, NodeId /*from*/) {
         // Scattered fragments never travel by gossip (honest peers do not
         // send them; see RecordFlags::kScattered).
@@ -141,6 +146,29 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
   }
 }
 
+std::unique_ptr<storage::StorageEngine> SecureStoreServer::make_engine() {
+  if (config_.engine.kind == StorageEngineKind::kMemory) {
+    return std::make_unique<storage::ItemStore>(config_.max_log_entries);
+  }
+  // kLsm: records live on disk, so the engine is only meaningful with a
+  // durability directory to live in.
+  if (!options_.durability.has_value()) {
+    throw std::invalid_argument(
+        "server: the LSM storage engine requires DurabilityOptions (WAL + data dir)");
+  }
+  storage::lsm::LsmStore::Options lsm;
+  lsm.dir = options_.durability->data_dir.empty() ? options_.durability->wal_dir + ".lsm"
+                                                  : options_.durability->data_dir;
+  lsm.max_log_entries = config_.max_log_entries;
+  lsm.memtable_budget_bytes = config_.engine.memtable_budget_bytes;
+  lsm.l0_compact_threshold = config_.engine.l0_compact_threshold;
+  lsm.sst_target_bytes = config_.engine.sst_target_bytes;
+  lsm.registry = &node_.transport().registry();
+  lsm.metric_prefix = "server." + std::to_string(node_.id().value) + ".";
+  lsm.metric_suffix = options_.metric_suffix;
+  return std::make_unique<storage::lsm::LsmStore>(std::move(lsm));
+}
+
 void SecureStoreServer::boot_from_disk() {
   if (options_.snapshot_path.has_value() &&
       std::filesystem::exists(*options_.snapshot_path)) {
@@ -159,7 +187,9 @@ void SecureStoreServer::boot_from_disk() {
                    "securestore: server %u: quarantined corrupt snapshot %s (%s); "
                    "starting fresh\n",
                    node_.id().value, path.c_str(), error.what());
-      items_ = storage::ItemStore(config_.max_log_entries);
+      // A persistent engine's records never lived in the blob — keep them;
+      // only the blob-carried state resets.
+      if (!items_->persistent()) items_ = make_engine();
       contexts_ = storage::ContextStore();
       audit_ = storage::AuditLog();
       wal_covered_lsn_ = 0;
@@ -172,13 +202,22 @@ void SecureStoreServer::boot_from_disk() {
     wal_options.segment_bytes = options_.durability->wal_segment_bytes;
     wal_ = std::make_unique<storage::WriteAheadLog>(std::move(wal_options));
     // A fresh/behind WAL must never reuse LSNs the snapshot already covers.
-    wal_->reserve_through(wal_covered_lsn_);
+    wal_->reserve_through(std::max(wal_covered_lsn_, items_->durable_lsn()));
+    // A persistent engine may be behind OR ahead of the blob (e.g. a
+    // quarantined SST reports durable_lsn 0; a budget-triggered flush runs
+    // between snapshots). Replay from the older coverage — re-applied
+    // entries land as kDuplicate.
+    std::uint64_t replay_from = wal_covered_lsn_;
+    if (items_->persistent()) replay_from = std::min(replay_from, items_->durable_lsn());
     wal_replaying_ = true;
-    wal_->replay(wal_covered_lsn_,
-                 [this](std::uint64_t /*lsn*/, storage::WalEntryType type, BytesView payload) {
+    wal_->replay(replay_from,
+                 [this](std::uint64_t lsn, storage::WalEntryType type, BytesView payload) {
+                   replay_lsn_ = lsn;
                    replay_wal_entry(type, payload);
                  });
     wal_replaying_ = false;
+    // Everything replayed is applied: let the engine's next flush cover it.
+    note_engine_watermark(wal_->last_lsn());
   }
 }
 
@@ -201,7 +240,7 @@ void SecureStoreServer::replay_wal_entry(storage::WalEntryType type, BytesView p
         r.expect_end();
         // Usually a duplicate of an already-replayed kWrite whose release
         // re-derived; applying is idempotent either way.
-        if (items_.apply(record) != storage::ApplyResult::kDuplicate) {
+        if (items_->apply(record) != storage::ApplyResult::kDuplicate) {
           audit_.append(record, node_.transport().now());
         }
         break;
@@ -220,26 +259,39 @@ void SecureStoreServer::replay_wal_entry(storage::WalEntryType type, BytesView p
   }
 }
 
-void SecureStoreServer::wal_append(storage::WalEntryType type, BytesView payload) {
-  if (wal_ == nullptr || wal_replaying_) return;
+std::uint64_t SecureStoreServer::wal_append(storage::WalEntryType type, BytesView payload) {
+  if (wal_ == nullptr || wal_replaying_) return 0;
   // WAL latency is always wall time: disk I/O is real even when the rest of
   // the deployment runs on the simulator's virtual clock.
   const std::uint64_t start = obs::wall_now_us();
-  wal_->append(type, payload);
+  const std::uint64_t lsn = wal_->append(type, payload);
   const std::uint64_t elapsed = obs::wall_now_us() - start;
   wal_append_us_.observe(static_cast<double>(elapsed));
   if (events_.want(active_trace_)) {
     events_.span(node_.id().value, active_trace_, "server.wal.append", "server",
                  static_cast<std::uint64_t>(node_.transport().now()), elapsed);
   }
+  note_engine_watermark(lsn);
+  return lsn;
 }
 
-void SecureStoreServer::wal_append_record(storage::WalEntryType type,
-                                          const WriteRecord& record) {
-  if (wal_ == nullptr || wal_replaying_) return;
+void SecureStoreServer::note_engine_watermark(std::uint64_t lsn) {
+  if (hold_lsn_floor_.has_value()) lsn = std::min(lsn, *hold_lsn_floor_);
+  items_->note_wal_lsn(lsn);
+}
+
+std::uint64_t SecureStoreServer::covered_lsn_target() const {
+  std::uint64_t covered = wal_ != nullptr ? wal_->last_lsn() : wal_covered_lsn_;
+  if (hold_lsn_floor_.has_value()) covered = std::min(covered, *hold_lsn_floor_);
+  return covered;
+}
+
+std::uint64_t SecureStoreServer::wal_append_record(storage::WalEntryType type,
+                                                   const WriteRecord& record) {
+  if (wal_ == nullptr || wal_replaying_) return 0;
   Writer w;
   record.encode(w);
-  wal_append(type, w.data());
+  return wal_append(type, w.data());
 }
 
 SecureStoreServer::~SecureStoreServer() { *alive_ = false; }
@@ -247,12 +299,15 @@ SecureStoreServer::~SecureStoreServer() { *alive_ = false; }
 Bytes SecureStoreServer::snapshot() const {
   // Stores plus the audit chain: a reboot must not let a server shed its
   // own history (the chain is the tamper evidence auditors rely on).
+  // A persistent engine keeps its records in its own files (SSTables +
+  // manifest); the blob then carries only contexts and metadata.
   Writer w;
-  w.bytes(storage::make_snapshot(items_, contexts_));
+  w.bytes(storage::make_snapshot(*items_, contexts_, /*include_records=*/!items_->persistent()));
   w.bytes(audit_.serialize());
   // The WAL position this snapshot covers: a booting server replays only
-  // entries after it.
-  w.u64(wal_ != nullptr ? wal_->last_lsn() : wal_covered_lsn_);
+  // entries after it. Clamped by the hold floor — held writes live only in
+  // the WAL, so the blob must not claim coverage past them.
+  w.u64(covered_lsn_target());
   return w.take();
 }
 
@@ -262,7 +317,7 @@ void SecureStoreServer::restore(BytesView snapshot_blob) {
   const Bytes audit = r.bytes();
   const std::uint64_t covered = r.u64();
   r.expect_end();
-  storage::restore_snapshot(stores, items_, contexts_);
+  storage::restore_snapshot(stores, *items_, contexts_);
   storage::AuditLog restored = storage::AuditLog::deserialize(audit);
   if (!restored.verify()) throw DecodeError("server snapshot: audit chain broken");
   audit_ = std::move(restored);
@@ -271,11 +326,20 @@ void SecureStoreServer::restore(BytesView snapshot_blob) {
 
 void SecureStoreServer::save_snapshot_now() {
   if (!options_.snapshot_path.has_value()) return;
+  // Flush-before-truncate (DESIGN.md §12): a persistent engine must have
+  // every record the blob's covered LSN implies sitting durably in its own
+  // files before any WAL segment is dropped. flush() returns the LSN the
+  // engine's manifest now covers; truncation stays below BOTH coverages.
+  std::uint64_t engine_covered = std::numeric_limits<std::uint64_t>::max();
+  if (items_->persistent()) {
+    engine_covered = items_->flush();
+    items_->checkpoint();
+  }
   storage::save_snapshot_file(*options_.snapshot_path, snapshot());
   if (wal_ != nullptr) {
     // Everything up to here is durable in the snapshot (the file and its
     // directory are fsynced): dead segments can go.
-    wal_covered_lsn_ = wal_->last_lsn();
+    wal_covered_lsn_ = std::min(covered_lsn_target(), engine_covered);
     wal_->truncate_up_to(wal_covered_lsn_);
   }
 }
@@ -583,25 +647,25 @@ Bytes SecureStoreServer::handle_context_write(const ContextWriteReq& req) {
 
 Bytes SecureStoreServer::handle_meta(const MetaReq& req) {
   MetaResp resp;
-  const WriteRecord* current = items_.current(req.item);
+  const WriteRecord* current = items_->current(req.item);
   if (current != nullptr &&
       authorized(req.token, req.requester, current->group, Rights::kRead)) {
     resp.meta = req.include_value ? *current : current->meta_only();
     resp.value_included = req.include_value;
-    resp.faulty_writer = items_.flagged_faulty(req.item);
+    resp.faulty_writer = items_->flagged_faulty(req.item);
   }
   return resp.serialize();
 }
 
 Bytes SecureStoreServer::handle_read(const ReadReq& req) {
   ReadResp resp;
-  const WriteRecord* current = items_.current(req.item);
+  const WriteRecord* current = items_->current(req.item);
   if (current != nullptr &&
       authorized(req.token, req.requester, current->group, Rights::kRead)) {
     // Return the newest we have; the client accepts it iff it satisfies the
     // timestamp it selected in the meta phase.
     resp.record = *current;
-    resp.faulty_writer = items_.flagged_faulty(req.item);
+    resp.faulty_writer = items_->flagged_faulty(req.item);
   }
   return resp.serialize();
 }
@@ -655,18 +719,18 @@ Bytes SecureStoreServer::handle_write(const WriteReq& req) {
 
 Bytes SecureStoreServer::handle_log_read(const LogReadReq& req) {
   LogReadResp resp;
-  std::vector<WriteRecord> log = items_.log(req.item);
+  std::vector<WriteRecord> log = items_->log(req.item);
   if (!log.empty() && !authorized(req.token, req.requester, log.front().group, Rights::kRead)) {
     return LogReadResp{}.serialize();
   }
   resp.records = std::move(log);
-  resp.faulty_writer = items_.flagged_faulty(req.item);
+  resp.faulty_writer = items_->flagged_faulty(req.item);
   return resp.serialize();
 }
 
 Bytes SecureStoreServer::handle_reconstruct(const ReconstructReq& req) {
   ReconstructResp resp;
-  resp.metas = items_.group_meta(req.group);
+  resp.metas = items_->group_meta(req.group);
   return resp.serialize();
 }
 
@@ -676,7 +740,7 @@ void SecureStoreServer::handle_stability(const StabilityMsg& msg) {
   // superseded log entries are safe to drop (§5.3).
   if (msg.certificate.statement() != stability_statement(msg.item, msg.ts)) return;
   if (!msg.certificate.satisfies(config_.stability_threshold(), config_.server_keys)) return;
-  items_.prune_log(msg.item, msg.ts);
+  items_->prune_log(msg.item, msg.ts);
 }
 
 bool SecureStoreServer::validate_record(const WriteRecord& record) const {
@@ -755,11 +819,21 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
                           record.model == ConsistencyModel::kCC;
 
   const auto have = [this](ItemId item, const Timestamp& ts) {
-    const WriteRecord* current = items_.current(item);
+    const WriteRecord* current = items_->current(item);
     return current != nullptr && !(current->ts < ts);
   };
 
   if (needs_hold && !storage::HoldQueue::dependencies_met(record, have)) {
+    // Establish the hold floor before the append: from this entry on, the
+    // WAL holds acked state that no snapshot or engine flush reflects, so
+    // coverage claims are clamped below it until the queue drains.
+    if (!hold_lsn_floor_.has_value()) {
+      if (wal_replaying_) {
+        hold_lsn_floor_ = replay_lsn_ == 0 ? 0 : replay_lsn_ - 1;
+      } else if (wal_ != nullptr) {
+        hold_lsn_floor_ = wal_->last_lsn();
+      }
+    }
     holds_.hold(record);
     hold_depth_.set(static_cast<std::int64_t>(holds_.size()));
     // Held writes are acked too, so they must survive a crash; replay
@@ -774,7 +848,7 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
     return false;
   }
 
-  const storage::ApplyResult applied = items_.apply(record);
+  const storage::ApplyResult applied = items_->apply(record);
   if (applied == storage::ApplyResult::kEquivocation) equivocations_.inc();
   if (applied != storage::ApplyResult::kDuplicate) {
     // Logged even on kEquivocation (the record is not stored, but replay
@@ -789,13 +863,19 @@ bool SecureStoreServer::apply_with_holds(const WriteRecord& record) {
     if (released.empty()) break;
     hold_depth_.set(static_cast<std::int64_t>(holds_.size()));
     for (const WriteRecord& unblocked : released) {
-      const storage::ApplyResult result = items_.apply(unblocked);
+      const storage::ApplyResult result = items_->apply(unblocked);
       if (result == storage::ApplyResult::kEquivocation) equivocations_.inc();
       if (result != storage::ApplyResult::kDuplicate) {
         wal_append_record(storage::WalEntryType::kRelease, unblocked);
         audit_.append(unblocked, node_.transport().now());
       }
     }
+  }
+  if (holds_.size() == 0 && hold_lsn_floor_.has_value()) {
+    // Queue drained: every formerly-held write is in the engine now, so
+    // the clamp can lift and the watermark catch up to the WAL head.
+    hold_lsn_floor_.reset();
+    if (wal_ != nullptr && !wal_replaying_) note_engine_watermark(wal_->last_lsn());
   }
   const std::uint64_t elapsed = obs::wall_now_us() - apply_start;
   apply_us_.observe(static_cast<double>(elapsed));

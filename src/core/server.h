@@ -27,8 +27,8 @@
 #include "shard/hash_ring.h"
 #include "storage/audit_log.h"
 #include "storage/context_store.h"
+#include "storage/engine.h"
 #include "storage/hold_queue.h"
-#include "storage/item_store.h"
 #include "storage/wal/wal.h"
 
 namespace securestore::core {
@@ -41,6 +41,9 @@ class SecureStoreServer {
   struct DurabilityOptions {
     /// Directory for WAL segments (created if missing).
     std::string wal_dir;
+    /// Directory for the LSM engine's SSTables + manifest (DESIGN.md §12).
+    /// Empty = `wal_dir + ".lsm"`. Ignored by the in-memory engine.
+    std::string data_dir;
     storage::FsyncPolicy fsync = storage::FsyncPolicy::kAlways;
     /// Group-commit cadence under FsyncPolicy::kInterval: writes are acked
     /// immediately but become durable at the next flush tick, bounding the
@@ -97,9 +100,10 @@ class SecureStoreServer {
   void set_group_policy(const GroupPolicy& policy);
   const GroupPolicy& group_policy(GroupId group) const;
 
-  // Introspection for tests and benches.
-  storage::ItemStore& store() { return items_; }
-  const storage::ItemStore& store() const { return items_; }
+  // Introspection for tests and benches. The concrete type depends on
+  // StoreConfig::engine (DESIGN.md §12).
+  storage::StorageEngine& store() { return *items_; }
+  const storage::StorageEngine& store() const { return *items_; }
   std::size_t held_writes() const { return holds_.size(); }
   gossip::GossipEngine& gossip() { return *gossip_; }
 
@@ -224,13 +228,30 @@ class SecureStoreServer {
 
   const Bytes* client_key(ClientId client) const;
 
+  /// Builds the configured storage engine (DESIGN.md §12). Throws
+  /// std::invalid_argument when kLsm is requested without durability.
+  std::unique_ptr<storage::StorageEngine> make_engine();
+
   /// Boot-time durability: load (or quarantine) the snapshot file, open
   /// the WAL and replay its tail through the apply paths.
   void boot_from_disk();
   void replay_wal_entry(storage::WalEntryType type, BytesView payload);
   /// Appends to the WAL unless durability is off or we are replaying.
-  void wal_append(storage::WalEntryType type, BytesView payload);
-  void wal_append_record(storage::WalEntryType type, const WriteRecord& record);
+  /// Returns the entry's LSN (0 when skipped) and advances the engine's
+  /// WAL watermark — clamped below `hold_lsn_floor_` while writes are
+  /// parked in the hold queue, since those are WAL-only until released.
+  std::uint64_t wal_append(storage::WalEntryType type, BytesView payload);
+  std::uint64_t wal_append_record(storage::WalEntryType type, const WriteRecord& record);
+
+  /// The WAL position the next snapshot blob may claim as covered: the last
+  /// appended LSN, clamped by the hold floor so a crash replays held-but-
+  /// unreleased writes (they live only in the WAL).
+  std::uint64_t covered_lsn_target() const;
+
+  /// Advances the engine's WAL watermark to `lsn`, clamped by the hold
+  /// floor. The engine stamps this into its next flushed SST/manifest, so
+  /// the clamp is what keeps held writes replayable after a crash.
+  void note_engine_watermark(std::uint64_t lsn);
 
   net::RpcNode node_;
   StoreConfig config_;
@@ -247,7 +268,7 @@ class SecureStoreServer {
   /// handle_request_batch, consulted by handle_write instead of a scalar
   /// validate_record. Unset on the per-message path.
   std::optional<bool> prevalidated_write_;
-  storage::ItemStore items_;
+  std::unique_ptr<storage::StorageEngine> items_;
   storage::ContextStore contexts_;
   storage::HoldQueue holds_;
   storage::AuditLog audit_;
@@ -265,7 +286,15 @@ class SecureStoreServer {
   /// WAL position covered by the last snapshot restored or saved; replay
   /// starts after it.
   std::uint64_t wal_covered_lsn_ = 0;
+  /// Set while the hold queue is non-empty: one less than the LSN of the
+  /// first record parked since the queue was last empty. Held writes exist
+  /// only in the WAL, so neither snapshots nor the LSM manifest may claim
+  /// coverage at or past their entries.
+  std::optional<std::uint64_t> hold_lsn_floor_;
   bool wal_replaying_ = false;
+  /// LSN of the WAL entry currently being replayed (boot only); lets the
+  /// hold floor anchor correctly when replay re-parks a held write.
+  std::uint64_t replay_lsn_ = 0;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);  // guards timers
 
   // Metrics (handles into the transport's registry, resolved once).

@@ -7,7 +7,7 @@
 
 namespace securestore::gossip {
 
-GossipEngine::GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
+GossipEngine::GossipEngine(net::RpcNode& node, const storage::StorageEngine& store,
                            std::vector<NodeId> peers, Config config, Rng rng, ApplyFn apply)
     : node_(node),
       store_(store),
@@ -102,10 +102,13 @@ void GossipEngine::tick() {
 
 void GossipEngine::send_digest(NodeId peer) {
   std::vector<DigestEntry> entries;
-  for (const core::WriteRecord* record : store_.all_current()) {
+  // The digest never materializes a value: the engine's current-version
+  // index is (item, ts, flags) metadata, resident even for the disk-backed
+  // engine.
+  for (const storage::CurrentEntry& entry : store_.current_index()) {
     // Scattered fragments are pinned to their server (see RecordFlags).
-    if (record->flags & core::kScattered) continue;
-    entries.push_back(DigestEntry{record->item, record->ts});
+    if (entry.flags & core::kScattered) continue;
+    entries.push_back(DigestEntry{entry.item, entry.ts});
   }
   digest_entries_.observe(static_cast<double>(entries.size()));
   node_.send_oneway(peer, net::MsgType::kGossipDigest, encode_digest(entries));
@@ -135,14 +138,18 @@ void GossipEngine::handle(NodeId from, net::MsgType type, BytesView body) {
         remote_items.reserve(remote.size());
         for (const DigestEntry& entry : remote) remote_items.push_back(entry.item);
 
-        for (const core::WriteRecord* record : store_.all_current()) {
-          if (record->flags & core::kScattered) continue;
-          const auto it = std::find(remote_items.begin(), remote_items.end(), record->item);
-          if (it == remote_items.end()) {
-            to_send.push_back(*record);
-          } else {
+        // Decide from the metadata index which items the peer is behind on;
+        // only those get materialized (and copied before the next engine
+        // call — see the StorageEngine::current pointer contract).
+        for (const storage::CurrentEntry& entry : store_.current_index()) {
+          if (entry.flags & core::kScattered) continue;
+          const auto it = std::find(remote_items.begin(), remote_items.end(), entry.item);
+          if (it != remote_items.end()) {
             const auto& remote_ts = remote[static_cast<std::size_t>(it - remote_items.begin())].ts;
-            if (remote_ts < record->ts) to_send.push_back(*record);
+            if (!(remote_ts < entry.ts)) continue;
+          }
+          if (const core::WriteRecord* record = store_.current(entry.item)) {
+            to_send.push_back(*record);
           }
         }
         if (!to_send.empty()) {

@@ -30,7 +30,7 @@
 #include "net/rpc.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
-#include "storage/item_store.h"
+#include "storage/engine.h"
 #include "util/rng.h"
 
 namespace securestore::gossip {
@@ -60,7 +60,7 @@ class GossipEngine {
   using ApplyBatchFn = std::function<std::vector<bool>(
       const std::vector<std::pair<core::WriteRecord, obs::TraceContext>>& records, NodeId from)>;
 
-  GossipEngine(net::RpcNode& node, const storage::ItemStore& store,
+  GossipEngine(net::RpcNode& node, const storage::StorageEngine& store,
                std::vector<NodeId> peers, Config config, Rng rng, ApplyFn apply);
   ~GossipEngine();
 
@@ -132,7 +132,7 @@ class GossipEngine {
   obs::TraceContext origin_of(const core::WriteRecord& record) const;
 
   net::RpcNode& node_;
-  const storage::ItemStore& store_;
+  const storage::StorageEngine& store_;
   std::vector<NodeId> peers_;
   Config config_;
   Rng rng_;

@@ -1,0 +1,121 @@
+// Pluggable versioned-store engines (DESIGN.md §12).
+//
+// The server's item store was a concrete in-memory class from the seed
+// through PR 7; a production store must also hold datasets larger than RAM
+// (ROADMAP item 3). `StorageEngine` is the seam: the paper-visible
+// semantics — timestamp ordering, §5.3 recent-writes logs, equivocation
+// flags, stability-certificate pruning — are the interface, and the
+// substrate (RAM hash map vs. memtable + SSTables) is the implementation.
+// Servers pick the engine via `core::StoreConfig::engine`; everything
+// above the engine (quorum handlers, gossip, WAL, snapshots) is
+// engine-agnostic.
+//
+// Pointer contract: `current()` returns a pointer that stays valid only
+// until the next call into the engine (const or not). The in-memory
+// engine happens to hand out longer-lived pointers; disk-backed engines
+// materialize through a bounded record cache. Callers must copy before
+// calling back in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/record.h"
+#include "core/timestamp.h"
+#include "util/ids.h"
+
+namespace securestore::storage {
+
+enum class ApplyResult {
+  kStoredNewer,    // became the current value
+  kLogged,         // older than current but retained in the log
+  kDuplicate,      // already have this exact write
+  kEquivocation,   // exposes the writer as faulty; item flagged
+};
+
+/// One row of the engine's current-version index: enough for gossip
+/// digests and rebalance sweeps without materializing any value.
+struct CurrentEntry {
+  ItemId item{};
+  core::Timestamp ts;
+  std::uint8_t flags = 0;  // RecordFlags of the current record
+};
+
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// Applies a (already signature-verified) record. Ordering is by the
+  /// record timestamp; never downgrades the current value.
+  virtual ApplyResult apply(const core::WriteRecord& record) = 0;
+
+  /// The current record for an item, if any. See the pointer contract in
+  /// the header comment.
+  virtual const core::WriteRecord* current(ItemId item) const = 0;
+
+  /// The item's recent-writes log, newest first, current value included —
+  /// what a §5.3 LogRead returns.
+  virtual std::vector<core::WriteRecord> log(ItemId item) const = 0;
+
+  /// True once equivocation has been observed for the item's writer.
+  virtual bool flagged_faulty(ItemId item) const = 0;
+
+  /// Items whose writer was caught equivocating. Persisted explicitly: the
+  /// exposing record is never stored, so the flag cannot be re-derived
+  /// from replayed records alone.
+  virtual std::vector<ItemId> flagged_items() const = 0;
+
+  /// Restores a persisted equivocation flag (snapshot restore).
+  virtual void flag_faulty(ItemId item) = 0;
+
+  /// Items of a group with their current meta records (for context
+  /// reconstruction, §5.1).
+  virtual std::vector<core::WriteRecord> group_meta(GroupId group) const = 0;
+
+  /// One entry per item with a current record — (item, ts, flags) only, so
+  /// gossip digests and rebalance sweeps stay O(metadata) even when values
+  /// live on disk.
+  virtual std::vector<CurrentEntry> current_index() const = 0;
+
+  /// Every record held — current values and log history — materialized by
+  /// value. O(data): snapshot serialization for in-memory engines and
+  /// tests only; persistent engines checkpoint through their own files.
+  virtual std::vector<core::WriteRecord> records_snapshot() const = 0;
+
+  /// Prunes log entries strictly older than `ts` (stability certificate
+  /// handling, §5.3). Returns how many entries were erased.
+  virtual std::size_t prune_log(ItemId item, const core::Timestamp& ts) = 0;
+
+  /// Total log entries across items (bench E7 measures retention).
+  virtual std::size_t total_log_entries() const = 0;
+
+  virtual std::size_t item_count() const = 0;
+
+  // --- Durability hooks (no-ops for in-memory engines) -------------------
+
+  /// True when the engine keeps its records durable in its own files; the
+  /// server then excludes records from the snapshot blob and gates WAL
+  /// truncation on `flush()` instead of the blob write.
+  virtual bool persistent() const { return false; }
+
+  /// Tells the engine the WAL position covering everything applied so far;
+  /// the server calls this after each record append. A persistent engine's
+  /// `flush()` stamps this watermark into its manifest.
+  virtual void note_wal_lsn(std::uint64_t /*lsn*/) {}
+
+  /// Highest WAL LSN whose effects are durable in the engine's own
+  /// storage. WAL segments at or below it are safe to drop.
+  virtual std::uint64_t durable_lsn() const { return 0; }
+
+  /// Makes everything applied so far durable in the engine's own storage
+  /// (memtable → fsync'd SSTable + manifest). Returns the new
+  /// durable_lsn(). Always fsyncs, whatever the WAL fsync policy — WAL
+  /// segment truncation is gated on this value (DESIGN.md §12).
+  virtual std::uint64_t flush() { return 0; }
+
+  /// Near-instant point-in-time image (manifest copy + SST hardlinks) for
+  /// persistent engines; no-op otherwise.
+  virtual void checkpoint() {}
+};
+
+}  // namespace securestore::storage

@@ -93,6 +93,24 @@ std::vector<core::WriteRecord> ItemStore::group_meta(GroupId group) const {
   return out;
 }
 
+std::vector<CurrentEntry> ItemStore::current_index() const {
+  std::vector<CurrentEntry> out;
+  out.reserve(items_.size());
+  for (const auto& [item, state] : items_) {
+    if (state.current) out.push_back({item, state.current->ts, state.current->flags});
+  }
+  return out;
+}
+
+std::vector<core::WriteRecord> ItemStore::records_snapshot() const {
+  std::vector<core::WriteRecord> out;
+  for (const auto& [item, state] : items_) {
+    if (state.current) out.push_back(*state.current);
+    for (const core::WriteRecord& record : state.history) out.push_back(record);
+  }
+  return out;
+}
+
 std::vector<const core::WriteRecord*> ItemStore::all_current() const {
   std::vector<const core::WriteRecord*> out;
   out.reserve(items_.size());

@@ -18,61 +18,49 @@
 #include <vector>
 
 #include "core/record.h"
+#include "storage/engine.h"
 #include "util/ids.h"
 
 namespace securestore::storage {
 
-enum class ApplyResult {
-  kStoredNewer,    // became the current value
-  kLogged,         // older than current but retained in the log
-  kDuplicate,      // already have this exact write
-  kEquivocation,   // exposes the writer as faulty; item flagged
-};
-
-class ItemStore {
+class ItemStore final : public StorageEngine {
  public:
   explicit ItemStore(std::size_t max_log_entries = 16) : max_log_entries_(max_log_entries) {}
 
-  /// Applies a (already signature-verified) record. Ordering is by the
-  /// record timestamp; never downgrades the current value.
-  ApplyResult apply(const core::WriteRecord& record);
+  ApplyResult apply(const core::WriteRecord& record) override;
 
-  /// The current record for an item, if any.
-  const core::WriteRecord* current(ItemId item) const;
+  /// The current record for an item, if any. The returned pointer stays
+  /// valid until the record is superseded or the store destroyed — stronger
+  /// than the base-class contract, which callers written against
+  /// `StorageEngine` must not rely on.
+  const core::WriteRecord* current(ItemId item) const override;
 
-  /// The item's recent-writes log, newest first, current value included —
-  /// what a §5.3 LogRead returns.
-  std::vector<core::WriteRecord> log(ItemId item) const;
+  std::vector<core::WriteRecord> log(ItemId item) const override;
 
-  /// True once equivocation has been observed for the item's writer.
-  bool flagged_faulty(ItemId item) const;
+  bool flagged_faulty(ItemId item) const override;
 
-  /// Items whose writer was caught equivocating. Snapshots persist these
-  /// explicitly: the exposing record is never stored, so the flag cannot be
-  /// re-derived from replayed records alone.
-  std::vector<ItemId> flagged_items() const;
+  std::vector<ItemId> flagged_items() const override;
 
-  /// Restores a persisted equivocation flag (snapshot restore).
-  void flag_faulty(ItemId item) { items_[item].faulty_writer = true; }
+  void flag_faulty(ItemId item) override { items_[item].faulty_writer = true; }
 
-  /// Items of a group with their current meta records (for context
-  /// reconstruction, §5.1).
-  std::vector<core::WriteRecord> group_meta(GroupId group) const;
+  std::vector<core::WriteRecord> group_meta(GroupId group) const override;
 
-  /// All current records (gossip digests iterate these).
+  std::vector<CurrentEntry> current_index() const override;
+
+  std::vector<core::WriteRecord> records_snapshot() const override;
+
+  /// All current records (snapshot serialization iterates these; engine
+  /// callers use current_index()).
   std::vector<const core::WriteRecord*> all_current() const;
 
   /// Every record held — current values and log history — for snapshots.
   std::vector<const core::WriteRecord*> all_records() const;
 
-  /// Prunes log entries strictly older than `ts` (stability certificate
-  /// handling, §5.3). Returns how many entries were erased.
-  std::size_t prune_log(ItemId item, const core::Timestamp& ts);
+  std::size_t prune_log(ItemId item, const core::Timestamp& ts) override;
 
-  /// Total log entries across items (bench E7 measures retention).
-  std::size_t total_log_entries() const;
+  std::size_t total_log_entries() const override;
 
-  std::size_t item_count() const { return items_.size(); }
+  std::size_t item_count() const override { return items_.size(); }
 
  private:
   struct ItemState {

@@ -1,0 +1,216 @@
+// Beyond-RAM storage engine: memtable → WAL → SSTables (DESIGN.md §12).
+//
+// `LsmStore` implements `StorageEngine` with the same externally visible
+// semantics as the in-memory `ItemStore` (the equivalence is property
+// tested), but keeps only *metadata* resident: a per-item index of version
+// keys and frame locations. Values live in the memtable until a flush
+// moves them into an fsync'd SSTable; background compaction merges
+// SSTables, applying the §5.3 retention rule (versions pruned or
+// superseded past the log bound are dropped) and preserving equivocation
+// flags as compaction filters.
+//
+// Durability contract (flush-before-truncate): the engine adds no
+// per-write fsync — the WAL is the commit point, exactly as before, and
+// SST fsyncs are amortized over whole memtable flushes. The
+// server tells the engine the covering WAL LSN after each append
+// (`note_wal_lsn`), `flush()` makes everything applied so far durable in
+// SSTs + manifest and returns that watermark, and WAL segments are
+// truncated only up to `durable_lsn()`. A crash therefore loses at most
+// the memtable, whose contents are still in the WAL — whatever the WAL
+// fsync policy, because truncation (not fsync) is what's gated.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/engine.h"
+#include "storage/lsm/sst.h"
+
+namespace securestore::storage::lsm {
+
+inline constexpr char kManifestName[] = "MANIFEST";
+inline constexpr char kManifestMagic[] = "SECURESTORE-LSM-MANIFEST";
+inline constexpr std::uint32_t kManifestVersion = 1;
+inline constexpr char kCheckpointDirName[] = "checkpoint";
+
+class LsmStore final : public StorageEngine {
+ public:
+  struct Options {
+    std::string dir;
+    std::size_t max_log_entries = 16;
+    /// Memtable flushes to a new L0 SSTable when its approximate footprint
+    /// crosses this budget.
+    std::size_t memtable_budget_bytes = 4u << 20;
+    /// Background compaction triggers at this many L0 files.
+    std::uint32_t l0_compact_threshold = 4;
+    /// Compaction splits its output into files of roughly this size.
+    std::size_t sst_target_bytes = 8u << 20;
+    /// Shared metrics registry; the store owns a private one when null.
+    obs::Registry* registry = nullptr;
+    /// Prepended to metric names ("storage.flushes" etc.); multi-server
+    /// deployments pass "server.<id>." like the rest of the server metrics.
+    std::string metric_prefix;
+    /// Appended verbatim to every metric name (e.g. "{shard=2}") so several
+    /// replica groups sharing one registry stay distinguishable.
+    std::string metric_suffix;
+  };
+
+  /// Opens (and recovers) the engine in `options.dir`. Corrupt SSTs or a
+  /// corrupt manifest are quarantined (`*.corrupt`); after any quarantine
+  /// `durable_lsn()` reports 0 so the server replays every WAL segment it
+  /// still has. Throws std::runtime_error only on environmental failure
+  /// (directory not creatable).
+  explicit LsmStore(Options options);
+  ~LsmStore() override;
+
+  // StorageEngine ---------------------------------------------------------
+  ApplyResult apply(const core::WriteRecord& record) override;
+  const core::WriteRecord* current(ItemId item) const override;
+  std::vector<core::WriteRecord> log(ItemId item) const override;
+  bool flagged_faulty(ItemId item) const override;
+  std::vector<ItemId> flagged_items() const override;
+  void flag_faulty(ItemId item) override;
+  std::vector<core::WriteRecord> group_meta(GroupId group) const override;
+  std::vector<CurrentEntry> current_index() const override;
+  std::vector<core::WriteRecord> records_snapshot() const override;
+  std::size_t prune_log(ItemId item, const core::Timestamp& ts) override;
+  std::size_t total_log_entries() const override;
+  std::size_t item_count() const override;
+
+  bool persistent() const override { return true; }
+  void note_wal_lsn(std::uint64_t lsn) override;
+  std::uint64_t durable_lsn() const override;
+  std::uint64_t flush() override;
+  void checkpoint() override;
+
+  // Test / tool hooks -----------------------------------------------------
+  /// Requests a compaction and blocks until it has completed (deterministic
+  /// alternative to waiting out the background thread).
+  void compact_now();
+
+  struct Stats {
+    std::size_t memtable_bytes = 0;
+    std::size_t memtable_entries = 0;
+    std::size_t sst_files = 0;
+    std::size_t l0_files = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t read_errors = 0;
+    std::uint64_t quarantined = 0;
+  };
+  Stats stats() const;
+
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  /// Full version identity: (item, ts, record writer). Two records with
+  /// equal keys are the same write (ItemStore's same_write), so the
+  /// memtable and the rebuild dedupe on it.
+  struct VersionKey {
+    ItemId item{};
+    std::uint64_t time = 0;
+    ClientId ts_writer{};
+    Bytes digest;
+    ClientId rec_writer{};
+
+    friend bool operator<(const VersionKey& a, const VersionKey& b) {
+      if (a.item != b.item) return a.item < b.item;
+      if (a.time != b.time) return a.time < b.time;
+      if (a.ts_writer != b.ts_writer) return a.ts_writer < b.ts_writer;
+      if (a.digest != b.digest) return a.digest < b.digest;
+      return a.rec_writer < b.rec_writer;
+    }
+    friend bool operator==(const VersionKey& a, const VersionKey& b) {
+      return a.item == b.item && a.time == b.time && a.ts_writer == b.ts_writer &&
+             a.digest == b.digest && a.rec_writer == b.rec_writer;
+    }
+  };
+  static VersionKey key_of(const core::WriteRecord& record);
+
+  static constexpr std::uint32_t kMemtableFileNo = 0xFFFFFFFFu;
+
+  /// One version in the per-item index: timestamp + where the value frame
+  /// lives (memtable sentinel or SST file/offset).
+  struct Version {
+    core::Timestamp ts;
+    ClientId rec_writer{};
+    std::uint8_t rflags = 0;
+    GroupId group{};
+    std::uint32_t file_no = kMemtableFileNo;
+    std::uint64_t offset = 0;
+    std::uint32_t frame_len = 0;
+  };
+
+  struct ItemIndex {
+    std::vector<Version> versions;  // [0] = current, rest newest-first
+    bool faulty = false;
+  };
+
+  struct SstFile {
+    std::uint32_t file_no = 0;
+    std::uint8_t level = 0;
+    std::unique_ptr<SstReader> reader;
+  };
+
+  obs::Registry& registry() const;
+
+  // All `_locked` members require `mu_`.
+  void recover_locked();
+  void load_fallback_locked();
+  std::uint64_t flush_locked();
+  void write_manifest_locked();
+  void drop_version_locked(ItemId item, const Version& version);
+  const core::WriteRecord* materialize_locked(ItemId item, const Version& version) const;
+  std::string file_path(std::uint32_t file_no) const;
+  void rebuild_index_locked();
+  void maybe_schedule_compaction_locked();
+  void compaction_thread();
+  void run_compaction(std::unique_lock<std::mutex>& lock);
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<ItemId, ItemIndex> index_;
+  std::map<VersionKey, core::WriteRecord> memtable_;
+  std::size_t memtable_bytes_ = 0;
+  std::vector<SstFile> files_;  // ascending file_no
+  std::uint32_t next_file_no_ = 1;
+  std::uint64_t wal_watermark_ = 0;  // covers everything applied so far
+  std::uint64_t durable_lsn_ = 0;    // covered by fsync'd SSTs + manifest
+
+  /// Bounded materialization cache backing `current()`'s pointer contract:
+  /// entries stay alive across at least one further call, never evicting
+  /// the most recently returned record.
+  mutable std::deque<std::pair<VersionKey, std::unique_ptr<core::WriteRecord>>> read_cache_;
+
+  // Compaction thread handshake.
+  std::thread compactor_;
+  std::condition_variable compact_cv_;
+  std::condition_variable compact_done_cv_;
+  std::uint64_t compact_requested_ = 0;  // generation counters
+  std::uint64_t compact_done_ = 0;
+  bool stop_ = false;
+
+  // Metrics (handles resolved once; see obs::Registry).
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Gauge& memtable_bytes_gauge_;
+  obs::Counter& flushes_;
+  obs::Counter& compactions_;
+  obs::Gauge& sst_files_gauge_;
+  obs::Histogram& compaction_lag_us_;
+  obs::Counter& read_errors_;
+  obs::Counter& quarantined_;
+  std::uint64_t quarantined_count_ = 0;
+  mutable std::uint64_t read_error_count_ = 0;
+};
+
+}  // namespace securestore::storage::lsm

@@ -1,0 +1,251 @@
+#include "storage/lsm/sst.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <stdexcept>
+
+#include "storage/wal/wal.h"  // fsync_dir
+#include "util/crc32.h"
+
+namespace securestore::storage::lsm {
+
+namespace {
+
+void append_frame(Writer& out, const Writer& body) {
+  out.u32(static_cast<std::uint32_t>(body.data().size()));
+  out.u32(crc32(body.data()));
+  out.raw(body.data());
+}
+
+void encode_index_entry(Writer& w, const SstIndexEntry& entry) {
+  w.u8(static_cast<std::uint8_t>(entry.kind));
+  w.u64(entry.item.value);
+  w.u64(entry.group.value);
+  w.u64(entry.time);
+  w.u32(entry.ts_writer.value);
+  w.bytes(entry.digest);
+  w.u32(entry.rec_writer.value);
+  w.u8(entry.rflags);
+  w.u64(entry.offset);
+  w.u32(entry.frame_len);
+}
+
+SstIndexEntry decode_index_entry(Reader& r) {
+  SstIndexEntry entry;
+  entry.kind = static_cast<SstEntryKind>(r.u8());
+  entry.item = ItemId{r.u64()};
+  entry.group = GroupId{r.u64()};
+  entry.time = r.u64();
+  entry.ts_writer = ClientId{r.u32()};
+  entry.digest = r.bytes();
+  entry.rec_writer = ClientId{r.u32()};
+  entry.rflags = r.u8();
+  entry.offset = r.u64();
+  entry.frame_len = r.u32();
+  return entry;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("sst: write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+bool read_exact_at(int fd, std::uint64_t offset, std::uint8_t* out, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, out, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // short file
+    out += n;
+    offset += static_cast<std::uint64_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SstBuilder::SstBuilder() {
+  buffer_.str(kSstMagic);
+  buffer_.u32(kSstVersion);
+}
+
+std::pair<std::uint64_t, std::uint32_t> SstBuilder::add_record(
+    const core::WriteRecord& record) {
+  const std::uint64_t offset = buffer_.data().size();
+  Writer body;
+  body.u8(static_cast<std::uint8_t>(SstEntryKind::kRecord));
+  record.encode(body);
+  append_frame(buffer_, body);
+  const auto frame_len = static_cast<std::uint32_t>(8 + body.data().size());
+
+  SstIndexEntry entry;
+  entry.kind = SstEntryKind::kRecord;
+  entry.item = record.item;
+  entry.group = record.group;
+  entry.time = record.ts.time;
+  entry.ts_writer = record.ts.writer;
+  entry.digest = record.ts.digest;
+  entry.rec_writer = record.writer;
+  entry.rflags = record.flags;
+  entry.offset = offset;
+  entry.frame_len = frame_len;
+  index_.push_back(std::move(entry));
+  return {offset, frame_len};
+}
+
+void SstBuilder::add_flag(ItemId item) {
+  const std::uint64_t offset = buffer_.data().size();
+  Writer body;
+  body.u8(static_cast<std::uint8_t>(SstEntryKind::kFlag));
+  body.u64(item.value);
+  append_frame(buffer_, body);
+
+  SstIndexEntry entry;
+  entry.kind = SstEntryKind::kFlag;
+  entry.item = item;
+  entry.offset = offset;
+  entry.frame_len = static_cast<std::uint32_t>(8 + body.data().size());
+  index_.push_back(std::move(entry));
+}
+
+void SstBuilder::finish(const std::string& path, std::uint64_t covered_lsn) {
+  const std::uint64_t index_offset = buffer_.data().size();
+  buffer_.u32(static_cast<std::uint32_t>(index_.size()));
+  for (const SstIndexEntry& entry : index_) encode_index_entry(buffer_, entry);
+  buffer_.u64(index_offset);
+  buffer_.u64(covered_lsn);
+  // The file CRC covers everything before itself, footer fields included.
+  buffer_.u32(crc32(buffer_.data()));
+  buffer_.u64(kSstFooterMagic);
+
+  const std::string temp_path = path + ".tmp";
+  const int fd = ::open(temp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("sst: cannot open " + temp_path);
+  try {
+    write_all(fd, buffer_.data().data(), buffer_.data().size());
+    if (::fsync(fd) != 0) throw std::runtime_error("sst: fsync failed for " + temp_path);
+  } catch (...) {
+    ::close(fd);
+    std::remove(temp_path.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    throw std::runtime_error("sst: rename failed for " + path);
+  }
+  const auto slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+std::unique_ptr<SstReader> SstReader::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  std::unique_ptr<SstReader> reader(new SstReader(path, fd));
+
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0 || static_cast<std::size_t>(end) < kSstFooterSize) return nullptr;
+  const auto file_size = static_cast<std::uint64_t>(end);
+
+  std::uint8_t footer[kSstFooterSize];
+  if (!read_exact_at(fd, file_size - kSstFooterSize, footer, kSstFooterSize)) return nullptr;
+  Reader fr(BytesView(footer, kSstFooterSize));
+  const std::uint64_t index_offset = fr.u64();
+  const std::uint64_t covered_lsn = fr.u64();
+  const std::uint32_t expected_crc = fr.u32();
+  if (fr.u64() != kSstFooterMagic) return nullptr;
+  if (index_offset >= file_size - kSstFooterSize) return nullptr;
+
+  // Whole-file CRC (everything before the CRC field), streamed so the file
+  // is never fully resident.
+  const std::uint64_t crc_end = file_size - 12;
+  std::uint32_t crc = 0;
+  Bytes chunk(64 * 1024);
+  for (std::uint64_t pos = 0; pos < crc_end;) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk.size(), crc_end - pos));
+    if (!read_exact_at(fd, pos, chunk.data(), n)) return nullptr;
+    crc = crc32(BytesView(chunk.data(), n), crc);
+    pos += n;
+  }
+  if (crc != expected_crc) return nullptr;
+
+  // Header + index. Both already CRC-covered; decode errors past this point
+  // would mean a bug, but treat them as corruption all the same.
+  try {
+    std::uint8_t header[64];
+    const std::size_t header_len =
+        static_cast<std::size_t>(std::min<std::uint64_t>(sizeof header, index_offset));
+    if (!read_exact_at(fd, 0, header, header_len)) return nullptr;
+    Reader hr(BytesView(header, header_len));
+    if (hr.str() != kSstMagic) return nullptr;
+    if (hr.u32() != kSstVersion) return nullptr;
+
+    const std::size_t index_len = static_cast<std::size_t>(crc_end - 16 - index_offset);
+    Bytes index_bytes(index_len);
+    if (!read_exact_at(fd, index_offset, index_bytes.data(), index_len)) return nullptr;
+    Reader ir(index_bytes);
+    const std::uint32_t count = ir.u32();
+    reader->index_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      reader->index_.push_back(decode_index_entry(ir));
+    }
+    ir.expect_end();
+  } catch (const DecodeError&) {
+    return nullptr;
+  }
+  reader->covered_lsn_ = covered_lsn;
+  return reader;
+}
+
+SstReader::~SstReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<core::WriteRecord> SstReader::read_record(std::uint64_t offset,
+                                                        std::uint32_t frame_len) const {
+  if (frame_len < 9) return std::nullopt;
+  Bytes frame(frame_len);
+  if (!read_exact_at(fd_, offset, frame.data(), frame.size())) return std::nullopt;
+  try {
+    Reader r(frame);
+    const std::uint32_t body_len = r.u32();
+    const std::uint32_t body_crc = r.u32();
+    if (body_len != frame_len - 8) return std::nullopt;
+    const Bytes body = r.raw(body_len);
+    if (crc32(body) != body_crc) return std::nullopt;
+    Reader br(body);
+    if (static_cast<SstEntryKind>(br.u8()) != SstEntryKind::kRecord) return std::nullopt;
+    auto record = core::WriteRecord::decode(br);
+    br.expect_end();
+    return record;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::string sst_filename(std::uint32_t file_no) {
+  char name[32];
+  std::snprintf(name, sizeof name, "sst-%016x.sst", file_no);
+  return name;
+}
+
+bool quarantine_file(const std::string& path) {
+  return std::rename(path.c_str(), (path + ".corrupt").c_str()) == 0;
+}
+
+}  // namespace securestore::storage::lsm

@@ -1,0 +1,131 @@
+// Sorted string tables for the LSM engine (DESIGN.md §12).
+//
+// An SST is one immutable file of write records (plus equivocation-flag
+// entries), produced by a memtable flush or a compaction merge. Layout:
+//
+//   header   : str magic, u32 version
+//   frames   : [u32 body_len, u32 crc32(body), body]*
+//              body = u8 kind, then kind-specific payload
+//                kind 1 (record): WriteRecord::encode
+//                kind 2 (flag)  : u64 item uid
+//                kind 3 (tombstone): reserved for future point deletes
+//   index    : u32 count, then per entry the version key + frame location,
+//              so recovery rebuilds the in-memory index without touching
+//              any value bytes
+//   footer   : u64 index_offset, u64 covered_lsn, u32 crc32(file up to
+//              here), u64 footer magic — fixed 28 bytes at EOF
+//
+// Like WAL frames, the CRCs guard against accidental damage (torn writes,
+// bit rot); tampering is caught by the per-record writer signatures the
+// server re-verifies on use. A file failing footer or CRC validation is
+// quarantined (renamed `*.corrupt`) rather than trusted or deleted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/record.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/serial.h"
+
+namespace securestore::storage::lsm {
+
+inline constexpr char kSstMagic[] = "SECURESTORE-SST";
+inline constexpr std::uint32_t kSstVersion = 1;
+/// "SSTFEND1", little-endian.
+inline constexpr std::uint64_t kSstFooterMagic = 0x31444E4546545353ull;
+inline constexpr std::size_t kSstFooterSize = 28;
+
+enum class SstEntryKind : std::uint8_t {
+  kRecord = 1,
+  kFlag = 2,
+  kTombstone = 3,  // reserved; nothing emits these yet
+};
+
+/// One row of an SST's index section: the full version identity (item,
+/// timestamp, digest, record writer) plus where the frame lives.
+struct SstIndexEntry {
+  SstEntryKind kind = SstEntryKind::kRecord;
+  ItemId item{};
+  GroupId group{};
+  std::uint64_t time = 0;
+  ClientId ts_writer{};
+  Bytes digest;
+  ClientId rec_writer{};
+  std::uint8_t rflags = 0;
+  std::uint64_t offset = 0;     // frame start (the body_len field)
+  std::uint32_t frame_len = 0;  // 8 + body_len
+};
+
+/// Accumulates one SST in memory, then writes it atomically: temp file,
+/// write, fsync, rename, directory fsync — the same discipline snapshots
+/// use, so a crash leaves either no file or a complete one (and a torn
+/// rename is caught by the footer CRC).
+class SstBuilder {
+ public:
+  SstBuilder();
+
+  /// Returns the frame's (offset, frame_len) so the caller can point its
+  /// in-memory index at the new file.
+  std::pair<std::uint64_t, std::uint32_t> add_record(const core::WriteRecord& record);
+  void add_flag(ItemId item);
+
+  std::size_t entry_count() const { return index_.size(); }
+  /// Bytes of frame data so far — compaction splits output at a target.
+  std::size_t data_bytes() const { return buffer_.data().size(); }
+
+  /// Writes and fsyncs the finished file. Throws std::runtime_error on any
+  /// I/O failure. The builder is spent afterwards.
+  void finish(const std::string& path, std::uint64_t covered_lsn);
+
+ private:
+  Writer buffer_;
+  std::vector<SstIndexEntry> index_;
+};
+
+/// Read side: validates the whole file once at open (footer magic, file
+/// CRC, index decode), then serves point reads by pread — values are never
+/// resident beyond the caller's copy.
+class SstReader {
+ public:
+  /// nullptr when the file is missing, torn or corrupt; the caller decides
+  /// whether to quarantine.
+  static std::unique_ptr<SstReader> open(const std::string& path);
+  ~SstReader();
+
+  SstReader(const SstReader&) = delete;
+  SstReader& operator=(const SstReader&) = delete;
+
+  const std::vector<SstIndexEntry>& index() const { return index_; }
+  std::uint64_t covered_lsn() const { return covered_lsn_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads one record frame. Thread-safe (stateless pread). nullopt on
+  /// runtime damage (frame CRC mismatch, short read) — the caller counts
+  /// the error and treats the version as missing; gossip anti-entropy
+  /// repairs it from the other replicas.
+  std::optional<core::WriteRecord> read_record(std::uint64_t offset,
+                                               std::uint32_t frame_len) const;
+
+ private:
+  SstReader(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t covered_lsn_ = 0;
+  std::vector<SstIndexEntry> index_;
+};
+
+/// `sst-<16 hex digits of file_no>.sst`.
+std::string sst_filename(std::uint32_t file_no);
+
+/// Renames a damaged artifact to `<path>.corrupt` so it survives for
+/// forensics but is never trusted again. Returns false if the rename fails.
+bool quarantine_file(const std::string& path);
+
+}  // namespace securestore::storage::lsm

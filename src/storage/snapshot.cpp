@@ -24,19 +24,21 @@ constexpr std::uint32_t kVersion = 2;
 
 }  // namespace
 
-Bytes make_snapshot(const ItemStore& items, const ContextStore& contexts) {
+Bytes make_snapshot(const StorageEngine& items, const ContextStore& contexts,
+                    bool include_records) {
   Writer body;
   // Canonical order (item, newest first, then writer) so two stores with
   // equal contents produce byte-identical snapshots.
-  auto records = items.all_records();
+  auto records =
+      include_records ? items.records_snapshot() : std::vector<core::WriteRecord>{};
   std::sort(records.begin(), records.end(),
-            [](const core::WriteRecord* a, const core::WriteRecord* b) {
-              if (a->item != b->item) return a->item < b->item;
-              if (a->ts != b->ts) return b->ts < a->ts;
-              return a->value_digest < b->value_digest;
+            [](const core::WriteRecord& a, const core::WriteRecord& b) {
+              if (a.item != b.item) return a.item < b.item;
+              if (a.ts != b.ts) return b.ts < a.ts;
+              return a.value_digest < b.value_digest;
             });
   body.u32(static_cast<std::uint32_t>(records.size()));
-  for (const core::WriteRecord* record : records) record->encode(body);
+  for (const core::WriteRecord& record : records) record.encode(body);
 
   const auto stored_contexts = contexts.all();
   body.u32(static_cast<std::uint32_t>(stored_contexts.size()));
@@ -55,7 +57,7 @@ Bytes make_snapshot(const ItemStore& items, const ContextStore& contexts) {
   return out.take();
 }
 
-void restore_snapshot(BytesView snapshot, ItemStore& items, ContextStore& contexts) {
+void restore_snapshot(BytesView snapshot, StorageEngine& items, ContextStore& contexts) {
   Reader r(snapshot);
   if (r.str() != kMagic) throw DecodeError("snapshot: bad magic");
   if (r.u32() != kVersion) throw DecodeError("snapshot: unsupported version");

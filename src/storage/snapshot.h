@@ -14,18 +14,21 @@
 #include <string>
 
 #include "storage/context_store.h"
-#include "storage/item_store.h"
+#include "storage/engine.h"
 #include "util/bytes.h"
 
 namespace securestore::storage {
 
-/// Serializes both stores into one snapshot blob.
-Bytes make_snapshot(const ItemStore& items, const ContextStore& contexts);
+/// Serializes both stores into one snapshot blob. A persistent engine
+/// checkpoints its records through its own files; the server then passes
+/// `include_records=false` so the blob carries only contexts and flags.
+Bytes make_snapshot(const StorageEngine& items, const ContextStore& contexts,
+                    bool include_records = true);
 
 /// Rebuilds the stores from a snapshot. Throws DecodeError on a malformed
 /// or checksum-failing snapshot. The stores should be empty (records are
 /// replayed additively).
-void restore_snapshot(BytesView snapshot, ItemStore& items, ContextStore& contexts);
+void restore_snapshot(BytesView snapshot, StorageEngine& items, ContextStore& contexts);
 
 /// File helpers (atomic-ish: write to a temp name, then rename).
 void save_snapshot_file(const std::string& path, BytesView snapshot);

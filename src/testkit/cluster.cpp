@@ -37,6 +37,11 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)), rng_(op
   config_.n = options_.n;
   config_.b = options_.b;
   config_.op_timeout = options_.op_timeout;
+  config_.engine = options_.engine;
+  if (config_.engine.kind == core::StorageEngineKind::kLsm &&
+      !options_.durability_dir.has_value()) {
+    throw std::invalid_argument("Cluster: engine kLsm requires durability_dir");
+  }
   for (std::uint32_t i = 0; i < options_.n; ++i) config_.servers.push_back(server_node(i));
   if (options_.shared.has_value()) {
     config_.ring_authority_key = options_.shared->ring_authority_key;
@@ -98,6 +103,7 @@ std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t ind
     server_options.snapshot_period = options_.snapshot_period;
     core::SecureStoreServer::DurabilityOptions durability;
     durability.wal_dir = base + "/wal";
+    durability.data_dir = base + "/lsm";
     durability.fsync = options_.fsync;
     durability.flush_interval = options_.wal_flush_interval;
     durability.wal_segment_bytes = options_.wal_segment_bytes;

@@ -54,6 +54,11 @@ struct ClusterOptions {
   std::size_t wal_segment_bytes = 1u << 20;
   SimDuration snapshot_period = seconds(30);
 
+  /// Storage engine every server runs (StoreConfig::engine, DESIGN.md §12).
+  /// kLsm requires `durability_dir`: each server then keeps SSTables under
+  /// `<dir>/server-<i>/lsm` next to its WAL.
+  core::EngineConfig engine;
+
   /// Metrics registry shared with the transport (and through it every
   /// client/server/gossip engine of the deployment). Null = the transport
   /// owns a fresh one. Benches pass one registry into a sweep's clusters so

@@ -50,6 +50,7 @@ std::unique_ptr<Cluster> ShardedCluster::build_group(std::uint32_t shard_id) {
         *options_.durability_dir + "/group-" + std::to_string(shard_id);
     cluster_options.fsync = options_.fsync;
   }
+  cluster_options.engine = options_.engine;
   ClusterOptions::SharedInfra shared;
   shared.scheduler = &scheduler_;
   shared.transport = transport_.get();
@@ -137,13 +138,18 @@ std::uint64_t ShardedCluster::copy_moved_data(const shard::SignedRingState& targ
       // imports are idempotent across holders.
       if (!source.server_running(s)) continue;
       core::SecureStoreServer& holder = source.server(s);
-      for (const core::WriteRecord* record : holder.store().all_current()) {
-        if (record->flags & core::kScattered) continue;  // pinned fragments
-        const std::uint32_t owner = target_ring.shard_for(record->group);
+      // Walk the metadata index, materializing (and copying — the engine's
+      // current() pointer dies at its next call) only records that move.
+      for (const storage::CurrentEntry& entry : holder.store().current_index()) {
+        if (entry.flags & core::kScattered) continue;  // pinned fragments
+        const core::WriteRecord* current = holder.store().current(entry.item);
+        if (current == nullptr) continue;
+        const core::WriteRecord record = *current;
+        const std::uint32_t owner = target_ring.shard_for(record.group);
         if (owner == source_shard || owner >= groups_.size()) continue;
         Cluster& dest = *groups_[owner];
         for (std::size_t d = 0; d < dest.server_count(); ++d) {
-          if (dest.server_running(d) && dest.server(d).import_record(*record)) ++copied;
+          if (dest.server_running(d) && dest.server(d).import_record(record)) ++copied;
         }
       }
       for (const core::StoredContext* stored : holder.contexts().all()) {

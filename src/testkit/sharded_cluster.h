@@ -47,6 +47,9 @@ struct ShardedClusterOptions {
   /// Durable groups: group g persists under `<durability_dir>/group-<g>/`.
   std::optional<std::string> durability_dir;
   storage::FsyncPolicy fsync = storage::FsyncPolicy::kAlways;
+  /// Storage engine for every server of every group (DESIGN.md §12); kLsm
+  /// requires `durability_dir`.
+  core::EngineConfig engine;
   std::shared_ptr<obs::Registry> registry;
   std::shared_ptr<obs::EventLog> events;
   bool tracing = false;

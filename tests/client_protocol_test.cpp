@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sync.h"
+#include "storage/item_store.h"
 #include "storage/snapshot.h"
 #include "testkit/cluster.h"
 

@@ -1,0 +1,102 @@
+// Deterministic LSM fixture generator for the sst_stats.py golden test.
+//
+// Builds a small engine directory — three explicit flushes, a faulty flag,
+// a prune, then one compaction — from fixed inputs only, so the resulting
+// MANIFEST and SSTables are byte-stable across runs and platforms. The
+// paired golden file (tests/data/sst_stats_golden.txt) therefore pins both
+// the tool's output format and the on-disk SST format (DESIGN.md §12).
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "crypto/keys.h"
+#include "storage/lsm/lsm_store.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace securestore;
+using core::ConsistencyModel;
+using core::Context;
+using core::Timestamp;
+using core::WriteRecord;
+using storage::lsm::LsmStore;
+
+constexpr GroupId kGroup{9};
+
+WriteRecord make_record(ItemId item, std::uint64_t time, std::string_view value,
+                        ClientId writer = ClientId{1}) {
+  WriteRecord record;
+  record.item = item;
+  record.group = kGroup;
+  record.model = ConsistencyModel::kCC;
+  record.writer = writer;
+  record.value = to_bytes(value);
+  record.value_digest = crypto::meter_digest(record.value);
+  record.ts = Timestamp{time, writer, record.value_digest};
+  record.writer_context = Context(kGroup);
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: lsm_golden_gen <output-dir>\n";
+    return 1;
+  }
+  const std::string dir = argv[1];
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // stale fixtures would skew counts
+
+  LsmStore::Options options;
+  options.dir = dir;
+  options.max_log_entries = 4;
+  // Flushes and the compaction are driven explicitly below; keep the
+  // automatic triggers out of the way so the file layout is fixed.
+  options.memtable_budget_bytes = 4u << 20;
+  options.l0_compact_threshold = 100;
+  LsmStore store(options);
+
+  std::uint64_t lsn = 0;
+  const auto write = [&](ItemId item, std::uint64_t time, std::string_view value,
+                         ClientId writer = ClientId{1}) {
+    store.apply(make_record(item, time, value, writer));
+    store.note_wal_lsn(++lsn);
+  };
+
+  // SST 1: four items, three versions each, plus one faulty flag.
+  for (std::uint64_t item = 1; item <= 4; ++item) {
+    for (std::uint64_t t = 1; t <= 3; ++t) {
+      write(ItemId{item}, t, "v" + std::to_string(item) + "." + std::to_string(t));
+    }
+  }
+  store.flag_faulty(ItemId{3});
+  store.flush();
+
+  // SST 2: newer versions for two items plus two fresh items; pruning item 1
+  // up to its current version drops the two older frames at compaction time.
+  write(ItemId{1}, 4, "v1.4");
+  write(ItemId{2}, 4, "v2.4");
+  write(ItemId{5}, 1, "v5.1");
+  write(ItemId{6}, 1, "v6.1");
+  const WriteRecord* current = store.current(ItemId{1});
+  if (current == nullptr) {
+    std::cerr << "lsm_golden_gen: item 1 lost its current version\n";
+    return 1;
+  }
+  store.prune_log(ItemId{1}, current->ts);
+  store.flush();
+
+  // SST 3: a second writer on item 2, so the merged output keeps distinct
+  // same-time versions apart.
+  write(ItemId{2}, 5, "v2.5a", ClientId{2});
+  write(ItemId{2}, 5, "v2.5b", ClientId{3});
+  store.flush();
+
+  // Merge everything into L1; the golden asserts the post-compaction layout.
+  store.compact_now();
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include "core/group_key.h"
 #include "core/scatter.h"
 #include "core/sync.h"
+#include "storage/item_store.h"
 #include "storage/snapshot.h"
 #include "testkit/cluster.h"
 #include "testkit/seed.h"
@@ -394,10 +395,13 @@ TEST_P(SnapshotEquivalence, RestoreMatchesOriginal) {
     storage::restore_snapshot(snapshot, restored_items, restored_contexts);
 
     EXPECT_EQ(restored_items.item_count(), cluster.server(s).store().item_count());
-    for (const core::WriteRecord* record : cluster.server(s).store().all_current()) {
-      const core::WriteRecord* restored = restored_items.current(record->item);
+    for (const storage::CurrentEntry& entry : cluster.server(s).store().current_index()) {
+      const core::WriteRecord* current = cluster.server(s).store().current(entry.item);
+      ASSERT_NE(current, nullptr) << "seed " << seed << " server " << s;
+      const core::WriteRecord record = *current;  // current() dies at next engine call
+      const core::WriteRecord* restored = restored_items.current(record.item);
       ASSERT_NE(restored, nullptr) << "seed " << seed << " server " << s;
-      EXPECT_EQ(*restored, *record) << "seed " << seed << " server " << s;
+      EXPECT_EQ(*restored, record) << "seed " << seed << " server " << s;
     }
     // Snapshot of the restore equals the snapshot (fixpoint).
     EXPECT_EQ(storage::make_snapshot(restored_items, restored_contexts), snapshot);

@@ -10,8 +10,10 @@
 // and the final fresh-client sweep must find every acknowledged write —
 // whichever shard the rebalance left it on.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdlib>
+#include <filesystem>
 
 #include "testkit/seed.h"
 #include "testkit/sharded_chaos.h"
@@ -28,7 +30,22 @@ using testkit::ShardedClusterOptions;
 
 bool gtest_failed() { return ::testing::Test::HasFailure(); }
 
-ShardedChaosReport run_soak(std::uint64_t seed, bool rebalance) {
+/// A unique, self-cleaning scratch directory (LSM soak variant).
+struct TempDir {
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "securestore_shchaos_XXXXXX").string();
+    path = mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+ShardedChaosReport run_soak(std::uint64_t seed, bool rebalance,
+                            const std::string& lsm_dir = {}) {
   ShardedClusterOptions options;
   options.groups = 2;
   options.n = 4;
@@ -37,6 +54,19 @@ ShardedChaosReport run_soak(std::uint64_t seed, bool rebalance) {
   options.chaos_seed = seed * 40503;
   options.gossip.period = milliseconds(50);
   options.op_timeout = seconds(2);
+  if (!lsm_dir.empty()) {
+    // Beyond-RAM variant (DESIGN.md §12): every server runs the LSM engine
+    // over a real durability directory, with a tiny memtable budget so the
+    // storm's writes actually cross the flush/compaction paths, and
+    // fsync=kNever so flush-before-truncate is the only durability gate.
+    // Disk-wipe crashes (restore_state=false, 1 in 4 restarts) then model a
+    // replacement node recovering purely from peers.
+    options.durability_dir = lsm_dir;
+    options.fsync = storage::FsyncPolicy::kNever;
+    options.engine.kind = core::StorageEngineKind::kLsm;
+    options.engine.memtable_budget_bytes = 4u << 10;
+    options.engine.l0_compact_threshold = 3;
+  }
   ShardedCluster cluster(options);
 
   Rng schedule_rng(seed);
@@ -94,6 +124,37 @@ std::vector<SoakCase> soak_seeds() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardedChaosSoak, ::testing::ValuesIn(soak_seeds()),
+                         [](const auto& info) {
+                           return "seed_" + std::to_string(info.param.seed);
+                         });
+
+// The same storm + rebalance soak with every server on the LSM engine
+// (DESIGN.md §12): crash/recover cycles — including disk-wiped replacements
+// — now exercise SST recovery, manifest quarantine-or-load and WAL replay
+// over flushed state under fsync=kNever. Same zero-violation bar.
+class LsmShardedChaosSoak : public ::testing::TestWithParam<SoakCase> {};
+
+TEST_P(LsmShardedChaosSoak, LsmEngineKeepsEveryAckedWriteUnderStorm) {
+  testkit::SeedBanner banner("sharded_chaos_lsm_soak", GetParam().seed, gtest_failed);
+  const std::uint64_t seed = banner.seed();
+
+  TempDir dir;
+  const ShardedChaosReport report = run_soak(seed, /*rebalance=*/true, dir.path);
+  EXPECT_TRUE(report.violations.empty()) << report.violation_report;
+  for (const auto& group : report.groups) {
+    EXPECT_TRUE(group.violations.empty())
+        << "group " << group.group.value << " (shard " << group.shard << ")";
+    EXPECT_GT(group.checks, 0u) << "group " << group.group.value << " checked nothing";
+  }
+  EXPECT_GT(report.events_applied, 0u) << "storm was empty — vacuous run";
+  EXPECT_GT(report.writes_acked, 0u);
+  EXPECT_GT(report.reads_ok, 0u);
+  EXPECT_EQ(report.groups_after, 3u);
+  EXPECT_EQ(report.final_ring_version, 2u);
+  EXPECT_GT(report.records_copied, 0u) << "rebalance moved nothing — vacuous handoff";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmShardedChaosSoak, ::testing::ValuesIn(soak_seeds()),
                          [](const auto& info) {
                            return "seed_" + std::to_string(info.param.seed);
                          });

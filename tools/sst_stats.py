@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Summarize and validate an LSM engine directory (DESIGN.md section 12).
+
+Parses the MANIFEST and every SSTable of a `LsmStore` data directory (or
+individual .sst files), verifies their checksums out-of-process, and prints
+per-level file counts plus entry counts by kind (records, equivocation
+flags, tombstones). Standard library only.
+
+Usage:
+    sst_stats.py <lsm-dir>                      # a store's data directory
+    sst_stats.py file1.sst [file2.sst ...]      # individual SSTables
+    sst_stats.py --expect expected.txt <dir>    # golden-file mode
+
+Exit codes: 0 ok, 1 malformed input, 2 golden mismatch.
+"""
+
+import os
+import struct
+import sys
+import zlib
+
+SST_MAGIC = b"SECURESTORE-SST"
+SST_VERSION = 1
+SST_FOOTER_MAGIC = 0x31444E4546545353  # "SSTFEND1" little-endian
+SST_FOOTER_SIZE = 28
+MANIFEST_MAGIC = b"SECURESTORE-LSM-MANIFEST"
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "MANIFEST"
+
+KIND_NAMES = {1: "records", 2: "flags", 3: "tombstones"}
+
+
+class Malformed(Exception):
+    pass
+
+
+class Cursor:
+    """Little-endian length-prefixed decoding (util/serial.h's Reader)."""
+
+    def __init__(self, data, path):
+        self.data = data
+        self.pos = 0
+        self.path = path
+
+    def _take(self, n):
+        if self.pos + n > len(self.data):
+            raise Malformed("%s: truncated" % os.path.basename(self.path))
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self):
+        return self._take(1)[0]
+
+    def u32(self):
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def bytes(self):
+        return self._take(self.u32())
+
+
+def parse_sst(path):
+    """Validates one SSTable end to end; returns its stats dict."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    if len(blob) < SST_FOOTER_SIZE:
+        raise Malformed("%s: shorter than the footer" % os.path.basename(path))
+
+    index_offset, covered_lsn, expected_crc, magic = struct.unpack(
+        "<QQIQ", blob[-SST_FOOTER_SIZE:])
+    if magic != SST_FOOTER_MAGIC:
+        raise Malformed("%s: bad footer magic" % os.path.basename(path))
+    if index_offset >= len(blob) - SST_FOOTER_SIZE:
+        raise Malformed("%s: index offset out of bounds" % os.path.basename(path))
+    # The file CRC covers everything before the CRC field itself.
+    if zlib.crc32(blob[:-12]) & 0xFFFFFFFF != expected_crc:
+        raise Malformed("%s: file CRC mismatch" % os.path.basename(path))
+
+    header = Cursor(blob, path)
+    if header.bytes() != SST_MAGIC:
+        raise Malformed("%s: bad header magic" % os.path.basename(path))
+    if header.u32() != SST_VERSION:
+        raise Malformed("%s: unknown version" % os.path.basename(path))
+
+    index = Cursor(blob[index_offset:len(blob) - 20], path)
+    count = index.u32()
+    kinds = {1: 0, 2: 0, 3: 0}
+    items = set()
+    for _ in range(count):
+        kind = index.u8()
+        if kind not in kinds:
+            raise Malformed("%s: unknown entry kind %d" % (os.path.basename(path), kind))
+        kinds[kind] += 1
+        items.add(index.u64())  # item
+        index.u64()             # group
+        index.u64()             # time
+        index.u32()             # ts writer
+        index.bytes()           # digest
+        index.u32()             # record writer
+        index.u8()              # record flags
+        offset = index.u64()
+        frame_len = index.u32()
+        if offset + frame_len > index_offset:
+            raise Malformed("%s: frame overlaps the index" % os.path.basename(path))
+        # Per-frame CRC: the last line of defense for point reads.
+        body_len, body_crc = struct.unpack("<II", blob[offset:offset + 8])
+        if body_len != frame_len - 8:
+            raise Malformed("%s: frame length mismatch" % os.path.basename(path))
+        body = blob[offset + 8:offset + 8 + body_len]
+        if zlib.crc32(body) & 0xFFFFFFFF != body_crc:
+            raise Malformed("%s: frame CRC mismatch" % os.path.basename(path))
+    return {
+        "entries": count,
+        "kinds": kinds,
+        "items": len(items),
+        "bytes": len(blob),
+        "covered_lsn": covered_lsn,
+    }
+
+
+def parse_manifest(path):
+    """Returns (durable_lsn, [(level, file_no), ...])."""
+    with open(path, "rb") as f:
+        cursor = Cursor(f.read(), path)
+    if cursor.bytes() != MANIFEST_MAGIC:
+        raise Malformed("MANIFEST: bad magic")
+    if cursor.u32() != MANIFEST_VERSION:
+        raise Malformed("MANIFEST: unknown version")
+    checksum = cursor.bytes()
+    body = cursor.bytes()
+    try:
+        import hashlib
+        if hashlib.sha256(body).digest() != checksum:
+            raise Malformed("MANIFEST: checksum mismatch")
+    except ImportError:  # pragma: no cover - hashlib is stdlib
+        pass
+    inner = Cursor(body, path)
+    inner.u64()  # next_file_no
+    durable_lsn = inner.u64()
+    files = []
+    for _ in range(inner.u32()):
+        level = inner.u8()
+        file_no = inner.u32()
+        files.append((level, file_no))
+    return durable_lsn, files
+
+
+def summarize(target):
+    """Returns the report lines for a directory or list of .sst files."""
+    lines = []
+    if len(target) == 1 and os.path.isdir(target[0]):
+        root = target[0]
+        manifest_path = os.path.join(root, MANIFEST_NAME)
+        levels = {}
+        if os.path.exists(manifest_path):
+            durable_lsn, files = parse_manifest(manifest_path)
+            lines.append("manifest: %d files, durable_lsn %d" % (len(files), durable_lsn))
+            for level, file_no in files:
+                levels.setdefault(level, []).append(
+                    os.path.join(root, "sst-%016x.sst" % file_no))
+        else:
+            lines.append("manifest: missing")
+            for name in sorted(os.listdir(root)):
+                if name.endswith(".sst"):
+                    levels.setdefault(0, []).append(os.path.join(root, name))
+        quarantined = sorted(
+            name for name in os.listdir(root) if name.endswith(".corrupt"))
+        paths = []
+        for level in sorted(levels):
+            lines.append("level %d: %d files" % (level, len(levels[level])))
+            paths.extend(levels[level])
+        if quarantined:
+            lines.append("quarantined: %d" % len(quarantined))
+    else:
+        paths = list(target)
+
+    totals = {"entries": 0, "records": 0, "flags": 0, "tombstones": 0, "bytes": 0}
+    for path in paths:
+        stats = parse_sst(path)
+        lines.append(
+            "%s: %d entries (%d records, %d flags, %d tombstones), "
+            "%d items, %d bytes, covered_lsn %d"
+            % (os.path.basename(path), stats["entries"], stats["kinds"][1],
+               stats["kinds"][2], stats["kinds"][3], stats["items"],
+               stats["bytes"], stats["covered_lsn"]))
+        totals["entries"] += stats["entries"]
+        totals["records"] += stats["kinds"][1]
+        totals["flags"] += stats["kinds"][2]
+        totals["tombstones"] += stats["kinds"][3]
+        totals["bytes"] += stats["bytes"]
+    lines.append(
+        "total: %d files, %d entries (%d records, %d flags, %d tombstones), %d bytes"
+        % (len(paths), totals["entries"], totals["records"], totals["flags"],
+           totals["tombstones"], totals["bytes"]))
+    return lines
+
+
+def main(argv):
+    args = argv[1:]
+    expect_path = None
+    if args and args[0] == "--expect":
+        if len(args) < 3:
+            print(__doc__, file=sys.stderr)
+            return 1
+        expect_path = args[1]
+        args = args[2:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 1
+
+    try:
+        lines = summarize(args)
+    except (Malformed, OSError, struct.error) as err:
+        print("sst_stats: %s" % err, file=sys.stderr)
+        return 1
+
+    output = "\n".join(lines) + "\n"
+    if expect_path is not None:
+        with open(expect_path) as f:
+            expected = f.read()
+        if output != expected:
+            sys.stderr.write("sst_stats: output differs from %s\n" % expect_path)
+            sys.stderr.write("--- expected ---\n%s--- actual ---\n%s" % (expected, output))
+            return 2
+        print("sst_stats: golden match (%s)" % os.path.basename(expect_path))
+        return 0
+    sys.stdout.write(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
