@@ -104,7 +104,10 @@ void GossipEngine::send_digest(NodeId peer) {
   std::vector<DigestEntry> entries;
   // The digest never materializes a value: the engine's current-version
   // index is (item, ts, flags) metadata, resident even for the disk-backed
-  // engine.
+  // engine. The digest stays honest against storage rot because the engine
+  // drops a version from that index once its frame fails to materialize —
+  // otherwise we would advertise a timestamp we cannot serve and peers,
+  // comparing equal, would never re-send the record.
   for (const storage::CurrentEntry& entry : store_.current_index()) {
     // Scattered fragments are pinned to their server (see RecordFlags).
     if (entry.flags & core::kScattered) continue;

@@ -274,10 +274,14 @@ void LsmStore::rebuild_index_locked() {
 
 ApplyResult LsmStore::apply(const core::WriteRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   ItemIndex& idx = index_[record.item];
 
   for (const Version& v : idx.versions) {
     if (v.ts.equivocates(record.ts)) {
+      // The exposing record never enters the memtable, so the flag must be
+      // carried by the next flush even if the memtable is empty then.
+      if (!idx.faulty) flags_dirty_ = true;
       idx.faulty = true;
       return ApplyResult::kEquivocation;
     }
@@ -334,6 +338,22 @@ void LsmStore::drop_version_locked(ItemId item, const Version& version) {
 
 // --- Read path -------------------------------------------------------------
 
+void LsmStore::reap_doomed_locked() const {
+  if (doomed_.empty()) return;
+  for (const VersionKey& key : doomed_) {
+    const auto it = index_.find(key.item);
+    if (it == index_.end()) continue;
+    auto& versions = it->second.versions;
+    std::erase_if(versions, [&](const Version& v) {
+      return v.file_no != kMemtableFileNo && v.ts.time == key.time &&
+             v.ts.writer == key.ts_writer && v.ts.digest == key.digest &&
+             v.rec_writer == key.rec_writer;
+    });
+    if (versions.empty() && !it->second.faulty) index_.erase(it);
+  }
+  doomed_.clear();
+}
+
 const core::WriteRecord* LsmStore::materialize_locked(ItemId item,
                                                       const Version& version) const {
   const VersionKey key{item, version.ts.time, version.ts.writer, version.ts.digest,
@@ -352,10 +372,15 @@ const core::WriteRecord* LsmStore::materialize_locked(ItemId item,
   auto record = file->reader->read_record(version.offset, version.frame_len);
   if (!record) {
     // Runtime bit rot inside a frame: treat the version as missing — the
-    // caller degrades exactly like a replica that never held it and gossip
-    // anti-entropy re-fetches from the other replicas.
+    // caller degrades exactly like a replica that never held it. Queue the
+    // version for erasure from the index (done at the next engine call, not
+    // here, since the caller may be iterating these versions right now):
+    // while it stays indexed the gossip digest keeps advertising a value we
+    // cannot serve and apply() rejects the peer's re-sent copy as a
+    // duplicate, so anti-entropy would never repair it.
     ++read_error_count_;
     read_errors_.inc();
+    doomed_.push_back(key);
     return nullptr;
   }
   read_cache_.emplace_back(key, std::make_unique<core::WriteRecord>(std::move(*record)));
@@ -365,6 +390,7 @@ const core::WriteRecord* LsmStore::materialize_locked(ItemId item,
 
 const core::WriteRecord* LsmStore::current(ItemId item) const {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   const auto it = index_.find(item);
   if (it == index_.end() || it->second.versions.empty()) return nullptr;
   return materialize_locked(item, it->second.versions.front());
@@ -372,6 +398,7 @@ const core::WriteRecord* LsmStore::current(ItemId item) const {
 
 std::vector<core::WriteRecord> LsmStore::log(ItemId item) const {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   std::vector<core::WriteRecord> out;
   const auto it = index_.find(item);
   if (it == index_.end()) return out;
@@ -401,11 +428,14 @@ std::vector<ItemId> LsmStore::flagged_items() const {
 
 void LsmStore::flag_faulty(ItemId item) {
   std::lock_guard<std::mutex> lock(mu_);
-  index_[item].faulty = true;
+  ItemIndex& idx = index_[item];
+  if (!idx.faulty) flags_dirty_ = true;
+  idx.faulty = true;
 }
 
 std::vector<core::WriteRecord> LsmStore::group_meta(GroupId group) const {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   std::vector<core::WriteRecord> out;
   for (const auto& [item, idx] : index_) {
     if (idx.versions.empty() || idx.versions.front().group != group) continue;
@@ -418,6 +448,7 @@ std::vector<core::WriteRecord> LsmStore::group_meta(GroupId group) const {
 
 std::vector<CurrentEntry> LsmStore::current_index() const {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   std::vector<CurrentEntry> out;
   out.reserve(index_.size());
   for (const auto& [item, idx] : index_) {
@@ -429,6 +460,7 @@ std::vector<CurrentEntry> LsmStore::current_index() const {
 
 std::vector<core::WriteRecord> LsmStore::records_snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   std::vector<core::WriteRecord> out;
   for (const auto& [item, idx] : index_) {
     for (const Version& version : idx.versions) {
@@ -442,6 +474,7 @@ std::vector<core::WriteRecord> LsmStore::records_snapshot() const {
 
 std::size_t LsmStore::prune_log(ItemId item, const core::Timestamp& ts) {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   const auto it = index_.find(item);
   if (it == index_.end() || it->second.versions.size() <= 1) return 0;
   auto& versions = it->second.versions;
@@ -459,6 +492,7 @@ std::size_t LsmStore::prune_log(ItemId item, const core::Timestamp& ts) {
 
 std::size_t LsmStore::total_log_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   std::size_t total = 0;
   for (const auto& [item, idx] : index_) {
     if (!idx.versions.empty()) total += idx.versions.size() - 1;
@@ -468,6 +502,7 @@ std::size_t LsmStore::total_log_entries() const {
 
 std::size_t LsmStore::item_count() const {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   return index_.size();
 }
 
@@ -485,19 +520,25 @@ std::uint64_t LsmStore::durable_lsn() const {
 
 std::uint64_t LsmStore::flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  reap_doomed_locked();
   return flush_locked();
 }
 
 std::uint64_t LsmStore::flush_locked() {
-  if (memtable_.empty()) {
-    // Nothing buffered; just advance the manifest watermark so already
-    // durable WAL positions become truncatable.
+  if (memtable_.empty() && !flags_dirty_) {
+    // Nothing buffered and every flag already lives in some SST; just
+    // advance the manifest watermark so already durable WAL positions
+    // become truncatable.
     if (wal_watermark_ > durable_lsn_) {
       durable_lsn_ = wal_watermark_;
       write_manifest_locked();
     }
     return durable_lsn_;
   }
+  // When only flags are dirty (an equivocation was exposed but the exposing
+  // record never entered the memtable), fall through and write a flag-only
+  // SST: the flag must be durable in the engine's own files before the WAL
+  // positions that produced it become truncatable.
 
   SstBuilder builder;
   std::map<VersionKey, std::pair<std::uint64_t, std::uint32_t>> locations;
@@ -534,6 +575,7 @@ std::uint64_t LsmStore::flush_locked() {
   }
   memtable_.clear();
   memtable_bytes_ = 0;
+  flags_dirty_ = false;  // the new SST carries the whole flag set
   durable_lsn_ = covered;
   write_manifest_locked();
 
@@ -600,7 +642,13 @@ void LsmStore::maybe_schedule_compaction_locked() {
 
 void LsmStore::compact_now() {
   std::unique_lock<std::mutex> lock(mu_);
-  const std::uint64_t generation = std::max(compact_requested_, compact_done_ + 1);
+  // A run may already be in flight, and its live-set capture can predate
+  // this call's caller-visible state. Requesting one generation past the
+  // outstanding request guarantees the wait covers a capture made at or
+  // after now; if the outstanding request had not started yet, the thread
+  // reads the bumped generation and a single fresh run satisfies both.
+  const std::uint64_t generation =
+      compact_requested_ > compact_done_ ? compact_requested_ + 1 : compact_done_ + 1;
   compact_requested_ = generation;
   compact_cv_.notify_one();
   compact_done_cv_.wait(lock, [&] { return stop_ || compact_done_ >= generation; });
@@ -626,6 +674,7 @@ void LsmStore::compaction_thread() {
 
 void LsmStore::run_compaction(std::unique_lock<std::mutex>& lock) {
   const auto started = std::chrono::steady_clock::now();
+  reap_doomed_locked();
 
   // Point-in-time capture under the lock: which frames are live (referenced
   // by the index) and which items are flagged. This is the §5.3 retention
@@ -667,6 +716,7 @@ void LsmStore::run_compaction(std::unique_lock<std::mutex>& lock) {
       remap;
   std::unique_ptr<Output> output;
   std::uint64_t merge_read_errors = 0;
+  std::set<std::uint32_t> failed_inputs;  // held a live frame that would not read
 
   auto next_output = [&] {
     lock.lock();
@@ -689,7 +739,13 @@ void LsmStore::run_compaction(std::unique_lock<std::mutex>& lock) {
         if (!live.contains({file_no, entry.offset})) continue;
         auto record = reader->read_record(entry.offset, entry.frame_len);
         if (!record) {
+          // Live frame rotted between flush and merge. Leaving no remap
+          // entry makes the install below drop the version from the index
+          // (a dangling reference into an unlinked file would otherwise
+          // outlive this run), and the input file is quarantined instead of
+          // unlinked so a forensic copy survives.
           ++merge_read_errors;
+          failed_inputs.insert(file_no);
           continue;
         }
         if (!output) next_output();
@@ -724,16 +780,36 @@ void LsmStore::run_compaction(std::unique_lock<std::mutex>& lock) {
   }
 
   // Install under the lock: relocate live versions, swap the file set,
-  // commit the manifest, then unlink the inputs.
+  // commit the manifest, then dispose of the inputs. The read cache is NOT
+  // touched: its entries are keyed by full version identity and hold copies,
+  // so they stay correct after frames relocate — and clearing it from this
+  // thread would free records whose pointers a caller still holds under the
+  // engine's pointer-stability contract.
   lock.lock();
-  for (auto& [item, idx] : index_) {
-    for (Version& version : idx.versions) {
-      if (version.file_no == kMemtableFileNo) continue;
+  for (auto index_it = index_.begin(); index_it != index_.end();) {
+    auto& versions = index_it->second.versions;
+    for (std::size_t i = versions.size(); i-- > 0;) {
+      Version& version = versions[i];
+      if (version.file_no == kMemtableFileNo || !input_nos.contains(version.file_no)) {
+        continue;
+      }
       const auto it = remap.find({version.file_no, version.offset});
-      if (it == remap.end()) continue;
+      if (it == remap.end()) {
+        // In an input and captured live, yet absent from the outputs: its
+        // frame failed to read during the merge. Drop the version so the
+        // index never dangles into a removed file and the gossip digest
+        // shows the item stale/missing for the peers to repair.
+        versions.erase(versions.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
       version.file_no = std::get<0>(it->second);
       version.offset = std::get<1>(it->second);
       version.frame_len = std::get<2>(it->second);
+    }
+    if (versions.empty() && !index_it->second.faulty) {
+      index_it = index_.erase(index_it);
+    } else {
+      ++index_it;
     }
   }
   std::vector<SstFile> kept;
@@ -746,10 +822,16 @@ void LsmStore::run_compaction(std::unique_lock<std::mutex>& lock) {
   files_ = std::move(kept);
   write_manifest_locked();
   for (const std::uint32_t no : input_nos) {
-    std::error_code ec;
-    fs::remove(file_path(no), ec);
+    if (failed_inputs.contains(no)) {
+      if (quarantine_file(file_path(no))) {
+        ++quarantined_count_;
+        quarantined_.inc();
+      }
+    } else {
+      std::error_code ec;
+      fs::remove(file_path(no), ec);
+    }
   }
-  read_cache_.clear();
   read_error_count_ += merge_read_errors;
   if (merge_read_errors > 0) read_errors_.inc(merge_read_errors);
 

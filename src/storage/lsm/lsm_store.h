@@ -93,8 +93,10 @@ class LsmStore final : public StorageEngine {
   void checkpoint() override;
 
   // Test / tool hooks -----------------------------------------------------
-  /// Requests a compaction and blocks until it has completed (deterministic
-  /// alternative to waiting out the background thread).
+  /// Requests a compaction and blocks until one that captured its live-set
+  /// at or after this call has completed (deterministic alternative to
+  /// waiting out the background thread). A run already in flight does not
+  /// satisfy the wait — it may predate the caller's recent writes.
   void compact_now();
 
   struct Stats {
@@ -170,6 +172,7 @@ class LsmStore final : public StorageEngine {
   void write_manifest_locked();
   void drop_version_locked(ItemId item, const Version& version);
   const core::WriteRecord* materialize_locked(ItemId item, const Version& version) const;
+  void reap_doomed_locked() const;
   std::string file_path(std::uint32_t file_no) const;
   void rebuild_index_locked();
   void maybe_schedule_compaction_locked();
@@ -179,18 +182,36 @@ class LsmStore final : public StorageEngine {
   Options options_;
 
   mutable std::mutex mu_;
-  std::unordered_map<ItemId, ItemIndex> index_;
+  /// mutable: logically-const reads may discover frame rot and lazily drop
+  /// the affected versions (see `doomed_`).
+  mutable std::unordered_map<ItemId, ItemIndex> index_;
   std::map<VersionKey, core::WriteRecord> memtable_;
   std::size_t memtable_bytes_ = 0;
   std::vector<SstFile> files_;  // ascending file_no
   std::uint32_t next_file_no_ = 1;
   std::uint64_t wal_watermark_ = 0;  // covers everything applied so far
   std::uint64_t durable_lsn_ = 0;    // covered by fsync'd SSTs + manifest
+  /// Set when an equivocation flag appears that no SST carries yet; forces
+  /// the next flush to write a (possibly flag-only) SST even when the
+  /// memtable is empty, so flags are durable in the engine's own files.
+  bool flags_dirty_ = false;
 
   /// Bounded materialization cache backing `current()`'s pointer contract:
   /// entries stay alive across at least one further call, never evicting
-  /// the most recently returned record.
+  /// the most recently returned record. Only caller-thread engine calls
+  /// (all under `mu_`) may mutate it — never the compactor, whose clears
+  /// would invalidate a pointer a caller still holds. Entries are keyed by
+  /// full version identity, so they stay correct when compaction relocates
+  /// frames.
   mutable std::deque<std::pair<VersionKey, std::unique_ptr<core::WriteRecord>>> read_cache_;
+
+  /// Versions whose SST frame failed its CRC at read time. They are erased
+  /// from `index_` at the start of the next engine call (`reap_doomed_locked`)
+  /// — not immediately, because the discovery happens mid-iteration — so the
+  /// replica stops advertising values it cannot serve (the gossip digest
+  /// then shows the item stale/missing and peers re-send it) and a re-sent
+  /// record is no longer rejected as a duplicate.
+  mutable std::vector<VersionKey> doomed_;
 
   // Compaction thread handshake.
   std::thread compactor_;

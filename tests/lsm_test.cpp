@@ -226,6 +226,10 @@ TEST(LsmStore, EquivocationFlagSurvivesFlushReopenAndCompaction) {
 TEST(LsmStore, CompactionMergesL0AndKeepsReadsCorrect) {
   TempDir dir;
   LsmStore::Options options = small_options(dir.path);
+  // Keep the background trigger out of the way: the third flush would
+  // otherwise schedule a merge that races the stats reads below.
+  // compact_now() drives the compaction under test explicitly.
+  options.l0_compact_threshold = 100;
   LsmStore store(options);
   // Several flush rounds over an overlapping key range → several L0 files
   // with superseded versions.
@@ -399,6 +403,91 @@ TEST(LsmCorruption, DamagedFrameDetectedAtReadTime) {
       EXPECT_GT(reopened.stats().read_errors, 0u);
     }
   }
+}
+
+TEST(LsmCorruption, RottedFrameDroppedFromIndexSoGossipCanRepair) {
+  TempDir dir;
+  LsmStore store(small_options(dir.path));
+  const WriteRecord record = make_record(kX, 1, std::string(2048, 'v'));
+  ASSERT_EQ(store.apply(record), ApplyResult::kStoredNewer);
+  store.note_wal_lsn(1);
+  store.flush();
+
+  // Rot the value frame in place while the reader is open: open-time
+  // validation already passed, so the per-frame CRC is the only guard.
+  const auto files = sst_files_in(dir.path);
+  ASSERT_EQ(files.size(), 1u);
+  flip_byte_at(files[0], static_cast<std::streamoff>(fs::file_size(files[0])) / 4);
+
+  EXPECT_EQ(store.current(kX), nullptr);
+  EXPECT_GT(store.stats().read_errors, 0u);
+  // The engine must stop advertising the version it cannot serve: were kX
+  // still listed at ts 1, a peer's digest comparison would find us current
+  // and anti-entropy would never repair the item.
+  for (const auto& entry : store.current_index()) EXPECT_NE(entry.item, kX);
+  // And the copy a peer re-sends must be accepted, not rejected as a
+  // duplicate of the rotted version.
+  EXPECT_EQ(store.apply(record), ApplyResult::kStoredNewer);
+  ASSERT_NE(store.current(kX), nullptr);
+  EXPECT_EQ(to_string(store.current(kX)->value), std::string(2048, 'v'));
+}
+
+TEST(LsmCorruption, CompactionQuarantinesRottedInputAndDropsDanglingVersions) {
+  TempDir dir;
+  constexpr ItemId kIntact{2};
+  {
+    LsmStore store(small_options(dir.path));
+    store.apply(make_record(kX, 1, std::string(2048, 'v')));
+    store.note_wal_lsn(1);
+    store.flush();
+    store.apply(make_record(kIntact, 1, "intact"));
+    store.note_wal_lsn(2);
+    store.flush();
+
+    const auto files = sst_files_in(dir.path);
+    ASSERT_EQ(files.size(), 2u);
+    flip_byte_at(files[0], static_cast<std::streamoff>(fs::file_size(files[0])) / 4);
+
+    store.compact_now();
+
+    // The unreadable frame's version must not dangle into an unlinked file:
+    // it is dropped from the index at install, the rotted input survives as
+    // a forensic copy, and the intact record still reads.
+    EXPECT_EQ(store.current(kX), nullptr);
+    EXPECT_GE(store.stats().read_errors, 1u);
+    EXPECT_GE(store.stats().quarantined, 1u);
+    EXPECT_EQ(corrupt_files_in(dir.path).size(), 1u);
+    EXPECT_EQ(store.item_count(), 1u);
+    ASSERT_NE(store.current(kIntact), nullptr);
+    EXPECT_EQ(to_string(store.current(kIntact)->value), "intact");
+  }
+  // Reopen from the post-compaction manifest: no resurrection, no crash.
+  LsmStore reopened(small_options(dir.path));
+  EXPECT_EQ(reopened.current(kX), nullptr);
+  ASSERT_NE(reopened.current(kIntact), nullptr);
+  EXPECT_EQ(to_string(reopened.current(kIntact)->value), "intact");
+}
+
+TEST(LsmStore, EmptyMemtableFlushPersistsFreshEquivocationFlag) {
+  TempDir dir;
+  {
+    LsmStore store(small_options(dir.path));
+    store.apply(make_record(kX, 1, "v1"));
+    store.note_wal_lsn(1);
+    store.flush();
+    // A conflicting twin (same time+writer, different digest) only sets the
+    // flag — the exposing record never enters the memtable.
+    EXPECT_EQ(store.apply(make_record(kX, 1, "evil-twin")), ApplyResult::kEquivocation);
+    store.note_wal_lsn(2);
+    // Empty memtable + fresh flag: the flush must write a flag-carrying SST
+    // before advancing the truncation watermark, not just rewrite the
+    // manifest — otherwise truncating the WAL past the exposing record
+    // leaves the flag with no durable home in the engine's own files.
+    EXPECT_EQ(store.flush(), 2u);
+  }
+  LsmStore reopened(small_options(dir.path));
+  EXPECT_TRUE(reopened.flagged_faulty(kX));
+  EXPECT_EQ(reopened.durable_lsn(), 2u);
 }
 
 // ---------------------------------------------------------------------------
