@@ -13,6 +13,7 @@
 #include "core/sync.h"
 #include "crypto/keys.h"
 #include "obs/export.h"
+#include "sim/open_loop.h"
 #include "testkit/cluster.h"
 
 namespace securestore::bench {
@@ -129,6 +130,34 @@ inline void emit_metrics(BenchJson& json, obs::Registry& registry) {
 
 inline void print_claim(const std::string& claim) {
   std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+/// Drives `issue` open-loop against a simulated cluster (DESIGN.md §13):
+/// a seeded Poisson arrival schedule at `arrivals_per_sec` for `duration`
+/// of virtual time, carried by a bounded stand-in pool (`max_in_flight`)
+/// so a saturated deployment overflows — counted against goodput — rather
+/// than queueing unbounded work inside the harness. After the schedule
+/// ends, the drain tail runs (bounded by `drain`) so every in-flight
+/// operation is accounted before the generator's stats are returned.
+inline sim::OpenLoopLoad::Stats drive_open_loop(testkit::Cluster& cluster,
+                                                double arrivals_per_sec,
+                                                SimDuration duration,
+                                                std::size_t max_in_flight,
+                                                std::uint64_t seed,
+                                                sim::OpenLoopLoad::IssueFn issue,
+                                                SimDuration drain = seconds(10)) {
+  sim::OpenLoopLoad::Options options;
+  options.arrivals_per_sec = arrivals_per_sec;
+  options.max_in_flight = max_in_flight;
+  options.seed = seed;
+  sim::OpenLoopLoad load(cluster.scheduler(), options, std::move(issue));
+  load.start(cluster.transport().now() + duration);
+  cluster.run_for(duration);
+  const SimTime drained_by = cluster.transport().now() + drain;
+  while (load.in_flight() > 0 && cluster.transport().now() < drained_by) {
+    cluster.run_for(milliseconds(10));
+  }
+  return load.stats();
 }
 
 /// Message/crypto deltas around one measured operation.

@@ -1,0 +1,236 @@
+// E18: overload robustness (DESIGN.md §13, EXPERIMENTS.md E18).
+//
+// Sweeps open-loop Poisson offered load past the deployment's saturation
+// point — per-server service costs cap capacity, so saturation happens in
+// virtual time on any host — and compares the admission-controlled
+// deployment against the same deployment with the gate disabled. The
+// claim: past saturation, shedding turns congestion collapse into a
+// goodput plateau. Goodput at 2x the saturation rate stays >= 80% of
+// peak, admitted-op p99 latency stays bounded (the queue never grows past
+// the shed watermark), and the shed fraction grows to absorb the excess.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/client.h"
+#include "core/sync.h"
+#include "util/result.h"
+
+namespace securestore::bench {
+namespace {
+
+constexpr GroupId kGroup{1};
+constexpr std::uint32_t kClients = 16;
+/// Stand-in pool for the open-loop population: large enough that doomed
+/// (refused, backing-off) operations do not starve admitted ones.
+constexpr std::size_t kPoolCap = 1024;
+/// Per-message service cost at every server: 1ms -> 1000 msg/s capacity.
+/// Writes land on a quorum (~half the servers), so the deployment
+/// saturates around 2000 ops/s.
+constexpr SimDuration kService = milliseconds(1);
+constexpr SimDuration kWindow = seconds(3);  // measured arrival window
+
+core::GroupPolicy single_writer_policy() {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kMRC,
+                           core::SharingMode::kSingleWriter, core::ClientTrust::kHonest};
+}
+
+std::uint64_t counter_value(testkit::Cluster& cluster, const std::string& name) {
+  const auto snapshot = cluster.registry().snapshot();
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+struct Cell {
+  double offered = 0;  // arrivals per second
+  sim::OpenLoopLoad::Stats stats;
+  std::uint64_t refused_ops = 0;  // ops that ended kOverloaded
+  std::uint64_t failed_ops = 0;   // ops that ended any other way (timeouts)
+  std::uint64_t server_sheds = 0;
+  double goodput = 0;        // succeeded per second of the arrival window
+  double shed_fraction = 0;  // (refused + overflow) / arrivals
+  double p50_ms = 0;         // admitted (successful) op latency
+  double p99_ms = 0;
+};
+
+double percentile_ms(std::vector<SimDuration>& latencies, double q) {
+  if (latencies.empty()) return 0;
+  std::sort(latencies.begin(), latencies.end());
+  const auto index = static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1));
+  return static_cast<double>(latencies[index]) / 1000.0;
+}
+
+/// One sweep cell: a fresh deployment, `kClients` connected writers, and
+/// an open-loop arrival schedule at `offered` ops/s for `kWindow`. Every
+/// arrival is one independent client write (round-robin principal, fresh
+/// item), classified on completion as goodput, refusal or timeout.
+Cell run_cell(double offered, bool admission_on) {
+  testkit::ClusterOptions options;
+  options.max_clients = kClients;
+  options.start_gossip = false;
+  options.op_timeout = milliseconds(750);
+  options.admission.enabled = admission_on;
+  // Tighter watermarks than the defaults: shed once ~64ms of work is
+  // queued, so the latency of admitted requests stays well inside the
+  // round budget.
+  options.admission.net_backlog_high = 64;
+  options.admission.net_backlog_low = 16;
+  testkit::Cluster cluster(options);
+  cluster.set_group_policy(single_writer_policy());
+
+  core::SecureStoreClient::Options client_options;
+  client_options.policy = single_writer_policy();
+  client_options.round_timeout = milliseconds(250);
+  std::vector<std::unique_ptr<core::SecureStoreClient>> clients;
+  for (std::uint32_t c = 1; c <= kClients; ++c) {
+    clients.push_back(cluster.make_client(ClientId{c}, client_options));
+    core::SyncClient sync(*clients.back(), cluster.scheduler());
+    if (!sync.connect(kGroup).ok()) {
+      std::fprintf(stderr, "error: client %u failed to connect\n", c);
+      std::exit(EXIT_FAILURE);
+    }
+  }
+
+  // Capacity cap only after the connect handshakes: the sweep measures
+  // the data path, not session setup.
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    cluster.transport().set_service_time(cluster.server_node(s), kService);
+  }
+
+  Cell cell;
+  cell.offered = offered;
+  std::vector<SimDuration> latencies;
+  const Bytes value = to_bytes("overload-sweep-payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  std::uint64_t sequence = 0;
+  auto issue = [&](sim::OpenLoopLoad::DoneFn done) {
+    const std::uint64_t op = sequence++;
+    core::SecureStoreClient& client = *clients[op % kClients];
+    const ItemId item{1 + op};
+    const SimTime start = cluster.transport().now();
+    client.write(item, value, [&, start, done = std::move(done)](VoidResult result) {
+      if (result.ok()) {
+        latencies.push_back(cluster.transport().now() - start);
+      } else if (result.error() == Error::kOverloaded) {
+        ++cell.refused_ops;
+      } else {
+        ++cell.failed_ops;
+      }
+      done(result.ok());
+    });
+  };
+  cell.stats = drive_open_loop(cluster, offered, kWindow, kPoolCap,
+                               /*seed=*/static_cast<std::uint64_t>(offered) * 7919 + 1, issue);
+
+  cell.server_sheds = counter_value(cluster, "server.shed");
+  const double window_s = static_cast<double>(kWindow) / 1e6;
+  cell.goodput = static_cast<double>(cell.stats.succeeded) / window_s;
+  cell.shed_fraction =
+      cell.stats.arrivals == 0
+          ? 0
+          : static_cast<double>(cell.refused_ops + cell.stats.overflow) /
+                static_cast<double>(cell.stats.arrivals);
+  cell.p50_ms = percentile_ms(latencies, 0.50);
+  cell.p99_ms = percentile_ms(latencies, 0.99);
+  return cell;
+}
+
+void sweep_table(BenchJson& json, const std::string& mode, const std::vector<Cell>& cells) {
+  std::printf("mode: %s\n", mode.c_str());
+  Table table({"offered/s", "arrivals", "goodput/s", "p50 ms", "p99 ms", "shed frac",
+               "refused", "overflow", "timeouts"},
+              11);
+  table.print_header();
+  for (const Cell& cell : cells) {
+    table.cell(cell.offered, 0);
+    table.cell(cell.stats.arrivals);
+    table.cell(cell.goodput, 0);
+    table.cell(cell.p50_ms, 1);
+    table.cell(cell.p99_ms, 1);
+    table.cell(cell.shed_fraction, 3);
+    table.cell(cell.refused_ops);
+    table.cell(cell.stats.overflow);
+    table.cell(cell.failed_ops);
+    table.end_row();
+
+    json.begin_row();
+    json.field("kind", "sweep");
+    json.field("mode", mode);
+    json.field("offered_per_s", cell.offered, 0);
+    json.field("arrivals", cell.stats.arrivals);
+    json.field("issued", cell.stats.issued);
+    json.field("overflow", cell.stats.overflow);
+    json.field("succeeded", cell.stats.succeeded);
+    json.field("refused_ops", cell.refused_ops);
+    json.field("timeout_ops", cell.failed_ops);
+    json.field("server_sheds", cell.server_sheds);
+    json.field("goodput_per_s", cell.goodput, 1);
+    json.field("p50_admitted_ms", cell.p50_ms, 2);
+    json.field("p99_admitted_ms", cell.p99_ms, 2);
+    json.field("shed_fraction", cell.shed_fraction);
+  }
+  std::printf("\n");
+}
+
+void run() {
+  print_title("E18: overload robustness — admission control past saturation");
+  print_claim(
+      "open-loop load past saturation: with admission control, goodput "
+      "plateaus (>= 80% of peak at 2x the saturation rate), admitted p99 "
+      "stays bounded, and the shed fraction absorbs the excess; without "
+      "it, the same sweep collapses into timeouts");
+
+  BenchJson json("e18_overload");
+  const std::vector<double> offered = {250, 500, 1000, 1500, 2000, 2500, 3000, 4000};
+
+  std::vector<Cell> with_admission;
+  std::vector<Cell> without_admission;
+  for (const double rate : offered) with_admission.push_back(run_cell(rate, true));
+  for (const double rate : offered) without_admission.push_back(run_cell(rate, false));
+
+  sweep_table(json, "admission", with_admission);
+  sweep_table(json, "no_admission", without_admission);
+
+  // Saturation = the offered rate of the peak-goodput cell; the plateau
+  // check reads the admission sweep at >= 2x that rate.
+  const auto peak = std::max_element(
+      with_admission.begin(), with_admission.end(),
+      [](const Cell& a, const Cell& b) { return a.goodput < b.goodput; });
+  const Cell* twice = nullptr;
+  for (const Cell& cell : with_admission) {
+    if (cell.offered >= 2 * peak->offered) {
+      twice = &cell;
+      break;
+    }
+  }
+  const double ratio = twice != nullptr && peak->goodput > 0 ? twice->goodput / peak->goodput : 0;
+
+  json.begin_row();
+  json.field("kind", "acceptance");
+  json.field("saturation_offered_per_s", peak->offered, 0);
+  json.field("peak_goodput_per_s", peak->goodput, 1);
+  json.field("offered_at_2x_per_s", twice != nullptr ? twice->offered : 0.0, 0);
+  json.field("goodput_at_2x_per_s", twice != nullptr ? twice->goodput : 0.0, 1);
+  json.field("goodput_ratio_at_2x", ratio);
+  json.field("p99_admitted_ms_at_2x", twice != nullptr ? twice->p99_ms : 0.0, 2);
+  json.field("shed_fraction_at_2x", twice != nullptr ? twice->shed_fraction : 0.0);
+
+  std::printf("saturation (peak goodput): %.0f/s offered -> %.0f/s goodput\n", peak->offered,
+              peak->goodput);
+  if (twice != nullptr) {
+    std::printf("at %.0f/s offered (>= 2x): goodput %.0f/s (%.0f%% of peak), "
+                "p99 admitted %.1f ms, shed fraction %.3f\n",
+                twice->offered, twice->goodput, 100 * ratio, twice->p99_ms,
+                twice->shed_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace securestore::bench
+
+int main() {
+  securestore::bench::run();
+  return 0;
+}

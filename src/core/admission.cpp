@@ -1,0 +1,71 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+namespace securestore::core {
+namespace {
+
+/// Rounds up to the next power of two, so the retry-after hint takes only
+/// a handful of distinct values and the server can cache one signature per
+/// value instead of running Ed25519 per shed request.
+std::uint32_t quantize_pow2(std::uint32_t us) {
+  std::uint32_t bucket = 1;
+  while (bucket < us) bucket <<= 1;
+  return bucket;
+}
+
+}  // namespace
+
+bool AdmissionController::should_shed(const AdmissionSignals& signals) {
+  if (!options_.enabled) return false;
+
+  // Severity of each signal relative to its *high* watermark; > 1.0 means
+  // the signal alone justifies shedding.
+  double severity = 0;
+  const auto consider = [&severity](double value, double high) {
+    if (high > 0) severity = std::max(severity, value / high);
+  };
+  consider(static_cast<double>(signals.net_backlog),
+           static_cast<double>(options_.net_backlog_high));
+  consider(signals.wal_append_ewma_us, options_.wal_append_high_us);
+  if (signals.engine.memtable_budget > 0) {
+    consider(static_cast<double>(signals.engine.memtable_bytes) /
+                 static_cast<double>(signals.engine.memtable_budget),
+             options_.memtable_overrun_high);
+  }
+  consider(static_cast<double>(signals.engine.compaction_lag),
+           static_cast<double>(options_.compaction_lag_high));
+  severity_ = severity;
+
+  if (!overloaded_) {
+    // Latch on when ANY signal crosses its high watermark.
+    overloaded_ = severity >= 1.0;
+  } else {
+    // Latch off only when ALL signals are below their low watermarks.
+    bool calm = signals.net_backlog < options_.net_backlog_low &&
+                signals.wal_append_ewma_us < options_.wal_append_low_us &&
+                signals.engine.compaction_lag < options_.compaction_lag_low;
+    if (calm && signals.engine.memtable_budget > 0) {
+      calm = static_cast<double>(signals.engine.memtable_bytes) <
+             options_.memtable_overrun_low *
+                 static_cast<double>(signals.engine.memtable_budget);
+    }
+    overloaded_ = !calm;
+  }
+  if (overloaded_) ++shed_decisions_;
+  return overloaded_;
+}
+
+std::uint32_t AdmissionController::retry_after_us() const {
+  // Scale the minimum hint by the overload severity: at the watermark the
+  // hint is retry_after_min; a 10x-overloaded server asks for 10x longer.
+  const double scale = std::max(1.0, severity_);
+  const double raw = static_cast<double>(options_.retry_after_min) * scale;
+  const auto capped = static_cast<std::uint32_t>(std::min(
+      raw, static_cast<double>(options_.retry_after_max)));
+  const std::uint32_t quantized = quantize_pow2(std::max<std::uint32_t>(capped, 1));
+  return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      quantized, options_.retry_after_min, options_.retry_after_max));
+}
+
+}  // namespace securestore::core

@@ -23,7 +23,9 @@ SecureStoreClient::SecureStoreClient(net::Transport& transport, NodeId network_i
       rng_(std::move(rng)),
       fault_silent_(transport.registry().counter("client.fault.silent")),
       fault_forgery_(transport.registry().counter("client.fault.forgery")),
-      deadline_exceeded_(transport.registry().counter("client.deadline_exceeded")) {
+      deadline_exceeded_(transport.registry().counter("client.deadline_exceeded")),
+      refused_(transport.registry().counter("client.refused")),
+      breaker_trips_(transport.registry().counter("client.breaker_trips")) {
   config_.validate();
   if (!options_.codec) options_.codec = std::make_shared<PlainValueCodec>();
   if (options_.dynamic_quorums.has_value()) {
@@ -49,18 +51,21 @@ void SecureStoreClient::set_codec(std::shared_ptr<ValueCodec> codec) {
 }
 
 std::vector<NodeId> SecureStoreClient::pick_servers(std::size_t count, std::size_t skip) const {
-  // Preference order, with servers the estimator distrusts demoted to the
-  // back — they still serve as escalation fallbacks, never first choices.
+  // Preference order, with servers the estimator distrusts OR the circuit
+  // breaker holds open demoted to the back — they still serve as escalation
+  // fallbacks, never first choices, so the quorum path routes around a
+  // drowning replica the same way it routes around a suspected-faulty one.
+  const auto demoted = [this](NodeId server) {
+    if (estimator_.has_value() && estimator_->is_distrusted(server)) return true;
+    return breaker_open(server);
+  };
   std::vector<NodeId> ordered;
   ordered.reserve(server_order_.size());
   for (const NodeId server : server_order_) {
-    if (estimator_.has_value() && estimator_->is_distrusted(server)) continue;
-    ordered.push_back(server);
+    if (!demoted(server)) ordered.push_back(server);
   }
-  if (estimator_.has_value()) {
-    for (const NodeId server : server_order_) {
-      if (estimator_->is_distrusted(server)) ordered.push_back(server);
-    }
+  for (const NodeId server : server_order_) {
+    if (demoted(server)) ordered.push_back(server);
   }
 
   std::vector<NodeId> out;
@@ -103,10 +108,72 @@ bool SecureStoreClient::note_wrong_shard(net::MsgType type, BytesView resp_body)
   return true;
 }
 
+bool SecureStoreClient::breaker_open(NodeId server) const {
+  const auto it = breakers_.find(server.value);
+  return it != breakers_.end() && it->second.open_until > node_.transport().now();
+}
+
+bool SecureStoreClient::note_overloaded(NodeId from, net::MsgType type, BytesView resp_body) {
+  if (type != net::MsgType::kOverloaded) {
+    // The server answered with real content: it is keeping up again, so any
+    // accumulated strikes are stale.
+    const auto it = breakers_.find(from.value);
+    if (it != breakers_.end()) breakers_.erase(it);
+    return false;
+  }
+  refused_.inc();
+
+  // The hint is honored only when the refusal authenticates: a correct
+  // server signs overload_statement(retry_after_us) with its well-known
+  // key. Unverifiable refusals still count (the server *did* refuse) but
+  // contribute no hint a forger could inflate — and the clamp bounds even a
+  // correctly signed hint, so a Byzantine server can slow this client by at
+  // most retry_after_clamp per round.
+  try {
+    const OverloadedResp resp = OverloadedResp::deserialize(resp_body);
+    const auto key = config_.server_keys.find(from);
+    if (key != config_.server_keys.end() &&
+        crypto::meter_verify(key->second, overload_statement(resp.retry_after_us),
+                             resp.signature)) {
+      const SimDuration hint = std::min<SimDuration>(
+          microseconds(resp.retry_after_us), options_.retry_after_clamp);
+      overload_hint_ = std::max(overload_hint_, hint);
+    }
+  } catch (const DecodeError&) {
+  }
+
+  if (options_.breaker_threshold > 0) {
+    Breaker& breaker = breakers_[from.value];
+    // Past the threshold every further refusal re-opens the breaker (this
+    // is also what ends a failed half-open probe); strikes saturate so one
+    // useful reply is always enough to close it again.
+    breaker.strikes = std::min(breaker.strikes + 1, options_.breaker_threshold);
+    if (breaker.strikes >= options_.breaker_threshold) {
+      if (breaker.open_until <= node_.transport().now()) breaker_trips_.inc();
+      breaker.open_until = node_.transport().now() + options_.breaker_cooldown;
+    }
+  }
+  return true;
+}
+
+SimDuration SecureStoreClient::take_overload_hint() {
+  const SimDuration hint = overload_hint_;
+  overload_hint_ = 0;
+  return hint;
+}
+
+Error SecureStoreClient::round_error(std::size_t refused, net::QuorumOutcome outcome) const {
+  if (refused > 0) return Error::kOverloaded;
+  return outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
+                                                 : Error::kInsufficientQuorum;
+}
+
 SecureStoreClient::Trace SecureStoreClient::begin_trace(std::string op) {
   // Every public operation opens exactly one trace, so this doubles as the
-  // start-of-op hook: drop any ring a previous rejection stashed.
+  // start-of-op hook: drop any ring a previous rejection stashed and any
+  // retry-after hint a previous operation never consumed.
   wrong_shard_ring_.clear();
+  overload_hint_ = 0;
   // The transport clock keeps span semantics identical across worlds:
   // virtual microseconds under the simulator, wall microseconds since
   // transport start on the thread/TCP transports.
@@ -207,13 +274,22 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime d
   // verification").
   auto candidates = std::make_shared<std::vector<StoredContext>>();
   auto replies = std::make_shared<std::size_t>(0);
+  auto refused = std::make_shared<std::size_t>(0);
+  const std::vector<NodeId> targets = pick_servers(target_count);
+  const std::size_t target_total = targets.size();
 
   trace->phase("quorum");
   net::QuorumCall::start(
-      node_, pick_servers(target_count), net::MsgType::kContextRead, body,
-      [this, candidates, replies, group, quorum](NodeId /*from*/, net::MsgType type,
-                                                 BytesView resp_body) {
+      node_, targets, net::MsgType::kContextRead, body,
+      [this, candidates, replies, refused, target_total, group, quorum](
+          NodeId from, net::MsgType type, BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        if (note_overloaded(from, type, resp_body)) {
+          // Fast refusal: when the refusals leave too few possible
+          // repliers, the round cannot reach quorum — end it now instead
+          // of burning the rest of the round timeout.
+          return target_total - ++*refused < quorum;
+        }
         ++*replies;
         try {
           ContextReadResp resp = ContextReadResp::deserialize(resp_body);
@@ -229,7 +305,7 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime d
         }
         return *replies >= quorum;
       },
-      [this, candidates, replies, group, quorum, round, deadline, trace,
+      [this, candidates, replies, refused, group, quorum, round, deadline, trace,
        done](net::QuorumOutcome outcome, std::size_t) {
         if (wrong_shard_pending()) {
           trace->finish(false);
@@ -263,7 +339,7 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime d
           done(VoidResult{});
           return;
         }
-        const SimDuration backoff = retry_backoff(round);
+        const SimDuration backoff = std::max(retry_backoff(round), take_overload_hint());
         if (round + 1 < options_.max_read_rounds &&
             node_.transport().now() + backoff < deadline) {
           trace->add("retries");
@@ -273,9 +349,7 @@ void SecureStoreClient::connect_attempt(GroupId group, unsigned round, SimTime d
           return;
         }
         trace->finish(false);
-        done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
-                                                                : Error::kInsufficientQuorum,
-                        "context read quorum not reached"));
+        done(VoidResult(round_error(*refused, outcome), "context read quorum not reached"));
       },
       net::QuorumCall::Options{budget, trace->ctx()});
 }
@@ -308,19 +382,26 @@ void SecureStoreClient::disconnect_attempt(unsigned round, SimTime deadline, Tra
   const Bytes body = req.serialize();
 
   auto acks = std::make_shared<std::size_t>(0);
+  auto refused = std::make_shared<std::size_t>(0);
+  const std::vector<NodeId> targets = pick_servers(target_count);
+  const std::size_t target_total = targets.size();
   trace->phase("quorum");
   net::QuorumCall::start(
-      node_, pick_servers(target_count), net::MsgType::kContextWrite, body,
-      [this, acks, quorum](NodeId /*from*/, net::MsgType type, BytesView resp_body) {
+      node_, targets, net::MsgType::kContextWrite, body,
+      [this, acks, refused, target_total, quorum](NodeId from, net::MsgType type,
+                                                  BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        if (note_overloaded(from, type, resp_body)) {
+          return target_total - ++*refused < quorum;
+        }
         try {
           if (AckResp::deserialize(resp_body).ok) ++*acks;
         } catch (const DecodeError&) {
         }
         return *acks >= quorum;
       },
-      [this, acks, quorum, round, deadline, trace, done](net::QuorumOutcome outcome,
-                                                         std::size_t) {
+      [this, acks, refused, quorum, round, deadline, trace, done](net::QuorumOutcome outcome,
+                                                                  std::size_t) {
         if (wrong_shard_pending()) {
           trace->finish(false);
           done(VoidResult(Error::kWrongShard, "server does not own this group's shard"));
@@ -332,7 +413,7 @@ void SecureStoreClient::disconnect_attempt(unsigned round, SimTime deadline, Tra
           done(VoidResult{});
           return;
         }
-        const SimDuration backoff = retry_backoff(round);
+        const SimDuration backoff = std::max(retry_backoff(round), take_overload_hint());
         if (round + 1 < options_.max_read_rounds &&
             node_.transport().now() + backoff < deadline) {
           trace->add("retries");
@@ -342,9 +423,7 @@ void SecureStoreClient::disconnect_attempt(unsigned round, SimTime deadline, Tra
           return;
         }
         trace->finish(false);
-        done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
-                                                                : Error::kInsufficientQuorum,
-                        "context write quorum not reached"));
+        done(VoidResult(round_error(*refused, outcome), "context write quorum not reached"));
       },
       net::QuorumCall::Options{budget, trace->ctx()});
 }
@@ -364,13 +443,19 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
 
   auto rebuilt = std::make_shared<Context>(group);
   auto replies = std::make_shared<std::size_t>(0);
+  auto refused = std::make_shared<std::size_t>(0);
+  const std::size_t target_total = config_.servers.size();
 
   auto trace = begin_trace("client.p2.reconstruct");
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, config_.servers, net::MsgType::kReconstruct, body,
-      [this, rebuilt, replies, group](NodeId /*from*/, net::MsgType type, BytesView resp_body) {
+      [this, rebuilt, replies, refused, target_total, needed, group](
+          NodeId from, net::MsgType type, BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        if (note_overloaded(from, type, resp_body)) {
+          return target_total - ++*refused < needed;
+        }
         ++*replies;
         try {
           for (const WriteRecord& meta : ReconstructResp::deserialize(resp_body).metas) {
@@ -386,7 +471,8 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
         }
         return false;  // hear from as many servers as possible
       },
-      [this, rebuilt, replies, needed, trace, done](net::QuorumOutcome outcome, std::size_t) {
+      [this, rebuilt, replies, refused, needed, trace, done](net::QuorumOutcome outcome,
+                                                             std::size_t) {
         if (wrong_shard_pending()) {
           trace->finish(false);
           done(VoidResult(Error::kWrongShard, "server does not own this group's shard"));
@@ -400,9 +486,7 @@ void SecureStoreClient::reconstruct_context(GroupId group, VoidCb done) {
           return;
         }
         trace->finish(false);
-        done(VoidResult(outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
-                                                                : Error::kInsufficientQuorum,
-                        "reconstruction needs n-b responses"));
+        done(VoidResult(round_error(*refused, outcome), "reconstruction needs n-b responses"));
       },
       net::QuorumCall::Options{options_.round_timeout, trace->ctx()});
 }
@@ -417,14 +501,19 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
   // item -> newest verified meta.
   auto newest = std::make_shared<std::map<ItemId, WriteRecord>>();
   auto replies = std::make_shared<std::size_t>(0);
+  auto refused = std::make_shared<std::size_t>(0);
+  const std::size_t target_total = config_.servers.size();
 
   auto trace = begin_trace("client.p2.list");
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, config_.servers, net::MsgType::kReconstruct, body,
-      [this, newest, replies, group](NodeId /*from*/, net::MsgType type,
-                                     BytesView resp_body) {
+      [this, newest, replies, refused, target_total, needed, group](
+          NodeId from, net::MsgType type, BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        if (note_overloaded(from, type, resp_body)) {
+          return target_total - ++*refused < needed;
+        }
         ++*replies;
         try {
           for (const WriteRecord& meta : ReconstructResp::deserialize(resp_body).metas) {
@@ -438,7 +527,8 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
         }
         return false;
       },
-      [this, newest, replies, needed, trace, done](net::QuorumOutcome outcome, std::size_t) {
+      [this, newest, replies, refused, needed, trace, done](net::QuorumOutcome outcome,
+                                                            std::size_t) {
         if (wrong_shard_pending()) {
           trace->finish(false);
           done(Result<std::vector<GroupEntry>>(Error::kWrongShard,
@@ -447,10 +537,8 @@ void SecureStoreClient::list_group(GroupId group, ListCb done) {
         }
         if (*replies < needed) {
           trace->finish(false);
-          done(Result<std::vector<GroupEntry>>(
-              outcome == net::QuorumOutcome::kTimeout ? Error::kTimeout
-                                                      : Error::kInsufficientQuorum,
-              "group listing needs n-b responses"));
+          done(Result<std::vector<GroupEntry>>(round_error(*refused, outcome),
+                                               "group listing needs n-b responses"));
           return;
         }
         std::vector<GroupEntry> entries;
@@ -534,11 +622,18 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
   const Bytes body = req.serialize();
 
   auto acks = std::make_shared<std::size_t>(0);
+  auto refused = std::make_shared<std::size_t>(0);
+  const std::vector<NodeId> targets = pick_servers(target_count);
+  const std::size_t target_total = targets.size();
   trace->phase("quorum");
   net::QuorumCall::start(
-      node_, pick_servers(target_count), net::MsgType::kWrite, body,
-      [this, acks, shares, quorum](NodeId /*from*/, net::MsgType type, BytesView resp_body) {
+      node_, targets, net::MsgType::kWrite, body,
+      [this, acks, refused, target_total, shares, quorum](NodeId from, net::MsgType type,
+                                                          BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        if (note_overloaded(from, type, resp_body)) {
+          return target_total - ++*refused < quorum;
+        }
         try {
           const WriteResp resp = WriteResp::deserialize(resp_body);
           if (resp.ok) {
@@ -549,7 +644,7 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
         }
         return *acks >= quorum;
       },
-      [this, record, target_count, round, deadline, shares, acks, quorum, trace,
+      [this, record, target_count, round, deadline, shares, acks, refused, quorum, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
         if (wrong_shard_pending()) {
           trace->finish(false);
@@ -567,11 +662,12 @@ void SecureStoreClient::send_write(std::shared_ptr<WriteRecord> record,
         }
         // Not enough acks: escalate to a larger server set, Fig. 2's
         // "contact additional servers".
-        const SimDuration backoff = retry_backoff(round);
+        const SimDuration backoff = std::max(retry_backoff(round), take_overload_hint());
         if (round + 1 >= options_.max_read_rounds ||
             node_.transport().now() + backoff >= deadline) {
           trace->finish(false);
-          done(VoidResult(Error::kTimeout, "write quorum not reached after escalation"));
+          done(VoidResult(*refused > 0 ? Error::kOverloaded : Error::kTimeout,
+                          "write quorum not reached after escalation"));
           return;
         }
         trace->add("retries");
@@ -666,13 +762,22 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
   };
   auto metas = std::make_shared<std::vector<Advertised>>();
   auto responders = std::make_shared<std::vector<NodeId>>();
+  auto refused = std::make_shared<std::size_t>(0);
   auto targets = std::make_shared<std::vector<NodeId>>(pick_servers(target_count));
   trace->phase("quorum");
   net::QuorumCall::start(
       node_, *targets, net::MsgType::kMetaRequest, body,
-      [this, metas, responders, item](NodeId from, net::MsgType type,
-                                      BytesView resp_body) {
+      [this, metas, responders, refused, targets, item](NodeId from, net::MsgType type,
+                                                        BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        if (note_overloaded(from, type, resp_body)) {
+          // A refusal is a response (not silence): the server is alive, so
+          // it must not feed the estimator's silent-evidence path.
+          responders->push_back(from);
+          // The meta round is useful with even one real reply; only a
+          // clean sweep of refusals ends it early.
+          return ++*refused >= targets->size();
+        }
         responders->push_back(from);
         note_responded(from);
         try {
@@ -689,7 +794,7 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
         }
         return false;  // collect every reply in the round: we want max t_r
       },
-      [this, metas, responders, targets, item, round, deadline, trace,
+      [this, metas, responders, refused, targets, item, round, deadline, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
         if (wrong_shard_pending()) {
           trace->finish(false);
@@ -790,7 +895,7 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
         }
 
         // Stale (or nothing at all): escalate or give up.
-        const SimDuration backoff = retry_backoff(round);
+        const SimDuration backoff = std::max(retry_backoff(round), take_overload_hint());
         if (round + 1 < options_.max_read_rounds &&
             node_.transport().now() + backoff < deadline) {
           trace->add("retries");
@@ -800,6 +905,10 @@ void SecureStoreClient::read_single_writer(ItemId item, unsigned round, SimTime 
           return;
         }
         trace->finish(false);
+        if (metas->empty() && *refused > 0) {
+          done(Result<ReadOutput>(Error::kOverloaded, "servers shed the read"));
+          return;
+        }
         done(Result<ReadOutput>(metas->empty() ? Error::kNotFound : Error::kStale,
                                 metas->empty() ? "no server returned the item"
                                                : "all replies older than context"));
@@ -816,7 +925,7 @@ void SecureStoreClient::fetch_candidate(ItemId item,
   if (candidate_idx >= candidates->size()) {
     // No candidate could be substantiated from this round's servers:
     // escalate (Fig. 2: "contact additional servers or try later").
-    const SimDuration backoff = retry_backoff(round);
+    const SimDuration backoff = std::max(retry_backoff(round), take_overload_hint());
     if (round + 1 < options_.max_read_rounds &&
         node_.transport().now() + backoff < deadline) {
       trace->add("retries");
@@ -855,9 +964,11 @@ void SecureStoreClient::fetch_candidate(ItemId item,
   trace->phase("fetch");
   net::QuorumCall::start(
       node_, {(*servers)[server_idx]}, net::MsgType::kRead, body,
-      [this, accepted, item, target_ts](NodeId /*from*/, net::MsgType type,
-                                        BytesView resp_body) {
+      [this, accepted, item, target_ts](NodeId from, net::MsgType type, BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        // A shed fetch just moves on to the next server; the breaker and
+        // hint bookkeeping still run.
+        if (note_overloaded(from, type, resp_body)) return true;
         try {
           ReadResp resp = ReadResp::deserialize(resp_body);
           if (resp.record.has_value() && resp.record->item == item &&
@@ -946,13 +1057,21 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
   auto tallies = std::make_shared<std::vector<Tally>>();
   auto faulty_votes = std::make_shared<std::size_t>(0);
   auto any_log_entry = std::make_shared<bool>(false);
+  auto refused = std::make_shared<std::size_t>(0);
+  const std::vector<NodeId> targets = pick_servers(target_count);
+  const std::size_t target_total = targets.size();
 
   trace->phase("quorum");
   net::QuorumCall::start(
-      node_, pick_servers(target_count), net::MsgType::kLogRead, body,
-      [this, tallies, faulty_votes, any_log_entry, item](NodeId /*from*/, net::MsgType type,
-                                                         BytesView resp_body) {
+      node_, targets, net::MsgType::kLogRead, body,
+      [this, tallies, faulty_votes, any_log_entry, refused, target_total, item](
+          NodeId from, net::MsgType type, BytesView resp_body) {
         if (note_wrong_shard(type, resp_body)) return true;
+        if (note_overloaded(from, type, resp_body)) {
+          // b+1 matching logs become impossible once too many servers
+          // refuse: end the round without waiting out the timeout.
+          return target_total - ++*refused < config_.agreement_threshold();
+        }
         try {
           LogReadResp resp = LogReadResp::deserialize(resp_body);
           if (resp.faulty_writer) ++*faulty_votes;
@@ -981,7 +1100,7 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
         }
         return false;  // need the full 2b+1 round for the b+1 count
       },
-      [this, tallies, faulty_votes, any_log_entry, item, round, deadline, trace,
+      [this, tallies, faulty_votes, any_log_entry, refused, item, round, deadline, trace,
        done](net::QuorumOutcome /*outcome*/, std::size_t) {
         if (wrong_shard_pending()) {
           trace->finish(false);
@@ -1019,7 +1138,7 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
           return;
         }
 
-        const SimDuration backoff = retry_backoff(round);
+        const SimDuration backoff = std::max(retry_backoff(round), take_overload_hint());
         if (round + 1 < options_.max_read_rounds &&
             node_.transport().now() + backoff < deadline) {
           trace->add("retries");
@@ -1029,6 +1148,10 @@ void SecureStoreClient::read_multi_writer(ItemId item, unsigned round, SimTime d
           return;
         }
         trace->finish(false);
+        if (!*any_log_entry && *refused > 0) {
+          done(Result<ReadOutput>(Error::kOverloaded, "servers shed the read"));
+          return;
+        }
         done(Result<ReadOutput>(*any_log_entry ? Error::kNoAgreement : Error::kNotFound,
                                 *any_log_entry
                                     ? "no value matched in b+1 logs at or above the context"

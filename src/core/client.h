@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "core/confidential.h"
 #include "core/config.h"
@@ -92,6 +93,20 @@ class SecureStoreClient {
     /// when gossip is slow or off. Off by default (the paper's
     /// dissemination is purely server-side).
     bool read_repair = false;
+    /// Overload cooperation (DESIGN.md §13). kOverloaded refusals are
+    /// counted separately from timeouts (`client.refused`) and the signed
+    /// retry-after hint stretches the next retry backoff — clamped to this
+    /// bound, so a Byzantine server cannot stall the client, and always
+    /// subject to the absolute op deadline.
+    SimDuration retry_after_clamp = milliseconds(500);
+    /// Per-server circuit breaker: after this many *consecutive* overload
+    /// refusals the server is demoted out of first-choice quorum picks (it
+    /// stays an escalation fallback, like an estimator-distrusted server)
+    /// for `breaker_cooldown`; the first pick after the cooldown is the
+    /// half-open probe that decides whether it rejoins or re-opens.
+    /// breaker_threshold = 0 disables the breaker.
+    unsigned breaker_threshold = 3;
+    SimDuration breaker_cooldown = milliseconds(200);
     /// Dynamic Byzantine quorums (§3, [Alvisi et al. DSN'00]): when set,
     /// data sets are sized f̂+1 (or 2f̂+1) from the fault estimator instead
     /// of the static bound b, shrinking to b_min+1 in fault-free weather
@@ -156,6 +171,10 @@ class SecureStoreClient {
   /// belong to shard::ShardedClient, which owns the ring authority key.
   Bytes take_wrong_shard_ring() { return std::move(wrong_shard_ring_); }
 
+  /// Whether the per-server circuit breaker currently demotes `server`
+  /// (DESIGN.md §13). Test/bench introspection.
+  bool breaker_open(NodeId server) const;
+
  private:
   using Trace = std::shared_ptr<obs::OpTrace>;
 
@@ -217,6 +236,20 @@ class SecureStoreClient {
   bool note_wrong_shard(net::MsgType type, BytesView resp_body);
   bool wrong_shard_pending() const { return !wrong_shard_ring_.empty(); }
 
+  /// kOverloaded interception (DESIGN.md §13), checked right after
+  /// note_wrong_shard in every reply handler. On a refusal it counts
+  /// `client.refused`, feeds the circuit breaker, verifies + clamps the
+  /// retry-after hint, and returns true — the caller then decides whether
+  /// the round is still winnable. Any other reply closes the sender's
+  /// breaker (the server is answering again) and returns false.
+  bool note_overloaded(NodeId from, net::MsgType type, BytesView resp_body);
+  /// The largest clamped retry-after hint seen since the last call (or op
+  /// start); consumed by the retry scheduling that honors it.
+  SimDuration take_overload_hint();
+  /// Picks the failure error for a quorum round: refusals dominate (the
+  /// round failed because servers shed, not because they were silent).
+  Error round_error(std::size_t refused, net::QuorumOutcome outcome) const;
+
   std::vector<NodeId> pick_servers(std::size_t count, std::size_t skip = 0) const;
   const Bytes* writer_key(ClientId writer) const;
   std::size_t write_set_size() const;
@@ -246,9 +279,26 @@ class SecureStoreClient {
   /// backoff sleep overshooting it); the round budget clamps to zero and
   /// the op fails with kTimeout instead of issuing a wrapped-around round.
   obs::Counter& deadline_exceeded_;
+  /// kOverloaded refusals, counted separately from timeouts.
+  obs::Counter& refused_;
+  /// Breaker transitions to open (a drowning replica got demoted).
+  obs::Counter& breaker_trips_;
   /// The ring bytes of the last kWrongShard rejection; cleared when a new
   /// operation begins and by take_wrong_shard_ring().
   Bytes wrong_shard_ring_;
+  /// Per-server circuit breaker state (DESIGN.md §13): consecutive overload
+  /// refusals, and — once past the threshold — the demotion deadline. After
+  /// `open_until` the server re-enters normal picks (the half-open probe);
+  /// strikes stay at the threshold, so one more refusal re-opens it
+  /// immediately while one useful reply resets it.
+  struct Breaker {
+    unsigned strikes = 0;
+    SimTime open_until = 0;
+  };
+  std::unordered_map<std::uint32_t, Breaker> breakers_;
+  /// Largest clamped retry-after hint since op start; cleared by
+  /// begin_trace and take_overload_hint.
+  SimDuration overload_hint_ = 0;
 };
 
 }  // namespace securestore::core

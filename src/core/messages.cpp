@@ -295,6 +295,30 @@ StabilityMsg StabilityMsg::deserialize(BytesView data) {
   return msg;
 }
 
+Bytes OverloadedResp::serialize() const {
+  Writer w;
+  w.u32(retry_after_us);
+  w.bytes(signature);
+  return w.take();
+}
+
+OverloadedResp OverloadedResp::deserialize(BytesView data) {
+  Reader r(data);
+  OverloadedResp resp;
+  resp.retry_after_us = r.u32();
+  resp.signature = r.bytes();
+  // No expect_end(): trailing bytes are a future protocol version's
+  // extension suffix, ignored by v1 receivers (PROTOCOL.md §12).
+  return resp;
+}
+
+Bytes overload_statement(std::uint32_t retry_after_us) {
+  Writer w;
+  w.str("securestore.overloaded.v1");
+  w.u32(retry_after_us);
+  return w.take();
+}
+
 Bytes stability_statement(ItemId item, const Timestamp& ts) {
   Writer w;
   w.str("securestore.stable.v1");

@@ -168,4 +168,24 @@ struct StabilityMsg {
 /// The canonical statement a stability share/certificate signs.
 Bytes stability_statement(ItemId item, const Timestamp& ts);
 
+/// Body of a `kOverloaded` refusal (PROTOCOL.md §12): the shedding server's
+/// retry-after hint, signed with its server key so the hint is attributable.
+/// Clients clamp the hint regardless — a Byzantine server must not be able
+/// to stall clients — so the signature's job is making shed decisions
+/// non-repudiable in audits, not making the hint trustworthy.
+///
+/// Framing is version-gated like the trace-context suffix (PROTOCOL.md
+/// §1b): deserialize reads the v1 fields and ignores any trailing bytes, so
+/// future versions can append without breaking v1 receivers.
+struct OverloadedResp {
+  std::uint32_t retry_after_us = 0;
+  Bytes signature;  // server key over overload_statement(retry_after_us)
+
+  Bytes serialize() const;
+  static OverloadedResp deserialize(BytesView data);
+};
+
+/// The canonical statement an overload refusal signs.
+Bytes overload_statement(std::uint32_t retry_after_us);
+
 }  // namespace securestore::core

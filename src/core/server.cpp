@@ -22,6 +22,7 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       options_(std::move(options)),
       events_(transport.events()),
       items_(make_engine()),
+      admission_(options_.admission),
       req_other_(transport.registry().counter("server.req.other" + options_.metric_suffix)),
       equivocations_(
           transport.registry().counter("server.equivocations" + options_.metric_suffix)),
@@ -34,6 +35,7 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
           transport.registry().histogram("server.wal.sync_us" + options_.metric_suffix)),
       batch_size_(transport.registry().histogram("server.batch_size" + options_.metric_suffix,
                                                  {1, 2, 4, 8, 16, 32, 64})),
+      shed_(transport.registry().counter("server.shed" + options_.metric_suffix)),
       wrong_shard_(transport.registry().counter("shard.wrong_shard" + options_.metric_suffix)),
       ring_installed_(
           transport.registry().counter("shard.ring_installed" + options_.metric_suffix)),
@@ -267,6 +269,7 @@ std::uint64_t SecureStoreServer::wal_append(storage::WalEntryType type, BytesVie
   const std::uint64_t lsn = wal_->append(type, payload);
   const std::uint64_t elapsed = obs::wall_now_us() - start;
   wal_append_us_.observe(static_cast<double>(elapsed));
+  admission_.note_wal_append(static_cast<double>(elapsed));
   if (events_.want(active_trace_)) {
     events_.span(node_.id().value, active_trace_, "server.wal.append", "server",
                  static_cast<std::uint64_t>(node_.transport().now()), elapsed);
@@ -456,6 +459,62 @@ bool SecureStoreServer::import_context(const StoredContext& stored) {
   return true;
 }
 
+namespace {
+
+/// The shed-able set: client data requests, each of which the client retries
+/// under backoff. Everything quorum-critical — gossip anti-entropy,
+/// stability certificates (oneways that never reach handle_request) and
+/// responses to rounds already admitted — stays outside this set, so
+/// shedding degrades throughput, never safety.
+bool sheddable_request(net::MsgType type) {
+  switch (type) {
+    case net::MsgType::kContextRead:
+    case net::MsgType::kContextWrite:
+    case net::MsgType::kMetaRequest:
+    case net::MsgType::kRead:
+    case net::MsgType::kWrite:
+    case net::MsgType::kLogRead:
+    case net::MsgType::kReconstruct:
+    case net::MsgType::kAuditRead:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::maybe_shed(net::MsgType type) {
+  if (!admission_.options().enabled || !sheddable_request(type)) return std::nullopt;
+  AdmissionSignals signals;
+  signals.net_backlog = node_.transport().backlog(node_.id());
+  signals.wal_append_ewma_us = admission_.wal_append_ewma_us();
+  signals.engine = items_->pressure();
+  if (!admission_.should_shed(signals)) return std::nullopt;
+  shed_.inc();
+  // The refused request never reaches decode/crypto/WAL, so its service
+  // slot goes back to the transport's capacity model: a refusal costs O(1),
+  // which is what lets goodput plateau instead of collapsing past
+  // saturation (EXPERIMENTS.md E18).
+  node_.transport().refund_service(node_.id());
+  if (events_.enabled()) {
+    events_.instant(node_.id().value, 0, active_trace_, "server.shed", "server",
+                    static_cast<std::uint64_t>(node_.transport().now()));
+  }
+  return {{net::MsgType::kOverloaded, overloaded_body(admission_.retry_after_us())}};
+}
+
+const Bytes& SecureStoreServer::overloaded_body(std::uint32_t retry_after_us) {
+  auto it = overload_bodies_.find(retry_after_us);
+  if (it == overload_bodies_.end()) {
+    OverloadedResp resp;
+    resp.retry_after_us = retry_after_us;
+    resp.signature = crypto::meter_sign(keys_.seed, overload_statement(retry_after_us));
+    it = overload_bodies_.emplace(retry_after_us, resp.serialize()).first;
+  }
+  return it->second;
+}
+
 std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
     NodeId from, net::MsgType type, BytesView body, const obs::TraceContext& trace) {
   // Request mix is counted before the fault hooks: the metric reflects what
@@ -467,6 +526,12 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
   if (auto preempted = preempt_request(from, type, body); preempted.has_value()) {
     return std::move(*preempted);
   }
+
+  // Admission control (DESIGN.md §13): refuse new client work while live
+  // pressure is past the watermarks, before any decode/crypto/WAL cost is
+  // paid — shedding here, before state mutation, is what makes "a shed
+  // request is never acked" structural rather than probabilistic.
+  if (auto refusal = maybe_shed(type); refusal.has_value()) return refusal;
 
   // Sharded: group-scoped requests for a shard this server does not own are
   // rejected with the signed ring attached, so a stale client can refresh

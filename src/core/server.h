@@ -17,6 +17,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/admission.h"
 #include "core/auth.h"
 #include "core/config.h"
 #include "core/messages.h"
@@ -83,6 +84,10 @@ class SecureStoreServer {
     /// Appended verbatim to every metric name (e.g. "{shard=2}") so several
     /// replica groups sharing one registry stay distinguishable.
     std::string metric_suffix;
+    /// Overload admission control (DESIGN.md §13): shed new client requests
+    /// with kOverloaded when live pressure signals cross their watermarks.
+    /// Quorum-critical traffic (gossip, stability) is never shed.
+    AdmissionController::Options admission;
   };
 
   SecureStoreServer(net::Transport& transport, NodeId id, StoreConfig config,
@@ -128,6 +133,10 @@ class SecureStoreServer {
   /// The tamper-evident log of every write this server accepted ([6]-style
   /// auditing; also served over the wire via kAuditRead).
   const storage::AuditLog& audit_log() const { return audit_; }
+
+  /// Overload admission control (DESIGN.md §13); tests and benches inspect
+  /// the latched state and shed counts here.
+  const AdmissionController& admission() const { return admission_; }
 
   /// Stored client contexts (rebalance export, tests).
   const storage::ContextStore& contexts() const { return contexts_; }
@@ -218,6 +227,16 @@ class SecureStoreServer {
   bool authorized(const std::optional<AuthToken>& token, ClientId client, GroupId group,
                   Rights needed) const;
 
+  /// Admission gate (DESIGN.md §13): samples live pressure and, when the
+  /// controller says shed AND `type` is a client data request, returns the
+  /// kOverloaded refusal to send (signed retry-after hint). nullopt =
+  /// admitted. Never sheds quorum-critical traffic.
+  std::optional<std::pair<net::MsgType, Bytes>> maybe_shed(net::MsgType type);
+  /// The kOverloaded response body for the controller's current hint,
+  /// memoized per distinct (quantized) retry-after value so shedding costs
+  /// no Ed25519 signing on the hot path.
+  const Bytes& overloaded_body(std::uint32_t retry_after_us);
+
   /// Gossip ring arrivals: decode + install_ring (malformed counts as
   /// rejected).
   void install_ring_bytes(NodeId from, BytesView body);
@@ -291,6 +310,10 @@ class SecureStoreServer {
   /// only in the WAL, so neither snapshots nor the LSM manifest may claim
   /// coverage at or past their entries.
   std::optional<std::uint64_t> hold_lsn_floor_;
+  /// Admission control state (DESIGN.md §13) plus the signed-refusal cache
+  /// keyed by quantized retry-after value.
+  AdmissionController admission_;
+  std::unordered_map<std::uint32_t, Bytes> overload_bodies_;
   bool wal_replaying_ = false;
   /// LSN of the WAL entry currently being replayed (boot only); lets the
   /// hold floor anchor correctly when replay re-parks a held write.
@@ -309,6 +332,8 @@ class SecureStoreServer {
   obs::Histogram& wal_sync_us_;
   /// Requests per dispatch wakeup — how much batching the hot path gets.
   obs::Histogram& batch_size_;
+  /// Requests refused by admission control (DESIGN.md §13).
+  obs::Counter& shed_;
   // Sharding counters (DESIGN.md §8 catalog, shard.* family).
   obs::Counter& wrong_shard_;     // misrouted requests rejected
   obs::Counter& ring_installed_;  // ring updates accepted

@@ -84,6 +84,8 @@ class FaultInjectingTransport final : public Transport {
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override { return inner_.now(); }
   void schedule(SimDuration delay, std::function<void()> callback) override;
+  std::size_t backlog(NodeId node) const override { return inner_.backlog(node); }
+  void refund_service(NodeId node) override { inner_.refund_service(node); }
   const sim::TransportStats& stats() const override { return inner_.stats(); }
   void reset_stats() override { inner_.reset_stats(); }
   obs::Registry& registry() override { return inner_.registry(); }

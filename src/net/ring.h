@@ -111,6 +111,16 @@ class DeliveryRing {
     return taken;
   }
 
+  /// Approximate occupancy: slots claimed minus slots drained. Producers
+  /// and the consumer race it, so it can be momentarily off by in-flight
+  /// pushes — good enough for pressure signals and high-watermarks, never
+  /// for exact accounting.
+  std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return head > tail ? static_cast<std::size_t>(head - tail) : 0;
+  }
+
   /// Consumer-side emptiness check (also safe, but approximate, for
   /// producers — a concurrent push may not be visible yet).
   bool empty() const {

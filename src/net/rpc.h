@@ -62,6 +62,8 @@ enum class MsgType : std::uint16_t {
   kAck = 100,
   kError = 101,
   kWrongShard = 102,  // misrouted request; body is the server's signed ring
+  kOverloaded = 103,  // admission control shed the request; body is a signed
+                      // retry-after hint (PROTOCOL.md §12)
 };
 
 /// One request lifted out of a delivery batch for batched handling: the

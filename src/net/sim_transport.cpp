@@ -12,8 +12,12 @@ SimTransport::SimTransport(sim::Scheduler& scheduler, sim::NetworkModel network,
       registry_(registry != nullptr ? std::move(registry)
                                     : std::make_shared<obs::Registry>()),
       events_(events != nullptr ? std::move(events) : std::make_shared<obs::EventLog>()) {
-  collector_id_ = registry_->add_collector(
-      [this](obs::Registry& r) { fold_transport_stats(r, stats_); });
+  collector_id_ = registry_->add_collector([this](obs::Registry& r) {
+    fold_transport_stats(r, stats_);
+    // The occupancy high-watermark is a per-snapshot signal: reset after
+    // folding so successive snapshots show the pressure ramp.
+    stats_.ring_occupancy_highwater = 0;
+  });
 }
 
 SimTransport::~SimTransport() { registry_->remove_collector(collector_id_); }
@@ -35,7 +39,7 @@ void SimTransport::register_node_batched(NodeId node, BatchDeliverFn deliver) {
 void SimTransport::unregister_node(NodeId node) {
   const auto it = endpoints_.find(node);
   if (it == endpoints_.end()) return;
-  stats_.messages_dropped += it->second.pending.size();
+  stats_.messages_dropped += it->second.pending.size() + it->second.service_queue.size();
   endpoints_.erase(it);
 }
 
@@ -62,20 +66,70 @@ void SimTransport::arrive(NodeId from, NodeId to, Bytes payload) {
   }
   Endpoint& endpoint = it->second;
   if (endpoint.service_time > 0) {
-    // M/D/1-style service queue: the message occupies the node after every
-    // earlier arrival finishes, and is only handed to the endpoint once its
-    // own service completes. Capacity, not latency: a loaded node's queue
-    // grows and its effective throughput caps at 1/service_time.
-    const SimTime now = scheduler_.now();
-    const SimTime start = std::max(now, endpoint.busy_until);
-    const SimTime done = start + endpoint.service_time;
-    endpoint.busy_until = done;
-    scheduler_.schedule_in(done - now, [this, from, to, payload = std::move(payload)]() mutable {
-      enqueue(from, to, std::move(payload));
-    });
+    // M/D/1-style service queue: the message waits in FIFO order for a CPU
+    // pickup, one every service_time. Capacity, not latency: a loaded
+    // node's queue grows and its effective throughput caps at
+    // 1/service_time — except that shed pickups are refunded, so refusals
+    // drain at refusal speed instead of processing speed.
+    endpoint.service_queue.push_back(Delivery{from, std::move(payload)});
+    stats_.ring_occupancy_highwater =
+        std::max(stats_.ring_occupancy_highwater,
+                 static_cast<std::uint64_t>(endpoint.service_queue.size()));
+    if (!endpoint.service_active) {
+      endpoint.service_active = true;
+      const std::uint64_t epoch = endpoint.service_epoch;
+      scheduler_.schedule_in(endpoint.service_time,
+                             [this, to, epoch] { service_step(to, epoch); });
+    }
     return;
   }
   enqueue(from, to, std::move(payload));
+}
+
+void SimTransport::service_step(NodeId to, std::uint64_t epoch) {
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) return;
+  Endpoint& endpoint = it->second;
+  if (endpoint.service_epoch != epoch) return;  // model was reconfigured
+  if (endpoint.service_queue.empty()) {
+    endpoint.service_active = false;
+    return;
+  }
+  Delivery next = std::move(endpoint.service_queue.front());
+  endpoint.service_queue.pop_front();
+  if (endpoint.service_queue.empty()) {
+    endpoint.service_active = false;
+    endpoint.service_credits = 0;  // an idle CPU has nothing to accelerate
+  } else {
+    // A credit (a shed pickup, refunded by the admission gate before this
+    // step was due) makes the next pickup free: event ordering guarantees
+    // the refusal of the message delivered below lands before the pickup
+    // scheduled here, so an all-shedding queue drains in one cascade.
+    SimDuration delay = endpoint.service_time;
+    if (endpoint.service_credits > 0) {
+      --endpoint.service_credits;
+      delay = 0;
+    }
+    scheduler_.schedule_in(delay, [this, to, epoch] { service_step(to, epoch); });
+  }
+  enqueue(next.from, to, std::move(next.payload));
+}
+
+std::size_t SimTransport::backlog(NodeId node) const {
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return 0;
+  const Endpoint& endpoint = it->second;
+  return endpoint.pending.size() + endpoint.service_queue.size();
+}
+
+void SimTransport::refund_service(NodeId node) {
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end()) return;
+  Endpoint& endpoint = it->second;
+  if (endpoint.service_time == 0) return;
+  // A shed pickup hands its slot back: the gate refused it before any
+  // processing cost was paid, so the next queued pickup rides free.
+  if (!endpoint.service_queue.empty()) ++endpoint.service_credits;
 }
 
 void SimTransport::enqueue(NodeId from, NodeId to, Bytes payload) {
@@ -130,7 +184,19 @@ void SimTransport::schedule(SimDuration delay, std::function<void()> callback) {
 void SimTransport::set_service_time(NodeId node, SimDuration per_message) {
   Endpoint& endpoint = endpoints_[node];
   endpoint.service_time = per_message;
-  if (per_message == 0) endpoint.busy_until = 0;
+  ++endpoint.service_epoch;  // orphan any scheduled pickup
+  endpoint.service_active = false;
+  endpoint.service_credits = 0;
+  if (per_message == 0) {
+    // Capacity model off: hand anything still queued straight to delivery.
+    std::deque<Delivery> drain;
+    drain.swap(endpoint.service_queue);
+    for (Delivery& delivery : drain) enqueue(delivery.from, node, std::move(delivery.payload));
+  } else if (!endpoint.service_queue.empty()) {
+    endpoint.service_active = true;
+    const std::uint64_t epoch = endpoint.service_epoch;
+    scheduler_.schedule_in(per_message, [this, node, epoch] { service_step(node, epoch); });
+  }
 }
 
 }  // namespace securestore::net

@@ -9,6 +9,7 @@
 // function of the event sequence, so seeded runs stay reproducible.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,12 @@ class SimTransport final : public Transport {
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override { return scheduler_.now(); }
   void schedule(SimDuration delay, std::function<void()> callback) override;
+  /// Modeled inbound queue depth at `node`: messages still in the service
+  /// queue (busy_until ahead of now) plus same-instant arrivals awaiting
+  /// flush. The simulator has no delivery ring — this is its equivalent
+  /// pressure signal for admission control.
+  std::size_t backlog(NodeId node) const override;
+  void refund_service(NodeId node) override;
   const sim::TransportStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.reset(); }
   obs::Registry& registry() override { return *registry_; }
@@ -44,12 +51,16 @@ class SimTransport final : public Transport {
   sim::NetworkModel& network() { return network_; }
   sim::Scheduler& scheduler() { return scheduler_; }
 
-  /// Models a per-message service (CPU) cost at `node`: each arriving
-  /// message occupies the node for `per_message` before it is delivered,
-  /// queueing FIFO behind earlier arrivals still in service. Zero (the
-  /// default) disables the model. Benches use this to make server capacity
-  /// — not network latency — the bottleneck, so scale-out effects are
-  /// measurable in virtual time on any host.
+  /// Models a per-message service (CPU) cost at `node`: arrivals wait in a
+  /// FIFO pickup queue and the node's CPU picks one up every `per_message`,
+  /// so a loaded node's queue grows and its effective throughput caps at
+  /// 1/per_message. Zero (the default) disables the model; resetting to
+  /// zero hands anything still queued straight to delivery. A shed pickup
+  /// is refunded (`refund_service`): the next pickup rides free, so a
+  /// refusing node drains its queue at refusal speed, not processing
+  /// speed. Benches use this to make server capacity — not network latency
+  /// — the bottleneck, so saturation effects are measurable in virtual
+  /// time on any host.
   void set_service_time(NodeId node, SimDuration per_message);
 
  private:
@@ -58,10 +69,14 @@ class SimTransport final : public Transport {
     std::vector<Delivery> pending;  // same-instant arrivals awaiting flush
     bool flush_scheduled = false;
     SimDuration service_time = 0;  // per-message CPU cost (0 = infinite capacity)
-    SimTime busy_until = 0;        // when the in-service queue drains
+    std::deque<Delivery> service_queue;  // arrivals awaiting a CPU pickup
+    bool service_active = false;         // a pickup event is scheduled
+    std::uint64_t service_epoch = 0;     // orphans pickups across reconfigures
+    std::uint64_t service_credits = 0;   // refunded slots: free next pickups
   };
 
   void arrive(NodeId from, NodeId to, Bytes payload);
+  void service_step(NodeId to, std::uint64_t epoch);
   void enqueue(NodeId from, NodeId to, Bytes payload);
   void flush(NodeId to);
 

@@ -132,8 +132,12 @@ TcpTransport::TcpTransport(std::uint16_t listen_port, std::map<NodeId, TcpEndpoi
 
   // Last: a throw above must not leave a collector pointing at a dead
   // transport inside an injected (longer-lived) registry.
-  collector_id_ = registry_->add_collector(
-      [this](obs::Registry& r) { fold_transport_stats(r, stats()); });
+  collector_id_ = registry_->add_collector([this](obs::Registry& r) {
+    fold_transport_stats(r, stats());
+    // The high-watermark is a per-snapshot signal: reset after folding so
+    // successive snapshots show the pressure ramp, not one all-time peak.
+    ring_highwater_.store(0, std::memory_order_relaxed);
+  });
 
   dispatcher_ = std::thread([this] { dispatch_loop(); });
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -262,14 +266,25 @@ SimTime TcpTransport::now() const {
 const sim::TransportStats& TcpTransport::stats() const {
   // Counters are bumped from writer/reader threads under jobs_mutex_; hand
   // callers a snapshot taken under the same lock so reads are race-free.
+  // The ring high-watermark lives in its own atomic (the successful-push
+  // path must not take the mutex) and is folded in here.
   std::lock_guard lock(jobs_mutex_);
   snapshot_ = stats_;
+  snapshot_.ring_occupancy_highwater = ring_highwater_.load(std::memory_order_relaxed);
   return snapshot_;
 }
 
 void TcpTransport::reset_stats() {
   std::lock_guard lock(jobs_mutex_);
   stats_.reset();
+  ring_highwater_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t TcpTransport::backlog(NodeId node) const {
+  std::lock_guard lock(handlers_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end() || !it->second->registered) return 0;
+  return it->second->ring.size();
 }
 
 void TcpTransport::count_dropped(std::uint64_t n) {
@@ -308,6 +323,7 @@ void TcpTransport::deliver_local(NodeId from, NodeId to, Bytes payload) {
     if (pushed == DeliveryRing::PushResult::kFull) ++stats_.ring_full_drops;
     return;
   }
+  detail_record_highwater(ring_highwater_, endpoint->ring.size());
   // One dispatcher wake per burst: only the push that found the ring idle
   // schedules a drain. During stop the job is refused and the ring remnant
   // is accounted by stop() itself.

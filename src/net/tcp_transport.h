@@ -92,6 +92,8 @@ class TcpTransport final : public Transport {
   void send(NodeId from, NodeId to, Bytes payload) override;
   SimTime now() const override;
   void schedule(SimDuration delay, std::function<void()> callback) override;
+  /// Delivery-ring occupancy of `node` (approximate; racing producers).
+  std::size_t backlog(NodeId node) const override;
   const sim::TransportStats& stats() const override;
   void reset_stats() override;
   obs::Registry& registry() override { return *registry_; }
@@ -194,6 +196,9 @@ class TcpTransport final : public Transport {
 
   sim::TransportStats stats_;              // guarded by jobs_mutex_
   mutable sim::TransportStats snapshot_;   // stats() return storage
+  /// Per-snapshot ring-occupancy high-watermark; lock-free because it is
+  /// recorded on every successful ring push (the hot path).
+  std::atomic<std::uint64_t> ring_highwater_{0};
   std::shared_ptr<obs::Registry> registry_;
   std::shared_ptr<obs::EventLog> events_;
   std::uint64_t collector_id_ = 0;

@@ -11,8 +11,12 @@ ThreadTransport::ThreadTransport(sim::NetworkModel network,
       registry_(registry != nullptr ? std::move(registry)
                                     : std::make_shared<obs::Registry>()),
       events_(events != nullptr ? std::move(events) : std::make_shared<obs::EventLog>()) {
-  collector_id_ = registry_->add_collector(
-      [this](obs::Registry& r) { fold_transport_stats(r, stats()); });
+  collector_id_ = registry_->add_collector([this](obs::Registry& r) {
+    fold_transport_stats(r, stats());
+    // The high-watermark is a per-snapshot signal: reset after folding so
+    // successive snapshots show the pressure ramp, not one all-time peak.
+    ring_highwater_.store(0, std::memory_order_relaxed);
+  });
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -91,6 +95,13 @@ void ThreadTransport::unregister_node(NodeId node) {
   it->second->deliver = nullptr;
 }
 
+std::size_t ThreadTransport::backlog(NodeId node) const {
+  std::lock_guard lock(handlers_mutex_);
+  const auto it = endpoints_.find(node);
+  if (it == endpoints_.end() || !it->second->registered) return 0;
+  return it->second->ring.size();
+}
+
 SimTime ThreadTransport::now() const {
   return static_cast<SimTime>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count());
@@ -155,6 +166,7 @@ void ThreadTransport::deliver_to_ring(NodeId from, NodeId to, Bytes payload) {
     if (pushed == DeliveryRing::PushResult::kFull) ++stats_.ring_full_drops;
     return;
   }
+  detail_record_highwater(ring_highwater_, endpoint->ring.size());
   // One wakeup per burst: only the push that found the ring idle schedules
   // a drain. If the transport is stopping the job is refused and the entry
   // stays in the ring for stop() to account.

@@ -63,16 +63,22 @@ class ThreadTransport final : public Transport {
   /// Microseconds of wall-clock time since construction.
   SimTime now() const override;
   void schedule(SimDuration delay, std::function<void()> callback) override;
+  /// Delivery-ring occupancy of `node` (approximate; racing producers).
+  std::size_t backlog(NodeId node) const override;
   const sim::TransportStats& stats() const override {
     // Counters are written under jobs_mutex_ from caller and dispatch
-    // threads; hand out a snapshot taken under the same lock.
+    // threads; hand out a snapshot taken under the same lock. The ring
+    // high-watermark lives in its own atomic (the successful-push path must
+    // not take the mutex) and is folded in here.
     std::lock_guard lock(jobs_mutex_);
     snapshot_ = stats_;
+    snapshot_.ring_occupancy_highwater = ring_highwater_.load(std::memory_order_relaxed);
     return snapshot_;
   }
   void reset_stats() override {
     std::lock_guard lock(jobs_mutex_);
     stats_.reset();
+    ring_highwater_.store(0, std::memory_order_relaxed);
   }
   obs::Registry& registry() override { return *registry_; }
   obs::EventLog& events() override { return *events_; }
@@ -134,6 +140,9 @@ class ThreadTransport final : public Transport {
   sim::NetworkModel network_;  // guarded by jobs_mutex_ (rng state)
   sim::TransportStats stats_;  // guarded by jobs_mutex_
   mutable sim::TransportStats snapshot_;  // stats() return storage
+  /// Per-snapshot ring-occupancy high-watermark; lock-free because it is
+  /// recorded on every successful ring push (the hot path).
+  std::atomic<std::uint64_t> ring_highwater_{0};
   std::atomic<std::size_t> max_batch_{kMaxDeliveryBatch};
 
   std::shared_ptr<obs::Registry> registry_;

@@ -49,6 +49,7 @@ void fold_transport_stats(obs::Registry& registry, const sim::TransportStats& st
   set("transport.send_queue_drops", stats.send_queue_drops);
   set("transport.send_queue_highwater", stats.send_queue_highwater);
   set("transport.ring_full_drops", stats.ring_full_drops);
+  set("transport.ring_highwater", stats.ring_occupancy_highwater);
 }
 
 }  // namespace securestore::net

@@ -7,6 +7,8 @@
 // UDP — so every protocol carries its own timeouts.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -64,6 +66,23 @@ class Transport {
   /// Schedules a callback after `delay` (protocol timeouts, gossip ticks).
   virtual void schedule(SimDuration delay, std::function<void()> callback) = 0;
 
+  /// Instantaneous inbound backlog for `node`: messages the transport has
+  /// accepted for it but not yet delivered (delivery-ring occupancy on the
+  /// thread/TCP transports, modeled service queue under the simulator).
+  /// The admission controller's network-pressure signal (DESIGN.md §13).
+  /// Default 0 so minimal Transport implementations feel no pressure.
+  virtual std::size_t backlog(NodeId node) const {
+    (void)node;
+    return 0;
+  }
+
+  /// Hands one service slot back to `node`'s capacity model. The admission
+  /// gate refuses before any decode/crypto/WAL cost is paid (DESIGN.md
+  /// §13), so under a per-message service-cost model a refusal must not
+  /// consume the CPU budget an admitted request would — shedding is O(1)
+  /// by construction. No-op on transports without a capacity model.
+  virtual void refund_service(NodeId node) { (void)node; }
+
   /// Transport counters since the last reset: message counts for every
   /// transport, plus connection-level counters (reconnects, connect
   /// failures, send-queue drops/high-water) for connection-oriented ones.
@@ -94,5 +113,16 @@ class Transport {
 /// Publishes a TransportStats snapshot into `registry` as `transport.*`
 /// gauges — the collector body every concrete transport registers.
 void fold_transport_stats(obs::Registry& registry, const sim::TransportStats& stats);
+
+/// Relaxed CAS-max into an atomic high-watermark. Shared by the thread and
+/// TCP transports' ring-occupancy tracking, which runs on the successful
+/// push path and therefore cannot take the stats mutex.
+inline void detail_record_highwater(std::atomic<std::uint64_t>& highwater,
+                                    std::uint64_t value) {
+  std::uint64_t current = highwater.load(std::memory_order_relaxed);
+  while (value > current &&
+         !highwater.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
 
 }  // namespace securestore::net

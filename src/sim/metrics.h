@@ -54,6 +54,11 @@ struct TransportStats {
   /// Messages dropped because a receiving node's delivery ring was full
   /// (thread/TCP transports; the consumer is not keeping up).
   std::uint64_t ring_full_drops = 0;
+  /// Highest delivery-ring occupancy (in messages) any endpoint reached
+  /// since the last metrics snapshot — the transports reset it per snapshot
+  /// so `Cluster::start_metrics_snapshots` timelines show pressure ramps,
+  /// not one all-time peak.
+  std::uint64_t ring_occupancy_highwater = 0;
 
   void reset() { *this = TransportStats{}; }
 };

@@ -1,0 +1,61 @@
+#include "sim/open_loop.h"
+
+#include <algorithm>
+
+namespace securestore::sim {
+
+OpenLoopLoad::OpenLoopLoad(Scheduler& scheduler, Options options, IssueFn issue)
+    : scheduler_(scheduler),
+      options_(options),
+      issue_(std::move(issue)),
+      rng_(options.seed) {}
+
+OpenLoopLoad::~OpenLoopLoad() { *alive_ = false; }
+
+void OpenLoopLoad::start(SimTime until) {
+  until_ = until;
+  running_ = true;
+  schedule_next();
+}
+
+void OpenLoopLoad::stop() { running_ = false; }
+
+void OpenLoopLoad::schedule_next() {
+  if (!running_ || options_.arrivals_per_sec <= 0) return;
+  // Exponential inter-arrival gap with mean 1/λ — the Poisson process. At
+  // least 1µs so the event loop always advances.
+  const double mean_us = 1e6 / options_.arrivals_per_sec;
+  const auto gap = std::max<SimDuration>(
+      1, static_cast<SimDuration>(rng_.next_exponential(mean_us)));
+  if (scheduler_.now() + gap > until_) {
+    running_ = false;
+    return;
+  }
+  scheduler_.schedule_in(gap, [this, alive = alive_] {
+    if (!*alive) return;
+    arrive();
+  });
+}
+
+void OpenLoopLoad::arrive() {
+  if (!running_) return;
+  ++stats_.arrivals;
+  if (in_flight_ >= options_.max_in_flight) {
+    // Open-loop discipline: the arrival happened whether or not anyone was
+    // free to serve it. Counting it (instead of deferring it) is what keeps
+    // offered load independent of system speed.
+    ++stats_.overflow;
+  } else {
+    ++stats_.issued;
+    ++in_flight_;
+    issue_([this, alive = alive_](bool ok) {
+      if (!*alive) return;
+      --in_flight_;
+      ++stats_.completed;
+      if (ok) ++stats_.succeeded;
+    });
+  }
+  schedule_next();
+}
+
+}  // namespace securestore::sim

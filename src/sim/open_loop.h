@@ -1,0 +1,90 @@
+// Open-loop load generation (DESIGN.md §13, EXPERIMENTS.md E18).
+//
+// Closed-loop load (a fixed worker pool that issues the next op when the
+// previous one finishes) self-throttles: when the system slows down, so
+// does the offered load, which hides overload collapse. Real populations —
+// millions of independent clients — do not coordinate like that: arrivals
+// keep coming at their rate no matter how the system is doing. That is the
+// open-loop model, and it is the load shape admission control exists for.
+//
+// `OpenLoopLoad` draws Poisson arrivals (exponential inter-arrival gaps,
+// seeded, deterministic) at a configured rate and hands each arrival to an
+// issue callback. The million-client population is simulated through a
+// bounded stand-in pool: up to `max_in_flight` operations ride concurrently
+// (each representing one independent client's op); arrivals past the cap
+// are counted as `overflow` — offered load that found the system (or the
+// harness) saturated — and charged against goodput, never silently dropped.
+//
+// The class is deliberately protocol-agnostic (it lives in sim, below
+// core): callers wire `issue` to whatever operation mix they want, and the
+// chaos harness / bench layer owns success bookkeeping via `done(ok)`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace securestore::sim {
+
+class OpenLoopLoad {
+ public:
+  struct Options {
+    /// Poisson arrival rate λ, in operations per simulated second.
+    double arrivals_per_sec = 1000.0;
+    /// Stand-in client pool bound: arrivals beyond this many in-flight ops
+    /// count as overflow instead of issuing.
+    std::size_t max_in_flight = 256;
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::uint64_t arrivals = 0;   // Poisson arrivals drawn
+    std::uint64_t issued = 0;     // arrivals handed to the issue callback
+    std::uint64_t overflow = 0;   // arrivals dropped at the in-flight cap
+    std::uint64_t completed = 0;  // done() callbacks seen
+    std::uint64_t succeeded = 0;  // done(true) — goodput numerator
+  };
+
+  /// `issue(done)`: start one operation now; call `done(ok)` exactly once
+  /// when it finishes (ok = the operation succeeded end-to-end).
+  using DoneFn = std::function<void(bool ok)>;
+  using IssueFn = std::function<void(DoneFn done)>;
+
+  OpenLoopLoad(Scheduler& scheduler, Options options, IssueFn issue);
+  ~OpenLoopLoad();
+
+  OpenLoopLoad(const OpenLoopLoad&) = delete;
+  OpenLoopLoad& operator=(const OpenLoopLoad&) = delete;
+
+  /// Schedules arrivals from now until `until` (absolute scheduler time).
+  /// Arrivals stop at the horizon; in-flight ops may complete after it.
+  void start(SimTime until);
+  /// Stops generating further arrivals (in-flight ops still complete).
+  void stop();
+
+  const Stats& stats() const { return stats_; }
+  std::size_t in_flight() const { return in_flight_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void schedule_next();
+  void arrive();
+
+  Scheduler& scheduler_;
+  Options options_;
+  IssueFn issue_;
+  Rng rng_;
+  Stats stats_;
+  std::size_t in_flight_ = 0;
+  SimTime until_ = 0;
+  bool running_ = false;
+  /// Keeps scheduled arrival callbacks and outstanding done() lambdas from
+  /// touching a destroyed generator.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace securestore::sim

@@ -91,6 +91,17 @@ class StorageEngine {
 
   virtual std::size_t item_count() const = 0;
 
+  /// Live pressure signals for admission control (DESIGN.md §13). Zeros
+  /// mean "no pressure"; the in-memory engine never pushes back, while the
+  /// LSM engine reports memtable bytes against its budget and how many L0
+  /// runs compaction is behind.
+  struct Pressure {
+    std::uint64_t memtable_bytes = 0;   // bytes buffered awaiting flush
+    std::uint64_t memtable_budget = 0;  // flush threshold (0 = unbounded)
+    std::uint64_t compaction_lag = 0;   // L0 runs beyond the compact trigger
+  };
+  virtual Pressure pressure() const { return {}; }
+
   // --- Durability hooks (no-ops for in-memory engines) -------------------
 
   /// True when the engine keeps its records durable in its own files; the

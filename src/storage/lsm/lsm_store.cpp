@@ -860,4 +860,17 @@ LsmStore::Stats LsmStore::stats() const {
   return stats;
 }
 
+StorageEngine::Pressure LsmStore::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Pressure p;
+  p.memtable_bytes = memtable_bytes_;
+  p.memtable_budget = options_.memtable_budget_bytes;
+  std::size_t l0 = 0;
+  for (const SstFile& file : files_) {
+    if (file.level == 0) ++l0;
+  }
+  if (l0 > options_.l0_compact_threshold) p.compaction_lag = l0 - options_.l0_compact_threshold;
+  return p;
+}
+
 }  // namespace securestore::storage::lsm

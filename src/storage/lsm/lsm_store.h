@@ -111,6 +111,10 @@ class LsmStore final : public StorageEngine {
   };
   Stats stats() const;
 
+  /// Admission-control signal (DESIGN.md §13): memtable fill against its
+  /// budget plus how many L0 runs compaction is behind the trigger.
+  Pressure pressure() const override;
+
   const std::string& dir() const { return options_.dir; }
 
  private:

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/messages.h"
 #include "core/sync.h"
+#include "net/quorum.h"
 
 namespace securestore::testkit {
 
@@ -17,6 +19,8 @@ const char* chaos_event_name(ChaosEvent::Kind kind) {
     case ChaosEvent::Kind::kRecover: return "recover";
     case ChaosEvent::Kind::kDegradeLinks: return "degrade_links";
     case ChaosEvent::Kind::kRestoreLinks: return "restore_links";
+    case ChaosEvent::Kind::kOverloadStorm: return "overload_storm";
+    case ChaosEvent::Kind::kEndOverloadStorm: return "end_overload_storm";
   }
   return "unknown";
 }
@@ -52,8 +56,10 @@ ChaosSchedule ChaosSchedule::random(Rng& rng, std::uint32_t n, std::uint32_t b,
     SimTime end = start + milliseconds(400) + rng.next_below(horizon / 5);
     if (end > latest) end = latest;
     if (end <= start + milliseconds(100)) continue;
-    const auto type = static_cast<unsigned>(rng.next_below(4));
-    const bool counts = type != 3;
+    const auto type = static_cast<unsigned>(rng.next_below(5));
+    // Degrade (3) and overload (4) windows slow the server but keep it
+    // honest, so they ride outside the fault budget.
+    const bool counts = type < 3;
 
     bool conflict = false;
     std::uint32_t budget_overlap = 0;
@@ -94,7 +100,7 @@ ChaosSchedule ChaosSchedule::random(Rng& rng, std::uint32_t n, std::uint32_t b,
         open.faults.insert(kMenu[rng.next_below(std::size(kMenu))]);
         if (rng.next_bool(0.3)) open.faults.insert(kMenu[rng.next_below(std::size(kMenu))]);
         break;
-      default: {
+      case 3: {
         open.kind = ChaosEvent::Kind::kDegradeLinks;
         close.kind = ChaosEvent::Kind::kRestoreLinks;
         net::FaultRule rule;
@@ -106,6 +112,16 @@ ChaosSchedule ChaosSchedule::random(Rng& rng, std::uint32_t n, std::uint32_t b,
         open.rule = rule;
         break;
       }
+      default:
+        open.kind = ChaosEvent::Kind::kOverloadStorm;
+        close.kind = ChaosEvent::Kind::kEndOverloadStorm;
+        // Offered load of thousands of independent clients per second,
+        // against a per-message service cost that caps the victim at
+        // ~1.2k–5k msg/s: arrivals routinely exceed capacity, so the
+        // admission controller must shed or the ring grows without bound.
+        open.storm_rate = 2000.0 + static_cast<double>(rng.next_below(6000));
+        open.storm_service = microseconds(200 + rng.next_below(600));
+        break;
     }
     schedule.events.push_back(std::move(open));
     schedule.events.push_back(std::move(close));
@@ -238,6 +254,64 @@ void ChaosRunner::degrade_server(std::uint32_t server, const net::FaultRule& rul
   }
 }
 
+void ChaosRunner::start_storm(const ChaosEvent& event) {
+  const NodeId victim{event.server};
+  // Finite capacity first: with per-message cost s the victim serves at
+  // most 1/s msg/s, so the flood's excess shows up as ring backlog — the
+  // exact signal the admission controller watches.
+  cluster_.transport().set_service_time(victim, event.storm_service);
+  if (storm_node_ == nullptr) {
+    storm_node_ = std::make_unique<net::RpcNode>(cluster_.endpoint_transport(),
+                                                 NodeId{4999});
+  }
+
+  // The storm issues real, well-formed single-server reads (phase-1 meta
+  // requests for a group-1 item) so each one walks the server's admission
+  // gate exactly like workload traffic — sheddable, and answerable when the
+  // server has headroom.
+  core::MetaReq req;
+  req.item = ItemId{100};
+  req.group = GroupId{1};
+  req.requester = ClientId{999};
+  const Bytes body = req.serialize();
+
+  sim::OpenLoopLoad::Options load_options;
+  load_options.arrivals_per_sec = event.storm_rate;
+  load_options.max_in_flight = 512;
+  load_options.seed = rng_.next_u64();
+  auto load = std::make_unique<sim::OpenLoopLoad>(
+      cluster_.scheduler(), load_options,
+      [this, victim, body](sim::OpenLoopLoad::DoneFn done) {
+        net::QuorumOptions options;
+        options.timeout = milliseconds(50);
+        auto refused = std::make_shared<bool>(false);
+        net::QuorumCall::start(
+            *storm_node_, {victim}, net::MsgType::kMetaRequest, body,
+            [this, refused](NodeId, net::MsgType type, BytesView) {
+              if (type == net::MsgType::kOverloaded) {
+                *refused = true;
+                ++report_.storm_refusals;
+              }
+              return true;
+            },
+            [done = std::move(done), refused](net::QuorumOutcome outcome, std::size_t) {
+              done(outcome == net::QuorumOutcome::kSatisfied && !*refused);
+            },
+            options);
+      });
+  load->start(stop_time_);
+  storms_[event.server] = std::move(load);
+}
+
+void ChaosRunner::end_storm(std::uint32_t server) {
+  const auto it = storms_.find(server);
+  if (it != storms_.end()) {
+    report_.storm_arrivals += it->second->stats().arrivals;
+    storms_.erase(it);  // destructor invalidates outstanding callbacks
+  }
+  cluster_.transport().set_service_time(NodeId{server}, 0);
+}
+
 void ChaosRunner::apply_event(const ChaosEvent& event) {
   ++report_.events_applied;
   const std::uint32_t s = event.server;
@@ -276,12 +350,23 @@ void ChaosRunner::apply_event(const ChaosEvent& event) {
     case ChaosEvent::Kind::kRestoreLinks:
       degrade_server(s, event.rule, /*restore=*/true);
       break;
+    case ChaosEvent::Kind::kOverloadStorm:
+      start_storm(event);
+      break;
+    case ChaosEvent::Kind::kEndOverloadStorm:
+      end_storm(s);
+      break;
   }
   report_.max_simultaneous_faulty = std::max(
       report_.max_simultaneous_faulty, static_cast<std::uint32_t>(faulty_now_.size()));
 }
 
 void ChaosRunner::heal_everything() {
+  for (const auto& [server, load] : storms_) {
+    report_.storm_arrivals += load->stats().arrivals;
+    cluster_.transport().set_service_time(NodeId{server}, 0);
+  }
+  storms_.clear();
   cluster_.transport().network().heal_all_links();
   cluster_.chaos()->heal_all_partitions();
   cluster_.chaos()->clear_link_rules();
@@ -339,16 +424,21 @@ void ChaosRunner::run_op(const std::shared_ptr<Workload>& w) {
     // Registered BEFORE the outcome is known: a timed-out write may still
     // land at servers and be legitimately read later.
     oracle.note_write_attempt(w->id, item, value);
-    w->client->write(item, value, [this, alive = alive_, w, item](VoidResult result) {
+    w->client->write(item, value, [this, alive = alive_, w, item, value](VoidResult result) {
       if (!*alive) return;
       if (result.ok()) {
         ++report_.writes_acked;
         // The client's context entry for the item IS this write's timestamp
         // (writes always outrun the context floor), and the whole context is
         // the write's causal history.
-        oracles_[w->oracle]->note_write_ok(w->id, item, w->client->context().get(item),
+        oracles_[w->oracle]->note_write_ok(w->id, item, value,
+                                           w->client->context().get(item),
                                            w->client->context(),
                                            cluster_.transport().now());
+      } else if (result.error() == Error::kOverloaded) {
+        ++report_.ops_refused;
+        oracles_[w->oracle]->note_write_shed(w->id, item, value,
+                                             cluster_.transport().now());
       } else {
         ++report_.ops_failed;
       }
@@ -363,6 +453,8 @@ void ChaosRunner::run_op(const std::shared_ptr<Workload>& w) {
       ++report_.reads_ok;
       oracles_[w->oracle]->note_read_ok(w->id, item, result.value(),
                                         cluster_.transport().now());
+    } else if (result.error() == Error::kOverloaded) {
+      ++report_.ops_refused;
     } else {
       ++report_.ops_failed;
     }

@@ -2,9 +2,11 @@
 //
 // `ChaosSchedule` is a timeline of cluster-level fault events — crash and
 // restart a server (with or without its state), isolate it behind a
-// directed partition, flip it to a Byzantine `ServerFault` behavior, or
-// degrade its links with loss/latency/duplication — generated from a seed
-// so the same seed always yields the same storm. `ChaosRunner` executes a
+// directed partition, flip it to a Byzantine `ServerFault` behavior,
+// degrade its links with loss/latency/duplication, or drown it in an
+// open-loop overload storm (Poisson request flood + finite per-message
+// service capacity, DESIGN.md §13) — generated from a seed so the same
+// seed always yields the same storm. `ChaosRunner` executes a
 // schedule against a `Cluster` while concurrent client workloads run on
 // every protocol family (P3/P4 single-writer, P5 honest multi-writer, P6
 // Byzantine multi-writer), reporting each operation to a per-group
@@ -19,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -26,6 +29,8 @@
 
 #include "faults/faulty_server.h"
 #include "net/fault_transport.h"
+#include "net/rpc.h"
+#include "sim/open_loop.h"
 #include "testkit/cluster.h"
 #include "testkit/oracle.h"
 #include "util/rng.h"
@@ -42,6 +47,8 @@ struct ChaosEvent {
     kRecover,         // flip back to honest (restarted with state)
     kDegradeLinks,    // apply `rule` to every link touching the server
     kRestoreLinks,    // clear those link rules
+    kOverloadStorm,      // open-loop request flood + finite service capacity
+    kEndOverloadStorm,   // stop the flood, restore infinite capacity
   };
 
   SimTime at = 0;  // relative to the runner's start
@@ -50,6 +57,8 @@ struct ChaosEvent {
   bool restore_state = true;                 // kRestart
   std::set<faults::ServerFault> faults;      // kByzantine
   net::FaultRule rule;                       // kDegradeLinks
+  double storm_rate = 0;                     // kOverloadStorm: arrivals/sec
+  SimDuration storm_service = 0;             // kOverloadStorm: per-message cost
 };
 
 const char* chaos_event_name(ChaosEvent::Kind kind);
@@ -61,8 +70,9 @@ struct ChaosSchedule {
   /// windows per server, with crash/isolate/Byzantine windows (the ones
   /// that make a server faulty) never overlapping more than `b` deep —
   /// including a post-heal grace so a freshly-repaired server is not
-  /// immediately counted healthy. Link degradation rides on top without
-  /// consuming fault budget (it slows the system but breaks no assumption).
+  /// immediately counted healthy. Link degradation and overload storms ride
+  /// on top without consuming fault budget (they slow the system but break
+  /// no assumption: an overloaded server is still honest).
   static ChaosSchedule random(Rng& rng, std::uint32_t n, std::uint32_t b, SimTime horizon);
 };
 
@@ -86,6 +96,9 @@ struct ChaosReport {
   std::uint64_t writes_acked = 0;
   std::uint64_t reads_ok = 0;
   std::uint64_t ops_failed = 0;  // timed-out / stale / unreachable ops
+  std::uint64_t ops_refused = 0;  // workload ops refused with kOverloaded
+  std::uint64_t storm_arrivals = 0;  // open-loop storm requests generated
+  std::uint64_t storm_refusals = 0;  // storm requests shed by admission
   std::uint64_t oracle_checks = 0;
   std::uint64_t events_applied = 0;
   std::uint32_t max_simultaneous_faulty = 0;
@@ -123,6 +136,8 @@ class ChaosRunner {
   std::vector<NodeId> all_node_ids() const;
   void isolate_server(std::uint32_t server, bool heal);
   void degrade_server(std::uint32_t server, const net::FaultRule& rule, bool restore);
+  void start_storm(const ChaosEvent& event);
+  void end_storm(std::uint32_t server);
 
   void start_workload(const std::shared_ptr<Workload>& w);
   void schedule_next_op(const std::shared_ptr<Workload>& w);
@@ -142,6 +157,11 @@ class ChaosRunner {
 
   std::set<std::uint32_t> faulty_now_;
   std::set<std::uint32_t> byzantine_now_;
+  /// Overload storms in flight, keyed by victim server. Distinct victims
+  /// may storm concurrently; the schedule never storms one server twice at
+  /// once. The generator node (4999) is shared and created lazily.
+  std::map<std::uint32_t, std::unique_ptr<sim::OpenLoopLoad>> storms_;
+  std::unique_ptr<net::RpcNode> storm_node_;
   ChaosReport report_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -93,6 +93,7 @@ std::unique_ptr<core::SecureStoreServer> Cluster::build_server(std::uint32_t ind
   server_options.gossip.metric_suffix = metric_suffix_;
   server_options.metric_suffix = metric_suffix_;
   server_options.start_gossip = options_.start_gossip;
+  server_options.admission = options_.admission;
   if (options_.shared.has_value()) server_options.shard_id = options_.shared->shard_id;
   server_options.ring = boot_ring_;
   if (options_.require_auth) server_options.authority_key = authority_.public_key;

@@ -59,6 +59,11 @@ struct ClusterOptions {
   /// `<dir>/server-<i>/lsm` next to its WAL.
   core::EngineConfig engine;
 
+  /// Admission control applied to every server (DESIGN.md §13). Defaults
+  /// never trip under healthy test load; overload tests force the
+  /// watermarks down to make shedding deterministic.
+  core::AdmissionController::Options admission;
+
   /// Metrics registry shared with the transport (and through it every
   /// client/server/gossip engine of the deployment). Null = the transport
   /// owns a fresh one. Benches pass one registry into a sweep's clusters so

@@ -29,15 +29,45 @@ void ConsistencyOracle::note_write_attempt(ClientId writer, ItemId item, BytesVi
   authentic_[{item.value, Bytes(value.begin(), value.end())}] = writer;
 }
 
-void ConsistencyOracle::note_write_ok(ClientId writer, ItemId item, const core::Timestamp& ts,
+void ConsistencyOracle::note_write_ok(ClientId writer, ItemId item, BytesView value,
+                                      const core::Timestamp& ts,
                                       const core::Context& writer_context, SimTime at) {
-  (void)at;
   // Read-your-writes half of MRC: the writer may never observe anything
   // older than its own acked write.
   raise_floor(writer, item, ts);
   auto [entry, inserted] = acked_.try_emplace(item.value, ts);
   if (!inserted && entry->second < ts) entry->second = ts;
   if (causal_) write_deps_[{item.value, ts_map_key(ts)}] = writer_context;
+
+  // Shed-exclusivity, ack side: this exact operation must not have been
+  // refused under overload earlier.
+  ++checks_;
+  std::pair<std::uint64_t, Bytes> op_key{item.value, Bytes(value.begin(), value.end())};
+  if (shed_values_.contains(op_key)) {
+    violate("shed",
+            "write of item " + std::to_string(item.value) + " by client " +
+                std::to_string(writer.value) +
+                " was acknowledged after being refused as overloaded",
+            at);
+  }
+  acked_values_.insert(std::move(op_key));
+}
+
+void ConsistencyOracle::note_write_shed(ClientId writer, ItemId item, BytesView value,
+                                        SimTime at) {
+  ++writes_shed_;
+  // Shed-exclusivity, refusal side: the client was told to back off, so the
+  // same operation must never (have) come back as acknowledged.
+  ++checks_;
+  std::pair<std::uint64_t, Bytes> op_key{item.value, Bytes(value.begin(), value.end())};
+  if (acked_values_.contains(op_key)) {
+    violate("shed",
+            "write of item " + std::to_string(item.value) + " by client " +
+                std::to_string(writer.value) +
+                " was refused as overloaded after being acknowledged",
+            at);
+  }
+  shed_values_.insert(std::move(op_key));
 }
 
 void ConsistencyOracle::note_read_ok(ClientId reader, ItemId item,

@@ -17,7 +17,11 @@
 //    client);
 //  * durability — after faults heal and the system quiesces, a fresh
 //    client's read of each item must return a timestamp at least as new as
-//    the newest *acknowledged* write: no acked write is ever lost.
+//    the newest *acknowledged* write: no acked write is ever lost;
+//  * shed-exclusivity — a write the system refused under overload
+//    (`Error::kOverloaded`) was never ALSO acknowledged: shedding may cost
+//    throughput but must never produce a double outcome, where the client
+//    is told both "retry later" and "committed" for the same operation.
 //
 // Violations accumulate with timestamps and human-readable detail; tests
 // assert `violations().empty()` and print `report()` on failure. `checks()`
@@ -28,6 +32,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,11 +60,17 @@ class ConsistencyOracle {
   void note_write_attempt(ClientId writer, ItemId item, BytesView value);
 
   /// Call when a write is ACKNOWLEDGED. `ts` is the timestamp the write
-  /// landed under and `writer_context` the writer's context right after the
+  /// landed under, `value` the bytes that were written (shed-exclusivity
+  /// cross-check), and `writer_context` the writer's context right after the
   /// ack (its causal history including this write). Feeds the durability
   /// floor, the writer's own MRC floor, and the CC dependency map.
-  void note_write_ok(ClientId writer, ItemId item, const core::Timestamp& ts,
+  void note_write_ok(ClientId writer, ItemId item, BytesView value, const core::Timestamp& ts,
                      const core::Context& writer_context, SimTime at);
+
+  /// Call when a write failed with `Error::kOverloaded` — admission control
+  /// refused it. Checks the same operation (identified by its unique value
+  /// bytes) was not also acknowledged, now or earlier.
+  void note_write_shed(ClientId writer, ItemId item, BytesView value, SimTime at);
 
   /// Call on every successful read. Runs the authenticity, MRC and (when
   /// causal) CC checks and advances the reader's floors.
@@ -75,6 +86,7 @@ class ConsistencyOracle {
 
   std::uint64_t checks() const { return checks_; }
   std::uint64_t reads_checked() const { return reads_checked_; }
+  std::uint64_t writes_shed() const { return writes_shed_; }
   const std::vector<Violation>& violations() const { return violations_; }
   /// All violations, one per line — empty string when clean.
   std::string report() const;
@@ -86,6 +98,7 @@ class ConsistencyOracle {
   bool causal_;
   std::uint64_t checks_ = 0;
   std::uint64_t reads_checked_ = 0;
+  std::uint64_t writes_shed_ = 0;
   std::vector<Violation> violations_;
 
   // Authentic set: (item, value bytes) -> writer who produced it.
@@ -96,6 +109,11 @@ class ConsistencyOracle {
   std::map<std::uint64_t, core::Timestamp> acked_;
   // CC: (item, ts) -> the writer's context when that write was acked.
   std::map<std::pair<std::uint64_t, std::string>, core::Context> write_deps_;
+  // Shed-exclusivity: per-op (item, value bytes) outcome sets. Values are
+  // unique per operation (workloads embed a sequence number), so membership
+  // in both sets means one op got two contradictory outcomes.
+  std::set<std::pair<std::uint64_t, Bytes>> shed_values_;
+  std::set<std::pair<std::uint64_t, Bytes>> acked_values_;
 };
 
 }  // namespace securestore::testkit

@@ -224,10 +224,29 @@ void ShardedChaosRunner::apply_event(std::size_t group_idx, const ChaosEvent& ev
     case ChaosEvent::Kind::kRestoreLinks:
       degrade_server(group_idx, s, event.rule, /*restore=*/true);
       break;
+    case ChaosEvent::Kind::kOverloadStorm: {
+      // Capacity squeeze only: the workloads' own traffic now exceeds the
+      // node's service rate, so its ring backlog (and admission pressure)
+      // grows without an extra flood generator.
+      const NodeId target = group.server_node(s);
+      cluster_.transport().set_service_time(target, event.storm_service);
+      squeezed_now_.insert(target.value);
+      break;
+    }
+    case ChaosEvent::Kind::kEndOverloadStorm: {
+      const NodeId target = group.server_node(s);
+      cluster_.transport().set_service_time(target, 0);
+      squeezed_now_.erase(target.value);
+      break;
+    }
   }
 }
 
 void ShardedChaosRunner::heal_everything() {
+  for (const std::uint32_t node : squeezed_now_) {
+    cluster_.transport().set_service_time(NodeId{node}, 0);
+  }
+  squeezed_now_.clear();
   cluster_.transport().network().heal_all_links();
   cluster_.chaos()->heal_all_partitions();
   cluster_.chaos()->clear_link_rules();
@@ -298,13 +317,17 @@ void ShardedChaosRunner::run_op(const std::shared_ptr<Workload>& w) {
     // land at servers and be legitimately read later.
     oracle.note_write_attempt(w->id, item, value);
     w->client->write(role.group, item, value,
-                     [this, alive = alive_, w, role, item](VoidResult result) {
+                     [this, alive = alive_, w, role, item, value](VoidResult result) {
       if (!*alive) return;
       if (result.ok()) {
         ++report_.writes_acked;
         const core::SecureStoreClient* gc = w->client->group_client(role.group);
-        oracles_[role.oracle]->note_write_ok(w->id, item, gc->context().get(item),
+        oracles_[role.oracle]->note_write_ok(w->id, item, value, gc->context().get(item),
                                              gc->context(), cluster_.transport().now());
+      } else if (result.error() == Error::kOverloaded) {
+        oracles_[role.oracle]->note_write_shed(w->id, item, value,
+                                               cluster_.transport().now());
+        ++report_.ops_failed;
       } else {
         ++report_.ops_failed;
       }

@@ -122,6 +122,10 @@ class ShardedChaosRunner {
 
   std::set<std::pair<std::size_t, std::uint32_t>> faulty_now_;     // (group, server)
   std::set<std::pair<std::size_t, std::uint32_t>> byzantine_now_;
+  /// Nodes whose per-message service capacity an overload window squeezed
+  /// (the sharded harness models the storm as a capacity squeeze only; the
+  /// open-loop flood generator lives in the single-group ChaosRunner).
+  std::set<std::uint32_t> squeezed_now_;
   ShardedChaosReport report_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

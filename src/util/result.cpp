@@ -15,6 +15,7 @@ const char* error_name(Error e) {
     case Error::kNoAgreement: return "no-agreement";
     case Error::kInvalidArgument: return "invalid-argument";
     case Error::kWrongShard: return "wrong-shard";
+    case Error::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

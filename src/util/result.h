@@ -27,6 +27,7 @@ enum class Error {
   kNoAgreement,         // multi-writer read: no value matched in >= b+1 replies
   kInvalidArgument,     // caller error detected at the protocol boundary
   kWrongShard,          // server does not own the key's shard (stale ring)
+  kOverloaded,          // server shed the request; retry after the hinted delay
 };
 
 /// Human-readable name for diagnostics.

@@ -293,7 +293,8 @@ TEST(Oracle, CatchesFabricatedViolations) {
 
   // An acked write the final read does not reflect -> durability.
   ctx.set(item, core::Timestamp{40, ClientId{1}, {}});
-  oracle.note_write_ok(ClientId{1}, item, core::Timestamp{40, ClientId{1}, {}}, ctx, 40);
+  oracle.note_write_ok(ClientId{1}, item, to_bytes("v2"), core::Timestamp{40, ClientId{1}, {}},
+                       ctx, 40);
   oracle.note_final_read(item, std::nullopt, /*at=*/50);
   ASSERT_EQ(oracle.violations().size(), 3u);
   EXPECT_EQ(oracle.violations()[2].check, "durability");

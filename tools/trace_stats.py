@@ -3,7 +3,9 @@
 
 Loads one or more Chrome-trace-event files (the format Perfetto and
 chrome://tracing consume), validates that they are well-formed, and prints
-per-node span counts plus the top-10 longest spans. Standard library only.
+per-node span counts, overload-shedding counts (server.shed instants with
+a per-node refusal rate, DESIGN.md section 13) and the top-10 longest
+spans. Standard library only.
 
 Usage:
     trace_stats.py TRACE_foo.json [TRACE_bar.json ...]
@@ -79,6 +81,25 @@ def summarize_shards(spans, out):
         out.append("  %s: %d" % (key, counts[key]))
 
 
+def summarize_shedding(events, out):
+    """Counts server.shed instants (DESIGN.md section 13) and, per shedding
+    node, the refusal rate over the trace window."""
+    sheds = [e for e in events if e["ph"] == "i" and e["name"] == "server.shed"]
+    out.append("server.shed instants: %d" % len(sheds))
+    if not sheds:
+        return
+    starts = [e["ts"] for e in events if "ts" in e]
+    ends = [e["ts"] + e["dur"] for e in events if e["ph"] == "X"]
+    window = max(starts + ends) - min(starts)
+    counts = {}
+    for event in sheds:
+        counts[event["pid"]] = counts.get(event["pid"], 0) + 1
+    for node in sorted(counts):
+        rate = counts[node] * 1e6 / window if window > 0 else 0.0
+        out.append("  node %d: %d sheds (%.1f/s over %d us)"
+                   % (node, counts[node], rate, window))
+
+
 def summarize(path, events, out, by_shard=False):
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
@@ -96,6 +117,8 @@ def summarize(path, events, out, by_shard=False):
 
     if by_shard:
         summarize_shards(spans, out)
+
+    summarize_shedding(events, out)
 
     out.append("top %d longest spans:" % TOP_N)
     longest = sorted(spans, key=lambda e: (-e["dur"], e["name"], e["ts"]))[:TOP_N]
