@@ -1,0 +1,394 @@
+// Experiment E19 — the health plane's cost and its detection latency.
+//
+// Two claims, three tables:
+//
+//   1. overhead — scraping every server at 20 Hz must cost the hot path
+//      nothing measurable. Reruns the E15 saturation workload (threaded
+//      wall-clock transport, pipelined writes, delivery batching) with and
+//      without an attached HealthMonitor+IntrospectScraper; best-of-3
+//      throughput may not drop more than 1%. The bench exits non-zero on a
+//      breach, so CI can gate on it.
+//   2. detection — deterministic sim: crash one server under a running
+//      scraper and measure crash -> first unhealthy mark, then restart ->
+//      healthy mark, per scrape interval. Shows the latency budget
+//      trade-off the DESIGN.md §8 SLO table promises (about two scrape
+//      rounds to detect, restart-hold plus two rounds to clear).
+//   3. chaos_detection — the ground-truth distribution: monitored chaos
+//      storms (the health_test soak harness) across several seeds, with
+//      detection/recovery percentiles pulled from the scored report. This
+//      is where the headline detection-latency p99 in the sidecar comes
+//      from.
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <optional>
+
+#include "bench_common.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/introspect.h"
+#include "net/thread_transport.h"
+#include "obs/health.h"
+#include "testkit/chaos.h"
+
+namespace securestore::bench {
+namespace {
+
+constexpr GroupId kGroup{1};
+
+core::GroupPolicy mrc_policy() {
+  return core::GroupPolicy{kGroup, core::ConsistencyModel::kMRC,
+                           core::SharingMode::kSingleWriter, core::ClientTrust::kHonest};
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  return values[static_cast<std::size_t>(rank + 0.5)];
+}
+
+/// The E15 saturation deployment (threaded transport, several client
+/// principals, delivery batching), plus an optional live health plane.
+struct Deployment {
+  net::ThreadTransport transport;
+  core::StoreConfig config;
+  std::vector<crypto::KeyPair> client_pairs;
+  std::vector<std::unique_ptr<core::SecureStoreServer>> servers;
+  std::vector<std::unique_ptr<core::SecureStoreClient>> clients;
+
+  Deployment(std::uint32_t n, std::uint32_t b, std::uint32_t client_count,
+             std::shared_ptr<obs::Registry> registry)
+      : transport(sim::NetworkModel(
+                      Rng(1), sim::LinkProfile{microseconds(200), microseconds(100), 0}),
+                  std::move(registry)) {
+    transport.set_max_batch(32);
+    config.n = n;
+    config.b = b;
+    Rng rng(2);
+    for (std::uint32_t c = 1; c <= client_count; ++c) {
+      client_pairs.push_back(crypto::KeyPair::generate(rng));
+      config.client_keys[c] = client_pairs.back().public_key;
+    }
+    std::vector<crypto::KeyPair> server_pairs;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      config.servers.push_back(NodeId{i});
+      server_pairs.push_back(crypto::KeyPair::generate(rng));
+      config.server_keys[NodeId{i}] = server_pairs.back().public_key;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      core::SecureStoreServer::Options options;
+      options.gossip.period = milliseconds(200);
+      servers.push_back(std::make_unique<core::SecureStoreServer>(
+          transport, NodeId{i}, config, server_pairs[i], options, rng.fork()));
+      servers.back()->set_group_policy(mrc_policy());
+    }
+    for (std::uint32_t c = 1; c <= client_count; ++c) {
+      core::SecureStoreClient::Options client_options;
+      client_options.policy = mrc_policy();
+      clients.push_back(std::make_unique<core::SecureStoreClient>(
+          transport, NodeId{1000 + c}, ClientId{c}, client_pairs[c - 1], config,
+          client_options, rng.fork()));
+    }
+  }
+
+  ~Deployment() { transport.stop(); }
+};
+
+/// One saturation run; returns ops/second. With `interval` set, a scraper
+/// polls every server at that cadence for the whole run.
+double saturation_ops_per_second(std::optional<SimDuration> interval) {
+  constexpr std::uint32_t kClients = 4;
+  constexpr int kWindow = 8;
+  constexpr int kOpsPerClient = 75;
+  constexpr int kTotalOps = static_cast<int>(kClients) * kOpsPerClient;
+
+  auto registry = std::make_shared<obs::Registry>();
+  Deployment deployment(4, 1, kClients, registry);
+  const Bytes value(256, 0x42);
+
+  std::unique_ptr<obs::HealthMonitor> monitor;
+  std::unique_ptr<net::RpcNode> scrape_node;
+  std::unique_ptr<net::IntrospectScraper> scraper;
+  if (interval.has_value()) {
+    std::vector<obs::HealthMonitor::ServerInfo> servers;
+    std::vector<NodeId> nodes;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      servers.push_back({i, 0});
+      nodes.push_back(NodeId{i});
+    }
+    monitor = std::make_unique<obs::HealthMonitor>(*registry, nullptr, servers,
+                                                   obs::HealthMonitor::Options{});
+    scrape_node = std::make_unique<net::RpcNode>(deployment.transport, NodeId{4998});
+    net::IntrospectScraper::Options scraper_options;
+    scraper_options.interval = *interval;
+    scraper_options.timeout = std::min(*interval / 2, milliseconds(25));
+    scraper = std::make_unique<net::IntrospectScraper>(*scrape_node, nodes, *monitor,
+                                                       scraper_options);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<int> completed{0};
+  std::promise<void> all_done;
+  std::vector<std::shared_ptr<std::atomic<int>>> issued;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    issued.push_back(std::make_shared<std::atomic<int>>(0));
+  }
+
+  std::function<void(std::uint32_t)> issue_next = [&](std::uint32_t c) {
+    const int op = issued[c]->fetch_add(1);
+    if (op >= kOpsPerClient) return;
+    deployment.clients[c]->write(
+        ItemId{static_cast<std::uint64_t>(c * 100 + op % 16)}, value, [&, c](VoidResult) {
+          if (completed.fetch_add(1) + 1 == kTotalOps) {
+            all_done.set_value();
+          } else {
+            issue_next(c);
+          }
+        });
+  };
+  deployment.transport.schedule(0, [&] {
+    if (scraper != nullptr) scraper->start();  // transport-thread discipline
+    for (std::uint32_t c = 0; c < kClients; ++c) {
+      for (int i = 0; i < kWindow; ++i) issue_next(c);
+    }
+  });
+  all_done.get_future().wait();
+  const double elapsed = seconds_since(start);
+
+  if (scraper != nullptr) {
+    // Stop on the dispatch thread and wait for the stop to land before the
+    // deployment (and the monitor it scrapes into) is torn down.
+    std::promise<void> stopped;
+    deployment.transport.schedule(0, [&] {
+      scraper->stop();
+      stopped.set_value();
+    });
+    stopped.get_future().wait();
+    if (monitor->rounds() == 0) {
+      std::fprintf(stderr, "error: scraper never completed a round\n");
+      std::exit(EXIT_FAILURE);
+    }
+  }
+  return static_cast<double>(kTotalOps) / elapsed;
+}
+
+void overhead_table(BenchJson& json) {
+  std::printf("--- monitoring overhead on the E15 saturation workload ---\n");
+  Table table({"scrape_ms", "ops_per_s", "overhead_pct"});
+  table.print_header();
+
+  // Best-of-3 per cell: wall-clock noise on a shared machine dwarfs the
+  // effect under test, and the max is the run least polluted by it.
+  const auto best_of = [](std::optional<SimDuration> interval) {
+    double best = 0;
+    for (int i = 0; i < 3; ++i) best = std::max(best, saturation_ops_per_second(interval));
+    return best;
+  };
+  const double baseline = best_of(std::nullopt);
+  table.cell("off");
+  table.cell(baseline, 0);
+  table.cell(0.0, 2);
+  table.end_row();
+  json.begin_row();
+  json.field("section", "overhead");
+  json.field("scrape_interval_ms", std::uint64_t{0});
+  json.field("ops_per_s", baseline);
+  json.field("overhead_pct", 0.0);
+
+  for (const SimDuration interval :
+       {milliseconds(25), milliseconds(50), milliseconds(100)}) {
+    const double monitored = best_of(interval);
+    const double overhead_pct =
+        std::max(0.0, (baseline - monitored) / baseline * 100.0);
+    table.cell(to_milliseconds(interval), 0);
+    table.cell(monitored, 0);
+    table.cell(overhead_pct, 2);
+    table.end_row();
+    json.begin_row();
+    json.field("section", "overhead");
+    json.field("scrape_interval_ms", to_milliseconds(interval));
+    json.field("ops_per_s", monitored);
+    json.field("overhead_pct", overhead_pct);
+    // The acceptance budget holds at every cadence down to 40 Hz.
+    if (overhead_pct > 1.0) {
+      std::fprintf(stderr, "error: monitoring overhead %.2f%% at %.0fms scrapes "
+                   "exceeds the 1%% budget\n", overhead_pct, to_milliseconds(interval));
+      std::exit(EXIT_FAILURE);
+    }
+  }
+  std::printf("\nScrapes against 4 servers stay under 1%% of saturation\n"
+              "throughput at every cadence measured.\n\n");
+}
+
+/// Crash -> mark and restart -> clear latency at one scrape cadence, in
+/// deterministic virtual time.
+struct DetectionRun {
+  std::uint64_t detect_us = 0;
+  std::uint64_t recover_us = 0;
+};
+
+DetectionRun measure_detection(SimDuration interval) {
+  testkit::ClusterOptions options;
+  options.n = 4;
+  options.b = 1;
+  options.seed = 19;
+  options.gossip.period = milliseconds(50);
+  testkit::Cluster cluster(options);
+
+  std::vector<obs::HealthMonitor::ServerInfo> servers;
+  std::vector<NodeId> nodes;
+  for (std::uint32_t i = 0; i < options.n; ++i) {
+    servers.push_back({cluster.server_node(i).value, 0});
+    nodes.push_back(cluster.server_node(i));
+  }
+  obs::HealthMonitor monitor(cluster.registry(), nullptr, servers,
+                             obs::HealthMonitor::Options{});
+  net::RpcNode scrape_node(cluster.endpoint_transport(), NodeId{4998});
+  net::IntrospectScraper::Options scraper_options;
+  scraper_options.interval = interval;
+  scraper_options.timeout = std::min(interval / 2, milliseconds(25));
+  net::IntrospectScraper scraper(scrape_node, nodes, monitor, scraper_options);
+
+  std::optional<std::uint64_t> marked_at;
+  std::optional<std::uint64_t> cleared_at;
+  monitor.set_on_mark([&](std::uint32_t server, bool healthy, std::uint64_t at,
+                          const std::vector<std::string>&) {
+    if (server != 1) return;
+    if (!healthy && !marked_at.has_value()) marked_at = at;
+    if (healthy && marked_at.has_value()) cleared_at = at;
+  });
+
+  scraper.start();
+  cluster.run_for(milliseconds(500));
+
+  DetectionRun run;
+  const std::uint64_t crash_at = cluster.endpoint_transport().now();
+  cluster.stop_server(1);
+  while (!marked_at.has_value()) cluster.run_for(milliseconds(10));
+  run.detect_us = *marked_at - crash_at;
+
+  const std::uint64_t restart_at = cluster.endpoint_transport().now();
+  cluster.start_server(1);
+  while (!cleared_at.has_value()) cluster.run_for(milliseconds(10));
+  run.recover_us = *cleared_at - restart_at;
+  scraper.stop();
+  return run;
+}
+
+void detection_table(BenchJson& json) {
+  std::printf("--- crash detection / restart clearance vs scrape cadence (sim) ---\n");
+  Table table({"interval_ms", "detect_ms", "recover_ms"});
+  table.print_header();
+  for (const SimDuration interval :
+       {milliseconds(25), milliseconds(50), milliseconds(100)}) {
+    const DetectionRun run = measure_detection(interval);
+    json.begin_row();
+    json.field("section", "detection");
+    json.field("scrape_interval_ms", to_milliseconds(interval));
+    json.field("detect_ms", static_cast<double>(run.detect_us) / 1000.0, 1);
+    json.field("recover_ms", static_cast<double>(run.recover_us) / 1000.0, 1);
+    table.cell(to_milliseconds(interval));
+    table.cell(static_cast<double>(run.detect_us) / 1000.0, 1);
+    table.cell(static_cast<double>(run.recover_us) / 1000.0, 1);
+    table.end_row();
+  }
+  std::printf("\nDetection needs unhealthy_after consecutive missed rounds;\n"
+              "clearance pays the restart hold plus healthy_after rounds.\n\n");
+}
+
+void chaos_detection_table(BenchJson& json, obs::Registry& bench_registry) {
+  std::printf("--- detection latency distribution under monitored chaos storms ---\n");
+  Table table({"seed", "windows", "detected", "marks"});
+  table.print_header();
+
+  std::vector<std::uint64_t> detection;
+  std::vector<std::uint64_t> recovery;
+  for (const std::uint64_t seed : {301u, 302u, 303u}) {
+    testkit::ClusterOptions options;
+    options.n = 5;
+    options.b = 1;
+    options.seed = seed * 6151;
+    options.chaos_seed = seed * 40503;
+    options.gossip.period = milliseconds(50);
+    options.op_timeout = seconds(2);
+    testkit::Cluster cluster(options);
+
+    Rng schedule_rng(seed);
+    testkit::ChaosSchedule schedule =
+        testkit::ChaosSchedule::random(schedule_rng, options.n, options.b, seconds(10));
+    testkit::ChaosRunnerOptions runner_options;
+    runner_options.horizon = seconds(10);
+    runner_options.quiesce = seconds(3);
+    testkit::ChaosRunner runner(cluster, std::move(schedule), runner_options,
+                                seed * 31 + 7);
+    runner.attach_health_monitor();
+    const testkit::ChaosReport report = runner.run();
+    if (!report.violations.empty() || !report.health.has_value() ||
+        !report.health->clean()) {
+      std::fprintf(stderr, "error: monitored storm (seed %llu) was not clean:\n%s",
+                   static_cast<unsigned long long>(seed),
+                   report.health.has_value() ? report.health->summary().c_str() : "");
+      std::exit(EXIT_FAILURE);
+    }
+    detection.insert(detection.end(), report.health->detection_latencies_us.begin(),
+                     report.health->detection_latencies_us.end());
+    recovery.insert(recovery.end(), report.health->recovery_latencies_us.begin(),
+                    report.health->recovery_latencies_us.end());
+    table.cell(seed);
+    table.cell(static_cast<std::uint64_t>(report.health->windows_total));
+    table.cell(static_cast<std::uint64_t>(report.health->windows_detected));
+    table.cell(report.health->marks_unhealthy + report.health->marks_healthy);
+    table.end_row();
+  }
+
+  for (const std::uint64_t v : detection) {
+    bench_registry.histogram("health.detection_latency_us").observe(static_cast<double>(v));
+  }
+  for (const std::uint64_t v : recovery) {
+    bench_registry.histogram("health.recovery_latency_us").observe(static_cast<double>(v));
+  }
+
+  json.begin_row();
+  json.field("section", "chaos_detection");
+  json.field("samples", static_cast<std::uint64_t>(detection.size()));
+  json.field("detection_p50_ms", static_cast<double>(percentile(detection, 0.5)) / 1000.0, 1);
+  json.field("detection_p99_ms", static_cast<double>(percentile(detection, 0.99)) / 1000.0, 1);
+  json.field("recovery_p50_ms", static_cast<double>(percentile(recovery, 0.5)) / 1000.0, 1);
+  json.field("recovery_p99_ms", static_cast<double>(percentile(recovery, 0.99)) / 1000.0, 1);
+
+  std::printf("\ndetection p50=%.1fms p99=%.1fms, recovery p50=%.1fms p99=%.1fms\n"
+              "over %zu scored fault windows across 3 storms.\n",
+              static_cast<double>(percentile(detection, 0.5)) / 1000.0,
+              static_cast<double>(percentile(detection, 0.99)) / 1000.0,
+              static_cast<double>(percentile(recovery, 0.5)) / 1000.0,
+              static_cast<double>(percentile(recovery, 0.99)) / 1000.0,
+              detection.size());
+}
+
+void run() {
+  print_title("E19: live health plane — overhead and detection latency");
+  print_claim(
+      "'continuous monitoring of replica health' at negligible cost — 20 Hz "
+      "scrapes under 1% of saturation throughput, failures detected within "
+      "a few scrape rounds");
+  BenchJson json("e19_health");
+  overhead_table(json);
+  detection_table(json);
+  obs::Registry bench_registry;
+  chaos_detection_table(json, bench_registry);
+  emit_metrics(json, bench_registry);
+}
+
+}  // namespace
+}  // namespace securestore::bench
+
+int main() {
+  securestore::bench::run();
+  return 0;
+}

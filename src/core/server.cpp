@@ -7,6 +7,8 @@
 #include <limits>
 
 #include "crypto/ed25519_batch.h"
+#include "net/introspect.h"
+#include "obs/export.h"
 #include "obs/trace.h"
 #include "storage/item_store.h"
 #include "storage/lsm/lsm_store.h"
@@ -36,12 +38,17 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       batch_size_(transport.registry().histogram("server.batch_size" + options_.metric_suffix,
                                                  {1, 2, 4, 8, 16, 32, 64})),
       shed_(transport.registry().counter("server.shed" + options_.metric_suffix)),
+      introspect_limited_(transport.registry().counter("server.introspect_limited" +
+                                                       options_.metric_suffix)),
       wrong_shard_(transport.registry().counter("shard.wrong_shard" + options_.metric_suffix)),
       ring_installed_(
           transport.registry().counter("shard.ring_installed" + options_.metric_suffix)),
       ring_rejected_(
           transport.registry().counter("shard.ring_rejected" + options_.metric_suffix)) {
   config_.validate();
+  boot_at_ = transport.now();
+  introspect_tokens_ = options_.introspect.burst;
+  introspect_refill_at_ = boot_at_;
   // Request-mix counters: one per request type this server answers, plus
   // the gossip/stability oneways.
   obs::Registry& registry = transport.registry();
@@ -59,6 +66,7 @@ SecureStoreServer::SecureStoreServer(net::Transport& transport, NodeId id, Store
       {net::MsgType::kGossipRequest, "gossip_request"},
       {net::MsgType::kGossipRing, "gossip_ring"},
       {net::MsgType::kStability, "stability"},
+      {net::MsgType::kIntrospect, "introspect"},
   };
   for (const auto& [type, name] : kReqNames) {
     req_counters_[static_cast<std::uint16_t>(type)] =
@@ -269,6 +277,7 @@ std::uint64_t SecureStoreServer::wal_append(storage::WalEntryType type, BytesVie
   const std::uint64_t lsn = wal_->append(type, payload);
   const std::uint64_t elapsed = obs::wall_now_us() - start;
   wal_append_us_.observe(static_cast<double>(elapsed));
+  local_wal_append_us_.observe(static_cast<double>(elapsed));
   admission_.note_wal_append(static_cast<double>(elapsed));
   if (events_.want(active_trace_)) {
     events_.span(node_.id().value, active_trace_, "server.wal.append", "server",
@@ -492,6 +501,7 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::maybe_shed(net:
   signals.engine = items_->pressure();
   if (!admission_.should_shed(signals)) return std::nullopt;
   shed_.inc();
+  requests_shed_ += 1;
   // The refused request never reaches decode/crypto/WAL, so its service
   // slot goes back to the transport's capacity model: a refusal costs O(1),
   // which is what lets goodput plateau instead of collapsing past
@@ -502,6 +512,83 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::maybe_shed(net:
                     static_cast<std::uint64_t>(node_.transport().now()));
   }
   return {{net::MsgType::kOverloaded, overloaded_body(admission_.retry_after_us())}};
+}
+
+obs::ServerSample SecureStoreServer::introspect_status() const {
+  const SimTime now = node_.transport().now();
+  obs::ServerSample s;
+  s.node = node_.id().value;
+  s.shard = options_.shard_id;
+  s.now_us = now;
+  s.uptime_us = now - boot_at_;
+  s.ring_version = ring_version();
+  s.gossip_ticks = gossip_->ticks();
+  // Staleness is measured from boot until the first tick lands, so a
+  // gossip engine that never starts reads as increasingly stale instead of
+  // eternally fresh.
+  const SimTime last_activity = std::max<SimTime>(gossip_->last_tick_at(), boot_at_);
+  s.gossip_idle_us = now - last_activity;
+  s.wal_append_ewma_us = admission_.wal_append_ewma_us();
+  s.wal_append_p99_us = local_wal_append_us_.snapshot().p99();
+  const storage::StorageEngine::Pressure pressure = items_->pressure();
+  s.compaction_lag = pressure.compaction_lag;
+  s.memtable_bytes = pressure.memtable_bytes;
+  s.requests = requests_dispatched_;
+  s.shed = requests_shed_;
+  s.net_backlog = node_.transport().backlog(node_.id());
+  s.hold_depth = holds_.size();
+  s.overloaded = admission_.overloaded();
+  return s;
+}
+
+std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_introspect(
+    BytesView body) {
+  const Options::IntrospectOptions& opts = options_.introspect;
+  if (!opts.enabled) return std::nullopt;
+  // Token bucket on the transport clock, all requesters pooled: the
+  // endpoint is unauthenticated, so per-peer buckets would just hand an
+  // attacker more buckets.
+  const SimTime now = node_.transport().now();
+  introspect_tokens_ = std::min(
+      opts.burst, introspect_tokens_ + to_seconds(now - introspect_refill_at_) *
+                                           opts.rate_per_sec);
+  introspect_refill_at_ = now;
+  if (introspect_tokens_ < 1.0) {
+    introspect_limited_.inc();
+    return std::nullopt;  // silence, not an error a flooder can amplify
+  }
+  introspect_tokens_ -= 1.0;
+
+  net::IntrospectRequest req;
+  try {
+    Reader r(body);
+    req = net::IntrospectRequest::decode(r);
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+
+  net::IntrospectResponse resp;
+  resp.format = req.format;
+  switch (req.format) {
+    case net::IntrospectFormat::kStatus:
+      resp.sample = introspect_status();
+      break;
+    case net::IntrospectFormat::kPrometheus:
+      resp.text = obs::to_prometheus(node_.transport().registry().snapshot());
+      break;
+    case net::IntrospectFormat::kJson:
+      resp.text = obs::to_json(node_.transport().registry().snapshot(), "introspect");
+      break;
+    case net::IntrospectFormat::kEvents: {
+      constexpr std::uint32_t kMaxEventsDump = 4096;
+      resp.text =
+          obs::to_chrome_trace(events_.recent(std::min(req.max_events, kMaxEventsDump)));
+      break;
+    }
+  }
+  Writer w;
+  resp.encode(w);
+  return {{net::MsgType::kAck, w.take()}};
 }
 
 const Bytes& SecureStoreServer::overloaded_body(std::uint32_t retry_after_us) {
@@ -521,6 +608,7 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
   // arrived, not what a muted server deigned to process.
   const auto counter = req_counters_.find(static_cast<std::uint16_t>(type));
   (counter != req_counters_.end() ? *counter->second : req_other_).inc();
+  requests_dispatched_ += 1;
   active_trace_ = trace;
   if (!accept_request(from, type)) return std::nullopt;
   if (auto preempted = preempt_request(from, type, body); preempted.has_value()) {
@@ -573,6 +661,9 @@ std::optional<std::pair<net::MsgType, Bytes>> SecureStoreServer::handle_request(
         break;
       case net::MsgType::kAuditRead:
         honest = {net::MsgType::kAuditRead, audit_.serialize()};
+        break;
+      case net::MsgType::kIntrospect:
+        honest = handle_introspect(body);
         break;
       default:
         return std::nullopt;  // unknown request: ignore

@@ -24,6 +24,7 @@
 #include "crypto/keys.h"
 #include "gossip/gossip.h"
 #include "net/rpc.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "shard/hash_ring.h"
 #include "storage/audit_log.h"
@@ -88,6 +89,18 @@ class SecureStoreServer {
     /// with kOverloaded when live pressure signals cross their watermarks.
     /// Quorum-critical traffic (gossip, stability) is never shed.
     AdmissionController::Options admission;
+    /// Introspection endpoint (PROTOCOL.md §13): answers kIntrospect with
+    /// the server's status sample, metrics exposition, or a recent-events
+    /// dump. Unauthenticated by design (health must be askable when key
+    /// distribution broke), so a token bucket on the transport clock caps
+    /// what the concession costs; past the limit the server stays silent
+    /// (a limited scraper sees a timeout, never a forged answer).
+    struct IntrospectOptions {
+      bool enabled = true;
+      double rate_per_sec = 100;
+      double burst = 50;
+    };
+    IntrospectOptions introspect;
   };
 
   SecureStoreServer(net::Transport& transport, NodeId id, StoreConfig config,
@@ -140,6 +153,11 @@ class SecureStoreServer {
 
   /// Stored client contexts (rebalance export, tests).
   const storage::ContextStore& contexts() const { return contexts_; }
+
+  /// The status sample the introspection endpoint serves (PROTOCOL.md
+  /// §13): this server's raw health signals at the current transport
+  /// time. Also directly callable by in-process monitors and tests.
+  obs::ServerSample introspect_status() const;
 
   // Sharding (DESIGN.md §11).
   /// The installed ring's version; 0 when unsharded.
@@ -237,6 +255,11 @@ class SecureStoreServer {
   /// no Ed25519 signing on the hot path.
   const Bytes& overloaded_body(std::uint32_t retry_after_us);
 
+  /// kIntrospect handler (PROTOCOL.md §13): token-bucket admission, then
+  /// renders the requested format. nullopt = rate-limited or disabled
+  /// (silent; the scraper sees a timeout).
+  std::optional<std::pair<net::MsgType, Bytes>> handle_introspect(BytesView body);
+
   /// Gossip ring arrivals: decode + install_ring (malformed counts as
   /// rejected).
   void install_ring_bytes(NodeId from, BytesView body);
@@ -314,6 +337,18 @@ class SecureStoreServer {
   /// keyed by quantized retry-after value.
   AdmissionController admission_;
   std::unordered_map<std::uint32_t, Bytes> overload_bodies_;
+  /// Introspection state (PROTOCOL.md §13). The local WAL-append histogram
+  /// duplicates `wal_append_us_` observations because the registry metric
+  /// is deployment-wide (all servers share the suffix-qualified name) —
+  /// per-server p99 needs per-server buckets. Request/shed counts are
+  /// local for the same reason: the watchdog differences *this* server's
+  /// counters, not the deployment aggregate.
+  SimTime boot_at_ = 0;
+  obs::Histogram local_wal_append_us_;
+  std::uint64_t requests_dispatched_ = 0;
+  std::uint64_t requests_shed_ = 0;
+  double introspect_tokens_ = 0;
+  SimTime introspect_refill_at_ = 0;
   bool wal_replaying_ = false;
   /// LSN of the WAL entry currently being replayed (boot only); lets the
   /// hold floor anchor correctly when replay re-parks a held write.
@@ -334,6 +369,8 @@ class SecureStoreServer {
   obs::Histogram& batch_size_;
   /// Requests refused by admission control (DESIGN.md §13).
   obs::Counter& shed_;
+  /// Introspect requests silently dropped by the rate limit (§13).
+  obs::Counter& introspect_limited_;
   // Sharding counters (DESIGN.md §8 catalog, shard.* family).
   obs::Counter& wrong_shard_;     // misrouted requests rejected
   obs::Counter& ring_installed_;  // ring updates accepted

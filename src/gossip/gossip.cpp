@@ -75,6 +75,7 @@ std::vector<NodeId> GossipEngine::pick_peers() {
 
 void GossipEngine::tick() {
   ++ticks_;
+  last_tick_at_ = node_.transport().now();
   rounds_.inc();
   // Wall time: building/serializing digests is real CPU work even when the
   // deployment runs on virtual time.

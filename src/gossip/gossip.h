@@ -107,6 +107,10 @@ class GossipEngine {
 
   const Config& config() const { return config_; }
   std::uint64_t ticks() const { return ticks_; }
+  /// Transport-clock time of the most recent anti-entropy tick (0 before
+  /// the first). The introspection endpoint derives gossip staleness from
+  /// it (PROTOCOL.md §13).
+  SimTime last_tick_at() const { return last_tick_at_; }
 
  private:
   struct DigestEntry {
@@ -163,6 +167,7 @@ class GossipEngine {
   std::unordered_map<ItemId, Origin> origins_;
   bool running_ = false;
   std::uint64_t ticks_ = 0;
+  SimTime last_tick_at_ = 0;
   std::uint64_t generation_ = 0;  // invalidates scheduled ticks after stop()
   // Scheduled tick callbacks outlive arbitrary engine lifetimes (server
   // restarts); they hold this flag and bail out once the engine is gone.

@@ -1,0 +1,308 @@
+#include "net/introspect.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "net/quorum.h"
+
+namespace securestore::net {
+
+namespace {
+
+constexpr std::uint8_t kWireVersion = 1;
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bits_double(std::uint64_t v) { return std::bit_cast<double>(v); }
+
+}  // namespace
+
+void IntrospectRequest::encode(Writer& w) const {
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(format));
+  w.u32(max_events);
+}
+
+IntrospectRequest IntrospectRequest::decode(Reader& r) {
+  if (r.u8() != kWireVersion) throw DecodeError("introspect: bad version");
+  IntrospectRequest req;
+  const std::uint8_t format = r.u8();
+  if (format > static_cast<std::uint8_t>(IntrospectFormat::kEvents)) {
+    throw DecodeError("introspect: unknown format");
+  }
+  req.format = static_cast<IntrospectFormat>(format);
+  req.max_events = r.u32();
+  r.expect_end();
+  return req;
+}
+
+void encode_sample(Writer& w, const obs::ServerSample& sample) {
+  w.u8(kWireVersion);
+  w.u32(sample.node);
+  w.u32(sample.shard);
+  w.u64(sample.now_us);
+  w.u64(sample.uptime_us);
+  w.u64(sample.ring_version);
+  w.u64(sample.gossip_ticks);
+  w.u64(sample.gossip_idle_us);
+  w.u64(double_bits(sample.wal_append_ewma_us));
+  w.u64(double_bits(sample.wal_append_p99_us));
+  w.u64(sample.compaction_lag);
+  w.u64(sample.memtable_bytes);
+  w.u64(sample.requests);
+  w.u64(sample.shed);
+  w.u64(sample.net_backlog);
+  w.u64(sample.hold_depth);
+  w.u8(sample.overloaded ? 1 : 0);
+}
+
+obs::ServerSample decode_sample(Reader& r) {
+  if (r.u8() != kWireVersion) throw DecodeError("introspect: bad sample version");
+  obs::ServerSample s;
+  s.node = r.u32();
+  s.shard = r.u32();
+  s.now_us = r.u64();
+  s.uptime_us = r.u64();
+  s.ring_version = r.u64();
+  s.gossip_ticks = r.u64();
+  s.gossip_idle_us = r.u64();
+  s.wal_append_ewma_us = bits_double(r.u64());
+  s.wal_append_p99_us = bits_double(r.u64());
+  s.compaction_lag = r.u64();
+  s.memtable_bytes = r.u64();
+  s.requests = r.u64();
+  s.shed = r.u64();
+  s.net_backlog = r.u64();
+  s.hold_depth = r.u64();
+  s.overloaded = r.u8() != 0;
+  return s;
+}
+
+void IntrospectResponse::encode(Writer& w) const {
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(format));
+  if (format == IntrospectFormat::kStatus) {
+    encode_sample(w, sample);
+  } else {
+    w.str(text);
+  }
+}
+
+IntrospectResponse IntrospectResponse::decode(Reader& r) {
+  if (r.u8() != kWireVersion) throw DecodeError("introspect: bad response version");
+  IntrospectResponse resp;
+  const std::uint8_t format = r.u8();
+  if (format > static_cast<std::uint8_t>(IntrospectFormat::kEvents)) {
+    throw DecodeError("introspect: unknown response format");
+  }
+  resp.format = static_cast<IntrospectFormat>(format);
+  if (resp.format == IntrospectFormat::kStatus) {
+    resp.sample = decode_sample(r);
+  } else {
+    resp.text = r.str();
+  }
+  r.expect_end();
+  return resp;
+}
+
+IntrospectScraper::IntrospectScraper(RpcNode& node, std::vector<NodeId> servers,
+                                     obs::HealthMonitor& monitor, Options options)
+    : node_(node),
+      servers_(std::move(servers)),
+      monitor_(monitor),
+      options_(options),
+      alive_(std::make_shared<bool>(true)) {}
+
+IntrospectScraper::~IntrospectScraper() { *alive_ = false; }
+
+void IntrospectScraper::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void IntrospectScraper::stop() { running_ = false; }
+
+void IntrospectScraper::tick() {
+  if (!running_) return;
+  scrape_once();
+  auto alive = alive_;
+  node_.transport().schedule(options_.interval, [this, alive] {
+    if (*alive && running_) tick();
+  });
+}
+
+void IntrospectScraper::scrape_once(std::function<void()> on_done) {
+  rounds_started_ += 1;
+  monitor_.begin_round(node_.transport().now());
+  Writer w;
+  IntrospectRequest{IntrospectFormat::kStatus, 0}.encode(w);
+  auto alive = alive_;
+  QuorumOptions quorum_options;
+  quorum_options.timeout = options_.timeout;
+  QuorumCall::start(
+      node_, servers_, MsgType::kIntrospect, w.data(),
+      [this, alive](NodeId from, MsgType type, BytesView body) {
+        if (!*alive || type != MsgType::kAck) return false;
+        try {
+          Reader r(body);
+          IntrospectResponse resp = IntrospectResponse::decode(r);
+          if (resp.format == IntrospectFormat::kStatus) {
+            const auto it = std::find(servers_.begin(), servers_.end(), from);
+            if (it != servers_.end()) {
+              monitor_.observe(static_cast<std::size_t>(it - servers_.begin()),
+                               resp.sample);
+            }
+          }
+        } catch (const DecodeError&) {
+          // A garbled status reply scores as a failed scrape (end_round
+          // fills the hole) — a Byzantine server gains nothing by it.
+        }
+        return false;  // collect every reply until the deadline
+      },
+      [this, alive, on_done = std::move(on_done)](QuorumOutcome, std::size_t) {
+        if (*alive) monitor_.end_round();
+        if (on_done) on_done();
+      },
+      quorum_options);
+}
+
+HttpIntrospectServer::HttpIntrospectServer(Options options, Routes routes)
+    : options_(options), routes_(std::move(routes)), tokens_(options.burst) {}
+
+HttpIntrospectServer::~HttpIntrospectServer() { stop(); }
+
+bool HttpIntrospectServer::start() {
+  if (listen_fd_ >= 0) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  last_refill_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void HttpIntrospectServer::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+std::uint64_t HttpIntrospectServer::requests_served() const {
+  return served_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t HttpIntrospectServer::requests_limited() const {
+  return limited_.load(std::memory_order_relaxed);
+}
+
+bool HttpIntrospectServer::admit() {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(options_.burst, tokens_ + elapsed * options_.rate_per_sec);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void HttpIntrospectServer::serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpIntrospectServer::handle_connection(int fd) {
+  // Read until the header terminator or a small cap; a GET has no body.
+  char buffer[2048];
+  std::size_t have = 0;
+  while (have < sizeof buffer - 1) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/250) <= 0) return;
+    const ssize_t n = ::read(fd, buffer + have, sizeof buffer - 1 - have);
+    if (n <= 0) return;
+    have += static_cast<std::size_t>(n);
+    buffer[have] = '\0';
+    if (std::strstr(buffer, "\r\n\r\n") != nullptr) break;
+  }
+
+  const auto respond = [&](const char* status, const char* content_type,
+                           const std::string& body) {
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
+      if (n <= 0) return;
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::string_view request(buffer, have);
+  if (request.substr(0, 4) != "GET ") {
+    respond("405 Method Not Allowed", "text/plain", "GET only\n");
+    return;
+  }
+  const std::size_t path_end = request.find(' ', 4);
+  if (path_end == std::string_view::npos) {
+    respond("400 Bad Request", "text/plain", "malformed request line\n");
+    return;
+  }
+  const std::string_view path = request.substr(4, path_end - 4);
+
+  if (!admit()) {
+    limited_.fetch_add(1, std::memory_order_relaxed);
+    respond("429 Too Many Requests", "text/plain", "rate limited\n");
+    return;
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (path == "/metrics" && routes_.metrics) {
+    respond("200 OK", "text/plain; version=0.0.4", routes_.metrics());
+  } else if (path == "/metrics.json" && routes_.metrics_json) {
+    respond("200 OK", "application/json", routes_.metrics_json());
+  } else if (path == "/events" && routes_.events) {
+    respond("200 OK", "application/json", routes_.events());
+  } else if (path == "/healthz" && routes_.healthz) {
+    respond("200 OK", "text/plain", routes_.healthz());
+  } else {
+    respond("404 Not Found", "text/plain", "unknown path\n");
+  }
+}
+
+}  // namespace securestore::net

@@ -1,0 +1,176 @@
+// Introspection: the live health plane's wire layer (PROTOCOL.md §13).
+//
+// Three pieces:
+//
+//   * the `kIntrospect` request/response codec — an unauthenticated (but
+//     server-side rate-limited) RPC any peer can send a server to ask for
+//     its status. Four response formats: a compact binary `ServerSample`
+//     (what the watchdog scrapes), the Prometheus text exposition, the
+//     BENCH-shaped JSON, and a bounded recent-events dump from the
+//     `EventLog` ring. Unauthenticated is deliberate: health questions
+//     must be answerable when key distribution itself is what broke; the
+//     rate limit bounds what that concession costs.
+//   * `IntrospectScraper` — the watchdog's driver: one `QuorumCall` fan
+//     out per round to every server, decoded samples fed into an
+//     `obs::HealthMonitor`, silence becoming a timeout observation. Can
+//     self-schedule on the transport clock (`start`) or be single-stepped
+//     (`scrape_once`) by benches.
+//   * `HttpIntrospectServer` — a minimal HTTP/1.1 listener for TCP
+//     deployments, serving GET /metrics (Prometheus), /metrics.json,
+//     /events and /healthz from caller-provided render callbacks, so
+//     `curl` and real Prometheus can scrape a securestore process with no
+//     protocol shim. One request per connection, own accept thread,
+//     token-bucket rate limit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/rpc.h"
+#include "obs/health.h"
+#include "util/serial.h"
+
+namespace securestore::net {
+
+/// Response body format a kIntrospect request selects.
+enum class IntrospectFormat : std::uint8_t {
+  kStatus = 0,      // binary obs::ServerSample (the watchdog's diet)
+  kPrometheus = 1,  // text exposition 0.0.4
+  kJson = 2,        // BENCH-sidecar-shaped JSON
+  kEvents = 3,      // recent events as Chrome-trace JSON
+};
+
+struct IntrospectRequest {
+  IntrospectFormat format = IntrospectFormat::kStatus;
+  std::uint32_t max_events = 256;  // kEvents only; servers clamp it
+
+  void encode(Writer& w) const;
+  /// Throws DecodeError on malformed or unknown-version input.
+  static IntrospectRequest decode(Reader& r);
+};
+
+struct IntrospectResponse {
+  IntrospectFormat format = IntrospectFormat::kStatus;
+  obs::ServerSample sample;  // kStatus
+  std::string text;          // every other format
+
+  void encode(Writer& w) const;
+  static IntrospectResponse decode(Reader& r);
+};
+
+/// Versioned binary codec for the status sample (doubles as IEEE-754
+/// bits, so the encoding is canonical).
+void encode_sample(Writer& w, const obs::ServerSample& sample);
+obs::ServerSample decode_sample(Reader& r);
+
+/// Drives scrape rounds against a fixed server set and feeds an
+/// `obs::HealthMonitor`. One round = one kIntrospect(kStatus) to every
+/// server via QuorumCall; each decoded reply becomes `observe(i, sample)`
+/// and anything silent at the timeout is observed as a failure when the
+/// round ends. Single-threaded like every RpcNode user: construct, start
+/// and stop from the transport's callback context.
+class IntrospectScraper {
+ public:
+  struct Options {
+    SimDuration interval = milliseconds(50);  // round start → round start
+    SimDuration timeout = milliseconds(25);   // per-round reply deadline
+  };
+
+  /// `servers[i]` must line up with `monitor.server(i)`.
+  IntrospectScraper(RpcNode& node, std::vector<NodeId> servers,
+                    obs::HealthMonitor& monitor, Options options);
+  IntrospectScraper(RpcNode& node, std::vector<NodeId> servers,
+                    obs::HealthMonitor& monitor)
+      : IntrospectScraper(node, std::move(servers), monitor, Options{}) {}
+  ~IntrospectScraper();
+
+  IntrospectScraper(const IntrospectScraper&) = delete;
+  IntrospectScraper& operator=(const IntrospectScraper&) = delete;
+
+  /// Begins periodic rounds, the first immediately.
+  void start();
+  /// Stops scheduling new rounds; an in-flight round still completes its
+  /// monitor bookkeeping.
+  void stop();
+  bool running() const { return running_; }
+
+  /// One round now, independent of start/stop. `on_done` (optional) fires
+  /// after the monitor round ended.
+  void scrape_once(std::function<void()> on_done = nullptr);
+
+  std::uint64_t rounds_started() const { return rounds_started_; }
+
+ private:
+  void tick();
+
+  RpcNode& node_;
+  const std::vector<NodeId> servers_;
+  obs::HealthMonitor& monitor_;
+  const Options options_;
+  bool running_ = false;
+  std::uint64_t rounds_started_ = 0;
+  std::shared_ptr<bool> alive_;  // guards scheduled callbacks after dtor
+};
+
+/// Minimal HTTP/1.1 exposition listener for TCP deployments. Not a web
+/// server: GET only, one request per connection, bounded request size,
+/// fixed route table. Render callbacks run on the accept thread — they
+/// must be thread-safe against the serving process (Registry snapshots
+/// and EventLog dumps already are).
+class HttpIntrospectServer {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  struct Options {
+    std::uint16_t port = 0;     // 0: ephemeral, see port()
+    double rate_per_sec = 100;  // token-bucket refill
+    double burst = 50;          // bucket depth
+  };
+
+  struct Routes {
+    RenderFn metrics;       // GET /metrics       → text exposition 0.0.4
+    RenderFn metrics_json;  // GET /metrics.json  → BENCH-shaped JSON
+    RenderFn events;        // GET /events        → Chrome-trace JSON
+    RenderFn healthz;       // GET /healthz       → one status line
+  };
+
+  HttpIntrospectServer(Options options, Routes routes);
+  ~HttpIntrospectServer();
+
+  HttpIntrospectServer(const HttpIntrospectServer&) = delete;
+  HttpIntrospectServer& operator=(const HttpIntrospectServer&) = delete;
+
+  /// Binds 127.0.0.1 and spawns the accept thread. False when the bind or
+  /// listen failed (port taken); the object is then inert.
+  bool start();
+  void stop();
+
+  /// The bound port (resolves an ephemeral request); 0 before start().
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const;
+  std::uint64_t requests_limited() const;
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+  bool admit();
+
+  Options options_;
+  Routes routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> limited_{0};
+  double tokens_ = 0;  // accept-thread-only
+  std::chrono::steady_clock::time_point last_refill_{};
+};
+
+}  // namespace securestore::net

@@ -64,6 +64,10 @@ enum class MsgType : std::uint16_t {
   kWrongShard = 102,  // misrouted request; body is the server's signed ring
   kOverloaded = 103,  // admission control shed the request; body is a signed
                       // retry-after hint (PROTOCOL.md §12)
+  // Introspection (PROTOCOL.md §13): unauthenticated but rate-limited
+  // health/metrics exposition; response body format is chosen by the
+  // request (binary status, Prometheus text, JSON, recent events).
+  kIntrospect = 110,
 };
 
 /// One request lifted out of a delivery batch for batched handling: the

@@ -1,5 +1,7 @@
 #include "obs/events.h"
 
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace securestore::obs {
@@ -101,6 +103,21 @@ std::vector<Event> EventLog::snapshot() const {
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::recent(std::size_t max_n) const {
+  std::lock_guard lock(mutex_);
+  const std::size_t have = ring_.size();
+  const std::size_t take = std::min(max_n, have);
+  std::vector<Event> out;
+  out.reserve(take);
+  // Newest event sits at next_-1 once the ring wrapped, at have-1 before.
+  const std::size_t oldest_wanted =
+      (wrapped_ && have == capacity_) ? (next_ + have - take) % have : have - take;
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(ring_[(oldest_wanted + i) % have]);
   }
   return out;
 }

@@ -134,6 +134,13 @@ class EventLog {
   /// Oldest-first copy of the ring. Safe across threads.
   std::vector<Event> snapshot() const;
 
+  /// Oldest-first copy of at most the newest `max_n` events — the bounded
+  /// dump the introspection endpoint serves (PROTOCOL.md §13). Holds the
+  /// ring mutex only for the copy, never blocking recorders longer than a
+  /// `snapshot()` would; recorders racing the copy at worst land in the
+  /// next dump.
+  std::vector<Event> recent(std::size_t max_n) const;
+
   /// Events overwritten because the ring was full.
   std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   std::size_t size() const;

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
+#include <map>
 
 namespace securestore::obs {
 
@@ -21,6 +23,20 @@ void append_formatted(std::string& out, const char* format, ...) {
   if (n > 0) out.append(buffer, std::min<std::size_t>(static_cast<std::size_t>(n), sizeof buffer - 1));
 }
 
+void append_buckets_text(std::string& out, const HistogramSnapshot& h) {
+  out += "           ";
+  append_formatted(out, "  buckets");
+  for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    if (h.bucket_counts[i] == 0) continue;
+    if (i < h.bounds.size()) {
+      append_formatted(out, " le=%g:%" PRIu64, h.bounds[i], h.bucket_counts[i]);
+    } else {
+      append_formatted(out, " le=+inf:%" PRIu64, h.bucket_counts[i]);
+    }
+  }
+  out += "\n";
+}
+
 }  // namespace
 
 std::string to_text(const MetricsSnapshot& snapshot) {
@@ -35,8 +51,9 @@ std::string to_text(const MetricsSnapshot& snapshot) {
     if (h.count == 0) continue;
     append_formatted(out,
                      "histogram  %-44s count=%" PRIu64
-                     " mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
-                     name.c_str(), h.count, h.mean(), h.p50(), h.p95(), h.p99(), h.max);
+                     " sum=%.1f mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+                     name.c_str(), h.count, h.sum, h.mean(), h.p50(), h.p95(), h.p99(), h.max);
+    append_buckets_text(out, h);
   }
   return out;
 }
@@ -64,11 +81,141 @@ std::string to_json(const MetricsSnapshot& snapshot, std::string_view name) {
     row_start("histogram", metric);
     append_formatted(out,
                      ", \"count\": %" PRIu64
-                     ", \"mean_us\": %.4f, \"p50_us\": %.4f, \"p95_us\": %.4f, "
-                     "\"p99_us\": %.4f, \"max_us\": %.4f}",
-                     h.count, h.mean(), h.p50(), h.p95(), h.p99(), h.max);
+                     ", \"sum_us\": %.4f, \"mean_us\": %.4f, \"p50_us\": %.4f, "
+                     "\"p95_us\": %.4f, \"p99_us\": %.4f, \"max_us\": %.4f",
+                     h.count, h.sum, h.mean(), h.p50(), h.p95(), h.p99(), h.max);
+    // Raw buckets so cross-server aggregation can merge distributions and
+    // take quantiles of the merge (never the other way around).
+    out += ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      append_formatted(out, "%s%g", i == 0 ? "" : ", ", h.bounds[i]);
+    }
+    out += "], \"bucket_counts\": [";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      append_formatted(out, "%s%" PRIu64, i == 0 ? "" : ", ", h.bucket_counts[i]);
+    }
+    out += "]}";
   }
   out += "\n  ]\n}\n";
+  return out;
+}
+
+std::pair<std::string, std::optional<std::uint32_t>> split_shard_suffix(
+    std::string_view name) {
+  const std::string_view marker = "{shard=";
+  const std::size_t brace = name.rfind(marker);
+  if (brace == std::string_view::npos || name.empty() || name.back() != '}') {
+    return {std::string(name), std::nullopt};
+  }
+  const std::string_view digits = name.substr(brace + marker.size(),
+                                              name.size() - brace - marker.size() - 1);
+  if (digits.empty()) return {std::string(name), std::nullopt};
+  std::uint32_t shard = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return {std::string(name), std::nullopt};
+    shard = shard * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return {std::string(name.substr(0, brace)), shard};
+}
+
+std::string prometheus_name(std::string_view base) {
+  std::string out;
+  out.reserve(base.size() + 1);
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') out.insert(out.begin(), '_');
+  if (out.empty()) out = "_";
+  return out;
+}
+
+namespace {
+
+std::string shard_labels(const std::optional<std::uint32_t>& shard) {
+  if (!shard.has_value()) return "";
+  return "{shard=\"" + std::to_string(*shard) + "\"}";
+}
+
+/// `{shard="N",le="x"}` — the bucket label set, with or without a shard.
+std::string bucket_labels(const std::optional<std::uint32_t>& shard, const std::string& le) {
+  std::string out = "{";
+  if (shard.has_value()) out += "shard=\"" + std::to_string(*shard) + "\",";
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  // Fold `{shard=N}`-suffixed series into one family per escaped base name,
+  // so every shard's series sits under a single # TYPE header with a proper
+  // label — what a scraper can actually aggregate across.
+  struct Series {
+    std::optional<std::uint32_t> shard;
+    std::string text;  // fully rendered sample lines for this series
+  };
+  std::map<std::string, std::pair<const char*, std::vector<Series>>> families;
+
+  const auto add = [&](const std::string& raw, const char* type,
+                       const std::function<std::string(const std::string& name,
+                                                       const std::optional<std::uint32_t>&)>&
+                           render) {
+    auto [base, shard] = split_shard_suffix(raw);
+    const std::string name = prometheus_name(base);
+    auto& family = families[name];
+    family.first = type;
+    family.second.push_back(Series{shard, render(name, shard)});
+  };
+
+  for (const auto& [raw, value] : snapshot.counters) {
+    add(raw, "counter", [&](const std::string& name, const auto& shard) {
+      std::string line;
+      append_formatted(line, "%s%s %" PRIu64 "\n", name.c_str(),
+                       shard_labels(shard).c_str(), value);
+      return line;
+    });
+  }
+  for (const auto& [raw, value] : snapshot.gauges) {
+    add(raw, "gauge", [&](const std::string& name, const auto& shard) {
+      std::string line;
+      append_formatted(line, "%s%s %" PRId64 "\n", name.c_str(),
+                       shard_labels(shard).c_str(), value);
+      return line;
+    });
+  }
+  for (const auto& [raw, h] : snapshot.histograms) {
+    if (h.count == 0) continue;
+    add(raw, "histogram", [&](const std::string& name, const auto& shard) {
+      std::string lines;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+        cumulative += h.bucket_counts[i];
+        const std::string le =
+            i < h.bounds.size() ? format_double(h.bounds[i]) : std::string("+Inf");
+        append_formatted(lines, "%s_bucket%s %" PRIu64 "\n", name.c_str(),
+                         bucket_labels(shard, le).c_str(), cumulative);
+      }
+      append_formatted(lines, "%s_sum%s %.6f\n", name.c_str(), shard_labels(shard).c_str(),
+                       h.sum);
+      append_formatted(lines, "%s_count%s %" PRIu64 "\n", name.c_str(),
+                       shard_labels(shard).c_str(), h.count);
+      return lines;
+    });
+  }
+
+  for (const auto& [name, family] : families) {
+    append_formatted(out, "# TYPE %s %s\n", name.c_str(), family.first);
+    for (const Series& series : family.second) out += series.text;
+  }
   return out;
 }
 

@@ -1,16 +1,25 @@
 // Observability: exporters (DESIGN.md §8).
 //
-// Two render targets for a `MetricsSnapshot`:
+// Render targets for a `MetricsSnapshot`:
 //   * `to_text`  — the human dump benches print on completion and operators
 //     read in a terminal;
 //   * `to_json`  — the machine dump, shaped exactly like the `BENCH_*.json`
 //     sidecars (`{"bench": <name>, "rows": [...]}`): one row per metric,
-//     histograms carrying count/mean/p50/p95/p99/max, so plot and CI-diff
-//     tooling consumes bench tables and metrics dumps uniformly.
+//     histograms carrying count/mean/quantiles plus the raw bucket counts
+//     and sum, so external tooling can re-aggregate distributions across
+//     servers (quantiles of merged histograms, not merges of quantiles);
+//   * `to_prometheus` — the scrape format the introspection endpoint
+//     serves (PROTOCOL.md §13): dotted names escaped to the Prometheus
+//     charset, the `{shard=N}` suffix sharded deployments append converted
+//     into a proper `shard="N"` label, histograms exposed as cumulative
+//     `_bucket{le=...}` series plus `_sum`/`_count`.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/events.h"
@@ -19,16 +28,40 @@
 namespace securestore::obs {
 
 /// Name-sorted, one metric per line. Histograms with zero observations are
-/// skipped (a registry accumulates names for code paths that never ran).
+/// skipped (a registry accumulates names for code paths that never ran);
+/// populated ones carry sum and their non-empty raw buckets on a
+/// continuation line.
 std::string to_text(const MetricsSnapshot& snapshot);
 
 /// BENCH-sidecar-shaped JSON; `name` fills the "bench" field. Rows carry a
-/// "kind" of counter/gauge/histogram.
+/// "kind" of counter/gauge/histogram; histogram rows additionally carry
+/// "sum_us", "bounds" and "bucket_counts" (bounds.size()+1, overflow last).
 std::string to_json(const MetricsSnapshot& snapshot, std::string_view name);
 
 /// Writes `to_json` to `BENCH_<name>.json` in the working directory (the
 /// sidecar convention). Returns false if the file could not be written.
 bool write_json_sidecar(const MetricsSnapshot& snapshot, std::string_view name);
+
+/// Splits the `{shard=N}` suffix sharded deployments append to metric
+/// names (DESIGN.md §11): returns the base name and the shard id, or
+/// nullopt shard when the name carries no suffix.
+std::pair<std::string, std::optional<std::uint32_t>> split_shard_suffix(
+    std::string_view name);
+
+/// Prometheus-safe metric name for a (suffix-free) dotted base name: every
+/// character outside [a-zA-Z0-9_:] becomes `_`, and a leading digit gains
+/// a `_` prefix, so the result always matches the exposition-format name
+/// grammar [a-zA-Z_:][a-zA-Z0-9_:]*. The mapping must stay injective over
+/// the DESIGN.md §8 catalog — the obs suite's round-trip conformance test
+/// enforces that.
+std::string prometheus_name(std::string_view base);
+
+/// Prometheus text exposition format (text/plain; version=0.0.4). Series
+/// that differ only in their shard suffix fold into one metric family with
+/// a `shard` label; histograms emit cumulative `_bucket{le="..."}` rows,
+/// `le="+Inf"`, `_sum` and `_count`. Empty histograms are skipped like in
+/// `to_text`.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 /// Renders an event-log snapshot as Chrome-trace-event JSON (the
 /// `{"traceEvents": [...]}` object format) loadable by Perfetto and

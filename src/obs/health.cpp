@@ -1,0 +1,165 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace securestore::obs {
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kGreen:
+      return "green";
+    case Verdict::kDegraded:
+      return "degraded";
+    case Verdict::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(Registry& registry, EventLog* events,
+                             std::vector<ServerInfo> servers, Options options)
+    : servers_(std::move(servers)),
+      options_(options),
+      events_(events),
+      scrapes_(registry.counter("health.scrapes")),
+      scrape_failures_(registry.counter("health.scrape_failures")),
+      state_changes_(registry.counter("health.state_changes")),
+      verdict_gauge_(registry.gauge("health.verdict")),
+      unhealthy_gauge_(registry.gauge("health.unhealthy_servers")),
+      margin_gauge_(registry.gauge("health.quorum_margin")),
+      state_(servers_.size()),
+      pending_(servers_.size()),
+      observed_(servers_.size(), false) {
+  for (const ServerInfo& info : servers_) {
+    group_count_ = std::max(group_count_, info.group + 1);
+  }
+  group_unhealthy_.assign(group_count_, 0);
+  margin_ = static_cast<std::int64_t>(options_.b);
+  margin_gauge_.set(margin_);
+}
+
+std::uint32_t HealthMonitor::unhealthy_in_group(std::uint32_t group) const {
+  return group < group_unhealthy_.size() ? group_unhealthy_[group] : 0;
+}
+
+void HealthMonitor::begin_round(std::uint64_t now_us) {
+  now_us_ = now_us;
+  in_round_ = true;
+  std::fill(pending_.begin(), pending_.end(), std::nullopt);
+  std::fill(observed_.begin(), observed_.end(), false);
+}
+
+void HealthMonitor::observe(std::size_t server_index, std::optional<ServerSample> sample) {
+  if (server_index >= servers_.size() || !in_round_) return;
+  observed_[server_index] = true;
+  if (sample.has_value()) {
+    scrapes_.inc();
+    state_[server_index].scrapes += 1;
+    pending_[server_index] = std::move(sample);
+  } else {
+    scrape_failures_.inc();
+    state_[server_index].failures += 1;
+  }
+}
+
+void HealthMonitor::emit_instant(std::uint32_t node, std::string_view name) {
+  if (events_ != nullptr) {
+    events_->instant(node, /*peer=*/0, TraceContext{}, name, "health", now_us_);
+  }
+}
+
+void HealthMonitor::evaluate(std::size_t i) {
+  ServerState& s = state_[i];
+  const SloRules& rules = options_.rules;
+  std::vector<std::string> causes;
+
+  if (!pending_[i].has_value()) {
+    causes.emplace_back("unreachable");
+  } else {
+    const ServerSample& cur = *pending_[i];
+    const std::optional<ServerSample>& prev = s.last;
+    if (prev.has_value() && cur.uptime_us < prev->uptime_us) {
+      // The server came back with a younger clock than we last saw: it
+      // restarted (or was restored under a fault flip). Pin it suspect so
+      // one clean post-restart sample cannot clear it instantly.
+      s.restart_hold_until_us = now_us_ + rules.restart_hold_us;
+    }
+    if (now_us_ < s.restart_hold_until_us) causes.emplace_back("restarted");
+    if (cur.gossip_idle_us > rules.gossip_stale_us) causes.emplace_back("gossip-stale");
+    if (cur.wal_append_p99_us > rules.wal_p99_us) causes.emplace_back("wal-slow");
+    if (cur.compaction_lag > rules.compaction_lag) causes.emplace_back("compaction-lag");
+    if (prev.has_value() && cur.requests >= prev->requests && cur.shed >= prev->shed) {
+      const std::uint64_t dispatched = cur.requests - prev->requests;
+      const std::uint64_t shed = cur.shed - prev->shed;
+      if (dispatched > 0 &&
+          static_cast<double>(shed) / static_cast<double>(dispatched) > rules.shed_fraction) {
+        causes.emplace_back("shedding");
+      }
+    }
+    if (cur.overloaded) causes.emplace_back("overloaded");
+    if (cur.net_backlog > rules.net_backlog) causes.emplace_back("backlog");
+    s.last = cur;
+  }
+
+  const bool bad = !causes.empty();
+  if (bad) {
+    s.consecutive_bad += 1;
+    s.consecutive_good = 0;
+    s.causes = std::move(causes);
+  } else {
+    s.consecutive_good += 1;
+    s.consecutive_bad = 0;
+  }
+
+  if (s.healthy && s.consecutive_bad >= rules.unhealthy_after) {
+    s.healthy = false;
+    state_changes_.inc();
+    emit_instant(servers_[i].node, "health.mark_unhealthy");
+    if (on_mark_) on_mark_(static_cast<std::uint32_t>(i), false, now_us_, s.causes);
+  } else if (!s.healthy && s.consecutive_good >= rules.healthy_after) {
+    s.healthy = true;
+    s.causes.clear();
+    state_changes_.inc();
+    emit_instant(servers_[i].node, "health.mark_healthy");
+    if (on_mark_) on_mark_(static_cast<std::uint32_t>(i), true, now_us_, s.causes);
+  }
+}
+
+void HealthMonitor::end_round() {
+  if (!in_round_) return;
+  rounds_ += 1;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    // A server never observed this round counts as a scrape timeout: the
+    // driver tried everyone, silence is the signal.
+    if (!observed_[i]) observe(i, std::nullopt);
+    evaluate(i);
+  }
+
+  std::fill(group_unhealthy_.begin(), group_unhealthy_.end(), 0);
+  std::uint32_t total_unhealthy = 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (!state_[i].healthy) {
+      group_unhealthy_[servers_[i].group] += 1;
+      total_unhealthy += 1;
+    }
+  }
+  std::uint32_t worst = 0;
+  for (const std::uint32_t u : group_unhealthy_) worst = std::max(worst, u);
+  margin_ = static_cast<std::int64_t>(options_.b) - static_cast<std::int64_t>(worst);
+
+  const Verdict next = total_unhealthy == 0 ? Verdict::kGreen
+                       : margin_ >= 0      ? Verdict::kDegraded
+                                           : Verdict::kCritical;
+  if (next != verdict_) {
+    verdict_ = next;
+    emit_instant(/*node=*/0, "health.verdict_change");
+    if (on_verdict_) on_verdict_(verdict_, now_us_);
+  }
+  verdict_gauge_.set(static_cast<std::int64_t>(verdict_));
+  unhealthy_gauge_.set(total_unhealthy);
+  margin_gauge_.set(margin_);
+  in_round_ = false;
+}
+
+}  // namespace securestore::obs

@@ -223,7 +223,42 @@ std::vector<NodeId> ChaosRunner::all_node_ids() const {
   for (std::uint32_t c = 1; c <= cluster_.options().max_clients; ++c) {
     ids.push_back(NodeId{1000 + c});
   }
+  // The watchdog's scraper is a network peer like any other: isolating a
+  // server must cut its scrapes too, or partitions would be undetectable.
+  if (scrape_node_ != nullptr) ids.push_back(scrape_node_->id());
   return ids;
+}
+
+void ChaosRunner::attach_health_monitor(ChaosHealthOptions options) {
+  if (ran_ || monitor_ != nullptr) {
+    throw std::logic_error("attach_health_monitor: call once, before run()");
+  }
+  std::vector<obs::HealthMonitor::ServerInfo> servers;
+  std::vector<NodeId> nodes;
+  for (std::uint32_t i = 0; i < cluster_.options().n; ++i) {
+    const NodeId node = cluster_.server_node(i);
+    servers.push_back({node.value, cluster_.shard_id()});
+    nodes.push_back(node);
+  }
+  obs::HealthMonitor::Options monitor_options;
+  monitor_options.rules = options.rules;
+  monitor_options.b = cluster_.options().b;
+  monitor_ = std::make_unique<obs::HealthMonitor>(
+      cluster_.registry(), &cluster_.events(), std::move(servers), monitor_options);
+  scorer_ = std::make_unique<HealthScorer>(options.scoring);
+  monitor_->set_on_mark([this](std::uint32_t index, bool healthy, std::uint64_t at,
+                               const std::vector<std::string>&) {
+    scorer_->note_mark(index, healthy, at);
+  });
+  monitor_->set_on_verdict([this](obs::Verdict verdict, std::uint64_t at) {
+    scorer_->note_verdict(verdict, at);
+  });
+  scrape_node_ = std::make_unique<net::RpcNode>(cluster_.endpoint_transport(), NodeId{4998});
+  net::IntrospectScraper::Options scraper_options;
+  scraper_options.interval = options.scrape_interval;
+  scraper_options.timeout = options.scrape_timeout;
+  scraper_ = std::make_unique<net::IntrospectScraper>(*scrape_node_, std::move(nodes),
+                                                      *monitor_, scraper_options);
 }
 
 void ChaosRunner::isolate_server(std::uint32_t server, bool heal) {
@@ -515,9 +550,22 @@ ChaosReport ChaosRunner::run() {
     });
   }
 
+  // The watchdog scrapes through the storm AND the quiesce, so recovery
+  // marks after the heal land before scoring.
+  if (scraper_ != nullptr) scraper_->start();
+
   cluster_.run_for(options_.horizon);
   heal_everything();
   cluster_.run_for(options_.quiesce);
+
+  if (scraper_ != nullptr) {
+    scraper_->stop();
+    scorer_->add_schedule(schedule_, start_, options_.horizon, [](std::uint32_t s) {
+      return std::optional<std::uint32_t>(s);
+    });
+    report_.health = scorer_->score(start_ + options_.horizon, cluster_.registry());
+  }
+
   final_verification();
 
   report_.fault_timeline = cluster_.chaos()->injected();

@@ -23,15 +23,19 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "faults/faulty_server.h"
 #include "net/fault_transport.h"
+#include "net/introspect.h"
 #include "net/rpc.h"
+#include "obs/health.h"
 #include "sim/open_loop.h"
 #include "testkit/cluster.h"
+#include "testkit/health_scorer.h"
 #include "testkit/oracle.h"
 #include "util/rng.h"
 
@@ -91,6 +95,16 @@ struct ChaosRunnerOptions {
   SimDuration round_timeout = milliseconds(150);
 };
 
+/// Health-plane attachment for a chaos run (attach_health_monitor): the
+/// watchdog's rules, the scraper cadence, and the ground-truth scoring
+/// tolerances.
+struct ChaosHealthOptions {
+  obs::SloRules rules;
+  SimDuration scrape_interval = milliseconds(50);
+  SimDuration scrape_timeout = milliseconds(25);
+  HealthScorer::Options scoring;
+};
+
 struct ChaosReport {
   std::uint64_t writes_attempted = 0;
   std::uint64_t writes_acked = 0;
@@ -108,6 +122,9 @@ struct ChaosReport {
   std::vector<ConsistencyOracle::Violation> violations;
   /// All violations pretty-printed, one per line (empty when clean).
   std::string violation_report;
+  /// Present when attach_health_monitor was called: the watchdog's marks
+  /// scored against the injected fault windows.
+  std::optional<HealthScoreReport> health;
 };
 
 class ChaosRunner {
@@ -122,6 +139,15 @@ class ChaosRunner {
 
   ChaosRunner(const ChaosRunner&) = delete;
   ChaosRunner& operator=(const ChaosRunner&) = delete;
+
+  /// Attaches the live health plane before run(): an `IntrospectScraper`
+  /// (network id 4998, so isolation partitions cut it off like any other
+  /// peer) feeding an `obs::HealthMonitor`, whose marks a `HealthScorer`
+  /// checks against the schedule's ground truth. The report then carries a
+  /// `health` section; a missed detection or false positive there fails
+  /// the run like an oracle violation.
+  void attach_health_monitor(ChaosHealthOptions options = {});
+  const obs::HealthMonitor* health_monitor() const { return monitor_.get(); }
 
   /// Runs storm + workloads, heals, quiesces, verifies. Blocking (drives
   /// the cluster's scheduler); call once.
@@ -162,6 +188,11 @@ class ChaosRunner {
   /// once. The generator node (4999) is shared and created lazily.
   std::map<std::uint32_t, std::unique_ptr<sim::OpenLoopLoad>> storms_;
   std::unique_ptr<net::RpcNode> storm_node_;
+  /// Health plane (attach_health_monitor); all null until attached.
+  std::unique_ptr<obs::HealthMonitor> monitor_;
+  std::unique_ptr<HealthScorer> scorer_;
+  std::unique_ptr<net::RpcNode> scrape_node_;
+  std::unique_ptr<net::IntrospectScraper> scraper_;
   ChaosReport report_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -1,0 +1,254 @@
+#include "testkit/health_scorer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "testkit/chaos.h"
+
+namespace securestore::testkit {
+namespace {
+
+std::string fmt_s(std::uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(us) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string HealthScoreReport::summary() const {
+  std::string out;
+  out += "health: " + std::to_string(windows_required) + " required window(s), " +
+         std::to_string(windows_detected) + " detected, " +
+         std::to_string(missed.size()) + " missed, " +
+         std::to_string(false_positives.size()) + " false positive(s); marks " +
+         std::to_string(marks_unhealthy) + " down / " + std::to_string(marks_healthy) +
+         " up\n";
+  if (!detection_latencies_us.empty()) {
+    const auto [lo, hi] = std::minmax_element(detection_latencies_us.begin(),
+                                              detection_latencies_us.end());
+    out += "  detection latency " + fmt_s(*lo) + " .. " + fmt_s(*hi) + " over " +
+           std::to_string(detection_latencies_us.size()) + " sample(s)\n";
+  }
+  if (!recovery_latencies_us.empty()) {
+    const auto [lo, hi] = std::minmax_element(recovery_latencies_us.begin(),
+                                              recovery_latencies_us.end());
+    out += "  recovery latency " + fmt_s(*lo) + " .. " + fmt_s(*hi) + " over " +
+           std::to_string(recovery_latencies_us.size()) + " sample(s)\n";
+  }
+  for (const std::string& m : missed) out += "  MISSED " + m + "\n";
+  for (const std::string& f : false_positives) out += "  FALSE-POSITIVE " + f + "\n";
+  return out;
+}
+
+void HealthScorer::add_schedule(
+    const ChaosSchedule& schedule, SimTime start, SimTime horizon,
+    const std::function<std::optional<std::uint32_t>(std::uint32_t)>& index_of) {
+  struct Pending {
+    FaultWindow window;
+    ChaosEvent::Kind open_kind{};
+    double utilization = 0;  // overload storms: injected rate / capacity
+  };
+  // The schedule generator never overlaps two windows on one server, so
+  // one pending slot per schedule-server id suffices.
+  std::map<std::uint32_t, Pending> open;
+
+  const auto closes = [](ChaosEvent::Kind open_kind, ChaosEvent::Kind kind) {
+    switch (open_kind) {
+      case ChaosEvent::Kind::kCrash: return kind == ChaosEvent::Kind::kRestart;
+      case ChaosEvent::Kind::kIsolate: return kind == ChaosEvent::Kind::kHealIsolation;
+      case ChaosEvent::Kind::kByzantine: return kind == ChaosEvent::Kind::kRecover;
+      case ChaosEvent::Kind::kDegradeLinks:
+        return kind == ChaosEvent::Kind::kRestoreLinks;
+      case ChaosEvent::Kind::kOverloadStorm:
+        return kind == ChaosEvent::Kind::kEndOverloadStorm;
+      default: return false;
+    }
+  };
+
+  const auto finish = [this](Pending& p, SimTime end) {
+    p.window.end = end;
+    const SimDuration length = end > p.window.start ? end - p.window.start : 0;
+    bool required = false;
+    if (length >= options_.min_scored) {
+      switch (p.open_kind) {
+        case ChaosEvent::Kind::kCrash:
+        case ChaosEvent::Kind::kIsolate:
+        case ChaosEvent::Kind::kByzantine:
+          required = true;
+          break;
+        case ChaosEvent::Kind::kOverloadStorm:
+          required = p.utilization >= options_.storm_min_utilization;
+          break;
+        default:
+          break;  // degraded links slow a server but break no SLO per se
+      }
+    }
+    p.window.required = required;
+    windows_.push_back(p.window);
+  };
+
+  for (const ChaosEvent& event : schedule.events) {
+    const std::optional<std::uint32_t> index = index_of(event.server);
+    if (!index.has_value()) continue;
+    const SimTime at = start + event.at;
+    switch (event.kind) {
+      case ChaosEvent::Kind::kCrash:
+      case ChaosEvent::Kind::kIsolate:
+      case ChaosEvent::Kind::kByzantine:
+      case ChaosEvent::Kind::kDegradeLinks:
+      case ChaosEvent::Kind::kOverloadStorm: {
+        Pending p;
+        p.window.server = *index;
+        p.window.start = at;
+        p.window.kind = chaos_event_name(event.kind);
+        p.open_kind = event.kind;
+        if (event.kind == ChaosEvent::Kind::kOverloadStorm) {
+          p.utilization = event.storm_rate * to_seconds(event.storm_service);
+        }
+        open[event.server] = std::move(p);
+        break;
+      }
+      default: {
+        const auto it = open.find(event.server);
+        if (it != open.end() && closes(it->second.open_kind, event.kind)) {
+          finish(it->second, at);
+          open.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  // A window whose closing event fell off the schedule ends at the heal.
+  for (auto& [server, pending] : open) finish(pending, start + horizon);
+  std::sort(windows_.begin(), windows_.end(),
+            [](const FaultWindow& a, const FaultWindow& b) { return a.start < b.start; });
+}
+
+void HealthScorer::note_mark(std::uint32_t server_index, bool healthy,
+                             std::uint64_t at_us) {
+  marks_.push_back(Mark{server_index, healthy, at_us});
+}
+
+void HealthScorer::note_verdict(obs::Verdict verdict, std::uint64_t at_us) {
+  verdicts_.emplace_back(verdict, at_us);
+}
+
+HealthScoreReport HealthScorer::score(SimTime heal_at, obs::Registry& registry) const {
+  HealthScoreReport report;
+  report.windows_total = windows_.size();
+  for (const Mark& m : marks_) {
+    if (m.healthy) ++report.marks_healthy;
+    else ++report.marks_unhealthy;
+  }
+
+  // Per-server marks, already time-ordered (end_round observes in order).
+  std::map<std::uint32_t, std::vector<Mark>> by_server;
+  for (const Mark& m : marks_) by_server[m.server].push_back(m);
+
+  for (const FaultWindow& w : windows_) {
+    if (w.required) ++report.windows_required;
+    const auto it = by_server.find(w.server);
+    const std::vector<Mark>* marks = it != by_server.end() ? &it->second : nullptr;
+
+    // Detection: either the server entered the window already marked (the
+    // previous window's mark never cleared — latency 0, no fresh sample),
+    // or the first unhealthy mark lands in [start, end + slack].
+    bool already_down = false;
+    std::optional<std::uint64_t> fresh_at;
+    if (marks != nullptr) {
+      for (const Mark& m : *marks) {
+        if (m.at < w.start) {
+          already_down = !m.healthy;
+          continue;
+        }
+        if (m.at > w.end + options_.detect_slack) break;
+        if (!m.healthy) {
+          fresh_at = m.at;
+          break;
+        }
+        already_down = false;  // cleared inside the window before any mark
+      }
+    }
+    const bool detected = already_down || fresh_at.has_value();
+    if (fresh_at.has_value() && !already_down) {
+      report.detection_latencies_us.push_back(*fresh_at - w.start);
+    }
+    if (w.required) {
+      if (detected) {
+        ++report.windows_detected;
+      } else {
+        report.missed.push_back("server " + std::to_string(w.server) + " " + w.kind +
+                                " window " + fmt_s(w.start) + ".." + fmt_s(w.end) +
+                                " never marked unhealthy");
+      }
+    }
+
+    // Recovery: the first healthy mark at or after the window's end that
+    // actually clears an unhealthy state (fault-heal restarts re-mark the
+    // server briefly, so the clearing mark may follow a post-end mark).
+    if (detected && marks != nullptr) {
+      bool down = already_down;
+      for (const Mark& m : *marks) {
+        if (m.at < w.start) continue;  // pre-window state is already_down
+        if (!m.healthy) {
+          down = true;
+          continue;
+        }
+        if (down && m.at >= w.end) {
+          report.recovery_latencies_us.push_back(m.at - w.end);
+          break;
+        }
+        down = false;
+      }
+    }
+  }
+
+  // False positives: unhealthy marks covered by no window of that server
+  // (with grace) and not explained by the global heal's restarts.
+  const auto excused_global = [&](std::uint64_t at) {
+    return at >= heal_at && at <= heal_at + options_.fp_grace;
+  };
+  for (const Mark& m : marks_) {
+    if (m.healthy) continue;
+    bool excused = excused_global(m.at);
+    for (const FaultWindow& w : windows_) {
+      if (excused) break;
+      excused = w.server == m.server && m.at >= w.start &&
+                m.at <= w.end + options_.fp_grace;
+    }
+    if (!excused) {
+      report.false_positives.push_back("server " + std::to_string(m.server) +
+                                       " marked unhealthy at " + fmt_s(m.at) +
+                                       " outside every fault window");
+    }
+  }
+
+  // A critical verdict is only legitimate while some fault window (or the
+  // heal's restart wave) could explain the unhealthy count.
+  for (const auto& [verdict, at] : verdicts_) {
+    if (verdict != obs::Verdict::kCritical) continue;
+    bool excused = excused_global(at);
+    for (const FaultWindow& w : windows_) {
+      if (excused) break;
+      excused = at >= w.start && at <= w.end + options_.fp_grace;
+    }
+    if (!excused) {
+      report.false_positives.push_back(
+          "critical verdict at " + fmt_s(at) + " outside every fault window");
+    }
+  }
+
+  auto& detection = registry.histogram("health.detection_latency_us");
+  auto& recovery = registry.histogram("health.recovery_latency_us");
+  for (const std::uint64_t v : report.detection_latencies_us) {
+    detection.observe(static_cast<double>(v));
+  }
+  for (const std::uint64_t v : report.recovery_latencies_us) {
+    recovery.observe(static_cast<double>(v));
+  }
+  return report;
+}
+
+}  // namespace securestore::testkit

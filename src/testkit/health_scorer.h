@@ -1,0 +1,127 @@
+// Ground-truth scoring for the health watchdog (DESIGN.md §8).
+//
+// The chaos harness knows exactly when each server was made faulty and
+// when it was healed; the `HealthMonitor` only sees scraped samples. The
+// scorer subscribes to the monitor's mark transitions and, after the run,
+// compares them against the injected fault windows:
+//
+//   * a *required* window (crash/isolate/Byzantine long enough to span
+//     the scrape cadence, or an overload storm that actually saturates
+//     the victim) the monitor never marked is a **missed detection**;
+//   * an unhealthy mark outside every fault window of that server (plus a
+//     grace after each window and after the global heal, covering
+//     restart-hold and catch-up) is a **false positive** — so is a
+//     critical verdict at such a time;
+//   * detection latency = first unhealthy mark − window start, and
+//     recovery latency = first healthy mark − window end, both recorded
+//     into the registry as `health.detection_latency_us` /
+//     `health.recovery_latency_us` histograms.
+//
+// Either violation kind fails the chaos soak the same way an oracle
+// violation does: the watchdog's marks are treated as protocol output,
+// not best-effort advice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "util/time.h"
+
+namespace securestore::testkit {
+
+struct ChaosSchedule;  // testkit/chaos.h (which includes this header)
+
+/// One injected fault interval for one monitored server, in absolute sim
+/// time (schedule offsets are relative to the runner's start).
+struct FaultWindow {
+  std::uint32_t server = 0;  // HealthMonitor index, not NodeId
+  SimTime start = 0;
+  SimTime end = 0;
+  bool required = false;  // the monitor MUST mark this window
+  const char* kind = "";  // chaos_event_name of the opening event
+};
+
+struct HealthScoreReport {
+  std::uint64_t windows_total = 0;
+  std::uint64_t windows_required = 0;
+  std::uint64_t windows_detected = 0;  // required windows that were marked
+  std::uint64_t marks_unhealthy = 0;
+  std::uint64_t marks_healthy = 0;
+  std::vector<std::uint64_t> detection_latencies_us;
+  std::vector<std::uint64_t> recovery_latencies_us;
+  /// Violations, one human-readable line each (empty when clean).
+  std::vector<std::string> missed;
+  std::vector<std::string> false_positives;
+
+  bool clean() const { return missed.empty() && false_positives.empty(); }
+  /// Multi-line digest: counts, latency extremes, then every violation.
+  std::string summary() const;
+};
+
+class HealthScorer {
+ public:
+  struct Options {
+    /// How long after a window closes a first detection still counts (the
+    /// monitor needs `unhealthy_after` scrape rounds to commit a mark, so
+    /// a fault near the window's tail detects slightly "late").
+    SimDuration detect_slack = milliseconds(600);
+    /// Unhealthy marks within this long after a window (or after the
+    /// global heal) are excused: fault-injection restarts trip the
+    /// monitor's restart-hold, and that is correct behavior, not noise.
+    SimDuration fp_grace = seconds(2);
+    /// Windows shorter than this are scored opportunistically (a mark is
+    /// fine, silence is fine): they can end before two scrape rounds.
+    SimDuration min_scored = milliseconds(350);
+    /// An overload storm must inject at least this × capacity to be a
+    /// required detection (rate × service_time ≥ this); milder storms
+    /// barely queue and legitimately stay under every SLO threshold.
+    double storm_min_utilization = 1.25;
+  };
+
+  explicit HealthScorer(Options options) : options_(options) {}
+  HealthScorer() : HealthScorer(Options{}) {}
+
+  /// Translates a chaos schedule into fault windows. `start` is the sim
+  /// time the runner began (schedule times are relative); `horizon` closes
+  /// any window whose closing event is missing. `index_of` maps the
+  /// schedule's server number to the HealthMonitor index (identity for a
+  /// single cluster; sharded runners flatten group-local ids) and may
+  /// return nullopt for servers the monitor does not watch.
+  void add_schedule(
+      const ChaosSchedule& schedule, SimTime start, SimTime horizon,
+      const std::function<std::optional<std::uint32_t>(std::uint32_t)>& index_of);
+  /// Adds one window directly (tests, hand-built timelines).
+  void add_window(FaultWindow window) { windows_.push_back(window); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// Wire these into the monitor:
+  ///   monitor.set_on_mark([&](auto i, bool h, auto at, auto&) { scorer.note_mark(i, h, at); });
+  ///   monitor.set_on_verdict([&](auto v, auto at) { scorer.note_verdict(v, at); });
+  void note_mark(std::uint32_t server_index, bool healthy, std::uint64_t at_us);
+  void note_verdict(obs::Verdict verdict, std::uint64_t at_us);
+
+  /// Scores all marks against all windows. `heal_at` is when the runner
+  /// healed everything (marks shortly after are excused — heal restarts
+  /// servers). Latencies are also recorded into `registry` histograms
+  /// `health.detection_latency_us` / `health.recovery_latency_us`.
+  HealthScoreReport score(SimTime heal_at, obs::Registry& registry) const;
+
+ private:
+  struct Mark {
+    std::uint32_t server;
+    bool healthy;
+    std::uint64_t at;
+  };
+
+  const Options options_;
+  std::vector<FaultWindow> windows_;
+  std::vector<Mark> marks_;
+  std::vector<std::pair<obs::Verdict, std::uint64_t>> verdicts_;
+};
+
+}  // namespace securestore::testkit

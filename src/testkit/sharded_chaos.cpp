@@ -1,6 +1,7 @@
 #include "testkit/sharded_chaos.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "shard/hash_ring.h"
@@ -150,7 +151,51 @@ std::vector<NodeId> ShardedChaosRunner::all_node_ids() const {
   for (std::uint32_t c = 1; c <= cluster_.options().max_clients; ++c) {
     for (std::uint32_t k = 0; k < 16; ++k) ids.push_back(NodeId{10000 + c * 100 + k});
   }
+  // The watchdog's scraper is a peer like any other: isolating a server
+  // must cut its scrapes too, or partitions would be undetectable.
+  if (scrape_node_ != nullptr) ids.push_back(scrape_node_->id());
   return ids;
+}
+
+void ShardedChaosRunner::attach_health_monitor(ChaosHealthOptions options) {
+  if (ran_ || monitor_ != nullptr) {
+    throw std::logic_error("attach_health_monitor: call once, before run()");
+  }
+  std::vector<obs::HealthMonitor::ServerInfo> servers;
+  std::vector<NodeId> nodes;
+  for (std::size_t g = 0; g < cluster_.group_count(); ++g) {
+    monitor_base_.push_back(static_cast<std::uint32_t>(servers.size()));
+    Cluster& group = cluster_.group(g);
+    for (std::size_t s = 0; s < group.server_count(); ++s) {
+      const NodeId node = group.server_node(s);
+      servers.push_back({node.value, static_cast<std::uint32_t>(g)});
+      nodes.push_back(node);
+    }
+  }
+  // The sharded harness models overload as a capacity squeeze with no
+  // request flood behind it: the victim keeps comfortable headroom, so no
+  // SLO legitimately fires. Never REQUIRE detecting such a window (marks
+  // inside one are still excused).
+  options.scoring.storm_min_utilization = std::numeric_limits<double>::infinity();
+  obs::HealthMonitor::Options monitor_options;
+  monitor_options.rules = options.rules;
+  monitor_options.b = cluster_.options().b;
+  monitor_ = std::make_unique<obs::HealthMonitor>(
+      cluster_.registry(), &cluster_.events(), std::move(servers), monitor_options);
+  scorer_ = std::make_unique<HealthScorer>(options.scoring);
+  monitor_->set_on_mark([this](std::uint32_t index, bool healthy, std::uint64_t at,
+                               const std::vector<std::string>&) {
+    scorer_->note_mark(index, healthy, at);
+  });
+  monitor_->set_on_verdict([this](obs::Verdict verdict, std::uint64_t at) {
+    scorer_->note_verdict(verdict, at);
+  });
+  scrape_node_ = std::make_unique<net::RpcNode>(cluster_.endpoint_transport(), NodeId{4998});
+  net::IntrospectScraper::Options scraper_options;
+  scraper_options.interval = options.scrape_interval;
+  scraper_options.timeout = options.scrape_timeout;
+  scraper_ = std::make_unique<net::IntrospectScraper>(*scrape_node_, std::move(nodes),
+                                                      *monitor_, scraper_options);
 }
 
 void ShardedChaosRunner::isolate_server(std::size_t group_idx, std::uint32_t server,
@@ -400,6 +445,10 @@ ShardedChaosReport ShardedChaosRunner::run() {
     }
   }
 
+  // The watchdog scrapes through the storm, the rebalance AND the quiesce,
+  // so recovery marks after the heal land before scoring.
+  if (scraper_ != nullptr) scraper_->start();
+
   if (options_.rebalance) {
     // The §11 protocol, stepwise, with the storm raging between phases —
     // crashes, partitions and Byzantine flips interleave with the copy and
@@ -427,6 +476,23 @@ ShardedChaosReport ShardedChaosRunner::run() {
     report_.records_copied += cluster_.copy_moved_data(cluster_.ring());
   }
   cluster_.run_for(options_.quiesce);
+
+  if (scraper_ != nullptr) {
+    scraper_->stop();
+    for (std::size_t g = 0; g < schedules_.size() && g < monitor_base_.size(); ++g) {
+      const std::uint32_t base = monitor_base_[g];
+      const auto server_count =
+          static_cast<std::uint32_t>(cluster_.group(g).server_count());
+      scorer_->add_schedule(schedules_[g], start, options_.horizon,
+                            [base, server_count](std::uint32_t s) {
+                              return s < server_count
+                                         ? std::optional<std::uint32_t>(base + s)
+                                         : std::nullopt;
+                            });
+    }
+    report_.health = scorer_->score(start + options_.horizon, cluster_.registry());
+  }
+
   final_verification();
 
   report_.final_ring_version = cluster_.ring().ring.version;

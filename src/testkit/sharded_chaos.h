@@ -74,6 +74,9 @@ struct ShardedChaosReport {
   std::vector<ConsistencyOracle::Violation> violations;  // all groups pooled
   /// All violations pretty-printed, one per line (empty when clean).
   std::string violation_report;
+  /// Present when attach_health_monitor was called: the watchdog's marks
+  /// scored against every group's injected fault windows.
+  std::optional<HealthScoreReport> health;
 };
 
 class ShardedChaosRunner {
@@ -89,6 +92,14 @@ class ShardedChaosRunner {
 
   ShardedChaosRunner(const ShardedChaosRunner&) = delete;
   ShardedChaosRunner& operator=(const ShardedChaosRunner&) = delete;
+
+  /// Attaches the live health plane before run(): one scraper round-robins
+  /// every server of every INITIAL group (a rebalance-added group joins
+  /// mid-run and is not monitored), feeding one `obs::HealthMonitor` whose
+  /// per-group fault budgets drive the cluster verdict. The report gains a
+  /// `health` section scored against all group schedules.
+  void attach_health_monitor(ChaosHealthOptions options = {});
+  const obs::HealthMonitor* health_monitor() const { return monitor_.get(); }
 
   /// Storm + workloads + mid-storm rebalance, heal, reconcile, quiesce,
   /// verify. Blocking (drives the cluster's scheduler); call once.
@@ -126,6 +137,12 @@ class ShardedChaosRunner {
   /// (the sharded harness models the storm as a capacity squeeze only; the
   /// open-loop flood generator lives in the single-group ChaosRunner).
   std::set<std::uint32_t> squeezed_now_;
+  /// Health plane (attach_health_monitor); all null until attached.
+  std::unique_ptr<obs::HealthMonitor> monitor_;
+  std::unique_ptr<HealthScorer> scorer_;
+  std::unique_ptr<net::RpcNode> scrape_node_;
+  std::unique_ptr<net::IntrospectScraper> scraper_;
+  std::vector<std::uint32_t> monitor_base_;  // group idx → first monitor index
   ShardedChaosReport report_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

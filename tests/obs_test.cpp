@@ -9,6 +9,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -18,6 +19,7 @@
 
 #include "core/sync.h"
 #include "net/rpc.h"
+#include "obs/export.h"
 #include "net/sim_transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -677,6 +679,89 @@ TEST(ObsCatalog, ShardedWorkloadEmitsOnlyCatalogedNames) {
     if (name.rfind("shard.wrong_shard", 0) == 0 && value > 0) saw_wrong_shard = true;
   }
   EXPECT_TRUE(saw_wrong_shard);
+}
+
+// Round-trip conformance (DESIGN.md §8): every catalog name, instantiated
+// with concrete placeholder values and optionally carrying the §11 shard
+// suffix, must (a) split back into exactly its base name and shard, and
+// (b) map through `prometheus_name` onto the exposition-format name
+// grammar WITHOUT collisions — two distinct catalog series may never fold
+// into one Prometheus family, or dashboards silently sum unrelated data.
+TEST(ObsCatalog, PrometheusNamesRoundTripInjectively) {
+  const std::set<std::string> catalog = load_catalog();
+  ASSERT_FALSE(catalog.empty());
+
+  // Instantiate the documented placeholders the way real deployments do.
+  std::vector<std::string> concrete;
+  for (std::string name : catalog) {
+    for (std::string::size_type at; (at = name.find("<id>")) != std::string::npos;) {
+      name.replace(at, 4, "7");
+    }
+    for (std::string::size_type at; (at = name.find("<op>")) != std::string::npos;) {
+      name.replace(at, 4, "p3.write");
+    }
+    concrete.push_back(std::move(name));
+  }
+
+  std::map<std::string, std::string> prometheus_to_base;
+  const auto grammar_ok = [](const std::string& name) {
+    if (name.empty()) return false;
+    const auto head = static_cast<unsigned char>(name.front());
+    if (!std::isalpha(head) && name.front() != '_' && name.front() != ':') return false;
+    for (const char c : name) {
+      const auto u = static_cast<unsigned char>(c);
+      if (!std::isalnum(u) && c != '_' && c != ':') return false;
+    }
+    return true;
+  };
+
+  for (const std::string& base : concrete) {
+    // The shard suffix must split off exactly — and its absence must not
+    // invent one (names with inner braces would corrupt label folding).
+    const auto [plain, no_shard] = obs::split_shard_suffix(base);
+    EXPECT_EQ(plain, base);
+    EXPECT_FALSE(no_shard.has_value()) << base;
+    const auto [stripped, shard] = obs::split_shard_suffix(base + "{shard=2}");
+    EXPECT_EQ(stripped, base);
+    ASSERT_TRUE(shard.has_value()) << base;
+    EXPECT_EQ(*shard, 2u);
+
+    const std::string prom = obs::prometheus_name(base);
+    EXPECT_TRUE(grammar_ok(prom))
+        << "`" << base << "` maps to `" << prom << "`, which breaks the "
+        << "exposition name grammar [a-zA-Z_:][a-zA-Z0-9_:]*";
+    const auto [it, inserted] = prometheus_to_base.emplace(prom, base);
+    EXPECT_TRUE(inserted) << "catalog names `" << it->second << "` and `" << base
+                          << "` collide as Prometheus family `" << prom << "`";
+  }
+}
+
+// The text exposition itself: dotted names escaped, shard suffixes folded
+// into a `shard` label within one family, histograms emitting cumulative
+// buckets with `+Inf`, `_sum` and `_count`.
+TEST(Export, PrometheusTextEscapesNamesAndFoldsShardLabels) {
+  obs::Registry registry;
+  registry.counter("server.req.write").inc(3);
+  registry.counter("gossip.rounds{shard=1}").inc(5);
+  registry.counter("gossip.rounds{shard=2}").inc(7);
+  auto& h = registry.histogram("client.op_latency_us");
+  h.observe(50);
+  h.observe(150);
+  registry.histogram("wal.unused_us");  // zero observations: skipped
+
+  const std::string text = obs::to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE server_req_write counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("server_req_write 3"), std::string::npos);
+  EXPECT_NE(text.find("gossip_rounds{shard=\"1\"} 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("gossip_rounds{shard=\"2\"} 7"), std::string::npos);
+  EXPECT_EQ(text.find("{shard="), text.find("{shard=\""))
+      << "raw suffix leaked into the exposition:\n" << text;
+  EXPECT_NE(text.find("client_op_latency_us_bucket{le="), std::string::npos) << text;
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("client_op_latency_us_sum 200"), std::string::npos);
+  EXPECT_NE(text.find("client_op_latency_us_count 2"), std::string::npos);
+  EXPECT_EQ(text.find("wal_unused_us"), std::string::npos)
+      << "empty histograms must be skipped";
 }
 
 }  // namespace

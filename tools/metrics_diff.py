@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json sidecars (DESIGN.md section 8).
+
+Loads a baseline and a current sidecar (the `{"bench": ..., "rows": [...]}`
+shape every bench binary and the kIntrospect /metrics.json endpoint emit),
+matches rows by their identifying string fields, and prints every numeric
+field's drift. With --threshold, any drift beyond the given percentage is
+reported as a REGRESSION and the exit code flags it for CI. Standard
+library only.
+
+Usage:
+    metrics_diff.py BASELINE.json CURRENT.json
+    metrics_diff.py --threshold 10 BASELINE.json CURRENT.json
+    metrics_diff.py --expect expected.txt BASELINE.json CURRENT.json
+
+Rows are keyed by their string-valued fields (e.g. kind + metric for the
+histogram rows emit_metrics appends), so reordering rows between runs does
+not show up as drift; rows present on only one side are listed as added or
+removed but never breach the threshold (a new metric is not a regression).
+
+Exit codes: 0 ok, 1 malformed input, 2 threshold breach or golden mismatch.
+"""
+
+import json
+import os
+import sys
+
+
+class MalformedBench(Exception):
+    pass
+
+
+def _require(cond, path, message):
+    if not cond:
+        raise MalformedBench("%s: %s" % (os.path.basename(path), message))
+
+
+def load_rows(path):
+    """Returns {row_key: {field: number}} for one sidecar."""
+    try:
+        with open(path, "r") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        raise MalformedBench("%s: %s" % (os.path.basename(path), err))
+    _require(isinstance(doc, dict), path, "top level must be an object")
+    _require(isinstance(doc.get("bench"), str), path, "missing bench name")
+    _require(isinstance(doc.get("rows"), list), path, "missing rows list")
+
+    rows = {}
+    for i, row in enumerate(doc["rows"]):
+        where = "row %d" % i
+        _require(isinstance(row, dict), path, where + " must be an object")
+        ident = []
+        numbers = {}
+        for key, value in row.items():
+            if isinstance(value, str):
+                ident.append("%s=%s" % (key, value))
+            elif isinstance(value, bool):
+                numbers[key] = int(value)
+            elif isinstance(value, (int, float)):
+                numbers[key] = value
+            else:
+                raise MalformedBench(
+                    "%s: %s field %r has unsupported type" % (
+                        os.path.basename(path), where, key))
+        key = "[" + " ".join(sorted(ident)) + "]" if ident else "[row %d]" % i
+        _require(key not in rows, path, "duplicate row key " + key)
+        rows[key] = numbers
+    return rows
+
+
+def drift_percent(base, cur):
+    """Relative change in percent; a vanished/appeared value counts as 100."""
+    if base == cur:
+        return 0.0
+    if base == 0:
+        return 100.0
+    return abs(cur - base) / abs(base) * 100.0
+
+
+def fmt(value):
+    if isinstance(value, float) and not value.is_integer():
+        return "%.4f" % value
+    return "%d" % value
+
+
+def diff(base_path, cur_path, threshold):
+    """Returns (lines, regression_count)."""
+    base = load_rows(base_path)
+    cur = load_rows(cur_path)
+    lines = [
+        "metrics diff: %s -> %s" % (
+            os.path.basename(base_path), os.path.basename(cur_path))
+    ]
+    regressions = 0
+    worst = (0.0, None)  # (percent, description)
+
+    for key in sorted(set(base) | set(cur)):
+        if key not in cur:
+            lines.append("  removed %s" % key)
+            continue
+        if key not in base:
+            lines.append("  added   %s" % key)
+            continue
+        for field in sorted(set(base[key]) | set(cur[key])):
+            b = base[key].get(field)
+            c = cur[key].get(field)
+            if b is None or c is None:
+                lines.append("  %s %s: only in %s" % (
+                    key, field, "current" if b is None else "baseline"))
+                continue
+            pct = drift_percent(b, c)
+            if pct > worst[0]:
+                worst = (pct, "%s %s" % (key, field))
+            if pct == 0.0:
+                continue
+            sign = "+" if c >= b else "-"
+            line = "  %s %s: %s -> %s (%s%.1f%%)" % (
+                key, field, fmt(b), fmt(c), sign, pct)
+            if threshold is not None and pct > threshold:
+                line += "  REGRESSION: drift exceeds %.1f%%" % threshold
+                regressions += 1
+            lines.append(line)
+
+    if worst[1] is not None:
+        lines.append("worst drift: %.1f%% (%s)" % worst)
+    else:
+        lines.append("no rows compared")
+    if threshold is not None:
+        lines.append("regressions over %.1f%%: %d" % (threshold, regressions))
+    return lines, regressions
+
+
+def main(argv):
+    args = argv[1:]
+    threshold = None
+    expect = None
+    usage = "usage: metrics_diff.py [--threshold PCT] [--expect FILE] BASELINE.json CURRENT.json"
+    while args and args[0].startswith("--"):
+        if args[0] == "--threshold":
+            if len(args) < 2:
+                print(usage, file=sys.stderr)
+                return 1
+            try:
+                threshold = float(args[1])
+            except ValueError:
+                print("error: --threshold takes a number", file=sys.stderr)
+                return 1
+            args = args[2:]
+        elif args[0] == "--expect":
+            if len(args) < 2:
+                print(usage, file=sys.stderr)
+                return 1
+            expect = args[1]
+            args = args[2:]
+        else:
+            print(usage, file=sys.stderr)
+            return 1
+    if len(args) != 2:
+        print(usage, file=sys.stderr)
+        return 1
+
+    try:
+        lines, regressions = diff(args[0], args[1], threshold)
+    except MalformedBench as err:
+        print("error: %s" % err, file=sys.stderr)
+        return 1
+
+    output = "\n".join(lines) + "\n"
+    sys.stdout.write(output)
+
+    if expect is not None:
+        with open(expect, "r") as f:
+            expected = f.read()
+        if output != expected:
+            print("golden mismatch against %s" % os.path.basename(expect),
+                  file=sys.stderr)
+            return 2
+        print("golden match: %s" % os.path.basename(expect))
+    if regressions > 0:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
